@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks of the analysis kernels: the in-situ stages
+//! (render, down-sample, learn, subtree) and the in-transit stages
+//! (coarse render, streaming glue, derive) on a fixed proxy block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sitra_mesh::{downsample, exchange_ghosts, Decomposition, ScalarField};
+use sitra_sim::{SimConfig, Simulation, Variable};
+use sitra_stats::MultiModel;
+use sitra_topology::distributed::{glue_subtrees, in_situ_subtrees, BoundaryPolicy};
+use sitra_topology::Connectivity;
+use sitra_viz::{render_block, HybridRenderer, TransferFunction, View, ViewAxis};
+use std::hint::black_box;
+
+const DIMS: [usize; 3] = [48, 48, 48];
+
+fn fixture() -> (ScalarField, TransferFunction) {
+    let mut sim = Simulation::new(SimConfig::small(DIMS, 42));
+    for _ in 0..3 {
+        sim.advance();
+    }
+    let f = sim.block_field(Variable::Temperature, &sim.global());
+    let (mn, mx) = f.min_max().unwrap();
+    (f, TransferFunction::hot(mn, mx))
+}
+
+fn bench_insitu(c: &mut Criterion) {
+    let (field, tf) = fixture();
+    let g = field.bbox();
+    let view = View::full_res(g, ViewAxis::Z, false);
+    let mut group = c.benchmark_group("insitu");
+    group.sample_size(10);
+    group.bench_function("render_48cube", |b| {
+        b.iter(|| black_box(render_block(&field, &g, &view, &tf)))
+    });
+    group.bench_function("downsample_48cube_s8", |b| {
+        b.iter(|| black_box(downsample(&field, 8)))
+    });
+    group.bench_function("stats_learn_48cube", |b| {
+        b.iter(|| black_box(MultiModel::learn(&[("T", field.as_slice())])))
+    });
+    let d = Decomposition::new(g, [2, 2, 2]);
+    let blocks: Vec<ScalarField> = (0..8).map(|r| field.extract(&d.block(r))).collect();
+    let (ghosted, _) = exchange_ghosts(&d, &blocks, 1);
+    group.bench_function("topo_subtree_24cube", |b| {
+        b.iter(|| {
+            black_box(sitra_topology::distributed::rank_subtree(
+                &d,
+                0,
+                &ghosted[0],
+                Connectivity::Six,
+                BoundaryPolicy::BoundaryMaxima,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_intransit(c: &mut Criterion) {
+    let (field, tf) = fixture();
+    let g = field.bbox();
+    let d = Decomposition::new(g, [2, 2, 2]);
+    let blocks: Vec<ScalarField> = (0..8).map(|r| field.extract(&d.block(r))).collect();
+    let (ghosted, _) = exchange_ghosts(&d, &blocks, 1);
+    let subs = in_situ_subtrees(&d, &ghosted, Connectivity::Six, BoundaryPolicy::BoundaryMaxima);
+    let coarse: Vec<_> = (0..8)
+        .map(|r| downsample(&field.extract(&d.block(r)), 4))
+        .collect();
+    let view = View::full_res(g, ViewAxis::Z, false);
+
+    let mut group = c.benchmark_group("intransit");
+    group.sample_size(10);
+    group.bench_function("topo_glue_8_subtrees", |b| {
+        b.iter(|| black_box(glue_subtrees(&subs)))
+    });
+    group.bench_function("hybrid_render_s4", |b| {
+        let hr = HybridRenderer::new(coarse.clone());
+        b.iter(|| black_box(hr.render(&view, &tf)))
+    });
+    let model = MultiModel::learn(
+        &sitra_sim::ALL_VARIABLES
+            .iter()
+            .map(|v| (v.name(), field.as_slice()))
+            .collect::<Vec<_>>(),
+    );
+    group.bench_function("stats_merge_derive_4480", |b| {
+        // Merge 4480 partial models (the paper's rank count) + derive.
+        b.iter(|| {
+            let mut acc = MultiModel::default();
+            for _ in 0..4480 {
+                acc.merge(black_box(&model));
+            }
+            black_box(
+                acc.vars
+                    .iter()
+                    .map(|(_, m)| sitra_stats::derive(m).unwrap())
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("proxy_step_48cube", |b| {
+        let mut sim = Simulation::new(SimConfig::small(DIMS, 7));
+        let g = sim.global();
+        b.iter(|| {
+            sim.advance();
+            black_box(sim.block_field(Variable::Temperature, &g))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insitu, bench_intransit, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmark of the complete live pipeline: per-step cost with
+//! all five analysis variants registered, at laptop scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sitra_core::{
+    run_pipeline, AnalysisSpec, HybridStats, HybridTopology, HybridViz, InSituViz,
+    PipelineConfig, Placement,
+};
+use sitra_mesh::BBox3;
+use sitra_sim::{SimConfig, Simulation};
+use sitra_viz::{TransferFunction, View, ViewAxis};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const DIMS: [usize; 3] = [24, 20, 16];
+
+fn config(steps: usize) -> PipelineConfig {
+    let view = View::full_res(BBox3::from_dims(DIMS), ViewAxis::Z, false);
+    let tf = TransferFunction::hot(250.0, 2500.0);
+    let mut cfg = PipelineConfig::new([2, 2, 1], 2, steps);
+    cfg.analyses = vec![
+        AnalysisSpec::new(
+            Arc::new(InSituViz {
+                view: view.clone(),
+                tf: tf.clone(),
+            }),
+            Placement::InSitu,
+            1,
+        ),
+        AnalysisSpec::new(
+            Arc::new(HybridViz {
+                stride: 2,
+                view,
+                tf,
+            }),
+            Placement::Hybrid,
+            1,
+        ),
+        AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::InSitu, 1)
+            .with_label("stats-insitu"),
+        AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::Hybrid, 1)
+            .with_label("stats-hybrid"),
+        AnalysisSpec::new(Arc::new(HybridTopology::default()), Placement::Hybrid, 1),
+    ];
+    cfg
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("live_4ranks_5analyses_2steps", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(SimConfig::small(DIMS, 3));
+            let result = run_pipeline(&mut sim, &config(2));
+            assert_eq!(result.dropped_tasks, 0);
+            black_box(result.outputs.len())
+        })
+    });
+    group.bench_function("sim_only_2steps", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(SimConfig::small(DIMS, 3));
+            let result = run_pipeline(&mut sim, &PipelineConfig::new([2, 2, 1], 1, 2));
+            black_box(result.metrics.total_secs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Regenerates **Fig. 1**: short-lived, advected features (ignition
+//! kernels, lifetime ≈ 10 steps) are trackable when analyzed at high
+//! temporal frequency and lost at post-processing cadence.
+//!
+//! The experiment runs the proxy simulation, segments the temperature
+//! field with merge-tree machinery at a sequence of save intervals, and
+//! tracks features by segmentation overlap. At Δ=1..5 steps tracks span
+//! multiple observations (the five left frames of Fig. 1); once the save
+//! interval exceeds the feature lifetime every observation is an
+//! isolated single-frame track — the "connectivity indicators are lost"
+//! failure mode of conventional post-processing.
+
+use serde::Serialize;
+use sitra_bench::{print_table, write_json};
+use sitra_mesh::ScalarField;
+use sitra_sim::{SimConfig, Simulation, Variable};
+use sitra_topology::{segment_superlevel, track_features, Connectivity, Segmentation};
+
+#[derive(Serialize)]
+struct IntervalResult {
+    save_interval: usize,
+    observations: usize,
+    tracks: usize,
+    multi_step_tracks: usize,
+    mean_track_len: f64,
+    max_track_len: usize,
+}
+
+const STEPS: usize = 120;
+const THRESHOLD: f64 = 2650.0; // above the background flame: kernels only
+
+fn snapshots() -> Vec<ScalarField> {
+    let mut sim = Simulation::new(SimConfig {
+        kernel_spawn_rate: 0.6,
+        kernel_lifetime: 10,
+        kernel_amplitude: 900.0,
+        ..SimConfig::small([48, 32, 32], 2024)
+    });
+    let g = sim.global();
+    (0..STEPS)
+        .map(|_| {
+            sim.advance();
+            sim.block_field(Variable::Temperature, &g)
+        })
+        .collect()
+}
+
+fn main() {
+    println!("running {STEPS} proxy steps (kernel lifetime = 10 steps) ...");
+    let snaps = snapshots();
+    let g = snaps[0].bbox();
+
+    let mut results = Vec::new();
+    for &interval in &[1usize, 2, 5, 10, 20, 40] {
+        let segs: Vec<Segmentation> = snaps
+            .iter()
+            .step_by(interval)
+            .map(|f| segment_superlevel(f, &g, THRESHOLD, Connectivity::TwentySix, None))
+            .collect();
+        let tracks = track_features(&segs, 2);
+        let lens: Vec<usize> = tracks.iter().map(|t| t.length()).collect();
+        let observations: usize = lens.iter().sum();
+        results.push(IntervalResult {
+            save_interval: interval,
+            observations,
+            tracks: tracks.len(),
+            multi_step_tracks: lens.iter().filter(|&&l| l >= 2).count(),
+            mean_track_len: if tracks.is_empty() {
+                0.0
+            } else {
+                observations as f64 / tracks.len() as f64
+            },
+            max_track_len: lens.iter().copied().max().unwrap_or(0),
+        });
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.save_interval.to_string(),
+                r.observations.to_string(),
+                r.tracks.to_string(),
+                r.multi_step_tracks.to_string(),
+                format!("{:.2}", r.mean_track_len),
+                r.max_track_len.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 1 — feature tracking vs. analysis cadence (kernel lifetime = 10 steps)",
+        &[
+            "save interval",
+            "feature obs.",
+            "tracks",
+            "multi-step tracks",
+            "mean len",
+            "max len",
+        ],
+        &rows,
+    );
+
+    let fine = &results[0];
+    let coarse = results.last().unwrap();
+    println!(
+        "\nat Δ=1 the mean track spans {:.1} observations; at Δ={} every \
+         feature is an isolated observation (mean {:.1}) — temporal \
+         connectivity is lost, as in the paper's Fig. 1.",
+        fine.mean_track_len, coarse.save_interval, coarse.mean_track_len
+    );
+    write_json("fig1_tracking", &results);
+}

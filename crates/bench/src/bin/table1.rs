@@ -1,0 +1,140 @@
+//! Regenerates **Table I**: core allocations, data sizes, and per-step
+//! simulation and I/O times for the 4896- and 9440-core configurations.
+//!
+//! The simulation compute model is calibrated on the paper's 4896-core
+//! row (we do not have an S3D to time); its strong-scaling prediction for
+//! the 9440-core row and the OST-limited I/O model are then *outputs*,
+//! compared against the paper's values.
+
+use serde::Serialize;
+use sitra_bench::{paper, print_table, write_json};
+use sitra_machine::cluster::ComputeModel;
+use sitra_machine::{ClusterSpec, IoModel};
+
+#[derive(Serialize)]
+struct Table1Column {
+    total_cores: usize,
+    simulation_cores: usize,
+    dataspaces_cores: usize,
+    intransit_cores: usize,
+    block: [usize; 3],
+    volume: [usize; 3],
+    n_vars: usize,
+    data_size_gb: f64,
+    sim_secs: f64,
+    io_read_secs: f64,
+    io_write_secs: f64,
+    paper_sim_secs: f64,
+    paper_io_read_secs: f64,
+    paper_io_write_secs: f64,
+}
+
+fn column(
+    spec: ClusterSpec,
+    block: [usize; 3],
+    compute: &ComputeModel,
+    io: &IoModel,
+    paper_sim: f64,
+) -> Table1Column {
+    let cells = paper::DIMS[0] * paper::DIMS[1] * paper::DIMS[2];
+    let bytes = cells * paper::N_VARS * 8;
+    Table1Column {
+        total_cores: spec.total_cores(),
+        simulation_cores: spec.simulation_cores,
+        dataspaces_cores: spec.dataspaces_cores,
+        intransit_cores: spec.intransit_cores,
+        block,
+        volume: paper::DIMS,
+        n_vars: paper::N_VARS,
+        data_size_gb: bytes as f64 / 1024.0 / 1024.0 / 1024.0,
+        sim_secs: compute.step_time(block[0] * block[1] * block[2]),
+        io_read_secs: io.read_time(bytes, spec.simulation_cores),
+        io_write_secs: io.write_time(bytes, spec.simulation_cores),
+        paper_sim_secs: paper_sim,
+        paper_io_read_secs: 6.56,
+        paper_io_write_secs: 3.28,
+    }
+}
+
+fn main() {
+    // Calibrate on the paper's first column, predict the second.
+    let compute = ComputeModel::calibrate(
+        paper::BLOCK_4896[0] * paper::BLOCK_4896[1] * paper::BLOCK_4896[2],
+        paper::SIM_SECS_4896,
+    );
+    let io = IoModel::jaguar_lustre();
+    let cols = [
+        column(
+            ClusterSpec::jaguar_4896(),
+            paper::BLOCK_4896,
+            &compute,
+            &io,
+            16.85,
+        ),
+        column(
+            ClusterSpec::jaguar_9440(),
+            paper::BLOCK_9440,
+            &compute,
+            &io,
+            8.42,
+        ),
+    ];
+
+    let rows: Vec<Vec<String>> = vec![
+        vec![
+            "No. of simulation/in-situ cores".into(),
+            cols[0].simulation_cores.to_string(),
+            cols[1].simulation_cores.to_string(),
+        ],
+        vec![
+            "No. of DataSpaces-service cores".into(),
+            cols[0].dataspaces_cores.to_string(),
+            cols[1].dataspaces_cores.to_string(),
+        ],
+        vec![
+            "No. of in-transit cores".into(),
+            cols[0].intransit_cores.to_string(),
+            cols[1].intransit_cores.to_string(),
+        ],
+        vec![
+            "Volume size".into(),
+            format!("{:?}", cols[0].volume),
+            format!("{:?}", cols[1].volume),
+        ],
+        vec![
+            "No. of variables".into(),
+            cols[0].n_vars.to_string(),
+            cols[1].n_vars.to_string(),
+        ],
+        vec![
+            "Data size (GiB)".into(),
+            format!("{:.1}", cols[0].data_size_gb),
+            format!("{:.1}", cols[1].data_size_gb),
+        ],
+        vec![
+            "Simulation time (sec.) [paper]".into(),
+            format!("{:.2} [{}]", cols[0].sim_secs, cols[0].paper_sim_secs),
+            format!("{:.2} [{}]", cols[1].sim_secs, cols[1].paper_sim_secs),
+        ],
+        vec![
+            "I/O read time (sec.) [paper]".into(),
+            format!("{:.2} [{}]", cols[0].io_read_secs, cols[0].paper_io_read_secs),
+            format!("{:.2} [{}]", cols[1].io_read_secs, cols[1].paper_io_read_secs),
+        ],
+        vec![
+            "I/O write time (sec.) [paper]".into(),
+            format!("{:.2} [{}]", cols[0].io_write_secs, cols[0].paper_io_write_secs),
+            format!("{:.2} [{}]", cols[1].io_write_secs, cols[1].paper_io_write_secs),
+        ],
+    ];
+    print_table(
+        "Table I — core allocations, data sizes, per-step times",
+        &["", "4896 cores", "9440 cores"],
+        &rows,
+    );
+    println!(
+        "\nModel: simulation calibrated on the 4896-core row; the 9440-core \
+         prediction and both I/O rows are model outputs."
+    );
+    write_json("table1", &cols);
+}

@@ -1,0 +1,354 @@
+//! Shared infrastructure for the experiment binaries: kernel-rate
+//! calibration, paper constants, paper-scale projection, and table
+//! formatting.
+//!
+//! Every table/figure binary follows the same scheme the DESIGN.md
+//! per-experiment index describes: the analytics kernels are *real* (the
+//! same code the live pipeline runs), timed on this host to obtain
+//! per-cell rates, and the machine model projects those rates to the
+//! paper's 4896/9440-core Jaguar configurations. Absolute numbers
+//! therefore reflect this host's speed; the *shape* (who wins, by what
+//! factor, where crossovers sit) is the reproduction target.
+
+use serde::{Deserialize, Serialize};
+use sitra_mesh::{downsample, Decomposition, ScalarField};
+use sitra_sim::{SimConfig, Simulation, Variable};
+use sitra_stats::MultiModel;
+use sitra_topology::distributed::{
+    glue_subtrees, in_situ_subtrees, BoundaryPolicy,
+};
+use sitra_topology::Connectivity;
+use sitra_viz::{render_block, HybridRenderer, TransferFunction, View, ViewAxis};
+use std::time::Instant;
+
+/// Paper constants (Table I).
+pub mod paper {
+    /// Global grid of the lifted H2 case.
+    pub const DIMS: [usize; 3] = [1600, 1372, 430];
+    /// Variables in the data set.
+    pub const N_VARS: usize = 14;
+    /// Rank grid at 4896 cores.
+    pub const PARTS_4896: [usize; 3] = [16, 28, 10];
+    /// Rank grid at 9440 cores.
+    pub const PARTS_9440: [usize; 3] = [32, 28, 10];
+    /// Per-core block at 4896 cores.
+    pub const BLOCK_4896: [usize; 3] = [100, 49, 43];
+    /// Per-core block at 9440 cores.
+    pub const BLOCK_9440: [usize; 3] = [50, 49, 43];
+    /// Simulation seconds per step at 4896 cores (Table I).
+    pub const SIM_SECS_4896: f64 = 16.85;
+    /// Down-sampling stride of the hybrid visualization (Fig. 2).
+    pub const VIZ_STRIDE: usize = 8;
+    /// Table II reference rows at 4896 cores:
+    /// (label, in-situ s, movement s, movement MB, in-transit s).
+    pub const TABLE2: [(&str, f64, f64, f64, f64); 5] = [
+        ("in-situ visualization", 0.73, 0.0, 0.0, 0.0),
+        ("in-situ descriptive statistics", 1.64, 0.0, 0.0, 0.0),
+        ("hybrid visualization", 0.08, 0.092, 49.19, 5.06),
+        ("hybrid topology", 2.72, 2.06, 87.02, 119.81),
+        ("hybrid descriptive statistics", 1.69, 0.06, 13.30, 0.01),
+    ];
+}
+
+/// Measured per-cell (or per-element) rates of the real kernels on this
+/// host.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KernelRates {
+    /// Full-resolution ray casting, cells/second (per core).
+    pub viz_cells_per_sec: f64,
+    /// In-situ down-sampling, source cells/second.
+    pub downsample_cells_per_sec: f64,
+    /// Statistics `learn`, observations/second (one variable).
+    pub learn_cells_per_sec: f64,
+    /// Local join tree + reduction, cells/second.
+    pub subtree_cells_per_sec: f64,
+    /// In-transit serial rendering of coarse data, coarse cells/second.
+    pub coarse_render_cells_per_sec: f64,
+    /// In-transit streaming gluing, subtree vertices/second.
+    pub glue_verts_per_sec: f64,
+    /// Subtree payload bytes per block cell on the proxy data (data
+    /// dependent; measured).
+    pub subtree_bytes_per_cell: f64,
+    /// `derive` seconds for a 14-variable model (constant).
+    pub derive_secs: f64,
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+/// Measure the real kernels on a representative block of proxy data.
+///
+/// `block_dims` should be large enough to amortize overheads (the
+/// default binaries use 48³ ≈ 110k cells, half a paper block).
+pub fn calibrate(block_dims: [usize; 3], seed: u64) -> KernelRates {
+    let mut sim = Simulation::new(SimConfig::small(block_dims, seed));
+    for _ in 0..3 {
+        sim.advance();
+    }
+    let g = sim.global();
+    let field = sim.block_field(Variable::Temperature, &g);
+    let cells = field.len() as f64;
+    let (mn, mx) = field.min_max().unwrap();
+    let tf = TransferFunction::hot(mn, mx);
+    let view = View::full_res(g, ViewAxis::Z, false);
+
+    // Full-res rendering (serial core rate: render on the current thread).
+    let (_, viz_t) = time(|| render_block(&field, &g, &view, &tf));
+
+    // Down-sampling.
+    let (ds, ds_t) = time(|| downsample(&field, paper::VIZ_STRIDE.min(block_dims[0] / 2)));
+    let _ = ds;
+
+    // Statistics learn over one variable.
+    let (_, learn_t) = time(|| MultiModel::learn(&[("T", field.as_slice())]));
+
+    // Topology: split the calibration block 2×2×2 so the subtree stage
+    // sees realistic interface work, then measure the glue stage.
+    let d = Decomposition::new(g, [2, 2, 2]);
+    let blocks: Vec<ScalarField> = (0..8).map(|r| field.extract(&d.block(r))).collect();
+    let (ghosted, _) = sitra_mesh::exchange_ghosts(&d, &blocks, 1);
+    // Time one rank's subtree serially for a clean per-cell rate.
+    let (sub0, sub_t) = time(|| {
+        sitra_topology::distributed::rank_subtree(
+            &d,
+            0,
+            &ghosted[0],
+            Connectivity::Six,
+            BoundaryPolicy::BoundaryMaxima,
+        )
+    });
+    let sub_cells = ghosted[0].len() as f64;
+    let subs = in_situ_subtrees(&d, &ghosted, Connectivity::Six, BoundaryPolicy::BoundaryMaxima);
+    let total_verts: usize = subs.iter().map(|s| s.verts.len()).sum();
+    let total_bytes: usize = subs.iter().map(|s| s.bytes()).sum();
+    let (_, glue_t) = time(|| glue_subtrees(&subs));
+    let _ = sub0;
+
+    // In-transit coarse rendering rate.
+    let stride = 2;
+    let coarse_blocks: Vec<_> = (0..8)
+        .map(|r| downsample(&field.extract(&d.block(r)), stride))
+        .collect();
+    let hr = HybridRenderer::new(coarse_blocks);
+    let coarse_cells = hr.coarse_domain().count() as f64;
+    let coarse_view = View::full_res(hr.coarse_domain(), ViewAxis::Z, false);
+    let (_, coarse_t) = time(|| hr.render(&coarse_view, &tf));
+
+    // Derive on a 14-variable model.
+    let model = MultiModel::learn(
+        &sitra_sim::ALL_VARIABLES
+            .iter()
+            .map(|v| (v.name(), field.as_slice()))
+            .collect::<Vec<_>>(),
+    );
+    let (_, derive_t) = time(|| {
+        model
+            .vars
+            .iter()
+            .map(|(_, m)| sitra_stats::derive(m).unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    KernelRates {
+        viz_cells_per_sec: cells / viz_t.max(1e-9),
+        downsample_cells_per_sec: cells / ds_t.max(1e-9),
+        learn_cells_per_sec: cells / learn_t.max(1e-9),
+        subtree_cells_per_sec: sub_cells / sub_t.max(1e-9),
+        coarse_render_cells_per_sec: coarse_cells / coarse_t.max(1e-9),
+        glue_verts_per_sec: total_verts as f64 / glue_t.max(1e-9),
+        subtree_bytes_per_cell: total_bytes as f64 / g.count() as f64,
+        derive_secs: derive_t,
+    }
+}
+
+/// Effective data-movement model into the staging area: a per-message
+/// setup cost paid across the staging parallelism plus a shared ingress
+/// bandwidth. Calibrated against the paper's hybrid-viz row
+/// (49.19 MB in 0.092 s ⇒ ≈ 535 MB/s effective aggregate).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MovementModel {
+    /// Aggregate ingress bandwidth of the staging area (bytes/second).
+    pub ingress_bandwidth: f64,
+    /// Per-message setup (seconds) paid by each producer.
+    pub per_message: f64,
+    /// Staging-side parallelism absorbing message setup.
+    pub parallelism: usize,
+}
+
+impl Default for MovementModel {
+    fn default() -> Self {
+        Self {
+            ingress_bandwidth: 535.0e6,
+            per_message: 6.0e-6,
+            parallelism: 256,
+        }
+    }
+}
+
+impl MovementModel {
+    /// Movement seconds for `total_bytes` sent as `messages` transfers.
+    pub fn movement_secs(&self, total_bytes: f64, messages: usize) -> f64 {
+        messages as f64 * self.per_message / self.parallelism.max(1) as f64
+            + total_bytes / self.ingress_bandwidth
+    }
+}
+
+/// One projected Table II row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Variant label (matching the paper's row names).
+    pub label: String,
+    /// In-situ seconds per step (per rank, ranks run concurrently).
+    pub insitu_secs: f64,
+    /// Movement seconds per step.
+    pub movement_secs: f64,
+    /// Movement megabytes per step.
+    pub movement_mb: f64,
+    /// In-transit seconds per step (serial bucket).
+    pub intransit_secs: f64,
+}
+
+/// Project the five Table II rows to the paper's 4896-core configuration
+/// from measured kernel rates.
+pub fn project_table2(rates: &KernelRates, movement: &MovementModel) -> Vec<Table2Row> {
+    let block_cells = (paper::BLOCK_4896[0] * paper::BLOCK_4896[1] * paper::BLOCK_4896[2]) as f64;
+    let n_ranks = (paper::PARTS_4896[0] * paper::PARTS_4896[1] * paper::PARTS_4896[2]) as f64;
+    let global_cells = (paper::DIMS[0] * paper::DIMS[1] * paper::DIMS[2]) as f64;
+    let stride3 = (paper::VIZ_STRIDE * paper::VIZ_STRIDE * paper::VIZ_STRIDE) as f64;
+    let coarse_cells = global_cells / stride3;
+    let mb = 1.0e6;
+
+    let mut rows = Vec::new();
+    // Fully in-situ visualization: each rank renders its block; the
+    // compositing is folded into the same stage (paper reports one
+    // number).
+    rows.push(Table2Row {
+        label: "in-situ visualization".into(),
+        insitu_secs: block_cells / rates.viz_cells_per_sec,
+        movement_secs: 0.0,
+        movement_mb: 0.0,
+        intransit_secs: 0.0,
+    });
+    // Fully in-situ statistics: learn over all 14 variables + the
+    // all-reduce (negligible) + derive.
+    rows.push(Table2Row {
+        label: "in-situ descriptive statistics".into(),
+        insitu_secs: paper::N_VARS as f64 * block_cells / rates.learn_cells_per_sec
+            + rates.derive_secs,
+        movement_secs: 0.0,
+        movement_mb: 0.0,
+        intransit_secs: 0.0,
+    });
+    // Hybrid visualization.
+    let ds_bytes = coarse_cells * 8.0;
+    rows.push(Table2Row {
+        label: "hybrid visualization".into(),
+        insitu_secs: block_cells / rates.downsample_cells_per_sec,
+        movement_secs: movement.movement_secs(ds_bytes, n_ranks as usize),
+        movement_mb: ds_bytes / mb,
+        intransit_secs: coarse_cells / rates.coarse_render_cells_per_sec,
+    });
+    // Hybrid topology.
+    let sub_bytes = rates.subtree_bytes_per_cell * global_cells;
+    let sub_verts = sub_bytes / 24.0; // ≈ bytes per encoded vertex
+    rows.push(Table2Row {
+        label: "hybrid topology".into(),
+        insitu_secs: block_cells / rates.subtree_cells_per_sec,
+        movement_secs: movement.movement_secs(sub_bytes, n_ranks as usize),
+        movement_mb: sub_bytes / mb,
+        intransit_secs: sub_verts / rates.glue_verts_per_sec,
+    });
+    // Hybrid statistics.
+    let model_bytes = n_ranks * paper::N_VARS as f64 * 61.0; // wire size/var
+    rows.push(Table2Row {
+        label: "hybrid descriptive statistics".into(),
+        insitu_secs: paper::N_VARS as f64 * block_cells / rates.learn_cells_per_sec,
+        movement_secs: movement.movement_secs(model_bytes, n_ranks as usize),
+        movement_mb: model_bytes / mb,
+        intransit_secs: rates.derive_secs.max(1e-6),
+    });
+    rows
+}
+
+/// Render a text table with a header row.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+}
+
+/// Write an experiment result as JSON under `target/experiments/`.
+pub fn write_json(name: &str, value: &impl Serialize) {
+    let dir = std::path::Path::new("target/experiments");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("[could not write {}: {e}]", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_produces_positive_rates() {
+        let r = calibrate([16, 16, 16], 1);
+        assert!(r.viz_cells_per_sec > 0.0);
+        assert!(r.downsample_cells_per_sec > 0.0);
+        assert!(r.learn_cells_per_sec > 0.0);
+        assert!(r.subtree_cells_per_sec > 0.0);
+        assert!(r.coarse_render_cells_per_sec > 0.0);
+        assert!(r.glue_verts_per_sec > 0.0);
+        assert!(r.subtree_bytes_per_cell > 0.0);
+        // Down-sampling is far cheaper than rendering — the core of the
+        // hybrid-viz claim.
+        assert!(r.downsample_cells_per_sec > 3.0 * r.viz_cells_per_sec);
+    }
+
+    #[test]
+    fn table2_projection_shape() {
+        let rates = calibrate([16, 16, 16], 2);
+        let rows = project_table2(&rates, &MovementModel::default());
+        assert_eq!(rows.len(), 5);
+        let get = |label: &str| rows.iter().find(|r| r.label.contains(label)).unwrap();
+        // Shape assertions mirroring the paper's qualitative claims:
+        // hybrid viz in-situ stage ≪ fully in-situ viz;
+        assert!(get("hybrid visualization").insitu_secs < get("in-situ visualization").insitu_secs / 3.0);
+        // topology moves the most intermediate data of the three hybrids;
+        assert!(get("hybrid topology").movement_mb > get("hybrid descriptive").movement_mb);
+        // stats in-transit stage is trivial; topology's dominates.
+        assert!(get("hybrid topology").intransit_secs > get("hybrid descriptive").intransit_secs);
+    }
+
+    #[test]
+    fn movement_model_monotone() {
+        let m = MovementModel::default();
+        assert!(m.movement_secs(1e6, 100) < m.movement_secs(1e8, 100));
+        assert!(m.movement_secs(1e6, 10) <= m.movement_secs(1e6, 10_000));
+    }
+}

@@ -1,0 +1,451 @@
+//! The live pipeline driver: simulation ranks, in-situ stages, DART
+//! exports, the DataSpaces scheduler, and staging-bucket worker threads.
+//!
+//! This is the paper's Fig. 5 running for real (at laptop scale):
+//!
+//! 1. Each step, the simulation ranks produce their blocks and exchange
+//!    ghosts; due analyses run their in-situ stage data-parallel across
+//!    ranks.
+//! 2. Hybrid-placement intermediates are exported as RDMA-able regions
+//!    on each rank's DART endpoint; a *data-ready* task descriptor is
+//!    pushed into the scheduler. The simulation moves on immediately —
+//!    it pays only the in-situ stage and the (cheap) send initiation.
+//! 3. Staging-bucket threads issue *bucket-ready* requests, receive task
+//!    descriptors FCFS, pull every rank's payload directly from the
+//!    producers' exported memory via `rdma_get`, run the aggregation
+//!    stage, and record the output. Successive steps naturally land on
+//!    different buckets (temporal multiplexing).
+//! 4. Producers retain a bounded ring of exported step payloads
+//!    (`staging_buffer_depth`); if the staging area falls that far
+//!    behind, the oldest payloads are withdrawn and the overrun tasks
+//!    are counted as dropped — the same back-pressure signal a real
+//!    staging deployment must watch.
+
+use crate::analysis::{AnalysisOutput, InSituCtx};
+use crate::metrics::{AnalysisMetrics, PipelineMetrics, StepMetrics};
+use crate::placement::{AnalysisSpec, Placement};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use sitra_dart::{Endpoint, EndpointId, Event, Fabric, NetworkModel, RegionKey};
+use sitra_dataspaces::Scheduler;
+use sitra_mesh::{exchange_ghosts, Decomposition, ScalarField};
+use sitra_sim::{Simulation, Variable};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a live pipeline run.
+pub struct PipelineConfig {
+    /// Rank grid (must evenly cover the simulation domain).
+    pub parts: [usize; 3],
+    /// Number of staging-bucket worker threads.
+    pub staging_buckets: usize,
+    /// Registered analyses.
+    pub analyses: Vec<AnalysisSpec>,
+    /// Simulation steps to run.
+    pub steps: usize,
+    /// The variable fed to single-variable analyses (viz, topology).
+    pub analysis_variable: Variable,
+    /// Additional variables materialized per block (for statistics).
+    pub extra_variables: Vec<Variable>,
+    /// How many steps of exported payloads each producer retains before
+    /// withdrawing the oldest (staging back-pressure horizon).
+    pub staging_buffer_depth: u64,
+    /// Network model used for simulated-time accounting.
+    pub network: NetworkModel,
+}
+
+impl PipelineConfig {
+    /// A minimal configuration.
+    pub fn new(parts: [usize; 3], staging_buckets: usize, steps: usize) -> Self {
+        Self {
+            parts,
+            staging_buckets,
+            analyses: Vec::new(),
+            steps,
+            analysis_variable: Variable::Temperature,
+            extra_variables: Vec::new(),
+            staging_buffer_depth: 16,
+            network: NetworkModel::gemini(),
+        }
+    }
+}
+
+/// One in-transit task: which analysis, which step, where the payloads
+/// live.
+struct TaskDesc {
+    analysis_idx: usize,
+    step: u64,
+    issued: Instant,
+    parts: Vec<(usize, EndpointId, RegionKey)>,
+}
+
+/// Result of a pipeline run: metrics plus every analysis output.
+pub struct PipelineResult {
+    /// Per-stage measurements.
+    pub metrics: PipelineMetrics,
+    /// `(analysis name, step, output)` for every completed aggregation.
+    pub outputs: Vec<(String, u64, AnalysisOutput)>,
+    /// Tasks dropped because the staging area fell behind the
+    /// back-pressure horizon.
+    pub dropped_tasks: usize,
+}
+
+impl PipelineResult {
+    /// Output of one analysis at one step.
+    pub fn output(&self, name: &str, step: u64) -> Option<&AnalysisOutput> {
+        self.outputs
+            .iter()
+            .find(|(n, s, _)| n == name && *s == step)
+            .map(|(_, _, o)| o)
+    }
+}
+
+fn region_key(analysis_idx: usize, step: u64) -> RegionKey {
+    ((analysis_idx as u64 + 1) << 40) | (step & ((1 << 40) - 1))
+}
+
+/// Run the hybrid pipeline live. See module docs for the flow.
+pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResult {
+    let decomp = Decomposition::new(sim.global(), cfg.parts);
+    let n_ranks = decomp.rank_count();
+    let fabric = Fabric::new(cfg.network);
+    let rank_endpoints: Vec<Endpoint> = (0..n_ranks).map(|_| fabric.register()).collect();
+    let scheduler: Scheduler<TaskDesc> = Scheduler::new();
+
+    let analyses: Vec<AnalysisSpec> = cfg.analyses.clone();
+    {
+        let mut labels: Vec<&str> = analyses.iter().map(|s| s.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(
+            labels.len(),
+            analyses.len(),
+            "analysis labels must be unique; use AnalysisSpec::with_label"
+        );
+    }
+    let shared_metrics: Arc<Mutex<Vec<AnalysisMetrics>>> = Arc::new(Mutex::new(Vec::new()));
+    let shared_outputs: Arc<Mutex<Vec<(String, u64, AnalysisOutput)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let dropped: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+
+    // Staging-bucket workers.
+    let workers: Vec<_> = (0..cfg.staging_buckets.max(1))
+        .map(|b| {
+            let bucket = scheduler.register_bucket(b as u32);
+            let ep = fabric.register();
+            let analyses = analyses.clone();
+            let metrics = Arc::clone(&shared_metrics);
+            let outputs = Arc::clone(&shared_outputs);
+            let dropped = Arc::clone(&dropped);
+            std::thread::Builder::new()
+                .name(format!("bucket-{b}"))
+                .spawn(move || {
+                    bucket_loop(bucket, ep, b as u32, &analyses, &metrics, &outputs, &dropped)
+                })
+                .expect("spawn bucket")
+        })
+        .collect();
+
+    let mut steps_metrics = Vec::with_capacity(cfg.steps);
+    let run_start = Instant::now();
+
+    // Ring buffer of exports so producers can withdraw stale payloads.
+    for _ in 0..cfg.steps {
+        let t_step = Instant::now();
+        sim.advance();
+        let step = sim.step();
+
+        // Generate per-rank blocks of the analysis variable and all extra
+        // variables, in parallel across ranks.
+        let blocks: Vec<ScalarField> = (0..n_ranks)
+            .into_par_iter()
+            .map(|r| sim.block_field(cfg.analysis_variable, &decomp.block(r)))
+            .collect();
+        let extra: Vec<Vec<(String, ScalarField)>> = (0..n_ranks)
+            .into_par_iter()
+            .map(|r| {
+                let mut v = vec![(
+                    cfg.analysis_variable.name().to_string(),
+                    blocks[r].clone(),
+                )];
+                for var in &cfg.extra_variables {
+                    if *var != cfg.analysis_variable {
+                        v.push((
+                            var.name().to_string(),
+                            sim.block_field(*var, &decomp.block(r)),
+                        ));
+                    }
+                }
+                v
+            })
+            .collect();
+        let sim_secs = t_step.elapsed().as_secs_f64();
+
+        let t_ghost = Instant::now();
+        let (ghosted, _) = exchange_ghosts(&decomp, &blocks, 1);
+        let ghost_secs = t_ghost.elapsed().as_secs_f64();
+
+        let mut blocked_secs = 0.0;
+        for (ai, spec) in analyses.iter().enumerate() {
+            if !spec.due(step) {
+                continue;
+            }
+            // In-situ stage, data-parallel over ranks; wall time of the
+            // stage is the max per-rank time (ranks run concurrently on
+            // the real machine), core time is the sum.
+            let t0 = Instant::now();
+            let timed: Vec<(usize, Bytes, f64)> = (0..n_ranks)
+                .into_par_iter()
+                .map(|r| {
+                    let ctx = InSituCtx {
+                        rank: r,
+                        step,
+                        decomp: &decomp,
+                        ghosted: &ghosted[r],
+                        vars: &extra[r],
+                    };
+                    let t = Instant::now();
+                    let payload = spec.analysis.in_situ(&ctx);
+                    (r, payload, t.elapsed().as_secs_f64())
+                })
+                .collect();
+            let insitu_wall = t0.elapsed().as_secs_f64();
+            let insitu_secs = timed.iter().map(|(_, _, t)| *t).fold(0.0, f64::max);
+            let insitu_core_secs: f64 = timed.iter().map(|(_, _, t)| *t).sum();
+            let movement_bytes: u64 = timed.iter().map(|(_, b, _)| b.len() as u64).sum();
+            let movement_sim_secs: f64 = timed
+                .iter()
+                .map(|(_, b, _)| cfg.network.auto_transfer_time(b.len()))
+                .sum();
+
+            match spec.placement {
+                Placement::InSitu => {
+                    let parts: Vec<(usize, Bytes)> =
+                        timed.into_iter().map(|(r, b, _)| (r, b)).collect();
+                    let t_agg = Instant::now();
+                    let out = spec.analysis.aggregate(step, &parts);
+                    let aggregate_secs = t_agg.elapsed().as_secs_f64();
+                    blocked_secs += insitu_wall + aggregate_secs;
+                    shared_metrics.lock().push(AnalysisMetrics {
+                        analysis: spec.label.clone(),
+                        step,
+                        insitu_secs,
+                        insitu_core_secs,
+                        movement_bytes: 0,
+                        movement_sim_secs: 0.0,
+                        aggregate_secs,
+                        aggregated_in_transit: false,
+                        bucket: None,
+                        streamed: false,
+                        completion_latency_secs: 0.0,
+                    });
+                    shared_outputs
+                        .lock()
+                        .push((spec.label.clone(), step, out));
+                }
+                Placement::Hybrid => {
+                    // Export payloads and withdraw stale ones.
+                    let key = region_key(ai, step);
+                    let mut parts = Vec::with_capacity(n_ranks);
+                    for (r, payload, _) in &timed {
+                        rank_endpoints[*r].export(key, payload.clone());
+                        if step > cfg.staging_buffer_depth {
+                            rank_endpoints[*r]
+                                .unexport(region_key(ai, step - cfg.staging_buffer_depth));
+                        }
+                        parts.push((*r, rank_endpoints[*r].id(), key));
+                    }
+                    blocked_secs += insitu_wall;
+                    let base = AnalysisMetrics {
+                        analysis: spec.label.clone(),
+                        step,
+                        insitu_secs,
+                        insitu_core_secs,
+                        movement_bytes,
+                        movement_sim_secs,
+                        aggregate_secs: 0.0,
+                        aggregated_in_transit: true,
+                        bucket: None,
+                        streamed: false,
+                        completion_latency_secs: 0.0,
+                    };
+                    scheduler.submit(TaskDesc {
+                        analysis_idx: ai,
+                        step,
+                        issued: Instant::now(),
+                        parts,
+                    });
+                    // Stash the in-situ half of the metrics; the bucket
+                    // fills in the rest when it completes.
+                    shared_metrics.lock().push(base);
+                }
+            }
+        }
+
+        steps_metrics.push(StepMetrics {
+            step,
+            sim_secs,
+            ghost_secs,
+            blocked_secs,
+        });
+    }
+
+    // Drain: close the queue once all buckets finished outstanding work.
+    let expected_hybrid: u64 = {
+        let m = shared_metrics.lock();
+        m.iter().filter(|a| a.aggregated_in_transit).count() as u64
+    };
+    // Wait until every hybrid task was either completed or dropped.
+    loop {
+        let done = shared_outputs
+            .lock()
+            .iter()
+            .filter(|(n, _, _)| {
+                analyses
+                    .iter()
+                    .any(|s| &s.label == n && matches!(s.placement, Placement::Hybrid))
+            })
+            .count() as u64
+            + *dropped.lock() as u64;
+        if done >= expected_hybrid {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    scheduler.close();
+    for w in workers {
+        let _ = w.join();
+    }
+    let total_secs = run_start.elapsed().as_secs_f64();
+
+    let fstats = fabric.stats();
+    let sched_stats = scheduler.stats();
+    fabric.shutdown();
+
+    let metrics = PipelineMetrics {
+        steps: steps_metrics,
+        analyses: shared_metrics.lock().clone(),
+        total_secs,
+        smsg_messages: fstats.smsg_messages,
+        smsg_bytes: fstats.smsg_bytes,
+        bte_transfers: fstats.bte_transfers,
+        bte_bytes: fstats.bte_bytes,
+        max_queue_depth: sched_stats.max_queue_depth,
+    };
+    let dropped_tasks = *dropped.lock();
+    PipelineResult {
+        metrics,
+        outputs: Arc::try_unwrap(shared_outputs)
+            .map(|m| m.into_inner())
+            .unwrap_or_default(),
+        dropped_tasks,
+    }
+}
+
+fn bucket_loop(
+    bucket: sitra_dataspaces::BucketHandle<TaskDesc>,
+    ep: Endpoint,
+    bucket_id: u32,
+    analyses: &[AnalysisSpec],
+    metrics: &Mutex<Vec<AnalysisMetrics>>,
+    outputs: &Mutex<Vec<(String, u64, AnalysisOutput)>>,
+    dropped: &Mutex<usize>,
+) {
+    while let Some((_seq, task)) = bucket.request_task() {
+        let spec = &analyses[task.analysis_idx];
+        // Pull every payload from the producers' memory.
+        let mut pending = std::collections::HashMap::new();
+        let mut overrun = false;
+        for (rank, peer, key) in &task.parts {
+            match ep.rdma_get(*peer, *key) {
+                Ok(id) => {
+                    pending.insert(id, *rank);
+                }
+                Err(_) => {
+                    // Producer already withdrew this step (back-pressure).
+                    overrun = true;
+                    break;
+                }
+            }
+        }
+        if overrun {
+            *dropped.lock() += 1;
+            continue;
+        }
+        // Streaming aggregation when the analysis supports it: payloads
+        // are combined the moment each pull completes, overlapping the
+        // aggregation with the remaining transfers. Otherwise buffer all
+        // parts and aggregate at once.
+        let mut streaming = spec.analysis.streaming_aggregator(task.step);
+        let streamed = streaming.is_some();
+        let mut parts: Vec<(usize, Bytes)> = Vec::with_capacity(pending.len());
+        let mut movement_sim = 0.0;
+        let mut aggregate_secs = 0.0;
+        let mut failed_mid_pull = false;
+        while !pending.is_empty() {
+            match ep.poll_event(Duration::from_secs(30)) {
+                Some(Event::GetComplete {
+                    id,
+                    data,
+                    sim_time,
+                    ..
+                }) => {
+                    if let Some(rank) = pending.remove(&id) {
+                        movement_sim += sim_time;
+                        match &mut streaming {
+                            Some(agg) => {
+                                let t = Instant::now();
+                                agg.feed(rank, data);
+                                aggregate_secs += t.elapsed().as_secs_f64();
+                            }
+                            None => parts.push((rank, data)),
+                        }
+                    }
+                }
+                Some(Event::GetFailed { id, .. }) => {
+                    // A producer withdrew the region mid-pull: the task is
+                    // a staging overrun.
+                    if pending.remove(&id).is_some() {
+                        failed_mid_pull = true;
+                    }
+                    if pending.is_empty() {
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("bucket {bucket_id}: transfer timed out"),
+            }
+        }
+        if failed_mid_pull {
+            *dropped.lock() += 1;
+            continue;
+        }
+        let t_agg = Instant::now();
+        let out = match streaming {
+            Some(agg) => agg.finish(),
+            None => {
+                parts.sort_by_key(|(r, _)| *r);
+                spec.analysis.aggregate(task.step, &parts)
+            }
+        };
+        aggregate_secs += t_agg.elapsed().as_secs_f64();
+        let latency = task.issued.elapsed().as_secs_f64();
+        {
+            let mut m = metrics.lock();
+            if let Some(row) = m.iter_mut().find(|r| {
+                r.analysis == spec.label && r.step == task.step && r.aggregated_in_transit
+            }) {
+                row.aggregate_secs = aggregate_secs;
+                row.bucket = Some(bucket_id);
+                row.streamed = streamed;
+                row.completion_latency_secs = latency;
+                row.movement_sim_secs = row.movement_sim_secs.max(movement_sim);
+            }
+        }
+        outputs
+            .lock()
+            .push((spec.label.clone(), task.step, out));
+    }
+    ep.unregister();
+}

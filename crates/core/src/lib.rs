@@ -1,0 +1,38 @@
+//! # sitra-core
+//!
+//! The hybrid in-situ/in-transit analysis framework — the paper's primary
+//! contribution, assembled from the workspace substrates:
+//!
+//! * [`analysis`] — the two-stage [`analysis::Analysis`] abstraction
+//!   (a data-parallel in-situ stage producing small intermediates, and
+//!   an aggregation stage) plus the five concrete configurations the
+//!   paper evaluates: fully in-situ visualization and statistics, hybrid
+//!   visualization (down-sample + in-transit render), hybrid statistics
+//!   (in-situ learn + in-transit derive), and hybrid topology (in-situ
+//!   subtrees + in-transit streaming merge).
+//! * [`placement`] — where the aggregation stage runs: synchronously on
+//!   the primary resources ([`placement::Placement::InSitu`]) or
+//!   asynchronously on staging buckets ([`placement::Placement::Hybrid`]).
+//! * [`wire`] — compact binary codecs for the intermediates (what
+//!   actually crosses the transport, so data-movement accounting is
+//!   honest).
+//! * [`driver`] — the live pipeline: a simulation proxy stepping on the
+//!   primary ranks, in-situ stages run data-parallel per rank, payloads
+//!   exported through the DART fabric, *data-ready* tasks queued in the
+//!   scheduler, staging-bucket threads pulling payloads via RDMA and
+//!   running the aggregation, with per-stage metrics collected
+//!   throughout.
+
+pub mod analysis;
+pub mod driver;
+pub mod metrics;
+pub mod placement;
+pub mod wire;
+
+pub use analysis::{
+    Aggregator, Analysis, AnalysisOutput, AutoCorrelation, FeatureStats, HybridStats,
+    HybridTopology, HybridViz, InSituCtx, InSituViz,
+};
+pub use driver::{run_pipeline, PipelineConfig, PipelineResult};
+pub use metrics::{AnalysisMetrics, PipelineMetrics, StepMetrics};
+pub use placement::{AnalysisSpec, Placement};

@@ -1,0 +1,171 @@
+//! Per-stage timing and data-movement metrics of a pipeline run.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one analysis on one step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisMetrics {
+    /// Analysis identifier.
+    pub analysis: String,
+    /// Simulation step.
+    pub step: u64,
+    /// Wall seconds of the in-situ stage (max over ranks, i.e. the time
+    /// the simulation is blocked, since ranks run it concurrently).
+    pub insitu_secs: f64,
+    /// Wall seconds of the in-situ stage summed over ranks (total core
+    /// time burned on primary resources).
+    pub insitu_core_secs: f64,
+    /// Bytes shipped to the aggregation stage.
+    pub movement_bytes: u64,
+    /// Simulated network seconds for the movement (from the DART model).
+    pub movement_sim_secs: f64,
+    /// Wall seconds of the aggregation stage.
+    pub aggregate_secs: f64,
+    /// True if the aggregation ran on a staging bucket (hybrid), false
+    /// if synchronously in-situ.
+    pub aggregated_in_transit: bool,
+    /// Which bucket ran the aggregation (hybrid only).
+    pub bucket: Option<u32>,
+    /// True if the bucket used streaming aggregation (payloads combined
+    /// as they arrived, overlapping the remaining transfers).
+    #[serde(default)]
+    pub streamed: bool,
+    /// Delay from step completion to output availability (hybrid only;
+    /// 0 for in-situ where the output is ready when the step ends).
+    pub completion_latency_secs: f64,
+}
+
+/// Metrics of one simulation step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepMetrics {
+    /// Step number.
+    pub step: u64,
+    /// Wall seconds of the simulation compute (field generation).
+    pub sim_secs: f64,
+    /// Wall seconds of the ghost exchange.
+    pub ghost_secs: f64,
+    /// Wall seconds the step spent blocked on synchronous analysis work
+    /// (in-situ stages + in-situ aggregations + send initiation).
+    pub blocked_secs: f64,
+}
+
+/// Everything measured over a pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineMetrics {
+    /// Per-step simulation metrics.
+    pub steps: Vec<StepMetrics>,
+    /// Per-(analysis, step) metrics.
+    pub analyses: Vec<AnalysisMetrics>,
+    /// Total wall seconds of the run.
+    pub total_secs: f64,
+    /// DART fabric statistics (bytes/paths/simulated seconds).
+    pub smsg_messages: u64,
+    /// Bytes moved on the small-message path.
+    pub smsg_bytes: u64,
+    /// Transactions on the bulk path.
+    pub bte_transfers: u64,
+    /// Bytes moved on the bulk path.
+    pub bte_bytes: u64,
+    /// Scheduler queue high-water mark.
+    pub max_queue_depth: usize,
+}
+
+impl PipelineMetrics {
+    /// All metrics rows of one analysis.
+    pub fn for_analysis(&self, name: &str) -> Vec<&AnalysisMetrics> {
+        self.analyses.iter().filter(|a| a.analysis == name).collect()
+    }
+
+    /// Mean in-situ seconds of an analysis across steps.
+    pub fn mean_insitu_secs(&self, name: &str) -> f64 {
+        let rows = self.for_analysis(name);
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.insitu_secs).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Mean aggregation seconds of an analysis across steps.
+    pub fn mean_aggregate_secs(&self, name: &str) -> f64 {
+        let rows = self.for_analysis(name);
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.aggregate_secs).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Mean simulation compute seconds per step.
+    pub fn mean_sim_secs(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.sim_secs).sum::<f64>() / self.steps.len() as f64
+    }
+
+    /// Mean bytes moved per analysis step.
+    pub fn mean_movement_bytes(&self, name: &str) -> f64 {
+        let rows = self.for_analysis(name);
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.movement_bytes as f64).sum::<f64>() / rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_helpers() {
+        let m = PipelineMetrics {
+            analyses: vec![
+                AnalysisMetrics {
+                    analysis: "a".into(),
+                    insitu_secs: 1.0,
+                    aggregate_secs: 4.0,
+                    movement_bytes: 100,
+                    ..Default::default()
+                },
+                AnalysisMetrics {
+                    analysis: "a".into(),
+                    insitu_secs: 3.0,
+                    aggregate_secs: 6.0,
+                    movement_bytes: 300,
+                    ..Default::default()
+                },
+                AnalysisMetrics {
+                    analysis: "b".into(),
+                    insitu_secs: 9.0,
+                    ..Default::default()
+                },
+            ],
+            steps: vec![
+                StepMetrics {
+                    sim_secs: 2.0,
+                    ..Default::default()
+                },
+                StepMetrics {
+                    sim_secs: 4.0,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(m.mean_insitu_secs("a"), 2.0);
+        assert_eq!(m.mean_aggregate_secs("a"), 5.0);
+        assert_eq!(m.mean_movement_bytes("a"), 200.0);
+        assert_eq!(m.mean_insitu_secs("b"), 9.0);
+        assert_eq!(m.mean_insitu_secs("missing"), 0.0);
+        assert_eq!(m.mean_sim_secs(), 3.0);
+        assert_eq!(m.for_analysis("a").len(), 2);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let m = PipelineMetrics::default();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: PipelineMetrics = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

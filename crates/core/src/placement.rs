@@ -1,0 +1,87 @@
+//! Placement policies: where an analysis's aggregation stage runs.
+
+use crate::analysis::Analysis;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Where the aggregation (second) stage of an analysis executes.
+///
+/// The same two-stage decomposition supports the whole spectrum the
+/// paper describes — "from pure in-situ to pure in-transit":
+///
+/// * [`Placement::InSitu`] — aggregation runs synchronously on the
+///   primary resources as part of the simulation step (the paper's
+///   "in-situ visualization" / "in-situ descriptive statistics"
+///   variants). The simulation pays the full cost but no data leaves the
+///   node.
+/// * [`Placement::Hybrid`] — intermediates are shipped asynchronously to
+///   the staging area and aggregated on a bucket (the hybrid variants).
+///   The simulation pays only the in-situ stage plus the send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Aggregate synchronously on the primary resources.
+    InSitu,
+    /// Ship intermediates and aggregate on a staging bucket.
+    Hybrid,
+}
+
+/// One registered analysis: what to run, where to aggregate, how often.
+#[derive(Clone)]
+pub struct AnalysisSpec {
+    /// The analysis implementation.
+    pub analysis: Arc<dyn Analysis>,
+    /// Where the aggregation stage runs.
+    pub placement: Placement,
+    /// Run every `interval` simulation steps.
+    pub interval: usize,
+    /// Unique label identifying this registration in metrics and outputs
+    /// (the same algorithm may be registered under several placements).
+    pub label: String,
+}
+
+impl AnalysisSpec {
+    /// Convenience constructor; the label defaults to the analysis name.
+    pub fn new(analysis: Arc<dyn Analysis>, placement: Placement, interval: usize) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        let label = analysis.name().to_string();
+        Self {
+            analysis,
+            placement,
+            interval,
+            label,
+        }
+    }
+
+    /// Override the metrics/outputs label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Does this analysis run at `step`?
+    pub fn due(&self, step: u64) -> bool {
+        step > 0 && step.is_multiple_of(self.interval as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::HybridStats;
+
+    #[test]
+    fn due_respects_interval() {
+        let spec = AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::Hybrid, 5);
+        assert!(!spec.due(0));
+        assert!(!spec.due(4));
+        assert!(spec.due(5));
+        assert!(spec.due(10));
+        assert!(!spec.due(11));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_panics() {
+        let _ = AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::InSitu, 0);
+    }
+}

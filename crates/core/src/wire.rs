@@ -1,0 +1,373 @@
+//! Compact binary codecs for analysis intermediates.
+//!
+//! The intermediates are what actually moves from the primary to the
+//! secondary resources, so their encodings are fixed-layout little-endian
+//! binary (not JSON): the byte counts reported by the metrics are the
+//! real transfer sizes, directly comparable to the paper's Table II
+//! "data movement size" column.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sitra_mesh::{BBox3, SampledBlock};
+use sitra_stats::{CoMoments, Moments, MultiModel};
+use sitra_topology::reduce::{Subtree, SubtreeVertex};
+
+fn put_bbox(buf: &mut BytesMut, b: &BBox3) {
+    for v in b.lo.iter().chain(b.hi.iter()) {
+        buf.put_u64_le(*v as u64);
+    }
+}
+
+fn get_bbox(buf: &mut Bytes) -> BBox3 {
+    let mut vals = [0usize; 6];
+    for v in &mut vals {
+        *v = buf.get_u64_le() as usize;
+    }
+    BBox3::new([vals[0], vals[1], vals[2]], [vals[3], vals[4], vals[5]])
+}
+
+/// Encode a down-sampled block (hybrid visualization intermediate).
+pub fn encode_sampled_block(s: &SampledBlock) -> Bytes {
+    let mut buf = BytesMut::with_capacity(s.data.len() * 8 + 112);
+    put_bbox(&mut buf, &s.src_bbox);
+    put_bbox(&mut buf, &s.coarse_bbox);
+    buf.put_u64_le(s.stride as u64);
+    buf.put_u64_le(s.data.len() as u64);
+    for v in &s.data {
+        buf.put_f64_le(*v);
+    }
+    buf.freeze()
+}
+
+/// Decode a down-sampled block.
+pub fn decode_sampled_block(mut b: Bytes) -> SampledBlock {
+    let src_bbox = get_bbox(&mut b);
+    let coarse_bbox = get_bbox(&mut b);
+    let stride = b.get_u64_le() as usize;
+    let n = b.get_u64_le() as usize;
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(b.get_f64_le());
+    }
+    SampledBlock {
+        src_bbox,
+        stride,
+        coarse_bbox,
+        data,
+    }
+}
+
+/// Encode a multi-variable statistics model (hybrid stats intermediate).
+pub fn encode_multimodel(m: &MultiModel) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(m.vars.len() as u32);
+    for (name, mom) in &m.vars {
+        let nb = name.as_bytes();
+        buf.put_u32_le(nb.len() as u32);
+        buf.put_slice(nb);
+        buf.put_u64_le(mom.n);
+        for v in [mom.min, mom.max, mom.mean, mom.m2, mom.m3, mom.m4] {
+            buf.put_f64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a multi-variable statistics model.
+pub fn decode_multimodel(mut b: Bytes) -> MultiModel {
+    let nvars = b.get_u32_le() as usize;
+    let mut vars = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let nlen = b.get_u32_le() as usize;
+        let name = String::from_utf8(b.split_to(nlen).to_vec()).expect("utf8 name");
+        let n = b.get_u64_le();
+        let mut f = [0.0f64; 6];
+        for v in &mut f {
+            *v = b.get_f64_le();
+        }
+        vars.push((
+            name,
+            Moments {
+                n,
+                min: f[0],
+                max: f[1],
+                mean: f[2],
+                m2: f[3],
+                m3: f[4],
+                m4: f[5],
+            },
+        ));
+    }
+    MultiModel { vars }
+}
+
+/// Encode a merge-tree subtree (hybrid topology intermediate).
+pub fn encode_subtree(s: &Subtree) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(s.source);
+    buf.put_u64_le(s.verts.len() as u64);
+    for v in &s.verts {
+        buf.put_u64_le(v.id);
+        buf.put_f64_le(v.value);
+        buf.put_u32_le(v.degree);
+        buf.put_u8(u8::from(v.pinned));
+        buf.put_u32_le(v.potential.len() as u32);
+        for p in &v.potential {
+            buf.put_u32_le(*p);
+        }
+    }
+    buf.put_u64_le(s.edges.len() as u64);
+    for (a, bb) in &s.edges {
+        buf.put_u64_le(*a);
+        buf.put_u64_le(*bb);
+    }
+    buf.freeze()
+}
+
+/// Decode a merge-tree subtree.
+pub fn decode_subtree(mut b: Bytes) -> Subtree {
+    let source = b.get_u32_le();
+    let nverts = b.get_u64_le() as usize;
+    let mut verts = Vec::with_capacity(nverts);
+    for _ in 0..nverts {
+        let id = b.get_u64_le();
+        let value = b.get_f64_le();
+        let degree = b.get_u32_le();
+        let pinned = b.get_u8() != 0;
+        let np = b.get_u32_le() as usize;
+        let mut potential = Vec::with_capacity(np);
+        for _ in 0..np {
+            potential.push(b.get_u32_le());
+        }
+        verts.push(SubtreeVertex {
+            id,
+            value,
+            degree,
+            potential,
+            pinned,
+        });
+    }
+    let nedges = b.get_u64_le() as usize;
+    let mut edges = Vec::with_capacity(nedges);
+    for _ in 0..nedges {
+        let a = b.get_u64_le();
+        let bb = b.get_u64_le();
+        edges.push((a, bb));
+    }
+    Subtree {
+        source,
+        verts,
+        edges,
+    }
+}
+
+/// Encode a bivariate co-moment model (auto-correlative statistics
+/// intermediate).
+pub fn encode_comoments(m: &CoMoments) -> Bytes {
+    let mut buf = BytesMut::with_capacity(48);
+    buf.put_u64_le(m.n);
+    for v in [m.mean_x, m.mean_y, m.m2x, m.m2y, m.cxy] {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decode a bivariate co-moment model.
+pub fn decode_comoments(mut b: Bytes) -> CoMoments {
+    let n = b.get_u64_le();
+    let mut f = [0.0f64; 5];
+    for v in &mut f {
+        *v = b.get_f64_le();
+    }
+    CoMoments {
+        n,
+        mean_x: f[0],
+        mean_y: f[1],
+        m2x: f[2],
+        m2y: f[3],
+        cxy: f[4],
+    }
+}
+
+/// Encode a feature-statistics intermediate: a (pinned) subtree plus
+/// per-local-feature partial moment models.
+pub fn encode_feature_stats(sub: &Subtree, feats: &[(u64, Moments)]) -> Bytes {
+    let tree_bytes = encode_subtree(sub);
+    let mut buf = BytesMut::with_capacity(tree_bytes.len() + feats.len() * 64 + 16);
+    buf.put_u64_le(tree_bytes.len() as u64);
+    buf.put_slice(&tree_bytes);
+    buf.put_u64_le(feats.len() as u64);
+    for (id, m) in feats {
+        buf.put_u64_le(*id);
+        buf.put_u64_le(m.n);
+        for v in [m.min, m.max, m.mean, m.m2, m.m3, m.m4] {
+            buf.put_f64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a feature-statistics intermediate.
+pub fn decode_feature_stats(mut b: Bytes) -> (Subtree, Vec<(u64, Moments)>) {
+    let tlen = b.get_u64_le() as usize;
+    let sub = decode_subtree(b.split_to(tlen));
+    let n = b.get_u64_le() as usize;
+    let mut feats = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = b.get_u64_le();
+        let nn = b.get_u64_le();
+        let mut f = [0.0f64; 6];
+        for v in &mut f {
+            *v = b.get_f64_le();
+        }
+        feats.push((
+            id,
+            Moments {
+                n: nn,
+                min: f[0],
+                max: f[1],
+                mean: f[2],
+                m2: f[3],
+                m3: f[4],
+                m4: f[5],
+            },
+        ));
+    }
+    (sub, feats)
+}
+
+/// Encode a partial (premultiplied RGBA) image with its block's position
+/// along the compositing axis (fully in-situ visualization intermediate).
+pub fn encode_partial_image(order_key: i64, img: &sitra_viz::Image) -> Bytes {
+    let mut buf = BytesMut::with_capacity(img.pixels().len() * 32 + 24);
+    buf.put_i64_le(order_key);
+    buf.put_u64_le(img.width() as u64);
+    buf.put_u64_le(img.height() as u64);
+    for p in img.pixels() {
+        for c in p {
+            buf.put_f64_le(*c);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a partial image.
+pub fn decode_partial_image(mut b: Bytes) -> (i64, sitra_viz::Image) {
+    let key = b.get_i64_le();
+    let w = b.get_u64_le() as usize;
+    let h = b.get_u64_le() as usize;
+    let mut img = sitra_viz::Image::new(w, h);
+    for p in img.pixels_mut() {
+        for c in p.iter_mut() {
+            *c = b.get_f64_le();
+        }
+    }
+    (key, img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitra_mesh::{downsample, ScalarField};
+
+    #[test]
+    fn sampled_block_roundtrip() {
+        let b = BBox3::new([4, 0, 8], [12, 6, 14]);
+        let f = ScalarField::from_fn(b, |p| p[0] as f64 * 1.5 - p[2] as f64);
+        let s = downsample(&f, 2);
+        let bytes = encode_sampled_block(&s);
+        assert_eq!(decode_sampled_block(bytes), s);
+    }
+
+    #[test]
+    fn multimodel_roundtrip() {
+        let m = MultiModel::learn(&[
+            ("T", &[1.0, 2.0, 300.5][..]),
+            ("Y_OH", &[0.001, 0.002][..]),
+        ]);
+        let bytes = encode_multimodel(&m);
+        assert_eq!(bytes.len(), 4 + (4 + 1 + 56) + (4 + 4 + 56));
+        assert_eq!(decode_multimodel(bytes), m);
+    }
+
+    #[test]
+    fn subtree_roundtrip() {
+        let s = Subtree {
+            source: 3,
+            verts: vec![
+                SubtreeVertex {
+                    id: 10,
+                    value: 5.5,
+                    degree: 1,
+                    potential: vec![3],
+                    pinned: true,
+                },
+                SubtreeVertex {
+                    id: 20,
+                    value: -1.0,
+                    degree: 1,
+                    potential: vec![1, 3, 7],
+                    pinned: false,
+                },
+            ],
+            edges: vec![(10, 20)],
+        };
+        assert_eq!(decode_subtree(encode_subtree(&s)), s);
+    }
+
+    #[test]
+    fn empty_subtree_roundtrip() {
+        let s = Subtree {
+            source: 0,
+            verts: vec![],
+            edges: vec![],
+        };
+        assert_eq!(decode_subtree(encode_subtree(&s)), s);
+    }
+
+    #[test]
+    fn comoments_roundtrip() {
+        let m = CoMoments::from_slices(&[1.0, 2.0, 5.0], &[2.0, 4.0, 9.0]);
+        let back = decode_comoments(encode_comoments(&m));
+        assert_eq!(back, m);
+        assert_eq!(encode_comoments(&m).len(), 48);
+    }
+
+    #[test]
+    fn feature_stats_roundtrip() {
+        let sub = Subtree {
+            source: 1,
+            verts: vec![SubtreeVertex {
+                id: 5,
+                value: 2.0,
+                degree: 0,
+                potential: vec![1],
+                pinned: true,
+            }],
+            edges: vec![],
+        };
+        let feats = vec![(5u64, Moments::from_slice(&[1.0, 2.0, 3.0]))];
+        let (s2, f2) = decode_feature_stats(encode_feature_stats(&sub, &feats));
+        assert_eq!(s2, sub);
+        assert_eq!(f2, feats);
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let mut img = sitra_viz::Image::new(3, 2);
+        for (i, p) in img.pixels_mut().iter_mut().enumerate() {
+            *p = [i as f64, 0.5, -1.0, 1.0];
+        }
+        let (key, back) = decode_partial_image(encode_partial_image(-7, &img));
+        assert_eq!(key, -7);
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn encoded_sizes_track_content() {
+        let b = BBox3::from_dims([16, 16, 16]);
+        let f = ScalarField::zeros(b);
+        let s1 = encode_sampled_block(&downsample(&f, 1));
+        let s4 = encode_sampled_block(&downsample(&f, 4));
+        assert!(s1.len() > 40 * s4.len() / 2, "s1 {} s4 {}", s1.len(), s4.len());
+    }
+}

@@ -1,0 +1,125 @@
+//! Network cost model: simulated transfer times for the two data paths.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth model of the interconnect, with separate parameters
+/// for the small-message (SMSG/FMA) and bulk (BTE RDMA) paths.
+///
+/// Defaults approximate the Gemini interconnect of the Cray XK6 the paper
+/// ran on: ~1.5 µs small-message latency, ~6 µs bulk setup, ~5 GB/s
+/// per-link bulk bandwidth, ~1 GB/s effective small-message streaming.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Per-message latency of the SMSG path (seconds).
+    pub smsg_latency: f64,
+    /// Effective bandwidth of the SMSG path (bytes/second).
+    pub smsg_bandwidth: f64,
+    /// Per-transaction setup latency of the BTE path (seconds).
+    pub bte_latency: f64,
+    /// Bulk bandwidth of the BTE path (bytes/second).
+    pub bte_bandwidth: f64,
+    /// Messages at or below this size use SMSG; larger transfers use BTE.
+    pub smsg_threshold: usize,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::gemini()
+    }
+}
+
+impl NetworkModel {
+    /// Parameters approximating the Cray XK6 Gemini interconnect.
+    pub fn gemini() -> Self {
+        Self {
+            smsg_latency: 1.5e-6,
+            smsg_bandwidth: 1.0e9,
+            bte_latency: 6.0e-6,
+            bte_bandwidth: 5.0e9,
+            smsg_threshold: 4096,
+        }
+    }
+
+    /// Which path a transfer of `bytes` takes.
+    pub fn path_for(&self, bytes: usize) -> crate::Path {
+        if bytes <= self.smsg_threshold {
+            crate::Path::Smsg
+        } else {
+            crate::Path::Bte
+        }
+    }
+
+    /// Simulated wall time for a transfer of `bytes` on `path` (seconds).
+    pub fn transfer_time(&self, bytes: usize, path: crate::Path) -> f64 {
+        match path {
+            crate::Path::Smsg => self.smsg_latency + bytes as f64 / self.smsg_bandwidth,
+            crate::Path::Bte => self.bte_latency + bytes as f64 / self.bte_bandwidth,
+        }
+    }
+
+    /// Simulated time with automatic path selection.
+    pub fn auto_transfer_time(&self, bytes: usize) -> f64 {
+        self.transfer_time(bytes, self.path_for(bytes))
+    }
+
+    /// The message size at which both paths take equal time (bytes).
+    /// Below this, SMSG wins on latency; above, BTE wins on bandwidth.
+    pub fn crossover_bytes(&self) -> f64 {
+        // smsg_lat + b/smsg_bw = bte_lat + b/bte_bw
+        (self.bte_latency - self.smsg_latency)
+            / (1.0 / self.smsg_bandwidth - 1.0 / self.bte_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Path;
+
+    #[test]
+    fn path_selection_threshold() {
+        let m = NetworkModel::gemini();
+        assert_eq!(m.path_for(0), Path::Smsg);
+        assert_eq!(m.path_for(4096), Path::Smsg);
+        assert_eq!(m.path_for(4097), Path::Bte);
+        assert_eq!(m.path_for(100 << 20), Path::Bte);
+    }
+
+    #[test]
+    fn small_messages_faster_on_smsg() {
+        let m = NetworkModel::gemini();
+        for bytes in [8, 64, 1024] {
+            assert!(m.transfer_time(bytes, Path::Smsg) < m.transfer_time(bytes, Path::Bte));
+        }
+    }
+
+    #[test]
+    fn large_transfers_faster_on_bte() {
+        let m = NetworkModel::gemini();
+        for bytes in [1 << 20, 64 << 20] {
+            assert!(m.transfer_time(bytes, Path::Bte) < m.transfer_time(bytes, Path::Smsg));
+        }
+    }
+
+    #[test]
+    fn crossover_consistent_with_times() {
+        let m = NetworkModel::gemini();
+        let x = m.crossover_bytes();
+        assert!(x > 0.0);
+        let below = (x * 0.5) as usize;
+        let above = (x * 2.0) as usize;
+        assert!(m.transfer_time(below, Path::Smsg) < m.transfer_time(below, Path::Bte));
+        assert!(m.transfer_time(above, Path::Bte) < m.transfer_time(above, Path::Smsg));
+    }
+
+    #[test]
+    fn time_monotone_in_size() {
+        let m = NetworkModel::gemini();
+        let mut prev = 0.0;
+        for bytes in [0usize, 100, 10_000, 1_000_000, 100_000_000] {
+            let t = m.auto_transfer_time(bytes);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

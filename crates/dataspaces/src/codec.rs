@@ -1,0 +1,61 @@
+//! Field serialization for transport through the space and DART.
+
+use bytes::Bytes;
+use sitra_mesh::{BBox3, ScalarField};
+
+/// Serialize a field's values as little-endian f64 (the bbox travels in
+/// the object metadata, not the payload).
+pub fn field_to_bytes(field: &ScalarField) -> Bytes {
+    let mut out = Vec::with_capacity(field.len() * 8);
+    for v in field.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Reconstruct a field over `bbox` from little-endian f64 bytes. Panics
+/// if the byte length does not match the region.
+pub fn bytes_to_field(bbox: BBox3, data: &Bytes) -> ScalarField {
+    assert_eq!(
+        data.len(),
+        bbox.count() * 8,
+        "payload length does not match region"
+    );
+    let mut vals = Vec::with_capacity(bbox.count());
+    for c in data.chunks_exact(8) {
+        vals.push(f64::from_le_bytes(c.try_into().unwrap()));
+    }
+    ScalarField::from_vec(bbox, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let b = BBox3::new([1, 2, 3], [4, 5, 6]);
+        let f = ScalarField::from_fn(b, |p| p[0] as f64 * 0.5 - p[2] as f64);
+        let bytes = field_to_bytes(&f);
+        assert_eq!(bytes.len(), 27 * 8);
+        assert_eq!(bytes_to_field(b, &bytes), f);
+    }
+
+    #[test]
+    fn preserves_special_values() {
+        let b = BBox3::from_dims([4, 1, 1]);
+        let f = ScalarField::from_vec(b, vec![f64::NAN, f64::INFINITY, -0.0, 1e-300]);
+        let back = bytes_to_field(b, &field_to_bytes(&f));
+        assert!(back.get_linear(0).is_nan());
+        assert_eq!(back.get_linear(1), f64::INFINITY);
+        assert_eq!(back.get_linear(2).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.get_linear(3), 1e-300);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_panics() {
+        let b = BBox3::from_dims([2, 2, 2]);
+        let _ = bytes_to_field(b, &Bytes::from(vec![0u8; 7]));
+    }
+}

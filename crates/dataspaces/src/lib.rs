@@ -1,0 +1,31 @@
+//! # sitra-dataspaces
+//!
+//! An in-process reimplementation of **DataSpaces** (Docan, Parashar,
+//! Klasky, HPDC'10) — the distributed interaction and coordination
+//! service the paper's staging framework is built on — together with the
+//! paper's in-transit **task scheduler**.
+//!
+//! Three pieces:
+//!
+//! * [`space`] — the semantically specialized shared space: versioned,
+//!   named, bounding-box-indexed data objects sharded over multiple
+//!   server instances by hashing (the paper credits this hashing with
+//!   balancing RPC load over the DataSpaces servers). Clients `put`
+//!   regions and `get` arbitrary query boxes; the service returns every
+//!   stored piece intersecting the query and the client assembles them.
+//! * [`sched`] — the pull-based scheduler: in-situ ranks insert
+//!   *data-ready* task descriptors into the task queue; staging buckets
+//!   announce themselves *bucket-ready* and are assigned tasks
+//!   first-come-first-served from the free-bucket list. This asynchronous
+//!   pull model is what absorbs the heterogeneity of analysis run times
+//!   and temporally multiplexes successive timesteps over buckets.
+//! * [`codec`] — `ScalarField` ⇄ bytes for shipping blocks through the
+//!   space or the DART transport.
+
+pub mod codec;
+pub mod sched;
+pub mod space;
+
+pub use codec::{bytes_to_field, field_to_bytes};
+pub use sched::{BucketHandle, SchedStats, Scheduler};
+pub use space::{DataSpaces, ObjectMeta, SpaceStats};

@@ -1,0 +1,343 @@
+//! The in-transit task scheduler: data-ready / bucket-ready events, a
+//! free-bucket list, and first-come-first-served assignment.
+//!
+//! The model follows the paper's Fig. 5 exactly:
+//!
+//! 1. An in-situ computation finishing a timestep notifies the scheduler
+//!    of a **data-ready** event by inserting a task descriptor (what to
+//!    run, on which data regions) into the task queue.
+//! 2. A staging-area bucket (one core of a staging node) with nothing to
+//!    do sends a **bucket-ready** request and parks on its own channel.
+//! 3. Whenever both a task and a free bucket exist, the scheduler pops
+//!    both (FCFS on each side) and hands the task to the bucket, which
+//!    then *pulls* the data it needs directly from the producers.
+//!
+//! The pull-based design means a slow analysis simply keeps its bucket
+//! busy longer while other buckets absorb subsequent timesteps — the
+//! temporal multiplexing that decouples analysis latency from simulation
+//! cadence.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies a staging bucket.
+pub type BucketId = u32;
+
+/// Scheduler counters and the assignment log.
+#[derive(Debug, Clone, Default)]
+pub struct SchedStats {
+    /// Tasks enqueued so far.
+    pub tasks_submitted: u64,
+    /// Tasks assigned so far.
+    pub tasks_assigned: u64,
+    /// Log of `(task_seq, bucket)` assignments in order.
+    pub assignment_log: Vec<(u64, BucketId)>,
+    /// High-water mark of the task queue (backlog indicator: when this
+    /// grows across timesteps, the staging area is undersized for the
+    /// requested analysis frequency).
+    pub max_queue_depth: usize,
+}
+
+struct Inner<T> {
+    queue: VecDeque<(u64, T)>,
+    free_buckets: VecDeque<(BucketId, Sender<(u64, T)>)>,
+    stats: SchedStats,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A generic FCFS pull scheduler over task payloads `T`.
+pub struct Scheduler<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T> Clone for Scheduler<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send + 'static> Default for Scheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> Scheduler<T> {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                queue: VecDeque::new(),
+                free_buckets: VecDeque::new(),
+                stats: SchedStats::default(),
+                next_seq: 0,
+                closed: false,
+            })),
+        }
+    }
+
+    /// Data-ready: enqueue a task. Returns its sequence number. If a
+    /// bucket is parked, the task is handed over immediately.
+    pub fn submit(&self, task: T) -> u64 {
+        let mut g = self.inner.lock();
+        assert!(!g.closed, "scheduler closed");
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.stats.tasks_submitted += 1;
+        g.queue.push_back((seq, task));
+        let depth = g.queue.len();
+        g.stats.max_queue_depth = g.stats.max_queue_depth.max(depth);
+        Self::drain(&mut g);
+        seq
+    }
+
+    fn drain(g: &mut Inner<T>) {
+        while !g.queue.is_empty() && !g.free_buckets.is_empty() {
+            let (seq, task) = g.queue.pop_front().unwrap();
+            let (bucket, tx) = g.free_buckets.pop_front().unwrap();
+            g.stats.tasks_assigned += 1;
+            g.stats.assignment_log.push((seq, bucket));
+            // A dropped bucket loses the task; buckets park before
+            // dropping only via close(), so this send always succeeds in
+            // practice.
+            let _ = tx.send((seq, task));
+        }
+    }
+
+    /// Register a bucket and get its handle.
+    pub fn register_bucket(&self, id: BucketId) -> BucketHandle<T> {
+        BucketHandle {
+            id,
+            sched: self.clone(),
+        }
+    }
+
+    /// Close the scheduler: no further submissions; parked and future
+    /// bucket requests return `None` once the queue drains.
+    pub fn close(&self) {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        // Wake parked buckets with nothing: drop their senders.
+        g.free_buckets.clear();
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> SchedStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+}
+
+/// A staging bucket's connection to the scheduler.
+pub struct BucketHandle<T> {
+    id: BucketId,
+    sched: Scheduler<T>,
+}
+
+impl<T: Send + 'static> BucketHandle<T> {
+    /// This bucket's id.
+    pub fn id(&self) -> BucketId {
+        self.id
+    }
+
+    /// Bucket-ready: request the next task, blocking until one is
+    /// assigned or the scheduler is closed with an empty queue (then
+    /// `None`). FCFS on both the task queue and the bucket list.
+    pub fn request_task(&self) -> Option<(u64, T)> {
+        let rx: Receiver<(u64, T)> = {
+            let mut g = self.sched.inner.lock();
+            if let Some((seq, task)) = g.queue.pop_front() {
+                g.stats.tasks_assigned += 1;
+                g.stats.assignment_log.push((seq, self.id));
+                return Some((seq, task));
+            }
+            if g.closed {
+                return None;
+            }
+            let (tx, rx) = bounded(1);
+            g.free_buckets.push_back((self.id, tx));
+            rx
+        };
+        // Park until a task (sender dropped => closed).
+        rx.recv().ok()
+    }
+
+    /// Like [`Self::request_task`] but gives up after `timeout`. A timed
+    /// out request withdraws the bucket from the free list.
+    pub fn request_task_timeout(&self, timeout: Duration) -> Option<(u64, T)> {
+        let rx: Receiver<(u64, T)> = {
+            let mut g = self.sched.inner.lock();
+            if let Some((seq, task)) = g.queue.pop_front() {
+                g.stats.tasks_assigned += 1;
+                g.stats.assignment_log.push((seq, self.id));
+                return Some((seq, task));
+            }
+            if g.closed {
+                return None;
+            }
+            let (tx, rx) = bounded(1);
+            g.free_buckets.push_back((self.id, tx));
+            rx
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(t) => Some(t),
+            Err(_) => {
+                // Withdraw (if still parked) so a future task is not sent
+                // into the void.
+                let mut g = self.sched.inner.lock();
+                g.free_buckets.retain(|(id, _)| *id != self.id);
+                // A task may have raced in between timeout and lock: it
+                // would already be in rx.
+                rx.try_recv().ok()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_assignment_when_task_waiting() {
+        let s: Scheduler<&'static str> = Scheduler::new();
+        s.submit("t0");
+        let b = s.register_bucket(1);
+        assert_eq!(b.request_task(), Some((0, "t0")));
+        let st = s.stats();
+        assert_eq!(st.tasks_assigned, 1);
+        assert_eq!(st.assignment_log, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn parked_bucket_gets_task_on_submit() {
+        let s: Scheduler<u32> = Scheduler::new();
+        let b = s.register_bucket(3);
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || b.request_task());
+        std::thread::sleep(Duration::from_millis(50));
+        s2.submit(99);
+        assert_eq!(h.join().unwrap(), Some((0, 99)));
+    }
+
+    #[test]
+    fn fcfs_task_order() {
+        let s: Scheduler<u64> = Scheduler::new();
+        for i in 0..10 {
+            s.submit(i);
+        }
+        let b = s.register_bucket(0);
+        for i in 0..10 {
+            let (seq, task) = b.request_task().unwrap();
+            assert_eq!(seq, i);
+            assert_eq!(task, i);
+        }
+    }
+
+    #[test]
+    fn fcfs_bucket_order() {
+        // Buckets that parked first are served first.
+        let s: Scheduler<u32> = Scheduler::new();
+        let b1 = s.register_bucket(1);
+        let b2 = s.register_bucket(2);
+        let h1 = std::thread::spawn(move || b1.request_task());
+        std::thread::sleep(Duration::from_millis(80));
+        let h2 = std::thread::spawn(move || b2.request_task());
+        std::thread::sleep(Duration::from_millis(80));
+        s.submit(10);
+        s.submit(20);
+        assert_eq!(h1.join().unwrap(), Some((0, 10)));
+        assert_eq!(h2.join().unwrap(), Some((1, 20)));
+        assert_eq!(s.stats().assignment_log, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn no_task_lost_under_contention() {
+        let s: Scheduler<u64> = Scheduler::new();
+        let n_tasks = 200u64;
+        let n_buckets = 8;
+        let done: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers: Vec<_> = (0..n_buckets)
+            .map(|i| {
+                let b = s.register_bucket(i);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    while let Some((_, t)) = b.request_task() {
+                        done.lock().push(t);
+                    }
+                })
+            })
+            .collect();
+        for i in 0..n_tasks {
+            s.submit(i);
+        }
+        // Wait for the queue to drain, then close.
+        while s.stats().tasks_assigned < n_tasks {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        s.close();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let mut got = done.lock().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..n_tasks).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn close_releases_parked_buckets() {
+        let s: Scheduler<u32> = Scheduler::new();
+        let b = s.register_bucket(1);
+        let h = std::thread::spawn(move || b.request_task());
+        std::thread::sleep(Duration::from_millis(50));
+        s.close();
+        assert_eq!(h.join().unwrap(), None);
+        // Post-close requests return None immediately.
+        let b2 = s.register_bucket(2);
+        assert_eq!(b2.request_task(), None);
+    }
+
+    #[test]
+    fn timeout_withdraws_bucket() {
+        let s: Scheduler<u32> = Scheduler::new();
+        let b = s.register_bucket(1);
+        assert_eq!(b.request_task_timeout(Duration::from_millis(30)), None);
+        // The bucket is no longer parked: a submitted task stays queued.
+        s.submit(5);
+        assert_eq!(s.queue_depth(), 1);
+        // And can still be fetched later.
+        assert_eq!(b.request_task(), Some((0, 5)));
+    }
+
+    #[test]
+    fn queue_depth_high_water_mark() {
+        let s: Scheduler<u32> = Scheduler::new();
+        for i in 0..5 {
+            s.submit(i);
+        }
+        let b = s.register_bucket(0);
+        for _ in 0..5 {
+            b.request_task().unwrap();
+        }
+        assert_eq!(s.stats().max_queue_depth, 5);
+        assert_eq!(s.queue_depth(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn submit_after_close_panics() {
+        let s: Scheduler<u32> = Scheduler::new();
+        s.close();
+        s.submit(1);
+    }
+}

@@ -1,0 +1,291 @@
+//! The versioned, bbox-indexed shared space, sharded over servers.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use sitra_mesh::{field::assemble, BBox3, ScalarField};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Metadata of one stored object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectMeta {
+    /// Variable name.
+    pub var: String,
+    /// Version (timestep).
+    pub version: u64,
+    /// Region covered.
+    pub bbox: BBox3,
+}
+
+struct Stored {
+    bbox: BBox3,
+    data: Bytes,
+}
+
+/// One server shard: a map from `(var, version)` to the objects stored
+/// under it.
+#[derive(Default)]
+struct Server {
+    objects: RwLock<HashMap<(String, u64), Vec<Stored>>>,
+}
+
+/// Per-space counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceStats {
+    /// Objects stored per server (RPC balance diagnostic).
+    pub objects_per_server: Vec<u64>,
+    /// Total bytes resident.
+    pub resident_bytes: u64,
+}
+
+/// The shared space: `n` server shards addressed by hashing, exactly as
+/// the paper describes ("the hashing used to balance the RPC messages
+/// over multiple DataSpaces servers").
+pub struct DataSpaces {
+    servers: Vec<Server>,
+}
+
+impl DataSpaces {
+    /// Bring up a space with `servers` shards.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        Self {
+            servers: (0..servers).map(|_| Server::default()).collect(),
+        }
+    }
+
+    /// Number of server shards.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The shard responsible for an object: hash of name, version, and
+    /// the region's lower corner (so different blocks of the same
+    /// timestep spread over servers).
+    fn shard(&self, var: &str, version: u64, bbox: &BBox3) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        var.hash(&mut h);
+        version.hash(&mut h);
+        bbox.lo.hash(&mut h);
+        (h.finish() % self.servers.len() as u64) as usize
+    }
+
+    /// Store an object. Returns the shard index it landed on.
+    pub fn put(&self, var: &str, version: u64, bbox: BBox3, data: Bytes) -> usize {
+        let s = self.shard(var, version, &bbox);
+        self.servers[s]
+            .objects
+            .write()
+            .entry((var.to_string(), version))
+            .or_default()
+            .push(Stored { bbox, data });
+        s
+    }
+
+    /// Store a field (serializing its values).
+    pub fn put_field(&self, var: &str, version: u64, field: &ScalarField) -> usize {
+        self.put(
+            var,
+            version,
+            field.bbox(),
+            crate::codec::field_to_bytes(field),
+        )
+    }
+
+    /// Spatial query: every stored piece of `(var, version)` intersecting
+    /// `query`, clipped metadata included. Pieces are returned whole (the
+    /// caller clips during assembly), matching the RDMA-pull model where
+    /// the consumer reads whole exported blocks.
+    pub fn get(&self, var: &str, version: u64, query: &BBox3) -> Vec<(BBox3, Bytes)> {
+        let key = (var.to_string(), version);
+        let mut out = Vec::new();
+        for server in &self.servers {
+            let guard = server.objects.read();
+            if let Some(objs) = guard.get(&key) {
+                for o in objs {
+                    if o.bbox.intersect(query).is_some() {
+                        out.push((o.bbox, o.data.clone()));
+                    }
+                }
+            }
+        }
+        // Deterministic order regardless of sharding.
+        out.sort_by_key(|(b, _)| b.lo);
+        out
+    }
+
+    /// Spatial query assembled into one field over `query`; uncovered
+    /// points become `fill`.
+    pub fn get_assembled(
+        &self,
+        var: &str,
+        version: u64,
+        query: &BBox3,
+        fill: f64,
+    ) -> ScalarField {
+        let pieces: Vec<ScalarField> = self
+            .get(var, version, query)
+            .into_iter()
+            .map(|(bbox, data)| {
+                crate::codec::bytes_to_field(bbox, &data).extract(&bbox.intersect(query).unwrap())
+            })
+            .collect();
+        assemble(*query, &pieces, fill)
+    }
+
+    /// Drop every object of a version (staging memory reclamation once a
+    /// timestep's analyses are done).
+    pub fn evict_version(&self, version: u64) {
+        for server in &self.servers {
+            server.objects.write().retain(|(_, v), _| *v != version);
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SpaceStats {
+        let mut per = Vec::with_capacity(self.servers.len());
+        let mut bytes = 0u64;
+        for server in &self.servers {
+            let guard = server.objects.read();
+            let count: u64 = guard.values().map(|v| v.len() as u64).sum();
+            bytes += guard
+                .values()
+                .flat_map(|v| v.iter().map(|o| o.data.len() as u64))
+                .sum::<u64>();
+            per.push(count);
+        }
+        SpaceStats {
+            objects_per_server: per,
+            resident_bytes: bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitra_mesh::Decomposition;
+
+    fn coord_field(b: BBox3) -> ScalarField {
+        ScalarField::from_fn(b, |p| (p[0] * 10_000 + p[1] * 100 + p[2]) as f64)
+    }
+
+    #[test]
+    fn put_get_exact_union() {
+        let ds = DataSpaces::new(4);
+        let g = BBox3::from_dims([12, 8, 6]);
+        let whole = coord_field(g);
+        let d = Decomposition::new(g, [3, 2, 2]);
+        for r in 0..d.rank_count() {
+            ds.put_field("T", 7, &whole.extract(&d.block(r)));
+        }
+        // Any query assembles to exactly the source data.
+        for q in [
+            g,
+            BBox3::new([2, 2, 2], [9, 6, 5]),
+            BBox3::new([0, 0, 0], [1, 1, 1]),
+        ] {
+            let got = ds.get_assembled("T", 7, &q, f64::NAN);
+            assert_eq!(got, whole.extract(&q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn versions_are_isolated() {
+        let ds = DataSpaces::new(2);
+        let b = BBox3::from_dims([4, 4, 4]);
+        ds.put_field("T", 1, &ScalarField::new_fill(b, 1.0));
+        ds.put_field("T", 2, &ScalarField::new_fill(b, 2.0));
+        assert_eq!(ds.get_assembled("T", 1, &b, 0.0).get([0, 0, 0]), 1.0);
+        assert_eq!(ds.get_assembled("T", 2, &b, 0.0).get([0, 0, 0]), 2.0);
+        assert!(ds.get("T", 3, &b).is_empty());
+    }
+
+    #[test]
+    fn variables_are_isolated() {
+        let ds = DataSpaces::new(2);
+        let b = BBox3::from_dims([2, 2, 2]);
+        ds.put_field("T", 1, &ScalarField::new_fill(b, 300.0));
+        ds.put_field("P", 1, &ScalarField::new_fill(b, 1.0));
+        assert_eq!(ds.get("T", 1, &b).len(), 1);
+        assert_eq!(ds.get_assembled("P", 1, &b, 0.0).get([1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn uncovered_regions_get_fill() {
+        let ds = DataSpaces::new(2);
+        let stored = BBox3::new([0, 0, 0], [2, 2, 2]);
+        ds.put_field("T", 1, &ScalarField::new_fill(stored, 5.0));
+        let q = BBox3::from_dims([4, 2, 2]);
+        let f = ds.get_assembled("T", 1, &q, -1.0);
+        assert_eq!(f.get([1, 1, 1]), 5.0);
+        assert_eq!(f.get([3, 1, 1]), -1.0);
+    }
+
+    #[test]
+    fn disjoint_query_returns_nothing() {
+        let ds = DataSpaces::new(2);
+        ds.put_field(
+            "T",
+            1,
+            &ScalarField::new_fill(BBox3::from_dims([2, 2, 2]), 1.0),
+        );
+        let far = BBox3::new([10, 10, 10], [12, 12, 12]);
+        assert!(ds.get("T", 1, &far).is_empty());
+    }
+
+    #[test]
+    fn hashing_balances_servers() {
+        let ds = DataSpaces::new(8);
+        let g = BBox3::from_dims([32, 32, 32]);
+        let d = Decomposition::new(g, [4, 4, 4]); // 64 blocks
+        let whole = coord_field(g);
+        for v in 0..4u64 {
+            for r in 0..d.rank_count() {
+                ds.put_field("T", v, &whole.extract(&d.block(r)));
+            }
+        }
+        let stats = ds.stats();
+        let total: u64 = stats.objects_per_server.iter().sum();
+        assert_eq!(total, 256);
+        // No server holds more than 3x the fair share, none is empty.
+        let fair = total / 8;
+        for &c in &stats.objects_per_server {
+            assert!(c > 0, "a server got nothing: {:?}", stats.objects_per_server);
+            assert!(c <= 3 * fair, "imbalanced: {:?}", stats.objects_per_server);
+        }
+    }
+
+    #[test]
+    fn eviction_reclaims_memory() {
+        let ds = DataSpaces::new(2);
+        let b = BBox3::from_dims([8, 8, 8]);
+        ds.put_field("T", 1, &ScalarField::new_fill(b, 1.0));
+        ds.put_field("T", 2, &ScalarField::new_fill(b, 2.0));
+        let before = ds.stats().resident_bytes;
+        ds.evict_version(1);
+        let after = ds.stats().resident_bytes;
+        assert_eq!(after, before / 2);
+        assert!(ds.get("T", 1, &b).is_empty());
+        assert!(!ds.get("T", 2, &b).is_empty());
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets() {
+        let ds = std::sync::Arc::new(DataSpaces::new(4));
+        let g = BBox3::from_dims([16, 16, 4]);
+        let d = Decomposition::new(g, [4, 4, 1]);
+        let whole = coord_field(g);
+        std::thread::scope(|s| {
+            for r in 0..d.rank_count() {
+                let ds = &ds;
+                let blk = whole.extract(&d.block(r));
+                s.spawn(move || {
+                    ds.put_field("T", 1, &blk);
+                });
+            }
+        });
+        assert_eq!(ds.get_assembled("T", 1, &g, f64::NAN), whole);
+    }
+}

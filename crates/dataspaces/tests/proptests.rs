@@ -1,0 +1,82 @@
+//! Property-based tests for the staging service: the object space behaves
+//! like a reference map with spatial queries, and the scheduler is a
+//! lossless FCFS queue under arbitrary interleavings.
+
+use proptest::prelude::*;
+use sitra_dataspaces::{DataSpaces, Scheduler};
+use sitra_mesh::{BBox3, ScalarField};
+use std::time::Duration;
+
+fn arb_box() -> impl Strategy<Value = BBox3> {
+    (
+        prop::array::uniform3(0usize..10),
+        prop::array::uniform3(1usize..6),
+    )
+        .prop_map(|(lo, ext)| {
+            BBox3::new(lo, [lo[0] + ext[0], lo[1] + ext[1], lo[2] + ext[2]])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn space_queries_match_reference(puts in prop::collection::vec((arb_box(), 0u64..3), 1..20),
+                                     query in arb_box(),
+                                     servers in 1usize..6) {
+        let ds = DataSpaces::new(servers);
+        // Last write wins per point is NOT the semantic (objects
+        // accumulate); the reference is "every stored object intersecting
+        // the query is returned".
+        for (i, (bbox, version)) in puts.iter().enumerate() {
+            let f = ScalarField::new_fill(*bbox, i as f64);
+            ds.put_field("T", *version, &f);
+        }
+        for version in 0u64..3 {
+            let got = ds.get("T", version, &query);
+            let expect: Vec<BBox3> = puts
+                .iter()
+                .filter(|(b, v)| *v == version && b.intersect(&query).is_some())
+                .map(|(b, _)| *b)
+                .collect();
+            prop_assert_eq!(got.len(), expect.len());
+            for (b, data) in &got {
+                prop_assert!(expect.contains(b));
+                prop_assert_eq!(data.len(), b.count() * 8);
+            }
+        }
+        // Total object count conserved across shards.
+        let stats = ds.stats();
+        prop_assert_eq!(stats.objects_per_server.iter().sum::<u64>() as usize, puts.len());
+    }
+
+    #[test]
+    fn scheduler_lossless_fcfs_under_interleaving(schedule in prop::collection::vec(any::<bool>(), 1..60)) {
+        // true = submit a task, false = a bucket requests (with timeout so
+        // an excess of requests doesn't block).
+        let s: Scheduler<u64> = Scheduler::new();
+        let bucket = s.register_bucket(0);
+        let mut submitted = 0u64;
+        let mut received: Vec<u64> = Vec::new();
+        for op in schedule {
+            if op {
+                s.submit(submitted);
+                submitted += 1;
+            } else if let Some((seq, task)) =
+                bucket.request_task_timeout(Duration::from_millis(5))
+            {
+                prop_assert_eq!(seq, task, "seq equals payload by construction");
+                received.push(task);
+            }
+        }
+        // Drain the rest.
+        while let Some((_, task)) = bucket.request_task_timeout(Duration::from_millis(5)) {
+            received.push(task);
+        }
+        // FCFS: received in submission order, none lost.
+        prop_assert_eq!(received, (0..submitted).collect::<Vec<_>>());
+        let stats = s.stats();
+        prop_assert_eq!(stats.tasks_submitted, submitted);
+        prop_assert_eq!(stats.tasks_assigned, submitted);
+    }
+}

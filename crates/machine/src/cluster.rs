@@ -1,0 +1,121 @@
+//! Cluster and core-allocation arithmetic (the paper's Table I rows).
+
+use serde::{Deserialize, Serialize};
+
+/// A machine allocation split into simulation/in-situ cores, DataSpaces
+/// service cores, and in-transit (staging bucket) cores — the three-way
+/// split of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Cores running the simulation + in-situ stages (one rank each).
+    pub simulation_cores: usize,
+    /// Cores running DataSpaces servers.
+    pub dataspaces_cores: usize,
+    /// Cores acting as staging buckets.
+    pub intransit_cores: usize,
+    /// Cores per node (16 on the XK6).
+    pub cores_per_node: usize,
+}
+
+impl ClusterSpec {
+    /// The paper's 4896-core configuration: 16×28×10 = 4480 simulation
+    /// cores, 160 DataSpaces cores, 256 in-transit cores.
+    pub fn jaguar_4896() -> Self {
+        Self {
+            simulation_cores: 16 * 28 * 10,
+            dataspaces_cores: 160,
+            intransit_cores: 256,
+            cores_per_node: 16,
+        }
+    }
+
+    /// The paper's 9440-core configuration: 32×28×10 = 8960 simulation
+    /// cores, 256 DataSpaces cores, 224 in-transit cores.
+    pub fn jaguar_9440() -> Self {
+        Self {
+            simulation_cores: 32 * 28 * 10,
+            dataspaces_cores: 256,
+            intransit_cores: 224,
+            cores_per_node: 16,
+        }
+    }
+
+    /// Total allocated cores.
+    pub fn total_cores(&self) -> usize {
+        self.simulation_cores + self.dataspaces_cores + self.intransit_cores
+    }
+
+    /// Nodes needed for the allocation.
+    pub fn nodes(&self) -> usize {
+        self.total_cores().div_ceil(self.cores_per_node)
+    }
+
+    /// Fraction of the allocation spent on secondary (staging) resources.
+    pub fn staging_fraction(&self) -> f64 {
+        (self.dataspaces_cores + self.intransit_cores) as f64 / self.total_cores() as f64
+    }
+}
+
+/// Strong-scaling compute model: time = cells-per-core × seconds-per-cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeModel {
+    /// Seconds of compute per grid cell per step for the simulation.
+    pub sim_seconds_per_cell: f64,
+}
+
+impl ComputeModel {
+    /// Calibrate from a known (cells/core, seconds/step) pair — e.g. the
+    /// paper's 100×49×43 cells in 16.85 s.
+    pub fn calibrate(cells_per_core: usize, seconds_per_step: f64) -> Self {
+        Self {
+            sim_seconds_per_cell: seconds_per_step / cells_per_core as f64,
+        }
+    }
+
+    /// Per-step simulation time for a given per-core block size.
+    pub fn step_time(&self, cells_per_core: usize) -> f64 {
+        self.sim_seconds_per_cell * cells_per_core as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_allocations() {
+        let a = ClusterSpec::jaguar_4896();
+        assert_eq!(a.simulation_cores, 4480);
+        assert_eq!(a.total_cores(), 4896);
+        assert_eq!(a.nodes(), 306);
+        let b = ClusterSpec::jaguar_9440();
+        assert_eq!(b.simulation_cores, 8960);
+        assert_eq!(b.total_cores(), 9440);
+        // Staging overhead is a small fraction of the machine.
+        assert!(a.staging_fraction() < 0.1);
+        assert!(b.staging_fraction() < 0.06);
+    }
+
+    #[test]
+    fn strong_scaling_halves_step_time() {
+        // Calibrated on the paper's 4896-core row, the model must
+        // reproduce the 9440-core row: half the cells per core, half the
+        // time (16.85 s -> 8.42 s).
+        let m = ComputeModel::calibrate(100 * 49 * 43, 16.85);
+        let t1 = m.step_time(100 * 49 * 43);
+        let t2 = m.step_time(50 * 49 * 43);
+        assert!((t1 - 16.85).abs() < 1e-9);
+        assert!((t2 - 8.425).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nodes_round_up() {
+        let s = ClusterSpec {
+            simulation_cores: 17,
+            dataspaces_cores: 0,
+            intransit_cores: 0,
+            cores_per_node: 16,
+        };
+        assert_eq!(s.nodes(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sitra-machine
+//!
+//! A discrete-event model of the machine the paper ran on (Jaguar, the
+//! Cray XK6 at ORNL: 18,688 nodes × 16 cores, Gemini interconnect,
+//! Lustre filesystem) — used to *replay* the hybrid pipeline at paper
+//! scale (thousands of ranks) on a laptop.
+//!
+//! Nothing in the analytics crates depends on this model; the live
+//! pipeline runs for real at small scale. The model exists so the
+//! benchmark harness can regenerate Tables I/II and Fig. 6 at the
+//! paper's 4896/9440-core configurations: per-kernel *rates* are
+//! calibrated by timing our real Rust kernels, and the model supplies
+//! the machine-level arithmetic (strong-scaling compute, OST-limited
+//! I/O, Gemini transfer costs) plus an event-driven simulation of the
+//! staging pipeline (bucket scheduling, temporal multiplexing,
+//! backlog).
+//!
+//! Modules:
+//! * [`cluster`] — core-allocation arithmetic of Table I.
+//! * [`io`] — the OST-limited file-per-process I/O model.
+//! * [`pipeline`] — the discrete-event staging-pipeline simulator.
+
+pub mod cluster;
+pub mod io;
+pub mod pipeline;
+
+pub use cluster::ClusterSpec;
+pub use io::IoModel;
+pub use pipeline::{simulate_pipeline, PipelineModel, PipelineReport};
+pub use sitra_dart::NetworkModel;

@@ -1,0 +1,104 @@
+//! Property-based tests for the discrete-event pipeline model: basic
+//! conservation laws and the queueing-theory sanity conditions.
+
+use proptest::prelude::*;
+use sitra_machine::{simulate_pipeline, IoModel, PipelineModel};
+
+fn arb_model() -> impl Strategy<Value = PipelineModel> {
+    (
+        1usize..16,
+        0.5..50.0f64,
+        0.0..5.0f64,
+        0.0..0.5f64,
+        0.0..5.0f64,
+        0.0..200.0f64,
+        1usize..8,
+        4usize..120,
+    )
+        .prop_map(
+            |(n_buckets, sim, insitu, blocking, asynch, intransit, interval, steps)| {
+                PipelineModel {
+                    n_buckets,
+                    sim_step_time: sim,
+                    insitu_time: insitu,
+                    movement_blocking: blocking,
+                    movement_async: asynch,
+                    intransit_time: intransit,
+                    analysis_interval: interval,
+                    n_steps: steps,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn conservation_and_bounds(m in arb_model()) {
+        let r = simulate_pipeline(&m);
+        // Makespan covers the simulation and every task.
+        prop_assert!(r.makespan >= r.sim_finish - 1e-9);
+        // Utilization in [0, 1].
+        prop_assert!(r.bucket_utilization >= 0.0 && r.bucket_utilization <= 1.0 + 1e-9);
+        // One latency entry per analysis step.
+        let due = m.n_steps / m.analysis_interval;
+        prop_assert_eq!(r.latencies.len(), due);
+        // Latency at least the data path length.
+        for &l in &r.latencies {
+            prop_assert!(l >= m.movement_async + m.intransit_time - 1e-9);
+        }
+        // Overhead fraction consistent with inputs.
+        let per = m.insitu_time + m.movement_blocking;
+        let expect = (due as f64 * per)
+            / (m.n_steps as f64 * m.sim_step_time + due as f64 * per);
+        prop_assert!((r.sim_overhead_fraction - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_rule_predicts_sustainability(m in arb_model()) {
+        let r = simulate_pipeline(&m);
+        let due = m.n_steps / m.analysis_interval;
+        if due < 8 {
+            return Ok(()); // too short to classify
+        }
+        let period = m.analysis_interval as f64 * m.sim_step_time
+            + m.insitu_time
+            + m.movement_blocking;
+        let demand = m.intransit_time / period; // busy buckets needed
+        let capacity = m.n_buckets as f64;
+        // Comfortably under capacity must be sustainable; comfortably
+        // over must not be.
+        if demand < 0.8 * capacity {
+            prop_assert!(r.sustainable,
+                "demand {demand:.2} < capacity {capacity} but flagged unsustainable");
+        }
+        if demand > 1.25 * capacity && due >= 16 {
+            prop_assert!(!r.sustainable,
+                "demand {demand:.2} > capacity {capacity} but flagged sustainable");
+        }
+    }
+
+    #[test]
+    fn more_buckets_never_hurt(m in arb_model()) {
+        let r1 = simulate_pipeline(&m);
+        let r2 = simulate_pipeline(&PipelineModel {
+            n_buckets: m.n_buckets * 2,
+            ..m
+        });
+        prop_assert!(r2.makespan <= r1.makespan + 1e-9);
+        prop_assert!(r2.max_backlog <= r1.max_backlog);
+        prop_assert!(r2.mean_latency <= r1.mean_latency + 1e-9);
+    }
+
+    #[test]
+    fn io_model_monotone(bytes_a in 1usize..1_000_000_000,
+                         bytes_b in 1usize..1_000_000_000,
+                         files in 1usize..10_000) {
+        let io = IoModel::jaguar_lustre();
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(io.write_time(lo, files) <= io.write_time(hi, files));
+        prop_assert!(io.read_time(lo, files) <= io.read_time(hi, files));
+        prop_assert!(io.write_time(lo, files) > 0.0);
+    }
+}

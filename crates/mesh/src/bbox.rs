@@ -1,0 +1,233 @@
+//! Axis-aligned integer bounding boxes over the global grid.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open axis-aligned box of grid points: `lo` inclusive, `hi`
+/// exclusive, per axis. The unit of both bounds is global grid coordinates.
+///
+/// `BBox3` is the descriptor attached to every block of field data that
+/// moves through the system — the simulation's block decomposition, ghost
+/// regions, downsampled tiles, and the DataSpaces spatial index all speak
+/// in terms of these boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BBox3 {
+    /// Inclusive lower corner `(i, j, k)`.
+    pub lo: [usize; 3],
+    /// Exclusive upper corner `(i, j, k)`.
+    pub hi: [usize; 3],
+}
+
+impl BBox3 {
+    /// Create a box from corners. Panics if `hi < lo` on any axis.
+    pub fn new(lo: [usize; 3], hi: [usize; 3]) -> Self {
+        for a in 0..3 {
+            assert!(lo[a] <= hi[a], "BBox3: lo > hi on axis {a}: {lo:?} {hi:?}");
+        }
+        Self { lo, hi }
+    }
+
+    /// The box covering `[0, dims)` on each axis.
+    pub fn from_dims(dims: [usize; 3]) -> Self {
+        Self::new([0, 0, 0], dims)
+    }
+
+    /// Extent (number of grid points) along each axis.
+    pub fn dims(&self) -> [usize; 3] {
+        [
+            self.hi[0] - self.lo[0],
+            self.hi[1] - self.lo[1],
+            self.hi[2] - self.lo[2],
+        ]
+    }
+
+    /// Total number of grid points contained in the box.
+    pub fn count(&self) -> usize {
+        let d = self.dims();
+        d[0] * d[1] * d[2]
+    }
+
+    /// True if the box contains no points.
+    pub fn is_empty(&self) -> bool {
+        (0..3).any(|a| self.hi[a] == self.lo[a])
+    }
+
+    /// True if the global coordinate `p` lies inside the box.
+    pub fn contains(&self, p: [usize; 3]) -> bool {
+        (0..3).all(|a| p[a] >= self.lo[a] && p[a] < self.hi[a])
+    }
+
+    /// True if `other` is entirely inside `self`.
+    pub fn contains_box(&self, other: &BBox3) -> bool {
+        other.is_empty()
+            || ((0..3).all(|a| other.lo[a] >= self.lo[a] && other.hi[a] <= self.hi[a]))
+    }
+
+    /// Intersection of two boxes, or `None` if they do not overlap in at
+    /// least one grid point.
+    pub fn intersect(&self, other: &BBox3) -> Option<BBox3> {
+        let mut lo = [0; 3];
+        let mut hi = [0; 3];
+        for a in 0..3 {
+            lo[a] = self.lo[a].max(other.lo[a]);
+            hi[a] = self.hi[a].min(other.hi[a]);
+            if hi[a] <= lo[a] {
+                return None;
+            }
+        }
+        Some(BBox3 { lo, hi })
+    }
+
+    /// Smallest box covering both inputs.
+    pub fn cover(&self, other: &BBox3) -> BBox3 {
+        let mut lo = [0; 3];
+        let mut hi = [0; 3];
+        for a in 0..3 {
+            lo[a] = self.lo[a].min(other.lo[a]);
+            hi[a] = self.hi[a].max(other.hi[a]);
+        }
+        BBox3 { lo, hi }
+    }
+
+    /// Expand by `h` points on every side, clamped to `clamp`.
+    ///
+    /// This is the "add a ghost halo of width `h`" operation: the result is
+    /// the region a rank needs in order to run a stencil or build merge-tree
+    /// boundary information, truncated at the physical domain boundary.
+    pub fn grow_clamped(&self, h: usize, clamp: &BBox3) -> BBox3 {
+        let mut lo = [0; 3];
+        let mut hi = [0; 3];
+        for a in 0..3 {
+            lo[a] = self.lo[a].saturating_sub(h).max(clamp.lo[a]);
+            hi[a] = (self.hi[a] + h).min(clamp.hi[a]);
+        }
+        BBox3 { lo, hi }
+    }
+
+    /// Linear index of global coordinate `p` relative to this box
+    /// (x fastest). Panics in debug builds if `p` is outside.
+    pub fn local_index(&self, p: [usize; 3]) -> usize {
+        debug_assert!(self.contains(p), "{p:?} outside {self:?}");
+        let d = self.dims();
+        let i = p[0] - self.lo[0];
+        let j = p[1] - self.lo[1];
+        let k = p[2] - self.lo[2];
+        (k * d[1] + j) * d[0] + i
+    }
+
+    /// Inverse of [`BBox3::local_index`].
+    pub fn coord_of(&self, idx: usize) -> [usize; 3] {
+        let d = self.dims();
+        debug_assert!(idx < self.count());
+        let i = idx % d[0];
+        let j = (idx / d[0]) % d[1];
+        let k = idx / (d[0] * d[1]);
+        [self.lo[0] + i, self.lo[1] + j, self.lo[2] + k]
+    }
+
+    /// Iterate over all global coordinates in the box, x fastest.
+    pub fn iter(&self) -> impl Iterator<Item = [usize; 3]> + '_ {
+        let b = *self;
+        (b.lo[2]..b.hi[2]).flat_map(move |k| {
+            (b.lo[1]..b.hi[1])
+                .flat_map(move |j| (b.lo[0]..b.hi[0]).map(move |i| [i, j, k]))
+        })
+    }
+
+    /// Number of bytes occupied by one double-precision variable over this
+    /// region.
+    pub fn bytes(&self) -> usize {
+        self.count() * crate::BYTES_PER_VALUE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_and_count() {
+        let b = BBox3::new([1, 2, 3], [4, 6, 9]);
+        assert_eq!(b.dims(), [3, 4, 6]);
+        assert_eq!(b.count(), 72);
+        assert!(!b.is_empty());
+        assert_eq!(b.bytes(), 72 * 8);
+    }
+
+    #[test]
+    fn empty_box() {
+        let b = BBox3::new([5, 5, 5], [5, 9, 9]);
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        assert!(!b.contains([5, 5, 5]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_box_panics() {
+        let _ = BBox3::new([2, 0, 0], [1, 1, 1]);
+    }
+
+    #[test]
+    fn contains_half_open() {
+        let b = BBox3::from_dims([2, 2, 2]);
+        assert!(b.contains([0, 0, 0]));
+        assert!(b.contains([1, 1, 1]));
+        assert!(!b.contains([2, 0, 0]));
+        assert!(!b.contains([0, 2, 1]));
+    }
+
+    #[test]
+    fn intersect_overlap() {
+        let a = BBox3::new([0, 0, 0], [4, 4, 4]);
+        let b = BBox3::new([2, 2, 2], [6, 6, 6]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, BBox3::new([2, 2, 2], [4, 4, 4]));
+        // Intersection is symmetric.
+        assert_eq!(b.intersect(&a).unwrap(), i);
+    }
+
+    #[test]
+    fn intersect_disjoint_and_touching() {
+        let a = BBox3::new([0, 0, 0], [2, 2, 2]);
+        let b = BBox3::new([2, 0, 0], [4, 2, 2]); // shares a face, no points
+        assert!(a.intersect(&b).is_none());
+        let c = BBox3::new([3, 3, 3], [5, 5, 5]);
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn cover_is_superset() {
+        let a = BBox3::new([0, 0, 0], [2, 2, 2]);
+        let b = BBox3::new([5, 1, 0], [6, 9, 1]);
+        let c = a.cover(&b);
+        assert!(c.contains_box(&a));
+        assert!(c.contains_box(&b));
+        assert_eq!(c, BBox3::new([0, 0, 0], [6, 9, 2]));
+    }
+
+    #[test]
+    fn grow_clamps_at_domain() {
+        let dom = BBox3::from_dims([10, 10, 10]);
+        let b = BBox3::new([0, 4, 8], [2, 6, 10]);
+        let g = b.grow_clamped(2, &dom);
+        assert_eq!(g, BBox3::new([0, 2, 6], [4, 8, 10]));
+    }
+
+    #[test]
+    fn local_index_roundtrip() {
+        let b = BBox3::new([3, 5, 7], [6, 9, 12]);
+        for (n, p) in b.iter().enumerate() {
+            assert_eq!(b.local_index(p), n);
+            assert_eq!(b.coord_of(n), p);
+        }
+        assert_eq!(b.iter().count(), b.count());
+    }
+
+    #[test]
+    fn contains_box_edge_cases() {
+        let a = BBox3::from_dims([4, 4, 4]);
+        assert!(a.contains_box(&a));
+        assert!(a.contains_box(&BBox3::new([1, 1, 1], [1, 2, 2]))); // empty
+        assert!(!a.contains_box(&BBox3::new([1, 1, 1], [5, 2, 2])));
+    }
+}

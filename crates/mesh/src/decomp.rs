@@ -1,0 +1,263 @@
+//! Regular block decomposition of a global grid across ranks.
+
+use crate::BBox3;
+use serde::{Deserialize, Serialize};
+
+/// A Cartesian decomposition of a global grid into `px × py × pz`
+/// rectangular blocks, one per rank.
+///
+/// This mirrors S3D's topology: in the paper, the 1600×1372×430 grid is
+/// split into per-core blocks of 100×49×43 (4480 ranks) or 50×49×43 (8960
+/// ranks). When an axis length does not divide evenly, the remainder points
+/// are distributed one-per-block to the lowest-indexed blocks of that axis,
+/// so block sizes differ by at most one point per axis.
+///
+/// Rank numbering is x-fastest: `rank = (pz_idx * py + py_idx) * px + px_idx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decomposition {
+    global: BBox3,
+    parts: [usize; 3],
+}
+
+impl Decomposition {
+    /// Decompose `global` into `parts[0] × parts[1] × parts[2]` blocks.
+    ///
+    /// Panics if any axis has more parts than points (which would force
+    /// empty blocks) or zero parts.
+    pub fn new(global: BBox3, parts: [usize; 3]) -> Self {
+        let d = global.dims();
+        for a in 0..3 {
+            assert!(parts[a] > 0, "decomposition needs >= 1 part per axis");
+            assert!(
+                parts[a] <= d[a],
+                "axis {a}: {} parts > {} points",
+                parts[a],
+                d[a]
+            );
+        }
+        Self { global, parts }
+    }
+
+    /// The full domain being decomposed.
+    pub fn global(&self) -> BBox3 {
+        self.global
+    }
+
+    /// Number of blocks along each axis.
+    pub fn parts(&self) -> [usize; 3] {
+        self.parts
+    }
+
+    /// Total number of ranks (blocks).
+    pub fn rank_count(&self) -> usize {
+        self.parts[0] * self.parts[1] * self.parts[2]
+    }
+
+    /// Split point: where block `b` of `n` blocks starts on an axis of
+    /// `len` points (offset from the axis origin).
+    fn axis_start(len: usize, n: usize, b: usize) -> usize {
+        // First `len % n` blocks get `len/n + 1` points.
+        let base = len / n;
+        let rem = len % n;
+        b * base + b.min(rem)
+    }
+
+    /// Per-axis block index of a rank.
+    pub fn coords_of_rank(&self, rank: usize) -> [usize; 3] {
+        assert!(rank < self.rank_count(), "rank {rank} out of range");
+        let [px, py, _] = self.parts;
+        [rank % px, (rank / px) % py, rank / (px * py)]
+    }
+
+    /// Rank owning the block with per-axis block indices `c`.
+    pub fn rank_of_coords(&self, c: [usize; 3]) -> usize {
+        let [px, py, pz] = self.parts;
+        assert!(c[0] < px && c[1] < py && c[2] < pz, "block coords {c:?}");
+        (c[2] * py + c[1]) * px + c[0]
+    }
+
+    /// The block of grid points owned by `rank`.
+    pub fn block(&self, rank: usize) -> BBox3 {
+        let c = self.coords_of_rank(rank);
+        let d = self.global.dims();
+        let mut lo = [0; 3];
+        let mut hi = [0; 3];
+        for a in 0..3 {
+            lo[a] = self.global.lo[a] + Self::axis_start(d[a], self.parts[a], c[a]);
+            hi[a] = self.global.lo[a] + Self::axis_start(d[a], self.parts[a], c[a] + 1);
+        }
+        BBox3::new(lo, hi)
+    }
+
+    /// The rank whose block contains global coordinate `p`.
+    pub fn rank_of_point(&self, p: [usize; 3]) -> usize {
+        assert!(self.global.contains(p), "{p:?} outside global domain");
+        let d = self.global.dims();
+        let mut c = [0; 3];
+        for a in 0..3 {
+            let off = p[a] - self.global.lo[a];
+            // Invert axis_start: blocks of size base+1 come first.
+            let base = d[a] / self.parts[a];
+            let rem = d[a] % self.parts[a];
+            let big = rem * (base + 1);
+            c[a] = if off < big {
+                off / (base + 1)
+            } else {
+                rem + (off - big) / base
+            };
+        }
+        self.rank_of_coords(c)
+    }
+
+    /// Ranks whose blocks intersect `query`, with the intersection regions.
+    ///
+    /// This is the primitive behind DataSpaces-style spatial queries: given
+    /// a requested bbox, which writers contributed data to it?
+    pub fn ranks_overlapping(&self, query: &BBox3) -> Vec<(usize, BBox3)> {
+        // Cheap pruning: compute block-index ranges per axis from the two
+        // corners rather than scanning every rank.
+        let Some(q) = query.intersect(&self.global) else {
+            return Vec::new();
+        };
+        let lo_c = self.coords_of_rank(self.rank_of_point(q.lo));
+        let hi_pt = [q.hi[0] - 1, q.hi[1] - 1, q.hi[2] - 1];
+        let hi_c = self.coords_of_rank(self.rank_of_point(hi_pt));
+        let mut out = Vec::new();
+        for cz in lo_c[2]..=hi_c[2] {
+            for cy in lo_c[1]..=hi_c[1] {
+                for cx in lo_c[0]..=hi_c[0] {
+                    let r = self.rank_of_coords([cx, cy, cz]);
+                    if let Some(isect) = self.block(r).intersect(&q) {
+                        out.push((r, isect));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Neighbor ranks of `rank`: all ranks whose block-index coordinates
+    /// differ by at most 1 on each axis (26-neighborhood), excluding `rank`
+    /// itself. Returned with their block-index offset.
+    pub fn neighbors(&self, rank: usize) -> Vec<(usize, [isize; 3])> {
+        let c = self.coords_of_rank(rank);
+        let mut out = Vec::new();
+        for dz in -1isize..=1 {
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let n = [
+                        c[0] as isize + dx,
+                        c[1] as isize + dy,
+                        c[2] as isize + dz,
+                    ];
+                    if (0..3).all(|a| n[a] >= 0 && (n[a] as usize) < self.parts[a]) {
+                        let nc = [n[0] as usize, n[1] as usize, n[2] as usize];
+                        out.push((self.rank_of_coords(nc), [dx, dy, dz]));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_partition_domain_exactly() {
+        let g = BBox3::from_dims([10, 7, 5]);
+        let d = Decomposition::new(g, [3, 2, 2]);
+        assert_eq!(d.rank_count(), 12);
+        let total: usize = (0..12).map(|r| d.block(r).count()).sum();
+        assert_eq!(total, g.count());
+        // Every point belongs to exactly one block.
+        for p in g.iter() {
+            let r = d.rank_of_point(p);
+            assert!(d.block(r).contains(p));
+        }
+    }
+
+    #[test]
+    fn uneven_axis_sizes_differ_by_at_most_one() {
+        let g = BBox3::from_dims([11, 4, 4]);
+        let d = Decomposition::new(g, [4, 1, 1]);
+        let sizes: Vec<usize> = (0..4).map(|r| d.block(r).dims()[0]).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn paper_scale_block_dims() {
+        // Paper: 1600×1372×430 over 16×28×10 => 100×49×43 per core.
+        let g = BBox3::from_dims([1600, 1372, 430]);
+        let d = Decomposition::new(g, [16, 28, 10]);
+        assert_eq!(d.rank_count(), 4480);
+        assert_eq!(d.block(0).dims(), [100, 49, 43]);
+        // And 32×28×10 => 50×49×43.
+        let d2 = Decomposition::new(g, [32, 28, 10]);
+        assert_eq!(d2.rank_count(), 8960);
+        assert_eq!(d2.block(0).dims(), [50, 49, 43]);
+    }
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let d = Decomposition::new(BBox3::from_dims([8, 8, 8]), [2, 3, 4]);
+        for r in 0..d.rank_count() {
+            assert_eq!(d.rank_of_coords(d.coords_of_rank(r)), r);
+        }
+    }
+
+    #[test]
+    fn offset_global_domain() {
+        let g = BBox3::new([100, 200, 300], [110, 210, 310]);
+        let d = Decomposition::new(g, [2, 2, 2]);
+        assert_eq!(d.block(0).lo, [100, 200, 300]);
+        assert_eq!(d.rank_of_point([109, 209, 309]), 7);
+    }
+
+    #[test]
+    fn overlapping_ranks_cover_query() {
+        let g = BBox3::from_dims([20, 20, 20]);
+        let d = Decomposition::new(g, [4, 4, 4]);
+        let q = BBox3::new([3, 3, 3], [12, 9, 17]);
+        let hits = d.ranks_overlapping(&q);
+        let covered: usize = hits.iter().map(|(_, b)| b.count()).sum();
+        assert_eq!(covered, q.count());
+        for (r, b) in &hits {
+            assert!(d.block(*r).contains_box(b));
+            assert!(q.contains_box(b));
+        }
+    }
+
+    #[test]
+    fn overlapping_ranks_outside_domain_is_empty() {
+        let d = Decomposition::new(BBox3::from_dims([4, 4, 4]), [2, 2, 2]);
+        let q = BBox3::new([10, 10, 10], [12, 12, 12]);
+        assert!(d.ranks_overlapping(&q).is_empty());
+    }
+
+    #[test]
+    fn neighbors_corner_and_center() {
+        let d = Decomposition::new(BBox3::from_dims([9, 9, 9]), [3, 3, 3]);
+        // Corner block has 7 neighbors; center block has 26.
+        assert_eq!(d.neighbors(0).len(), 7);
+        let center = d.rank_of_coords([1, 1, 1]);
+        assert_eq!(d.neighbors(center).len(), 26);
+        // Neighbor relation is symmetric.
+        for r in 0..d.rank_count() {
+            for (n, _) in d.neighbors(r) {
+                assert!(d.neighbors(n).iter().any(|(m, _)| *m == r));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_parts_panics() {
+        let _ = Decomposition::new(BBox3::from_dims([2, 2, 2]), [3, 1, 1]);
+    }
+}

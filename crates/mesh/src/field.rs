@@ -1,0 +1,297 @@
+//! Dense scalar fields over rectangular blocks of the global grid.
+
+use crate::BBox3;
+use serde::{Deserialize, Serialize};
+
+/// A dense array of `f64` values covering the grid points of a [`BBox3`].
+///
+/// The field remembers the global region it covers, so values can be read
+/// and written by *global* coordinates; this is what makes block extraction,
+/// ghost filling, and spatial-query assembly composable without manual
+/// index arithmetic at every call site.
+///
+/// Layout is row-major, x fastest (see crate docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalarField {
+    bbox: BBox3,
+    data: Vec<f64>,
+}
+
+impl ScalarField {
+    /// A field over `bbox` filled with `value`.
+    pub fn new_fill(bbox: BBox3, value: f64) -> Self {
+        Self {
+            bbox,
+            data: vec![value; bbox.count()],
+        }
+    }
+
+    /// A field over `bbox` with zeros.
+    pub fn zeros(bbox: BBox3) -> Self {
+        Self::new_fill(bbox, 0.0)
+    }
+
+    /// A field computed from a function of the global coordinate.
+    pub fn from_fn(bbox: BBox3, mut f: impl FnMut([usize; 3]) -> f64) -> Self {
+        let mut data = Vec::with_capacity(bbox.count());
+        data.extend(bbox.iter().map(&mut f));
+        Self { bbox, data }
+    }
+
+    /// Wrap an existing buffer. Panics unless `data.len() == bbox.count()`.
+    pub fn from_vec(bbox: BBox3, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            bbox.count(),
+            "buffer length does not match bbox"
+        );
+        Self { bbox, data }
+    }
+
+    /// The global region this field covers.
+    pub fn bbox(&self) -> BBox3 {
+        self.bbox
+    }
+
+    /// Extents of the covered region.
+    pub fn dims(&self) -> [usize; 3] {
+        self.bbox.dims()
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the covered region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw values, x fastest.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw values, x fastest.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the raw buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Value at global coordinate `p`.
+    #[inline]
+    pub fn get(&self, p: [usize; 3]) -> f64 {
+        self.data[self.bbox.local_index(p)]
+    }
+
+    /// Set value at global coordinate `p`.
+    #[inline]
+    pub fn set(&mut self, p: [usize; 3], v: f64) {
+        let i = self.bbox.local_index(p);
+        self.data[i] = v;
+    }
+
+    /// Value by local linear index (x fastest within the bbox).
+    #[inline]
+    pub fn get_linear(&self, idx: usize) -> f64 {
+        self.data[idx]
+    }
+
+    /// Minimum and maximum stored value. Returns `None` for empty fields;
+    /// NaNs are ignored (a field of only NaNs also yields `None`).
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let mut it = self.data.iter().copied().filter(|v| !v.is_nan());
+        let first = it.next()?;
+        let mut mn = first;
+        let mut mx = first;
+        for v in it {
+            if v < mn {
+                mn = v;
+            }
+            if v > mx {
+                mx = v;
+            }
+        }
+        Some((mn, mx))
+    }
+
+    /// Extract a copy of the sub-region `region`, which must lie inside the
+    /// field. Rows are copied with `copy_from_slice` (contiguous in x).
+    pub fn extract(&self, region: &BBox3) -> ScalarField {
+        assert!(
+            self.bbox.contains_box(region),
+            "extract region {region:?} outside field {:?}",
+            self.bbox
+        );
+        let mut out = ScalarField::zeros(*region);
+        let sd = self.bbox.dims();
+        let rd = region.dims();
+        for k in region.lo[2]..region.hi[2] {
+            for j in region.lo[1]..region.hi[1] {
+                let src0 = ((k - self.bbox.lo[2]) * sd[1] + (j - self.bbox.lo[1])) * sd[0]
+                    + (region.lo[0] - self.bbox.lo[0]);
+                let dst0 = ((k - region.lo[2]) * rd[1] + (j - region.lo[1])) * rd[0];
+                out.data[dst0..dst0 + rd[0]].copy_from_slice(&self.data[src0..src0 + rd[0]]);
+            }
+        }
+        out
+    }
+
+    /// Copy the overlapping region of `src` into `self`. Regions of `self`
+    /// not covered by `src` are left untouched. Returns the number of
+    /// points copied.
+    pub fn paste(&mut self, src: &ScalarField) -> usize {
+        let Some(overlap) = self.bbox.intersect(&src.bbox) else {
+            return 0;
+        };
+        let sd = src.bbox.dims();
+        let dd = self.bbox.dims();
+        let od = overlap.dims();
+        for k in overlap.lo[2]..overlap.hi[2] {
+            for j in overlap.lo[1]..overlap.hi[1] {
+                let src0 = ((k - src.bbox.lo[2]) * sd[1] + (j - src.bbox.lo[1])) * sd[0]
+                    + (overlap.lo[0] - src.bbox.lo[0]);
+                let dst0 = ((k - self.bbox.lo[2]) * dd[1] + (j - self.bbox.lo[1])) * dd[0]
+                    + (overlap.lo[0] - self.bbox.lo[0]);
+                self.data[dst0..dst0 + od[0]].copy_from_slice(&src.data[src0..src0 + od[0]]);
+            }
+        }
+        overlap.count()
+    }
+
+    /// Apply `f` to every value in place.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Pointwise combination with another field over the same bbox.
+    pub fn zip_in_place(&mut self, other: &ScalarField, mut f: impl FnMut(f64, f64) -> f64) {
+        assert_eq!(self.bbox, other.bbox, "zip requires identical regions");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, *b);
+        }
+    }
+}
+
+/// Assemble one field over `target` from a set of (possibly overlapping)
+/// pieces. Points covered by no piece are `fill`; where pieces overlap,
+/// later pieces win.
+///
+/// This is the receive-side of a DataSpaces `get`: the staging service
+/// returns the intersecting stored objects and the client stitches them
+/// into the requested box.
+pub fn assemble(target: BBox3, pieces: &[ScalarField], fill: f64) -> ScalarField {
+    let mut out = ScalarField::new_fill(target, fill);
+    for p in pieces {
+        out.paste(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord_field(b: BBox3) -> ScalarField {
+        // Unique value per coordinate so copies are traceable.
+        ScalarField::from_fn(b, |p| (p[0] * 10_000 + p[1] * 100 + p[2]) as f64)
+    }
+
+    #[test]
+    fn get_set_by_global_coords() {
+        let b = BBox3::new([2, 3, 4], [5, 6, 7]);
+        let mut f = ScalarField::zeros(b);
+        f.set([4, 5, 6], 9.5);
+        assert_eq!(f.get([4, 5, 6]), 9.5);
+        assert_eq!(f.get([2, 3, 4]), 0.0);
+    }
+
+    #[test]
+    fn from_fn_matches_iter_order() {
+        let b = BBox3::new([1, 1, 1], [3, 4, 5]);
+        let f = coord_field(b);
+        for p in b.iter() {
+            assert_eq!(f.get(p), (p[0] * 10_000 + p[1] * 100 + p[2]) as f64);
+        }
+    }
+
+    #[test]
+    fn extract_preserves_values() {
+        let b = BBox3::from_dims([6, 5, 4]);
+        let f = coord_field(b);
+        let r = BBox3::new([2, 1, 1], [5, 4, 3]);
+        let e = f.extract(&r);
+        assert_eq!(e.bbox(), r);
+        for p in r.iter() {
+            assert_eq!(e.get(p), f.get(p));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn extract_outside_panics() {
+        let f = ScalarField::zeros(BBox3::from_dims([3, 3, 3]));
+        let _ = f.extract(&BBox3::new([1, 1, 1], [4, 2, 2]));
+    }
+
+    #[test]
+    fn paste_partial_overlap() {
+        let mut dst = ScalarField::new_fill(BBox3::from_dims([4, 4, 4]), -1.0);
+        let src = coord_field(BBox3::new([2, 2, 2], [6, 6, 6]));
+        let n = dst.paste(&src);
+        assert_eq!(n, 8); // 2×2×2 overlap
+        assert_eq!(dst.get([3, 3, 3]), src.get([3, 3, 3]));
+        assert_eq!(dst.get([0, 0, 0]), -1.0);
+    }
+
+    #[test]
+    fn paste_disjoint_is_noop() {
+        let mut dst = ScalarField::new_fill(BBox3::from_dims([2, 2, 2]), 7.0);
+        let src = ScalarField::zeros(BBox3::new([5, 5, 5], [6, 6, 6]));
+        assert_eq!(dst.paste(&src), 0);
+        assert!(dst.as_slice().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn assemble_from_decomposed_blocks() {
+        use crate::Decomposition;
+        let g = BBox3::from_dims([7, 6, 5]);
+        let f = coord_field(g);
+        let d = Decomposition::new(g, [2, 3, 2]);
+        let pieces: Vec<ScalarField> =
+            (0..d.rank_count()).map(|r| f.extract(&d.block(r))).collect();
+        let back = assemble(g, &pieces, f64::NAN);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        let mut f = ScalarField::from_vec(
+            BBox3::from_dims([4, 1, 1]),
+            vec![3.0, f64::NAN, -2.0, 1.0],
+        );
+        assert_eq!(f.min_max(), Some((-2.0, 3.0)));
+        f.map_in_place(|_| f64::NAN);
+        assert_eq!(f.min_max(), None);
+        let empty = ScalarField::zeros(BBox3::new([0, 0, 0], [0, 1, 1]));
+        assert_eq!(empty.min_max(), None);
+    }
+
+    #[test]
+    fn zip_and_map() {
+        let b = BBox3::from_dims([2, 2, 1]);
+        let mut a = ScalarField::new_fill(b, 2.0);
+        let c = ScalarField::new_fill(b, 3.0);
+        a.zip_in_place(&c, |x, y| x * y);
+        assert!(a.as_slice().iter().all(|&v| v == 6.0));
+        a.map_in_place(|v| v - 1.0);
+        assert!(a.as_slice().iter().all(|&v| v == 5.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Ghost-layer exchange between the blocks of a decomposition.
+//!
+//! The in-situ merge-tree stage needs each rank's block extended by a
+//! one-point halo (the "topological ghost cells" of the paper) so that
+//! neighboring subtrees share boundary vertices and can be glued
+//! in-transit. Stencil-based simulation kernels need the same thing.
+//!
+//! The exchange is expressed in two layers so both live execution and
+//! cost accounting can use it:
+//!
+//! * [`ghost_requests`] computes, for one rank, exactly which remote
+//!   regions it must fetch from which neighbors — the *message plan*.
+//! * [`exchange_ghosts`] executes the plan for all ranks given all block
+//!   fields (the in-process stand-in for an MPI halo exchange), returning
+//!   per-rank ghosted fields.
+
+use crate::{BBox3, Decomposition, ScalarField};
+
+/// One ghost-exchange message: `rank` must receive the points of `region`
+/// from `owner`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhostRequest {
+    /// The rank that owns (and will send) the data.
+    pub owner: usize,
+    /// The region of global grid points to transfer.
+    pub region: BBox3,
+}
+
+/// Compute the message plan for `rank` to assemble a halo of width `h`.
+///
+/// The returned regions are pairwise disjoint, lie outside `rank`'s own
+/// block, and together with the block exactly tile the grown (clamped)
+/// bbox. Each region is owned entirely by a single neighbor.
+pub fn ghost_requests(decomp: &Decomposition, rank: usize, h: usize) -> Vec<GhostRequest> {
+    let own = decomp.block(rank);
+    let grown = own.grow_clamped(h, &decomp.global());
+    // A halo wider than a neighboring block can reach past the immediate
+    // 26-neighborhood, so resolve owners with a spatial query rather than
+    // the neighbor list.
+    decomp
+        .ranks_overlapping(&grown)
+        .into_iter()
+        .filter(|(owner, _)| *owner != rank)
+        .map(|(owner, region)| GhostRequest { owner, region })
+        .collect()
+}
+
+/// Execute a full halo exchange of width `h` over all ranks.
+///
+/// `fields[r]` must cover exactly `decomp.block(r)`. The result for rank
+/// `r` covers `block(r).grow_clamped(h, global)` with interior values
+/// copied from its own field and halo values copied from the owning
+/// neighbors. Returns one ghosted field per rank plus the total number of
+/// grid points moved between ranks (for data-movement accounting).
+pub fn exchange_ghosts(
+    decomp: &Decomposition,
+    fields: &[ScalarField],
+    h: usize,
+) -> (Vec<ScalarField>, usize) {
+    assert_eq!(
+        fields.len(),
+        decomp.rank_count(),
+        "one field per rank required"
+    );
+    for (r, f) in fields.iter().enumerate() {
+        assert_eq!(f.bbox(), decomp.block(r), "field {r} does not match block");
+    }
+    let mut moved = 0usize;
+    let mut out = Vec::with_capacity(fields.len());
+    for rank in 0..decomp.rank_count() {
+        let grown = decomp.block(rank).grow_clamped(h, &decomp.global());
+        let mut g = ScalarField::new_fill(grown, f64::NAN);
+        g.paste(&fields[rank]);
+        for req in ghost_requests(decomp, rank, h) {
+            let piece = fields[req.owner].extract(&req.region);
+            moved += piece.len();
+            g.paste(&piece);
+        }
+        out.push(g);
+    }
+    (out, moved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord_field(b: BBox3) -> ScalarField {
+        ScalarField::from_fn(b, |p| (p[0] * 10_000 + p[1] * 100 + p[2]) as f64)
+    }
+
+    fn block_fields(d: &Decomposition) -> Vec<ScalarField> {
+        let whole = coord_field(d.global());
+        (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect()
+    }
+
+    #[test]
+    fn requests_tile_grown_box() {
+        let d = Decomposition::new(BBox3::from_dims([8, 8, 8]), [2, 2, 2]);
+        for rank in 0..d.rank_count() {
+            let own = d.block(rank);
+            let grown = own.grow_clamped(1, &d.global());
+            let reqs = ghost_requests(&d, rank, 1);
+            let halo_points: usize = reqs.iter().map(|r| r.region.count()).sum();
+            assert_eq!(halo_points, grown.count() - own.count());
+            // Regions are disjoint and owned by the sender.
+            for (a, ra) in reqs.iter().enumerate() {
+                assert!(d.block(ra.owner).contains_box(&ra.region));
+                assert!(own.intersect(&ra.region).is_none());
+                for rb in &reqs[a + 1..] {
+                    assert!(ra.region.intersect(&rb.region).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ghosts_match_owner_values() {
+        let d = Decomposition::new(BBox3::from_dims([9, 7, 6]), [3, 2, 2]);
+        let whole = coord_field(d.global());
+        let fields = block_fields(&d);
+        let (ghosted, moved) = exchange_ghosts(&d, &fields, 1);
+        assert!(moved > 0);
+        for (rank, g) in ghosted.iter().enumerate() {
+            assert_eq!(g.bbox(), d.block(rank).grow_clamped(1, &d.global()));
+            for p in g.bbox().iter() {
+                assert_eq!(g.get(p), whole.get(p), "rank {rank} point {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_halo() {
+        let d = Decomposition::new(BBox3::from_dims([12, 12, 4]), [3, 3, 1]);
+        let whole = coord_field(d.global());
+        let fields = block_fields(&d);
+        let (ghosted, _) = exchange_ghosts(&d, &fields, 3);
+        for g in &ghosted {
+            for p in g.bbox().iter() {
+                assert_eq!(g.get(p), whole.get(p));
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_has_no_requests() {
+        let d = Decomposition::new(BBox3::from_dims([4, 4, 4]), [1, 1, 1]);
+        assert!(ghost_requests(&d, 0, 2).is_empty());
+        let fields = block_fields(&d);
+        let (ghosted, moved) = exchange_ghosts(&d, &fields, 2);
+        assert_eq!(moved, 0);
+        assert_eq!(ghosted[0], fields[0]);
+    }
+
+    #[test]
+    fn zero_width_halo_is_identity() {
+        let d = Decomposition::new(BBox3::from_dims([6, 6, 6]), [2, 1, 3]);
+        let fields = block_fields(&d);
+        let (ghosted, moved) = exchange_ghosts(&d, &fields, 0);
+        assert_eq!(moved, 0);
+        assert_eq!(ghosted, fields);
+    }
+}

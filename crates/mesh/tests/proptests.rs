@@ -1,0 +1,130 @@
+//! Property-based tests for the mesh substrate: decomposition coverage,
+//! extract/paste round-trips, ghost correctness, and downsample alignment.
+
+use proptest::prelude::*;
+use sitra_mesh::{
+    downsample, exchange_ghosts, field::assemble, ghost_requests, BBox3, Decomposition,
+    ScalarField,
+};
+
+/// Strategy: a small global domain plus a valid parts vector.
+fn domain_and_parts() -> impl Strategy<Value = (BBox3, [usize; 3])> {
+    (2usize..10, 2usize..9, 2usize..8, 0usize..50).prop_flat_map(|(nx, ny, nz, off)| {
+        (1usize..=nx.min(4), 1usize..=ny.min(3), 1usize..=nz.min(3)).prop_map(
+            move |(px, py, pz)| {
+                (
+                    BBox3::new([off, off, off], [off + nx, off + ny, off + nz]),
+                    [px, py, pz],
+                )
+            },
+        )
+    })
+}
+
+fn hashed_field(b: BBox3) -> ScalarField {
+    ScalarField::from_fn(b, |p| {
+        let h = p[0].wrapping_mul(73856093) ^ p[1].wrapping_mul(19349663) ^ p[2].wrapping_mul(83492791);
+        (h % 10_007) as f64
+    })
+}
+
+proptest! {
+    #[test]
+    fn blocks_partition_every_point((g, parts) in domain_and_parts()) {
+        let d = Decomposition::new(g, parts);
+        let mut owners = 0usize;
+        for p in g.iter() {
+            let r = d.rank_of_point(p);
+            prop_assert!(d.block(r).contains(p));
+            owners += 1;
+            // No other rank owns it.
+            for other in 0..d.rank_count() {
+                if other != r {
+                    prop_assert!(!d.block(other).contains(p));
+                }
+            }
+        }
+        prop_assert_eq!(owners, g.count());
+    }
+
+    #[test]
+    fn extract_then_assemble_roundtrip((g, parts) in domain_and_parts()) {
+        let d = Decomposition::new(g, parts);
+        let f = hashed_field(g);
+        let pieces: Vec<ScalarField> =
+            (0..d.rank_count()).map(|r| f.extract(&d.block(r))).collect();
+        prop_assert_eq!(assemble(g, &pieces, f64::NAN), f);
+    }
+
+    #[test]
+    fn spatial_query_matches_bruteforce((g, parts) in domain_and_parts(),
+                                        corner in prop::array::uniform3(0usize..6),
+                                        ext in prop::array::uniform3(1usize..6)) {
+        let d = Decomposition::new(g, parts);
+        let q = BBox3::new(
+            [g.lo[0] + corner[0], g.lo[1] + corner[1], g.lo[2] + corner[2]],
+            [g.lo[0] + corner[0] + ext[0], g.lo[1] + corner[1] + ext[1], g.lo[2] + corner[2] + ext[2]],
+        );
+        let hits = d.ranks_overlapping(&q);
+        // Brute force: which ranks intersect?
+        for r in 0..d.rank_count() {
+            let expect = d.block(r).intersect(&q).and_then(|b| b.intersect(&g));
+            let got = hits.iter().find(|(rr, _)| *rr == r).map(|(_, b)| *b);
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn ghost_exchange_matches_owner((g, parts) in domain_and_parts(), h in 0usize..3) {
+        let d = Decomposition::new(g, parts);
+        let whole = hashed_field(g);
+        let fields: Vec<ScalarField> =
+            (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect();
+        let (ghosted, moved) = exchange_ghosts(&d, &fields, h);
+        let mut expect_moved = 0;
+        for (rank, gf) in ghosted.iter().enumerate() {
+            prop_assert_eq!(gf.bbox(), d.block(rank).grow_clamped(h, &g));
+            for p in gf.bbox().iter() {
+                prop_assert_eq!(gf.get(p), whole.get(p));
+            }
+            expect_moved += gf.bbox().count() - d.block(rank).count();
+        }
+        prop_assert_eq!(moved, expect_moved);
+    }
+
+    #[test]
+    fn ghost_requests_are_disjoint_and_complete((g, parts) in domain_and_parts(), h in 1usize..3) {
+        let d = Decomposition::new(g, parts);
+        for rank in 0..d.rank_count() {
+            let own = d.block(rank);
+            let grown = own.grow_clamped(h, &g);
+            let reqs = ghost_requests(&d, rank, h);
+            let total: usize = reqs.iter().map(|r| r.region.count()).sum();
+            prop_assert_eq!(total, grown.count() - own.count());
+            for (i, a) in reqs.iter().enumerate() {
+                prop_assert!(d.block(a.owner).contains_box(&a.region));
+                for b in &reqs[i + 1..] {
+                    prop_assert!(a.region.intersect(&b.region).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_rank_downsample_equals_global((g, parts) in domain_and_parts(), stride in 1usize..5) {
+        let d = Decomposition::new(g, parts);
+        let whole = hashed_field(g);
+        let global = downsample(&whole, stride);
+        if global.coarse_bbox.is_empty() {
+            return Ok(());
+        }
+        let mut acc = ScalarField::new_fill(global.coarse_bbox, f64::NAN);
+        for r in 0..d.rank_count() {
+            let piece = downsample(&whole.extract(&d.block(r)), stride);
+            if !piece.coarse_bbox.is_empty() {
+                acc.paste(&piece.as_field());
+            }
+        }
+        prop_assert_eq!(acc, global.as_field());
+    }
+}

@@ -1,0 +1,106 @@
+//! A reduced H2/air "chemistry": species mass fractions as smooth
+//! functions of mixture fraction and temperature.
+//!
+//! The proxy does not integrate chemical kinetics; it needs species
+//! fields that are plausible in structure (bounded, summing to one,
+//! correlated with temperature and mixing) so that multi-variable
+//! analyses exercise realistic data.
+
+/// The nine species tracked by the lifted hydrogen flame case.
+pub const SPECIES_NAMES: [&str; 9] = [
+    "Y_H2", "Y_O2", "Y_H2O", "Y_H", "Y_O", "Y_OH", "Y_HO2", "Y_H2O2", "Y_N2",
+];
+
+/// Mass fractions of the nine species given mixture fraction `z ∈ [0,1]`
+/// (1 = pure fuel stream) and a normalized reaction progress `c ∈ [0,1]`
+/// (derived from temperature). Returns values in `[0,1]` summing to 1.
+pub fn species_mass_fractions(z: f64, c: f64) -> [f64; 9] {
+    let z = z.clamp(0.0, 1.0);
+    let c = c.clamp(0.0, 1.0);
+    // Unburnt mixture: fuel stream is pure H2, oxidizer stream is air
+    // (23.3% O2, 76.7% N2 by mass).
+    let h2_u = z;
+    let o2_u = (1.0 - z) * 0.233;
+    let n2 = (1.0 - z) * 0.767;
+    // Burning consumes fuel and oxidizer stoichiometrically (8 kg O2 per
+    // kg H2), limited by the lean side, producing H2O and a small pool of
+    // radicals that peaks at intermediate progress.
+    let burnable_h2 = h2_u.min(o2_u / 8.0);
+    let reacted = burnable_h2 * c;
+    let h2 = h2_u - reacted;
+    let o2 = o2_u - 8.0 * reacted;
+    let h2o_raw = 9.0 * reacted;
+    // Radical pool: a few percent of the product mass, peaking mid-burn.
+    let radical_frac = 0.06 * (std::f64::consts::PI * c).sin();
+    let radicals = h2o_raw * radical_frac;
+    let h2o = h2o_raw - radicals;
+    // Distribute the radical pool with fixed ratios.
+    let y_h = radicals * 0.08;
+    let y_o = radicals * 0.12;
+    let y_oh = radicals * 0.55;
+    let y_ho2 = radicals * 0.17;
+    let y_h2o2 = radicals * 0.08;
+    [h2, o2, h2o, y_h, y_o, y_oh, y_ho2, y_h2o2, n2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sum(z: f64, c: f64) {
+        let y = species_mass_fractions(z, c);
+        let sum: f64 = y.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "z={z} c={c} sum={sum}");
+        for (i, v) in y.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(v),
+                "species {} = {v} out of range at z={z} c={c}",
+                SPECIES_NAMES[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mass_conserved_over_parameter_space() {
+        for zi in 0..=20 {
+            for ci in 0..=20 {
+                check_sum(zi as f64 / 20.0, ci as f64 / 20.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_streams_unburnt() {
+        let fuel = species_mass_fractions(1.0, 0.0);
+        assert!((fuel[0] - 1.0).abs() < 1e-12); // pure H2
+        let air = species_mass_fractions(0.0, 0.0);
+        assert!((air[1] - 0.233).abs() < 1e-12);
+        assert!((air[8] - 0.767).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burning_produces_water_consumes_reactants() {
+        let z = 0.05; // near-stoichiometric lean-ish mixture
+        let unburnt = species_mass_fractions(z, 0.0);
+        let burnt = species_mass_fractions(z, 1.0);
+        assert!(burnt[2] > unburnt[2], "H2O must increase");
+        assert!(burnt[0] < unburnt[0], "H2 must decrease");
+        assert!(burnt[1] < unburnt[1], "O2 must decrease");
+    }
+
+    #[test]
+    fn radicals_peak_mid_burn() {
+        let z = 0.05;
+        let oh = |c: f64| species_mass_fractions(z, c)[5];
+        assert!(oh(0.5) > oh(0.05));
+        assert!(oh(0.5) > oh(1.0));
+        assert_eq!(oh(0.0), 0.0);
+    }
+
+    #[test]
+    fn clamps_out_of_range_inputs() {
+        let a = species_mass_fractions(-0.5, 2.0);
+        let b = species_mass_fractions(0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,85 @@
+//! A tiny deterministic RNG for the simulation proxy.
+//!
+//! The proxy's requirements are reproducibility, cloneability (the whole
+//! simulation state is `Clone` so experiments can fork timelines), and
+//! speed — not statistical perfection. SplitMix64 satisfies all three in
+//! a dozen lines and keeps the simulation free of external RNG state.
+
+/// SplitMix64 (Steele, Lea, Flood 2014).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_well_spread() {
+        let mut r = SplitMix64::new(7);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let v = r.range(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&v));
+        }
+    }
+}

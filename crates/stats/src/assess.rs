@@ -1,0 +1,89 @@
+//! The `assess` stage: annotate observations relative to a model.
+
+use crate::Derived;
+use serde::{Deserialize, Serialize};
+
+/// Per-observation annotation produced by [`assess`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// The observation itself.
+    pub value: f64,
+    /// Signed deviation from the mean in standard deviations (z-score).
+    /// 0 when the model is degenerate (zero variance).
+    pub z_score: f64,
+    /// True if `|z| > threshold` used at assess time.
+    pub is_outlier: bool,
+}
+
+/// Annotate each observation with its z-score relative to `model`, marking
+/// values beyond `outlier_sigma` standard deviations as outliers.
+///
+/// `assess` is embarrassingly data-parallel and needs no communication; in
+/// the hybrid framework it can run in-situ against a model broadcast from
+/// the in-transit `derive` stage (e.g. to flag ignition-kernel cells in
+/// the timestep that produced them).
+pub fn assess(data: &[f64], model: &Derived, outlier_sigma: f64) -> Vec<Assessment> {
+    data.iter()
+        .map(|&value| {
+            let z_score = if model.std_dev > 0.0 {
+                (value - model.mean) / model.std_dev
+            } else {
+                0.0
+            };
+            Assessment {
+                value,
+                z_score,
+                is_outlier: z_score.abs() > outlier_sigma,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{derive, Moments};
+
+    fn model_of(data: &[f64]) -> Derived {
+        derive(&Moments::from_slice(data)).unwrap()
+    }
+
+    #[test]
+    fn z_scores_standardize() {
+        let data = [0.0, 10.0];
+        let m = model_of(&data);
+        let a = assess(&data, &m, 3.0);
+        // Two symmetric points: z = ∓ 1/√2 · √2 = ∓ 0.707… with sample sd.
+        assert!((a[0].z_score + a[1].z_score).abs() < 1e-12);
+        assert!(a[0].z_score < 0.0 && a[1].z_score > 0.0);
+    }
+
+    #[test]
+    fn outlier_flagging() {
+        let mut data = vec![1.0; 99];
+        data.push(50.0);
+        let m = model_of(&data);
+        let a = assess(&data, &m, 3.0);
+        assert!(a[99].is_outlier);
+        assert_eq!(a.iter().filter(|x| x.is_outlier).count(), 1);
+    }
+
+    #[test]
+    fn degenerate_model_yields_zero_z() {
+        let data = [7.0; 10];
+        let m = model_of(&data);
+        let a = assess(&[7.0, 100.0], &m, 3.0);
+        assert_eq!(a[0].z_score, 0.0);
+        assert_eq!(a[1].z_score, 0.0);
+        assert!(!a[1].is_outlier);
+    }
+
+    #[test]
+    fn assess_against_foreign_model() {
+        // Assessing data against a model learned elsewhere (the hybrid
+        // broadcast path).
+        let m = model_of(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let a = assess(&[2.0], &m, 3.0);
+        assert!((a[0].z_score).abs() < 1e-12); // 2.0 is the mean
+    }
+}

@@ -1,0 +1,188 @@
+//! Bivariate co-moment accumulators: covariance, correlation, regression.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass bivariate model: means of two variables and their centered
+/// (co-)aggregates, mergeable across ranks exactly like [`crate::Moments`].
+///
+/// The paper's statistics toolkit computes these for pairs of simulation
+/// variables (e.g. temperature vs. a species mass fraction); the planned
+/// "auto-correlative statistics" extension in the paper's future work is a
+/// direct application of the same accumulator against a lagged copy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoMoments {
+    /// Number of observation pairs.
+    pub n: u64,
+    /// Mean of the first variable.
+    pub mean_x: f64,
+    /// Mean of the second variable.
+    pub mean_y: f64,
+    /// `Σ (x−mean_x)²`.
+    pub m2x: f64,
+    /// `Σ (y−mean_y)²`.
+    pub m2y: f64,
+    /// `Σ (x−mean_x)(y−mean_y)`.
+    pub cxy: f64,
+}
+
+impl Default for CoMoments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoMoments {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean_x: 0.0,
+            mean_y: 0.0,
+            m2x: 0.0,
+            m2y: 0.0,
+            cxy: 0.0,
+        }
+    }
+
+    /// Learn from paired slices (must be the same length).
+    pub fn from_slices(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "paired data required");
+        let mut m = Self::new();
+        for (&x, &y) in xs.iter().zip(ys) {
+            m.push(x, y);
+        }
+        m
+    }
+
+    /// Incorporate one observation pair.
+    #[inline]
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        let n = self.n as f64;
+        let dx = x - self.mean_x;
+        let dy = y - self.mean_y;
+        self.mean_x += dx / n;
+        self.mean_y += dy / n;
+        // Note: cxy uses the *updated* mean_x and the old dy — the standard
+        // stable online covariance update.
+        self.cxy += (x - self.mean_x) * dy;
+        self.m2x += dx * (x - self.mean_x);
+        self.m2y += dy * (y - self.mean_y);
+    }
+
+    /// Merge another partial model (pairwise combination).
+    pub fn merge(&mut self, other: &CoMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let dx = other.mean_x - self.mean_x;
+        let dy = other.mean_y - self.mean_y;
+        self.m2x += other.m2x + dx * dx * na * nb / n;
+        self.m2y += other.m2y + dy * dy * na * nb / n;
+        self.cxy += other.cxy + dx * dy * na * nb / n;
+        self.mean_x += dx * nb / n;
+        self.mean_y += dy * nb / n;
+        self.n += other.n;
+    }
+
+    /// Sample covariance (n−1 denominator); `None` if fewer than 2 pairs.
+    pub fn covariance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.cxy / (self.n as f64 - 1.0))
+    }
+
+    /// Pearson correlation coefficient; `None` if degenerate.
+    pub fn correlation(&self) -> Option<f64> {
+        if self.n < 2 || self.m2x <= 0.0 || self.m2y <= 0.0 {
+            return None;
+        }
+        Some(self.cxy / (self.m2x * self.m2y).sqrt())
+    }
+
+    /// Ordinary-least-squares fit `y ≈ slope·x + intercept`; `None` when x
+    /// is degenerate.
+    pub fn linear_fit(&self) -> Option<(f64, f64)> {
+        if self.n < 2 || self.m2x <= 0.0 {
+            return None;
+        }
+        let slope = self.cxy / self.m2x;
+        Some((slope, self.mean_y - slope * self.mean_x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn perfect_linear_relation() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let m = CoMoments::from_slices(&xs, &ys);
+        assert!(close(m.correlation().unwrap(), 1.0));
+        let (slope, intercept) = m.linear_fit().unwrap();
+        assert!(close(slope, 3.0));
+        assert!(close(intercept, -7.0));
+    }
+
+    #[test]
+    fn anticorrelation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [4.0, 3.0, 2.0, 1.0];
+        let m = CoMoments::from_slices(&xs, &ys);
+        assert!(close(m.correlation().unwrap(), -1.0));
+    }
+
+    #[test]
+    fn independent_vars_near_zero_correlation() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let ys: Vec<f64> = (0..1000).map(|i| ((i / 10) % 10) as f64).collect();
+        let m = CoMoments::from_slices(&xs, &ys);
+        assert!(m.correlation().unwrap().abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64).sin() * 5.0).collect();
+        let ys: Vec<f64> = (0..40).map(|i| (i as f64).cos() + i as f64 * 0.1).collect();
+        let whole = CoMoments::from_slices(&xs, &ys);
+        let mut m = CoMoments::from_slices(&xs[..13], &ys[..13]);
+        m.merge(&CoMoments::from_slices(&xs[13..], &ys[13..]));
+        assert_eq!(m.n, whole.n);
+        assert!(close(m.mean_x, whole.mean_x));
+        assert!(close(m.mean_y, whole.mean_y));
+        assert!(close(m.cxy, whole.cxy));
+        assert!(close(m.m2x, whole.m2x));
+        assert!(close(m.m2y, whole.m2y));
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let m = CoMoments::from_slices(&[1.0, 2.0], &[3.0, 4.0]);
+        let mut a = m;
+        a.merge(&CoMoments::new());
+        assert_eq!(a, m);
+        let mut b = CoMoments::new();
+        b.merge(&m);
+        assert_eq!(b, m);
+    }
+
+    #[test]
+    fn degenerate_cases_return_none() {
+        let m = CoMoments::from_slices(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]);
+        assert!(m.correlation().is_none());
+        assert!(m.linear_fit().is_none());
+        let single = CoMoments::from_slices(&[1.0], &[2.0]);
+        assert!(single.covariance().is_none());
+    }
+}

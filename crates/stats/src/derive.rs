@@ -1,0 +1,119 @@
+//! The `derive` stage: descriptive quantities from a primary model.
+
+use crate::Moments;
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics derived from a [`Moments`] model.
+///
+/// `derive` is pure local arithmetic — in the hybrid pipeline it runs on a
+/// single in-transit bucket after the partial models are merged, which is
+/// why the paper measures it at ~0.01 s against 1.69 s of in-situ `learn`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Derived {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (n−1 denominator).
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Skewness `g1 = √n · M3 / M2^(3/2)`.
+    pub skewness: f64,
+    /// Excess kurtosis `g2 = n · M4 / M2² − 3`.
+    pub kurtosis_excess: f64,
+}
+
+/// Derive descriptive statistics from a primary model.
+///
+/// Returns `None` for an empty model. For degenerate data (constant
+/// values, `M2 == 0`) skewness and kurtosis are reported as 0.
+pub fn derive(m: &Moments) -> Option<Derived> {
+    if m.n == 0 {
+        return None;
+    }
+    let n = m.n as f64;
+    let variance = if m.n > 1 { m.m2 / (n - 1.0) } else { 0.0 };
+    let (skewness, kurtosis_excess) = if m.m2 > 0.0 {
+        (
+            n.sqrt() * m.m3 / m.m2.powf(1.5),
+            n * m.m4 / (m.m2 * m.m2) - 3.0,
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    Some(Derived {
+        count: m.n,
+        min: m.min,
+        max: m.max,
+        mean: m.mean,
+        variance,
+        std_dev: variance.sqrt(),
+        skewness,
+        kurtosis_excess,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        assert!(derive(&Moments::new()).is_none());
+    }
+
+    #[test]
+    fn single_value_is_degenerate() {
+        let d = derive(&Moments::from_slice(&[5.0])).unwrap();
+        assert_eq!(d.variance, 0.0);
+        assert_eq!(d.std_dev, 0.0);
+        assert_eq!(d.skewness, 0.0);
+        assert_eq!(d.kurtosis_excess, 0.0);
+    }
+
+    #[test]
+    fn constant_data_is_degenerate() {
+        let d = derive(&Moments::from_slice(&[3.0; 100])).unwrap();
+        assert_eq!(d.mean, 3.0);
+        assert_eq!(d.variance, 0.0);
+        assert_eq!(d.skewness, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // Classic example data set.
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let d = derive(&Moments::from_slice(&data)).unwrap();
+        assert!((d.mean - 5.0).abs() < 1e-12);
+        // Population variance is 4 => sample variance 32/7.
+        assert!((d.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!((d.min, d.max), (2.0, 9.0));
+    }
+
+    #[test]
+    fn symmetric_data_zero_skew() {
+        let data = [-3.0, -1.0, 0.0, 1.0, 3.0];
+        let d = derive(&Moments::from_slice(&data)).unwrap();
+        assert!(d.skewness.abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_tailed_data_positive_skew() {
+        let data = [1.0, 1.0, 1.0, 1.0, 100.0];
+        let d = derive(&Moments::from_slice(&data)).unwrap();
+        assert!(d.skewness > 1.0);
+    }
+
+    #[test]
+    fn uniform_kurtosis_negative_gaussian_near_zero() {
+        // Discrete uniform has excess kurtosis ≈ -1.2.
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
+        let d = derive(&Moments::from_slice(&data)).unwrap();
+        assert!((d.kurtosis_excess + 1.2).abs() < 0.05, "{}", d.kurtosis_excess);
+    }
+}

@@ -1,0 +1,214 @@
+//! Fixed-bin histograms with exact merging.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-range, fixed-width histogram that merges exactly across ranks.
+///
+/// Order statistics (quantiles) are not derivable from moments, so the
+/// hybrid stats pipeline optionally ships one of these per variable
+/// alongside the [`crate::Moments`] model. The payload is `bins + 2`
+/// counters — still orders of magnitude smaller than the raw block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "empty range");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Reconstruct a histogram from raw parts (e.g. after receiving its
+    /// wire encoding from another rank).
+    pub fn from_parts(lo: f64, hi: f64, counts: Vec<u64>, underflow: u64, overflow: u64) -> Self {
+        assert!(!counts.is_empty(), "need at least one bin");
+        assert!(hi > lo, "empty range");
+        Self {
+            lo,
+            hi,
+            counts,
+            underflow,
+            overflow,
+        }
+    }
+
+    /// Range lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Range upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Record one observation. NaNs count as underflow (they compare false
+    /// to everything, and silently dropping data would corrupt `total`).
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() || x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let b = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+            self.counts[b] += 1;
+        }
+    }
+
+    /// Record a whole slice.
+    pub fn extend(&mut self, data: &[f64]) {
+        for &x in data {
+            self.push(x);
+        }
+    }
+
+    /// Merge a histogram with identical binning. Panics on mismatched
+    /// ranges or bin counts (merging different binnings is lossy and is
+    /// deliberately not supported).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "range mismatch");
+        assert_eq!(self.hi, other.hi, "range mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` assuming uniform density within a
+    /// bin. Under/overflow mass is attributed to the range ends. Returns
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * total as f64;
+        let mut acc = self.underflow as f64;
+        if target <= acc {
+            return Some(self.lo);
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = acc + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - acc) / c as f64;
+                return Some(self.lo + w * (i as f64 + frac));
+            }
+            acc = next;
+        }
+        Some(self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_boundaries() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(0.0); // first bin
+        h.push(9.999); // last bin
+        h.push(10.0); // overflow (half-open)
+        h.push(-0.001); // underflow
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn nan_counts_as_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(f64::NAN);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37) % 10.0).collect();
+        let mut whole = Histogram::new(0.0, 10.0, 20);
+        whole.extend(&data);
+        let mut a = Histogram::new(0.0, 10.0, 20);
+        a.extend(&data[..200]);
+        let mut b = Histogram::new(0.0, 10.0, 20);
+        b.extend(&data[200..]);
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_mismatched_bins_panics() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let b = Histogram::new(0.0, 1.0, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn quantiles_of_uniform() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..10_000 {
+            h.push(i as f64 / 10_000.0);
+        }
+        assert!((h.quantile(0.5).unwrap() - 0.5).abs() < 0.02);
+        assert!((h.quantile(0.9).unwrap() - 0.9).abs() < 0.02);
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        let mut h = Histogram::new(-5.0, 5.0, 32);
+        let data: Vec<f64> = (0..999).map(|i| ((i * 7919) % 1000) as f64 / 100.0 - 5.0).collect();
+        h.extend(&data);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = h.quantile(i as f64 / 20.0).unwrap();
+            assert!(q >= prev, "quantiles must be monotone");
+            prev = q;
+        }
+    }
+}

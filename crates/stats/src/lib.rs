@@ -1,0 +1,42 @@
+//! # sitra-stats
+//!
+//! Numerically stable, single-pass, parallel descriptive statistics — the
+//! Rust reimplementation of the VTK parallel-statistics toolkit used by
+//! the SC'12 paper (Bennett/Pébay/Thompson: "Numerically stable,
+//! single-pass, parallel statistics algorithms").
+//!
+//! The toolkit follows the paper's four-stage design (its Fig. 4):
+//!
+//! * **learn** — build a primary statistical model (centered moment
+//!   aggregates up to order four, extremes, cardinality) from raw
+//!   observations. This is the *only* stage that ever needs inter-process
+//!   communication: partial models from different ranks are merged with
+//!   the exact pairwise combination formulas in [`moments::Moments::merge`].
+//! * **derive** — turn a primary model into descriptive quantities
+//!   (variance, standard deviation, skewness, excess kurtosis, ...).
+//! * **assess** — annotate individual observations relative to a model
+//!   (z-scores / relative deviations).
+//! * **test** — compute test statistics for hypothesis testing from a
+//!   model (Jarque–Bera normality test, one-sample t).
+//!
+//! Because `learn` produces a tiny, mergeable, serializable model, the
+//! split maps directly onto the hybrid framework: ranks run `learn`
+//! in-situ on their local block and ship the partial models (a few dozen
+//! bytes per variable) to the staging area, where a single in-transit
+//! bucket merges them and runs `derive`.
+
+pub mod assess;
+pub mod comoments;
+pub mod derive;
+pub mod histogram;
+pub mod moments;
+pub mod parallel;
+pub mod testing;
+
+pub use assess::{assess, Assessment};
+pub use comoments::CoMoments;
+pub use derive::{derive, Derived};
+pub use histogram::Histogram;
+pub use moments::Moments;
+pub use parallel::{learn_all_reduce, learn_parallel, learn_serial, MultiModel};
+pub use testing::{jarque_bera, t_statistic};

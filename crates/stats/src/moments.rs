@@ -1,0 +1,246 @@
+//! Single-pass centered-moment accumulators with exact pairwise merging.
+
+use serde::{Deserialize, Serialize};
+
+/// The primary statistical model of the `learn` stage: cardinality,
+/// extremes, mean, and centered aggregates `M2..M4` for one variable.
+///
+/// `Mk = Σ (x_i − mean)^k` is maintained incrementally with the
+/// numerically stable one-pass update of Pébay (2008), and two partial
+/// models are merged *exactly* (up to floating-point rounding) with the
+/// pairwise combination formulas — this is what makes `learn`
+/// embarrassingly reducible across ranks and what the hybrid stats
+/// pipeline ships over the network (48 bytes of payload per variable
+/// instead of the raw block).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    /// Number of observations.
+    pub n: u64,
+    /// Smallest observation (`+inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Second centered aggregate `Σ (x−mean)²`.
+    pub m2: f64,
+    /// Third centered aggregate `Σ (x−mean)³`.
+    pub m3: f64,
+    /// Fourth centered aggregate `Σ (x−mean)⁴`.
+    pub m4: f64,
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Moments {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+        }
+    }
+
+    /// Learn from a slice in one pass.
+    pub fn from_slice(data: &[f64]) -> Self {
+        let mut m = Self::new();
+        for &x in data {
+            m.push(x);
+        }
+        m
+    }
+
+    /// True if no observation has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Incorporate one observation (Pébay one-pass update).
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Merge another partial model into this one (pairwise combination).
+    ///
+    /// This operation is associative and commutative up to floating-point
+    /// rounding, which is exactly the property that lets `learn` be
+    /// reduced in any tree shape across ranks.
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta3 * delta;
+
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+
+        self.mean += delta * nb / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `merge` as a pure binary operator, convenient for reductions.
+    pub fn combined(mut self, other: Moments) -> Moments {
+        self.merge(&other);
+        self
+    }
+
+    /// Serialized size of the model in bytes: 7 fields × 8 bytes. This is
+    /// the per-variable payload the hybrid pipeline moves per rank.
+    pub const WIRE_BYTES: usize = 56;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    /// Reference: two-pass textbook computation.
+    fn reference(data: &[f64]) -> (f64, f64, f64, f64) {
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let mk = |k: i32| data.iter().map(|x| (x - mean).powi(k)).sum::<f64>();
+        (mean, mk(2), mk(3), mk(4))
+    }
+
+    #[test]
+    fn empty_model() {
+        let m = Moments::new();
+        assert!(m.is_empty());
+        assert_eq!(m.n, 0);
+        assert!(m.min.is_infinite() && m.min > 0.0);
+        assert!(m.max.is_infinite() && m.max < 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let m = Moments::from_slice(&[42.0]);
+        assert_eq!(m.n, 1);
+        assert_eq!((m.min, m.max, m.mean), (42.0, 42.0, 42.0));
+        assert_eq!((m.m2, m.m3, m.m4), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn matches_two_pass_reference() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let m = Moments::from_slice(&data);
+        let (mean, m2, m3, m4) = reference(&data);
+        assert!(close(m.mean, mean, 1e-14));
+        assert!(close(m.m2, m2, 1e-13));
+        assert!(close(m.m3, m3, 1e-13));
+        assert!(close(m.m4, m4, 1e-13));
+        assert_eq!((m.min, m.max), (2.0, 9.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a = [1.0, 2.5, -3.0, 8.0];
+        let b = [0.5, 0.5, 11.0, -2.0, 4.0];
+        let mut left = Moments::from_slice(&a);
+        left.merge(&Moments::from_slice(&b));
+        let whole: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let all = Moments::from_slice(&whole);
+        assert_eq!(left.n, all.n);
+        assert!(close(left.mean, all.mean, 1e-14));
+        assert!(close(left.m2, all.m2, 1e-12));
+        assert!(close(left.m3, all.m3, 1e-12));
+        assert!(close(left.m4, all.m4, 1e-12));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let m = Moments::from_slice(&[3.0, 1.0, 4.0]);
+        let mut a = m;
+        a.merge(&Moments::new());
+        assert_eq!(a, m);
+        let mut b = Moments::new();
+        b.merge(&m);
+        assert_eq!(b, m);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Moments::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Moments::from_slice(&[10.0, -4.0]);
+        let ab = a.combined(b);
+        let ba = b.combined(a);
+        assert_eq!(ab.n, ba.n);
+        assert!(close(ab.mean, ba.mean, 1e-14));
+        assert!(close(ab.m2, ba.m2, 1e-12));
+        assert!(close(ab.m3, ba.m3, 1e-12));
+        assert!(close(ab.m4, ba.m4, 1e-12));
+    }
+
+    #[test]
+    fn numerically_stable_under_large_offset() {
+        // Catastrophic-cancellation stress: tiny variance on a huge mean.
+        // A naive Σx²−(Σx)²/n formulation loses all precision here; the
+        // one-pass update must not.
+        let offset = 1.0e9;
+        let data: Vec<f64> = (0..1000).map(|i| offset + (i % 7) as f64).collect();
+        let m = Moments::from_slice(&data);
+        let centered: Vec<f64> = data.iter().map(|x| x - offset).collect();
+        let exact = Moments::from_slice(&centered);
+        // The mean itself is stored at the 1e9 scale, so one ulp there is
+        // ~1.2e-7; allow a few ulps.
+        assert!((m.mean - offset - exact.mean).abs() < 1e-5);
+        assert!(close(m.m2, exact.m2, 1e-6));
+    }
+
+    #[test]
+    fn wire_size_matches_struct_payload() {
+        assert_eq!(Moments::WIRE_BYTES, 7 * 8);
+    }
+}

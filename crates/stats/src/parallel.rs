@@ -1,0 +1,195 @@
+//! Parallel `learn`: shared-memory data parallelism and the rank-level
+//! reduction used by the fully in-situ statistics variant.
+
+use crate::Moments;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Learn a [`Moments`] model from a slice, single-threaded.
+pub fn learn_serial(data: &[f64]) -> Moments {
+    Moments::from_slice(data)
+}
+
+/// Learn a [`Moments`] model from a slice using all available cores.
+///
+/// Chunks are learned independently and merged pairwise; because the
+/// merge is exact, the result equals the serial model up to floating-point
+/// rounding regardless of chunking.
+pub fn learn_parallel(data: &[f64]) -> Moments {
+    const CHUNK: usize = 64 * 1024;
+    if data.len() <= CHUNK {
+        return learn_serial(data);
+    }
+    data.par_chunks(CHUNK)
+        .map(Moments::from_slice)
+        .reduce(Moments::new, Moments::combined)
+}
+
+/// Communication accounting for a simulated rank-level reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceStats {
+    /// Number of communication rounds (≈ ⌈log₂ ranks⌉ for the binomial tree).
+    pub rounds: usize,
+    /// Total point-to-point messages exchanged.
+    pub messages: usize,
+    /// Total bytes moved across ranks.
+    pub bytes: usize,
+}
+
+/// Combine per-rank partial models with a binomial-tree all-reduce, the
+/// communication pattern MPI_Allreduce would use for the fully in-situ
+/// statistics variant. Returns the global model plus communication
+/// accounting (every rank ends up with the model; accounting covers the
+/// reduce phase followed by a broadcast down the same tree).
+pub fn learn_all_reduce(partials: &[Moments]) -> (Moments, ReduceStats) {
+    assert!(!partials.is_empty(), "need at least one rank");
+    let mut work: Vec<Moments> = partials.to_vec();
+    let n = work.len();
+    let mut stride = 1usize;
+    let mut stats = ReduceStats {
+        rounds: 0,
+        messages: 0,
+        bytes: 0,
+    };
+    while stride < n {
+        stats.rounds += 1;
+        let mut i = 0;
+        while i + stride < n {
+            let src = work[i + stride];
+            work[i].merge(&src);
+            stats.messages += 1;
+            stats.bytes += Moments::WIRE_BYTES;
+            i += stride * 2;
+        }
+        stride *= 2;
+    }
+    // Broadcast back down the tree: same message count and rounds.
+    let reduce_msgs = stats.messages;
+    let reduce_rounds = stats.rounds;
+    stats.messages += reduce_msgs;
+    stats.bytes += reduce_msgs * Moments::WIRE_BYTES;
+    stats.rounds += reduce_rounds;
+    (work[0], stats)
+}
+
+/// Named per-variable models for a multi-variable data set — what one rank
+/// ships to the staging area in the hybrid statistics variant.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MultiModel {
+    /// `(variable name, partial model)` pairs.
+    pub vars: Vec<(String, Moments)>,
+}
+
+impl MultiModel {
+    /// Learn one model per named variable.
+    pub fn learn(vars: &[(&str, &[f64])]) -> Self {
+        Self {
+            vars: vars
+                .iter()
+                .map(|(name, data)| (name.to_string(), learn_parallel(data)))
+                .collect(),
+        }
+    }
+
+    /// Merge another multi-model; variable sets must match in order.
+    pub fn merge(&mut self, other: &MultiModel) {
+        if self.vars.is_empty() {
+            self.vars = other.vars.clone();
+            return;
+        }
+        assert_eq!(self.vars.len(), other.vars.len(), "variable sets differ");
+        for ((na, ma), (nb, mb)) in self.vars.iter_mut().zip(&other.vars) {
+            assert_eq!(na, nb, "variable order differs");
+            ma.merge(mb);
+        }
+    }
+
+    /// Look up a variable's model by name.
+    pub fn get(&self, name: &str) -> Option<&Moments> {
+        self.vars.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// Wire size of this partial model in bytes (moments payload only).
+    pub fn wire_bytes(&self) -> usize {
+        self.vars.len() * Moments::WIRE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 2654435761) % 1_000_003) as f64 / 997.0).collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let data = sample(300_000);
+        let s = learn_serial(&data);
+        let p = learn_parallel(&data);
+        assert_eq!(s.n, p.n);
+        assert!(close(s.mean, p.mean));
+        assert!(close(s.m2, p.m2));
+        assert!(close(s.m3, p.m3));
+        assert!(close(s.m4, p.m4));
+        assert_eq!((s.min, s.max), (p.min, p.max));
+    }
+
+    #[test]
+    fn all_reduce_matches_flat_merge() {
+        let data = sample(10_000);
+        let partials: Vec<Moments> = data.chunks(617).map(Moments::from_slice).collect();
+        let (reduced, stats) = learn_all_reduce(&partials);
+        let mut flat = Moments::new();
+        for p in &partials {
+            flat.merge(p);
+        }
+        assert_eq!(reduced.n, flat.n);
+        assert!(close(reduced.mean, flat.mean));
+        assert!(close(reduced.m2, flat.m2));
+        // Binomial tree: p-1 messages up, p-1 down.
+        let p = partials.len();
+        assert_eq!(stats.messages, 2 * (p - 1));
+        assert_eq!(stats.bytes, 2 * (p - 1) * Moments::WIRE_BYTES);
+        assert_eq!(stats.rounds, 2 * p.next_power_of_two().trailing_zeros() as usize);
+    }
+
+    #[test]
+    fn all_reduce_single_rank() {
+        let m = Moments::from_slice(&[1.0, 2.0]);
+        let (r, stats) = learn_all_reduce(&[m]);
+        assert_eq!(r, m);
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn multimodel_merge_per_variable() {
+        let a1 = [1.0, 2.0, 3.0];
+        let a2 = [4.0, 5.0];
+        let b1 = [10.0, 20.0, 30.0];
+        let b2 = [40.0, 50.0];
+        let mut ma = MultiModel::learn(&[("t", &a1), ("p", &b1)]);
+        let mb = MultiModel::learn(&[("t", &a2), ("p", &b2)]);
+        ma.merge(&mb);
+        let whole_t = Moments::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(ma.get("t").unwrap().n, whole_t.n);
+        assert!(close(ma.get("t").unwrap().mean, whole_t.mean));
+        assert!(close(ma.get("p").unwrap().mean, 30.0));
+        assert!(ma.get("missing").is_none());
+        assert_eq!(ma.wire_bytes(), 2 * Moments::WIRE_BYTES);
+    }
+
+    #[test]
+    #[should_panic]
+    fn multimodel_mismatched_vars_panic() {
+        let mut a = MultiModel::learn(&[("t", &[1.0][..])]);
+        let b = MultiModel::learn(&[("p", &[1.0][..])]);
+        a.merge(&b);
+    }
+}

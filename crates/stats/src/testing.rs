@@ -1,0 +1,95 @@
+//! The `test` stage: test statistics for hypothesis testing.
+
+use crate::Derived;
+
+/// Jarque–Bera normality test statistic:
+/// `JB = n/6 · (g1² + g2²/4)` where `g1` is skewness and `g2` excess
+/// kurtosis. Under normality JB is asymptotically χ²(2); values ≫ 6
+/// indicate strong departure from normality.
+pub fn jarque_bera(model: &Derived) -> f64 {
+    let n = model.count as f64;
+    n / 6.0
+        * (model.skewness * model.skewness
+            + model.kurtosis_excess * model.kurtosis_excess / 4.0)
+}
+
+/// One-sample t statistic for the null hypothesis `mean == mu0`:
+/// `t = (x̄ − μ₀) / (s / √n)`. Returns 0 for degenerate models where the
+/// sample mean exactly equals `mu0`, and ±inf when variance is zero but
+/// the means differ.
+pub fn t_statistic(model: &Derived, mu0: f64) -> f64 {
+    let n = model.count as f64;
+    let diff = model.mean - mu0;
+    if model.std_dev == 0.0 {
+        return if diff == 0.0 {
+            0.0
+        } else {
+            diff.signum() * f64::INFINITY
+        };
+    }
+    diff / (model.std_dev / n.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{derive, Moments};
+
+    fn model_of(data: &[f64]) -> Derived {
+        derive(&Moments::from_slice(data)).unwrap()
+    }
+
+    #[test]
+    fn jb_small_for_gaussian_like() {
+        // Deterministic near-Gaussian data via inverse-CDF-ish sum of
+        // uniforms (central limit): 12 uniforms per sample.
+        let mut data = Vec::new();
+        let mut state = 1u64;
+        for _ in 0..5_000 {
+            let mut s = 0.0;
+            for _ in 0..12 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s += (state >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            data.push(s - 6.0);
+        }
+        let jb = jarque_bera(&model_of(&data));
+        assert!(jb < 10.0, "JB = {jb}");
+    }
+
+    #[test]
+    fn jb_large_for_skewed_data() {
+        let data: Vec<f64> = (0..2_000).map(|i| ((i % 100) as f64 / 10.0).exp()).collect();
+        let jb = jarque_bera(&model_of(&data));
+        assert!(jb > 100.0, "JB = {jb}");
+    }
+
+    #[test]
+    fn t_zero_when_mean_matches() {
+        let m = model_of(&[1.0, 2.0, 3.0]);
+        assert_eq!(t_statistic(&m, 2.0), 0.0);
+    }
+
+    #[test]
+    fn t_sign_follows_shift() {
+        let m = model_of(&[1.0, 2.0, 3.0]);
+        assert!(t_statistic(&m, 0.0) > 0.0);
+        assert!(t_statistic(&m, 5.0) < 0.0);
+    }
+
+    #[test]
+    fn t_grows_with_sample_size() {
+        let small = model_of(&[0.9, 1.1, 1.0, 1.2, 0.8]);
+        let big_data: Vec<f64> = (0..500).map(|i| 1.0 + 0.2 * ((i % 5) as f64 - 2.0) / 2.0).collect();
+        let big = model_of(&big_data);
+        assert!(t_statistic(&big, 0.5).abs() > t_statistic(&small, 0.5).abs());
+    }
+
+    #[test]
+    fn t_degenerate_cases() {
+        let m = model_of(&[4.0; 8]);
+        assert_eq!(t_statistic(&m, 4.0), 0.0);
+        assert_eq!(t_statistic(&m, 3.0), f64::INFINITY);
+        assert_eq!(t_statistic(&m, 5.0), f64::NEG_INFINITY);
+    }
+}

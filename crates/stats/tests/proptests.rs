@@ -1,0 +1,104 @@
+//! Property-based tests for the statistics toolkit: the merge operation
+//! must behave like learning the concatenated data, for any partitioning
+//! and any merge tree shape.
+
+use proptest::prelude::*;
+use sitra_stats::{derive, learn_all_reduce, CoMoments, Histogram, Moments};
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+fn datavec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e3..1.0e3f64, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn merge_any_split_equals_whole(data in datavec(), cut in 0usize..200) {
+        let cut = cut.min(data.len());
+        let whole = Moments::from_slice(&data);
+        let mut m = Moments::from_slice(&data[..cut]);
+        m.merge(&Moments::from_slice(&data[cut..]));
+        prop_assert_eq!(m.n, whole.n);
+        prop_assert!(close(m.mean, whole.mean, 1e-10));
+        prop_assert!(close(m.m2, whole.m2, 1e-8));
+        prop_assert!(close(m.m3, whole.m3, 1e-6));
+        prop_assert!(close(m.m4, whole.m4, 1e-6));
+        prop_assert_eq!(m.min, whole.min);
+        prop_assert_eq!(m.max, whole.max);
+    }
+
+    #[test]
+    fn merge_many_chunks_equals_whole(data in datavec(), chunk in 1usize..40) {
+        let whole = Moments::from_slice(&data);
+        let mut m = Moments::new();
+        for c in data.chunks(chunk) {
+            m.merge(&Moments::from_slice(c));
+        }
+        prop_assert_eq!(m.n, whole.n);
+        prop_assert!(close(m.mean, whole.mean, 1e-10));
+        prop_assert!(close(m.m2, whole.m2, 1e-7));
+    }
+
+    #[test]
+    fn all_reduce_equals_serial(data in datavec(), chunk in 1usize..40) {
+        let partials: Vec<Moments> = data.chunks(chunk).map(Moments::from_slice).collect();
+        let (reduced, _) = learn_all_reduce(&partials);
+        let whole = Moments::from_slice(&data);
+        prop_assert_eq!(reduced.n, whole.n);
+        prop_assert!(close(reduced.mean, whole.mean, 1e-10));
+        prop_assert!(close(reduced.m2, whole.m2, 1e-7));
+    }
+
+    #[test]
+    fn derived_variance_nonnegative(data in datavec()) {
+        let d = derive(&Moments::from_slice(&data)).unwrap();
+        prop_assert!(d.variance >= 0.0);
+        prop_assert!(d.min <= d.mean + 1e-9 && d.mean <= d.max + 1e-9);
+    }
+
+    #[test]
+    fn comoments_merge_equals_whole(xy in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 2..120),
+                                     cut in 0usize..120) {
+        let cut = cut.min(xy.len());
+        let xs: Vec<f64> = xy.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = xy.iter().map(|p| p.1).collect();
+        let whole = CoMoments::from_slices(&xs, &ys);
+        let mut m = CoMoments::from_slices(&xs[..cut], &ys[..cut]);
+        m.merge(&CoMoments::from_slices(&xs[cut..], &ys[cut..]));
+        prop_assert_eq!(m.n, whole.n);
+        prop_assert!(close(m.mean_x, whole.mean_x, 1e-10));
+        prop_assert!(close(m.mean_y, whole.mean_y, 1e-10));
+        prop_assert!(close(m.cxy, whole.cxy, 1e-7));
+    }
+
+    #[test]
+    fn correlation_bounded(xy in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 3..100)) {
+        let xs: Vec<f64> = xy.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = xy.iter().map(|p| p.1).collect();
+        if let Some(r) = CoMoments::from_slices(&xs, &ys).correlation() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn histogram_merge_any_split(data in prop::collection::vec(-2.0..12.0f64, 0..200), cut in 0usize..200) {
+        let cut = cut.min(data.len());
+        let mut whole = Histogram::new(0.0, 10.0, 16);
+        whole.extend(&data);
+        let mut a = Histogram::new(0.0, 10.0, 16);
+        a.extend(&data[..cut]);
+        let mut b = Histogram::new(0.0, 10.0, 16);
+        b.extend(&data[cut..]);
+        a.merge(&b);
+        prop_assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn histogram_total_conserved(data in prop::collection::vec(-1.0e4..1.0e4f64, 0..300)) {
+        let mut h = Histogram::new(-10.0, 10.0, 8);
+        h.extend(&data);
+        prop_assert_eq!(h.total() as usize, data.len());
+    }
+}

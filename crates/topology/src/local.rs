@@ -1,0 +1,267 @@
+//! The in-situ stage: augmented join tree of one block.
+//!
+//! This is the paper's adaptation of the Carr–Snoeyink–Axen algorithm: a
+//! low-overhead, in-core sweep that sorts the block's vertices by value
+//! and grows superlevel-set components with a union-find, recording for
+//! every vertex the next vertex downward in its component — the
+//! *augmented* join tree (every grid point appears as a tree node).
+//!
+//! The sort makes the algorithm ill-suited to a global distributed
+//! solution (as the paper notes), but on a single rank's block it is fast
+//! and cache-friendly; the result is immediately sparsified by
+//! [`crate::reduce`] before leaving the node.
+
+use crate::types::{sweep_before, Connectivity, UnionFind, VertexId};
+use sitra_mesh::{BBox3, ScalarField};
+
+/// The augmented join tree of one block: for every local vertex, the next
+/// vertex strictly downward in the sweep, or `None` for the block's
+/// lowest vertex of its component.
+#[derive(Debug, Clone)]
+pub struct AugmentedTree {
+    /// The region the tree covers (a ghosted block, or the whole domain).
+    pub bbox: BBox3,
+    /// The global domain, defining vertex ids.
+    pub global: BBox3,
+    /// Down pointer per local linear index.
+    pub down: Vec<Option<u32>>,
+    /// Number of tree children (up-arcs) per local linear index.
+    pub up_count: Vec<u32>,
+}
+
+impl AugmentedTree {
+    /// Global vertex id of a local index.
+    #[inline]
+    pub fn vertex_id(&self, local: u32) -> VertexId {
+        self.global.local_index(self.bbox.coord_of(local as usize)) as VertexId
+    }
+
+    /// Local index of a global coordinate.
+    #[inline]
+    pub fn local_of(&self, p: [usize; 3]) -> u32 {
+        self.bbox.local_index(p) as u32
+    }
+
+    /// True if the local vertex is a leaf (local maximum of the block).
+    #[inline]
+    pub fn is_leaf(&self, local: u32) -> bool {
+        self.up_count[local as usize] == 0
+    }
+
+    /// True if the local vertex is critical in this block's tree:
+    /// a leaf (maximum), a merge saddle, or a component root.
+    #[inline]
+    pub fn is_critical(&self, local: u32) -> bool {
+        let u = self.up_count[local as usize];
+        u != 1 || self.down[local as usize].is_none()
+    }
+
+    /// Iterate the local indices of all critical vertices.
+    pub fn criticals(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.down.len() as u32).filter(|&i| self.is_critical(i))
+    }
+}
+
+/// Compute the augmented join tree of `field` under `conn` connectivity.
+///
+/// `global` is the full domain (defines vertex ids and hence the global
+/// sweep order; ties in value are broken by id so the result is the tree
+/// of an effectively injective function).
+pub fn augmented_join_tree(
+    field: &ScalarField,
+    global: &BBox3,
+    conn: Connectivity,
+) -> AugmentedTree {
+    let bbox = field.bbox();
+    let n = field.len();
+    assert!(n > 0, "empty block");
+    assert!(
+        global.contains_box(&bbox),
+        "block {bbox:?} outside global domain {global:?}"
+    );
+
+    // Sweep order: descending (value, id).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let key = |i: u32| -> (f64, VertexId) {
+        (
+            field.get_linear(i as usize),
+            global.local_index(bbox.coord_of(i as usize)) as VertexId,
+        )
+    };
+    order.sort_unstable_by(|&a, &b| {
+        let ka = key(a);
+        let kb = key(b);
+        // Descending by value, ascending by id on ties.
+        kb.0.partial_cmp(&ka.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(ka.1.cmp(&kb.1))
+    });
+
+    let mut uf = UnionFind::new(n);
+    // Per component representative: the most recently swept vertex (the
+    // current "growth point" the next arc will attach to).
+    let mut lowest: Vec<u32> = (0..n as u32).collect();
+    let mut down: Vec<Option<u32>> = vec![None; n];
+    let mut up_count: Vec<u32> = vec![0; n];
+    let mut processed = vec![false; n];
+
+    let offsets = conn.offsets();
+    for &v in &order {
+        let vk = key(v);
+        let p = bbox.coord_of(v as usize);
+        for d in &offsets {
+            let mut q = [0usize; 3];
+            let mut ok = true;
+            for a in 0..3 {
+                let c = p[a] as isize + d[a];
+                if c < bbox.lo[a] as isize || c >= bbox.hi[a] as isize {
+                    ok = false;
+                    break;
+                }
+                q[a] = c as usize;
+            }
+            if !ok {
+                continue;
+            }
+            let u = bbox.local_index(q) as u32;
+            if !processed[u as usize] {
+                continue;
+            }
+            debug_assert!(sweep_before(key(u), vk));
+            let ru = uf.find(u);
+            let rv = uf.find(v);
+            if ru == rv {
+                continue;
+            }
+            // The component of u reaches down to v: attach its growth
+            // point.
+            let l = lowest[ru as usize];
+            debug_assert!(down[l as usize].is_none());
+            down[l as usize] = Some(v);
+            up_count[v as usize] += 1;
+            let r = uf.union(ru, rv);
+            lowest[r as usize] = v;
+        }
+        processed[v as usize] = true;
+        let rv = uf.find(v);
+        lowest[rv as usize] = v;
+    }
+
+    AugmentedTree {
+        bbox,
+        global: *global,
+        down,
+        up_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_of(values: Vec<f64>, dims: [usize; 3], conn: Connectivity) -> AugmentedTree {
+        let b = BBox3::from_dims(dims);
+        let f = ScalarField::from_vec(b, values);
+        augmented_join_tree(&f, &b, conn)
+    }
+
+    #[test]
+    fn monotone_ramp_is_a_path() {
+        // 1D ramp: single maximum at the top, every vertex chains down.
+        let t = tree_of((0..8).map(|i| i as f64).collect(), [8, 1, 1], Connectivity::Six);
+        let leaves: Vec<u32> = (0..8).filter(|&i| t.is_leaf(i)).collect();
+        assert_eq!(leaves, vec![7]);
+        // Chain: 7 -> 6 -> ... -> 0, root at 0.
+        for i in 1..8u32 {
+            assert_eq!(t.down[i as usize], Some(i - 1));
+        }
+        assert_eq!(t.down[0], None);
+        assert_eq!(t.criticals().count(), 2); // leaf + root
+    }
+
+    #[test]
+    fn two_peaks_merge_at_saddle() {
+        // Values: 5 1 4  => maxima at 0 and 2, saddle at 1 (root).
+        let t = tree_of(vec![5.0, 1.0, 4.0], [3, 1, 1], Connectivity::Six);
+        assert!(t.is_leaf(0));
+        assert!(t.is_leaf(2));
+        assert_eq!(t.down[0], Some(1));
+        assert_eq!(t.down[2], Some(1));
+        assert_eq!(t.up_count[1], 2);
+        assert_eq!(t.down[1], None); // saddle is also the global min/root
+    }
+
+    #[test]
+    fn w_profile() {
+        // 5 1 4 0 3: maxima 0,2,4; merges at 1 then 3.
+        let t = tree_of(vec![5.0, 1.0, 4.0, 0.0, 3.0], [5, 1, 1], Connectivity::Six);
+        assert_eq!((0..5).filter(|&i| t.is_leaf(i)).count(), 3);
+        assert_eq!(t.up_count[1], 2); // 5-peak and 4-peak merge at 1
+        assert_eq!(t.up_count[3], 2); // that component and the 3-peak merge at 0... at 3
+        assert_eq!(t.down[1], Some(3));
+        assert_eq!(t.down[4], Some(3));
+        assert_eq!(t.down[3], None);
+    }
+
+    #[test]
+    fn constant_field_single_leaf_by_tiebreak() {
+        let t = tree_of(vec![2.0; 27], [3, 3, 3], Connectivity::TwentySix);
+        // Tie-break by id: vertex 0 is highest, the only leaf.
+        let leaves: Vec<u32> = (0..27).filter(|&i| t.is_leaf(i)).collect();
+        assert_eq!(leaves, vec![0]);
+        // Exactly one root.
+        assert_eq!((0..27).filter(|&i| t.down[i as usize].is_none()).count(), 1);
+    }
+
+    #[test]
+    fn down_pointers_descend_in_sweep_order() {
+        let b = BBox3::from_dims([4, 4, 4]);
+        let f = ScalarField::from_fn(b, |p| {
+            ((p[0] * 7 + p[1] * 13 + p[2] * 29) % 11) as f64
+        });
+        let t = augmented_join_tree(&f, &b, Connectivity::Six);
+        for i in 0..f.len() as u32 {
+            if let Some(d) = t.down[i as usize] {
+                let ki = (f.get_linear(i as usize), t.vertex_id(i));
+                let kd = (f.get_linear(d as usize), t.vertex_id(d));
+                assert!(sweep_before(ki, kd), "down must strictly descend");
+            }
+        }
+        // up_count consistency.
+        let mut counts = vec![0u32; f.len()];
+        for i in 0..f.len() {
+            if let Some(d) = t.down[i] {
+                counts[d as usize] += 1;
+            }
+        }
+        assert_eq!(counts, t.up_count);
+    }
+
+    #[test]
+    fn tree_has_n_minus_components_edges() {
+        // A connected grid block yields exactly one root and n-1 edges.
+        let b = BBox3::from_dims([5, 3, 2]);
+        let f = ScalarField::from_fn(b, |p| ((p[0] * 31 + p[1] * 17 + p[2] * 5) % 13) as f64);
+        let t = augmented_join_tree(&f, &b, Connectivity::Six);
+        let edges = t.down.iter().filter(|d| d.is_some()).count();
+        let roots = t.down.iter().filter(|d| d.is_none()).count();
+        assert_eq!(roots, 1);
+        assert_eq!(edges, f.len() - 1);
+    }
+
+    #[test]
+    fn connectivity_changes_maxima() {
+        // A diagonal pair is connected under 26- but not 6-connectivity.
+        //   values: 1 0
+        //           0 1   (z = 1 slab of zeros keeps it 3D-valid)
+        let b = BBox3::from_dims([2, 2, 1]);
+        let f = ScalarField::from_vec(b, vec![1.0, 0.0, 0.0, 1.0]);
+        let t6 = augmented_join_tree(&f, &b, Connectivity::Six);
+        let t26 = augmented_join_tree(&f, &b, Connectivity::TwentySix);
+        let leaves6 = (0..4).filter(|&i| t6.is_leaf(i)).count();
+        let leaves26 = (0..4).filter(|&i| t26.is_leaf(i)).count();
+        assert_eq!(leaves6, 2);
+        // Under 26-connectivity the two 1.0s are adjacent: one leaf.
+        assert_eq!(leaves26, 1);
+    }
+}

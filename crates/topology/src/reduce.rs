@@ -1,0 +1,289 @@
+//! Sparsifying a local augmented tree into the intermediate [`Subtree`]
+//! that ships to the staging area.
+//!
+//! The reduction keeps local critical points (maxima, merge saddles,
+//! component roots) plus the *interface* vertices the caller selects —
+//! the topological equivalent of ghost cells. Regular non-interface
+//! vertices are spliced out of the tree chains. The resulting vertex and
+//! edge lists are the "intermediate results" of the paper's hybrid
+//! topology pipeline: typically orders of magnitude smaller than the
+//! block, yet sufficient for the streaming in-transit stage to
+//! reconstruct the exact global merge tree.
+//!
+//! Two interface policies are provided by [`crate::distributed`]:
+//!
+//! * **AllShared** — keep every vertex seen by more than one rank. Simple
+//!   and obviously sound, but the payload scales with the block surface.
+//! * **BoundaryMaxima** — keep, per neighbor pair, only the maxima of the
+//!   field restricted to the pair's overlap region (the paper's "maxima
+//!   restricted to boundary components", with corner overlaps arising as
+//!   their own pair regions). Sound because any superlevel crossing at a
+//!   dropped interface vertex is witnessed by an uphill path *within the
+//!   overlap region* to one of its kept maxima.
+
+use crate::local::AugmentedTree;
+use crate::stream::SourceId;
+use crate::types::VertexId;
+use serde::{Deserialize, Serialize};
+use sitra_mesh::ScalarField;
+
+/// One kept vertex of a subtree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubtreeVertex {
+    /// Global vertex id.
+    pub id: VertexId,
+    /// Field value.
+    pub value: f64,
+    /// Incident edge count within this subtree.
+    pub degree: u32,
+    /// All sources that might declare this vertex (always includes the
+    /// subtree's own source). Derived from bounding-box arithmetic, so
+    /// every declaring rank sends the same set.
+    pub potential: Vec<SourceId>,
+    /// Request the aggregator to keep this vertex in the final tree even
+    /// if it turns out to be globally regular (used by feature-based
+    /// statistics to look up local maxima).
+    pub pinned: bool,
+}
+
+/// The intermediate data of one rank's in-situ topology stage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Subtree {
+    /// The producing source (rank).
+    pub source: SourceId,
+    /// Kept vertices.
+    pub verts: Vec<SubtreeVertex>,
+    /// Edges between kept vertices, upper first.
+    pub edges: Vec<(VertexId, VertexId)>,
+}
+
+impl Subtree {
+    /// Wire size: id (8) + value (8) + degree (4) per vertex, 4 bytes per
+    /// potential-source entry beyond the implicit own source, 16 per edge.
+    pub fn bytes(&self) -> usize {
+        let vert_bytes: usize = self
+            .verts
+            .iter()
+            .map(|v| 20 + 4 * v.potential.len().saturating_sub(1))
+            .sum();
+        vert_bytes + self.edges.len() * 16
+    }
+
+    /// Feed this subtree into a streaming aggregator and announce its end.
+    pub fn stream_into(&self, sink: &mut crate::stream::StreamingMergeTree) {
+        for v in &self.verts {
+            sink.declare_vertex(self.source, v.id, v.value, v.degree, &v.potential);
+            if v.pinned {
+                sink.pin_vertex(v.id);
+            }
+        }
+        for &(a, b) in &self.edges {
+            sink.insert_edge(a, b);
+        }
+        sink.end_source(self.source);
+    }
+}
+
+/// What the caller knows about a point's relationship to other ranks.
+#[derive(Debug, Clone)]
+pub struct InterfaceInfo {
+    /// All sources that *might* declare this vertex — every rank whose
+    /// (ghosted) region contains the point, including this one. Must be
+    /// identical no matter which rank computes it, because the streaming
+    /// aggregator uses it to decide when a vertex can be finalized.
+    pub potential: Vec<SourceId>,
+    /// True if the vertex must be kept as an interface vertex (in
+    /// addition to any vertex kept for being critical).
+    pub keep: bool,
+}
+
+/// Reduce an augmented local tree to the subtree of critical and kept
+/// interface vertices.
+///
+/// `field` must be the block the tree was computed from (for values);
+/// `info(p)` describes the point's sharing (see [`InterfaceInfo`]).
+/// Critical vertices are always kept; `info(p).keep` adds interface
+/// vertices. The potential set matters even for critical-only vertices:
+/// another rank may independently keep the same point, and the aggregator
+/// must know to wait for it.
+pub fn reduce_to_subtree(
+    tree: &AugmentedTree,
+    field: &ScalarField,
+    source: SourceId,
+    mut info: impl FnMut([usize; 3]) -> InterfaceInfo,
+) -> Subtree {
+    assert_eq!(tree.bbox, field.bbox(), "tree/field mismatch");
+    let n = tree.down.len();
+    let mut keep = vec![false; n];
+    let mut potential: Vec<Option<Vec<SourceId>>> = vec![None; n];
+    for i in 0..n as u32 {
+        let p = tree.bbox.coord_of(i as usize);
+        let fi = info(p);
+        if fi.keep || tree.is_critical(i) {
+            keep[i as usize] = true;
+            let mut pot = fi.potential;
+            if !pot.contains(&source) {
+                pot.push(source);
+            }
+            pot.sort_unstable();
+            pot.dedup();
+            potential[i as usize] = Some(pot);
+        }
+    }
+
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut degree: Vec<u32> = vec![0; n];
+    for i in 0..n as u32 {
+        if !keep[i as usize] {
+            continue;
+        }
+        // Walk down to the next kept vertex.
+        let mut cur = tree.down[i as usize];
+        while let Some(c) = cur {
+            if keep[c as usize] {
+                edges.push((tree.vertex_id(i), tree.vertex_id(c)));
+                degree[i as usize] += 1;
+                degree[c as usize] += 1;
+                break;
+            }
+            cur = tree.down[c as usize];
+        }
+    }
+    let mut verts: Vec<SubtreeVertex> = Vec::new();
+    for i in 0..n as u32 {
+        if keep[i as usize] {
+            verts.push(SubtreeVertex {
+                id: tree.vertex_id(i),
+                value: field.get_linear(i as usize),
+                degree: degree[i as usize],
+                potential: potential[i as usize]
+                    .take()
+                    .unwrap_or_else(|| vec![source]),
+                pinned: false,
+            });
+        }
+    }
+    Subtree {
+        source,
+        verts,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::augmented_join_tree;
+    use crate::stream::StreamingMergeTree;
+    use crate::types::Connectivity;
+    use sitra_mesh::BBox3;
+
+    fn hash_field(b: BBox3) -> ScalarField {
+        ScalarField::from_fn(b, |p| {
+            ((p[0].wrapping_mul(2654435761)
+                ^ p[1].wrapping_mul(40503)
+                ^ p[2].wrapping_mul(2246822519))
+                % 1009) as f64
+        })
+    }
+
+    #[test]
+    fn no_interface_keeps_only_criticals() {
+        let b = BBox3::from_dims([6, 6, 6]);
+        let f = hash_field(b);
+        let t = augmented_join_tree(&f, &b, Connectivity::Six);
+        let sub = reduce_to_subtree(&t, &f, 0, |_| InterfaceInfo { potential: vec![0], keep: false });
+        assert_eq!(sub.verts.len(), t.criticals().count());
+        assert!(sub.verts.len() < f.len());
+    }
+
+    #[test]
+    fn reduced_subtree_has_same_canonical_tree() {
+        // Streaming the reduced subtree of the whole domain reproduces the
+        // canonical tree of the full augmented tree.
+        let b = BBox3::from_dims([7, 5, 4]);
+        let f = hash_field(b);
+        let t = augmented_join_tree(&f, &b, Connectivity::TwentySix);
+        let mut full = crate::tree::MergeTree::new();
+        for i in 0..f.len() as u32 {
+            full.add_node(t.vertex_id(i), f.get_linear(i as usize));
+        }
+        for i in 0..f.len() as u32 {
+            if let Some(d) = t.down[i as usize] {
+                full.add_arc(t.vertex_id(i), t.vertex_id(d));
+            }
+        }
+        let sub = reduce_to_subtree(&t, &f, 0, |_| InterfaceInfo { potential: vec![0], keep: false });
+        let mut s = StreamingMergeTree::new();
+        sub.stream_into(&mut s);
+        let (glued, _) = s.finish();
+        assert_eq!(glued.canonical(), full.canonical());
+    }
+
+    #[test]
+    fn interface_vertices_are_kept_with_degrees() {
+        let b = BBox3::from_dims([5, 4, 3]);
+        let f = hash_field(b);
+        let t = augmented_join_tree(&f, &b, Connectivity::Six);
+        // Mark the x == 4 face as interface shared with source 1.
+        let sub = reduce_to_subtree(&t, &f, 0, |p| InterfaceInfo {
+            potential: if p[0] == 4 { vec![0, 1] } else { vec![0] },
+            keep: p[0] == 4,
+        });
+        for p in b.iter().filter(|p| p[0] == 4) {
+            let id = b.local_index(p) as VertexId;
+            let v = sub.verts.iter().find(|v| v.id == id).expect("kept");
+            assert_eq!(v.potential, vec![0, 1]);
+        }
+        // Degrees match edge incidences.
+        for v in &sub.verts {
+            let cnt = sub
+                .edges
+                .iter()
+                .filter(|&&(a, bb)| a == v.id || bb == v.id)
+                .count() as u32;
+            assert_eq!(cnt, v.degree, "vertex {}", v.id);
+        }
+    }
+
+    #[test]
+    fn subtree_edges_connect_kept_vertices_downward() {
+        let b = BBox3::from_dims([6, 3, 3]);
+        let f = hash_field(b);
+        let t = augmented_join_tree(&f, &b, Connectivity::Six);
+        let sub = reduce_to_subtree(&t, &f, 0, |p| InterfaceInfo {
+            potential: if p[0] == 0 { vec![0, 3] } else { vec![0] },
+            keep: p[0] == 0,
+        });
+        let val =
+            |id: VertexId| sub.verts.iter().find(|v| v.id == id).unwrap().value;
+        for &(a, c) in &sub.edges {
+            assert!(crate::types::sweep_before((val(a), a), (val(c), c)));
+        }
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let sub = Subtree {
+            source: 0,
+            verts: vec![
+                SubtreeVertex {
+                    id: 0,
+                    value: 1.0,
+                    degree: 1,
+                    potential: vec![0],
+                    pinned: false,
+                },
+                SubtreeVertex {
+                    id: 1,
+                    value: 0.0,
+                    degree: 1,
+                    potential: vec![0, 1],
+                    pinned: false,
+                },
+            ],
+            edges: vec![(0, 1)],
+        };
+        assert_eq!(sub.bytes(), 20 + (20 + 4) + 16);
+    }
+}

@@ -1,0 +1,512 @@
+//! The in-transit stage: streaming aggregation of subtrees.
+//!
+//! A single staging bucket receives subtree vertices and edges from all
+//! ranks *in arbitrary order* and maintains the merge tree of everything
+//! seen so far by **path merging**: inserting an edge merges the two
+//! endpoint chains like sorted lists. To keep the memory footprint low
+//! (the paper's key requirement for the serial in-transit stage), a vertex
+//! is *finalized* once no more information about it can arrive; a
+//! finalized **regular** vertex (exactly one up-arc, one down-arc) can
+//! never become critical again, so it is spliced out of its chain and
+//! evicted from memory. What remains in memory is essentially the set of
+//! critical points plus not-yet-finalized boundary vertices.
+//!
+//! Finalization protocol: every piece of the stream comes from a *source*
+//! (one rank's subtree). A vertex declaration names the set of sources
+//! that might also declare the same vertex (computable from bounding-box
+//! arithmetic — the ranks whose ghosted regions contain the point). A
+//! vertex is finalized when (a) every potential source has either
+//! declared it or announced end-of-stream, and (b) all declared incident
+//! edges have been inserted.
+//!
+//! Why eviction is safe: in a join tree, up-arc counts only change when an
+//! edge whose *lower* endpoint is the vertex itself is inserted (component
+//! merges happen at the lower endpoint of the connecting graph edge).
+//! Once all incident edges are seen, the vertex's criticality class is
+//! fixed; later path merges may re-parent it but never change its degree,
+//! and splicing it out preserves chain order for all future merges.
+
+use crate::tree::MergeTree;
+use crate::types::{sweep_before, VertexId};
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of one stream source (typically the producing rank).
+pub type SourceId = u32;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: f64,
+    down: Option<VertexId>,
+    ups: Vec<VertexId>,
+    /// Incident edges declared but not yet inserted.
+    remaining: u32,
+    /// Pinned vertices are exempt from finalization eviction — consumers
+    /// (e.g. feature-based statistics) will look them up in the final
+    /// tree even if they are globally regular.
+    pinned: bool,
+    /// Potential sources that have neither declared this vertex nor ended
+    /// their stream.
+    pending: Vec<SourceId>,
+}
+
+/// Statistics of one streaming aggregation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Distinct vertices declared.
+    pub vertices: usize,
+    /// Edges inserted.
+    pub edges: usize,
+    /// Peak number of simultaneously live (in-memory) vertices.
+    pub peak_live: usize,
+    /// Vertices evicted early by finalization.
+    pub evicted: usize,
+}
+
+/// Order-independent streaming merge-tree builder; see module docs.
+#[derive(Debug, Default)]
+pub struct StreamingMergeTree {
+    entries: HashMap<VertexId, Entry>,
+    ended: HashSet<SourceId>,
+    stats: StreamStats,
+}
+
+impl StreamingMergeTree {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Progress statistics so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Number of vertices currently held in memory.
+    pub fn live(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Declare a vertex from `source` with the number of incident edges
+    /// this source will eventually send. `potential` lists *all* sources
+    /// that might declare this vertex (including `source` itself); every
+    /// declaring source must announce the same value and potential set.
+    pub fn declare_vertex(
+        &mut self,
+        source: SourceId,
+        id: VertexId,
+        value: f64,
+        incident_edges: u32,
+        potential: &[SourceId],
+    ) {
+        assert!(
+            potential.contains(&source),
+            "vertex {id}: declaring source {source} not in its potential set"
+        );
+        assert!(
+            !self.ended.contains(&source),
+            "vertex {id}: source {source} already ended"
+        );
+        let first = !self.entries.contains_key(&id);
+        let ended = &self.ended;
+        let e = self.entries.entry(id).or_insert_with(|| Entry {
+            value,
+            down: None,
+            ups: Vec::new(),
+            remaining: 0,
+            pinned: false,
+            pending: potential
+                .iter()
+                .copied()
+                .filter(|s| !ended.contains(s))
+                .collect(),
+        });
+        assert_eq!(e.value, value, "vertex {id} declared with differing values");
+        if first {
+            self.stats.vertices += 1;
+        }
+        if let Some(pos) = e.pending.iter().position(|&s| s == source) {
+            e.pending.swap_remove(pos);
+        } else {
+            panic!("vertex {id} declared twice by source {source}");
+        }
+        e.remaining += incident_edges;
+        self.stats.peak_live = self.stats.peak_live.max(self.entries.len());
+    }
+
+    /// Announce that `source` will send nothing further. Vertices waiting
+    /// only on this source become finalizable.
+    pub fn end_source(&mut self, source: SourceId) {
+        assert!(self.ended.insert(source), "source {source} ended twice");
+        let affected: Vec<VertexId> = self
+            .entries
+            .iter_mut()
+            .filter_map(|(&id, e)| {
+                if let Some(pos) = e.pending.iter().position(|&s| s == source) {
+                    e.pending.swap_remove(pos);
+                    Some(id)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for id in affected {
+            self.try_finalize(id);
+        }
+    }
+
+    /// Exempt a declared vertex from eviction: it will appear in the
+    /// final tree even when globally regular. Any source may pin.
+    pub fn pin_vertex(&mut self, id: VertexId) {
+        self.entries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("pin of undeclared vertex {id}"))
+            .pinned = true;
+    }
+
+    fn key(&self, id: VertexId) -> (f64, VertexId) {
+        (self.entries[&id].value, id)
+    }
+
+    fn set_down(&mut self, u: VertexId, new_down: Option<VertexId>) {
+        let old = self.entries.get_mut(&u).unwrap().down;
+        if old == new_down {
+            return;
+        }
+        if let Some(o) = old {
+            let e = self.entries.get_mut(&o).unwrap();
+            if let Some(pos) = e.ups.iter().position(|&x| x == u) {
+                e.ups.swap_remove(pos);
+            }
+        }
+        self.entries.get_mut(&u).unwrap().down = new_down;
+        if let Some(n) = new_down {
+            self.entries.get_mut(&n).unwrap().ups.push(u);
+        }
+    }
+
+    /// Insert one subtree edge. Both endpoints must have been declared.
+    /// The edge may connect vertices in any order and arbitrary position;
+    /// chains are merged to maintain the join tree of all edges seen.
+    pub fn insert_edge(&mut self, a: VertexId, b: VertexId) {
+        assert!(self.entries.contains_key(&a), "edge endpoint {a} not declared");
+        assert!(self.entries.contains_key(&b), "edge endpoint {b} not declared");
+        assert_ne!(a, b, "self-loop");
+        self.stats.edges += 1;
+
+        // Path-merge the two chains.
+        let (mut u, mut v) = (a, b);
+        loop {
+            if u == v {
+                break;
+            }
+            if sweep_before(self.key(v), self.key(u)) {
+                std::mem::swap(&mut u, &mut v);
+            }
+            // u is strictly higher than v.
+            match self.entries[&u].down {
+                None => {
+                    self.set_down(u, Some(v));
+                    break;
+                }
+                Some(w) => {
+                    if w == v {
+                        break;
+                    }
+                    if sweep_before(self.key(v), self.key(w)) {
+                        // v belongs between u and w: splice, then merge the
+                        // rest of v's chain with w's chain.
+                        self.set_down(u, Some(v));
+                        u = v;
+                        v = w;
+                    } else {
+                        u = w;
+                    }
+                }
+            }
+        }
+
+        // Account the processed edge and attempt finalization.
+        for id in [a, b] {
+            let e = self.entries.get_mut(&id).unwrap();
+            assert!(e.remaining > 0, "more edges than declared for {id}");
+            e.remaining -= 1;
+        }
+        self.try_finalize(a);
+        self.try_finalize(b);
+    }
+
+    /// Evict `id` if it is finalized and regular.
+    fn try_finalize(&mut self, id: VertexId) {
+        let Some(e) = self.entries.get(&id) else {
+            return;
+        };
+        if e.pinned
+            || !e.pending.is_empty()
+            || e.remaining != 0
+            || e.ups.len() != 1
+            || e.down.is_none()
+        {
+            return;
+        }
+        let up = e.ups[0];
+        let down = e.down.unwrap();
+        // Splice: up now points past id to down.
+        self.set_down(id, None);
+        self.set_down(up, Some(down));
+        self.entries.remove(&id);
+        self.stats.evicted += 1;
+    }
+
+    /// Finish the stream: every declared edge must have arrived and every
+    /// vertex must be fully resolved (callers must [`Self::end_source`]
+    /// every source). Returns the merge tree of the union of all subtrees
+    /// (with any remaining regular vertices still present; call
+    /// [`MergeTree::canonical`] to splice them).
+    pub fn finish(mut self) -> (MergeTree, StreamStats) {
+        let leftover: Vec<VertexId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.remaining > 0 || !e.pending.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        assert!(
+            leftover.is_empty(),
+            "stream finished with undelivered edges or sources at {leftover:?}"
+        );
+        self.stats.peak_live = self.stats.peak_live.max(self.entries.len());
+        let mut tree = MergeTree::new();
+        for (&id, e) in &self.entries {
+            tree.add_node(id, e.value);
+        }
+        for (&id, e) in &self.entries {
+            if let Some(d) = e.down {
+                tree.add_arc(id, d);
+            }
+        }
+        (tree, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Declare from a single source 0 with itself as the only potential.
+    fn declare_all(s: &mut StreamingMergeTree, verts: &[(VertexId, f64, u32)]) {
+        for &(id, v, deg) in verts {
+            s.declare_vertex(0, id, v, deg, &[0]);
+        }
+    }
+
+    #[test]
+    fn single_chain() {
+        let mut s = StreamingMergeTree::new();
+        declare_all(&mut s, &[(0, 5.0, 1), (1, 3.0, 2), (2, 1.0, 1)]);
+        s.insert_edge(0, 1);
+        s.insert_edge(1, 2);
+        s.end_source(0);
+        let (t, stats) = s.finish();
+        let c = t.canonical();
+        assert_eq!(c.nodes, vec![(0, 5.0), (2, 1.0)]);
+        assert_eq!(c.arcs, vec![(0, 2)]);
+        assert_eq!(stats.edges, 2);
+        // Vertex 1 was regular and fully processed: evicted early.
+        assert_eq!(stats.evicted, 1);
+    }
+
+    #[test]
+    fn two_peaks_any_order() {
+        // Graph: 0(5)-1(1)-2(4): merge tree has maxima 0,2 and saddle 1.
+        let verts = [(0u64, 5.0, 1u32), (1, 1.0, 2), (2, 4.0, 1)];
+        let edges = [(0u64, 1u64), (1, 2)];
+        // All edge orders and orientations must give the same tree.
+        for perm in [[0, 1], [1, 0]] {
+            for flip in 0..4 {
+                let mut s = StreamingMergeTree::new();
+                declare_all(&mut s, &verts);
+                for (n, &pi) in perm.iter().enumerate() {
+                    let (a, b) = edges[pi];
+                    if flip & (1 << n) != 0 {
+                        s.insert_edge(b, a);
+                    } else {
+                        s.insert_edge(a, b);
+                    }
+                }
+                s.end_source(0);
+                let (t, _) = s.finish();
+                let c = t.canonical();
+                assert_eq!(c.nodes.len(), 3);
+                assert_eq!(c.arcs, vec![(0, 1), (2, 1)]);
+            }
+        }
+    }
+
+    #[test]
+    fn splice_mid_chain() {
+        // Path graph 0(10)-2(7)-3(1) plus edge 1(8)-3: maxima 0 and 1
+        // merge at 3.
+        let mut s = StreamingMergeTree::new();
+        declare_all(&mut s, &[(0, 10.0, 1), (2, 7.0, 2), (3, 1.0, 2), (1, 8.0, 1)]);
+        s.insert_edge(0, 2);
+        s.insert_edge(2, 3);
+        s.insert_edge(1, 3);
+        s.end_source(0);
+        let (t, _) = s.finish();
+        let c = t.canonical();
+        assert_eq!(c.arcs, vec![(0, 3), (1, 3)]);
+    }
+
+    #[test]
+    fn shared_vertex_across_two_sources() {
+        // Sources 0 and 1 share vertex 5; it must not be finalized until
+        // both have contributed, even though source 0's edges complete
+        // while it is (temporarily) regular.
+        let mut s = StreamingMergeTree::new();
+        s.declare_vertex(0, 9, 9.0, 1, &[0]);
+        s.declare_vertex(0, 5, 2.0, 1, &[0, 1]);
+        s.insert_edge(9, 5);
+        s.end_source(0);
+        // Vertex 5 is regular w.r.t. source 0 but still pending source 1.
+        assert_eq!(s.live(), 2);
+        s.declare_vertex(1, 5, 2.0, 1, &[0, 1]);
+        s.declare_vertex(1, 7, 6.0, 1, &[1]);
+        s.insert_edge(7, 5);
+        s.end_source(1);
+        let (t, _) = s.finish();
+        let c = t.canonical();
+        // 5 is a genuine saddle joining maxima 9 and 7.
+        assert_eq!(c.arcs, vec![(7, 5), (9, 5)]);
+    }
+
+    #[test]
+    fn vertex_pending_unheard_source_waits_for_its_end() {
+        // Source 1 never declares vertex 5; ending source 1 releases it.
+        let mut s = StreamingMergeTree::new();
+        s.declare_vertex(0, 9, 9.0, 1, &[0]);
+        s.declare_vertex(0, 5, 2.0, 1, &[0, 1]);
+        s.declare_vertex(0, 3, 1.0, 0, &[0]);
+        s.insert_edge(9, 5);
+        s.end_source(0);
+        // 5's declared edge has arrived but it is still pending source 1
+        // (which may yet attach more structure): everything stays live.
+        assert_eq!(s.live(), 3);
+        s.end_source(1);
+        let (t, _) = s.finish();
+        // 5 is the root of the chain 9 -> 5; 3 is an isolated root.
+        assert_eq!(t.roots().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn differing_values_panic() {
+        let mut s = StreamingMergeTree::new();
+        s.declare_vertex(0, 1, 2.0, 0, &[0, 1]);
+        s.declare_vertex(1, 1, 3.0, 0, &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_declaration_same_source_panics() {
+        let mut s = StreamingMergeTree::new();
+        s.declare_vertex(0, 1, 2.0, 0, &[0]);
+        s.declare_vertex(0, 1, 2.0, 0, &[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn finish_with_missing_edges_panics() {
+        let mut s = StreamingMergeTree::new();
+        s.declare_vertex(0, 0, 1.0, 1, &[0]);
+        s.declare_vertex(0, 1, 0.0, 1, &[0]);
+        s.end_source(0);
+        let _ = s.finish();
+    }
+
+    #[test]
+    #[should_panic]
+    fn finish_with_unended_source_panics() {
+        let mut s = StreamingMergeTree::new();
+        s.declare_vertex(0, 0, 1.0, 0, &[0, 1]);
+        s.end_source(0);
+        let _ = s.finish();
+    }
+
+    #[test]
+    #[should_panic]
+    fn undeclared_endpoint_panics() {
+        let mut s = StreamingMergeTree::new();
+        s.declare_vertex(0, 0, 1.0, 1, &[0]);
+        s.insert_edge(0, 99);
+    }
+
+    #[test]
+    fn eviction_bounds_memory_on_long_chain() {
+        // A long monotone chain streamed in order: interior vertices are
+        // evicted as soon as both their edges are in, so live never grows
+        // with the chain length.
+        let n = 10_000u64;
+        let mut s = StreamingMergeTree::new();
+        s.declare_vertex(0, 0, n as f64, 1, &[0]);
+        let mut prev = 0u64;
+        for i in 1..n {
+            s.declare_vertex(0, i, (n - i) as f64, if i == n - 1 { 1 } else { 2 }, &[0]);
+            s.insert_edge(prev, i);
+            prev = i;
+        }
+        s.end_source(0);
+        let (t, stats) = s.finish();
+        assert!(stats.peak_live < 16, "peak {}", stats.peak_live);
+        assert_eq!(stats.evicted as u64, n - 2);
+        let c = t.canonical();
+        assert_eq!(c.nodes.len(), 2);
+    }
+
+    #[test]
+    fn pinned_regular_vertex_survives_finalization() {
+        // Chain 0(5) -> 1(3) -> 2(1): vertex 1 is regular and would be
+        // evicted, but pinning keeps it in the final tree.
+        let mut s = StreamingMergeTree::new();
+        declare_all(&mut s, &[(0, 5.0, 1), (1, 3.0, 2), (2, 1.0, 1)]);
+        s.pin_vertex(1);
+        s.insert_edge(0, 1);
+        s.insert_edge(1, 2);
+        s.end_source(0);
+        assert_eq!(s.live(), 3, "pinned vertex must stay live");
+        let (t, stats) = s.finish();
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.value(1), Some(3.0));
+        assert_eq!(t.down_of(1), Some(2));
+        // Canonicalization still splices it for topology comparisons.
+        assert_eq!(t.canonical().nodes.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pin_of_undeclared_vertex_panics() {
+        let mut s = StreamingMergeTree::new();
+        s.pin_vertex(99);
+    }
+
+    #[test]
+    fn isolated_vertex_is_leaf_and_root() {
+        let mut s = StreamingMergeTree::new();
+        s.declare_vertex(0, 3, 4.0, 0, &[0]);
+        s.end_source(0);
+        let (t, _) = s.finish();
+        assert_eq!(t.maxima(), vec![3]);
+        assert_eq!(t.roots(), vec![3]);
+    }
+
+    #[test]
+    fn late_declaration_after_other_source_ended() {
+        // Source 1 ends before source 0 declares a vertex whose potential
+        // set includes source 1: the pending set must not wait on it.
+        let mut s = StreamingMergeTree::new();
+        s.end_source(1);
+        s.declare_vertex(0, 5, 1.0, 0, &[0, 1]);
+        s.end_source(0);
+        let (t, _) = s.finish();
+        assert_eq!(t.len(), 1);
+    }
+}

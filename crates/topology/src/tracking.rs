@@ -1,0 +1,211 @@
+//! Feature tracking through time by segmentation overlap.
+//!
+//! The paper's Fig. 1 shows why concurrent analysis matters: a small
+//! vortical structure lives for ~10 simulation steps, so its track is
+//! completely lost when data is saved every ~400 steps. Tracking here is
+//! the standard overlap method: features in consecutive segmentations are
+//! connected when their voxel overlap is large enough, and tracks are
+//! chains of such connections.
+
+use crate::segment::Segmentation;
+use crate::types::VertexId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An overlap between a feature at step `t` and one at step `t+1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlapEdge {
+    /// Feature label in the earlier segmentation.
+    pub from: VertexId,
+    /// Feature label in the later segmentation.
+    pub to: VertexId,
+    /// Number of shared voxels.
+    pub overlap: usize,
+}
+
+/// Voxel-overlap edges between two segmentations over the same region.
+pub fn overlap_edges(a: &Segmentation, b: &Segmentation) -> Vec<OverlapEdge> {
+    assert_eq!(a.bbox, b.bbox, "segmentations cover different regions");
+    let mut counts: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+    for (la, lb) in a.labels.iter().zip(&b.labels) {
+        if let (Some(x), Some(y)) = (la, lb) {
+            *counts.entry((*x, *y)).or_default() += 1;
+        }
+    }
+    let mut out: Vec<OverlapEdge> = counts
+        .into_iter()
+        .map(|((from, to), overlap)| OverlapEdge { from, to, overlap })
+        .collect();
+    out.sort_unstable_by(|x, y| {
+        y.overlap
+            .cmp(&x.overlap)
+            .then(x.from.cmp(&y.from))
+            .then(x.to.cmp(&y.to))
+    });
+    out
+}
+
+/// A tracked feature: which label it carried at each step it was alive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureTrack {
+    /// Index (into the segmentation sequence) where the track begins.
+    pub birth_step: usize,
+    /// Feature label at each consecutive step starting at `birth_step`.
+    pub labels: Vec<VertexId>,
+}
+
+impl FeatureTrack {
+    /// Number of steps the feature was observed.
+    pub fn length(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// Track features through a sequence of segmentations.
+///
+/// Between consecutive steps, each feature is matched to the successor it
+/// overlaps most (greedy, one-to-one, largest overlaps first); an overlap
+/// below `min_overlap` voxels does not connect. Unmatched successors begin
+/// new tracks.
+pub fn track_features(segs: &[Segmentation], min_overlap: usize) -> Vec<FeatureTrack> {
+    let mut tracks: Vec<FeatureTrack> = Vec::new();
+    // Which track currently owns each live label.
+    let mut live: HashMap<VertexId, usize> = HashMap::new();
+    for (step, seg) in segs.iter().enumerate() {
+        if step == 0 {
+            for f in seg.features() {
+                live.insert(f, tracks.len());
+                tracks.push(FeatureTrack {
+                    birth_step: 0,
+                    labels: vec![f],
+                });
+            }
+            continue;
+        }
+        let edges = overlap_edges(&segs[step - 1], seg);
+        let mut matched_from: HashMap<VertexId, VertexId> = HashMap::new();
+        let mut matched_to: HashMap<VertexId, VertexId> = HashMap::new();
+        for e in edges {
+            if e.overlap < min_overlap.max(1) {
+                continue;
+            }
+            if matched_from.contains_key(&e.from) || matched_to.contains_key(&e.to) {
+                continue;
+            }
+            matched_from.insert(e.from, e.to);
+            matched_to.insert(e.to, e.from);
+        }
+        let mut next_live: HashMap<VertexId, usize> = HashMap::new();
+        for f in seg.features() {
+            if let Some(prev) = matched_to.get(&f) {
+                if let Some(&ti) = live.get(prev) {
+                    tracks[ti].labels.push(f);
+                    next_live.insert(f, ti);
+                    continue;
+                }
+            }
+            // New feature.
+            next_live.insert(f, tracks.len());
+            tracks.push(FeatureTrack {
+                birth_step: step,
+                labels: vec![f],
+            });
+        }
+        live = next_live;
+    }
+    tracks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::segment_superlevel;
+    use crate::types::Connectivity;
+    use sitra_mesh::{BBox3, ScalarField};
+
+    /// A Gaussian bump centered at `c` on a 1D strip.
+    fn bump(center: f64, dims: usize) -> ScalarField {
+        let b = BBox3::from_dims([dims, 1, 1]);
+        ScalarField::from_fn(b, |p| {
+            let d = p[0] as f64 - center;
+            (-d * d / 4.0).exp()
+        })
+    }
+
+    fn seg_of(f: &ScalarField) -> Segmentation {
+        segment_superlevel(f, &f.bbox(), 0.5, Connectivity::Six, None)
+    }
+
+    #[test]
+    fn moving_bump_is_one_track() {
+        // A bump advected 1 cell/step overlaps itself: one long track.
+        let segs: Vec<Segmentation> =
+            (0..8).map(|t| seg_of(&bump(5.0 + t as f64, 24))).collect();
+        let tracks = track_features(&segs, 1);
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].length(), 8);
+        assert_eq!(tracks[0].birth_step, 0);
+    }
+
+    #[test]
+    fn fast_bump_breaks_track() {
+        // Advected 10 cells/step: no overlap, a new track per step. This
+        // is the paper's Fig. 1 failure mode when sampling too coarsely.
+        let segs: Vec<Segmentation> =
+            (0..4).map(|t| seg_of(&bump(3.0 + 10.0 * t as f64, 64))).collect();
+        let tracks = track_features(&segs, 1);
+        assert_eq!(tracks.len(), 4);
+        assert!(tracks.iter().all(|t| t.length() == 1));
+    }
+
+    #[test]
+    fn birth_and_death() {
+        // Step 0: one bump; steps 1-2: two bumps; step 3: second only.
+        let two = |c1: f64, c2: f64| {
+            let b = BBox3::from_dims([40, 1, 1]);
+            ScalarField::from_fn(b, |p| {
+                let d1 = p[0] as f64 - c1;
+                let d2 = p[0] as f64 - c2;
+                (-d1 * d1 / 4.0).exp() + (-d2 * d2 / 4.0).exp()
+            })
+        };
+        let segs = vec![
+            seg_of(&bump(5.0, 40)),
+            seg_of(&two(5.0, 30.0)),
+            seg_of(&two(5.0, 31.0)),
+            seg_of(&bump(31.0, 40)),
+        ];
+        let tracks = track_features(&segs, 1);
+        assert_eq!(tracks.len(), 2);
+        let first = tracks.iter().find(|t| t.birth_step == 0).unwrap();
+        let second = tracks.iter().find(|t| t.birth_step == 1).unwrap();
+        assert_eq!(first.length(), 3); // dies after step 2
+        assert_eq!(second.length(), 3); // alive through step 3
+    }
+
+    #[test]
+    fn overlap_edges_sorted_and_counted() {
+        let a = seg_of(&bump(5.0, 16));
+        let b = seg_of(&bump(6.0, 16));
+        let e = overlap_edges(&a, &b);
+        assert_eq!(e.len(), 1);
+        assert!(e[0].overlap >= 1);
+    }
+
+    #[test]
+    fn min_overlap_gates_matching() {
+        let a = seg_of(&bump(5.0, 24));
+        let b = seg_of(&bump(6.0, 24));
+        let e = overlap_edges(&a, &b);
+        let tracks = track_features(&[a, b], e[0].overlap + 1);
+        // Overlap below the gate: two separate tracks.
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn empty_segmentations_yield_no_tracks() {
+        let f = ScalarField::new_fill(BBox3::from_dims([8, 1, 1]), 0.0);
+        let segs = vec![seg_of(&f), seg_of(&f)];
+        assert!(track_features(&segs, 1).is_empty());
+    }
+}

@@ -1,0 +1,604 @@
+//! The merge tree proper: canonical critical-point structure,
+//! persistence-based branch decomposition, and simplification.
+
+use crate::types::{sweep_before, VertexId};
+use std::collections::HashMap;
+
+/// A merge (join) tree over global vertex ids.
+///
+/// Nodes carry their scalar value; each node has at most one `down`
+/// neighbor (toward lower values). Leaves are maxima, nodes with two or
+/// more up-arcs are merge saddles, and a node without `down` is the root
+/// of its component.
+#[derive(Debug, Clone, Default)]
+pub struct MergeTree {
+    ids: Vec<VertexId>,
+    values: Vec<f64>,
+    down: Vec<Option<u32>>,
+    index: HashMap<VertexId, u32>,
+}
+
+impl MergeTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Insert a node if absent; returns its slot. Panics if the same id is
+    /// re-declared with a different value.
+    pub fn add_node(&mut self, id: VertexId, value: f64) -> u32 {
+        if let Some(&i) = self.index.get(&id) {
+            assert_eq!(
+                self.values[i as usize], value,
+                "vertex {id} re-declared with a different value"
+            );
+            return i;
+        }
+        let i = self.ids.len() as u32;
+        self.ids.push(id);
+        self.values.push(value);
+        self.down.push(None);
+        self.index.insert(id, i);
+        i
+    }
+
+    /// Connect `upper` downward to `lower`. Both must exist; `upper` must
+    /// be strictly higher in sweep order and not yet connected.
+    pub fn add_arc(&mut self, upper: VertexId, lower: VertexId) {
+        let u = self.index[&upper];
+        let l = self.index[&lower];
+        assert!(
+            sweep_before(
+                (self.values[u as usize], upper),
+                (self.values[l as usize], lower)
+            ),
+            "arc must descend: {upper} -> {lower}"
+        );
+        assert!(self.down[u as usize].is_none(), "{upper} already has a down arc");
+        self.down[u as usize] = Some(l);
+    }
+
+    /// Node value by id.
+    pub fn value(&self, id: VertexId) -> Option<f64> {
+        self.index.get(&id).map(|&i| self.values[i as usize])
+    }
+
+    /// The node each id points down to.
+    pub fn down_of(&self, id: VertexId) -> Option<VertexId> {
+        let i = *self.index.get(&id)?;
+        self.down[i as usize].map(|d| self.ids[d as usize])
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> &[VertexId] {
+        &self.ids
+    }
+
+    /// All arcs as `(upper id, lower id)`.
+    pub fn arcs(&self) -> Vec<(VertexId, VertexId)> {
+        self.down
+            .iter()
+            .enumerate()
+            .filter_map(|(u, d)| d.map(|l| (self.ids[u], self.ids[l as usize])))
+            .collect()
+    }
+
+    fn up_counts(&self) -> Vec<u32> {
+        let mut up = vec![0u32; self.len()];
+        for d in self.down.iter().flatten() {
+            up[*d as usize] += 1;
+        }
+        up
+    }
+
+    /// Leaves (maxima), sorted descending in sweep order.
+    pub fn maxima(&self) -> Vec<VertexId> {
+        let up = self.up_counts();
+        let mut out: Vec<u32> = (0..self.len() as u32)
+            .filter(|&i| up[i as usize] == 0)
+            .collect();
+        self.sort_by_sweep(&mut out);
+        out.into_iter().map(|i| self.ids[i as usize]).collect()
+    }
+
+    /// Roots (one per connected component).
+    pub fn roots(&self) -> Vec<VertexId> {
+        (0..self.len())
+            .filter(|&i| self.down[i].is_none())
+            .map(|i| self.ids[i])
+            .collect()
+    }
+
+    fn sort_by_sweep(&self, idxs: &mut [u32]) {
+        idxs.sort_unstable_by(|&a, &b| {
+            let ka = (self.values[a as usize], self.ids[a as usize]);
+            let kb = (self.values[b as usize], self.ids[b as usize]);
+            kb.0.partial_cmp(&ka.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ka.1.cmp(&kb.1))
+        });
+    }
+
+    /// The canonical form: regular nodes (exactly one up-arc and a
+    /// down-arc) spliced out, arcs sorted. Two trees describe the same
+    /// topology iff their canonical node/arc sets are equal — this is the
+    /// equality used to validate the distributed computation against the
+    /// serial one.
+    pub fn canonical(&self) -> CanonicalTree {
+        let up = self.up_counts();
+        let keep = |i: u32| up[i as usize] != 1 || self.down[i as usize].is_none();
+        let mut nodes: Vec<(VertexId, f64)> = Vec::new();
+        let mut arcs: Vec<(VertexId, VertexId)> = Vec::new();
+        for i in 0..self.len() as u32 {
+            if !keep(i) {
+                continue;
+            }
+            nodes.push((self.ids[i as usize], self.values[i as usize]));
+            // Walk down through regular nodes to the next kept node.
+            let mut cur = self.down[i as usize];
+            while let Some(c) = cur {
+                if keep(c) {
+                    arcs.push((self.ids[i as usize], self.ids[c as usize]));
+                    break;
+                }
+                cur = self.down[c as usize];
+            }
+        }
+        nodes.sort_unstable_by_key(|n| n.0);
+        arcs.sort_unstable();
+        CanonicalTree { nodes, arcs }
+    }
+
+    /// Branch decomposition by the elder rule.
+    ///
+    /// Every node is assigned to the branch of the *sweep-highest* maximum
+    /// above it; each non-elder maximum's branch terminates at the saddle
+    /// where it merges with an older branch. Returns, per maximum, the
+    /// saddle where its branch dies (`None` for the globally-highest
+    /// maximum of each component, which persists forever).
+    pub fn branch_decomposition(&self) -> Vec<Branch> {
+        let n = self.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        self.sort_by_sweep(&mut order);
+        let up = self.up_counts();
+        // branch[i]: the maximum owning the branch through node i.
+        let mut branch: Vec<Option<u32>> = vec![None; n];
+        let mut dies: HashMap<u32, Option<(VertexId, f64)>> = HashMap::new();
+        // Process top-down: by the time we reach a node, all its up-arcs
+        // have assigned branches.
+        let mut ups_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, d) in self.down.iter().enumerate() {
+            if let Some(l) = d {
+                ups_of[*l as usize].push(u as u32);
+            }
+        }
+        for &i in &order {
+            let iu = i as usize;
+            if up[iu] == 0 {
+                branch[iu] = Some(i);
+                dies.insert(i, None);
+                continue;
+            }
+            // The elder child branch continues through this node.
+            let mut child_branches: Vec<u32> = ups_of[iu]
+                .iter()
+                .map(|&u| branch[u as usize].expect("processed above"))
+                .collect();
+            child_branches.sort_unstable_by(|&a, &b| {
+                let ka = (self.values[a as usize], self.ids[a as usize]);
+                let kb = (self.values[b as usize], self.ids[b as usize]);
+                kb.0.partial_cmp(&ka.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ka.1.cmp(&kb.1))
+            });
+            child_branches.dedup();
+            let elder = child_branches[0];
+            branch[iu] = Some(elder);
+            // Younger branches die here.
+            for &y in &child_branches[1..] {
+                dies.insert(y, Some((self.ids[iu], self.values[iu])));
+            }
+        }
+        let mut out: Vec<Branch> = dies
+            .into_iter()
+            .map(|(leaf, death)| {
+                let lv = self.values[leaf as usize];
+                Branch {
+                    leaf: self.ids[leaf as usize],
+                    leaf_value: lv,
+                    dies_at: death,
+                    persistence: death.map_or(f64::INFINITY, |(_, sv)| lv - sv),
+                }
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.persistence
+                .partial_cmp(&a.persistence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.leaf.cmp(&b.leaf))
+        });
+        out
+    }
+
+    /// For every node with value ≥ `t` (in sweep order), the *feature
+    /// representative*: the sweep-highest maximum of its superlevel-set
+    /// component at level `t`. Nodes below `t` are absent.
+    ///
+    /// This is the tree-side half of feature-based statistics: per-block
+    /// partial statistics are keyed by a local maximum, and this map
+    /// tells the in-transit stage which global feature each local
+    /// maximum belongs to at the analysis threshold.
+    pub fn feature_representatives(&self, t: f64) -> HashMap<VertexId, VertexId> {
+        let n = self.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        self.sort_by_sweep(&mut order);
+        // Union-find over node slots, restricted to nodes >= t.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut r = x;
+            while parent[r as usize] != r {
+                r = parent[r as usize];
+            }
+            let mut c = x;
+            while parent[c as usize] != r {
+                let nx = parent[c as usize];
+                parent[c as usize] = r;
+                c = nx;
+            }
+            r
+        }
+        // Highest node (by sweep) in each component — always a maximum,
+        // because components grow top-down.
+        let mut top: Vec<u32> = (0..n as u32).collect();
+        let above = |i: u32| self.values[i as usize] >= t;
+        let mut ups_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, d) in self.down.iter().enumerate() {
+            if let Some(l) = d {
+                ups_of[*l as usize].push(u as u32);
+            }
+        }
+        for &i in &order {
+            if !above(i) {
+                break;
+            }
+            // Union with every up-neighbor (all ups are sweep-higher by
+            // the arc invariant, hence already processed and above t).
+            for &u in &ups_of[i as usize] {
+                let ru = find(&mut parent, u);
+                let ri = find(&mut parent, i);
+                if ru != ri {
+                    // Keep the sweep-higher top.
+                    let tu = top[ru as usize];
+                    let ti = top[ri as usize];
+                    let ku = (self.values[tu as usize], self.ids[tu as usize]);
+                    let ki = (self.values[ti as usize], self.ids[ti as usize]);
+                    let newtop = if sweep_before(ku, ki) { tu } else { ti };
+                    parent[ru as usize] = ri;
+                    top[ri as usize] = newtop;
+                }
+            }
+        }
+        let mut out = HashMap::new();
+        for i in 0..n as u32 {
+            if above(i) {
+                let r = find(&mut parent, i);
+                out.insert(self.ids[i as usize], self.ids[top[r as usize] as usize]);
+            }
+        }
+        out
+    }
+
+    /// Maxima whose branch persistence is at least `threshold`, plus a map
+    /// from every maximum to the surviving maximum that absorbs it under
+    /// simplification (surviving maxima map to themselves).
+    pub fn simplify_map(&self, threshold: f64) -> SimplifyMap {
+        let branches = self.branch_decomposition();
+        let surviving: Vec<VertexId> = branches
+            .iter()
+            .filter(|b| b.persistence >= threshold)
+            .map(|b| b.leaf)
+            .collect();
+        // For absorbed maxima: follow the branch of the saddle where they
+        // die, repeatedly, until a surviving maximum is reached.
+        // Build: leaf -> (dies_at saddle), and saddle -> owning branch.
+        let n = self.len();
+        let mut ups_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, d) in self.down.iter().enumerate() {
+            if let Some(l) = d {
+                ups_of[*l as usize].push(u as u32);
+            }
+        }
+        // Recompute branch ownership (same walk as branch_decomposition).
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        self.sort_by_sweep(&mut order);
+        let up = self.up_counts();
+        let mut branch: Vec<Option<u32>> = vec![None; n];
+        let mut parent_branch: HashMap<VertexId, VertexId> = HashMap::new();
+        for &i in &order {
+            let iu = i as usize;
+            if up[iu] == 0 {
+                branch[iu] = Some(i);
+                continue;
+            }
+            let mut child_branches: Vec<u32> = ups_of[iu]
+                .iter()
+                .map(|&u| branch[u as usize].unwrap())
+                .collect();
+            child_branches.sort_unstable_by(|&a, &b| {
+                let ka = (self.values[a as usize], self.ids[a as usize]);
+                let kb = (self.values[b as usize], self.ids[b as usize]);
+                kb.0.partial_cmp(&ka.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ka.1.cmp(&kb.1))
+            });
+            child_branches.dedup();
+            let elder = child_branches[0];
+            branch[iu] = Some(elder);
+            for &y in &child_branches[1..] {
+                parent_branch.insert(self.ids[y as usize], self.ids[elder as usize]);
+            }
+        }
+        let surviving_set: std::collections::HashSet<VertexId> =
+            surviving.iter().copied().collect();
+        let mut absorb: HashMap<VertexId, VertexId> = HashMap::new();
+        for b in &branches {
+            let mut cur = b.leaf;
+            while !surviving_set.contains(&cur) {
+                cur = *parent_branch
+                    .get(&cur)
+                    .expect("every non-surviving branch has a parent");
+            }
+            absorb.insert(b.leaf, cur);
+        }
+        SimplifyMap {
+            surviving,
+            absorb,
+        }
+    }
+}
+
+/// Canonical (critical-points-only) form of a merge tree; see
+/// [`MergeTree::canonical`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalTree {
+    /// `(id, value)` for every critical node, sorted by id.
+    pub nodes: Vec<(VertexId, f64)>,
+    /// `(upper, lower)` arcs between critical nodes, sorted.
+    pub arcs: Vec<(VertexId, VertexId)>,
+}
+
+/// One branch of the decomposition: a maximum and where it dies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Branch {
+    /// The maximum owning the branch.
+    pub leaf: VertexId,
+    /// Value at the maximum.
+    pub leaf_value: f64,
+    /// Saddle `(id, value)` where the branch merges into an older one;
+    /// `None` for the elder branch of a component.
+    pub dies_at: Option<(VertexId, f64)>,
+    /// `leaf_value − saddle_value`, or +inf for elder branches.
+    pub persistence: f64,
+}
+
+/// Result of persistence simplification at a threshold.
+#[derive(Debug, Clone)]
+pub struct SimplifyMap {
+    /// Maxima that survive, most persistent first.
+    pub surviving: Vec<VertexId>,
+    /// Every maximum → the surviving maximum that absorbs it.
+    pub absorb: HashMap<VertexId, VertexId>,
+}
+
+impl SimplifyMap {
+    /// The surviving maximum absorbing `leaf` (identity for survivors).
+    pub fn target(&self, leaf: VertexId) -> Option<VertexId> {
+        self.absorb.get(&leaf).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tree:   10(a)   8(b)
+    ///            \    /
+    ///             6(s)     4(c)
+    ///               \      /
+    ///                 2(r)
+    fn two_saddle_tree() -> MergeTree {
+        let mut t = MergeTree::new();
+        t.add_node(0, 10.0); // a
+        t.add_node(1, 8.0); // b
+        t.add_node(2, 6.0); // s
+        t.add_node(3, 4.0); // c
+        t.add_node(4, 2.0); // r
+        t.add_arc(0, 2);
+        t.add_arc(1, 2);
+        t.add_arc(2, 4);
+        t.add_arc(3, 4);
+        t
+    }
+
+    #[test]
+    fn maxima_and_roots() {
+        let t = two_saddle_tree();
+        assert_eq!(t.maxima(), vec![0, 1, 3]);
+        assert_eq!(t.roots(), vec![4]);
+    }
+
+    #[test]
+    fn canonical_splices_regular_nodes() {
+        let mut t = MergeTree::new();
+        t.add_node(0, 10.0);
+        t.add_node(1, 7.0); // regular
+        t.add_node(2, 5.0); // regular
+        t.add_node(3, 1.0);
+        t.add_arc(0, 1);
+        t.add_arc(1, 2);
+        t.add_arc(2, 3);
+        let c = t.canonical();
+        assert_eq!(c.nodes, vec![(0, 10.0), (3, 1.0)]);
+        assert_eq!(c.arcs, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn canonical_equality_across_representations() {
+        // Same topology with and without intermediate regular nodes.
+        let t1 = two_saddle_tree();
+        let mut t2 = MergeTree::new();
+        t2.add_node(0, 10.0);
+        t2.add_node(9, 9.0); // regular on a's arc
+        t2.add_node(1, 8.0);
+        t2.add_node(2, 6.0);
+        t2.add_node(3, 4.0);
+        t2.add_node(4, 2.0);
+        t2.add_arc(0, 9);
+        t2.add_arc(9, 2);
+        t2.add_arc(1, 2);
+        t2.add_arc(2, 4);
+        t2.add_arc(3, 4);
+        assert_eq!(t1.canonical(), t2.canonical());
+    }
+
+    #[test]
+    fn branch_decomposition_elder_rule() {
+        let t = two_saddle_tree();
+        let br = t.branch_decomposition();
+        assert_eq!(br.len(), 3);
+        // Elder branch: leaf 0, infinite persistence.
+        assert_eq!(br[0].leaf, 0);
+        assert!(br[0].persistence.is_infinite());
+        // Leaf 1 dies at saddle 2 (value 6): persistence 2.
+        let b1 = br.iter().find(|b| b.leaf == 1).unwrap();
+        assert_eq!(b1.dies_at, Some((2, 6.0)));
+        assert_eq!(b1.persistence, 2.0);
+        // Leaf 3 dies at root 4 (value 2): persistence 2.
+        let b3 = br.iter().find(|b| b.leaf == 3).unwrap();
+        assert_eq!(b3.dies_at, Some((4, 2.0)));
+        assert_eq!(b3.persistence, 2.0);
+    }
+
+    #[test]
+    fn simplify_absorbs_small_branches() {
+        let t = two_saddle_tree();
+        // Threshold above 2: only the elder branch survives.
+        let s = t.simplify_map(3.0);
+        assert_eq!(s.surviving, vec![0]);
+        assert_eq!(s.target(1), Some(0));
+        assert_eq!(s.target(3), Some(0));
+        assert_eq!(s.target(0), Some(0));
+        // Threshold 0: everything survives.
+        let s0 = t.simplify_map(0.0);
+        assert_eq!(s0.surviving.len(), 3);
+        assert_eq!(s0.target(1), Some(1));
+    }
+
+    #[test]
+    fn nested_absorption_chains() {
+        // d(9) dies into c's branch; c(9.5) dies into a's branch. With a
+        // high threshold both must chain to a.
+        let mut t = MergeTree::new();
+        t.add_node(0, 10.0); // a
+        t.add_node(1, 9.5); // c
+        t.add_node(2, 9.0); // d
+        t.add_node(3, 8.5); // saddle d/c
+        t.add_node(4, 5.0); // saddle c/a
+        t.add_arc(1, 3);
+        t.add_arc(2, 3);
+        t.add_arc(3, 4);
+        t.add_arc(0, 4);
+        let s = t.simplify_map(10.0);
+        assert_eq!(s.surviving, vec![0]);
+        assert_eq!(s.target(2), Some(0));
+        assert_eq!(s.target(1), Some(0));
+        // Middle threshold: c survives (persistence 4.5), d (0.5) doesn't.
+        let s2 = t.simplify_map(1.0);
+        assert_eq!(s2.surviving.len(), 2);
+        assert_eq!(s2.target(2), Some(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arc_must_descend() {
+        let mut t = MergeTree::new();
+        t.add_node(0, 1.0);
+        t.add_node(1, 5.0);
+        t.add_arc(0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn redeclare_different_value_panics() {
+        let mut t = MergeTree::new();
+        t.add_node(0, 1.0);
+        t.add_node(0, 2.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = two_saddle_tree();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.value(2), Some(6.0));
+        assert_eq!(t.value(99), None);
+        assert_eq!(t.down_of(0), Some(2));
+        assert_eq!(t.down_of(4), None);
+        assert_eq!(t.down_of(99), None);
+        assert_eq!(t.arcs().len(), 4);
+        assert_eq!(t.node_ids().len(), 5);
+        assert!(MergeTree::new().is_empty());
+    }
+
+    #[test]
+    fn feature_representatives_by_threshold() {
+        let t = two_saddle_tree();
+        // Above the first saddle (t = 7): components {a}, {b} — wait, b=8
+        // is above 7, a=10 too; they are separate (saddle at 6 is below).
+        let reps = t.feature_representatives(7.0);
+        assert_eq!(reps.get(&0), Some(&0));
+        assert_eq!(reps.get(&1), Some(&1));
+        assert!(!reps.contains_key(&2)); // saddle (6) below threshold
+        assert!(!reps.contains_key(&3)); // c (4) below threshold
+        // At t = 5: a and b merged through the saddle; c separate.
+        let reps = t.feature_representatives(5.0);
+        assert_eq!(reps.get(&0), Some(&0));
+        assert_eq!(reps.get(&1), Some(&0));
+        assert_eq!(reps.get(&2), Some(&0));
+        assert!(!reps.contains_key(&3));
+        // At t = 3: c is its own feature.
+        let reps = t.feature_representatives(3.0);
+        assert_eq!(reps.get(&3), Some(&3));
+        assert_eq!(reps.get(&1), Some(&0));
+        // Below the root everything is one feature labeled by the
+        // global max.
+        let reps = t.feature_representatives(0.0);
+        assert!(reps.values().all(|&r| r == 0));
+        assert_eq!(reps.len(), 5);
+    }
+
+    #[test]
+    fn forest_with_two_components() {
+        let mut t = MergeTree::new();
+        t.add_node(0, 5.0);
+        t.add_node(1, 1.0);
+        t.add_arc(0, 1);
+        t.add_node(10, 7.0);
+        t.add_node(11, 2.0);
+        t.add_arc(10, 11);
+        assert_eq!(t.roots().len(), 2);
+        let br = t.branch_decomposition();
+        assert_eq!(br.len(), 2);
+        assert!(br.iter().all(|b| b.persistence.is_infinite()));
+    }
+}

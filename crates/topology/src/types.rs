@@ -1,0 +1,201 @@
+//! Shared vertex identity, sweep ordering, and grid connectivity.
+
+use serde::{Deserialize, Serialize};
+use sitra_mesh::BBox3;
+
+/// Globally unique vertex identifier: the linear index of the grid point
+/// within the *global* domain (x fastest). Using global ids makes subtrees
+/// computed on different ranks refer to the same vertices, which is what
+/// lets the in-transit stage glue them.
+pub type VertexId = u64;
+
+/// Linearize a global coordinate against the global domain box.
+pub fn vertex_id(global: &BBox3, p: [usize; 3]) -> VertexId {
+    global.local_index(p) as VertexId
+}
+
+/// Inverse of [`vertex_id`].
+pub fn vertex_coord(global: &BBox3, id: VertexId) -> [usize; 3] {
+    global.coord_of(id as usize)
+}
+
+/// The sweep order: `(value, id)` lexicographic, *descending*.
+///
+/// `sweep_after(a, b)` is true when `a` is encountered strictly after `b`
+/// as the isovalue sweeps from +inf downward — i.e. `a` is "lower" in
+/// merge-tree terms. Tie-breaking on the vertex id is a simulation of
+/// simplicity: it makes every field effectively injective, so the merge
+/// tree is unique and identical no matter how the domain is decomposed.
+#[inline]
+pub fn sweep_after(a: (f64, VertexId), b: (f64, VertexId)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 > b.1)
+}
+
+/// True when `a` is strictly higher (earlier in the sweep) than `b`.
+#[inline]
+pub fn sweep_before(a: (f64, VertexId), b: (f64, VertexId)) -> bool {
+    sweep_after(b, a)
+}
+
+/// Vertex adjacency used to define superlevel-set connectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Connectivity {
+    /// Face neighbors only (6 in 3D).
+    Six,
+    /// Face, edge, and corner neighbors (26 in 3D).
+    TwentySix,
+}
+
+impl Connectivity {
+    /// Neighbor offsets for this connectivity.
+    pub fn offsets(self) -> Vec<[isize; 3]> {
+        match self {
+            Connectivity::Six => vec![
+                [-1, 0, 0],
+                [1, 0, 0],
+                [0, -1, 0],
+                [0, 1, 0],
+                [0, 0, -1],
+                [0, 0, 1],
+            ],
+            Connectivity::TwentySix => {
+                let mut v = Vec::with_capacity(26);
+                for dz in -1isize..=1 {
+                    for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            if dx != 0 || dy != 0 || dz != 0 {
+                                v.push([dx, dy, dz]);
+                            }
+                        }
+                    }
+                }
+                v
+            }
+        }
+    }
+
+    /// Neighbors of `p` inside `bbox`.
+    pub fn neighbors_in(
+        self,
+        p: [usize; 3],
+        bbox: &BBox3,
+    ) -> impl Iterator<Item = [usize; 3]> {
+        let b = *bbox;
+        self.offsets().into_iter().filter_map(move |d| {
+            let mut q = [0usize; 3];
+            for a in 0..3 {
+                let c = p[a] as isize + d[a];
+                if c < b.lo[a] as isize || c >= b.hi[a] as isize {
+                    return None;
+                }
+                q[a] = c as usize;
+            }
+            Some(q)
+        })
+    }
+}
+
+/// A compact union-find over dense local indices with path compression and
+/// union by size — the workhorse of the in-situ sweep.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Union the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        big
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_order_total() {
+        // Higher value comes first; ties broken by smaller id first.
+        assert!(sweep_before((2.0, 5), (1.0, 0)));
+        assert!(sweep_before((1.0, 0), (1.0, 1)));
+        assert!(sweep_after((1.0, 1), (1.0, 0)));
+        assert!(!sweep_after((1.0, 0), (1.0, 0)));
+        assert!(!sweep_before((1.0, 0), (1.0, 0)));
+    }
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let g = BBox3::new([2, 3, 4], [7, 9, 11]);
+        for p in g.iter() {
+            assert_eq!(vertex_coord(&g, vertex_id(&g, p)), p);
+        }
+    }
+
+    #[test]
+    fn connectivity_counts() {
+        assert_eq!(Connectivity::Six.offsets().len(), 6);
+        assert_eq!(Connectivity::TwentySix.offsets().len(), 26);
+    }
+
+    #[test]
+    fn neighbors_clipped_at_boundary() {
+        let b = BBox3::from_dims([3, 3, 3]);
+        let corner: Vec<_> = Connectivity::TwentySix.neighbors_in([0, 0, 0], &b).collect();
+        assert_eq!(corner.len(), 7);
+        let center: Vec<_> = Connectivity::TwentySix.neighbors_in([1, 1, 1], &b).collect();
+        assert_eq!(center.len(), 26);
+        let face6: Vec<_> = Connectivity::Six.neighbors_in([0, 1, 1], &b).collect();
+        assert_eq!(face6.len(), 5);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(6);
+        assert_ne!(uf.find(0), uf.find(1));
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(1), uf.find(2));
+        uf.union(1, 3);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(5));
+    }
+}

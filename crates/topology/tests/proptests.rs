@@ -1,0 +1,193 @@
+//! Property-based tests for the merge-tree pipeline. The central
+//! invariant of the whole reproduction: for *any* field and *any* block
+//! decomposition, the hybrid in-situ/in-transit computation produces
+//! exactly the merge tree of the serial computation — and the streaming
+//! gluing is order-independent.
+
+use proptest::prelude::*;
+use sitra_topology::{
+    distributed::{
+        distributed_merge_tree, glue_subtrees, in_situ_subtrees, serial_merge_tree,
+        BoundaryPolicy,
+    },
+    segment_superlevel, track_features, Connectivity, StreamingMergeTree,
+};
+use sitra_mesh::{exchange_ghosts, BBox3, Decomposition, ScalarField};
+
+/// Small random-ish fields with plenty of ties (few distinct values) to
+/// stress the simulation-of-simplicity tie-breaking.
+fn field_and_decomp() -> impl Strategy<Value = (ScalarField, Decomposition)> {
+    (
+        2usize..8,
+        2usize..7,
+        2usize..6,
+        1usize..4,
+        1usize..3,
+        1usize..3,
+        2u64..=u64::MAX,
+        2usize..12,
+    )
+        .prop_map(|(nx, ny, nz, px, py, pz, seed, nvals)| {
+            let g = BBox3::from_dims([nx, ny, nz]);
+            let f = ScalarField::from_fn(g, |p| {
+                let h = (p[0] as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((p[1] as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+                    .wrapping_add((p[2] as u64).wrapping_mul(0x165667B19E3779F9))
+                    .wrapping_mul(seed | 1);
+                ((h >> 32) % nvals as u64) as f64
+            });
+            let d = Decomposition::new(g, [px.min(nx), py.min(ny), pz.min(nz)]);
+            (f, d)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distributed_equals_serial_all_shared((f, d) in field_and_decomp()) {
+        let fields: Vec<ScalarField> =
+            (0..d.rank_count()).map(|r| f.extract(&d.block(r))).collect();
+        let (dist, _) =
+            distributed_merge_tree(&d, &fields, Connectivity::Six, BoundaryPolicy::AllShared);
+        let serial = serial_merge_tree(&f, Connectivity::Six);
+        prop_assert_eq!(dist.canonical(), serial.canonical());
+    }
+
+    #[test]
+    fn distributed_equals_serial_boundary_maxima((f, d) in field_and_decomp()) {
+        let fields: Vec<ScalarField> =
+            (0..d.rank_count()).map(|r| f.extract(&d.block(r))).collect();
+        let (dist, _) = distributed_merge_tree(
+            &d, &fields, Connectivity::Six, BoundaryPolicy::BoundaryMaxima);
+        let serial = serial_merge_tree(&f, Connectivity::Six);
+        prop_assert_eq!(dist.canonical(), serial.canonical());
+    }
+
+    #[test]
+    fn distributed_equals_serial_26(( f, d) in field_and_decomp()) {
+        let fields: Vec<ScalarField> =
+            (0..d.rank_count()).map(|r| f.extract(&d.block(r))).collect();
+        let (dist, _) = distributed_merge_tree(
+            &d, &fields, Connectivity::TwentySix, BoundaryPolicy::BoundaryMaxima);
+        let serial = serial_merge_tree(&f, Connectivity::TwentySix);
+        prop_assert_eq!(dist.canonical(), serial.canonical());
+    }
+
+    #[test]
+    fn gluing_is_subtree_order_independent((f, d) in field_and_decomp(),
+                                           rot in 0usize..16) {
+        let fields: Vec<ScalarField> =
+            (0..d.rank_count()).map(|r| f.extract(&d.block(r))).collect();
+        let (ghosted, _) = exchange_ghosts(&d, &fields, 1);
+        let subtrees =
+            in_situ_subtrees(&d, &ghosted, Connectivity::Six, BoundaryPolicy::BoundaryMaxima);
+        let (ref_tree, _) = glue_subtrees(&subtrees);
+        // Rotate the subtree order.
+        let k = rot % subtrees.len().max(1);
+        let mut rotated = subtrees.clone();
+        rotated.rotate_left(k);
+        let (rot_tree, _) = glue_subtrees(&rotated);
+        prop_assert_eq!(ref_tree.canonical(), rot_tree.canonical());
+    }
+
+    #[test]
+    fn edge_order_within_stream_is_irrelevant((f, d) in field_and_decomp(),
+                                              swap_seed in 0u64..1000) {
+        let fields: Vec<ScalarField> =
+            (0..d.rank_count()).map(|r| f.extract(&d.block(r))).collect();
+        let (ghosted, _) = exchange_ghosts(&d, &fields, 1);
+        let subtrees =
+            in_situ_subtrees(&d, &ghosted, Connectivity::Six, BoundaryPolicy::AllShared);
+        let (ref_tree, _) = glue_subtrees(&subtrees);
+        // Shuffle each subtree's edge list deterministically.
+        let mut shuffled = subtrees.clone();
+        let mut state = swap_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for sub in &mut shuffled {
+            let n = sub.edges.len();
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                sub.edges.swap(i, j);
+            }
+        }
+        let mut sink = StreamingMergeTree::new();
+        for sub in &shuffled {
+            sub.stream_into(&mut sink);
+        }
+        let (shuf_tree, _) = sink.finish();
+        prop_assert_eq!(ref_tree.canonical(), shuf_tree.canonical());
+    }
+
+    #[test]
+    fn maxima_of_tree_match_graph_maxima((f, _d) in field_and_decomp()) {
+        // A vertex is a tree leaf iff it has no sweep-higher neighbor.
+        let tree = serial_merge_tree(&f, Connectivity::Six);
+        let g = f.bbox();
+        let mut expected: Vec<u64> = Vec::new();
+        for p in g.iter() {
+            let kp = (f.get(p), g.local_index(p) as u64);
+            let higher = Connectivity::Six.neighbors_in(p, &g).any(|q| {
+                let kq = (f.get(q), g.local_index(q) as u64);
+                kq.0 > kp.0 || (kq.0 == kp.0 && kq.1 < kp.1)
+            });
+            if !higher {
+                expected.push(g.local_index(p) as u64);
+            }
+        }
+        let mut got = tree.maxima();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn segmentation_labels_are_maxima_and_cover((f, _d) in field_and_decomp(),
+                                                thresh_num in 0usize..10) {
+        let g = f.bbox();
+        let (mn, mx) = f.min_max().unwrap();
+        let t = mn + (mx - mn) * thresh_num as f64 / 10.0;
+        let tree = serial_merge_tree(&f, Connectivity::Six);
+        let maxima: std::collections::HashSet<u64> = tree.maxima().into_iter().collect();
+        let seg = segment_superlevel(&f, &g, t, Connectivity::Six, None);
+        for p in g.iter() {
+            match seg.label(p) {
+                Some(l) => {
+                    prop_assert!(f.get(p) >= t);
+                    prop_assert!(maxima.contains(&l));
+                }
+                None => prop_assert!(f.get(p) < t),
+            }
+        }
+    }
+
+    #[test]
+    fn tracks_partition_observed_features(steps in 2usize..5, seed in 0u64..500) {
+        // Build a small time series of fields; every (step, feature) pair
+        // appears in exactly one track.
+        let g = BBox3::from_dims([8, 8, 1]);
+        let segs: Vec<_> = (0..steps)
+            .map(|s| {
+                let f = ScalarField::from_fn(g, |p| {
+                    let h = (p[0] as u64 + 13 * p[1] as u64 + 31 * s as u64)
+                        .wrapping_mul(seed | 1)
+                        .wrapping_mul(0x9E3779B97F4A7C15);
+                    ((h >> 32) % 7) as f64
+                });
+                segment_superlevel(&f, &g, 4.0, Connectivity::Six, None)
+            })
+            .collect();
+        let tracks = track_features(&segs, 1);
+        let mut seen: std::collections::HashSet<(usize, u64)> = Default::default();
+        for t in &tracks {
+            for (off, &l) in t.labels.iter().enumerate() {
+                prop_assert!(seen.insert((t.birth_step + off, l)),
+                    "feature appears in two tracks");
+            }
+        }
+        let total: usize = segs.iter().map(|s| s.features().len()).sum();
+        let tracked: usize = tracks.iter().map(|t| t.labels.len()).sum();
+        prop_assert_eq!(total, tracked);
+    }
+}

@@ -1,0 +1,351 @@
+//! The hybrid visualization path: in-situ down-sampling, in-transit
+//! lookup-table ray casting.
+//!
+//! Each rank down-samples its block onto the global coarse lattice with
+//! [`sitra_mesh::downsample`] and ships the [`sitra_mesh::SampledBlock`]
+//! to the staging area. The in-transit renderer never reconstructs the
+//! coarse volume: it builds a small **lookup table** recording the upper
+//! and lower bounds of every received block (the paper's mechanism for
+//! avoiding visibility sorting or volume reconstruction) and resolves
+//! each sample's voxel through the table during ray casting.
+//!
+//! The renderer accepts the *same* [`View`] as the full-resolution in-situ
+//! path — sample positions are mapped into coarse space internally — so
+//! the two images are directly comparable (the paper's Fig. 2).
+
+use crate::image::Image;
+use crate::render::View;
+use crate::transfer::TransferFunction;
+use sitra_mesh::{BBox3, SampledBlock, ScalarField};
+use std::cell::Cell;
+
+/// The block-bounds lookup table of the in-transit renderer.
+#[derive(Debug)]
+pub struct BlockTable {
+    /// `(coarse bounds, block index)` per received block.
+    entries: Vec<(BBox3, usize)>,
+    /// Cache of the last hit — rays walk coherently, so consecutive
+    /// lookups usually land in the same block.
+    last: Cell<usize>,
+}
+
+impl BlockTable {
+    /// Build the table from the received blocks' coarse bounds.
+    pub fn new(blocks: &[SampledBlock]) -> Self {
+        let entries = blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.coarse_bbox.is_empty())
+            .map(|(i, b)| (b.coarse_bbox, i))
+            .collect();
+        Self {
+            entries,
+            last: Cell::new(0),
+        }
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index of the block owning coarse point `p`.
+    pub fn find(&self, p: [usize; 3]) -> Option<usize> {
+        let n = self.entries.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.last.get().min(n - 1);
+        // Check the cached entry first, then scan.
+        if self.entries[start].0.contains(p) {
+            return Some(self.entries[start].1);
+        }
+        for (i, (bb, idx)) in self.entries.iter().enumerate() {
+            if bb.contains(p) {
+                self.last.set(i);
+                return Some(*idx);
+            }
+        }
+        None
+    }
+}
+
+/// Serial in-transit renderer over down-sampled blocks.
+#[derive(Debug)]
+pub struct HybridRenderer {
+    blocks: Vec<SampledBlock>,
+    table: BlockTable,
+    stride: usize,
+    coarse_domain: BBox3,
+}
+
+impl HybridRenderer {
+    /// Ingest the blocks received from the in-situ stage. All blocks must
+    /// share one stride; blocks with empty coarse regions (thinner than
+    /// the stride) are tolerated.
+    pub fn new(blocks: Vec<SampledBlock>) -> Self {
+        assert!(!blocks.is_empty(), "no blocks received");
+        let stride = blocks[0].stride;
+        assert!(
+            blocks.iter().all(|b| b.stride == stride),
+            "blocks disagree on stride"
+        );
+        let coarse_domain = blocks
+            .iter()
+            .filter(|b| !b.coarse_bbox.is_empty())
+            .map(|b| b.coarse_bbox)
+            .reduce(|a, b| a.cover(&b))
+            .expect("all blocks empty");
+        let table = BlockTable::new(&blocks);
+        Self {
+            blocks,
+            table,
+            stride,
+            coarse_domain,
+        }
+    }
+
+    /// The down-sampling stride of the received data.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The coarse lattice region covered.
+    pub fn coarse_domain(&self) -> BBox3 {
+        self.coarse_domain
+    }
+
+    /// Total payload received from the in-situ stage, in bytes.
+    pub fn received_bytes(&self) -> usize {
+        self.blocks.iter().map(SampledBlock::bytes).sum()
+    }
+
+    /// Value at a coarse lattice point, resolved through the table.
+    fn value_at(&self, p: [usize; 3]) -> f64 {
+        let idx = self
+            .table
+            .find(p)
+            .unwrap_or_else(|| panic!("coarse point {p:?} not covered by any block"));
+        let b = &self.blocks[idx];
+        b.data[b.coarse_bbox.local_index(p)]
+    }
+
+    /// Trilinear sample at a fractional coarse position, clamped to the
+    /// coarse domain; the 8 cell corners may live in different blocks.
+    fn sample_coarse(&self, pos: [f64; 3]) -> f64 {
+        let d = self.coarse_domain;
+        let mut i0 = [0usize; 3];
+        let mut frac = [0f64; 3];
+        for a in 0..3 {
+            let lo = d.lo[a] as f64;
+            let hi = (d.hi[a] - 1) as f64;
+            let x = pos[a].clamp(lo, hi);
+            let base = x.floor();
+            i0[a] = base as usize;
+            if i0[a] + 1 >= d.hi[a] {
+                i0[a] = d.hi[a] - 1;
+                frac[a] = 0.0;
+            } else {
+                frac[a] = x - base;
+            }
+        }
+        let mut acc = 0.0;
+        for dz in 0..2usize {
+            for dy in 0..2usize {
+                for dx in 0..2usize {
+                    let p = [
+                        (i0[0] + dx).min(d.hi[0] - 1),
+                        (i0[1] + dy).min(d.hi[1] - 1),
+                        (i0[2] + dz).min(d.hi[2] - 1),
+                    ];
+                    let w = (if dx == 1 { frac[0] } else { 1.0 - frac[0] })
+                        * (if dy == 1 { frac[1] } else { 1.0 - frac[1] })
+                        * (if dz == 1 { frac[2] } else { 1.0 - frac[2] });
+                    acc += w * self.value_at(p);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Ray-cast the down-sampled data through the *full-resolution* view:
+    /// sample positions are divided by the stride so the output is
+    /// pixel-compatible with the in-situ rendering of the same view.
+    /// Serial by design — this runs on one staging bucket.
+    pub fn render(&self, view: &View, tf: &TransferFunction) -> Image {
+        let n = view.samples_per_ray();
+        let mut img = Image::new(view.width, view.height);
+        let s = self.stride as f64;
+        for py in 0..view.height {
+            for px in 0..view.width {
+                let mut rgba = [0.0f64; 4];
+                for k in 0..n {
+                    if let Some(cut) = view.opacity_cutoff {
+                        if rgba[3] >= cut {
+                            break;
+                        }
+                    }
+                    let pos = view_sample_pos(view, px, py, k);
+                    let cpos = [pos[0] / s, pos[1] / s, pos[2] / s];
+                    let val = self.sample_coarse(cpos);
+                    let c = tf.sample(val);
+                    let a = 1.0 - (1.0 - c[3]).powf(view.step);
+                    let t = (1.0 - rgba[3]) * a;
+                    rgba[0] += t * c[0];
+                    rgba[1] += t * c[1];
+                    rgba[2] += t * c[2];
+                    rgba[3] += t;
+                }
+                *img.get_mut(px, py) = rgba;
+            }
+        }
+        img
+    }
+
+    /// Reconstruct the coarse field (for diagnostics and tests; the
+    /// renderer itself never does this).
+    pub fn assemble(&self) -> ScalarField {
+        let mut out = ScalarField::new_fill(self.coarse_domain, f64::NAN);
+        for b in &self.blocks {
+            if !b.coarse_bbox.is_empty() {
+                out.paste(&b.as_field());
+            }
+        }
+        out
+    }
+}
+
+/// Re-derive a view's sample position (mirror of `View::sample_pos`,
+/// which is private to the render module).
+fn view_sample_pos(view: &View, px: usize, py: usize, k: usize) -> [f64; 3] {
+    let (r, u, v) = view.axis.dims();
+    let du = view.domain.dims()[u] as f64 / view.width as f64;
+    let dv = view.domain.dims()[v] as f64 / view.height as f64;
+    let n = view.samples_per_ray();
+    let ki = if view.flip { n - 1 - k } else { k };
+    let mut pos = [0.0; 3];
+    pos[u] = view.domain.lo[u] as f64 + (px as f64 + 0.5) * du;
+    pos[v] = view.domain.lo[v] as f64 + (py as f64 + 0.5) * dv;
+    pos[r] = view.domain.lo[r] as f64 + (ki as f64 + 0.5) * view.step;
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::{render_serial, ViewAxis};
+    use sitra_mesh::{downsample, Decomposition};
+
+    fn smooth(b: BBox3) -> ScalarField {
+        ScalarField::from_fn(b, |p| {
+            let x = p[0] as f64 * 0.3;
+            let y = p[1] as f64 * 0.4;
+            let z = p[2] as f64 * 0.25;
+            ((x).sin() * (y).cos() + (z).sin() + 2.0) / 4.0
+        })
+    }
+
+    fn blocks_of(whole: &ScalarField, parts: [usize; 3], stride: usize) -> Vec<SampledBlock> {
+        let d = Decomposition::new(whole.bbox(), parts);
+        (0..d.rank_count())
+            .map(|r| downsample(&whole.extract(&d.block(r)), stride))
+            .collect()
+    }
+
+    #[test]
+    fn table_finds_owners() {
+        let whole = smooth(BBox3::from_dims([12, 12, 12]));
+        let blocks = blocks_of(&whole, [2, 2, 2], 2);
+        let table = BlockTable::new(&blocks);
+        for (i, b) in blocks.iter().enumerate() {
+            for p in b.coarse_bbox.iter() {
+                assert_eq!(table.find(p), Some(i));
+            }
+        }
+        assert_eq!(table.find([99, 0, 0]), None);
+    }
+
+    #[test]
+    fn assembled_field_matches_global_downsample() {
+        let whole = smooth(BBox3::from_dims([15, 13, 11]));
+        let blocks = blocks_of(&whole, [3, 2, 2], 3);
+        let hr = HybridRenderer::new(blocks);
+        let global = downsample(&whole, 3);
+        assert_eq!(hr.assemble(), global.as_field());
+        assert_eq!(hr.coarse_domain(), global.coarse_bbox);
+    }
+
+    #[test]
+    fn stride_one_hybrid_equals_in_situ() {
+        let whole = smooth(BBox3::from_dims([10, 9, 8]));
+        let blocks = blocks_of(&whole, [2, 2, 1], 1);
+        let hr = HybridRenderer::new(blocks);
+        let tf = TransferFunction::hot(0.0, 1.0);
+        let view = View::full_res(whole.bbox(), ViewAxis::Z, false);
+        let full = render_serial(&whole, &view, &tf);
+        let hybrid = hr.render(&view, &tf);
+        assert!(
+            full.max_abs_diff(&hybrid) < 1e-9,
+            "diff {}",
+            full.max_abs_diff(&hybrid)
+        );
+    }
+
+    #[test]
+    fn quality_degrades_gracefully_with_stride() {
+        let whole = smooth(BBox3::from_dims([32, 32, 32]));
+        let tf = TransferFunction::hot(0.0, 1.0);
+        let view = View::full_res(whole.bbox(), ViewAxis::Z, false);
+        let reference = render_serial(&whole, &view, &tf);
+        let rmse2 = HybridRenderer::new(blocks_of(&whole, [2, 2, 2], 2))
+            .render(&view, &tf)
+            .rmse(&reference);
+        let rmse8 = HybridRenderer::new(blocks_of(&whole, [2, 2, 2], 8))
+            .render(&view, &tf)
+            .rmse(&reference);
+        // Coarser data renders a less accurate image, but both stay in a
+        // sane range for a smooth field.
+        assert!(rmse2 <= rmse8, "rmse2 {rmse2} rmse8 {rmse8}");
+        assert!(rmse8 < 0.2, "rmse8 {rmse8}");
+        assert!(rmse2 > 0.0);
+    }
+
+    #[test]
+    fn payload_shrinks_cubically_with_stride() {
+        let whole = smooth(BBox3::from_dims([32, 32, 32]));
+        let b1 = HybridRenderer::new(blocks_of(&whole, [2, 2, 2], 1)).received_bytes();
+        let b4 = HybridRenderer::new(blocks_of(&whole, [2, 2, 2], 4)).received_bytes();
+        assert_eq!(b1, 32 * 32 * 32 * 8);
+        // 4³ = 64× reduction (8×8×8 coarse points).
+        assert_eq!(b4, 8 * 8 * 8 * 8);
+    }
+
+    #[test]
+    fn tolerates_blocks_thinner_than_stride() {
+        let whole = smooth(BBox3::from_dims([9, 4, 4]));
+        // 3 slabs of width 3, stride 4: middle slab [3,6) contains the
+        // lattice point x=4, first [0,3) contains x=0, last [6,9) x=8.
+        let blocks = blocks_of(&whole, [3, 1, 1], 4);
+        let hr = HybridRenderer::new(blocks);
+        assert_eq!(hr.coarse_domain().dims(), [3, 1, 1]);
+        let tf = TransferFunction::hot(0.0, 1.0);
+        let view = View::full_res(whole.bbox(), ViewAxis::Z, false);
+        let img = hr.render(&view, &tf);
+        assert!(img.pixels().iter().any(|p| p[3] > 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_strides_panic() {
+        let whole = smooth(BBox3::from_dims([8, 8, 8]));
+        let d = Decomposition::new(whole.bbox(), [2, 1, 1]);
+        let b0 = downsample(&whole.extract(&d.block(0)), 2);
+        let b1 = downsample(&whole.extract(&d.block(1)), 4);
+        let _ = HybridRenderer::new(vec![b0, b1]);
+    }
+}

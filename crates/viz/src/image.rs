@@ -1,0 +1,215 @@
+//! Float RGBA images: compositing, metrics, PPM export.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// A width×height image of premultiplied RGBA samples in `[0,1]`.
+///
+/// Premultiplied storage makes the *over* operator a single fused
+/// multiply-add per channel, and — more importantly for the distributed
+/// renderer — makes compositing associative, so partial images from
+/// different ranks can be combined in visibility order with the same
+/// result as a serial traversal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    /// RGBA per pixel, row-major.
+    data: Vec<[f64; 4]>,
+}
+
+impl Image {
+    /// A transparent (all-zero) image.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "empty image");
+        Self {
+            width,
+            height,
+            data: vec![[0.0; 4]; width * height],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel accessor.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [f64; 4] {
+        self.data[y * self.width + x]
+    }
+
+    /// Mutable pixel accessor.
+    #[inline]
+    pub fn get_mut(&mut self, x: usize, y: usize) -> &mut [f64; 4] {
+        &mut self.data[y * self.width + x]
+    }
+
+    /// Raw pixels, row-major.
+    pub fn pixels(&self) -> &[[f64; 4]] {
+        &self.data
+    }
+
+    /// Mutable raw pixels.
+    pub fn pixels_mut(&mut self) -> &mut [[f64; 4]] {
+        &mut self.data
+    }
+
+    /// Composite `back` *behind* this image (premultiplied *over*):
+    /// `out = front + (1 − α_front) · back`.
+    pub fn over(&mut self, back: &Image) {
+        assert_eq!(
+            (self.width, self.height),
+            (back.width, back.height),
+            "image size mismatch"
+        );
+        for (f, b) in self.data.iter_mut().zip(&back.data) {
+            let t = 1.0 - f[3];
+            for c in 0..4 {
+                f[c] += t * b[c];
+            }
+        }
+    }
+
+    /// Blend this image *behind* an opaque background color and return
+    /// 8-bit RGB rows (for display/export).
+    pub fn to_rgb8(&self, background: [f64; 3]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.width * self.height * 3);
+        for p in &self.data {
+            let t = 1.0 - p[3];
+            for c in 0..3 {
+                let v = p[c] + t * background[c];
+                out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+        out
+    }
+
+    /// Write a binary PPM (P6) file composited over `background`.
+    pub fn write_ppm(&self, path: impl AsRef<Path>, background: [f64; 3]) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "P6\n{} {}\n255", self.width, self.height)?;
+        f.write_all(&self.to_rgb8(background))?;
+        Ok(())
+    }
+
+    /// Root-mean-square error against another image over RGBA channels.
+    pub fn rmse(&self, other: &Image) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image size mismatch"
+        );
+        let mut acc = 0.0;
+        for (a, b) in self.data.iter().zip(&other.data) {
+            for c in 0..4 {
+                let d = a[c] - b[c];
+                acc += d * d;
+            }
+        }
+        (acc / (self.data.len() * 4) as f64).sqrt()
+    }
+
+    /// Peak signal-to-noise ratio in dB (`inf` for identical images).
+    pub fn psnr(&self, other: &Image) -> f64 {
+        let rmse = self.rmse(other);
+        if rmse == 0.0 {
+            f64::INFINITY
+        } else {
+            20.0 * (1.0 / rmse).log10()
+        }
+    }
+
+    /// Largest per-channel absolute difference.
+    pub fn max_abs_diff(&self, other: &Image) -> f64 {
+        self.data
+            .iter()
+            .zip(&other.data)
+            .flat_map(|(a, b)| (0..4).map(move |c| (a[c] - b[c]).abs()))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solid(w: usize, h: usize, c: [f64; 4]) -> Image {
+        let mut im = Image::new(w, h);
+        for p in im.pixels_mut() {
+            *p = c;
+        }
+        im
+    }
+
+    #[test]
+    fn over_opaque_front_hides_back() {
+        let mut front = solid(2, 2, [0.3, 0.0, 0.0, 1.0]);
+        let back = solid(2, 2, [0.0, 0.9, 0.0, 1.0]);
+        front.over(&back);
+        assert_eq!(front.get(0, 0), [0.3, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn over_transparent_front_shows_back() {
+        let mut front = Image::new(2, 2);
+        let back = solid(2, 2, [0.1, 0.2, 0.3, 0.8]);
+        front.over(&back);
+        assert_eq!(front.get(1, 1), [0.1, 0.2, 0.3, 0.8]);
+    }
+
+    #[test]
+    fn over_is_associative() {
+        // (a over b) over c == a over (b over c) — the property the
+        // distributed compositor depends on.
+        let a = solid(1, 1, [0.2 * 0.5, 0.0, 0.1 * 0.5, 0.5]);
+        let b = solid(1, 1, [0.0, 0.3 * 0.6, 0.0, 0.6]);
+        let c = solid(1, 1, [0.4 * 0.7, 0.0, 0.0, 0.7]);
+        let mut left = a.clone();
+        left.over(&b);
+        left.over(&c);
+        let mut bc = b.clone();
+        bc.over(&c);
+        let mut right = a.clone();
+        right.over(&bc);
+        for ch in 0..4 {
+            assert!((left.get(0, 0)[ch] - right.get(0, 0)[ch]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rgb8_blends_background() {
+        let im = solid(1, 1, [0.5, 0.0, 0.0, 0.5]); // premultiplied red 50%
+        let rgb = im.to_rgb8([0.0, 0.0, 1.0]);
+        assert_eq!(rgb, vec![128, 0, 128]);
+    }
+
+    #[test]
+    fn metrics() {
+        let a = solid(4, 4, [0.5, 0.5, 0.5, 1.0]);
+        let b = solid(4, 4, [0.5, 0.5, 0.5, 1.0]);
+        assert_eq!(a.rmse(&b), 0.0);
+        assert_eq!(a.psnr(&b), f64::INFINITY);
+        let c = solid(4, 4, [0.6, 0.5, 0.5, 1.0]);
+        assert!((a.rmse(&c) - 0.05).abs() < 1e-12); // 0.1 err in 1 of 4 chans
+        assert!((a.max_abs_diff(&c) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ppm_roundtrip_header() {
+        let im = solid(3, 2, [1.0, 1.0, 1.0, 1.0]);
+        let dir = std::env::temp_dir().join("sitra_viz_test.ppm");
+        im.write_ppm(&dir, [0.0; 3]).unwrap();
+        let bytes = std::fs::read(&dir).unwrap();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 3 * 2 * 3);
+        let _ = std::fs::remove_file(dir);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sitra-viz
+//!
+//! Volume rendering for the hybrid framework, reproducing the paper's two
+//! visualization modes:
+//!
+//! * **Fully in-situ** ([`render`]): every rank ray-casts its own
+//!   full-resolution (ghosted) block into a partial image; the partial
+//!   images are alpha-composited in visibility order. With axis-aligned
+//!   orthographic views and a globally fixed sample lattice, the
+//!   composited result is *identical* to ray-casting the whole domain
+//!   serially — which is the invariant the tests enforce.
+//! * **Hybrid in-situ/in-transit** ([`hybrid`]): each rank down-samples
+//!   its block onto the global coarse lattice in-situ (a tiny fraction of
+//!   the block's cost) and ships the reduced block to the staging area;
+//!   a single in-transit bucket builds a *lookup table* of block bounds
+//!   (the paper's mechanism for avoiding visibility sorting or volume
+//!   reconstruction) and ray-casts through it serially.
+//!
+//! Supporting modules: [`transfer`] (scalar → RGBA transfer functions),
+//! [`image`] (float RGBA images, compositing, PPM export, RMSE/PSNR).
+
+pub mod hybrid;
+pub mod image;
+pub mod render;
+pub mod transfer;
+
+pub use hybrid::{BlockTable, HybridRenderer};
+pub use image::Image;
+pub use render::{composite_ordered, render_block, render_serial, View, ViewAxis};
+pub use transfer::TransferFunction;

@@ -1,0 +1,146 @@
+//! Property-based tests for the rendering stack: distributed compositing
+//! equals serial rendering for arbitrary fields, decompositions, and
+//! views; hybrid stride-1 equals full resolution; compositing is
+//! associative.
+
+use proptest::prelude::*;
+use sitra_mesh::{downsample, exchange_ghosts, BBox3, Decomposition, ScalarField};
+use sitra_viz::{
+    composite_ordered, render_block, render_serial, HybridRenderer, Image, TransferFunction,
+    View, ViewAxis,
+};
+
+fn arb_field_decomp() -> impl Strategy<Value = (ScalarField, Decomposition)> {
+    (
+        3usize..10,
+        3usize..9,
+        3usize..8,
+        1usize..4,
+        1usize..3,
+        1usize..3,
+        0u64..1000,
+    )
+        .prop_map(|(nx, ny, nz, px, py, pz, seed)| {
+            let g = BBox3::from_dims([nx, ny, nz]);
+            let f = ScalarField::from_fn(g, |p| {
+                let h = (p[0] as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((p[1] as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+                    .wrapping_add((p[2] as u64).wrapping_mul(0x165667B19E3779F9))
+                    .wrapping_mul(seed * 2 + 1);
+                ((h >> 40) % 1000) as f64 / 1000.0
+            });
+            let d = Decomposition::new(g, [px.min(nx), py.min(ny), pz.min(nz)]);
+            (f, d)
+        })
+}
+
+fn arb_view() -> impl Strategy<Value = (ViewAxis, bool)> {
+    (
+        prop_oneof![Just(ViewAxis::X), Just(ViewAxis::Y), Just(ViewAxis::Z)],
+        any::<bool>(),
+    )
+}
+
+fn tf() -> TransferFunction {
+    TransferFunction::hot(0.0, 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn distributed_compositing_equals_serial(((f, d), (axis, flip)) in (arb_field_decomp(), arb_view())) {
+        let view = View {
+            step: 0.5,
+            ..View::full_res(f.bbox(), axis, flip)
+        };
+        let serial = render_serial(&f, &view, &tf());
+        let blocks: Vec<ScalarField> =
+            (0..d.rank_count()).map(|r| f.extract(&d.block(r))).collect();
+        let (ghosted, _) = exchange_ghosts(&d, &blocks, 1);
+        let partials: Vec<(BBox3, Image)> = (0..d.rank_count())
+            .map(|r| (d.block(r), render_block(&ghosted[r], &d.block(r), &view, &tf())))
+            .collect();
+        let composited = composite_ordered(&partials, &view);
+        prop_assert!(serial.max_abs_diff(&composited) < 1e-9,
+            "diff {}", serial.max_abs_diff(&composited));
+    }
+
+    #[test]
+    fn hybrid_stride1_equals_serial(((f, d), (axis, flip)) in (arb_field_decomp(), arb_view())) {
+        let view = View::full_res(f.bbox(), axis, flip);
+        let serial = render_serial(&f, &view, &tf());
+        let blocks: Vec<_> = (0..d.rank_count())
+            .map(|r| downsample(&f.extract(&d.block(r)), 1))
+            .collect();
+        let hybrid = HybridRenderer::new(blocks).render(&view, &tf());
+        prop_assert!(serial.max_abs_diff(&hybrid) < 1e-9);
+    }
+
+    #[test]
+    fn over_operator_associative(pixels in prop::collection::vec(
+        prop::array::uniform4(0.0..1.0f64), 1..8)) {
+        // Build premultiplied images from the raw values.
+        let n = pixels.len();
+        let mk = |c: [f64; 4]| {
+            let mut im = Image::new(1, 1);
+            // premultiply
+            *im.get_mut(0, 0) = [c[0] * c[3], c[1] * c[3], c[2] * c[3], c[3]];
+            im
+        };
+        let imgs: Vec<Image> = pixels.into_iter().map(mk).collect();
+        // Left fold vs right fold.
+        let mut left = Image::new(1, 1);
+        for im in &imgs {
+            left.over(im);
+        }
+        let mut right = Image::new(1, 1);
+        for im in imgs.iter().rev() {
+            let mut tmp = im.clone();
+            tmp.over(&right);
+            right = tmp;
+        }
+        let _ = n;
+        prop_assert!(left.max_abs_diff(&right) < 1e-12);
+    }
+
+    #[test]
+    fn alpha_never_exceeds_one((f, _d) in arb_field_decomp(),
+                               axis_flip in arb_view()) {
+        let (axis, flip) = axis_flip;
+        let view = View::full_res(f.bbox(), axis, flip);
+        let img = render_serial(&f, &view, &tf());
+        for p in img.pixels() {
+            prop_assert!(p[3] <= 1.0 + 1e-9);
+            prop_assert!(p[3] >= 0.0);
+            for c in 0..3 {
+                // Premultiplied channels bounded by alpha.
+                prop_assert!(p[c] <= p[3] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_function_continuous(points in prop::collection::vec(0.0..1.0f64, 2..6),
+                                    probe in 0.0..1.0f64) {
+        // Any valid control set gives values bounded by the hull of the
+        // control colors.
+        let mut pos: Vec<f64> = points;
+        pos.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        pos.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut ctrl: Vec<(f64, [f64; 4])> = vec![(0.0, [0.0; 4])];
+        for (i, p) in pos.iter().enumerate() {
+            if *p > 0.0 && *p < 1.0 {
+                let v = (i % 3) as f64 / 3.0;
+                ctrl.push((*p, [v, 1.0 - v, v * 0.5, v]));
+            }
+        }
+        ctrl.push((1.0, [1.0; 4]));
+        let tf = TransferFunction::new(0.0, 1.0, ctrl);
+        let c = tf.sample(probe);
+        for ch in c {
+            prop_assert!((0.0..=1.0).contains(&ch));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # sitra — hybrid in-situ / in-transit scientific analysis
+//!
+//! Umbrella crate re-exporting the full workspace API. This is a
+//! from-scratch Rust reproduction of *"Combining In-situ and In-transit
+//! Processing to Enable Extreme-Scale Scientific Analysis"* (Bennett et
+//! al., SC 2012): a framework that splits analysis algorithms into a
+//! massively-parallel in-situ stage running alongside the simulation and a
+//! small-scale in-transit stage running on staging resources, connected by
+//! an asynchronous one-sided transport and a pull-scheduled staging
+//! service.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured results of every table and figure.
+
+pub use sitra_core as core;
+pub use sitra_dart as dart;
+pub use sitra_dataspaces as dataspaces;
+pub use sitra_machine as machine;
+pub use sitra_mesh as mesh;
+pub use sitra_sim as sim;
+pub use sitra_stats as stats;
+pub use sitra_topology as topology;
+pub use sitra_viz as viz;
