@@ -61,7 +61,12 @@ fn bench_intransit(c: &mut Criterion) {
     let d = Decomposition::new(g, [2, 2, 2]);
     let blocks: Vec<ScalarField> = (0..8).map(|r| field.extract(&d.block(r))).collect();
     let (ghosted, _) = exchange_ghosts(&d, &blocks, 1);
-    let subs = in_situ_subtrees(&d, &ghosted, Connectivity::Six, BoundaryPolicy::BoundaryMaxima);
+    let subs = in_situ_subtrees(
+        &d,
+        &ghosted,
+        Connectivity::Six,
+        BoundaryPolicy::BoundaryMaxima,
+    );
     let coarse: Vec<_> = (0..8)
         .map(|r| downsample(&field.extract(&d.block(r)), 4))
         .collect();

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sitra_core::{
-    run_pipeline, AnalysisSpec, HybridStats, HybridTopology, HybridViz, InSituViz,
-    PipelineConfig, Placement,
+    run_pipeline, AnalysisSpec, HybridStats, HybridTopology, HybridViz, InSituViz, PipelineConfig,
+    Placement,
 };
 use sitra_mesh::BBox3;
 use sitra_sim::{SimConfig, Simulation};

@@ -12,8 +12,8 @@ use bytes::Bytes;
 use serde::Serialize;
 use sitra_bench::{print_table, write_json};
 use sitra_core::{
-    run_pipeline, Analysis, AnalysisOutput, AnalysisSpec, HybridStats, InSituCtx,
-    PipelineConfig, Placement,
+    run_pipeline, Analysis, AnalysisOutput, AnalysisSpec, HybridStats, InSituCtx, PipelineConfig,
+    Placement,
 };
 use sitra_sim::{SimConfig, Simulation};
 use std::sync::Arc;
@@ -65,7 +65,12 @@ fn run(placement: Placement, pad_iters: u64) -> (f64, f64) {
     )];
     let mut sim = Simulation::new(SimConfig::small([24, 20, 16], 5));
     let result = run_pipeline(&mut sim, &cfg);
-    let blocking: f64 = result.metrics.steps.iter().map(|s| s.blocked_secs).sum::<f64>()
+    let blocking: f64 = result
+        .metrics
+        .steps
+        .iter()
+        .map(|s| s.blocked_secs)
+        .sum::<f64>()
         / result.metrics.steps.len() as f64;
     let latency: f64 = result
         .metrics

@@ -74,7 +74,9 @@ fn main() {
             h_overview
                 .write_ppm(out_dir.join("b_hybrid8_overview.ppm"), bg)
                 .unwrap();
-            h_zoom.write_ppm(out_dir.join("d_hybrid8_zoom.ppm"), bg).unwrap();
+            h_zoom
+                .write_ppm(out_dir.join("d_hybrid8_zoom.ppm"), bg)
+                .unwrap();
         }
         results.push(StrideResult {
             stride,
@@ -92,8 +94,11 @@ fn main() {
         .map(|r| {
             vec![
                 format!("{}", r.stride),
-                format!("{:.1} KiB ({}x less)", r.payload_bytes as f64 / 1024.0,
-                        full_bytes / r.payload_bytes.max(1)),
+                format!(
+                    "{:.1} KiB ({}x less)",
+                    r.payload_bytes as f64 / 1024.0,
+                    full_bytes / r.payload_bytes.max(1)
+                ),
                 format!("{:.4}", r.rmse_overview),
                 format!("{:.1} dB", r.psnr_overview),
                 format!("{:.4}", r.rmse_zoom),
@@ -103,7 +108,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 2 — hybrid (down-sampled) vs in-situ (full-res) image quality",
-        &["stride", "payload", "RMSE ovw", "PSNR ovw", "RMSE zoom", "PSNR zoom"],
+        &[
+            "stride",
+            "payload",
+            "RMSE ovw",
+            "PSNR ovw",
+            "RMSE zoom",
+            "PSNR zoom",
+        ],
         &rows,
     );
     println!("\nimages written to target/fig2/ (a,c: in-situ; b,d: hybrid, stride 8)");

@@ -118,13 +118,25 @@ fn main() {
         ],
         vec![
             "I/O read time (sec.) [paper]".into(),
-            format!("{:.2} [{}]", cols[0].io_read_secs, cols[0].paper_io_read_secs),
-            format!("{:.2} [{}]", cols[1].io_read_secs, cols[1].paper_io_read_secs),
+            format!(
+                "{:.2} [{}]",
+                cols[0].io_read_secs, cols[0].paper_io_read_secs
+            ),
+            format!(
+                "{:.2} [{}]",
+                cols[1].io_read_secs, cols[1].paper_io_read_secs
+            ),
         ],
         vec![
             "I/O write time (sec.) [paper]".into(),
-            format!("{:.2} [{}]", cols[0].io_write_secs, cols[0].paper_io_write_secs),
-            format!("{:.2} [{}]", cols[1].io_write_secs, cols[1].paper_io_write_secs),
+            format!(
+                "{:.2} [{}]",
+                cols[0].io_write_secs, cols[0].paper_io_write_secs
+            ),
+            format!(
+                "{:.2} [{}]",
+                cols[1].io_write_secs, cols[1].paper_io_write_secs
+            ),
         ],
     ];
     print_table(

@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use sitra_mesh::{downsample, Decomposition, ScalarField};
 use sitra_sim::{SimConfig, Simulation, Variable};
 use sitra_stats::MultiModel;
-use sitra_topology::distributed::{
-    glue_subtrees, in_situ_subtrees, BoundaryPolicy,
-};
+use sitra_topology::distributed::{glue_subtrees, in_situ_subtrees, BoundaryPolicy};
 use sitra_topology::Connectivity;
 use sitra_viz::{render_block, HybridRenderer, TransferFunction, View, ViewAxis};
 use std::time::Instant;
@@ -121,7 +119,12 @@ pub fn calibrate(block_dims: [usize; 3], seed: u64) -> KernelRates {
         )
     });
     let sub_cells = ghosted[0].len() as f64;
-    let subs = in_situ_subtrees(&d, &ghosted, Connectivity::Six, BoundaryPolicy::BoundaryMaxima);
+    let subs = in_situ_subtrees(
+        &d,
+        &ghosted,
+        Connectivity::Six,
+        BoundaryPolicy::BoundaryMaxima,
+    );
     let total_verts: usize = subs.iter().map(|s| s.verts.len()).sum();
     let total_bytes: usize = subs.iter().map(|s| s.bytes()).sum();
     let (_, glue_t) = time(|| glue_subtrees(&subs));
@@ -294,7 +297,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for r in rows {
         println!("{}", fmt_row(r));
     }
@@ -338,7 +344,10 @@ mod tests {
         let get = |label: &str| rows.iter().find(|r| r.label.contains(label)).unwrap();
         // Shape assertions mirroring the paper's qualitative claims:
         // hybrid viz in-situ stage ≪ fully in-situ viz;
-        assert!(get("hybrid visualization").insitu_secs < get("in-situ visualization").insitu_secs / 3.0);
+        assert!(
+            get("hybrid visualization").insitu_secs
+                < get("in-situ visualization").insitu_secs / 3.0
+        );
         // topology moves the most intermediate data of the three hybrids;
         assert!(get("hybrid topology").movement_mb > get("hybrid descriptive").movement_mb);
         // stats in-transit stage is trivial; topology's dominates.

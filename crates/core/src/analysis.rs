@@ -163,7 +163,9 @@ impl Analysis for InSituViz {
     fn aggregate(&self, _step: u64, parts: &[(usize, Bytes)]) -> AnalysisOutput {
         let mut imgs: Vec<(i64, Image)> = parts
             .iter()
-            .map(|(_, b)| wire::decode_partial_image(b.clone()))
+            .map(|(_, b)| {
+                wire::decode_partial_image(b.clone()).expect("valid in-process partial image")
+            })
             .collect();
         imgs.sort_by_key(|(k, _)| *k);
         let mut out = Image::new(self.view.width, self.view.height);
@@ -201,7 +203,9 @@ impl Analysis for HybridViz {
     fn aggregate(&self, _step: u64, parts: &[(usize, Bytes)]) -> AnalysisOutput {
         let blocks: Vec<_> = parts
             .iter()
-            .map(|(_, b)| wire::decode_sampled_block(b.clone()))
+            .map(|(_, b)| {
+                wire::decode_sampled_block(b.clone()).expect("valid in-process sampled block")
+            })
             .collect();
         let renderer = HybridRenderer::new(blocks);
         AnalysisOutput::Image(renderer.render(&self.view, &self.tf))
@@ -251,7 +255,8 @@ impl Analysis for HybridStats {
         struct Merge(MultiModel);
         impl Aggregator for Merge {
             fn feed(&mut self, _rank: usize, payload: Bytes) {
-                self.0.merge(&wire::decode_multimodel(payload));
+                let m = wire::decode_multimodel(payload).expect("valid in-process multimodel");
+                self.0.merge(&m);
             }
             fn finish(self: Box<Self>) -> AnalysisOutput {
                 let stats = self
@@ -314,7 +319,9 @@ impl Analysis for HybridTopology {
         struct Glue(StreamingMergeTree);
         impl Aggregator for Glue {
             fn feed(&mut self, _rank: usize, payload: Bytes) {
-                wire::decode_subtree(payload).stream_into(&mut self.0);
+                wire::decode_subtree(payload)
+                    .expect("valid in-process subtree")
+                    .stream_into(&mut self.0);
             }
             fn finish(self: Box<Self>) -> AnalysisOutput {
                 let (tree, _) = self.0.finish();
@@ -346,7 +353,9 @@ pub struct AutoCorrelation {
     pub lag: usize,
     /// The variable name (must be materialized in `ctx.vars`).
     pub variable: String,
-    history: parking_lot::Mutex<std::collections::HashMap<usize, std::collections::VecDeque<(u64, ScalarField)>>>,
+    history: parking_lot::Mutex<
+        std::collections::HashMap<usize, std::collections::VecDeque<(u64, ScalarField)>>,
+    >,
 }
 
 impl AutoCorrelation {
@@ -377,9 +386,7 @@ impl Analysis for AutoCorrelation {
         let model = ring
             .iter()
             .find(|(s, _)| *s + self.lag as u64 == ctx.step)
-            .map(|(_, old)| {
-                sitra_stats::CoMoments::from_slices(old.as_slice(), current.as_slice())
-            })
+            .map(|(_, old)| sitra_stats::CoMoments::from_slices(old.as_slice(), current.as_slice()))
             .unwrap_or_default();
         ring.push_back((ctx.step, current));
         while ring.len() > self.lag + 1 {
@@ -391,7 +398,8 @@ impl Analysis for AutoCorrelation {
     fn aggregate(&self, _step: u64, parts: &[(usize, Bytes)]) -> AnalysisOutput {
         let mut merged = sitra_stats::CoMoments::new();
         for (_, b) in parts {
-            merged.merge(&wire::decode_comoments(b.clone()));
+            let m = wire::decode_comoments(b.clone()).expect("valid in-process comoments");
+            merged.merge(&m);
         }
         AnalysisOutput::Scalars(vec![
             (
@@ -482,7 +490,8 @@ impl Analysis for FeatureStats {
         let mut sink = StreamingMergeTree::new();
         let mut all_feats: Vec<(u64, sitra_stats::Moments)> = Vec::new();
         for (_, b) in parts {
-            let (sub, feats) = wire::decode_feature_stats(b.clone());
+            let (sub, feats) =
+                wire::decode_feature_stats(b.clone()).expect("valid in-process feature stats");
             sub.stream_into(&mut sink);
             all_feats.extend(feats);
         }
@@ -512,7 +521,10 @@ mod tests {
     use sitra_mesh::{exchange_ghosts, BBox3};
     use sitra_viz::ViewAxis;
 
-    fn setup(dims: [usize; 3], parts: [usize; 3]) -> (Decomposition, ScalarField, Vec<ScalarField>) {
+    fn setup(
+        dims: [usize; 3],
+        parts: [usize; 3],
+    ) -> (Decomposition, ScalarField, Vec<ScalarField>) {
         let g = BBox3::from_dims(dims);
         let whole = ScalarField::from_fn(g, |p| {
             let x = p[0] as f64 * 0.55;
@@ -521,16 +533,13 @@ mod tests {
             (x.sin() * y.cos() + z.sin() + 2.0) / 4.0
         });
         let d = Decomposition::new(g, parts);
-        let fields: Vec<ScalarField> =
-            (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect();
+        let fields: Vec<ScalarField> = (0..d.rank_count())
+            .map(|r| whole.extract(&d.block(r)))
+            .collect();
         (d, whole, fields)
     }
 
-    fn run_analysis(
-        a: &dyn Analysis,
-        d: &Decomposition,
-        fields: &[ScalarField],
-    ) -> AnalysisOutput {
+    fn run_analysis(a: &dyn Analysis, d: &Decomposition, fields: &[ScalarField]) -> AnalysisOutput {
         let (ghosted, _) = exchange_ghosts(d, fields, 1);
         let parts: Vec<(usize, Bytes)> = (0..d.rank_count())
             .map(|r| {
@@ -659,7 +668,7 @@ mod tests {
             ghosted: &ghosted[0],
             vars: &vars,
         };
-        let m = wire::decode_multimodel(a.in_situ(&ctx));
+        let m = wire::decode_multimodel(a.in_situ(&ctx)).unwrap();
         assert_eq!(m.vars.len(), 1);
         assert_eq!(m.vars[0].0, "P");
     }
@@ -673,9 +682,8 @@ mod tests {
                 policy,
             };
             let out = run_analysis(&a, &d, &fields);
-            let serial =
-                sitra_topology::distributed::serial_merge_tree(&whole, Connectivity::Six)
-                    .canonical();
+            let serial = sitra_topology::distributed::serial_merge_tree(&whole, Connectivity::Six)
+                .canonical();
             assert_eq!(out.as_tree().unwrap(), &serial, "{policy:?}");
         }
     }
@@ -694,8 +702,9 @@ mod tests {
             b(5.0, 5.0, 10.0) + b(14.0, 5.0, 7.0) + 0.01 * p[2] as f64
         });
         let d = Decomposition::new(g, [2, 2, 2]);
-        let fields: Vec<ScalarField> =
-            (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect();
+        let fields: Vec<ScalarField> = (0..d.rank_count())
+            .map(|r| whole.extract(&d.block(r)))
+            .collect();
         let threshold = 2.0;
         let a = FeatureStats {
             threshold,
@@ -706,13 +715,8 @@ mod tests {
         let got = out.as_stats().unwrap();
 
         // Serial reference.
-        let seg = sitra_topology::segment_superlevel(
-            &whole,
-            &g,
-            threshold,
-            Connectivity::Six,
-            None,
-        );
+        let seg =
+            sitra_topology::segment_superlevel(&whole, &g, threshold, Connectivity::Six, None);
         let mut expect: std::collections::HashMap<u64, sitra_stats::Moments> =
             std::collections::HashMap::new();
         for p in g.iter() {
@@ -737,8 +741,9 @@ mod tests {
         let g = BBox3::from_dims([8, 8, 8]);
         let whole = ScalarField::new_fill(g, 1.0);
         let d = Decomposition::new(g, [2, 1, 1]);
-        let fields: Vec<ScalarField> =
-            (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect();
+        let fields: Vec<ScalarField> = (0..d.rank_count())
+            .map(|r| whole.extract(&d.block(r)))
+            .collect();
         let a = FeatureStats {
             threshold: 5.0,
             conn: Connectivity::Six,
@@ -756,8 +761,9 @@ mod tests {
         let g = BBox3::from_dims([12, 12, 4]);
         let whole = ScalarField::from_fn(g, |p| ((p[0] * 31 + p[1] * 17 + p[2]) % 9) as f64);
         let d = Decomposition::new(g, [3, 2, 1]);
-        let fields: Vec<ScalarField> =
-            (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect();
+        let fields: Vec<ScalarField> = (0..d.rank_count())
+            .map(|r| whole.extract(&d.block(r)))
+            .collect();
         let threshold = 5.0;
         let a = FeatureStats {
             threshold,

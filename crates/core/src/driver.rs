@@ -24,6 +24,7 @@
 use crate::analysis::{AnalysisOutput, InSituCtx};
 use crate::metrics::{AnalysisMetrics, PipelineMetrics, StepMetrics};
 use crate::placement::{AnalysisSpec, Placement};
+use crate::remote::{await_output, encode_task, intermediate_var, rank_bbox, RemoteTask};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -53,6 +54,13 @@ pub struct PipelineConfig {
     pub staging_buffer_depth: u64,
     /// Network model used for simulated-time accounting.
     pub network: NetworkModel,
+    /// When set (`"tcp://host:port"` or `"inproc://name"`), hybrid
+    /// analyses are staged **remotely**: intermediates are put into the
+    /// addressed [`SpaceServer`](sitra_dataspaces::SpaceServer) (e.g. a
+    /// `sitra-staged` process) and tasks are queued in its scheduler for
+    /// external bucket workers ([`crate::remote::run_bucket_worker`]).
+    /// `None` keeps the in-process staging threads.
+    pub staging_endpoint: Option<String>,
 }
 
 impl PipelineConfig {
@@ -67,7 +75,14 @@ impl PipelineConfig {
             extra_variables: Vec::new(),
             staging_buffer_depth: 16,
             network: NetworkModel::gemini(),
+            staging_endpoint: None,
         }
+    }
+
+    /// Stage hybrid analyses through a remote space server at `endpoint`.
+    pub fn with_staging_endpoint(mut self, endpoint: impl Into<String>) -> Self {
+        self.staging_endpoint = Some(endpoint.into());
+        self
     }
 }
 
@@ -113,6 +128,17 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
     let rank_endpoints: Vec<Endpoint> = (0..n_ranks).map(|_| fabric.register()).collect();
     let scheduler: Scheduler<TaskDesc> = Scheduler::new();
 
+    // Remote staging: hybrid work goes through a SpaceServer instead of
+    // the in-process scheduler + DART pulls.
+    let remote = cfg.staging_endpoint.as_ref().map(|ep| {
+        let addr = ep
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid staging endpoint `{ep}`: {e}"));
+        sitra_dataspaces::RemoteSpace::connect_retry(&addr, &sitra_net::Backoff::default())
+            .unwrap_or_else(|e| panic!("cannot reach staging endpoint `{ep}`: {e}"))
+    });
+    let mut remote_pending: Vec<(usize, u64)> = Vec::new();
+
     let analyses: Vec<AnalysisSpec> = cfg.analyses.clone();
     {
         let mut labels: Vec<&str> = analyses.iter().map(|s| s.label.as_str()).collect();
@@ -128,9 +154,18 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
     let shared_outputs: Arc<Mutex<Vec<(String, u64, AnalysisOutput)>>> =
         Arc::new(Mutex::new(Vec::new()));
     let dropped: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+    // Buckets signal here once per hybrid task retired (completed or
+    // dropped), so the drain below blocks instead of polling.
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<()>();
 
-    // Staging-bucket workers.
-    let workers: Vec<_> = (0..cfg.staging_buckets.max(1))
+    // Staging-bucket workers (in-process mode only: with a remote
+    // endpoint the buckets live behind the space server).
+    let local_buckets = if remote.is_some() {
+        0
+    } else {
+        cfg.staging_buckets.max(1)
+    };
+    let workers: Vec<_> = (0..local_buckets)
         .map(|b| {
             let bucket = scheduler.register_bucket(b as u32);
             let ep = fabric.register();
@@ -138,14 +173,18 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
             let metrics = Arc::clone(&shared_metrics);
             let outputs = Arc::clone(&shared_outputs);
             let dropped = Arc::clone(&dropped);
+            let done = done_tx.clone();
             std::thread::Builder::new()
                 .name(format!("bucket-{b}"))
                 .spawn(move || {
-                    bucket_loop(bucket, ep, b as u32, &analyses, &metrics, &outputs, &dropped)
+                    bucket_loop(
+                        bucket, ep, b as u32, &analyses, &metrics, &outputs, &dropped, &done,
+                    )
                 })
                 .expect("spawn bucket")
         })
         .collect();
+    drop(done_tx);
 
     let mut steps_metrics = Vec::with_capacity(cfg.steps);
     let run_start = Instant::now();
@@ -165,10 +204,7 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
         let extra: Vec<Vec<(String, ScalarField)>> = (0..n_ranks)
             .into_par_iter()
             .map(|r| {
-                let mut v = vec![(
-                    cfg.analysis_variable.name().to_string(),
-                    blocks[r].clone(),
-                )];
+                let mut v = vec![(cfg.analysis_variable.name().to_string(), blocks[r].clone())];
                 for var in &cfg.extra_variables {
                     if *var != cfg.analysis_variable {
                         v.push((
@@ -240,9 +276,41 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
                         streamed: false,
                         completion_latency_secs: 0.0,
                     });
-                    shared_outputs
-                        .lock()
-                        .push((spec.label.clone(), step, out));
+                    shared_outputs.lock().push((spec.label.clone(), step, out));
+                }
+                Placement::Hybrid if remote.is_some() => {
+                    // Remote staging: intermediates go into the space
+                    // (one degenerate region per rank so a whole-step
+                    // query returns them in rank order) and the task is
+                    // queued in the server's scheduler for external
+                    // bucket workers.
+                    let rs = remote.as_ref().unwrap();
+                    let var = intermediate_var(&spec.label);
+                    for (r, payload, _) in &timed {
+                        rs.put(&var, step, rank_bbox(*r), payload.clone())
+                            .expect("staging put failed");
+                    }
+                    blocked_secs += insitu_wall;
+                    shared_metrics.lock().push(AnalysisMetrics {
+                        analysis: spec.label.clone(),
+                        step,
+                        insitu_secs,
+                        insitu_core_secs,
+                        movement_bytes,
+                        movement_sim_secs,
+                        aggregate_secs: 0.0,
+                        aggregated_in_transit: true,
+                        bucket: None,
+                        streamed: false,
+                        completion_latency_secs: 0.0,
+                    });
+                    rs.submit_task(encode_task(&RemoteTask {
+                        analysis_idx: ai as u32,
+                        step,
+                        n_ranks: n_ranks as u32,
+                    }))
+                    .expect("staging submit failed");
+                    remote_pending.push((ai, step));
                 }
                 Placement::Hybrid => {
                     // Export payloads and withdraw stale ones.
@@ -270,15 +338,17 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
                         streamed: false,
                         completion_latency_secs: 0.0,
                     };
+                    // Stash the in-situ half of the metrics before the
+                    // task becomes visible: the bucket that completes it
+                    // fills in the rest and must find the row even when
+                    // it wins the race with this thread.
+                    shared_metrics.lock().push(base);
                     scheduler.submit(TaskDesc {
                         analysis_idx: ai,
                         step,
                         issued: Instant::now(),
                         parts,
                     });
-                    // Stash the in-situ half of the metrics; the bucket
-                    // fills in the rest when it completes.
-                    shared_metrics.lock().push(base);
                 }
             }
         }
@@ -292,26 +362,38 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
     }
 
     // Drain: close the queue once all buckets finished outstanding work.
-    let expected_hybrid: u64 = {
-        let m = shared_metrics.lock();
-        m.iter().filter(|a| a.aggregated_in_transit).count() as u64
-    };
-    // Wait until every hybrid task was either completed or dropped.
-    loop {
-        let done = shared_outputs
-            .lock()
-            .iter()
-            .filter(|(n, _, _)| {
-                analyses
-                    .iter()
-                    .any(|s| &s.label == n && matches!(s.placement, Placement::Hybrid))
-            })
-            .count() as u64
-            + *dropped.lock() as u64;
-        if done >= expected_hybrid {
-            break;
+    if let Some(rs) = &remote {
+        // Remote mode: collect every output from the space, reclaim the
+        // staging memory step by step, then close the remote scheduler
+        // so external bucket workers retire.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        for (ai, step) in &remote_pending {
+            let label = &analyses[*ai].label;
+            let out = await_output(rs, label, *step, deadline)
+                .unwrap_or_else(|e| panic!("remote staging lost {label}@{step}: {e}"));
+            shared_outputs.lock().push((label.clone(), *step, out));
         }
-        std::thread::sleep(Duration::from_millis(5));
+        let mut versions: Vec<u64> = remote_pending.iter().map(|(_, s)| *s).collect();
+        versions.sort_unstable();
+        versions.dedup();
+        for v in versions {
+            let _ = rs.evict_version(v);
+        }
+        let _ = rs.close_sched();
+    } else {
+        let expected_hybrid: u64 = {
+            let m = shared_metrics.lock();
+            m.iter().filter(|a| a.aggregated_in_transit).count() as u64
+        };
+        // Block until every hybrid task was either completed or dropped;
+        // each retirement sends exactly one token. A disconnect means
+        // every bucket exited early, in which case nothing further can
+        // arrive.
+        for _ in 0..expected_hybrid {
+            if done_rx.recv().is_err() {
+                break;
+            }
+        }
     }
     scheduler.close();
     for w in workers {
@@ -343,6 +425,7 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bucket_loop(
     bucket: sitra_dataspaces::BucketHandle<TaskDesc>,
     ep: Endpoint,
@@ -351,6 +434,7 @@ fn bucket_loop(
     metrics: &Mutex<Vec<AnalysisMetrics>>,
     outputs: &Mutex<Vec<(String, u64, AnalysisOutput)>>,
     dropped: &Mutex<usize>,
+    done: &crossbeam::channel::Sender<()>,
 ) {
     while let Some((_seq, task)) = bucket.request_task() {
         let spec = &analyses[task.analysis_idx];
@@ -371,6 +455,7 @@ fn bucket_loop(
         }
         if overrun {
             *dropped.lock() += 1;
+            let _ = done.send(());
             continue;
         }
         // Streaming aggregation when the analysis supports it: payloads
@@ -386,10 +471,7 @@ fn bucket_loop(
         while !pending.is_empty() {
             match ep.poll_event(Duration::from_secs(30)) {
                 Some(Event::GetComplete {
-                    id,
-                    data,
-                    sim_time,
-                    ..
+                    id, data, sim_time, ..
                 }) => {
                     if let Some(rank) = pending.remove(&id) {
                         movement_sim += sim_time;
@@ -419,6 +501,7 @@ fn bucket_loop(
         }
         if failed_mid_pull {
             *dropped.lock() += 1;
+            let _ = done.send(());
             continue;
         }
         let t_agg = Instant::now();
@@ -443,9 +526,8 @@ fn bucket_loop(
                 row.movement_sim_secs = row.movement_sim_secs.max(movement_sim);
             }
         }
-        outputs
-            .lock()
-            .push((spec.label.clone(), task.step, out));
+        outputs.lock().push((spec.label.clone(), task.step, out));
+        let _ = done.send(());
     }
     ep.unregister();
 }

@@ -27,6 +27,7 @@ pub mod analysis;
 pub mod driver;
 pub mod metrics;
 pub mod placement;
+pub mod remote;
 pub mod wire;
 
 pub use analysis::{
@@ -36,3 +37,4 @@ pub use analysis::{
 pub use driver::{run_pipeline, PipelineConfig, PipelineResult};
 pub use metrics::{AnalysisMetrics, PipelineMetrics, StepMetrics};
 pub use placement::{AnalysisSpec, Placement};
+pub use remote::{run_bucket_worker, BucketWorkerOpts, RemoteTask};

@@ -73,7 +73,10 @@ pub struct PipelineMetrics {
 impl PipelineMetrics {
     /// All metrics rows of one analysis.
     pub fn for_analysis(&self, name: &str) -> Vec<&AnalysisMetrics> {
-        self.analyses.iter().filter(|a| a.analysis == name).collect()
+        self.analyses
+            .iter()
+            .filter(|a| a.analysis == name)
+            .collect()
     }
 
     /// Mean in-situ seconds of an analysis across steps.

@@ -1,0 +1,296 @@
+//! Remote staging for the pipeline: intermediates, tasks, and outputs
+//! flow through a [`SpaceServer`](sitra_dataspaces::SpaceServer)
+//! (typically the `sitra-staged` binary) instead of the in-process
+//! scheduler and DART fabric.
+//!
+//! Division of labour, mirroring the paper's deployment:
+//!
+//! * The **driver** (simulation side) puts each rank's in-situ
+//!   intermediate into the space under `sitra.i/{label}` at
+//!   `version = step`, region `[rank,0,0]`, then submits a *data-ready*
+//!   task descriptor ([`RemoteTask`]) to the remote scheduler.
+//! * **Bucket workers** ([`run_bucket_worker`]) — separate threads or
+//!   separate processes, connected over `inproc://` or `tcp://` — pull
+//!   tasks FCFS, fetch every rank's piece, run the aggregation stage,
+//!   and put the encoded [`AnalysisOutput`] back under
+//!   `sitra.o/{label}`.
+//! * The driver collects outputs by polling the space, which keeps the
+//!   simulation loop free of any consumer bookkeeping.
+//!
+//! A worker whose connection dies mid-assignment is harmless: the
+//! server requeues the unacknowledged task and the worker reconnects
+//! with bounded backoff ([`BucketWorkerOpts::backoff`]) — the
+//! integration test injects exactly this failure.
+
+use crate::analysis::AnalysisOutput;
+use crate::placement::AnalysisSpec;
+use crate::wire::{decode_analysis_output, encode_analysis_output, WireError};
+use bytes::{BufMut, Bytes, BytesMut};
+use sitra_dataspaces::remote::{RemoteError, RemoteSpace, TaskPoll};
+use sitra_mesh::BBox3;
+use sitra_net::{Addr, Backoff};
+use std::time::Duration;
+
+/// Variable prefix for in-situ intermediates in the remote space.
+pub const INTERMEDIATE_PREFIX: &str = "sitra.i/";
+/// Variable prefix for completed analysis outputs in the remote space.
+pub const OUTPUT_PREFIX: &str = "sitra.o/";
+
+/// The variable a rank's intermediate for `label` is stored under.
+pub fn intermediate_var(label: &str) -> String {
+    format!("{INTERMEDIATE_PREFIX}{label}")
+}
+
+/// The variable an analysis output for `label` is stored under.
+pub fn output_var(label: &str) -> String {
+    format!("{OUTPUT_PREFIX}{label}")
+}
+
+/// The unit region a rank's intermediate occupies: ranks are laid out
+/// along the x axis so a whole-step query returns pieces in rank order
+/// (the space sorts by `bbox.lo`).
+pub fn rank_bbox(rank: usize) -> BBox3 {
+    BBox3::new([rank, 0, 0], [rank + 1, 1, 1])
+}
+
+/// The unit region an analysis output occupies.
+pub fn output_bbox() -> BBox3 {
+    BBox3::new([0, 0, 0], [1, 1, 1])
+}
+
+/// A data-ready descriptor queued in the remote scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteTask {
+    /// Index into the (shared) analysis list.
+    pub analysis_idx: u32,
+    /// Timestep, also the space version of the intermediates.
+    pub step: u64,
+    /// How many rank pieces make up the task's input.
+    pub n_ranks: u32,
+}
+
+/// Encode a task descriptor (16 bytes, little-endian).
+pub fn encode_task(t: &RemoteTask) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16);
+    buf.put_u32_le(t.analysis_idx);
+    buf.put_u64_le(t.step);
+    buf.put_u32_le(t.n_ranks);
+    buf.freeze()
+}
+
+/// Decode a task descriptor. Total: errors instead of panicking.
+pub fn decode_task(b: &Bytes) -> Result<RemoteTask, WireError> {
+    if b.len() != 16 {
+        return Err(WireError::Truncated { field: "task" });
+    }
+    let le4 = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
+    let le8 = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+    Ok(RemoteTask {
+        analysis_idx: le4(0),
+        step: le8(4),
+        n_ranks: le4(12),
+    })
+}
+
+/// Knobs of a remote bucket worker.
+pub struct BucketWorkerOpts {
+    /// Reconnect policy after a lost connection.
+    pub backoff: Backoff,
+    /// Server-side wait per bucket-ready request.
+    pub request_timeout: Duration,
+    /// Fault injection: after this many completed tasks, drop the
+    /// connection once in the middle of a bucket-ready request (the
+    /// worker then reconnects and carries on). The doomed request waits
+    /// long enough server-side that a task **will** be assigned to the
+    /// dead connection, forcing the requeue path. `None` disables it.
+    pub drop_connection_after: Option<usize>,
+}
+
+impl Default for BucketWorkerOpts {
+    fn default() -> Self {
+        Self {
+            backoff: Backoff::default(),
+            request_timeout: Duration::from_millis(500),
+            drop_connection_after: None,
+        }
+    }
+}
+
+/// Run one staging bucket against a remote [`SpaceServer`]: request
+/// tasks until the scheduler closes, aggregating each and putting the
+/// encoded output back into the space. Returns the number of tasks
+/// completed.
+///
+/// `analyses` must be the same list (same order) the driver was
+/// configured with — the task descriptor carries an index into it.
+pub fn run_bucket_worker(
+    endpoint: &Addr,
+    analyses: &[AnalysisSpec],
+    bucket_id: u32,
+    opts: &BucketWorkerOpts,
+) -> Result<usize, RemoteError> {
+    let mut space = RemoteSpace::connect_retry(endpoint, &opts.backoff)?;
+    let mut completed = 0usize;
+    let mut drop_budget = opts.drop_connection_after;
+    loop {
+        if drop_budget == Some(completed) {
+            drop_budget = None;
+            // Crash at the worst moment: mid-request, response unread.
+            // The long timeout keeps the server-side bucket parked until
+            // a task is assigned to the now-dead connection; the server
+            // notices the missing ack, requeues, and the task is handed
+            // to a healthy bucket. We reconnect and pick up where we
+            // left off.
+            space.fault_drop_during_request(bucket_id, Duration::from_secs(30));
+            space = RemoteSpace::connect_retry(endpoint, &opts.backoff)?;
+        }
+        let poll = match space.request_task(bucket_id, opts.request_timeout) {
+            Ok(p) => p,
+            Err(RemoteError::Net(_)) => {
+                // Connection lost (server restart, transient network
+                // failure): reconnect with backoff and retry.
+                space = RemoteSpace::connect_retry(endpoint, &opts.backoff)?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let task = match poll {
+            TaskPoll::Assigned { data, .. } => decode_task(&data)
+                .map_err(|e| RemoteError::Proto(format!("bad task descriptor: {e}")))?,
+            TaskPoll::Empty => continue,
+            TaskPoll::Closed => return Ok(completed),
+        };
+        let spec = analyses.get(task.analysis_idx as usize).ok_or_else(|| {
+            RemoteError::Proto(format!("task for unknown analysis {}", task.analysis_idx))
+        })?;
+        // All rank pieces of this step; the space returns them sorted
+        // by bbox.lo, i.e. in rank order, so the aggregation sees the
+        // byte-identical part list the in-process bucket would.
+        let query = BBox3::new([0, 0, 0], [task.n_ranks.max(1) as usize, 1, 1]);
+        let pieces = space.get(&intermediate_var(&spec.label), task.step, &query)?;
+        let parts: Vec<(usize, Bytes)> = pieces
+            .into_iter()
+            .map(|(bbox, data)| (bbox.lo[0], data))
+            .collect();
+        let out = spec.analysis.aggregate(task.step, &parts);
+        space.put(
+            &output_var(&spec.label),
+            task.step,
+            output_bbox(),
+            encode_analysis_output(&out),
+        )?;
+        completed += 1;
+    }
+}
+
+/// Poll the space until the output of `(label, step)` appears, decode
+/// it, or give up at `deadline`.
+pub fn await_output(
+    space: &RemoteSpace,
+    label: &str,
+    step: u64,
+    deadline: std::time::Instant,
+) -> Result<AnalysisOutput, RemoteError> {
+    let var = output_var(label);
+    let q = output_bbox();
+    loop {
+        let pieces = space.get(&var, step, &q)?;
+        if let Some((_, data)) = pieces.into_iter().next() {
+            return decode_analysis_output(data)
+                .map_err(|e| RemoteError::Proto(format!("bad output for {label}@{step}: {e}")));
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(RemoteError::Proto(format!(
+                "timed out waiting for output {label}@{step}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::HybridStats;
+    use crate::placement::Placement;
+    use sitra_dataspaces::SpaceServer;
+    use std::sync::Arc;
+
+    #[test]
+    fn task_codec_roundtrip_and_totality() {
+        let t = RemoteTask {
+            analysis_idx: 3,
+            step: 91,
+            n_ranks: 8,
+        };
+        assert_eq!(decode_task(&encode_task(&t)).unwrap(), t);
+        assert!(decode_task(&Bytes::new()).is_err());
+        assert!(decode_task(&Bytes::from(vec![0u8; 15])).is_err());
+        assert!(decode_task(&Bytes::from(vec![0u8; 17])).is_err());
+    }
+
+    #[test]
+    fn worker_aggregates_tasks_from_space() {
+        let addr: Addr = "inproc://core-worker".parse().unwrap();
+        let server = SpaceServer::start(&addr, 2).unwrap();
+        let analyses = vec![AnalysisSpec::new(
+            Arc::new(HybridStats::default()),
+            Placement::Hybrid,
+            1,
+        )];
+        let label = analyses[0].label.clone();
+
+        // Producer side: two ranks' learned models for one step.
+        let producer = RemoteSpace::connect(&server.addr()).unwrap();
+        use crate::analysis::InSituCtx;
+        use sitra_mesh::{Decomposition, ScalarField};
+        let g = sitra_mesh::BBox3::from_dims([8, 4, 4]);
+        let decomp = Decomposition::new(g, [2, 1, 1]);
+        let whole = ScalarField::from_fn(g, |p| p[0] as f64 * 0.25);
+        let mut local_parts = Vec::new();
+        for r in 0..2 {
+            let block = whole.extract(&decomp.block(r));
+            let ghosted = block.clone();
+            let vars = vec![("T".to_string(), block)];
+            let ctx = InSituCtx {
+                rank: r,
+                step: 1,
+                decomp: &decomp,
+                ghosted: &ghosted,
+                vars: &vars,
+            };
+            let payload = analyses[0].analysis.in_situ(&ctx);
+            producer
+                .put(&intermediate_var(&label), 1, rank_bbox(r), payload.clone())
+                .unwrap();
+            local_parts.push((r, payload));
+        }
+        producer
+            .submit_task(encode_task(&RemoteTask {
+                analysis_idx: 0,
+                step: 1,
+                n_ranks: 2,
+            }))
+            .unwrap();
+        producer.close_sched().unwrap();
+
+        let done =
+            run_bucket_worker(&server.addr(), &analyses, 0, &BucketWorkerOpts::default()).unwrap();
+        assert_eq!(done, 1);
+
+        let got = await_output(
+            &producer,
+            &label,
+            1,
+            std::time::Instant::now() + Duration::from_secs(5),
+        )
+        .unwrap();
+        let expect = analyses[0].analysis.aggregate(1, &local_parts);
+        assert_eq!(got, expect);
+        assert_eq!(
+            encode_analysis_output(&got),
+            encode_analysis_output(&expect)
+        );
+        server.shutdown();
+    }
+}

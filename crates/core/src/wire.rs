@@ -5,11 +5,130 @@
 //! binary (not JSON): the byte counts reported by the metrics are the
 //! real transfer sizes, directly comparable to the paper's Table II
 //! "data movement size" column.
+//!
+//! Decoders are total: any byte sequence — truncated, corrupted, or
+//! adversarial — yields a [`WireError`] rather than a panic or an
+//! unbounded allocation. This matters once intermediates cross process
+//! boundaries (the `sitra-net` remote staging path), where a peer's
+//! bytes cannot be trusted to be well-formed.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::analysis::AnalysisOutput;
+use bytes::{BufMut, Bytes, BytesMut};
 use sitra_mesh::{BBox3, SampledBlock};
-use sitra_stats::{CoMoments, Moments, MultiModel};
+use sitra_stats::{CoMoments, Derived, Moments, MultiModel};
 use sitra_topology::reduce::{Subtree, SubtreeVertex};
+use sitra_topology::tree::CanonicalTree;
+
+/// Decoding failure: the buffer does not hold a valid intermediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before `field` could be read.
+    Truncated {
+        /// Name of the field being read when the bytes ran out.
+        field: &'static str,
+    },
+    /// A field was read but its value is structurally invalid.
+    Malformed {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// Decoding finished with bytes left over (framing mismatch).
+    TrailingBytes {
+        /// How many bytes remained.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { field } => write!(f, "buffer truncated reading `{field}`"),
+            WireError::Malformed { field } => write!(f, "malformed field `{field}`"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after decoded value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bounds-checked little-endian reader over a byte buffer.
+struct Reader {
+    buf: Bytes,
+    pos: usize,
+}
+
+impl Reader {
+    fn new(buf: Bytes) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<Bytes, WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { field });
+        }
+        let b = self.buf.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(b)
+    }
+
+    fn array<const N: usize>(&mut self, field: &'static str) -> Result<[u8; N], WireError> {
+        if self.remaining() < N {
+            return Err(WireError::Truncated { field });
+        }
+        let mut a = [0u8; N];
+        a.copy_from_slice(&self.buf[self.pos..self.pos + N]);
+        self.pos += N;
+        Ok(a)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.array::<1>(field)?[0])
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.array(field)?))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.array(field)?))
+    }
+
+    fn i64(&mut self, field: &'static str) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.array(field)?))
+    }
+
+    fn f64(&mut self, field: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.array(field)?))
+    }
+
+    /// A claimed element count, validated against the bytes actually
+    /// present (`min_elem_size` per element) so a corrupt length prefix
+    /// cannot drive an unbounded allocation.
+    fn count(&mut self, min_elem_size: usize, field: &'static str) -> Result<usize, WireError> {
+        let n = self.u64(field)? as usize;
+        if n.checked_mul(min_elem_size)
+            .is_none_or(|total| total > self.remaining())
+        {
+            return Err(WireError::Truncated { field });
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
 
 fn put_bbox(buf: &mut BytesMut, b: &BBox3) {
     for v in b.lo.iter().chain(b.hi.iter()) {
@@ -17,12 +136,17 @@ fn put_bbox(buf: &mut BytesMut, b: &BBox3) {
     }
 }
 
-fn get_bbox(buf: &mut Bytes) -> BBox3 {
+fn read_bbox(rd: &mut Reader, field: &'static str) -> Result<BBox3, WireError> {
     let mut vals = [0usize; 6];
     for v in &mut vals {
-        *v = buf.get_u64_le() as usize;
+        *v = rd.u64(field)? as usize;
     }
-    BBox3::new([vals[0], vals[1], vals[2]], [vals[3], vals[4], vals[5]])
+    let (lo, hi) = ([vals[0], vals[1], vals[2]], [vals[3], vals[4], vals[5]]);
+    // BBox3::new asserts lo <= hi; validate instead of panicking.
+    if lo.iter().zip(&hi).any(|(l, h)| l > h) {
+        return Err(WireError::Malformed { field });
+    }
+    Ok(BBox3::new(lo, hi))
 }
 
 /// Encode a down-sampled block (hybrid visualization intermediate).
@@ -39,21 +163,26 @@ pub fn encode_sampled_block(s: &SampledBlock) -> Bytes {
 }
 
 /// Decode a down-sampled block.
-pub fn decode_sampled_block(mut b: Bytes) -> SampledBlock {
-    let src_bbox = get_bbox(&mut b);
-    let coarse_bbox = get_bbox(&mut b);
-    let stride = b.get_u64_le() as usize;
-    let n = b.get_u64_le() as usize;
+pub fn decode_sampled_block(b: Bytes) -> Result<SampledBlock, WireError> {
+    let mut rd = Reader::new(b);
+    let src_bbox = read_bbox(&mut rd, "src_bbox")?;
+    let coarse_bbox = read_bbox(&mut rd, "coarse_bbox")?;
+    let stride = rd.u64("stride")? as usize;
+    if stride == 0 {
+        return Err(WireError::Malformed { field: "stride" });
+    }
+    let n = rd.count(8, "data.len")?;
     let mut data = Vec::with_capacity(n);
     for _ in 0..n {
-        data.push(b.get_f64_le());
+        data.push(rd.f64("data")?);
     }
-    SampledBlock {
+    rd.finish()?;
+    Ok(SampledBlock {
         src_bbox,
         stride,
         coarse_bbox,
         data,
-    }
+    })
 }
 
 /// Encode a multi-variable statistics model (hybrid stats intermediate).
@@ -72,32 +201,44 @@ pub fn encode_multimodel(m: &MultiModel) -> Bytes {
     buf.freeze()
 }
 
+fn read_moments(rd: &mut Reader) -> Result<Moments, WireError> {
+    let n = rd.u64("moments.n")?;
+    let mut f = [0.0f64; 6];
+    for v in &mut f {
+        *v = rd.f64("moments")?;
+    }
+    Ok(Moments {
+        n,
+        min: f[0],
+        max: f[1],
+        mean: f[2],
+        m2: f[3],
+        m3: f[4],
+        m4: f[5],
+    })
+}
+
 /// Decode a multi-variable statistics model.
-pub fn decode_multimodel(mut b: Bytes) -> MultiModel {
-    let nvars = b.get_u32_le() as usize;
+pub fn decode_multimodel(b: Bytes) -> Result<MultiModel, WireError> {
+    let mut rd = Reader::new(b);
+    let nvars = rd.u32("nvars")? as usize;
+    // Each variable is at least a length prefix plus the moment block.
+    if nvars
+        .checked_mul(4 + 56)
+        .is_none_or(|total| total > rd.remaining())
+    {
+        return Err(WireError::Truncated { field: "nvars" });
+    }
     let mut vars = Vec::with_capacity(nvars);
     for _ in 0..nvars {
-        let nlen = b.get_u32_le() as usize;
-        let name = String::from_utf8(b.split_to(nlen).to_vec()).expect("utf8 name");
-        let n = b.get_u64_le();
-        let mut f = [0.0f64; 6];
-        for v in &mut f {
-            *v = b.get_f64_le();
-        }
-        vars.push((
-            name,
-            Moments {
-                n,
-                min: f[0],
-                max: f[1],
-                mean: f[2],
-                m2: f[3],
-                m3: f[4],
-                m4: f[5],
-            },
-        ));
+        let nlen = rd.u32("name.len")? as usize;
+        let raw = rd.take(nlen, "name")?;
+        let name =
+            String::from_utf8(raw.to_vec()).map_err(|_| WireError::Malformed { field: "name" })?;
+        vars.push((name, read_moments(&mut rd)?));
     }
-    MultiModel { vars }
+    rd.finish()?;
+    Ok(MultiModel { vars })
 }
 
 /// Encode a merge-tree subtree (hybrid topology intermediate).
@@ -123,20 +264,25 @@ pub fn encode_subtree(s: &Subtree) -> Bytes {
     buf.freeze()
 }
 
-/// Decode a merge-tree subtree.
-pub fn decode_subtree(mut b: Bytes) -> Subtree {
-    let source = b.get_u32_le();
-    let nverts = b.get_u64_le() as usize;
+fn read_subtree(rd: &mut Reader) -> Result<Subtree, WireError> {
+    let source = rd.u32("source")?;
+    // A vertex is at least id + value + degree + pinned + potential.len.
+    let nverts = rd.count(8 + 8 + 4 + 1 + 4, "verts.len")?;
     let mut verts = Vec::with_capacity(nverts);
     for _ in 0..nverts {
-        let id = b.get_u64_le();
-        let value = b.get_f64_le();
-        let degree = b.get_u32_le();
-        let pinned = b.get_u8() != 0;
-        let np = b.get_u32_le() as usize;
+        let id = rd.u64("vert.id")?;
+        let value = rd.f64("vert.value")?;
+        let degree = rd.u32("vert.degree")?;
+        let pinned = rd.u8("vert.pinned")? != 0;
+        let np = rd.u32("potential.len")? as usize;
+        if np.checked_mul(4).is_none_or(|total| total > rd.remaining()) {
+            return Err(WireError::Truncated {
+                field: "potential.len",
+            });
+        }
         let mut potential = Vec::with_capacity(np);
         for _ in 0..np {
-            potential.push(b.get_u32_le());
+            potential.push(rd.u32("potential")?);
         }
         verts.push(SubtreeVertex {
             id,
@@ -146,18 +292,26 @@ pub fn decode_subtree(mut b: Bytes) -> Subtree {
             pinned,
         });
     }
-    let nedges = b.get_u64_le() as usize;
+    let nedges = rd.count(16, "edges.len")?;
     let mut edges = Vec::with_capacity(nedges);
     for _ in 0..nedges {
-        let a = b.get_u64_le();
-        let bb = b.get_u64_le();
+        let a = rd.u64("edge.a")?;
+        let bb = rd.u64("edge.b")?;
         edges.push((a, bb));
     }
-    Subtree {
+    Ok(Subtree {
         source,
         verts,
         edges,
-    }
+    })
+}
+
+/// Decode a merge-tree subtree.
+pub fn decode_subtree(b: Bytes) -> Result<Subtree, WireError> {
+    let mut rd = Reader::new(b);
+    let sub = read_subtree(&mut rd)?;
+    rd.finish()?;
+    Ok(sub)
 }
 
 /// Encode a bivariate co-moment model (auto-correlative statistics
@@ -172,20 +326,22 @@ pub fn encode_comoments(m: &CoMoments) -> Bytes {
 }
 
 /// Decode a bivariate co-moment model.
-pub fn decode_comoments(mut b: Bytes) -> CoMoments {
-    let n = b.get_u64_le();
+pub fn decode_comoments(b: Bytes) -> Result<CoMoments, WireError> {
+    let mut rd = Reader::new(b);
+    let n = rd.u64("n")?;
     let mut f = [0.0f64; 5];
     for v in &mut f {
-        *v = b.get_f64_le();
+        *v = rd.f64("comoments")?;
     }
-    CoMoments {
+    rd.finish()?;
+    Ok(CoMoments {
         n,
         mean_x: f[0],
         mean_y: f[1],
         m2x: f[2],
         m2y: f[3],
         cxy: f[4],
-    }
+    })
 }
 
 /// Encode a feature-statistics intermediate: a (pinned) subtree plus
@@ -207,32 +363,19 @@ pub fn encode_feature_stats(sub: &Subtree, feats: &[(u64, Moments)]) -> Bytes {
 }
 
 /// Decode a feature-statistics intermediate.
-pub fn decode_feature_stats(mut b: Bytes) -> (Subtree, Vec<(u64, Moments)>) {
-    let tlen = b.get_u64_le() as usize;
-    let sub = decode_subtree(b.split_to(tlen));
-    let n = b.get_u64_le() as usize;
+pub fn decode_feature_stats(b: Bytes) -> Result<(Subtree, Vec<(u64, Moments)>), WireError> {
+    let mut rd = Reader::new(b);
+    let tlen = rd.u64("subtree.len")? as usize;
+    let tree_bytes = rd.take(tlen, "subtree")?;
+    let sub = decode_subtree(tree_bytes)?;
+    let n = rd.count(8 + 56, "feats.len")?;
     let mut feats = Vec::with_capacity(n);
     for _ in 0..n {
-        let id = b.get_u64_le();
-        let nn = b.get_u64_le();
-        let mut f = [0.0f64; 6];
-        for v in &mut f {
-            *v = b.get_f64_le();
-        }
-        feats.push((
-            id,
-            Moments {
-                n: nn,
-                min: f[0],
-                max: f[1],
-                mean: f[2],
-                m2: f[3],
-                m3: f[4],
-                m4: f[5],
-            },
-        ));
+        let id = rd.u64("feat.id")?;
+        feats.push((id, read_moments(&mut rd)?));
     }
-    (sub, feats)
+    rd.finish()?;
+    Ok((sub, feats))
 }
 
 /// Encode a partial (premultiplied RGBA) image with its block's position
@@ -251,17 +394,206 @@ pub fn encode_partial_image(order_key: i64, img: &sitra_viz::Image) -> Bytes {
 }
 
 /// Decode a partial image.
-pub fn decode_partial_image(mut b: Bytes) -> (i64, sitra_viz::Image) {
-    let key = b.get_i64_le();
-    let w = b.get_u64_le() as usize;
-    let h = b.get_u64_le() as usize;
+pub fn decode_partial_image(b: Bytes) -> Result<(i64, sitra_viz::Image), WireError> {
+    let mut rd = Reader::new(b);
+    let key = rd.i64("order_key")?;
+    let w = rd.u64("width")? as usize;
+    let h = rd.u64("height")? as usize;
+    // Validate the full pixel payload before allocating the image.
+    let pixels = w
+        .checked_mul(h)
+        .ok_or(WireError::Malformed { field: "dims" })?;
+    if pixels
+        .checked_mul(32)
+        .is_none_or(|total| total != rd.remaining())
+    {
+        return Err(WireError::Truncated { field: "pixels" });
+    }
     let mut img = sitra_viz::Image::new(w, h);
     for p in img.pixels_mut() {
         for c in p.iter_mut() {
-            *c = b.get_f64_le();
+            *c = rd.f64("pixel")?;
         }
     }
-    (key, img)
+    rd.finish()?;
+    Ok((key, img))
+}
+
+const OUT_IMAGE: u8 = 0;
+const OUT_TREE: u8 = 1;
+const OUT_STATS: u8 = 2;
+const OUT_SCALARS: u8 = 3;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn read_str(rd: &mut Reader, field: &'static str) -> Result<String, WireError> {
+    let n = rd.u32(field)? as usize;
+    let raw = rd.take(n, field)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::Malformed { field })
+}
+
+/// Encode a completed analysis result for shipment from a remote staging
+/// bucket back to the driver. Byte-for-byte deterministic: two equal
+/// outputs always encode identically, which is what the remote-staging
+/// integration test leans on to prove the TCP path exactly reproduces
+/// the in-process pipeline.
+pub fn encode_analysis_output(out: &AnalysisOutput) -> Bytes {
+    let mut buf = BytesMut::new();
+    match out {
+        AnalysisOutput::Image(img) => {
+            buf.put_u8(OUT_IMAGE);
+            buf.put_u64_le(img.width() as u64);
+            buf.put_u64_le(img.height() as u64);
+            for p in img.pixels() {
+                for c in p {
+                    buf.put_f64_le(*c);
+                }
+            }
+        }
+        AnalysisOutput::Tree(tree) => {
+            buf.put_u8(OUT_TREE);
+            buf.put_u64_le(tree.nodes.len() as u64);
+            for (id, v) in &tree.nodes {
+                buf.put_u64_le(*id);
+                buf.put_f64_le(*v);
+            }
+            buf.put_u64_le(tree.arcs.len() as u64);
+            for (a, b) in &tree.arcs {
+                buf.put_u64_le(*a);
+                buf.put_u64_le(*b);
+            }
+        }
+        AnalysisOutput::Stats(rows) => {
+            buf.put_u8(OUT_STATS);
+            buf.put_u32_le(rows.len() as u32);
+            for (name, d) in rows {
+                put_str(&mut buf, name);
+                buf.put_u64_le(d.count);
+                for v in [
+                    d.min,
+                    d.max,
+                    d.mean,
+                    d.variance,
+                    d.std_dev,
+                    d.skewness,
+                    d.kurtosis_excess,
+                ] {
+                    buf.put_f64_le(v);
+                }
+            }
+        }
+        AnalysisOutput::Scalars(rows) => {
+            buf.put_u8(OUT_SCALARS);
+            buf.put_u32_le(rows.len() as u32);
+            for (name, v) in rows {
+                put_str(&mut buf, name);
+                buf.put_f64_le(*v);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode an analysis result. Total: never panics on arbitrary input.
+pub fn decode_analysis_output(b: Bytes) -> Result<AnalysisOutput, WireError> {
+    let mut rd = Reader::new(b);
+    let out = match rd.u8("output.tag")? {
+        OUT_IMAGE => {
+            let w = rd.u64("width")? as usize;
+            let h = rd.u64("height")? as usize;
+            let pixels = w
+                .checked_mul(h)
+                .ok_or(WireError::Malformed { field: "dims" })?;
+            if pixels
+                .checked_mul(32)
+                .is_none_or(|total| total != rd.remaining())
+            {
+                return Err(WireError::Truncated { field: "pixels" });
+            }
+            let mut img = sitra_viz::Image::new(w, h);
+            for p in img.pixels_mut() {
+                for c in p.iter_mut() {
+                    *c = rd.f64("pixel")?;
+                }
+            }
+            AnalysisOutput::Image(img)
+        }
+        OUT_TREE => {
+            let nnodes = rd.count(16, "nodes.len")?;
+            let mut nodes = Vec::with_capacity(nnodes);
+            for _ in 0..nnodes {
+                let id = rd.u64("node.id")?;
+                let v = rd.f64("node.value")?;
+                nodes.push((id, v));
+            }
+            let narcs = rd.count(16, "arcs.len")?;
+            let mut arcs = Vec::with_capacity(narcs);
+            for _ in 0..narcs {
+                let a = rd.u64("arc.a")?;
+                let b = rd.u64("arc.b")?;
+                arcs.push((a, b));
+            }
+            AnalysisOutput::Tree(CanonicalTree { nodes, arcs })
+        }
+        OUT_STATS => {
+            let n = rd.u32("stats.len")? as usize;
+            // Each row is at least a name prefix plus count + 7 moments.
+            if n.checked_mul(4 + 8 + 56)
+                .is_none_or(|total| total > rd.remaining())
+            {
+                return Err(WireError::Truncated { field: "stats.len" });
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = read_str(&mut rd, "stat.name")?;
+                let count = rd.u64("stat.count")?;
+                let mut f = [0.0f64; 7];
+                for v in &mut f {
+                    *v = rd.f64("stat")?;
+                }
+                rows.push((
+                    name,
+                    Derived {
+                        count,
+                        min: f[0],
+                        max: f[1],
+                        mean: f[2],
+                        variance: f[3],
+                        std_dev: f[4],
+                        skewness: f[5],
+                        kurtosis_excess: f[6],
+                    },
+                ));
+            }
+            AnalysisOutput::Stats(rows)
+        }
+        OUT_SCALARS => {
+            let n = rd.u32("scalars.len")? as usize;
+            if n.checked_mul(4 + 8)
+                .is_none_or(|total| total > rd.remaining())
+            {
+                return Err(WireError::Truncated {
+                    field: "scalars.len",
+                });
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = read_str(&mut rd, "scalar.name")?;
+                rows.push((name, rd.f64("scalar")?));
+            }
+            AnalysisOutput::Scalars(rows)
+        }
+        _ => {
+            return Err(WireError::Malformed {
+                field: "output.tag",
+            })
+        }
+    };
+    rd.finish()?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -275,18 +607,15 @@ mod tests {
         let f = ScalarField::from_fn(b, |p| p[0] as f64 * 1.5 - p[2] as f64);
         let s = downsample(&f, 2);
         let bytes = encode_sampled_block(&s);
-        assert_eq!(decode_sampled_block(bytes), s);
+        assert_eq!(decode_sampled_block(bytes).unwrap(), s);
     }
 
     #[test]
     fn multimodel_roundtrip() {
-        let m = MultiModel::learn(&[
-            ("T", &[1.0, 2.0, 300.5][..]),
-            ("Y_OH", &[0.001, 0.002][..]),
-        ]);
+        let m = MultiModel::learn(&[("T", &[1.0, 2.0, 300.5][..]), ("Y_OH", &[0.001, 0.002][..])]);
         let bytes = encode_multimodel(&m);
         assert_eq!(bytes.len(), 4 + (4 + 1 + 56) + (4 + 4 + 56));
-        assert_eq!(decode_multimodel(bytes), m);
+        assert_eq!(decode_multimodel(bytes).unwrap(), m);
     }
 
     #[test]
@@ -311,7 +640,7 @@ mod tests {
             ],
             edges: vec![(10, 20)],
         };
-        assert_eq!(decode_subtree(encode_subtree(&s)), s);
+        assert_eq!(decode_subtree(encode_subtree(&s)).unwrap(), s);
     }
 
     #[test]
@@ -321,13 +650,13 @@ mod tests {
             verts: vec![],
             edges: vec![],
         };
-        assert_eq!(decode_subtree(encode_subtree(&s)), s);
+        assert_eq!(decode_subtree(encode_subtree(&s)).unwrap(), s);
     }
 
     #[test]
     fn comoments_roundtrip() {
         let m = CoMoments::from_slices(&[1.0, 2.0, 5.0], &[2.0, 4.0, 9.0]);
-        let back = decode_comoments(encode_comoments(&m));
+        let back = decode_comoments(encode_comoments(&m)).unwrap();
         assert_eq!(back, m);
         assert_eq!(encode_comoments(&m).len(), 48);
     }
@@ -346,7 +675,7 @@ mod tests {
             edges: vec![],
         };
         let feats = vec![(5u64, Moments::from_slice(&[1.0, 2.0, 3.0]))];
-        let (s2, f2) = decode_feature_stats(encode_feature_stats(&sub, &feats));
+        let (s2, f2) = decode_feature_stats(encode_feature_stats(&sub, &feats)).unwrap();
         assert_eq!(s2, sub);
         assert_eq!(f2, feats);
     }
@@ -357,7 +686,7 @@ mod tests {
         for (i, p) in img.pixels_mut().iter_mut().enumerate() {
             *p = [i as f64, 0.5, -1.0, 1.0];
         }
-        let (key, back) = decode_partial_image(encode_partial_image(-7, &img));
+        let (key, back) = decode_partial_image(encode_partial_image(-7, &img)).unwrap();
         assert_eq!(key, -7);
         assert_eq!(back, img);
     }
@@ -368,6 +697,113 @@ mod tests {
         let f = ScalarField::zeros(b);
         let s1 = encode_sampled_block(&downsample(&f, 1));
         let s4 = encode_sampled_block(&downsample(&f, 4));
-        assert!(s1.len() > 40 * s4.len() / 2, "s1 {} s4 {}", s1.len(), s4.len());
+        assert!(
+            s1.len() > 40 * s4.len() / 2,
+            "s1 {} s4 {}",
+            s1.len(),
+            s4.len()
+        );
+    }
+
+    #[test]
+    fn empty_buffers_error() {
+        let e = Bytes::new();
+        assert!(decode_sampled_block(e.clone()).is_err());
+        assert!(decode_multimodel(e.clone()).is_err());
+        assert!(decode_subtree(e.clone()).is_err());
+        assert!(decode_comoments(e.clone()).is_err());
+        assert!(decode_feature_stats(e.clone()).is_err());
+        assert!(decode_partial_image(e).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocating() {
+        // A subtree claiming u64::MAX vertices in a 16-byte buffer.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        buf.put_u64_le(u64::MAX);
+        buf.put_u32_le(0);
+        assert_eq!(
+            decode_subtree(buf.freeze()),
+            Err(WireError::Truncated { field: "verts.len" })
+        );
+        // An image claiming enormous dimensions with no pixel payload.
+        let mut buf = BytesMut::new();
+        buf.put_i64_le(0);
+        buf.put_u64_le(u64::MAX / 2);
+        buf.put_u64_le(u64::MAX / 2);
+        assert!(decode_partial_image(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn inverted_bbox_is_malformed() {
+        let mut buf = BytesMut::new();
+        // lo = (9,9,9), hi = (1,1,1): violates the bbox invariant.
+        for v in [9u64, 9, 9, 1, 1, 1] {
+            buf.put_u64_le(v);
+        }
+        for v in [0u64; 12] {
+            buf.put_u64_le(v);
+        }
+        assert_eq!(
+            decode_sampled_block(buf.freeze()),
+            Err(WireError::Malformed { field: "src_bbox" })
+        );
+    }
+
+    #[test]
+    fn analysis_output_roundtrip() {
+        let mut img = sitra_viz::Image::new(2, 2);
+        img.pixels_mut()[3] = [0.1, 0.2, 0.3, 1.0];
+        let outs = vec![
+            AnalysisOutput::Image(img),
+            AnalysisOutput::Tree(CanonicalTree {
+                nodes: vec![(1, 5.0), (9, -2.5)],
+                arcs: vec![(9, 1)],
+            }),
+            AnalysisOutput::Stats(vec![(
+                "T".to_string(),
+                sitra_stats::derive(&Moments::from_slice(&[1.0, 2.0, 3.0, 4.0])).unwrap(),
+            )]),
+            AnalysisOutput::Scalars(vec![("corr(T,P)".to_string(), 0.93)]),
+        ];
+        for o in outs {
+            let enc = encode_analysis_output(&o);
+            assert_eq!(decode_analysis_output(enc.clone()).unwrap(), o);
+            // Determinism: equal outputs encode identically.
+            assert_eq!(encode_analysis_output(&o), enc);
+        }
+    }
+
+    #[test]
+    fn analysis_output_rejects_garbage() {
+        assert!(decode_analysis_output(Bytes::new()).is_err());
+        assert!(decode_analysis_output(Bytes::from_static(&[99])).is_err());
+        // Hostile stats count with no payload.
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        buf.put_u32_le(u32::MAX);
+        assert!(decode_analysis_output(buf.freeze()).is_err());
+        // Truncations of a valid tree all error.
+        let enc = encode_analysis_output(&AnalysisOutput::Tree(CanonicalTree {
+            nodes: vec![(3, 1.0)],
+            arcs: vec![],
+        }));
+        for cut in 0..enc.len() {
+            assert!(decode_analysis_output(enc.slice(0..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let m = CoMoments::from_slices(&[1.0, 2.0], &[3.0, 4.0]);
+        let enc = encode_comoments(&m);
+        let mut padded = BytesMut::new();
+        padded.put_slice(&enc);
+        padded.put_u8(0xAA);
+        assert_eq!(
+            decode_comoments(padded.freeze()),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
     }
 }

@@ -4,8 +4,8 @@
 
 use bytes::Bytes;
 use sitra_core::{
-    run_pipeline, Analysis, AnalysisOutput, AnalysisSpec, HybridStats, HybridTopology,
-    HybridViz, InSituCtx, InSituViz, PipelineConfig, Placement,
+    run_pipeline, Analysis, AnalysisOutput, AnalysisSpec, HybridStats, HybridTopology, HybridViz,
+    InSituCtx, InSituViz, PipelineConfig, Placement,
 };
 use sitra_mesh::BBox3;
 use sitra_sim::{SimConfig, Simulation, Variable};
@@ -73,7 +73,10 @@ fn full_pipeline_all_five_variants() {
     assert_eq!(result.dropped_tasks, 0);
     // Every due (analysis, step) produced an output.
     for step in 1..=4u64 {
-        assert!(result.output("viz-insitu", step).is_some(), "viz step {step}");
+        assert!(
+            result.output("viz-insitu", step).is_some(),
+            "viz step {step}"
+        );
         assert!(result.output("viz-hybrid", step).is_some());
         assert!(result.output("stats-insitu", step).is_some());
         assert!(result.output("stats-hybrid", step).is_some());
@@ -87,8 +90,16 @@ fn full_pipeline_all_five_variants() {
     // The two stats placements agree exactly at every step, and match a
     // serial recomputation.
     for step in 1..=4u64 {
-        let a = result.output("stats-insitu", step).unwrap().as_stats().unwrap();
-        let b = result.output("stats-hybrid", step).unwrap().as_stats().unwrap();
+        let a = result
+            .output("stats-insitu", step)
+            .unwrap()
+            .as_stats()
+            .unwrap();
+        let b = result
+            .output("stats-hybrid", step)
+            .unwrap()
+            .as_stats()
+            .unwrap();
         assert_eq!(a, b, "step {step}");
         let whole = field_at_step(step);
         let serial =
@@ -113,7 +124,11 @@ fn full_pipeline_all_five_variants() {
 
     // The in-situ image equals a serial render of the recomputed field.
     for step in [1u64, 3] {
-        let img = result.output("viz-insitu", step).unwrap().as_image().unwrap();
+        let img = result
+            .output("viz-insitu", step)
+            .unwrap()
+            .as_image()
+            .unwrap();
         let whole = field_at_step(step);
         let serial = render_serial(&whole, &view(), &tf());
         assert!(serial.max_abs_diff(img) < 1e-9, "step {step}");
@@ -272,7 +287,11 @@ fn autocorrelation_matches_serial_comoments() {
 
     // Steps <= lag: no pairs yet, NaN correlation, 0 observations.
     for step in 1..=lag as u64 {
-        let out = result.output("autocorrelation", step).unwrap().as_scalars().unwrap();
+        let out = result
+            .output("autocorrelation", step)
+            .unwrap()
+            .as_scalars()
+            .unwrap();
         assert!(out[0].1.is_nan(), "step {step}");
         assert_eq!(out[1].1, 0.0);
     }
@@ -283,7 +302,11 @@ fn autocorrelation_matches_serial_comoments() {
         let new = field_at_step(step);
         let serial = sitra_stats::CoMoments::from_slices(old.as_slice(), new.as_slice());
         let expect = serial.correlation().unwrap();
-        let out = result.output("autocorrelation", step).unwrap().as_scalars().unwrap();
+        let out = result
+            .output("autocorrelation", step)
+            .unwrap()
+            .as_scalars()
+            .unwrap();
         assert!(
             (out[0].1 - expect).abs() < 1e-9,
             "step {step}: {} vs {expect}",
@@ -292,7 +315,11 @@ fn autocorrelation_matches_serial_comoments() {
         assert_eq!(out[1].1, serial.n as f64);
         // Consecutive timesteps of a smooth simulation are strongly
         // correlated.
-        assert!(out[0].1 > 0.5, "lagged fields should correlate: {}", out[0].1);
+        assert!(
+            out[0].1 > 0.5,
+            "lagged fields should correlate: {}",
+            out[0].1
+        );
     }
 }
 
@@ -327,7 +354,11 @@ fn custom_user_analysis_plugs_in() {
     let mut s = sim();
     let result = run_pipeline(&mut s, &cfg);
     for step in 1..=2u64 {
-        let out = result.output("global-max", step).unwrap().as_stats().unwrap();
+        let out = result
+            .output("global-max", step)
+            .unwrap()
+            .as_stats()
+            .unwrap();
         let whole = field_at_step(step);
         let (_, mx) = whole.min_max().unwrap();
         assert_eq!(out[0].1.max, mx, "step {step}");
@@ -345,8 +376,6 @@ fn duplicate_labels_rejected() {
         AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::Hybrid, 1),
     ];
     let mut s = sim();
-    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_pipeline(&mut s, &cfg)
-    }));
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_pipeline(&mut s, &cfg)));
     assert!(err.is_err(), "duplicate labels must be rejected");
 }

@@ -1,0 +1,181 @@
+//! Property tests for the wire codecs: valid encodings round-trip,
+//! and decoders are total — every strict prefix of a valid encoding
+//! and arbitrary byte soup return `Err`, never panic and never
+//! over-allocate.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sitra_core::wire;
+use sitra_mesh::{downsample, BBox3, ScalarField};
+use sitra_stats::{CoMoments, Moments, MultiModel};
+use sitra_topology::reduce::{Subtree, SubtreeVertex};
+
+fn moments_strategy() -> impl Strategy<Value = Moments> {
+    (any::<u64>(), prop::array::uniform3(-1.0e12..1.0e12f64)).prop_map(|(n, [a, b, c])| Moments {
+        n,
+        min: a.min(b),
+        max: a.max(b),
+        mean: (a + b) / 2.0,
+        m2: c.abs(),
+        m3: c,
+        m4: c.abs() * 2.0,
+    })
+}
+
+fn multimodel_strategy() -> impl Strategy<Value = MultiModel> {
+    prop::collection::vec(
+        (prop::collection::vec(0u8..128, 0..12), moments_strategy()),
+        0..6,
+    )
+    .prop_map(|vars| MultiModel {
+        vars: vars
+            .into_iter()
+            .map(|(name, m)| (String::from_utf8(name).unwrap(), m))
+            .collect(),
+    })
+}
+
+fn subtree_strategy() -> impl Strategy<Value = Subtree> {
+    (
+        any::<u32>(),
+        prop::collection::vec(
+            (
+                any::<u64>(),
+                -1.0e6..1.0e6f64,
+                0u32..8,
+                any::<bool>(),
+                prop::collection::vec(any::<u32>(), 0..4),
+            ),
+            0..10,
+        ),
+        prop::collection::vec((any::<u64>(), any::<u64>()), 0..10),
+    )
+        .prop_map(|(source, verts, edges)| Subtree {
+            source,
+            verts: verts
+                .into_iter()
+                .map(|(id, value, degree, pinned, potential)| SubtreeVertex {
+                    id,
+                    value,
+                    degree,
+                    potential,
+                    pinned,
+                })
+                .collect(),
+            edges,
+        })
+}
+
+/// Every strict prefix of `enc` must decode to an error without panicking.
+fn assert_prefixes_error<T, E>(enc: &Bytes, decode: impl Fn(Bytes) -> Result<T, E>) {
+    for cut in 0..enc.len() {
+        assert!(
+            decode(enc.slice(0..cut)).is_err(),
+            "prefix of {} bytes decoded successfully",
+            cut
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sampled_block_roundtrips_and_prefixes_error(
+        dims in prop::array::uniform3(1usize..8),
+        stride in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let b = BBox3::from_dims(dims);
+        let f = ScalarField::from_fn(b, |p| {
+            (p[0] * 3 + p[1] * 5 + p[2] * 7) as f64 + seed as f64 * 1e-3
+        });
+        let s = downsample(&f, stride);
+        let enc = wire::encode_sampled_block(&s);
+        prop_assert_eq!(wire::decode_sampled_block(enc.clone()).unwrap(), s);
+        assert_prefixes_error(&enc, wire::decode_sampled_block);
+    }
+
+    #[test]
+    fn multimodel_roundtrips_and_prefixes_error(m in multimodel_strategy()) {
+        let enc = wire::encode_multimodel(&m);
+        prop_assert_eq!(wire::decode_multimodel(enc.clone()).unwrap(), m);
+        assert_prefixes_error(&enc, wire::decode_multimodel);
+    }
+
+    #[test]
+    fn subtree_roundtrips_and_prefixes_error(s in subtree_strategy()) {
+        let enc = wire::encode_subtree(&s);
+        prop_assert_eq!(wire::decode_subtree(enc.clone()).unwrap(), s);
+        assert_prefixes_error(&enc, wire::decode_subtree);
+    }
+
+    #[test]
+    fn comoments_roundtrips_and_prefixes_error(
+        xs in prop::collection::vec(-1.0e9..1.0e9f64, 1..32),
+        ys in prop::collection::vec(-1.0e9..1.0e9f64, 1..32),
+    ) {
+        let n = xs.len().min(ys.len());
+        let m = CoMoments::from_slices(&xs[..n], &ys[..n]);
+        let enc = wire::encode_comoments(&m);
+        prop_assert_eq!(wire::decode_comoments(enc.clone()).unwrap(), m);
+        assert_prefixes_error(&enc, wire::decode_comoments);
+    }
+
+    #[test]
+    fn feature_stats_roundtrips_and_prefixes_error(
+        s in subtree_strategy(),
+        feats in prop::collection::vec((any::<u64>(), moments_strategy()), 0..6),
+    ) {
+        let enc = wire::encode_feature_stats(&s, &feats);
+        let (s2, f2) = wire::decode_feature_stats(enc.clone()).unwrap();
+        prop_assert_eq!(s2, s);
+        prop_assert_eq!(f2, feats);
+        assert_prefixes_error(&enc, wire::decode_feature_stats);
+    }
+
+    #[test]
+    fn partial_image_roundtrips_and_prefixes_error(
+        w in 1usize..6,
+        h in 1usize..6,
+        key in any::<i64>(),
+        fill in -1.0e3..1.0e3f64,
+    ) {
+        let mut img = sitra_viz::Image::new(w, h);
+        for (i, p) in img.pixels_mut().iter_mut().enumerate() {
+            *p = [fill, i as f64, -fill, 1.0];
+        }
+        let enc = wire::encode_partial_image(key, &img);
+        let (k2, img2) = wire::decode_partial_image(enc.clone()).unwrap();
+        prop_assert_eq!(k2, key);
+        prop_assert_eq!(img2, img);
+        assert_prefixes_error(&enc, wire::decode_partial_image);
+    }
+
+    /// Arbitrary byte soup never panics any decoder. Length-prefix
+    /// positions are seeded with large values often enough that hostile
+    /// allocation sizes are exercised (the decoders cap allocations by
+    /// the bytes actually present).
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        raw in prop::collection::vec(any::<u8>(), 0..256),
+        spike_at in any::<u64>(),
+    ) {
+        let mut raw = raw;
+        if !raw.is_empty() {
+            // Overwrite 8 bytes somewhere with u64::MAX to fake a huge
+            // length prefix.
+            let at = (spike_at as usize) % raw.len();
+            for i in at..raw.len().min(at + 8) {
+                raw[i] = 0xFF;
+            }
+        }
+        let b = Bytes::from(raw);
+        let _ = wire::decode_sampled_block(b.clone());
+        let _ = wire::decode_multimodel(b.clone());
+        let _ = wire::decode_subtree(b.clone());
+        let _ = wire::decode_comoments(b.clone());
+        let _ = wire::decode_feature_stats(b.clone());
+        let _ = wire::decode_partial_image(b);
+    }
+}

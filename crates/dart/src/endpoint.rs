@@ -213,6 +213,16 @@ impl Fabric {
         *self.inner.stats.lock()
     }
 
+    /// Snapshot a peer's exported region without going through the
+    /// progress engine — the local read a [`crate::gateway::RegionGateway`]
+    /// performs on behalf of an off-fabric consumer. Returns `None` when
+    /// the endpoint is unregistered or the region was withdrawn.
+    pub fn read_exported_region(&self, peer: EndpointId, key: RegionKey) -> Option<Bytes> {
+        let eps = self.inner.endpoints.read();
+        let data = eps.get(&peer)?.regions.read().get(&key).cloned();
+        data
+    }
+
     /// The network model in force.
     pub fn model(&self) -> NetworkModel {
         self.inner.model
@@ -484,7 +494,11 @@ mod tests {
         let b = f.register();
         a.smsg_send(b.id(), Bytes::from_static(b"hello")).unwrap();
         match b.poll_event(T) {
-            Some(Event::Message { from, data, sim_time }) => {
+            Some(Event::Message {
+                from,
+                data,
+                sim_time,
+            }) => {
                 assert_eq!(from, a.id());
                 assert_eq!(&data[..], b"hello");
                 assert!(sim_time > 0.0);
@@ -502,7 +516,12 @@ mod tests {
         owner.export(42, payload.clone());
         let id = puller.rdma_get(owner.id(), 42).unwrap();
         match puller.poll_event(T) {
-            Some(Event::GetComplete { id: gid, from, data, sim_time }) => {
+            Some(Event::GetComplete {
+                id: gid,
+                from,
+                data,
+                sim_time,
+            }) => {
                 assert_eq!(gid, id);
                 assert_eq!(from, owner.id());
                 assert_eq!(data, payload);
@@ -542,7 +561,9 @@ mod tests {
         let f = fabric();
         let a = f.register();
         let b = f.register();
-        let id = a.rdma_put(b.id(), 9, Bytes::from_static(b"payload")).unwrap();
+        let id = a
+            .rdma_put(b.id(), 9, Bytes::from_static(b"payload"))
+            .unwrap();
         match a.poll_event(T) {
             Some(Event::PutComplete { id: pid, to, .. }) => {
                 assert_eq!((pid, to), (id, b.id()));
@@ -563,10 +584,7 @@ mod tests {
         let f = fabric();
         let a = f.register();
         let b = f.register();
-        assert_eq!(
-            a.rdma_get(9999, 1),
-            Err(DartError::UnknownEndpoint(9999))
-        );
+        assert_eq!(a.rdma_get(9999, 1), Err(DartError::UnknownEndpoint(9999)));
         assert_eq!(
             a.rdma_get(b.id(), 77),
             Err(DartError::UnknownRegion(b.id(), 77))
@@ -619,7 +637,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         o.unexport(5);
-        assert_eq!(p.rdma_get(o.id(), 5), Err(DartError::UnknownRegion(o.id(), 5)));
+        assert_eq!(
+            p.rdma_get(o.id(), 5),
+            Err(DartError::UnknownRegion(o.id(), 5))
+        );
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Off-fabric access to exported regions over a real socket.
+//!
+//! The in-process [`Fabric`] gives same-address-space peers one-sided
+//! `rdma_get`; a [`RegionGateway`] extends that reach across process
+//! boundaries by serving region fetches over [`sitra_net`] — the role
+//! DART's remote transfer daemons play between the simulation partition
+//! and the staging nodes. A [`GatewayClient`] in another process (e.g. a
+//! remote staging bucket) can then pull any region a producer has
+//! exported, with the same look-don't-interrupt semantics: the producer
+//! rank's CPU is never involved in serving the bytes.
+//!
+//! The wire protocol is a single request/response pair per fetch:
+//!
+//! ```text
+//! request  = peer: u64 LE | key: u64 LE          (16 bytes)
+//! response = 0x00 | payload                       (region found)
+//!          | 0x01                                 (no such region)
+//! ```
+
+use crate::endpoint::{EndpointId, Fabric, RegionKey};
+use bytes::{BufMut, Bytes, BytesMut};
+use sitra_net::{serve, Addr, Backoff, Connection, Listener, NetError, ServerHandle};
+use std::sync::Arc;
+
+const STATUS_FOUND: u8 = 0;
+const STATUS_MISSING: u8 = 1;
+
+/// Serves fetches of exported regions to off-fabric consumers.
+pub struct RegionGateway {
+    handle: Option<ServerHandle>,
+    addr: Addr,
+}
+
+impl RegionGateway {
+    /// Bind `addr` and serve fetches against `fabric`.
+    pub fn start(fabric: Arc<Fabric>, addr: &Addr) -> Result<RegionGateway, NetError> {
+        let listener = Listener::bind(addr)?;
+        let bound = listener.local_addr();
+        let handle = serve(listener, move |conn| gateway_connection(&fabric, &conn));
+        Ok(RegionGateway {
+            handle: Some(handle),
+            addr: bound,
+        })
+    }
+
+    /// Where the gateway is listening.
+    pub fn addr(&self) -> Addr {
+        self.addr.clone()
+    }
+
+    /// Stop accepting fetches.
+    pub fn shutdown(mut self) {
+        if let Some(h) = self.handle.take() {
+            h.shutdown();
+        }
+    }
+}
+
+fn gateway_connection(fabric: &Fabric, conn: &Connection) {
+    loop {
+        let frame = match conn.recv() {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        if frame.len() != 16 {
+            // Malformed fetch: hang up rather than guess.
+            return;
+        }
+        let peer = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+        let key = u64::from_le_bytes(frame[8..16].try_into().unwrap());
+        let resp = match fabric.read_exported_region(peer, key) {
+            Some(data) => {
+                let mut buf = BytesMut::with_capacity(1 + data.len());
+                buf.put_u8(STATUS_FOUND);
+                buf.put_slice(&data);
+                buf.freeze()
+            }
+            None => Bytes::from_static(&[STATUS_MISSING]),
+        };
+        if conn.send(resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// Off-fabric consumer of exported regions.
+pub struct GatewayClient {
+    conn: Connection,
+}
+
+impl GatewayClient {
+    /// Connect with a single attempt.
+    pub fn connect(addr: &Addr) -> Result<GatewayClient, NetError> {
+        Ok(GatewayClient {
+            conn: sitra_net::connect(addr)?,
+        })
+    }
+
+    /// Connect with bounded exponential backoff.
+    pub fn connect_retry(addr: &Addr, backoff: &Backoff) -> Result<GatewayClient, NetError> {
+        Ok(GatewayClient {
+            conn: sitra_net::connect_retry(addr, backoff)?,
+        })
+    }
+
+    /// Fetch region `key` exported by endpoint `peer`. `Ok(None)` means
+    /// the region is not (or no longer) exported — the same signal as
+    /// [`Event::GetFailed`](crate::endpoint::Event::GetFailed) on the
+    /// fabric, i.e. staging back-pressure withdrew the payload.
+    pub fn fetch(&self, peer: EndpointId, key: RegionKey) -> Result<Option<Bytes>, NetError> {
+        let mut req = BytesMut::with_capacity(16);
+        req.put_u64_le(peer);
+        req.put_u64_le(key);
+        self.conn.send(req.freeze())?;
+        let resp = self.conn.recv()?;
+        match resp.first() {
+            Some(&STATUS_FOUND) => Ok(Some(resp.slice(1..))),
+            Some(&STATUS_MISSING) => Ok(None),
+            _ => Err(NetError::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetworkModel;
+
+    #[test]
+    fn fetch_exported_region_over_inproc() {
+        let fabric = Fabric::new(NetworkModel::gemini());
+        let producer = fabric.register();
+        producer.export(7, Bytes::from_static(b"exported-bytes"));
+        let addr: Addr = "inproc://dart-gateway".parse().unwrap();
+        let gw = RegionGateway::start(Arc::clone(&fabric), &addr).unwrap();
+        let client = GatewayClient::connect(&gw.addr()).unwrap();
+        assert_eq!(
+            client.fetch(producer.id(), 7).unwrap().as_deref(),
+            Some(&b"exported-bytes"[..])
+        );
+        // Withdrawn region reads as missing, like GetFailed on-fabric.
+        producer.unexport(7);
+        assert_eq!(client.fetch(producer.id(), 7).unwrap(), None);
+        assert_eq!(client.fetch(9999, 1).unwrap(), None);
+        gw.shutdown();
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn fetch_over_tcp_loopback() {
+        let fabric = Fabric::new(NetworkModel::gemini());
+        let producer = fabric.register();
+        let payload = Bytes::from(vec![42u8; 300_000]);
+        producer.export(1, payload.clone());
+        let bind: Addr = "tcp://127.0.0.1:0".parse().unwrap();
+        let gw = RegionGateway::start(Arc::clone(&fabric), &bind).unwrap();
+        let client = GatewayClient::connect_retry(&gw.addr(), &Backoff::default()).unwrap();
+        assert_eq!(client.fetch(producer.id(), 1).unwrap(), Some(payload));
+        gw.shutdown();
+        fabric.shutdown();
+    }
+}

@@ -11,22 +11,46 @@ use std::time::Duration;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Export { owner: usize, key: u64, len: usize },
-    Unexport { owner: usize, key: u64 },
-    Get { requester: usize, owner: usize, key: u64 },
-    Send { from: usize, to: usize, len: usize },
+    Export {
+        owner: usize,
+        key: u64,
+        len: usize,
+    },
+    Unexport {
+        owner: usize,
+        key: u64,
+    },
+    Get {
+        requester: usize,
+        owner: usize,
+        key: u64,
+    },
+    Send {
+        from: usize,
+        to: usize,
+        len: usize,
+    },
 }
 
 fn arb_ops(n_eps: usize) -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
         prop_oneof![
-            (0..n_eps, 0u64..4, 1usize..10_000)
-                .prop_map(|(owner, key, len)| Op::Export { owner, key, len }),
+            (0..n_eps, 0u64..4, 1usize..10_000).prop_map(|(owner, key, len)| Op::Export {
+                owner,
+                key,
+                len
+            }),
             (0..n_eps, 0u64..4).prop_map(|(owner, key)| Op::Unexport { owner, key }),
-            (0..n_eps, 0..n_eps, 0u64..4)
-                .prop_map(|(requester, owner, key)| Op::Get { requester, owner, key }),
-            (0..n_eps, 0..n_eps, 1usize..10_000)
-                .prop_map(|(from, to, len)| Op::Send { from, to, len }),
+            (0..n_eps, 0..n_eps, 0u64..4).prop_map(|(requester, owner, key)| Op::Get {
+                requester,
+                owner,
+                key
+            }),
+            (0..n_eps, 0..n_eps, 1usize..10_000).prop_map(|(from, to, len)| Op::Send {
+                from,
+                to,
+                len
+            }),
         ],
         0..40,
     )

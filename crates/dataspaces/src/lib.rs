@@ -23,9 +23,11 @@
 //!   space or the DART transport.
 
 pub mod codec;
+pub mod remote;
 pub mod sched;
 pub mod space;
 
 pub use codec::{bytes_to_field, field_to_bytes};
+pub use remote::{RemoteError, RemoteSpace, RemoteStats, SpaceServer, TaskPoll};
 pub use sched::{BucketHandle, SchedStats, Scheduler};
 pub use space::{DataSpaces, ObjectMeta, SpaceStats};

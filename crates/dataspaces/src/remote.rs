@@ -1,0 +1,1065 @@
+//! Remote staging: the shared space and the in-transit scheduler
+//! served over [`sitra_net`] so staging can run in its own process.
+//!
+//! In the paper the staging area is a distinct partition of the machine
+//! reached through DART; here the same role is played by a
+//! [`SpaceServer`] — a thread-per-connection RPC service wrapping the
+//! sharded [`DataSpaces`] and the FCFS [`Scheduler`] — and a
+//! [`RemoteSpace`] client mirroring the in-process API. The protocol
+//! carries exactly the staging verbs: `put`, spatial `get`,
+//! `query-version`, `submit-task` (data-ready), `request-task`
+//! (bucket-ready), plus stats/evict/close for lifecycle.
+//!
+//! **Task hand-off is acknowledged.** A bucket that is assigned a task
+//! must acknowledge receipt on the same connection; if the connection
+//! dies first, the server puts the task back at the head of the queue
+//! ([`Scheduler::requeue_front`]) where the next free bucket picks it
+//! up. A crashing or reconnecting consumer therefore never loses a
+//! task — the invariant the remote-staging integration test asserts.
+
+use crate::sched::{SchedStats, Scheduler};
+use crate::space::DataSpaces;
+use bytes::{BufMut, Bytes, BytesMut};
+use sitra_mesh::{BBox3, ScalarField};
+use sitra_net::{serve, Addr, Backoff, ConnStats, Connection, Listener, NetError, ServerHandle};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Failure of a remote-space operation.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// Transport failure (connection dropped, timeout, ...).
+    Net(NetError),
+    /// The peer sent bytes that do not decode as protocol messages.
+    Proto(String),
+    /// The server executed the request and reported an error.
+    Server(String),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Net(e) => write!(f, "transport: {e}"),
+            RemoteError::Proto(s) => write!(f, "protocol violation: {s}"),
+            RemoteError::Server(s) => write!(f, "server error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<NetError> for RemoteError {
+    fn from(e: NetError) -> Self {
+        RemoteError::Net(e)
+    }
+}
+
+// --------------------------------------------------------------------
+// Protocol messages
+// --------------------------------------------------------------------
+
+const REQ_PUT: u8 = 1;
+const REQ_GET: u8 = 2;
+const REQ_LATEST_VERSION: u8 = 3;
+const REQ_SUBMIT_TASK: u8 = 4;
+const REQ_REQUEST_TASK: u8 = 5;
+const REQ_ACK_TASK: u8 = 6;
+const REQ_STATS: u8 = 7;
+const REQ_EVICT_VERSION: u8 = 8;
+const REQ_CLOSE_SCHED: u8 = 9;
+
+const RESP_OK: u8 = 100;
+const RESP_SEQ: u8 = 101;
+const RESP_PIECES: u8 = 102;
+const RESP_VERSION: u8 = 103;
+const RESP_TASK: u8 = 104;
+const RESP_STATS: u8 = 105;
+const RESP_ERROR: u8 = 199;
+
+/// Requests a client can issue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Store an object.
+    Put {
+        /// Variable name.
+        var: String,
+        /// Version (timestep).
+        version: u64,
+        /// Region covered.
+        bbox: BBox3,
+        /// Payload.
+        data: Bytes,
+    },
+    /// Spatial query.
+    Get {
+        /// Variable name.
+        var: String,
+        /// Version (timestep).
+        version: u64,
+        /// Query region.
+        bbox: BBox3,
+    },
+    /// Highest stored version of a variable.
+    LatestVersion {
+        /// Variable name.
+        var: String,
+    },
+    /// Data-ready: enqueue an opaque task descriptor.
+    SubmitTask {
+        /// Encoded task.
+        data: Bytes,
+    },
+    /// Bucket-ready: ask for the next task, waiting up to `timeout_ms`.
+    RequestTask {
+        /// Requesting bucket.
+        bucket_id: u32,
+        /// Server-side wait bound in milliseconds.
+        timeout_ms: u64,
+    },
+    /// Acknowledge receipt of an assigned task.
+    AckTask {
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+    /// Server counters.
+    Stats,
+    /// Drop all objects of one version.
+    EvictVersion {
+        /// Version to drop.
+        version: u64,
+    },
+    /// Close the scheduler: buckets drain and stop.
+    CloseSched,
+}
+
+/// The outcome of a bucket-ready request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskPoll {
+    /// A task was assigned.
+    Assigned {
+        /// Scheduler sequence number.
+        seq: u64,
+        /// Encoded task descriptor.
+        data: Bytes,
+    },
+    /// The wait elapsed with no task available.
+    Empty,
+    /// The scheduler was closed; no more tasks will ever arrive.
+    Closed,
+}
+
+/// Combined server-side counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RemoteStats {
+    /// Tasks submitted (data-ready events).
+    pub tasks_submitted: u64,
+    /// Task assignments (a requeued task counts once per assignment).
+    pub tasks_assigned: u64,
+    /// Tasks requeued after a failed hand-off.
+    pub tasks_requeued: u64,
+    /// Objects resident in the space.
+    pub objects: u64,
+    /// Bytes resident in the space.
+    pub resident_bytes: u64,
+}
+
+/// Responses the server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Request executed.
+    Ok,
+    /// Sequence number of a submitted task.
+    Seq(u64),
+    /// Pieces matching a spatial query.
+    Pieces(Vec<(BBox3, Bytes)>),
+    /// Latest version, if any.
+    Version(Option<u64>),
+    /// Outcome of a bucket-ready request.
+    Task(TaskPoll),
+    /// Server counters.
+    Stats(RemoteStats),
+    /// The request failed server-side.
+    Error(String),
+}
+
+// --------------------------------------------------------------------
+// Codecs (total: any byte sequence decodes to Ok or Err, never panics)
+// --------------------------------------------------------------------
+
+struct Rd {
+    buf: Bytes,
+    pos: usize,
+}
+
+impl Rd {
+    fn new(buf: Bytes) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, RemoteError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| RemoteError::Proto("truncated".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, RemoteError> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, RemoteError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], RemoteError> {
+        if self.remaining() < N {
+            return Err(RemoteError::Proto("truncated".into()));
+        }
+        let mut a = [0u8; N];
+        a.copy_from_slice(&self.buf[self.pos..self.pos + N]);
+        self.pos += N;
+        Ok(a)
+    }
+
+    fn bytes(&mut self) -> Result<Bytes, RemoteError> {
+        let n = self.u32()? as usize;
+        if self.remaining() < n {
+            return Err(RemoteError::Proto("truncated payload".into()));
+        }
+        let b = self.buf.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(b)
+    }
+
+    fn string(&mut self) -> Result<String, RemoteError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| RemoteError::Proto("non-utf8 string".into()))
+    }
+
+    fn bbox(&mut self) -> Result<BBox3, RemoteError> {
+        let mut v = [0usize; 6];
+        for slot in &mut v {
+            *slot = self.u64()? as usize;
+        }
+        let (lo, hi) = ([v[0], v[1], v[2]], [v[3], v[4], v[5]]);
+        if lo.iter().zip(&hi).any(|(l, h)| l > h) {
+            return Err(RemoteError::Proto("inverted bbox".into()));
+        }
+        Ok(BBox3::new(lo, hi))
+    }
+
+    fn finish(self) -> Result<(), RemoteError> {
+        if self.remaining() != 0 {
+            return Err(RemoteError::Proto("trailing bytes".into()));
+        }
+        Ok(())
+    }
+}
+
+fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+fn put_bbox(buf: &mut BytesMut, b: &BBox3) {
+    for v in b.lo.iter().chain(b.hi.iter()) {
+        buf.put_u64_le(*v as u64);
+    }
+}
+
+/// Encode a request frame.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut buf = BytesMut::new();
+    match req {
+        Request::Put {
+            var,
+            version,
+            bbox,
+            data,
+        } => {
+            buf.put_u8(REQ_PUT);
+            put_bytes(&mut buf, var.as_bytes());
+            buf.put_u64_le(*version);
+            put_bbox(&mut buf, bbox);
+            put_bytes(&mut buf, data);
+        }
+        Request::Get { var, version, bbox } => {
+            buf.put_u8(REQ_GET);
+            put_bytes(&mut buf, var.as_bytes());
+            buf.put_u64_le(*version);
+            put_bbox(&mut buf, bbox);
+        }
+        Request::LatestVersion { var } => {
+            buf.put_u8(REQ_LATEST_VERSION);
+            put_bytes(&mut buf, var.as_bytes());
+        }
+        Request::SubmitTask { data } => {
+            buf.put_u8(REQ_SUBMIT_TASK);
+            put_bytes(&mut buf, data);
+        }
+        Request::RequestTask {
+            bucket_id,
+            timeout_ms,
+        } => {
+            buf.put_u8(REQ_REQUEST_TASK);
+            buf.put_u32_le(*bucket_id);
+            buf.put_u64_le(*timeout_ms);
+        }
+        Request::AckTask { seq } => {
+            buf.put_u8(REQ_ACK_TASK);
+            buf.put_u64_le(*seq);
+        }
+        Request::Stats => buf.put_u8(REQ_STATS),
+        Request::EvictVersion { version } => {
+            buf.put_u8(REQ_EVICT_VERSION);
+            buf.put_u64_le(*version);
+        }
+        Request::CloseSched => buf.put_u8(REQ_CLOSE_SCHED),
+    }
+    buf.freeze()
+}
+
+/// Decode a request frame. Total: never panics on malformed input.
+pub fn decode_request(frame: Bytes) -> Result<Request, RemoteError> {
+    let mut rd = Rd::new(frame);
+    let req = match rd.u8()? {
+        REQ_PUT => Request::Put {
+            var: rd.string()?,
+            version: rd.u64()?,
+            bbox: rd.bbox()?,
+            data: rd.bytes()?,
+        },
+        REQ_GET => Request::Get {
+            var: rd.string()?,
+            version: rd.u64()?,
+            bbox: rd.bbox()?,
+        },
+        REQ_LATEST_VERSION => Request::LatestVersion { var: rd.string()? },
+        REQ_SUBMIT_TASK => Request::SubmitTask { data: rd.bytes()? },
+        REQ_REQUEST_TASK => Request::RequestTask {
+            bucket_id: rd.u32()?,
+            timeout_ms: rd.u64()?,
+        },
+        REQ_ACK_TASK => Request::AckTask { seq: rd.u64()? },
+        REQ_STATS => Request::Stats,
+        REQ_EVICT_VERSION => Request::EvictVersion { version: rd.u64()? },
+        REQ_CLOSE_SCHED => Request::CloseSched,
+        t => return Err(RemoteError::Proto(format!("unknown request tag {t}"))),
+    };
+    rd.finish()?;
+    Ok(req)
+}
+
+/// Encode a response frame.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut buf = BytesMut::new();
+    match resp {
+        Response::Ok => buf.put_u8(RESP_OK),
+        Response::Seq(seq) => {
+            buf.put_u8(RESP_SEQ);
+            buf.put_u64_le(*seq);
+        }
+        Response::Pieces(pieces) => {
+            buf.put_u8(RESP_PIECES);
+            buf.put_u32_le(pieces.len() as u32);
+            for (bbox, data) in pieces {
+                put_bbox(&mut buf, bbox);
+                put_bytes(&mut buf, data);
+            }
+        }
+        Response::Version(v) => {
+            buf.put_u8(RESP_VERSION);
+            buf.put_u8(u8::from(v.is_some()));
+            buf.put_u64_le(v.unwrap_or(0));
+        }
+        Response::Task(poll) => {
+            buf.put_u8(RESP_TASK);
+            match poll {
+                TaskPoll::Assigned { seq, data } => {
+                    buf.put_u8(0);
+                    buf.put_u64_le(*seq);
+                    put_bytes(&mut buf, data);
+                }
+                TaskPoll::Empty => buf.put_u8(1),
+                TaskPoll::Closed => buf.put_u8(2),
+            }
+        }
+        Response::Stats(s) => {
+            buf.put_u8(RESP_STATS);
+            buf.put_u64_le(s.tasks_submitted);
+            buf.put_u64_le(s.tasks_assigned);
+            buf.put_u64_le(s.tasks_requeued);
+            buf.put_u64_le(s.objects);
+            buf.put_u64_le(s.resident_bytes);
+        }
+        Response::Error(msg) => {
+            buf.put_u8(RESP_ERROR);
+            put_bytes(&mut buf, msg.as_bytes());
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a response frame. Total: never panics on malformed input.
+pub fn decode_response(frame: Bytes) -> Result<Response, RemoteError> {
+    let mut rd = Rd::new(frame);
+    let resp = match rd.u8()? {
+        RESP_OK => Response::Ok,
+        RESP_SEQ => Response::Seq(rd.u64()?),
+        RESP_PIECES => {
+            let n = rd.u32()? as usize;
+            // Each piece is at least a bbox and a length prefix.
+            if n.checked_mul(52).is_none_or(|total| total > rd.remaining()) {
+                return Err(RemoteError::Proto("piece count exceeds frame".into()));
+            }
+            let mut pieces = Vec::with_capacity(n);
+            for _ in 0..n {
+                let bbox = rd.bbox()?;
+                let data = rd.bytes()?;
+                pieces.push((bbox, data));
+            }
+            Response::Pieces(pieces)
+        }
+        RESP_VERSION => {
+            let has = rd.u8()? != 0;
+            let v = rd.u64()?;
+            Response::Version(has.then_some(v))
+        }
+        RESP_TASK => match rd.u8()? {
+            0 => Response::Task(TaskPoll::Assigned {
+                seq: rd.u64()?,
+                data: rd.bytes()?,
+            }),
+            1 => Response::Task(TaskPoll::Empty),
+            2 => Response::Task(TaskPoll::Closed),
+            s => return Err(RemoteError::Proto(format!("unknown task status {s}"))),
+        },
+        RESP_STATS => Response::Stats(RemoteStats {
+            tasks_submitted: rd.u64()?,
+            tasks_assigned: rd.u64()?,
+            tasks_requeued: rd.u64()?,
+            objects: rd.u64()?,
+            resident_bytes: rd.u64()?,
+        }),
+        RESP_ERROR => Response::Error(rd.string()?),
+        t => return Err(RemoteError::Proto(format!("unknown response tag {t}"))),
+    };
+    rd.finish()?;
+    Ok(resp)
+}
+
+// --------------------------------------------------------------------
+// Server
+// --------------------------------------------------------------------
+
+/// How long the server waits for a task-receipt acknowledgement before
+/// declaring the hand-off failed and requeueing.
+const ACK_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-request scheduler wait slice; the overall bound is the client's
+/// `timeout_ms`.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+struct ServerInner {
+    space: DataSpaces,
+    sched: Scheduler<Bytes>,
+}
+
+/// The remote staging service: [`DataSpaces`] + [`Scheduler`] behind a
+/// [`sitra_net`] listener, one thread per connection.
+pub struct SpaceServer {
+    inner: Arc<ServerInner>,
+    handle: Option<ServerHandle>,
+    addr: Addr,
+}
+
+impl SpaceServer {
+    /// Bind `addr` and start serving with `shards` space shards.
+    pub fn start(addr: &Addr, shards: usize) -> Result<SpaceServer, NetError> {
+        let listener = Listener::bind(addr)?;
+        let bound = listener.local_addr();
+        let inner = Arc::new(ServerInner {
+            space: DataSpaces::new(shards),
+            sched: Scheduler::new(),
+        });
+        let conn_inner = Arc::clone(&inner);
+        let handle = serve(listener, move |conn| serve_connection(&conn_inner, &conn));
+        Ok(SpaceServer {
+            inner,
+            handle: Some(handle),
+            addr: bound,
+        })
+    }
+
+    /// Where the server is listening (the OS-assigned port for
+    /// `tcp://…:0` binds).
+    pub fn addr(&self) -> Addr {
+        self.addr.clone()
+    }
+
+    /// Direct access to the served space (same-process convenience).
+    pub fn space(&self) -> &DataSpaces {
+        &self.inner.space
+    }
+
+    /// Scheduler counters.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.inner.sched.stats()
+    }
+
+    /// Has a client closed the scheduler? (`sitra-staged` exits on this.)
+    pub fn closed(&self) -> bool {
+        self.inner.sched.is_closed()
+    }
+
+    /// Close the scheduler and stop accepting connections.
+    pub fn shutdown(mut self) {
+        self.inner.sched.close();
+        if let Some(h) = self.handle.take() {
+            h.shutdown();
+        }
+    }
+}
+
+fn serve_connection(inner: &ServerInner, conn: &Connection) {
+    loop {
+        let frame = match conn.recv() {
+            Ok(f) => f,
+            Err(_) => return, // peer hung up
+        };
+        let req = match decode_request(frame) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = conn.send(encode_response(&Response::Error(e.to_string())));
+                return;
+            }
+        };
+        let resp = match req {
+            Request::Put {
+                var,
+                version,
+                bbox,
+                data,
+            } => {
+                inner.space.put(&var, version, bbox, data);
+                Response::Ok
+            }
+            Request::Get { var, version, bbox } => {
+                Response::Pieces(inner.space.get(&var, version, &bbox))
+            }
+            Request::LatestVersion { var } => Response::Version(inner.space.latest_version(&var)),
+            Request::SubmitTask { data } => match inner.sched.try_submit(data) {
+                Some(seq) => Response::Seq(seq),
+                None => Response::Error("scheduler closed".into()),
+            },
+            Request::RequestTask {
+                bucket_id,
+                timeout_ms,
+            } => {
+                if !handle_request_task(inner, conn, bucket_id, timeout_ms) {
+                    return; // hand-off failed; connection is dead
+                }
+                continue; // response already sent
+            }
+            Request::AckTask { .. } => Response::Error("unexpected ack".into()),
+            Request::Stats => {
+                let sched = inner.sched.stats();
+                let space = inner.space.stats();
+                Response::Stats(RemoteStats {
+                    tasks_submitted: sched.tasks_submitted,
+                    tasks_assigned: sched.tasks_assigned,
+                    tasks_requeued: sched.tasks_requeued,
+                    objects: space.objects_per_server.iter().sum(),
+                    resident_bytes: space.resident_bytes,
+                })
+            }
+            Request::EvictVersion { version } => {
+                inner.space.evict_version(version);
+                Response::Ok
+            }
+            Request::CloseSched => {
+                inner.sched.close();
+                Response::Ok
+            }
+        };
+        if conn.send(encode_response(&resp)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serve one bucket-ready request. Returns false when the connection
+/// must be torn down (a task hand-off could not be completed; the task
+/// has been requeued).
+fn handle_request_task(
+    inner: &ServerInner,
+    conn: &Connection,
+    bucket_id: u32,
+    timeout_ms: u64,
+) -> bool {
+    let bucket = inner.sched.register_bucket(bucket_id);
+    let deadline = std::time::Instant::now() + Duration::from_millis(timeout_ms);
+    let assigned = loop {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        if left.is_zero() {
+            break None;
+        }
+        match bucket.request_task_timeout(left.min(WAIT_SLICE)) {
+            Some(t) => break Some(t),
+            None if inner.sched.is_closed() => {
+                // Drain-then-closed: one more non-blocking look so a
+                // task requeued during close is not missed.
+                match bucket.request_task_timeout(Duration::ZERO) {
+                    Some(t) => break Some(t),
+                    None => {
+                        return conn
+                            .send(encode_response(&Response::Task(TaskPoll::Closed)))
+                            .is_ok()
+                    }
+                }
+            }
+            None => continue,
+        }
+    };
+    let Some((seq, data)) = assigned else {
+        return conn
+            .send(encode_response(&Response::Task(TaskPoll::Empty)))
+            .is_ok();
+    };
+    // Two-phase hand-off: send, then require an ack on the same
+    // connection. Either failure requeues the task at the queue head.
+    let sent = conn
+        .send(encode_response(&Response::Task(TaskPoll::Assigned {
+            seq,
+            data: data.clone(),
+        })))
+        .is_ok();
+    if !sent {
+        inner.sched.requeue_front(seq, data);
+        return false;
+    }
+    match conn.recv_timeout(ACK_TIMEOUT) {
+        Ok(frame) => match decode_request(frame) {
+            Ok(Request::AckTask { seq: acked }) if acked == seq => true,
+            _ => {
+                inner.sched.requeue_front(seq, data);
+                false
+            }
+        },
+        Err(_) => {
+            inner.sched.requeue_front(seq, data);
+            false
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Client
+// --------------------------------------------------------------------
+
+/// Client handle to a [`SpaceServer`], mirroring the in-process
+/// [`DataSpaces`] API plus the scheduler verbs.
+pub struct RemoteSpace {
+    conn: Connection,
+}
+
+impl RemoteSpace {
+    /// Connect with a single attempt.
+    pub fn connect(addr: &Addr) -> Result<RemoteSpace, RemoteError> {
+        Ok(RemoteSpace {
+            conn: sitra_net::connect(addr)?,
+        })
+    }
+
+    /// Connect with bounded exponential backoff.
+    pub fn connect_retry(addr: &Addr, backoff: &Backoff) -> Result<RemoteSpace, RemoteError> {
+        Ok(RemoteSpace {
+            conn: sitra_net::connect_retry(addr, backoff)?,
+        })
+    }
+
+    fn rpc(&self, req: &Request) -> Result<Response, RemoteError> {
+        self.conn.send(encode_request(req))?;
+        let frame = self.conn.recv()?;
+        match decode_response(frame)? {
+            Response::Error(msg) => Err(RemoteError::Server(msg)),
+            resp => Ok(resp),
+        }
+    }
+
+    fn expect_ok(&self, req: &Request) -> Result<(), RemoteError> {
+        match self.rpc(req)? {
+            Response::Ok => Ok(()),
+            other => Err(RemoteError::Proto(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    /// Store an object.
+    pub fn put(
+        &self,
+        var: &str,
+        version: u64,
+        bbox: BBox3,
+        data: Bytes,
+    ) -> Result<(), RemoteError> {
+        self.expect_ok(&Request::Put {
+            var: var.to_string(),
+            version,
+            bbox,
+            data,
+        })
+    }
+
+    /// Store a field (serializing its values).
+    pub fn put_field(
+        &self,
+        var: &str,
+        version: u64,
+        field: &ScalarField,
+    ) -> Result<(), RemoteError> {
+        self.put(
+            var,
+            version,
+            field.bbox(),
+            crate::codec::field_to_bytes(field),
+        )
+    }
+
+    /// Spatial query: every stored piece of `(var, version)`
+    /// intersecting `query`.
+    pub fn get(
+        &self,
+        var: &str,
+        version: u64,
+        query: &BBox3,
+    ) -> Result<Vec<(BBox3, Bytes)>, RemoteError> {
+        match self.rpc(&Request::Get {
+            var: var.to_string(),
+            version,
+            bbox: *query,
+        })? {
+            Response::Pieces(p) => Ok(p),
+            other => Err(RemoteError::Proto(format!(
+                "expected Pieces, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Spatial query assembled into one field over `query`.
+    pub fn get_assembled(
+        &self,
+        var: &str,
+        version: u64,
+        query: &BBox3,
+        fill: f64,
+    ) -> Result<ScalarField, RemoteError> {
+        let pieces: Vec<ScalarField> = self
+            .get(var, version, query)?
+            .into_iter()
+            .filter_map(|(bbox, data)| {
+                bbox.intersect(query)
+                    .map(|clip| crate::codec::bytes_to_field(bbox, &data).extract(&clip))
+            })
+            .collect();
+        Ok(sitra_mesh::field::assemble(*query, &pieces, fill))
+    }
+
+    /// Highest stored version of `var`.
+    pub fn latest_version(&self, var: &str) -> Result<Option<u64>, RemoteError> {
+        match self.rpc(&Request::LatestVersion {
+            var: var.to_string(),
+        })? {
+            Response::Version(v) => Ok(v),
+            other => Err(RemoteError::Proto(format!(
+                "expected Version, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Data-ready: enqueue an opaque task descriptor; returns its
+    /// sequence number.
+    pub fn submit_task(&self, data: Bytes) -> Result<u64, RemoteError> {
+        match self.rpc(&Request::SubmitTask { data })? {
+            Response::Seq(s) => Ok(s),
+            other => Err(RemoteError::Proto(format!("expected Seq, got {other:?}"))),
+        }
+    }
+
+    /// Bucket-ready: request the next task, waiting up to `timeout` on
+    /// the server. An assigned task is acknowledged automatically
+    /// before this returns.
+    pub fn request_task(&self, bucket_id: u32, timeout: Duration) -> Result<TaskPoll, RemoteError> {
+        self.conn.send(encode_request(&Request::RequestTask {
+            bucket_id,
+            timeout_ms: timeout.as_millis() as u64,
+        }))?;
+        // The server may legitimately take the full timeout; pad the
+        // client-side wait generously.
+        let frame = self.conn.recv_timeout(timeout + Duration::from_secs(30))?;
+        match decode_response(frame)? {
+            Response::Task(poll) => {
+                if let TaskPoll::Assigned { seq, .. } = &poll {
+                    self.conn
+                        .send(encode_request(&Request::AckTask { seq: *seq }))?;
+                }
+                Ok(poll)
+            }
+            Response::Error(msg) => Err(RemoteError::Server(msg)),
+            other => Err(RemoteError::Proto(format!("expected Task, got {other:?}"))),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> Result<RemoteStats, RemoteError> {
+        match self.rpc(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(RemoteError::Proto(format!("expected Stats, got {other:?}"))),
+        }
+    }
+
+    /// Drop all objects of `version`.
+    pub fn evict_version(&self, version: u64) -> Result<(), RemoteError> {
+        self.expect_ok(&Request::EvictVersion { version })
+    }
+
+    /// Close the scheduler: every bucket's next request returns
+    /// [`TaskPoll::Closed`] once the queue drains.
+    pub fn close_sched(&self) -> Result<(), RemoteError> {
+        self.expect_ok(&Request::CloseSched)
+    }
+
+    /// Transport counters of this client's connection.
+    pub fn conn_stats(&self) -> ConnStats {
+        self.conn.stats()
+    }
+
+    /// Close the connection.
+    pub fn close(&self) {
+        self.conn.close();
+    }
+
+    /// Fault injection for tests: send a bucket-ready request and then
+    /// drop the connection without reading the response, simulating a
+    /// consumer crash at the worst moment — after the server may have
+    /// popped a task for us. The server must requeue that task.
+    pub fn fault_drop_during_request(&self, bucket_id: u32, timeout: Duration) {
+        let _ = self.conn.send(encode_request(&Request::RequestTask {
+            bucket_id,
+            timeout_ms: timeout.as_millis() as u64,
+        }));
+        // Give the request time to reach the server thread before the
+        // hang-up races it.
+        std::thread::sleep(Duration::from_millis(30));
+        self.conn.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_bbox(lo: [usize; 3], hi: [usize; 3]) -> BBox3 {
+        BBox3::new(lo, hi)
+    }
+
+    #[test]
+    fn request_codec_roundtrip() {
+        let reqs = vec![
+            Request::Put {
+                var: "T".into(),
+                version: 9,
+                bbox: mk_bbox([0, 1, 2], [3, 4, 5]),
+                data: Bytes::from_static(b"\x01\x02"),
+            },
+            Request::Get {
+                var: "ρ".into(),
+                version: 0,
+                bbox: mk_bbox([0, 0, 0], [0, 0, 0]),
+            },
+            Request::LatestVersion { var: "x".into() },
+            Request::SubmitTask {
+                data: Bytes::from_static(b"task"),
+            },
+            Request::RequestTask {
+                bucket_id: 7,
+                timeout_ms: 1500,
+            },
+            Request::AckTask { seq: 42 },
+            Request::Stats,
+            Request::EvictVersion { version: 3 },
+            Request::CloseSched,
+        ];
+        for r in reqs {
+            assert_eq!(decode_request(encode_request(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_codec_roundtrip() {
+        let resps = vec![
+            Response::Ok,
+            Response::Seq(17),
+            Response::Pieces(vec![
+                (mk_bbox([0, 0, 0], [1, 1, 1]), Bytes::from_static(b"abc")),
+                (mk_bbox([2, 0, 0], [3, 1, 1]), Bytes::new()),
+            ]),
+            Response::Version(Some(8)),
+            Response::Version(None),
+            Response::Task(TaskPoll::Assigned {
+                seq: 5,
+                data: Bytes::from_static(b"t"),
+            }),
+            Response::Task(TaskPoll::Empty),
+            Response::Task(TaskPoll::Closed),
+            Response::Stats(RemoteStats {
+                tasks_submitted: 1,
+                tasks_assigned: 2,
+                tasks_requeued: 3,
+                objects: 4,
+                resident_bytes: 5,
+            }),
+            Response::Error("boom".into()),
+        ];
+        for r in resps {
+            assert_eq!(decode_response(encode_response(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn codecs_reject_garbage_without_panicking() {
+        for len in 0..64 {
+            let junk = Bytes::from(vec![0xFEu8; len]);
+            assert!(decode_request(junk.clone()).is_err());
+            assert!(decode_response(junk).is_err());
+        }
+        // Truncations of every valid message error out too.
+        let enc = encode_request(&Request::Put {
+            var: "T".into(),
+            version: 1,
+            bbox: mk_bbox([0, 0, 0], [1, 1, 1]),
+            data: Bytes::from_static(b"xyz"),
+        });
+        for cut in 0..enc.len() {
+            assert!(decode_request(enc.slice(0..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn server_put_get_over_inproc() {
+        let addr: Addr = "inproc://space-putget".parse().unwrap();
+        let server = SpaceServer::start(&addr, 4).unwrap();
+        let client = RemoteSpace::connect(&server.addr()).unwrap();
+        let b = mk_bbox([0, 0, 0], [3, 3, 3]);
+        let f = ScalarField::from_fn(b, |p| p[0] as f64 + 0.5 * p[1] as f64);
+        client.put_field("T", 2, &f).unwrap();
+        assert_eq!(client.latest_version("T").unwrap(), Some(2));
+        assert_eq!(client.latest_version("nope").unwrap(), None);
+        let got = client.get_assembled("T", 2, &b, f64::NAN).unwrap();
+        assert_eq!(got, f);
+        client.evict_version(2).unwrap();
+        assert!(client.get("T", 2, &b).unwrap().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn scheduler_verbs_over_inproc() {
+        let addr: Addr = "inproc://space-sched".parse().unwrap();
+        let server = SpaceServer::start(&addr, 1).unwrap();
+        let producer = RemoteSpace::connect(&server.addr()).unwrap();
+        let bucket = RemoteSpace::connect(&server.addr()).unwrap();
+
+        // Empty poll times out.
+        assert_eq!(
+            bucket.request_task(0, Duration::from_millis(40)).unwrap(),
+            TaskPoll::Empty
+        );
+        let seq = producer.submit_task(Bytes::from_static(b"job-0")).unwrap();
+        assert_eq!(seq, 0);
+        assert_eq!(
+            bucket.request_task(0, Duration::from_secs(2)).unwrap(),
+            TaskPoll::Assigned {
+                seq: 0,
+                data: Bytes::from_static(b"job-0")
+            }
+        );
+        producer.close_sched().unwrap();
+        assert_eq!(
+            bucket.request_task(0, Duration::from_secs(2)).unwrap(),
+            TaskPoll::Closed
+        );
+        let stats = producer.stats().unwrap();
+        assert_eq!(stats.tasks_submitted, 1);
+        assert_eq!(stats.tasks_assigned, 1);
+        assert_eq!(stats.tasks_requeued, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropped_consumer_connection_requeues_task() {
+        let addr: Addr = "inproc://space-requeue".parse().unwrap();
+        let server = SpaceServer::start(&addr, 1).unwrap();
+        let producer = RemoteSpace::connect(&server.addr()).unwrap();
+        producer
+            .submit_task(Bytes::from_static(b"precious"))
+            .unwrap();
+
+        // A consumer asks for the task and dies before acknowledging.
+        let doomed = RemoteSpace::connect(&server.addr()).unwrap();
+        doomed.fault_drop_during_request(9, Duration::from_secs(2));
+
+        // The replacement consumer still gets the task.
+        let survivor = RemoteSpace::connect(&server.addr()).unwrap();
+        let polled = survivor.request_task(1, Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            polled,
+            TaskPoll::Assigned {
+                seq: 0,
+                data: Bytes::from_static(b"precious")
+            }
+        );
+        let stats = producer.stats().unwrap();
+        assert_eq!(stats.tasks_submitted, 1);
+        assert_eq!(stats.tasks_requeued, 1);
+        assert_eq!(stats.tasks_assigned, 2); // once to the doomed, once to the survivor
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_survives_malformed_frames() {
+        let addr: Addr = "inproc://space-garbage".parse().unwrap();
+        let server = SpaceServer::start(&addr, 1).unwrap();
+        let bad = sitra_net::connect(&server.addr()).unwrap();
+        bad.send(Bytes::from_static(b"\xFF\xFF\xFF")).unwrap();
+        // Server answers with an error then hangs up.
+        let resp = decode_response(bad.recv().unwrap()).unwrap();
+        assert!(matches!(resp, Response::Error(_)));
+        // A fresh, well-behaved client is unaffected.
+        let good = RemoteSpace::connect(&server.addr()).unwrap();
+        assert_eq!(good.latest_version("T").unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn works_over_tcp_loopback() {
+        let bind: Addr = "tcp://127.0.0.1:0".parse().unwrap();
+        let server = SpaceServer::start(&bind, 2).unwrap();
+        let client = RemoteSpace::connect_retry(&server.addr(), &Backoff::default()).unwrap();
+        let b = mk_bbox([0, 0, 0], [2, 2, 2]);
+        client
+            .put("T", 1, b, Bytes::from(vec![7u8; 27 * 8]))
+            .unwrap();
+        let pieces = client.get("T", 1, &b).unwrap();
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].1.len(), 27 * 8);
+        let cs = client.conn_stats();
+        assert_eq!(cs.frames_sent, 2);
+        assert_eq!(cs.frames_recv, 2);
+        server.shutdown();
+    }
+}

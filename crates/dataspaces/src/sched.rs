@@ -31,8 +31,12 @@ pub type BucketId = u32;
 pub struct SchedStats {
     /// Tasks enqueued so far.
     pub tasks_submitted: u64,
-    /// Tasks assigned so far.
+    /// Tasks assigned so far (a requeued task counts once per
+    /// assignment).
     pub tasks_assigned: u64,
+    /// Tasks put back at the head of the queue after a failed hand-off
+    /// (e.g. a remote bucket's connection died before acknowledging).
+    pub tasks_requeued: u64,
     /// Log of `(task_seq, bucket)` assignments in order.
     pub assignment_log: Vec<(u64, BucketId)>,
     /// High-water mark of the task queue (backlog indicator: when this
@@ -85,16 +89,7 @@ impl<T: Send + 'static> Scheduler<T> {
     /// Data-ready: enqueue a task. Returns its sequence number. If a
     /// bucket is parked, the task is handed over immediately.
     pub fn submit(&self, task: T) -> u64 {
-        let mut g = self.inner.lock();
-        assert!(!g.closed, "scheduler closed");
-        let seq = g.next_seq;
-        g.next_seq += 1;
-        g.stats.tasks_submitted += 1;
-        g.queue.push_back((seq, task));
-        let depth = g.queue.len();
-        g.stats.max_queue_depth = g.stats.max_queue_depth.max(depth);
-        Self::drain(&mut g);
-        seq
+        self.try_submit(task).expect("scheduler closed")
     }
 
     fn drain(g: &mut Inner<T>) {
@@ -108,6 +103,42 @@ impl<T: Send + 'static> Scheduler<T> {
             // practice.
             let _ = tx.send((seq, task));
         }
+    }
+
+    /// Data-ready without the panic: like [`Self::submit`] but returns
+    /// `None` once the scheduler is closed, for callers (the remote
+    /// staging service) where a late submission is an error to report,
+    /// not a bug to crash on.
+    pub fn try_submit(&self, task: T) -> Option<u64> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return None;
+        }
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.stats.tasks_submitted += 1;
+        g.queue.push_back((seq, task));
+        let depth = g.queue.len();
+        g.stats.max_queue_depth = g.stats.max_queue_depth.max(depth);
+        Self::drain(&mut g);
+        Some(seq)
+    }
+
+    /// Whether [`Self::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Put an assigned task back at the *head* of the queue, keeping
+    /// its original sequence number: the hand-off to a bucket failed
+    /// (its connection died before acknowledging receipt) and the task
+    /// must go to the next free bucket instead of being lost. Works
+    /// even after [`Self::close`] so in-flight tasks drain.
+    pub fn requeue_front(&self, seq: u64, task: T) {
+        let mut g = self.inner.lock();
+        g.stats.tasks_requeued += 1;
+        g.queue.push_front((seq, task));
+        Self::drain(&mut g);
     }
 
     /// Register a bucket and get its handle.
@@ -339,5 +370,143 @@ mod tests {
         let s: Scheduler<u32> = Scheduler::new();
         s.close();
         s.submit(1);
+    }
+
+    #[test]
+    fn try_submit_after_close_returns_none() {
+        let s: Scheduler<u32> = Scheduler::new();
+        assert_eq!(s.try_submit(1), Some(0));
+        s.close();
+        assert!(s.is_closed());
+        assert_eq!(s.try_submit(2), None);
+        // The pre-close task still drains.
+        let b = s.register_bucket(0);
+        assert_eq!(b.request_task(), Some((0, 1)));
+        assert_eq!(b.request_task(), None);
+        assert_eq!(s.stats().tasks_submitted, 1);
+    }
+
+    #[test]
+    fn timeout_withdraw_never_loses_a_racing_task() {
+        // Hammer the withdraw-vs-assign race: one thread polls with a
+        // tiny timeout while another submits at adversarial moments. A
+        // task sent into the bucket's channel in the window between the
+        // recv timeout firing and the withdraw taking the lock must be
+        // rescued, never dropped.
+        let s: Scheduler<u64> = Scheduler::new();
+        let n_tasks = 300u64;
+        let consumer = {
+            let b = s.register_bucket(0);
+            let s = s.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match b.request_task_timeout(Duration::from_micros(50)) {
+                        Some((_, t)) => got.push(t),
+                        None => {
+                            if s.is_closed() {
+                                // Rescue anything assigned during close.
+                                while let Some((_, t)) = b.request_task_timeout(Duration::ZERO) {
+                                    got.push(t);
+                                }
+                                return got;
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        for i in 0..n_tasks {
+            s.submit(i);
+            if i % 7 == 0 {
+                std::thread::sleep(Duration::from_micros(30));
+            }
+        }
+        while s.stats().tasks_assigned < n_tasks {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        s.close();
+        let mut got = consumer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..n_tasks).collect::<Vec<_>>());
+        // Every assignment went to the one bucket, exactly once each.
+        assert_eq!(s.stats().tasks_assigned, n_tasks);
+    }
+
+    #[test]
+    fn close_wakes_all_parked_buckets_promptly() {
+        let s: Scheduler<u32> = Scheduler::new();
+        let n_buckets = 16;
+        let parked: Vec<_> = (0..n_buckets)
+            .map(|i| {
+                let b = s.register_bucket(i);
+                std::thread::spawn(move || {
+                    let t0 = std::time::Instant::now();
+                    let got = b.request_task();
+                    (got, t0.elapsed())
+                })
+            })
+            .collect();
+        // Let everyone park, then close.
+        std::thread::sleep(Duration::from_millis(100));
+        let t_close = std::time::Instant::now();
+        s.close();
+        for h in parked {
+            let (got, _) = h.join().unwrap();
+            assert_eq!(got, None);
+        }
+        // All 16 woke within a bound far below any polling interval.
+        assert!(
+            t_close.elapsed() < Duration::from_secs(2),
+            "parked buckets took {:?} to observe close",
+            t_close.elapsed()
+        );
+    }
+
+    #[test]
+    fn requeue_front_preserves_order_and_counts() {
+        let s: Scheduler<&'static str> = Scheduler::new();
+        s.submit("a");
+        s.submit("b");
+        let b = s.register_bucket(0);
+        let (seq_a, task_a) = b.request_task().unwrap();
+        assert_eq!((seq_a, task_a), (0, "a"));
+        // Hand-off failed: "a" goes back to the head, ahead of "b".
+        s.requeue_front(seq_a, task_a);
+        assert_eq!(b.request_task(), Some((0, "a")));
+        assert_eq!(b.request_task(), Some((1, "b")));
+        let st = s.stats();
+        assert_eq!(st.tasks_submitted, 2);
+        assert_eq!(st.tasks_requeued, 1);
+        assert_eq!(st.tasks_assigned, 3); // "a" twice, "b" once
+    }
+
+    #[test]
+    fn requeue_after_close_still_drains() {
+        let s: Scheduler<u32> = Scheduler::new();
+        s.submit(7);
+        let b = s.register_bucket(0);
+        let (seq, task) = b.request_task().unwrap();
+        s.close();
+        // The in-flight task's hand-off fails after close; it must still
+        // reach the next bucket request rather than vanish.
+        s.requeue_front(seq, task);
+        assert_eq!(b.request_task(), Some((0, 7)));
+        assert_eq!(b.request_task(), None);
+    }
+
+    #[test]
+    fn requeue_wakes_a_parked_bucket() {
+        let s: Scheduler<u32> = Scheduler::new();
+        s.submit(1);
+        let b0 = s.register_bucket(0);
+        let (seq, task) = b0.request_task().unwrap();
+        // Another bucket parks with an empty queue...
+        let b1 = s.register_bucket(1);
+        let h = std::thread::spawn(move || b1.request_task());
+        std::thread::sleep(Duration::from_millis(50));
+        // ...and the failed hand-off's requeue reaches it directly.
+        s.requeue_front(seq, task);
+        assert_eq!(h.join().unwrap(), Some((0, 1)));
     }
 }

@@ -117,13 +117,7 @@ impl DataSpaces {
 
     /// Spatial query assembled into one field over `query`; uncovered
     /// points become `fill`.
-    pub fn get_assembled(
-        &self,
-        var: &str,
-        version: u64,
-        query: &BBox3,
-        fill: f64,
-    ) -> ScalarField {
+    pub fn get_assembled(&self, var: &str, version: u64, query: &BBox3, fill: f64) -> ScalarField {
         let pieces: Vec<ScalarField> = self
             .get(var, version, query)
             .into_iter()
@@ -132,6 +126,23 @@ impl DataSpaces {
             })
             .collect();
         assemble(*query, &pieces, fill)
+    }
+
+    /// The highest version stored under `var`, if any (the "query
+    /// version" RPC of the staging service: consumers discover the most
+    /// recent timestep without polling specific versions).
+    pub fn latest_version(&self, var: &str) -> Option<u64> {
+        self.servers
+            .iter()
+            .flat_map(|s| {
+                s.objects
+                    .read()
+                    .keys()
+                    .filter(|(v, _)| v == var)
+                    .map(|(_, ver)| *ver)
+                    .collect::<Vec<_>>()
+            })
+            .max()
     }
 
     /// Drop every object of a version (staging memory reclamation once a
@@ -252,7 +263,11 @@ mod tests {
         // No server holds more than 3x the fair share, none is empty.
         let fair = total / 8;
         for &c in &stats.objects_per_server {
-            assert!(c > 0, "a server got nothing: {:?}", stats.objects_per_server);
+            assert!(
+                c > 0,
+                "a server got nothing: {:?}",
+                stats.objects_per_server
+            );
             assert!(c <= 3 * fair, "imbalanced: {:?}", stats.objects_per_server);
         }
     }

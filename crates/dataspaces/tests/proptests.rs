@@ -12,9 +12,7 @@ fn arb_box() -> impl Strategy<Value = BBox3> {
         prop::array::uniform3(0usize..10),
         prop::array::uniform3(1usize..6),
     )
-        .prop_map(|(lo, ext)| {
-            BBox3::new(lo, [lo[0] + ext[0], lo[1] + ext[1], lo[2] + ext[2]])
-        })
+        .prop_map(|(lo, ext)| BBox3::new(lo, [lo[0] + ext[0], lo[1] + ext[1], lo[2] + ext[2]]))
 }
 
 proptest! {

@@ -81,9 +81,7 @@ pub fn simulate_pipeline(m: &PipelineModel) -> PipelineReport {
 
     // Phase 2: FCFS assignment over the bucket pool (min-heap of free
     // times; f64 packed via to_bits is fine as all times are >= 0).
-    let mut buckets: BinaryHeap<Reverse<u64>> = (0..m.n_buckets)
-        .map(|_| Reverse(0u64))
-        .collect();
+    let mut buckets: BinaryHeap<Reverse<u64>> = (0..m.n_buckets).map(|_| Reverse(0u64)).collect();
     let mut latencies = Vec::with_capacity(ready.len());
     let mut busy = 0.0;
     let mut makespan = sim_finish;
@@ -140,7 +138,11 @@ pub fn simulate_pipeline(m: &PipelineModel) -> PipelineReport {
     PipelineReport {
         sim_finish,
         makespan,
-        sim_overhead_fraction: if sim_finish > 0.0 { overhead / sim_finish } else { 0.0 },
+        sim_overhead_fraction: if sim_finish > 0.0 {
+            overhead / sim_finish
+        } else {
+            0.0
+        },
         mean_latency,
         max_latency,
         max_backlog: max_backlog as usize,

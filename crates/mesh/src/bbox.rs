@@ -58,8 +58,7 @@ impl BBox3 {
 
     /// True if `other` is entirely inside `self`.
     pub fn contains_box(&self, other: &BBox3) -> bool {
-        other.is_empty()
-            || ((0..3).all(|a| other.lo[a] >= self.lo[a] && other.hi[a] <= self.hi[a]))
+        other.is_empty() || ((0..3).all(|a| other.lo[a] >= self.lo[a] && other.hi[a] <= self.hi[a]))
     }
 
     /// Intersection of two boxes, or `None` if they do not overlap in at
@@ -128,8 +127,7 @@ impl BBox3 {
     pub fn iter(&self) -> impl Iterator<Item = [usize; 3]> + '_ {
         let b = *self;
         (b.lo[2]..b.hi[2]).flat_map(move |k| {
-            (b.lo[1]..b.hi[1])
-                .flat_map(move |j| (b.lo[0]..b.hi[0]).map(move |i| [i, j, k]))
+            (b.lo[1]..b.hi[1]).flat_map(move |j| (b.lo[0]..b.hi[0]).map(move |i| [i, j, k]))
         })
     }
 

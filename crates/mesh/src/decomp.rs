@@ -148,11 +148,7 @@ impl Decomposition {
                     if dx == 0 && dy == 0 && dz == 0 {
                         continue;
                     }
-                    let n = [
-                        c[0] as isize + dx,
-                        c[1] as isize + dy,
-                        c[2] as isize + dz,
-                    ];
+                    let n = [c[0] as isize + dx, c[1] as isize + dy, c[2] as isize + dz];
                     if (0..3).all(|a| n[a] >= 0 && (n[a] as usize) < self.parts[a]) {
                         let nc = [n[0] as usize, n[1] as usize, n[2] as usize];
                         out.push((self.rank_of_coords(nc), [dx, dy, dz]));

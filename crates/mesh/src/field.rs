@@ -265,18 +265,17 @@ mod tests {
         let g = BBox3::from_dims([7, 6, 5]);
         let f = coord_field(g);
         let d = Decomposition::new(g, [2, 3, 2]);
-        let pieces: Vec<ScalarField> =
-            (0..d.rank_count()).map(|r| f.extract(&d.block(r))).collect();
+        let pieces: Vec<ScalarField> = (0..d.rank_count())
+            .map(|r| f.extract(&d.block(r)))
+            .collect();
         let back = assemble(g, &pieces, f64::NAN);
         assert_eq!(back, f);
     }
 
     #[test]
     fn min_max_ignores_nan() {
-        let mut f = ScalarField::from_vec(
-            BBox3::from_dims([4, 1, 1]),
-            vec![3.0, f64::NAN, -2.0, 1.0],
-        );
+        let mut f =
+            ScalarField::from_vec(BBox3::from_dims([4, 1, 1]), vec![3.0, f64::NAN, -2.0, 1.0]);
         assert_eq!(f.min_max(), Some((-2.0, 3.0)));
         f.map_in_place(|_| f64::NAN);
         assert_eq!(f.min_max(), None);

@@ -91,7 +91,9 @@ mod tests {
 
     fn block_fields(d: &Decomposition) -> Vec<ScalarField> {
         let whole = coord_field(d.global());
-        (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect()
+        (0..d.rank_count())
+            .map(|r| whole.extract(&d.block(r)))
+            .collect()
     }
 
     #[test]

@@ -147,10 +147,7 @@ mod tests {
         // Lattice points 0,4,8 per axis.
         assert_eq!(s.coarse_bbox, BBox3::from_dims([3, 3, 3]));
         for c in s.coarse_bbox.iter() {
-            assert_eq!(
-                s.as_field().get(c),
-                f.get([c[0] * 4, c[1] * 4, c[2] * 4])
-            );
+            assert_eq!(s.as_field().get(c), f.get([c[0] * 4, c[1] * 4, c[2] * 4]));
         }
     }
 

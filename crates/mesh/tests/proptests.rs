@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use sitra_mesh::{
-    downsample, exchange_ghosts, field::assemble, ghost_requests, BBox3, Decomposition,
-    ScalarField,
+    downsample, exchange_ghosts, field::assemble, ghost_requests, BBox3, Decomposition, ScalarField,
 };
 
 /// Strategy: a small global domain plus a valid parts vector.
@@ -23,7 +22,8 @@ fn domain_and_parts() -> impl Strategy<Value = (BBox3, [usize; 3])> {
 
 fn hashed_field(b: BBox3) -> ScalarField {
     ScalarField::from_fn(b, |p| {
-        let h = p[0].wrapping_mul(73856093) ^ p[1].wrapping_mul(19349663) ^ p[2].wrapping_mul(83492791);
+        let h =
+            p[0].wrapping_mul(73856093) ^ p[1].wrapping_mul(19349663) ^ p[2].wrapping_mul(83492791);
         (h % 10_007) as f64
     })
 }

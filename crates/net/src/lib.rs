@@ -1,0 +1,219 @@
+//! # sitra-net
+//!
+//! A framed, connection-oriented message transport for the remote
+//! staging deployment mode: the same staging framework the paper runs
+//! over DART/Gemini, carried here over plain sockets so the staging
+//! area can live in a different process (or machine) from the
+//! simulation.
+//!
+//! Two pluggable backends behind one [`Connection`] / [`Listener`] API:
+//!
+//! * **`inproc://name`** — crossbeam channels through a process-global
+//!   registry. Deterministic, zero-syscall; what unit tests use.
+//! * **`tcp://host:port`** — `std::net` sockets with length-prefixed
+//!   frames, one OS thread per accepted connection (no async runtime,
+//!   no external dependencies).
+//!
+//! Every connection carries [`ConnStats`] counters (frames/bytes in
+//! each direction), and [`connect_retry`] layers bounded
+//! exponential-backoff reconnection over either backend — the
+//! mechanism remote staging clients use to survive a dropped
+//! connection without losing tasks (the server side requeues any task
+//! whose hand-off was never acknowledged).
+
+mod conn;
+mod listener;
+
+pub use conn::{ConnStats, Connection, MAX_FRAME_LEN};
+pub use listener::{serve, Listener, ServerHandle};
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Transport-layer failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Peer closed the connection (or it was closed locally).
+    Closed,
+    /// A timed operation elapsed without completing.
+    Timeout,
+    /// A frame exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// An address string did not parse.
+    BadAddr(String),
+    /// No listener at the target address.
+    Refused(String),
+    /// Underlying socket error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Timeout => write!(f, "operation timed out"),
+            NetError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds the frame cap"),
+            NetError::BadAddr(s) => write!(f, "unparseable address `{s}`"),
+            NetError::Refused(s) => write!(f, "connection to `{s}` refused"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotConnected => NetError::Closed,
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::Timeout,
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+/// A transport address: which backend, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// In-process endpoint named in the global registry.
+    InProc(String),
+    /// TCP socket address.
+    Tcp(SocketAddr),
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::InProc(name) => write!(f, "inproc://{name}"),
+            Addr::Tcp(sa) => write!(f, "tcp://{sa}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Addr {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, NetError> {
+        if let Some(name) = s.strip_prefix("inproc://") {
+            if name.is_empty() {
+                return Err(NetError::BadAddr(s.to_string()));
+            }
+            return Ok(Addr::InProc(name.to_string()));
+        }
+        if let Some(sa) = s.strip_prefix("tcp://") {
+            return sa
+                .parse::<SocketAddr>()
+                .map(Addr::Tcp)
+                .map_err(|_| NetError::BadAddr(s.to_string()));
+        }
+        Err(NetError::BadAddr(s.to_string()))
+    }
+}
+
+/// Bounded exponential backoff policy for [`connect_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub initial: Duration,
+    /// Ceiling on any single delay.
+    pub max: Duration,
+    /// Total connection attempts (>= 1).
+    pub attempts: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            initial: Duration::from_millis(10),
+            max: Duration::from_millis(500),
+            attempts: 8,
+        }
+    }
+}
+
+/// Open a connection to `addr` with a single attempt.
+pub fn connect(addr: &Addr) -> Result<Connection, NetError> {
+    match addr {
+        Addr::InProc(name) => listener::inproc_connect(name),
+        Addr::Tcp(sa) => conn::tcp_connect(*sa),
+    }
+}
+
+/// Open a connection, retrying with bounded exponential backoff
+/// (doubling from `initial` up to `max`, at most `attempts` tries).
+pub fn connect_retry(addr: &Addr, backoff: &Backoff) -> Result<Connection, NetError> {
+    let mut delay = backoff.initial;
+    let mut last = NetError::Refused(addr.to_string());
+    for attempt in 0..backoff.attempts.max(1) {
+        match connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => last = e,
+        }
+        if attempt + 1 < backoff.attempts.max(1) {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(backoff.max);
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn addr_parse_roundtrip() {
+        let a: Addr = "inproc://stage-0".parse().unwrap();
+        assert_eq!(a, Addr::InProc("stage-0".into()));
+        assert_eq!(a.to_string(), "inproc://stage-0");
+        let t: Addr = "tcp://127.0.0.1:9000".parse().unwrap();
+        assert_eq!(t.to_string(), "tcp://127.0.0.1:9000");
+        assert!("inproc://".parse::<Addr>().is_err());
+        assert!("udp://x".parse::<Addr>().is_err());
+        assert!("tcp://nonsense".parse::<Addr>().is_err());
+    }
+
+    #[test]
+    fn connect_retry_eventually_succeeds() {
+        let addr: Addr = "inproc://late-bind".parse().unwrap();
+        let a2 = addr.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            let l = Listener::bind(&a2).unwrap();
+            let c = l.accept().unwrap();
+            let m = c.recv().unwrap();
+            c.send(m).unwrap();
+        });
+        let c = connect_retry(
+            &addr,
+            &Backoff {
+                initial: Duration::from_millis(5),
+                max: Duration::from_millis(50),
+                attempts: 20,
+            },
+        )
+        .unwrap();
+        c.send(Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(c.recv().unwrap(), Bytes::from_static(b"ping"));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn connect_retry_gives_up() {
+        let addr: Addr = "inproc://nobody-home".parse().unwrap();
+        let err = connect_retry(
+            &addr,
+            &Backoff {
+                initial: Duration::from_millis(1),
+                max: Duration::from_millis(2),
+                attempts: 3,
+            },
+        );
+        assert!(matches!(err, Err(NetError::Refused(_))));
+    }
+}

@@ -26,9 +26,9 @@
 //! sub-domains.
 
 pub mod chemistry;
-pub mod rng;
 pub mod kernels;
 pub mod modes;
+pub mod rng;
 pub mod sim;
 
 pub use chemistry::{species_mass_fractions, SPECIES_NAMES};

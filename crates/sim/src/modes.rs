@@ -105,9 +105,7 @@ impl ModeBank {
     pub fn velocity(&self, pos: [f64; 3], t: f64) -> [f64; 3] {
         let mut v = [0.0; 3];
         for m in &self.modes {
-            let arg = m.k[0] * pos[0] + m.k[1] * pos[1] + m.k[2] * pos[2]
-                + m.omega * t
-                + m.phase;
+            let arg = m.k[0] * pos[0] + m.k[1] * pos[1] + m.k[2] * pos[2] + m.omega * t + m.phase;
             let c = m.amp * arg.cos();
             v[0] += c * m.pol[0];
             v[1] += c * m.pol[1];
@@ -122,9 +120,7 @@ impl ModeBank {
     pub fn scalar(&self, pos: [f64; 3], t: f64) -> f64 {
         let mut s = 0.0;
         for m in &self.modes {
-            let arg = m.k[0] * pos[0] + m.k[1] * pos[1] + m.k[2] * pos[2]
-                + m.omega * t
-                + m.phase;
+            let arg = m.k[0] * pos[0] + m.k[1] * pos[1] + m.k[2] * pos[2] + m.omega * t + m.phase;
             s += m.amp * arg.sin();
         }
         s
@@ -192,11 +188,7 @@ mod tests {
     #[test]
     fn amplitude_decays_with_wavenumber() {
         let bank = ModeBank::new(9, 64, 2.0, 128.0);
-        let mut pairs: Vec<(f64, f64)> = bank
-            .modes()
-            .iter()
-            .map(|m| (norm(m.k), m.amp))
-            .collect();
+        let mut pairs: Vec<(f64, f64)> = bank.modes().iter().map(|m| (norm(m.k), m.amp)).collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         // The smallest-wavenumber mode must have a larger amplitude than
         // the largest-wavenumber one.

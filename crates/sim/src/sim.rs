@@ -130,7 +130,12 @@ pub struct Simulation {
 impl Simulation {
     /// Create a simulation at step 0.
     pub fn new(cfg: SimConfig) -> Self {
-        let modes = ModeBank::new(cfg.seed, cfg.n_modes, cfg.min_wavelength, cfg.max_wavelength);
+        let modes = ModeBank::new(
+            cfg.seed,
+            cfg.n_modes,
+            cfg.min_wavelength,
+            cfg.max_wavelength,
+        );
         let kernels = KernelPopulation::new(
             cfg.seed,
             cfg.kernel_spawn_rate,
@@ -246,12 +251,8 @@ impl Simulation {
                 base + self.kernels.contribution(pos, self.step)
                     + 15.0 * self.modes.scalar(pos, t) / self.modes.rms()
             }
-            Variable::Pressure => {
-                1.0 + 0.002 * self.modes.scalar(pos, t * 1.3) / self.modes.rms()
-            }
-            Variable::VelU => {
-                self.cfg.mean_flow[0] + self.turbulence(pos, t)[0]
-            }
+            Variable::Pressure => 1.0 + 0.002 * self.modes.scalar(pos, t * 1.3) / self.modes.rms(),
+            Variable::VelU => self.cfg.mean_flow[0] + self.turbulence(pos, t)[0],
             Variable::VelV => self.cfg.mean_flow[1] + self.turbulence(pos, t)[1],
             Variable::VelW => self.cfg.mean_flow[2] + self.turbulence(pos, t)[2],
             Variable::Species(i) => {
@@ -428,8 +429,14 @@ mod tests {
         jumps.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = jumps[jumps.len() / 2];
         let max = *jumps.last().unwrap();
-        assert!(median < 0.05 * range, "median jump {median} vs range {range}");
-        assert!(max < range, "max jump {max} exceeds the field range {range}");
+        assert!(
+            median < 0.05 * range,
+            "median jump {median} vs range {range}"
+        );
+        assert!(
+            max < range,
+            "max jump {max} exceeds the field range {range}"
+        );
     }
 
     #[test]

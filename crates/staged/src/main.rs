@@ -1,0 +1,128 @@
+//! `sitra-staged` — the standalone staging service.
+//!
+//! Runs a [`SpaceServer`] (sharded shared space + FCFS in-transit task
+//! scheduler) on a socket, so a simulation driver and any number of
+//! bucket-worker processes can stage through it:
+//!
+//! ```text
+//! sitra-staged --listen tcp://0.0.0.0:7788 --servers 4
+//! ```
+//!
+//! The driver side points `PipelineConfig::staging_endpoint` at the same
+//! address; workers call `sitra_core::remote::run_bucket_worker`. The
+//! process runs until the scheduler is closed by a client (the driver
+//! does this when its run finishes) or it receives SIGINT.
+
+use sitra_dataspaces::SpaceServer;
+use sitra_net::Addr;
+use std::time::Duration;
+
+struct Opts {
+    listen: Addr,
+    servers: usize,
+    /// Print space/scheduler counters every this many seconds (0 = off).
+    stats_every: u64,
+}
+
+fn usage(program: &str, code: i32) -> ! {
+    eprintln!(
+        "usage: {program} [--listen ADDR] [--servers N] [--stats-every SECS]\n\
+         \n\
+         --listen ADDR       tcp://host:port or inproc://name (default tcp://127.0.0.1:7788)\n\
+         --servers N         space server shards (default 4)\n\
+         --stats-every SECS  periodically print counters (default 0 = quiet)"
+    );
+    std::process::exit(code);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        listen: "tcp://127.0.0.1:7788".parse().expect("default addr"),
+        servers: 4,
+        stats_every: 0,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let program = argv.first().map(String::as_str).unwrap_or("sitra-staged");
+    let mut it = argv.iter().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{program}: missing value for {name}");
+                usage(program, 2)
+            })
+        };
+        match flag.as_str() {
+            "--listen" => match value("--listen").parse() {
+                Ok(a) => opts.listen = a,
+                Err(e) => {
+                    eprintln!("{program}: {e}");
+                    usage(program, 2);
+                }
+            },
+            "--servers" => match value("--servers").parse() {
+                Ok(n) if n > 0 => opts.servers = n,
+                _ => {
+                    eprintln!("{program}: --servers must be a positive integer");
+                    usage(program, 2);
+                }
+            },
+            "--stats-every" => match value("--stats-every").parse() {
+                Ok(n) => opts.stats_every = n,
+                Err(_) => {
+                    eprintln!("{program}: --stats-every must be an integer");
+                    usage(program, 2);
+                }
+            },
+            "--help" | "-h" => usage(program, 0),
+            other => {
+                eprintln!("{program}: unknown flag {other}");
+                usage(program, 2);
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+    let server = match SpaceServer::start(&opts.listen, opts.servers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sitra-staged: cannot listen on {}: {e}", opts.listen);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "sitra-staged: serving {} space shard(s) on {}",
+        opts.servers,
+        server.addr()
+    );
+
+    // Run until the driver closes the scheduler, then give in-flight
+    // connections a moment to drain before exiting.
+    loop {
+        let stats = server.sched_stats();
+        if opts.stats_every > 0 {
+            let space = server.space().stats();
+            println!(
+                "sitra-staged: submitted={} assigned={} requeued={} objects={} bytes={}",
+                stats.tasks_submitted,
+                stats.tasks_assigned,
+                stats.tasks_requeued,
+                space.objects_per_server.iter().sum::<u64>(),
+                space.resident_bytes,
+            );
+        }
+        if server.closed() {
+            break;
+        }
+        std::thread::sleep(Duration::from_secs(opts.stats_every.clamp(1, 10)));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let stats = server.sched_stats();
+    println!(
+        "sitra-staged: scheduler closed; {} task(s) assigned, {} requeued — shutting down",
+        stats.tasks_assigned, stats.tasks_requeued
+    );
+    server.shutdown();
+}

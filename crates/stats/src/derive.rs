@@ -114,6 +114,10 @@ mod tests {
         // Discrete uniform has excess kurtosis ≈ -1.2.
         let data: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
         let d = derive(&Moments::from_slice(&data)).unwrap();
-        assert!((d.kurtosis_excess + 1.2).abs() < 0.05, "{}", d.kurtosis_excess);
+        assert!(
+            (d.kurtosis_excess + 1.2).abs() < 0.05,
+            "{}",
+            d.kurtosis_excess
+        );
     }
 }

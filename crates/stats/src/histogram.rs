@@ -202,7 +202,9 @@ mod tests {
     #[test]
     fn quantile_monotone() {
         let mut h = Histogram::new(-5.0, 5.0, 32);
-        let data: Vec<f64> = (0..999).map(|i| ((i * 7919) % 1000) as f64 / 100.0 - 5.0).collect();
+        let data: Vec<f64> = (0..999)
+            .map(|i| ((i * 7919) % 1000) as f64 / 100.0 - 5.0)
+            .collect();
         h.extend(&data);
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=20 {

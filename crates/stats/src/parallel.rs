@@ -124,7 +124,9 @@ mod tests {
     }
 
     fn sample(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 2654435761) % 1_000_003) as f64 / 997.0).collect()
+        (0..n)
+            .map(|i| ((i * 2654435761) % 1_000_003) as f64 / 997.0)
+            .collect()
     }
 
     #[test]
@@ -156,7 +158,10 @@ mod tests {
         let p = partials.len();
         assert_eq!(stats.messages, 2 * (p - 1));
         assert_eq!(stats.bytes, 2 * (p - 1) * Moments::WIRE_BYTES);
-        assert_eq!(stats.rounds, 2 * p.next_power_of_two().trailing_zeros() as usize);
+        assert_eq!(
+            stats.rounds,
+            2 * p.next_power_of_two().trailing_zeros() as usize
+        );
     }
 
     #[test]

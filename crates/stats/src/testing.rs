@@ -9,8 +9,7 @@ use crate::Derived;
 pub fn jarque_bera(model: &Derived) -> f64 {
     let n = model.count as f64;
     n / 6.0
-        * (model.skewness * model.skewness
-            + model.kurtosis_excess * model.kurtosis_excess / 4.0)
+        * (model.skewness * model.skewness + model.kurtosis_excess * model.kurtosis_excess / 4.0)
 }
 
 /// One-sample t statistic for the null hypothesis `mean == mu0`:
@@ -48,7 +47,9 @@ mod tests {
         for _ in 0..5_000 {
             let mut s = 0.0;
             for _ in 0..12 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 s += (state >> 11) as f64 / (1u64 << 53) as f64;
             }
             data.push(s - 6.0);
@@ -59,7 +60,9 @@ mod tests {
 
     #[test]
     fn jb_large_for_skewed_data() {
-        let data: Vec<f64> = (0..2_000).map(|i| ((i % 100) as f64 / 10.0).exp()).collect();
+        let data: Vec<f64> = (0..2_000)
+            .map(|i| ((i % 100) as f64 / 10.0).exp())
+            .collect();
         let jb = jarque_bera(&model_of(&data));
         assert!(jb > 100.0, "JB = {jb}");
     }
@@ -80,7 +83,9 @@ mod tests {
     #[test]
     fn t_grows_with_sample_size() {
         let small = model_of(&[0.9, 1.1, 1.0, 1.2, 0.8]);
-        let big_data: Vec<f64> = (0..500).map(|i| 1.0 + 0.2 * ((i % 5) as f64 - 2.0) / 2.0).collect();
+        let big_data: Vec<f64> = (0..500)
+            .map(|i| 1.0 + 0.2 * ((i % 5) as f64 - 2.0) / 2.0)
+            .collect();
         let big = model_of(&big_data);
         assert!(t_statistic(&big, 0.5).abs() > t_statistic(&small, 0.5).abs());
     }

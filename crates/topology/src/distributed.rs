@@ -82,53 +82,52 @@ pub fn rank_subtree(
 ) -> Subtree {
     let global = decomp.global();
     {
-            assert_eq!(
-                field.bbox(),
-                decomp.block(rank).grow_clamped(1, &global),
-                "rank {rank}: ghosted field does not match block"
-            );
-            let tree = augmented_join_tree(field, &global, conn);
-            let own_gbox = field.bbox();
-            reduce_to_subtree(&tree, field, rank as SourceId, |p| {
-                // Potential declarers: every rank whose ghosted box
-                // contains p (they might keep it as a critical point of
-                // their local tree even if it is not an interface
-                // vertex). `s`'s ghosted box contains `p` exactly when
-                // `block(s)` intersects the unit box around `p` grown by
-                // the halo width, so a spatial query finds them all —
-                // including ranks beyond the 26-neighborhood when blocks
-                // are thinner than the halo. Every rank runs the same
-                // query, so the sets agree at the aggregator.
-                let probe = BBox3::new(p, [p[0] + 1, p[1] + 1, p[2] + 1])
-                    .grow_clamped(1, &global);
-                let mut potential: Vec<SourceId> = vec![rank as SourceId];
-                let mut keep = false;
-                for (s, _) in decomp.ranks_overlapping(&probe) {
-                    if s == rank {
-                        continue;
-                    }
-                    potential.push(s as SourceId);
-                    if keep {
-                        continue;
-                    }
-                    // Pair overlap region: both ranks of the pair compute
-                    // the identical region and (for BoundaryMaxima) the
-                    // identical restricted maxima.
-                    let region = decomp
-                        .block(s)
-                        .grow_clamped(1, &global)
-                        .intersect(&own_gbox)
-                        .expect("ghosted boxes of sharing ranks overlap");
-                    debug_assert!(region.contains(p));
-                    keep = match policy {
-                        BoundaryPolicy::AllShared => true,
-                        BoundaryPolicy::BoundaryMaxima => {
-                            is_restricted_maximum(field, &global, &region, p, conn)
-                        }
-                    };
+        assert_eq!(
+            field.bbox(),
+            decomp.block(rank).grow_clamped(1, &global),
+            "rank {rank}: ghosted field does not match block"
+        );
+        let tree = augmented_join_tree(field, &global, conn);
+        let own_gbox = field.bbox();
+        reduce_to_subtree(&tree, field, rank as SourceId, |p| {
+            // Potential declarers: every rank whose ghosted box
+            // contains p (they might keep it as a critical point of
+            // their local tree even if it is not an interface
+            // vertex). `s`'s ghosted box contains `p` exactly when
+            // `block(s)` intersects the unit box around `p` grown by
+            // the halo width, so a spatial query finds them all —
+            // including ranks beyond the 26-neighborhood when blocks
+            // are thinner than the halo. Every rank runs the same
+            // query, so the sets agree at the aggregator.
+            let probe = BBox3::new(p, [p[0] + 1, p[1] + 1, p[2] + 1]).grow_clamped(1, &global);
+            let mut potential: Vec<SourceId> = vec![rank as SourceId];
+            let mut keep = false;
+            for (s, _) in decomp.ranks_overlapping(&probe) {
+                if s == rank {
+                    continue;
                 }
-                InterfaceInfo { potential, keep }
-            })
+                potential.push(s as SourceId);
+                if keep {
+                    continue;
+                }
+                // Pair overlap region: both ranks of the pair compute
+                // the identical region and (for BoundaryMaxima) the
+                // identical restricted maxima.
+                let region = decomp
+                    .block(s)
+                    .grow_clamped(1, &global)
+                    .intersect(&own_gbox)
+                    .expect("ghosted boxes of sharing ranks overlap");
+                debug_assert!(region.contains(p));
+                keep = match policy {
+                    BoundaryPolicy::AllShared => true,
+                    BoundaryPolicy::BoundaryMaxima => {
+                        is_restricted_maximum(field, &global, &region, p, conn)
+                    }
+                };
+            }
+            InterfaceInfo { potential, keep }
+        })
     }
 }
 
@@ -211,8 +210,9 @@ mod tests {
         let g = BBox3::from_dims(dims);
         let whole = hash_field(g, salt);
         let d = Decomposition::new(g, parts);
-        let fields: Vec<ScalarField> =
-            (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect();
+        let fields: Vec<ScalarField> = (0..d.rank_count())
+            .map(|r| whole.extract(&d.block(r)))
+            .collect();
         let serial = serial_merge_tree(&whole, conn);
         for policy in [BoundaryPolicy::AllShared, BoundaryPolicy::BoundaryMaxima] {
             let (dist, stats) = distributed_merge_tree(&d, &fields, conn, policy);
@@ -250,8 +250,9 @@ mod tests {
         let g = BBox3::from_dims([6, 6, 6]);
         let whole = ScalarField::new_fill(g, 1.0);
         let d = Decomposition::new(g, [2, 2, 1]);
-        let fields: Vec<ScalarField> =
-            (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect();
+        let fields: Vec<ScalarField> = (0..d.rank_count())
+            .map(|r| whole.extract(&d.block(r)))
+            .collect();
         let serial = serial_merge_tree(&whole, Connectivity::Six);
         for policy in [BoundaryPolicy::AllShared, BoundaryPolicy::BoundaryMaxima] {
             let (dist, _) = distributed_merge_tree(&d, &fields, Connectivity::Six, policy);
@@ -270,8 +271,9 @@ mod tests {
             (6.3 * x).sin() + (6.3 * y).cos() * (3.1 * z).sin()
         });
         let d = Decomposition::new(g, [2, 2, 2]);
-        let fields: Vec<ScalarField> =
-            (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect();
+        let fields: Vec<ScalarField> = (0..d.rank_count())
+            .map(|r| whole.extract(&d.block(r)))
+            .collect();
         let (t1, all) =
             distributed_merge_tree(&d, &fields, Connectivity::Six, BoundaryPolicy::AllShared);
         let (t2, maxima) = distributed_merge_tree(
@@ -320,8 +322,9 @@ mod tests {
         let g = BBox3::from_dims([20, 20, 10]);
         let whole = hash_field(g, 9);
         let d = Decomposition::new(g, [2, 2, 1]);
-        let fields: Vec<ScalarField> =
-            (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect();
+        let fields: Vec<ScalarField> = (0..d.rank_count())
+            .map(|r| whole.extract(&d.block(r)))
+            .collect();
         let (_, stats) = distributed_merge_tree(
             &d,
             &fields,

@@ -168,7 +168,11 @@ mod tests {
     #[test]
     fn monotone_ramp_is_a_path() {
         // 1D ramp: single maximum at the top, every vertex chains down.
-        let t = tree_of((0..8).map(|i| i as f64).collect(), [8, 1, 1], Connectivity::Six);
+        let t = tree_of(
+            (0..8).map(|i| i as f64).collect(),
+            [8, 1, 1],
+            Connectivity::Six,
+        );
         let leaves: Vec<u32> = (0..8).filter(|&i| t.is_leaf(i)).collect();
         assert_eq!(leaves, vec![7]);
         // Chain: 7 -> 6 -> ... -> 0, root at 0.
@@ -216,9 +220,7 @@ mod tests {
     #[test]
     fn down_pointers_descend_in_sweep_order() {
         let b = BBox3::from_dims([4, 4, 4]);
-        let f = ScalarField::from_fn(b, |p| {
-            ((p[0] * 7 + p[1] * 13 + p[2] * 29) % 11) as f64
-        });
+        let f = ScalarField::from_fn(b, |p| ((p[0] * 7 + p[1] * 13 + p[2] * 29) % 11) as f64);
         let t = augmented_join_tree(&f, &b, Connectivity::Six);
         for i in 0..f.len() as u32 {
             if let Some(d) = t.down[i as usize] {

@@ -156,9 +156,7 @@ pub fn reduce_to_subtree(
                 id: tree.vertex_id(i),
                 value: field.get_linear(i as usize),
                 degree: degree[i as usize],
-                potential: potential[i as usize]
-                    .take()
-                    .unwrap_or_else(|| vec![source]),
+                potential: potential[i as usize].take().unwrap_or_else(|| vec![source]),
                 pinned: false,
             });
         }
@@ -192,7 +190,10 @@ mod tests {
         let b = BBox3::from_dims([6, 6, 6]);
         let f = hash_field(b);
         let t = augmented_join_tree(&f, &b, Connectivity::Six);
-        let sub = reduce_to_subtree(&t, &f, 0, |_| InterfaceInfo { potential: vec![0], keep: false });
+        let sub = reduce_to_subtree(&t, &f, 0, |_| InterfaceInfo {
+            potential: vec![0],
+            keep: false,
+        });
         assert_eq!(sub.verts.len(), t.criticals().count());
         assert!(sub.verts.len() < f.len());
     }
@@ -213,7 +214,10 @@ mod tests {
                 full.add_arc(t.vertex_id(i), t.vertex_id(d));
             }
         }
-        let sub = reduce_to_subtree(&t, &f, 0, |_| InterfaceInfo { potential: vec![0], keep: false });
+        let sub = reduce_to_subtree(&t, &f, 0, |_| InterfaceInfo {
+            potential: vec![0],
+            keep: false,
+        });
         let mut s = StreamingMergeTree::new();
         sub.stream_into(&mut s);
         let (glued, _) = s.finish();
@@ -255,8 +259,7 @@ mod tests {
             potential: if p[0] == 0 { vec![0, 3] } else { vec![0] },
             keep: p[0] == 0,
         });
-        let val =
-            |id: VertexId| sub.verts.iter().find(|v| v.id == id).unwrap().value;
+        let val = |id: VertexId| sub.verts.iter().find(|v| v.id == id).unwrap().value;
         for &(a, c) in &sub.edges {
             assert!(crate::types::sweep_before((val(a), a), (val(c), c)));
         }

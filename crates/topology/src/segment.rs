@@ -203,8 +203,7 @@ mod tests {
             ((x * 1.3).sin() * (y * 0.9).cos() * 10.0).round()
         });
         let tree = crate::distributed::serial_merge_tree(&f, Connectivity::TwentySix);
-        let maxima: std::collections::HashSet<VertexId> =
-            tree.maxima().into_iter().collect();
+        let maxima: std::collections::HashSet<VertexId> = tree.maxima().into_iter().collect();
         let s = segment_superlevel(&f, &b, 1.0, Connectivity::TwentySix, None);
         for feat in s.features() {
             assert!(maxima.contains(&feat), "label {feat} is not a tree maximum");

@@ -188,8 +188,14 @@ impl StreamingMergeTree {
     /// The edge may connect vertices in any order and arbitrary position;
     /// chains are merged to maintain the join tree of all edges seen.
     pub fn insert_edge(&mut self, a: VertexId, b: VertexId) {
-        assert!(self.entries.contains_key(&a), "edge endpoint {a} not declared");
-        assert!(self.entries.contains_key(&b), "edge endpoint {b} not declared");
+        assert!(
+            self.entries.contains_key(&a),
+            "edge endpoint {a} not declared"
+        );
+        assert!(
+            self.entries.contains_key(&b),
+            "edge endpoint {b} not declared"
+        );
         assert_ne!(a, b, "self-loop");
         self.stats.edges += 1;
 
@@ -346,7 +352,10 @@ mod tests {
         // Path graph 0(10)-2(7)-3(1) plus edge 1(8)-3: maxima 0 and 1
         // merge at 3.
         let mut s = StreamingMergeTree::new();
-        declare_all(&mut s, &[(0, 10.0, 1), (2, 7.0, 2), (3, 1.0, 2), (1, 8.0, 1)]);
+        declare_all(
+            &mut s,
+            &[(0, 10.0, 1), (2, 7.0, 2), (3, 1.0, 2), (1, 8.0, 1)],
+        );
         s.insert_edge(0, 2);
         s.insert_edge(2, 3);
         s.insert_edge(1, 3);

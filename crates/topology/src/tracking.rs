@@ -139,8 +139,7 @@ mod tests {
     #[test]
     fn moving_bump_is_one_track() {
         // A bump advected 1 cell/step overlaps itself: one long track.
-        let segs: Vec<Segmentation> =
-            (0..8).map(|t| seg_of(&bump(5.0 + t as f64, 24))).collect();
+        let segs: Vec<Segmentation> = (0..8).map(|t| seg_of(&bump(5.0 + t as f64, 24))).collect();
         let tracks = track_features(&segs, 1);
         assert_eq!(tracks.len(), 1);
         assert_eq!(tracks[0].length(), 8);
@@ -151,8 +150,9 @@ mod tests {
     fn fast_bump_breaks_track() {
         // Advected 10 cells/step: no overlap, a new track per step. This
         // is the paper's Fig. 1 failure mode when sampling too coarsely.
-        let segs: Vec<Segmentation> =
-            (0..4).map(|t| seg_of(&bump(3.0 + 10.0 * t as f64, 64))).collect();
+        let segs: Vec<Segmentation> = (0..4)
+            .map(|t| seg_of(&bump(3.0 + 10.0 * t as f64, 64)))
+            .collect();
         let tracks = track_features(&segs, 1);
         assert_eq!(tracks.len(), 4);
         assert!(tracks.iter().all(|t| t.length() == 1));

@@ -64,7 +64,10 @@ impl MergeTree {
             ),
             "arc must descend: {upper} -> {lower}"
         );
-        assert!(self.down[u as usize].is_none(), "{upper} already has a down arc");
+        assert!(
+            self.down[u as usize].is_none(),
+            "{upper} already has a down arc"
+        );
         self.down[u as usize] = Some(l);
     }
 
@@ -360,10 +363,7 @@ impl MergeTree {
             }
             absorb.insert(b.leaf, cur);
         }
-        SimplifyMap {
-            surviving,
-            absorb,
-        }
+        SimplifyMap { surviving, absorb }
     }
 }
 
@@ -570,7 +570,7 @@ mod tests {
         assert_eq!(reps.get(&1), Some(&1));
         assert!(!reps.contains_key(&2)); // saddle (6) below threshold
         assert!(!reps.contains_key(&3)); // c (4) below threshold
-        // At t = 5: a and b merged through the saddle; c separate.
+                                         // At t = 5: a and b merged through the saddle; c separate.
         let reps = t.feature_representatives(5.0);
         assert_eq!(reps.get(&0), Some(&0));
         assert_eq!(reps.get(&1), Some(&0));

@@ -75,11 +75,7 @@ impl Connectivity {
     }
 
     /// Neighbors of `p` inside `bbox`.
-    pub fn neighbors_in(
-        self,
-        p: [usize; 3],
-        bbox: &BBox3,
-    ) -> impl Iterator<Item = [usize; 3]> {
+    pub fn neighbors_in(self, p: [usize; 3], bbox: &BBox3) -> impl Iterator<Item = [usize; 3]> {
         let b = *bbox;
         self.offsets().into_iter().filter_map(move |d| {
             let mut q = [0usize; 3];
@@ -178,9 +174,13 @@ mod tests {
     #[test]
     fn neighbors_clipped_at_boundary() {
         let b = BBox3::from_dims([3, 3, 3]);
-        let corner: Vec<_> = Connectivity::TwentySix.neighbors_in([0, 0, 0], &b).collect();
+        let corner: Vec<_> = Connectivity::TwentySix
+            .neighbors_in([0, 0, 0], &b)
+            .collect();
         assert_eq!(corner.len(), 7);
-        let center: Vec<_> = Connectivity::TwentySix.neighbors_in([1, 1, 1], &b).collect();
+        let center: Vec<_> = Connectivity::TwentySix
+            .neighbors_in([1, 1, 1], &b)
+            .collect();
         assert_eq!(center.len(), 26);
         let face6: Vec<_> = Connectivity::Six.neighbors_in([0, 1, 1], &b).collect();
         assert_eq!(face6.len(), 5);

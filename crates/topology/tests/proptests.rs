@@ -5,14 +5,13 @@
 //! gluing is order-independent.
 
 use proptest::prelude::*;
+use sitra_mesh::{exchange_ghosts, BBox3, Decomposition, ScalarField};
 use sitra_topology::{
     distributed::{
-        distributed_merge_tree, glue_subtrees, in_situ_subtrees, serial_merge_tree,
-        BoundaryPolicy,
+        distributed_merge_tree, glue_subtrees, in_situ_subtrees, serial_merge_tree, BoundaryPolicy,
     },
     segment_superlevel, track_features, Connectivity, StreamingMergeTree,
 };
-use sitra_mesh::{exchange_ghosts, BBox3, Decomposition, ScalarField};
 
 /// Small random-ish fields with plenty of ties (few distinct values) to
 /// stress the simulation-of-simplicity tie-breaking.

@@ -222,11 +222,8 @@ mod tests {
     #[test]
     fn empty_transfer_yields_transparent_image() {
         let f = wavy(BBox3::from_dims([4, 4, 4]));
-        let clear = TransferFunction::new(
-            0.0,
-            1.0,
-            vec![(0.0, [0.0; 4]), (1.0, [1.0, 1.0, 1.0, 0.0])],
-        );
+        let clear =
+            TransferFunction::new(0.0, 1.0, vec![(0.0, [0.0; 4]), (1.0, [1.0, 1.0, 1.0, 0.0])]);
         let v = View::full_res(f.bbox(), ViewAxis::X, false);
         let img = render_serial(&f, &v, &clear);
         assert!(img.pixels().iter().all(|p| p[3] == 0.0));
@@ -260,8 +257,9 @@ mod tests {
         let g = BBox3::from_dims([12, 10, 9]);
         let whole = wavy(g);
         let d = Decomposition::new(g, parts);
-        let fields: Vec<ScalarField> =
-            (0..d.rank_count()).map(|r| whole.extract(&d.block(r))).collect();
+        let fields: Vec<ScalarField> = (0..d.rank_count())
+            .map(|r| whole.extract(&d.block(r)))
+            .collect();
         let (ghosted, _) = exchange_ghosts(&d, &fields, 1);
         let view = View {
             step: 0.5,

@@ -23,7 +23,11 @@ impl TransferFunction {
         assert!(hi > lo, "empty scalar range");
         assert!(points.len() >= 2, "need at least two control points");
         assert_eq!(points[0].0, 0.0, "first control point must sit at 0");
-        assert_eq!(points.last().unwrap().0, 1.0, "last control point must sit at 1");
+        assert_eq!(
+            points.last().unwrap().0,
+            1.0,
+            "last control point must sit at 1"
+        );
         for w in points.windows(2) {
             assert!(w[0].0 < w[1].0, "positions must strictly increase");
         }
@@ -150,13 +154,21 @@ mod tests {
         let _ = TransferFunction::new(
             0.0,
             1.0,
-            vec![(0.0, [0.0; 4]), (0.8, [0.0; 4]), (0.5, [0.0; 4]), (1.0, [0.0; 4])],
+            vec![
+                (0.0, [0.0; 4]),
+                (0.8, [0.0; 4]),
+                (0.5, [0.0; 4]),
+                (1.0, [0.0; 4]),
+            ],
         );
     }
 
     #[test]
     fn presets_cover_range() {
-        for tf in [TransferFunction::hot(0.0, 1.0), TransferFunction::diverging(-1.0, 1.0)] {
+        for tf in [
+            TransferFunction::hot(0.0, 1.0),
+            TransferFunction::diverging(-1.0, 1.0),
+        ] {
             for i in 0..=20 {
                 let v = tf.lo() + (tf.hi() - tf.lo()) * i as f64 / 20.0;
                 let c = tf.sample(v);

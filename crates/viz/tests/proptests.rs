@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use sitra_mesh::{downsample, exchange_ghosts, BBox3, Decomposition, ScalarField};
 use sitra_viz::{
-    composite_ordered, render_block, render_serial, HybridRenderer, Image, TransferFunction,
-    View, ViewAxis,
+    composite_ordered, render_block, render_serial, HybridRenderer, Image, TransferFunction, View,
+    ViewAxis,
 };
 
 fn arb_field_decomp() -> impl Strategy<Value = (ScalarField, Decomposition)> {

@@ -12,9 +12,7 @@
 //! # frames appear under target/monitoring/
 //! ```
 
-use sitra::core::{
-    run_pipeline, AnalysisSpec, HybridViz, InSituViz, PipelineConfig, Placement,
-};
+use sitra::core::{run_pipeline, AnalysisSpec, HybridViz, InSituViz, PipelineConfig, Placement};
 use sitra::mesh::BBox3;
 use sitra::sim::{SimConfig, Simulation};
 use sitra::viz::{TransferFunction, View, ViewAxis};
@@ -59,8 +57,16 @@ fn main() {
     std::fs::create_dir_all(dir).unwrap();
     println!("step | hybrid RMSE vs full-res | payload (KiB) | frames");
     for step in 1..=STEPS as u64 {
-        let full = result.output("viz-insitu", step).unwrap().as_image().unwrap();
-        let hybrid = result.output("viz-hybrid", step).unwrap().as_image().unwrap();
+        let full = result
+            .output("viz-insitu", step)
+            .unwrap()
+            .as_image()
+            .unwrap();
+        let hybrid = result
+            .output("viz-hybrid", step)
+            .unwrap()
+            .as_image()
+            .unwrap();
         let f1 = dir.join(format!("step{step:03}_insitu.ppm"));
         let f2 = dir.join(format!("step{step:03}_hybrid.ppm"));
         full.write_ppm(&f1, [0.0; 3]).unwrap();

@@ -1,0 +1,87 @@
+//! Remote staging: the simulation stages its hybrid analyses through a
+//! space server on a real TCP socket, with bucket workers connecting
+//! over loopback — the same wiring as running `sitra-staged` and worker
+//! processes on separate nodes, collapsed into one process for the demo.
+//!
+//! ```text
+//! cargo run --release --example remote_staging
+//! ```
+
+use sitra::core::remote::{run_bucket_worker, BucketWorkerOpts};
+use sitra::core::{run_pipeline, AnalysisSpec, HybridViz, PipelineConfig, Placement};
+use sitra::dataspaces::SpaceServer;
+use sitra::mesh::BBox3;
+use sitra::net::Addr;
+use sitra::sim::{SimConfig, Simulation};
+use sitra::viz::{TransferFunction, View, ViewAxis};
+use std::sync::Arc;
+
+const DIMS: [usize; 3] = [32, 24, 20];
+const STEPS: usize = 5;
+const WORKERS: usize = 2;
+
+fn specs() -> Vec<AnalysisSpec> {
+    vec![AnalysisSpec::new(
+        Arc::new(HybridViz {
+            stride: 2,
+            view: View::full_res(BBox3::from_dims(DIMS), ViewAxis::Z, false),
+            tf: TransferFunction::hot(250.0, 2500.0),
+        }),
+        Placement::Hybrid,
+        1,
+    )]
+}
+
+fn main() {
+    // 1. The staging service — in production this is `sitra-staged
+    //    --listen tcp://…` on dedicated nodes.
+    let bind: Addr = "tcp://127.0.0.1:0".parse().unwrap();
+    let server = SpaceServer::start(&bind, 2).expect("start staging server");
+    let endpoint = server.addr();
+    println!("staging service listening on {endpoint}");
+
+    // 2. Bucket workers — in production, separate `run_bucket_worker`
+    //    processes pointed at the same endpoint.
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let ep = endpoint.clone();
+            std::thread::spawn(move || {
+                run_bucket_worker(&ep, &specs(), w as u32, &BucketWorkerOpts::default())
+                    .expect("bucket worker")
+            })
+        })
+        .collect();
+
+    // 3. The simulation driver: identical pipeline code, plus one line
+    //    pointing hybrid staging at the remote endpoint.
+    let mut sim = Simulation::new(SimConfig::small(DIMS, 42));
+    let mut cfg =
+        PipelineConfig::new([2, 2, 1], 2, STEPS).with_staging_endpoint(endpoint.to_string());
+    cfg.analyses = specs();
+    let result = run_pipeline(&mut sim, &cfg);
+
+    let completed: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let stats = server.sched_stats();
+    println!(
+        "{} steps rendered in-transit by {} remote workers ({} tasks assigned, {} requeued)",
+        STEPS, WORKERS, stats.tasks_assigned, stats.tasks_requeued
+    );
+    for step in 1..=STEPS as u64 {
+        let img = result
+            .output("viz-hybrid", step)
+            .and_then(|o| o.as_image())
+            .expect("image every step");
+        let bright = img
+            .pixels()
+            .iter()
+            .filter(|p| p[0] + p[1] + p[2] > 0.5)
+            .count();
+        println!(
+            "  step {step}: {}x{} image, {bright} bright pixels",
+            img.width(),
+            img.height()
+        );
+    }
+    println!("workers completed {completed} tasks; shutting down");
+    server.shutdown();
+}

@@ -2,8 +2,8 @@
 //! public API a downstream user sees, exercised across crates.
 
 use sitra::core::{
-    run_pipeline, AnalysisSpec, HybridStats, HybridTopology, HybridViz, InSituViz,
-    PipelineConfig, Placement,
+    run_pipeline, AnalysisSpec, HybridStats, HybridTopology, HybridViz, InSituViz, PipelineConfig,
+    Placement,
 };
 use sitra::mesh::{BBox3, Decomposition, ScalarField};
 use sitra::sim::{SimConfig, Simulation, Variable};
@@ -41,8 +41,12 @@ fn simulation_feeds_all_analytics_consistently() {
     let blocks: Vec<ScalarField> = (0..4).map(|r| whole.extract(&d.block(r))).collect();
 
     // Topology: distributed == serial.
-    let (dist, _) =
-        distributed_merge_tree(&d, &blocks, Connectivity::Six, BoundaryPolicy::BoundaryMaxima);
+    let (dist, _) = distributed_merge_tree(
+        &d,
+        &blocks,
+        Connectivity::Six,
+        BoundaryPolicy::BoundaryMaxima,
+    );
     assert_eq!(
         dist.canonical(),
         serial_merge_tree(&whole, Connectivity::Six).canonical()
@@ -95,8 +99,22 @@ fn pipeline_smoke_through_facade() {
     let mut sim = Simulation::new(SimConfig::small(dims, 8));
     let result = run_pipeline(&mut sim, &cfg);
     assert_eq!(result.dropped_tasks, 0);
-    assert_eq!(result.outputs.iter().filter(|(n, _, _)| n == "viz-insitu").count(), 3);
-    assert_eq!(result.outputs.iter().filter(|(n, _, _)| n == "topology").count(), 1);
+    assert_eq!(
+        result
+            .outputs
+            .iter()
+            .filter(|(n, _, _)| n == "viz-insitu")
+            .count(),
+        3
+    );
+    assert_eq!(
+        result
+            .outputs
+            .iter()
+            .filter(|(n, _, _)| n == "topology")
+            .count(),
+        1
+    );
     // Machine model is reachable and sane.
     let spec = sitra::machine::ClusterSpec::jaguar_4896();
     assert_eq!(spec.total_cores(), 4896);

@@ -1,0 +1,199 @@
+//! Remote staging end-to-end: the pipeline driver stages hybrid
+//! analyses through a [`SpaceServer`] over **real TCP loopback**, with
+//! separate bucket-worker threads pulling tasks exactly as external
+//! `sitra-staged` consumers would — and the outputs must be
+//! byte-identical to the fully in-process pipeline.
+//!
+//! One worker is configured to drop its connection mid-request after
+//! its first completed task (a consumer crash at the worst moment: a
+//! task may already be popped for it). The server must requeue that
+//! task and another worker must finish it: no output may be missing and
+//! the scheduler stats must show exactly one requeue.
+
+use sitra::core::remote::{run_bucket_worker, BucketWorkerOpts};
+use sitra::core::wire::encode_analysis_output;
+use sitra::core::{
+    run_pipeline, AnalysisSpec, FeatureStats, HybridStats, HybridViz, PipelineConfig,
+    PipelineResult, Placement,
+};
+use sitra::dataspaces::SpaceServer;
+use sitra::mesh::BBox3;
+use sitra::net::{Addr, Backoff};
+use sitra::sim::{SimConfig, Simulation};
+use sitra::topology::distributed::BoundaryPolicy;
+use sitra::topology::Connectivity;
+use sitra::viz::{TransferFunction, View, ViewAxis};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIMS: [usize; 3] = [16, 12, 8];
+const SEED: u64 = 4242;
+const STEPS: usize = 4;
+const WORKERS: usize = 3;
+
+fn sim() -> Simulation {
+    Simulation::new(SimConfig::small(DIMS, SEED))
+}
+
+/// The same analysis roster for the driver and every worker. Both
+/// hybrid analyses use buffered (rank-ordered) aggregation, so local
+/// and remote runs see identical part lists.
+fn specs() -> Vec<AnalysisSpec> {
+    vec![
+        AnalysisSpec::new(
+            Arc::new(HybridViz {
+                stride: 2,
+                view: View::full_res(BBox3::from_dims(DIMS), ViewAxis::Z, false),
+                tf: TransferFunction::hot(250.0, 2500.0),
+            }),
+            Placement::Hybrid,
+            1,
+        ),
+        AnalysisSpec::new(
+            Arc::new(FeatureStats {
+                threshold: 1500.0,
+                conn: Connectivity::Six,
+                policy: BoundaryPolicy::BoundaryMaxima,
+            }),
+            Placement::Hybrid,
+            2,
+        ),
+        // A fully in-situ analysis rides along to prove the remote mode
+        // leaves the synchronous path untouched.
+        AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::InSitu, 1),
+    ]
+}
+
+fn config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::new([2, 2, 1], 3, STEPS);
+    cfg.analyses = specs();
+    cfg
+}
+
+fn sorted_encoded_outputs(result: &PipelineResult) -> Vec<(String, u64, Vec<u8>)> {
+    let mut v: Vec<(String, u64, Vec<u8>)> = result
+        .outputs
+        .iter()
+        .map(|(label, step, out)| (label.clone(), *step, encode_analysis_output(out).to_vec()))
+        .collect();
+    v.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    v
+}
+
+#[test]
+fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
+    // Reference: the fully in-process pipeline.
+    let local = run_pipeline(&mut sim(), &config());
+    assert_eq!(local.dropped_tasks, 0);
+
+    // Remote: a space server on a real TCP socket plus worker threads
+    // connecting through loopback, as separate processes would.
+    let bind: Addr = "tcp://127.0.0.1:0".parse().unwrap();
+    let server = SpaceServer::start(&bind, 2).expect("start staging server");
+    let endpoint = server.addr();
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let ep = endpoint.clone();
+            std::thread::Builder::new()
+                .name(format!("remote-bucket-{w}"))
+                .spawn(move || {
+                    let opts = BucketWorkerOpts {
+                        backoff: Backoff::default(),
+                        request_timeout: Duration::from_millis(200),
+                        // The first worker's first act is a doomed
+                        // request: it parks a server-side bucket, drops
+                        // the connection, and the task assigned to that
+                        // dead bucket must be requeued.
+                        drop_connection_after: (w == 0).then_some(0),
+                    };
+                    run_bucket_worker(&ep, &specs(), w as u32, &opts).expect("bucket worker")
+                })
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let remote = run_pipeline(
+        &mut sim(),
+        &config().with_staging_endpoint(endpoint.to_string()),
+    );
+    let completed: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+
+    // Byte-identical outputs: every (analysis, step) of the in-process
+    // run, encoded, matches the remote run exactly.
+    let local_enc = sorted_encoded_outputs(&local);
+    let remote_enc = sorted_encoded_outputs(&remote);
+    assert_eq!(
+        local_enc.len(),
+        remote_enc.len(),
+        "output sets differ in size"
+    );
+    for (l, r) in local_enc.iter().zip(&remote_enc) {
+        assert_eq!(l.0, r.0, "label order mismatch");
+        assert_eq!(l.1, r.1, "step mismatch for {}", l.0);
+        assert_eq!(
+            l.2, r.2,
+            "outputs of {}@{} are not byte-identical",
+            l.0, l.1
+        );
+    }
+
+    // The injected connection drop lost no task: one requeue, and every
+    // assignment is accounted for (original submissions + the retry).
+    let stats = server.sched_stats();
+    let hybrid_tasks = local
+        .outputs
+        .iter()
+        .filter(|(label, _, _)| label != "stats")
+        .count() as u64;
+    assert_eq!(stats.tasks_submitted, hybrid_tasks);
+    assert_eq!(
+        stats.tasks_requeued, 1,
+        "expected exactly one requeued task"
+    );
+    assert_eq!(
+        stats.tasks_assigned,
+        stats.tasks_submitted + stats.tasks_requeued,
+        "assignments must cover submissions plus the requeued retry"
+    );
+    assert_eq!(completed as u64, stats.tasks_submitted);
+
+    // The driver evicted every step's staging objects on the way out.
+    assert_eq!(server.space().stats().resident_bytes, 0);
+    server.shutdown();
+}
+
+#[test]
+fn inproc_remote_staging_roundtrip() {
+    // Same deployment over the deterministic in-process transport: a
+    // quick guard that the remote path works without OS sockets.
+    let addr: Addr = "inproc://remote-staging-test".parse().unwrap();
+    let server = SpaceServer::start(&addr, 1).expect("start staging server");
+    let endpoint = server.addr();
+    let worker = {
+        let ep = endpoint.clone();
+        std::thread::spawn(move || {
+            run_bucket_worker(&ep, &specs(), 0, &BucketWorkerOpts::default())
+                .expect("bucket worker")
+        })
+    };
+    let remote = run_pipeline(
+        &mut sim(),
+        &config().with_staging_endpoint(endpoint.to_string()),
+    );
+    let completed = worker.join().unwrap();
+    let local = run_pipeline(&mut sim(), &config());
+    assert_eq!(
+        sorted_encoded_outputs(&local),
+        sorted_encoded_outputs(&remote)
+    );
+    assert_eq!(
+        completed,
+        local
+            .outputs
+            .iter()
+            .filter(|(l, _, _)| l != "stats")
+            .count()
+    );
+    server.shutdown();
+}

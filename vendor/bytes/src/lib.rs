@@ -1,0 +1,413 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the `bytes` API this workspace uses: a
+//! cheaply cloneable, reference-counted, sliceable byte buffer
+//! ([`Bytes`]), a growable builder ([`BytesMut`]), and the [`Buf`] /
+//! [`BufMut`] cursor traits. Clones and slices share the underlying
+//! allocation (no deep copies), matching the zero-copy semantics the
+//! DART transport tests assert.
+
+use std::fmt;
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+enum Repr {
+    /// Borrowed from static storage; never deallocated.
+    Static(&'static [u8]),
+    /// Shared heap allocation.
+    Shared(Arc<[u8]>),
+}
+
+impl Clone for Repr {
+    fn clone(&self) -> Self {
+        match self {
+            Repr::Static(s) => Repr::Static(s),
+            Repr::Shared(a) => Repr::Shared(Arc::clone(a)),
+        }
+    }
+}
+
+/// A cheaply cloneable, immutable, sliceable chunk of contiguous memory.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// A buffer viewing static storage (no allocation).
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(s),
+            off: 0,
+            len: s.len(),
+        }
+    }
+
+    /// Copy `src` into a new shared buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes::from(src.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn storage(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.storage()[self.off..self.off + self.len]
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    /// Both halves share the original allocation.
+    ///
+    /// # Panics
+    /// Panics when `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(
+            at <= self.len,
+            "split_to out of bounds: {at} > {}",
+            self.len
+        );
+        let head = Bytes {
+            repr: self.repr.clone(),
+            off: self.off,
+            len: at,
+        };
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// A sub-view sharing the same allocation.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice out of bounds");
+        Bytes {
+            repr: self.repr.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            repr: Repr::Shared(Arc::from(v)),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(s: &'static [u8; N]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.len)
+    }
+}
+
+/// A growable byte buffer for building payloads; [`BytesMut::freeze`]
+/// converts it into an immutable shared [`Bytes`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Convert into an immutable shared buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read cursor over a byte buffer. Fixed-width reads are little-endian
+/// when suffixed `_le`. All reads panic on underflow, like the real
+/// `bytes` crate — callers that face untrusted input must check
+/// [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read a `u8`.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len, "advance out of bounds");
+        self.off += n;
+        self.len -= n;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+/// Write cursor appending to a byte buffer. Fixed-width writes are
+/// little-endian when suffixed `_le`.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Append a `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Bytes::from(vec![1u8; 64]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_to_partitions() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn roundtrip_le() {
+        let mut m = BytesMut::with_capacity(32);
+        m.put_u8(7);
+        m.put_u32_le(0xDEAD);
+        m.put_u64_le(u64::MAX - 3);
+        m.put_f64_le(-1.5);
+        m.put_i64_le(-42);
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xDEAD);
+        assert_eq!(b.get_u64_le(), u64::MAX - 3);
+        assert_eq!(b.get_f64_le(), -1.5);
+        assert_eq!(b.get_i64_le(), -42);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn static_bytes() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(b.slice(1..3), Bytes::from(vec![b'e', b'l']));
+    }
+}

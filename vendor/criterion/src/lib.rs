@@ -1,0 +1,146 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `criterion_group!`/`criterion_main!`/`benchmark_group`
+//! surface this workspace's benches use, with a deliberately tiny
+//! measurement loop: each benchmark is timed over a handful of
+//! iterations and a single `name/id: time/iter` line is printed. The
+//! binaries stay `harness = false` and tolerate libtest-style arguments
+//! (`--test`, `--bench`, filters), so both `cargo bench` and
+//! `cargo test` can run them quickly.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (one per bench binary).
+pub struct Criterion {
+    /// Fast mode: run each routine a single timed iteration (set when
+    /// the binary is invoked with `--test`, as `cargo test` does).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark: `routine` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut b = Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        routine(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: {:?}/iter ({} iters)",
+            self.name, id, per_iter, b.iters
+        );
+        self
+    }
+
+    /// Finish the group (no-op; reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over this bencher's sample budget (plus one
+    /// untimed warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group.sample_size(5).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        // warm-up + 1 timed iteration in test mode
+        assert_eq!(calls, 2);
+    }
+}

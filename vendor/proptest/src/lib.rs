@@ -1,0 +1,606 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! range/tuple/`Just`/`prop_oneof!`/collection/array strategies,
+//! `.prop_map`/`.prop_flat_map`, the `proptest!` test macro with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, and
+//! `prop_assert!`/`prop_assert_eq!`. Case generation is deterministic
+//! (seeded per test name and case index) and there is **no shrinking**:
+//! a failure reports the case number so it can be re-run under a
+//! debugger by construction.
+
+use std::ops::{Range, RangeInclusive};
+
+// ---- RNG ----
+
+/// Deterministic splitmix64 generator driving all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with the given seed.
+    pub fn seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---- errors & config ----
+
+/// A failed property case (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Runner configuration. Only `cases` is modelled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drive one property: `cases` deterministic iterations, panicking on
+/// the first failure with the case index (called by `proptest!`).
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // Seed from the test name so sibling properties see distinct streams.
+    let mut base = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        base ^= b as u64;
+        base = base.wrapping_mul(0x100_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(e) = property(&mut rng) {
+            panic!(
+                "proptest `{name}` failed at case {case}/{}: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+// ---- strategy core ----
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds
+    /// out of it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (`prop_oneof!` arms).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        (**self).gen(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn gen(&self, rng: &mut TestRng) -> S::Value {
+        (**self).gen(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen(rng)).gen(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given non-empty set of alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[idx].gen(rng)
+    }
+}
+
+// ---- `any` ----
+
+/// Values generatable without parameters (`any::<T>()`).
+pub trait ArbitraryValue {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full-range strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---- range strategies ----
+
+macro_rules! impl_range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as u128 - self.start as u128;
+                self.start + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                // +1 cannot overflow in u128 even for the full u64 range.
+                let span = hi as u128 - lo as u128 + 1;
+                lo + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as i128 - self.start as i128;
+                (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi - lo + 1;
+                (lo + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_range_strategy_float!(f32, f64);
+
+// ---- tuple strategies ----
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7, I:8)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7, I:8, J:9)
+}
+
+// ---- `prop::` namespace ----
+
+/// Container and array strategy constructors (`prop::collection`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Admissible collection sizes (inclusive bounds). Built from
+        /// the range forms proptest accepts, pinning inference to
+        /// `usize` the way proptest's own `SizeRange` does.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+        impl From<::std::ops::Range<usize>> for SizeRange {
+            fn from(r: ::std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+        impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+                assert!(r.start() <= r.end(), "empty size range");
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// `Vec` of `elem` values with a length drawn from `size`.
+        pub fn vec<E: Strategy>(elem: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<E> {
+            elem: E,
+            size: SizeRange,
+        }
+
+        impl<E: Strategy> Strategy for VecStrategy<E> {
+            type Value = Vec<E::Value>;
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                let span = self.size.hi - self.size.lo + 1;
+                let n = self.size.lo + (rng.next_u64() % span as u64) as usize;
+                (0..n).map(|_| self.elem.gen(rng)).collect()
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use super::super::{Strategy, TestRng};
+
+        /// `[T; N]` with each element drawn from `elem`.
+        pub struct UniformArray<E, const N: usize> {
+            elem: E,
+        }
+
+        impl<E: Strategy, const N: usize> Strategy for UniformArray<E, N> {
+            type Value = [E::Value; N];
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                std::array::from_fn(|_| self.elem.gen(rng))
+            }
+        }
+
+        /// `[T; 3]` of `elem` values.
+        pub fn uniform3<E: Strategy>(elem: E) -> UniformArray<E, 3> {
+            UniformArray { elem }
+        }
+
+        /// `[T; 4]` of `elem` values.
+        pub fn uniform4<E: Strategy>(elem: E) -> UniformArray<E, 4> {
+            UniformArray { elem }
+        }
+    }
+}
+
+// ---- macros ----
+
+/// Uniform choice between strategy expressions of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Fail the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_proptest(&config, stringify!($name), |prop_rng| {
+                    $(let $pat = $crate::Strategy::gen(&($strat), prop_rng);)+
+                    #[allow(unused_mut)]
+                    let mut case =
+                        || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        };
+                    case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u64>> {
+        prop::collection::vec(0u64..100, 0..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 1u64..=u64::MAX, z in -5i64..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y >= 1);
+            prop_assert!((-5..5).contains(&z));
+        }
+
+        #[test]
+        fn composite_strategies(v in small_vec(),
+                                arr in prop::array::uniform3(0.0..1.0f64),
+                                (a, b) in (0usize..4, any::<bool>()),
+                                pick in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(arr.iter().all(|f| (0.0..1.0).contains(f)));
+            prop_assert!(a < 4);
+            let _ = b;
+            prop_assert!(pick == 1 || pick == 2);
+            if v.is_empty() {
+                return Ok(());
+            }
+            let mut seen = 0usize;
+            for _ in v.iter() {
+                seen += 1;
+            }
+            prop_assert_eq!(v.len(), seen);
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (2usize..6).prop_flat_map(|n| (Just(n), 0..n))) {
+            prop_assert!(pair.1 < pair.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = super::TestRng::seed(42);
+        let mut r2 = super::TestRng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        let config = ProptestConfig::with_cases(8);
+        super::run_proptest(&config, "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

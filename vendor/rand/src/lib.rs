@@ -1,0 +1,92 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! A small splitmix64/xoshiro-style PRNG behind a subset of the rand
+//! 0.10 API: [`rng`], [`Rng::random_range`], [`SeedableRng`]. Not
+//! cryptographically secure — statistics-quality only.
+
+use std::ops::Range;
+
+/// Core RNG trait (API subset).
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value in `range` (half-open).
+    fn random_range(&mut self, range: Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        range.start + self.next_u64() % span
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A random `bool`.
+    fn random_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Construction from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The default splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Vigna): passes BigCrush for the uses we have.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A fresh generator seeded from the system clock and thread identity.
+pub fn rng() -> StdRng {
+    use std::hash::{BuildHasher, Hasher, RandomState};
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(0);
+    StdRng::seed_from_u64(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let f = r.random_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the API subset this workspace uses — `into_par_iter()`,
+//! `par_chunks()`, `map`, `collect`, `reduce` — with real parallelism:
+//! items are split into contiguous chunks, one per available core, and
+//! executed on scoped threads. Output order matches input order, so
+//! `collect` is deterministic regardless of scheduling.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+/// How many worker threads a parallel call may use.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items`, in parallel, preserving order.
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `workers` contiguous chunks of near-equal size.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut it = items.into_iter();
+    for w in 0..workers {
+        let take = base + usize::from(w < extra);
+        chunks.push(it.by_ref().take(take).collect());
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// An eagerly materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A pending parallel map; consumed by [`ParMap::collect`] or
+/// [`ParMap::reduce`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Execute and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Execute, then fold the results with `op` starting from
+    /// `identity()` (rayon's reduce signature).
+    pub fn reduce(self, identity: impl Fn() -> R, op: impl Fn(R, R) -> R) -> R {
+        par_map_vec(self.items, &self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Materialize the items for parallel execution.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Parallel chunked iteration over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Like `slice::chunks`, as a parallel iterator.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_reduce() {
+        let data: Vec<u64> = (1..=10_000).collect();
+        let sum = data
+            .par_chunks(128)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derive macros for the value-tree `serde` stand-in, written against
+//! the bare `proc_macro` API (no `syn`/`quote` available offline). The
+//! supported input shapes are the ones this workspace uses:
+//!
+//! * structs with named fields (with optional `#[serde(default)]` on a
+//!   field),
+//! * enums whose variants are unit or newtype.
+//!
+//! Anything else fails loudly at compile time rather than silently
+//! producing a wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present: absent input falls back to Default.
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// Unit variant when false; newtype (single unnamed payload) when true.
+    newtype: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// True when an attribute token group is `serde(... default ...)`.
+fn is_serde_default(attr_body: &TokenStream) -> bool {
+    let mut it = attr_body.clone().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading attributes, returning whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut has_default = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if is_serde_default(&g.stream()) {
+                            has_default = true;
+                        }
+                    }
+                    other => panic!("malformed attribute after `#`: {other:?}"),
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let default = skip_attrs(&mut it);
+        skip_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: tokens until a top-level comma. Generic angle
+        // brackets contain no top-level commas as tokens because `<...>`
+        // is not a delimiter group, so track depth manually.
+        let mut angle_depth = 0i32;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    it.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    it.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    it.next();
+                    break;
+                }
+                _ => {
+                    it.next();
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let mut newtype = false;
+        match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                newtype = true;
+                it.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("struct-like enum variant `{name}` is not supported by the serde stand-in")
+            }
+            _ => {}
+        }
+        // Consume a trailing comma if present.
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, newtype });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut it = input.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic type `{name}` is not supported by the serde stand-in");
+    }
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("only brace-bodied types are supported (`{name}`), found {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive serde impls for `{other}`"),
+    }
+}
+
+/// Derive `serde::Serialize` (value-tree stand-in).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    if v.newtype {
+                        format!(
+                            "{name}::{0}(x) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(x))]),",
+                            v.name
+                        )
+                    } else {
+                        format!(
+                            "{name}::{0} => ::serde::Value::Str(::std::string::String::from(\"{0}\")),",
+                            v.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (value-tree stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let getter = if f.default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    format!("{0}: ::serde::{getter}(v, \"{0}\")?,", f.name)
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| !v.newtype)
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|v| v.newtype)
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}(::serde::Deserialize::from_value(val)?)),",
+                        v.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (key, val) = &fields[0];\n\
+                                 let _ = val;\n\
+                                 match key.as_str() {{\n\
+                                     {newtype_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                                 \"expected string or single-key object for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
