@@ -1,0 +1,138 @@
+//! `bench_gate` — the CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate --baseline crates/bench/baseline.json \
+//!            --current  BENCH_pipeline.json \
+//!            [--threshold-pct 25]
+//! ```
+//!
+//! Both files are the JSON-lines format the vendored criterion appends
+//! under `BENCH_JSON` (one `{"group","id","mean_ns","iters"}` object per
+//! line). The gate compares every benchmark present in both files and
+//! exits non-zero when any regresses by more than the threshold.
+//! Benchmarks only in one file are reported but never fail the gate
+//! (new benches appear before the baseline is refreshed; retired ones
+//! linger in it until then). Refresh the baseline by committing a new
+//! file — CI's `[bench-reset]` commit tag skips the gate for exactly
+//! that commit.
+
+use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+#[derive(Debug, Deserialize)]
+struct BenchLine {
+    group: String,
+    id: String,
+    mean_ns: u64,
+    #[allow(dead_code)]
+    iters: u64,
+}
+
+fn read_bench_json(path: &Path) -> Result<BTreeMap<String, u64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let l: BenchLine = serde_json::from_str(line)
+            .map_err(|e| format!("{}:{}: bad bench line: {e}", path.display(), i + 1))?;
+        // Re-running a bench binary appends again; last write wins.
+        out.insert(format!("{}/{}", l.group, l.id), l.mean_ns);
+    }
+    Ok(out)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let program = argv.first().map(String::as_str).unwrap_or("bench_gate");
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut threshold_pct = 25.0f64;
+    let mut it = argv.iter().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{program}: missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--current" => current_path = Some(value("--current")),
+            "--threshold-pct" => {
+                threshold_pct = value("--threshold-pct").parse().unwrap_or_else(|_| {
+                    eprintln!("{program}: --threshold-pct must be a number");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "usage: {program} --baseline FILE --current FILE [--threshold-pct N]\n\
+                     {program}: unknown flag {other}"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        eprintln!("usage: {program} --baseline FILE --current FILE [--threshold-pct N]");
+        std::process::exit(2);
+    };
+    let baseline = read_bench_json(Path::new(&baseline_path)).unwrap_or_else(|e| {
+        eprintln!("{program}: {e}");
+        std::process::exit(1);
+    });
+    let current = read_bench_json(Path::new(&current_path)).unwrap_or_else(|e| {
+        eprintln!("{program}: {e}");
+        std::process::exit(1);
+    });
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    println!("bench gate: threshold +{threshold_pct:.0}% vs {baseline_path}");
+    for (name, cur) in &current {
+        let Some(base) = baseline.get(name) else {
+            println!("  NEW      {name}: {cur} ns/iter (not in baseline)");
+            continue;
+        };
+        compared += 1;
+        let delta_pct = if *base == 0 {
+            0.0
+        } else {
+            100.0 * (*cur as f64 - *base as f64) / *base as f64
+        };
+        let verdict = if delta_pct > threshold_pct {
+            regressions.push((name.clone(), *base, *cur, delta_pct));
+            "REGRESS"
+        } else {
+            "ok"
+        };
+        println!("  {verdict:8} {name}: {base} -> {cur} ns/iter ({delta_pct:+.1}%)");
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) {
+            println!("  MISSING  {name}: in baseline but not in this run");
+        }
+    }
+    if compared == 0 {
+        eprintln!("{program}: no benchmarks in common — wrong files?");
+        std::process::exit(1);
+    }
+    if !regressions.is_empty() {
+        eprintln!(
+            "\n{program}: {} regression(s) beyond +{threshold_pct:.0}%:",
+            regressions.len()
+        );
+        for (name, base, cur, pct) in &regressions {
+            eprintln!("  {name}: {base} -> {cur} ns/iter ({pct:+.1}%)");
+        }
+        eprintln!(
+            "If this slowdown is intended, refresh crates/bench/baseline.json and \
+             tag the commit message with [bench-reset]."
+        );
+        std::process::exit(1);
+    }
+    println!("bench gate: {compared} benchmark(s) within threshold");
+}

@@ -19,6 +19,8 @@ use sitra_topology::Connectivity;
 use sitra_viz::{render_block, HybridRenderer, TransferFunction, View, ViewAxis};
 use std::time::Instant;
 
+pub mod replay;
+
 /// Paper constants (Table I).
 pub mod paper {
     /// Global grid of the lifted H2 case.

@@ -1,0 +1,292 @@
+//! Replay an observability journal (JSONL of [`ObsEvent`]) into the
+//! paper-style per-stage breakdown.
+//!
+//! The driver journals two event families per analysis row —
+//! `analysis.insitu` (the simulation-side half) and `analysis.aggregate`
+//! (the staging-side half) — plus one `step` event per timestep. Every
+//! numeric value is stringified with `Display`, which round-trips `f64`
+//! exactly, so the rows reconstructed here agree bit-for-bit with the
+//! `PipelineMetrics` the live run returned (the agreement test in
+//! `tests/obs_report.rs` asserts exactly that).
+
+use serde::Serialize;
+use sitra_obs::ObsEvent;
+use std::path::Path;
+
+/// One `(analysis, step)` row rebuilt from the journal, mirroring
+/// `sitra_core::AnalysisMetrics`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct StageRow {
+    /// Analysis label.
+    pub analysis: String,
+    /// Simulation step.
+    pub step: u64,
+    /// `insitu`, `hybrid`, or `hybrid-remote` (empty when the journal
+    /// only holds the aggregation half, e.g. a worker-side journal).
+    pub placement: String,
+    /// Wall seconds of the in-situ stage (max over ranks).
+    pub insitu_secs: f64,
+    /// In-situ seconds summed over ranks.
+    pub insitu_core_secs: f64,
+    /// Bytes shipped to the aggregation stage.
+    pub movement_bytes: u64,
+    /// Simulated network seconds for the movement.
+    pub movement_sim_secs: f64,
+    /// Wall seconds of the aggregation stage.
+    pub aggregate_secs: f64,
+    /// Which bucket aggregated (None for synchronous in-situ).
+    pub bucket: Option<u32>,
+    /// Streaming aggregation was used.
+    pub streamed: bool,
+    /// Step completion → output availability.
+    pub latency_secs: f64,
+}
+
+/// One timestep row rebuilt from the journal, mirroring
+/// `sitra_core::StepMetrics`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct StepRow {
+    /// Step number.
+    pub step: u64,
+    /// Wall seconds of the simulation compute.
+    pub sim_secs: f64,
+    /// Wall seconds of the ghost exchange.
+    pub ghost_secs: f64,
+    /// Wall seconds blocked on synchronous analysis work.
+    pub blocked_secs: f64,
+}
+
+/// Everything a journal replay reconstructs.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Replay {
+    /// Per-step rows, in journal order.
+    pub steps: Vec<StepRow>,
+    /// Per-(analysis, step) rows, in first-seen order.
+    pub stages: Vec<StageRow>,
+    /// Events that were not part of the driver/worker span families
+    /// (net frames, scheduler internals, …) — counted, not dropped
+    /// silently.
+    pub other_events: usize,
+}
+
+/// Read a JSONL journal. Unparseable lines are an error: a journal is
+/// machine-written, so garbage means truncation or corruption.
+pub fn read_journal(path: &Path) -> std::io::Result<Vec<ObsEvent>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: ObsEvent = serde_json::from_str(line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}:{}: bad journal line: {e}", path.display(), i + 1),
+            )
+        })?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// Rebuild per-step and per-stage rows from a stream of events.
+pub fn replay(events: &[ObsEvent]) -> Replay {
+    let mut out = Replay::default();
+    for ev in events {
+        match (ev.component.as_str(), ev.name.as_str()) {
+            ("driver", "step") => out.steps.push(StepRow {
+                step: ev.u64("step").unwrap_or(0),
+                sim_secs: ev.f64("sim_secs").unwrap_or(0.0),
+                ghost_secs: ev.f64("ghost_secs").unwrap_or(0.0),
+                blocked_secs: ev.f64("blocked_secs").unwrap_or(0.0),
+            }),
+            ("driver", "analysis.insitu") => {
+                let row = stage_row(&mut out.stages, ev);
+                row.placement = ev.get("placement").unwrap_or("").to_string();
+                row.insitu_secs = ev.f64("insitu_secs").unwrap_or(0.0);
+                row.insitu_core_secs = ev.f64("insitu_core_secs").unwrap_or(0.0);
+                row.movement_bytes = ev.u64("movement_bytes").unwrap_or(0);
+                row.movement_sim_secs = ev.f64("movement_sim_secs").unwrap_or(0.0);
+            }
+            ("driver" | "worker", "analysis.aggregate") => {
+                let row = stage_row(&mut out.stages, ev);
+                row.aggregate_secs = ev.f64("aggregate_secs").unwrap_or(0.0);
+                row.bucket = ev.get("bucket").and_then(|b| b.parse().ok());
+                row.streamed = ev.get("streamed") == Some("true");
+                row.latency_secs = ev.f64("latency_secs").unwrap_or(0.0);
+                // The bucket measures the movement too (its pulls);
+                // merge with max(), exactly as the live driver does.
+                row.movement_sim_secs = row
+                    .movement_sim_secs
+                    .max(ev.f64("movement_sim_secs").unwrap_or(0.0));
+            }
+            _ => out.other_events += 1,
+        }
+    }
+    out
+}
+
+/// The row for this event's `(analysis, step)`, created on first sight.
+fn stage_row<'a>(stages: &'a mut Vec<StageRow>, ev: &ObsEvent) -> &'a mut StageRow {
+    let analysis = ev.get("analysis").unwrap_or("").to_string();
+    let step = ev.u64("step").unwrap_or(0);
+    if let Some(i) = stages
+        .iter()
+        .position(|r| r.analysis == analysis && r.step == step)
+    {
+        return &mut stages[i];
+    }
+    stages.push(StageRow {
+        analysis,
+        step,
+        ..StageRow::default()
+    });
+    stages.last_mut().unwrap()
+}
+
+impl Replay {
+    /// Mean in-situ seconds of one analysis across its steps.
+    pub fn mean_insitu_secs(&self, analysis: &str) -> f64 {
+        mean(self.rows(analysis).map(|r| r.insitu_secs))
+    }
+
+    /// Mean aggregation seconds of one analysis across its steps.
+    pub fn mean_aggregate_secs(&self, analysis: &str) -> f64 {
+        mean(self.rows(analysis).map(|r| r.aggregate_secs))
+    }
+
+    /// Distinct analysis labels, in first-seen order.
+    pub fn analyses(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.stages {
+            if !seen.contains(&r.analysis.as_str()) {
+                seen.push(r.analysis.as_str());
+            }
+        }
+        seen
+    }
+
+    fn rows<'a>(&'a self, analysis: &'a str) -> impl Iterator<Item = &'a StageRow> {
+        self.stages.iter().filter(move |r| r.analysis == analysis)
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in it {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(component: &str, name: &str, kv: &[(&str, &str)]) -> ObsEvent {
+        ObsEvent {
+            ts_ns: 0,
+            component: component.into(),
+            name: name.into(),
+            kv: kv
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn merges_insitu_and_aggregate_halves() {
+        let events = vec![
+            ev(
+                "driver",
+                "analysis.insitu",
+                &[
+                    ("analysis", "viz"),
+                    ("step", "1"),
+                    ("placement", "hybrid"),
+                    ("insitu_secs", "0.25"),
+                    ("insitu_core_secs", "1.0"),
+                    ("movement_bytes", "4096"),
+                    ("movement_sim_secs", "0.125"),
+                ],
+            ),
+            ev(
+                "driver",
+                "step",
+                &[
+                    ("step", "1"),
+                    ("sim_secs", "2.5"),
+                    ("ghost_secs", "0.5"),
+                    ("blocked_secs", "0.25"),
+                ],
+            ),
+            ev(
+                "worker",
+                "analysis.aggregate",
+                &[
+                    ("analysis", "viz"),
+                    ("step", "1"),
+                    ("aggregate_secs", "0.75"),
+                    ("bucket", "3"),
+                    ("streamed", "true"),
+                    ("latency_secs", "1.5"),
+                ],
+            ),
+            ev("net", "frame", &[("bytes", "64")]),
+        ];
+        let r = replay(&events);
+        assert_eq!(r.steps.len(), 1);
+        assert_eq!(r.steps[0].sim_secs, 2.5);
+        assert_eq!(r.stages.len(), 1);
+        let s = &r.stages[0];
+        assert_eq!(s.analysis, "viz");
+        assert_eq!(s.placement, "hybrid");
+        assert_eq!(s.insitu_secs, 0.25);
+        assert_eq!(s.movement_bytes, 4096);
+        assert_eq!(s.aggregate_secs, 0.75);
+        assert_eq!(s.bucket, Some(3));
+        assert!(s.streamed);
+        assert_eq!(s.latency_secs, 1.5);
+        assert_eq!(r.other_events, 1);
+        assert_eq!(r.analyses(), vec!["viz"]);
+        assert_eq!(r.mean_insitu_secs("viz"), 0.25);
+        assert_eq!(r.mean_aggregate_secs("viz"), 0.75);
+    }
+
+    #[test]
+    fn insitu_placement_keeps_bucket_none() {
+        let events = vec![ev(
+            "driver",
+            "analysis.aggregate",
+            &[
+                ("analysis", "stats"),
+                ("step", "2"),
+                ("aggregate_secs", "0.1"),
+                ("bucket", "-"),
+                ("streamed", "false"),
+                ("latency_secs", "0"),
+            ],
+        )];
+        let r = replay(&events);
+        assert_eq!(r.stages[0].bucket, None);
+        assert!(!r.stages[0].streamed);
+    }
+
+    #[test]
+    fn journal_roundtrip_through_file() {
+        let path = std::env::temp_dir().join(format!("sitra-replay-{}.jsonl", std::process::id()));
+        let e = ev("driver", "step", &[("step", "7"), ("sim_secs", "0.5")]);
+        std::fs::write(&path, format!("{}\n\n", serde_json::to_string(&e).unwrap())).unwrap();
+        let events = read_journal(&path).unwrap();
+        assert_eq!(events, vec![e]);
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(read_journal(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

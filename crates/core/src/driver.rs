@@ -120,6 +120,58 @@ fn region_key(analysis_idx: usize, step: u64) -> RegionKey {
     ((analysis_idx as u64 + 1) << 40) | (step & ((1 << 40) - 1))
 }
 
+/// Journal the in-situ half of an analysis row. The kv payload mirrors
+/// [`AnalysisMetrics`] field-for-field (f64s via `Display`, which
+/// round-trips exactly) so `obs_report` can rebuild the paper-style
+/// per-stage table from the journal alone.
+fn emit_insitu(m: &AnalysisMetrics, placement: &str) {
+    sitra_obs::emit(
+        "driver",
+        "analysis.insitu",
+        &[
+            ("analysis", m.analysis.clone()),
+            ("step", m.step.to_string()),
+            ("placement", placement.to_string()),
+            ("insitu_secs", m.insitu_secs.to_string()),
+            ("insitu_core_secs", m.insitu_core_secs.to_string()),
+            ("movement_bytes", m.movement_bytes.to_string()),
+            ("movement_sim_secs", m.movement_sim_secs.to_string()),
+        ],
+    );
+}
+
+/// Journal the aggregation half of an analysis row (either placement).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_aggregate(
+    component: &str,
+    analysis: &str,
+    step: u64,
+    aggregate_secs: f64,
+    bucket: Option<u32>,
+    streamed: bool,
+    latency_secs: f64,
+    movement_sim_secs: f64,
+) {
+    sitra_obs::emit(
+        component,
+        "analysis.aggregate",
+        &[
+            ("analysis", analysis.to_string()),
+            ("step", step.to_string()),
+            ("aggregate_secs", aggregate_secs.to_string()),
+            (
+                "bucket",
+                bucket.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+            ),
+            ("streamed", streamed.to_string()),
+            ("latency_secs", latency_secs.to_string()),
+            // The bucket-measured movement time; the live run merges it
+            // into the row with max(), and so does the replay.
+            ("movement_sim_secs", movement_sim_secs.to_string()),
+        ],
+    );
+}
+
 /// Run the hybrid pipeline live. See module docs for the flow.
 pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResult {
     let decomp = Decomposition::new(sim.global(), cfg.parts);
@@ -263,7 +315,7 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
                     let out = spec.analysis.aggregate(step, &parts);
                     let aggregate_secs = t_agg.elapsed().as_secs_f64();
                     blocked_secs += insitu_wall + aggregate_secs;
-                    shared_metrics.lock().push(AnalysisMetrics {
+                    let row = AnalysisMetrics {
                         analysis: spec.label.clone(),
                         step,
                         insitu_secs,
@@ -275,7 +327,19 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
                         bucket: None,
                         streamed: false,
                         completion_latency_secs: 0.0,
-                    });
+                    };
+                    emit_insitu(&row, "insitu");
+                    emit_aggregate(
+                        "driver",
+                        &spec.label,
+                        step,
+                        aggregate_secs,
+                        None,
+                        false,
+                        0.0,
+                        0.0,
+                    );
+                    shared_metrics.lock().push(row);
                     shared_outputs.lock().push((spec.label.clone(), step, out));
                 }
                 Placement::Hybrid if remote.is_some() => {
@@ -291,7 +355,7 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
                             .expect("staging put failed");
                     }
                     blocked_secs += insitu_wall;
-                    shared_metrics.lock().push(AnalysisMetrics {
+                    let row = AnalysisMetrics {
                         analysis: spec.label.clone(),
                         step,
                         insitu_secs,
@@ -303,7 +367,9 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
                         bucket: None,
                         streamed: false,
                         completion_latency_secs: 0.0,
-                    });
+                    };
+                    emit_insitu(&row, "hybrid-remote");
+                    shared_metrics.lock().push(row);
                     rs.submit_task(encode_task(&RemoteTask {
                         analysis_idx: ai as u32,
                         step,
@@ -342,6 +408,7 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
                     // task becomes visible: the bucket that completes it
                     // fills in the rest and must find the row even when
                     // it wins the race with this thread.
+                    emit_insitu(&base, "hybrid");
                     shared_metrics.lock().push(base);
                     scheduler.submit(TaskDesc {
                         analysis_idx: ai,
@@ -353,6 +420,16 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
             }
         }
 
+        sitra_obs::emit(
+            "driver",
+            "step",
+            &[
+                ("step", step.to_string()),
+                ("sim_secs", sim_secs.to_string()),
+                ("ghost_secs", ghost_secs.to_string()),
+                ("blocked_secs", blocked_secs.to_string()),
+            ],
+        );
         steps_metrics.push(StepMetrics {
             step,
             sim_secs,
@@ -514,6 +591,16 @@ fn bucket_loop(
         };
         aggregate_secs += t_agg.elapsed().as_secs_f64();
         let latency = task.issued.elapsed().as_secs_f64();
+        emit_aggregate(
+            "driver",
+            &spec.label,
+            task.step,
+            aggregate_secs,
+            Some(bucket_id),
+            streamed,
+            latency,
+            movement_sim,
+        );
         {
             let mut m = metrics.lock();
             if let Some(row) = m.iter_mut().find(|r| {

@@ -58,7 +58,7 @@ pub struct PipelineMetrics {
     pub analyses: Vec<AnalysisMetrics>,
     /// Total wall seconds of the run.
     pub total_secs: f64,
-    /// DART fabric statistics (bytes/paths/simulated seconds).
+    /// Messages on the small-message path.
     pub smsg_messages: u64,
     /// Bytes moved on the small-message path.
     pub smsg_bytes: u64,
@@ -103,6 +103,12 @@ impl PipelineMetrics {
             return 0.0;
         }
         self.steps.iter().map(|s| s.sim_secs).sum::<f64>() / self.steps.len() as f64
+    }
+
+    /// Total bytes shipped to aggregation stages across every analysis
+    /// and step (the run's data-movement bill, before fabric framing).
+    pub fn movement_bytes(&self) -> u64 {
+        self.analyses.iter().map(|a| a.movement_bytes).sum()
     }
 
     /// Mean bytes moved per analysis step.
@@ -158,6 +164,7 @@ mod tests {
         assert_eq!(m.mean_insitu_secs("a"), 2.0);
         assert_eq!(m.mean_aggregate_secs("a"), 5.0);
         assert_eq!(m.mean_movement_bytes("a"), 200.0);
+        assert_eq!(m.movement_bytes(), 400);
         assert_eq!(m.mean_insitu_secs("b"), 9.0);
         assert_eq!(m.mean_insitu_secs("missing"), 0.0);
         assert_eq!(m.mean_sim_secs(), 3.0);

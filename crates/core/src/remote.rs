@@ -116,7 +116,8 @@ impl Default for BucketWorkerOpts {
     }
 }
 
-/// Run one staging bucket against a remote [`SpaceServer`]: request
+/// Run one staging bucket against a remote
+/// [`SpaceServer`](sitra_dataspaces::SpaceServer): request
 /// tasks until the scheduler closes, aggregating each and putting the
 /// encoded output back into the space. Returns the number of tasks
 /// completed.
@@ -129,6 +130,9 @@ pub fn run_bucket_worker(
     bucket_id: u32,
     opts: &BucketWorkerOpts,
 ) -> Result<usize, RemoteError> {
+    let reg = sitra_obs::global();
+    let obs_completed = reg.counter(&format!("worker.tasks.completed{{bucket={bucket_id}}}"));
+    let obs_reconnects = reg.counter(&format!("worker.reconnects{{bucket={bucket_id}}}"));
     let mut space = RemoteSpace::connect_retry(endpoint, &opts.backoff)?;
     let mut completed = 0usize;
     let mut drop_budget = opts.drop_connection_after;
@@ -143,6 +147,7 @@ pub fn run_bucket_worker(
             // left off.
             space.fault_drop_during_request(bucket_id, Duration::from_secs(30));
             space = RemoteSpace::connect_retry(endpoint, &opts.backoff)?;
+            obs_reconnects.inc();
         }
         let poll = match space.request_task(bucket_id, opts.request_timeout) {
             Ok(p) => p,
@@ -150,6 +155,7 @@ pub fn run_bucket_worker(
                 // Connection lost (server restart, transient network
                 // failure): reconnect with backoff and retry.
                 space = RemoteSpace::connect_retry(endpoint, &opts.backoff)?;
+                obs_reconnects.inc();
                 continue;
             }
             Err(e) => return Err(e),
@@ -172,7 +178,9 @@ pub fn run_bucket_worker(
             .into_iter()
             .map(|(bbox, data)| (bbox.lo[0], data))
             .collect();
+        let t_agg = std::time::Instant::now();
         let out = spec.analysis.aggregate(task.step, &parts);
+        let aggregate_secs = t_agg.elapsed().as_secs_f64();
         space.put(
             &output_var(&spec.label),
             task.step,
@@ -180,6 +188,17 @@ pub fn run_bucket_worker(
             encode_analysis_output(&out),
         )?;
         completed += 1;
+        obs_completed.inc();
+        crate::driver::emit_aggregate(
+            "worker",
+            &spec.label,
+            task.step,
+            aggregate_secs,
+            Some(bucket_id),
+            false,
+            0.0,
+            0.0,
+        );
     }
 }
 

@@ -153,10 +153,33 @@ enum Request {
     Shutdown,
 }
 
+/// Live counters mirroring [`FabricStats`] into the global
+/// [`sitra_obs`] registry, so a metrics endpoint can watch fabric
+/// traffic without polling `Fabric::stats()`.
+struct FabricObs {
+    smsg_messages: sitra_obs::Counter,
+    smsg_bytes: sitra_obs::Counter,
+    bte_transfers: sitra_obs::Counter,
+    bte_bytes: sitra_obs::Counter,
+}
+
+impl FabricObs {
+    fn resolve() -> Self {
+        let reg = sitra_obs::global();
+        FabricObs {
+            smsg_messages: reg.counter("dart.fabric.smsg_messages"),
+            smsg_bytes: reg.counter("dart.fabric.smsg_bytes"),
+            bte_transfers: reg.counter("dart.fabric.bte_transfers"),
+            bte_bytes: reg.counter("dart.fabric.bte_bytes"),
+        }
+    }
+}
+
 struct FabricInner {
     endpoints: RwLock<HashMap<EndpointId, Arc<EndpointShared>>>,
     model: NetworkModel,
     stats: Mutex<FabricStats>,
+    obs: FabricObs,
     next_endpoint: AtomicU64,
     next_transfer: AtomicU64,
     req_tx: Sender<Request>,
@@ -177,6 +200,7 @@ impl Fabric {
             endpoints: RwLock::new(HashMap::new()),
             model,
             stats: Mutex::new(FabricStats::default()),
+            obs: FabricObs::resolve(),
             next_endpoint: AtomicU64::new(1),
             next_transfer: AtomicU64::new(1),
             req_tx,
@@ -279,6 +303,8 @@ fn progress_loop(inner: Arc<FabricInner>, rx: Receiver<Request>) {
                     s.bte_bytes += data.len() as u64;
                     s.sim_seconds += sim;
                 }
+                inner.obs.bte_transfers.inc();
+                inner.obs.bte_bytes.add(data.len() as u64);
                 // Source-side completion (the owner's CPU was never
                 // involved in serving the data).
                 let _ = own.events.send(Event::GetServed {
@@ -313,6 +339,8 @@ fn progress_loop(inner: Arc<FabricInner>, rx: Receiver<Request>) {
                     s.bte_bytes += data.len() as u64;
                     s.sim_seconds += sim;
                 }
+                inner.obs.bte_transfers.inc();
+                inner.obs.bte_bytes.add(data.len() as u64);
                 tgt.regions.write().insert(key, data);
                 let _ = tgt.events.send(Event::PutReceived {
                     id,
@@ -423,6 +451,8 @@ impl Endpoint {
             s.smsg_bytes += data.len() as u64;
             s.sim_seconds += sim;
         }
+        self.fabric.obs.smsg_messages.inc();
+        self.fabric.obs.smsg_bytes.add(data.len() as u64);
         p.events
             .send(Event::Message {
                 from: self.id,

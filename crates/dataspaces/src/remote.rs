@@ -528,6 +528,9 @@ impl SpaceServer {
 }
 
 fn serve_connection(inner: &ServerInner, conn: &Connection) {
+    let reg = sitra_obs::global();
+    let rpc_requests = reg.counter("space.rpc.requests");
+    let rpc_proto_errors = reg.counter("space.rpc.proto_errors");
     loop {
         let frame = match conn.recv() {
             Ok(f) => f,
@@ -536,10 +539,12 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
         let req = match decode_request(frame) {
             Ok(r) => r,
             Err(e) => {
+                rpc_proto_errors.inc();
                 let _ = conn.send(encode_response(&Response::Error(e.to_string())));
                 return;
             }
         };
+        rpc_requests.inc();
         let resp = match req {
             Request::Put {
                 var,
@@ -641,22 +646,55 @@ fn handle_request_task(
         })))
         .is_ok();
     if !sent {
+        emit_requeue(bucket_id, seq, "send-failed");
         inner.sched.requeue_front(seq, data);
         return false;
     }
+    let t_sent = std::time::Instant::now();
     match conn.recv_timeout(ACK_TIMEOUT) {
         Ok(frame) => match decode_request(frame) {
-            Ok(Request::AckTask { seq: acked }) if acked == seq => true,
+            Ok(Request::AckTask { seq: acked }) if acked == seq => {
+                sitra_obs::global()
+                    .histogram("space.rpc.ack_ns")
+                    .observe(t_sent.elapsed());
+                sitra_obs::emit(
+                    "space",
+                    "task.assign",
+                    &[
+                        ("bucket", bucket_id.to_string()),
+                        ("seq", seq.to_string()),
+                        ("ack_ns", t_sent.elapsed().as_nanos().to_string()),
+                    ],
+                );
+                true
+            }
             _ => {
+                emit_requeue(bucket_id, seq, "bad-ack");
                 inner.sched.requeue_front(seq, data);
                 false
             }
         },
         Err(_) => {
+            emit_requeue(bucket_id, seq, "ack-timeout");
             inner.sched.requeue_front(seq, data);
             false
         }
     }
+}
+
+/// Journal a failed hand-off. The requeue is the interesting fault
+/// signal in a staging service's event stream — one line per lost
+/// consumer, with why the two-phase hand-off failed.
+fn emit_requeue(bucket_id: u32, seq: u64, reason: &str) {
+    sitra_obs::emit(
+        "space",
+        "task.requeue",
+        &[
+            ("bucket", bucket_id.to_string()),
+            ("seq", seq.to_string()),
+            ("reason", reason.to_string()),
+        ],
+    );
 }
 
 // --------------------------------------------------------------------

@@ -21,7 +21,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Identifies a staging bucket.
 pub type BucketId = u32;
@@ -45,12 +45,42 @@ pub struct SchedStats {
     pub max_queue_depth: usize,
 }
 
+/// Live observability handles, resolved once from the global
+/// [`sitra_obs`] registry. The queue-depth gauge is set at exactly the
+/// same mutation points as `SchedStats::max_queue_depth`, so the
+/// gauge's high-water mark and the stats field always agree.
+struct SchedObs {
+    queue_depth: sitra_obs::Gauge,
+    submitted: sitra_obs::Counter,
+    assigned: sitra_obs::Counter,
+    requeued: sitra_obs::Counter,
+    task_wait: sitra_obs::Histogram,
+    bucket_idle: sitra_obs::Histogram,
+}
+
+impl SchedObs {
+    fn resolve() -> Self {
+        let reg = sitra_obs::global();
+        SchedObs {
+            queue_depth: reg.gauge("sched.queue.depth"),
+            submitted: reg.counter("sched.tasks.submitted"),
+            assigned: reg.counter("sched.tasks.assigned"),
+            requeued: reg.counter("sched.tasks.requeued"),
+            task_wait: reg.histogram("sched.task.wait_ns"),
+            bucket_idle: reg.histogram("sched.bucket.idle_ns"),
+        }
+    }
+}
+
 struct Inner<T> {
-    queue: VecDeque<(u64, T)>,
+    // Each entry remembers when it was (re)enqueued so assignment can
+    // record the task's queue-wait latency.
+    queue: VecDeque<(u64, T, Instant)>,
     free_buckets: VecDeque<(BucketId, Sender<(u64, T)>)>,
     stats: SchedStats,
     next_seq: u64,
     closed: bool,
+    obs: SchedObs,
 }
 
 /// A generic FCFS pull scheduler over task payloads `T`.
@@ -82,6 +112,7 @@ impl<T: Send + 'static> Scheduler<T> {
                 stats: SchedStats::default(),
                 next_seq: 0,
                 closed: false,
+                obs: SchedObs::resolve(),
             })),
         }
     }
@@ -94,15 +125,18 @@ impl<T: Send + 'static> Scheduler<T> {
 
     fn drain(g: &mut Inner<T>) {
         while !g.queue.is_empty() && !g.free_buckets.is_empty() {
-            let (seq, task) = g.queue.pop_front().unwrap();
+            let (seq, task, enqueued) = g.queue.pop_front().unwrap();
             let (bucket, tx) = g.free_buckets.pop_front().unwrap();
             g.stats.tasks_assigned += 1;
             g.stats.assignment_log.push((seq, bucket));
+            g.obs.assigned.inc();
+            g.obs.task_wait.observe(enqueued.elapsed());
             // A dropped bucket loses the task; buckets park before
             // dropping only via close(), so this send always succeeds in
             // practice.
             let _ = tx.send((seq, task));
         }
+        g.obs.queue_depth.set(g.queue.len() as i64);
     }
 
     /// Data-ready without the panic: like [`Self::submit`] but returns
@@ -117,9 +151,11 @@ impl<T: Send + 'static> Scheduler<T> {
         let seq = g.next_seq;
         g.next_seq += 1;
         g.stats.tasks_submitted += 1;
-        g.queue.push_back((seq, task));
+        g.obs.submitted.inc();
+        g.queue.push_back((seq, task, Instant::now()));
         let depth = g.queue.len();
         g.stats.max_queue_depth = g.stats.max_queue_depth.max(depth);
+        g.obs.queue_depth.set(depth as i64);
         Self::drain(&mut g);
         Some(seq)
     }
@@ -137,7 +173,13 @@ impl<T: Send + 'static> Scheduler<T> {
     pub fn requeue_front(&self, seq: u64, task: T) {
         let mut g = self.inner.lock();
         g.stats.tasks_requeued += 1;
-        g.queue.push_front((seq, task));
+        g.obs.requeued.inc();
+        // The wait clock restarts: the latency being measured is
+        // time-in-queue, and a requeued task re-enters the queue now.
+        g.queue.push_front((seq, task, Instant::now()));
+        let depth = g.queue.len();
+        g.stats.max_queue_depth = g.stats.max_queue_depth.max(depth);
+        g.obs.queue_depth.set(depth as i64);
         Self::drain(&mut g);
     }
 
@@ -185,11 +227,16 @@ impl<T: Send + 'static> BucketHandle<T> {
     /// assigned or the scheduler is closed with an empty queue (then
     /// `None`). FCFS on both the task queue and the bucket list.
     pub fn request_task(&self) -> Option<(u64, T)> {
+        let t_ready = Instant::now();
         let rx: Receiver<(u64, T)> = {
             let mut g = self.sched.inner.lock();
-            if let Some((seq, task)) = g.queue.pop_front() {
+            if let Some((seq, task, enqueued)) = g.queue.pop_front() {
                 g.stats.tasks_assigned += 1;
                 g.stats.assignment_log.push((seq, self.id));
+                g.obs.assigned.inc();
+                g.obs.task_wait.observe(enqueued.elapsed());
+                g.obs.bucket_idle.observe(t_ready.elapsed());
+                g.obs.queue_depth.set(g.queue.len() as i64);
                 return Some((seq, task));
             }
             if g.closed {
@@ -200,17 +247,31 @@ impl<T: Send + 'static> BucketHandle<T> {
             rx
         };
         // Park until a task (sender dropped => closed).
-        rx.recv().ok()
+        let got = rx.recv().ok();
+        if got.is_some() {
+            self.sched
+                .inner
+                .lock()
+                .obs
+                .bucket_idle
+                .observe(t_ready.elapsed());
+        }
+        got
     }
 
     /// Like [`Self::request_task`] but gives up after `timeout`. A timed
     /// out request withdraws the bucket from the free list.
     pub fn request_task_timeout(&self, timeout: Duration) -> Option<(u64, T)> {
+        let t_ready = Instant::now();
         let rx: Receiver<(u64, T)> = {
             let mut g = self.sched.inner.lock();
-            if let Some((seq, task)) = g.queue.pop_front() {
+            if let Some((seq, task, enqueued)) = g.queue.pop_front() {
                 g.stats.tasks_assigned += 1;
                 g.stats.assignment_log.push((seq, self.id));
+                g.obs.assigned.inc();
+                g.obs.task_wait.observe(enqueued.elapsed());
+                g.obs.bucket_idle.observe(t_ready.elapsed());
+                g.obs.queue_depth.set(g.queue.len() as i64);
                 return Some((seq, task));
             }
             if g.closed {
@@ -221,7 +282,15 @@ impl<T: Send + 'static> BucketHandle<T> {
             rx
         };
         match rx.recv_timeout(timeout) {
-            Ok(t) => Some(t),
+            Ok(t) => {
+                self.sched
+                    .inner
+                    .lock()
+                    .obs
+                    .bucket_idle
+                    .observe(t_ready.elapsed());
+                Some(t)
+            }
             Err(_) => {
                 // Withdraw (if still parked) so a future task is not sent
                 // into the void.

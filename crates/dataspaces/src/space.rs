@@ -39,11 +39,36 @@ pub struct SpaceStats {
     pub resident_bytes: u64,
 }
 
+/// Live observability handles for one space, resolved once at
+/// construction: per-shard put latency (`space.shard.put_ns{shard=i}`),
+/// whole-query get latency (`space.get_ns`), and residency gauges.
+struct SpaceObs {
+    put_ns: Vec<sitra_obs::Histogram>,
+    get_ns: sitra_obs::Histogram,
+    resident_bytes: sitra_obs::Gauge,
+    objects: sitra_obs::Gauge,
+}
+
+impl SpaceObs {
+    fn resolve(shards: usize) -> Self {
+        let reg = sitra_obs::global();
+        SpaceObs {
+            put_ns: (0..shards)
+                .map(|i| reg.histogram(&format!("space.shard.put_ns{{shard={i}}}")))
+                .collect(),
+            get_ns: reg.histogram("space.get_ns"),
+            resident_bytes: reg.gauge("space.resident_bytes"),
+            objects: reg.gauge("space.objects"),
+        }
+    }
+}
+
 /// The shared space: `n` server shards addressed by hashing, exactly as
 /// the paper describes ("the hashing used to balance the RPC messages
 /// over multiple DataSpaces servers").
 pub struct DataSpaces {
     servers: Vec<Server>,
+    obs: SpaceObs,
 }
 
 impl DataSpaces {
@@ -52,6 +77,7 @@ impl DataSpaces {
         assert!(servers > 0, "need at least one server");
         Self {
             servers: (0..servers).map(|_| Server::default()).collect(),
+            obs: SpaceObs::resolve(servers),
         }
     }
 
@@ -74,12 +100,17 @@ impl DataSpaces {
     /// Store an object. Returns the shard index it landed on.
     pub fn put(&self, var: &str, version: u64, bbox: BBox3, data: Bytes) -> usize {
         let s = self.shard(var, version, &bbox);
+        let len = data.len() as i64;
+        let t0 = std::time::Instant::now();
         self.servers[s]
             .objects
             .write()
             .entry((var.to_string(), version))
             .or_default()
             .push(Stored { bbox, data });
+        self.obs.put_ns[s].observe(t0.elapsed());
+        self.obs.resident_bytes.add(len);
+        self.obs.objects.add(1);
         s
     }
 
@@ -98,6 +129,7 @@ impl DataSpaces {
     /// caller clips during assembly), matching the RDMA-pull model where
     /// the consumer reads whole exported blocks.
     pub fn get(&self, var: &str, version: u64, query: &BBox3) -> Vec<(BBox3, Bytes)> {
+        let t0 = std::time::Instant::now();
         let key = (var.to_string(), version);
         let mut out = Vec::new();
         for server in &self.servers {
@@ -112,6 +144,7 @@ impl DataSpaces {
         }
         // Deterministic order regardless of sharding.
         out.sort_by_key(|(b, _)| b.lo);
+        self.obs.get_ns.observe(t0.elapsed());
         out
     }
 
@@ -148,9 +181,21 @@ impl DataSpaces {
     /// Drop every object of a version (staging memory reclamation once a
     /// timestep's analyses are done).
     pub fn evict_version(&self, version: u64) {
+        let mut freed_bytes = 0i64;
+        let mut freed_objects = 0i64;
         for server in &self.servers {
-            server.objects.write().retain(|(_, v), _| *v != version);
+            server.objects.write().retain(|(_, v), objs| {
+                if *v == version {
+                    freed_objects += objs.len() as i64;
+                    freed_bytes += objs.iter().map(|o| o.data.len() as i64).sum::<i64>();
+                    false
+                } else {
+                    true
+                }
+            });
         }
+        self.obs.resident_bytes.add(-freed_bytes);
+        self.obs.objects.add(-freed_objects);
     }
 
     /// Current statistics.

@@ -35,6 +35,35 @@ struct Counters {
     bytes_recv: AtomicU64,
 }
 
+/// Global-registry handles for this connection, resolved once at
+/// creation so the per-frame cost is a pair of relaxed atomic adds.
+/// Series are labelled by peer (`net.conn.frames_sent{peer=…}`).
+struct ObsCounters {
+    frames_sent: sitra_obs::Counter,
+    frames_recv: sitra_obs::Counter,
+    bytes_sent: sitra_obs::Counter,
+    bytes_recv: sitra_obs::Counter,
+    timeouts: sitra_obs::Counter,
+    desyncs: sitra_obs::Counter,
+}
+
+impl ObsCounters {
+    fn resolve(peer: &str) -> ObsCounters {
+        let reg = sitra_obs::global();
+        let named = |metric: &str| reg.counter(&format!("net.conn.{metric}{{peer={peer}}}"));
+        reg.counter(&format!("net.conn.opened{{peer={peer}}}"))
+            .inc();
+        ObsCounters {
+            frames_sent: named("frames_sent"),
+            frames_recv: named("frames_recv"),
+            bytes_sent: named("bytes_sent"),
+            bytes_recv: named("bytes_recv"),
+            timeouts: named("timeouts"),
+            desyncs: named("desyncs"),
+        }
+    }
+}
+
 enum Inner {
     InProc {
         // `Option` so close() can drop the halves, which is how the
@@ -55,6 +84,7 @@ enum Inner {
 pub struct Connection {
     inner: Inner,
     counters: Counters,
+    obs: ObsCounters,
 }
 
 impl Connection {
@@ -67,6 +97,7 @@ impl Connection {
                 rx: Mutex::new(Some(rx)),
             },
             counters: Counters::default(),
+            obs: ObsCounters::resolve("inproc"),
         };
         (mk(a2b_tx, b2a_rx), mk(b2a_tx, a2b_rx))
     }
@@ -82,6 +113,7 @@ impl Connection {
                 peer,
             },
             counters: Counters::default(),
+            obs: ObsCounters::resolve(&peer.to_string()),
         })
     }
 
@@ -108,6 +140,8 @@ impl Connection {
         self.counters
             .bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.obs.frames_sent.inc();
+        self.obs.bytes_sent.add(payload.len() as u64);
         Ok(())
     }
 
@@ -122,20 +156,46 @@ impl Connection {
             }
             Inner::Tcp { reader, .. } => {
                 let mut r = reader.lock();
-                read_frame(&mut r)?
+                read_frame(&mut r).inspect_err(|e| self.obs_classify(e))?
             }
         };
         self.counters.frames_recv.fetch_add(1, Ordering::Relaxed);
         self.counters
             .bytes_recv
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.obs.frames_recv.inc();
+        self.obs.bytes_recv.add(payload.len() as u64);
         Ok(payload)
+    }
+
+    /// Route an error into the right observability counter: a frame cap
+    /// violation means the stream is desynchronized (corrupt or hostile
+    /// length prefix); a timeout is a timeout.
+    fn obs_classify(&self, e: &NetError) {
+        match e {
+            NetError::FrameTooLarge(_) => self.obs.desyncs.inc(),
+            NetError::Timeout => self.obs.timeouts.inc(),
+            _ => {}
+        }
     }
 
     /// Receive the next frame, giving up after `timeout`. The timeout
     /// applies to the *start* of a frame; once its header is seen the
     /// remainder is read to completion.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, NetError> {
+        let payload = self
+            .recv_timeout_inner(timeout)
+            .inspect_err(|e| self.obs_classify(e))?;
+        self.counters.frames_recv.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_recv
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.obs.frames_recv.inc();
+        self.obs.bytes_recv.add(payload.len() as u64);
+        Ok(payload)
+    }
+
+    fn recv_timeout_inner(&self, timeout: Duration) -> Result<Bytes, NetError> {
         let payload = match &self.inner {
             Inner::InProc { rx, .. } => {
                 let guard = rx.lock();
@@ -184,10 +244,6 @@ impl Connection {
                 read_frame(&mut r)?
             }
         };
-        self.counters.frames_recv.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .bytes_recv
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         Ok(payload)
     }
 

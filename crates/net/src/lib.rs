@@ -145,13 +145,29 @@ pub fn connect(addr: &Addr) -> Result<Connection, NetError> {
 
 /// Open a connection, retrying with bounded exponential backoff
 /// (doubling from `initial` up to `max`, at most `attempts` tries).
+///
+/// Reconnection is observable: every failed attempt increments
+/// `net.connect.failures{peer=…}`, and a success after at least one
+/// failure increments `net.connect.reconnects{peer=…}` — the signal a
+/// live deployment watches to spot flapping staging links.
 pub fn connect_retry(addr: &Addr, backoff: &Backoff) -> Result<Connection, NetError> {
+    let reg = sitra_obs::global();
+    let failures = reg.counter(&format!("net.connect.failures{{peer={addr}}}"));
+    let reconnects = reg.counter(&format!("net.connect.reconnects{{peer={addr}}}"));
     let mut delay = backoff.initial;
     let mut last = NetError::Refused(addr.to_string());
     for attempt in 0..backoff.attempts.max(1) {
         match connect(addr) {
-            Ok(c) => return Ok(c),
-            Err(e) => last = e,
+            Ok(c) => {
+                if attempt > 0 {
+                    reconnects.inc();
+                }
+                return Ok(c);
+            }
+            Err(e) => {
+                failures.inc();
+                last = e;
+            }
         }
         if attempt + 1 < backoff.attempts.max(1) {
             std::thread::sleep(delay);

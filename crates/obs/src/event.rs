@@ -1,0 +1,257 @@
+//! The span-event journal: timestamped per-component events routed to a
+//! global, test-overridable sink.
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// One journal entry: something happened in `component` at `ts_ns`
+/// (monotonic nanoseconds since process start), with free-form
+/// key/value context. Numeric values are formatted with `Display`
+/// (which round-trips `f64` exactly) so a replayed journal reconstructs
+/// the same per-stage timings the live run measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsEvent {
+    /// Monotonic nanoseconds since process start.
+    pub ts_ns: u64,
+    /// Which layer emitted this (`driver`, `net`, `sched`, `worker`, …).
+    pub component: String,
+    /// Event name within the component (`step`, `analysis.insitu`, …).
+    pub name: String,
+    /// Key/value context pairs, in emission order.
+    pub kv: Vec<(String, String)>,
+}
+
+impl ObsEvent {
+    /// Value of the first pair with key `k`.
+    pub fn get(&self, k: &str) -> Option<&str> {
+        self.kv
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of `k` parsed as `f64` (None when absent or unparseable).
+    pub fn f64(&self, k: &str) -> Option<f64> {
+        self.get(k)?.parse().ok()
+    }
+
+    /// Value of `k` parsed as `u64`.
+    pub fn u64(&self, k: &str) -> Option<u64> {
+        self.get(k)?.parse().ok()
+    }
+}
+
+/// Where emitted events go. Implementations must be cheap and
+/// thread-safe — `record` is called from hot paths under no lock.
+pub trait EventSink: Send + Sync {
+    /// Consume one event.
+    fn record(&self, event: ObsEvent);
+}
+
+/// In-memory sink for tests: collects every event.
+#[derive(Default)]
+pub struct VecSink {
+    events: Mutex<Vec<ObsEvent>>,
+}
+
+impl VecSink {
+    /// A new, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain all captured events.
+    pub fn take(&self) -> Vec<ObsEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Copy of all captured events.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.events.lock().clone()
+    }
+}
+
+impl EventSink for VecSink {
+    fn record(&self, event: ObsEvent) {
+        self.events.lock().push(event);
+    }
+}
+
+/// Sink appending one JSON object per line — the `--journal` format,
+/// replayed by `obs_report`.
+pub struct JsonlSink {
+    file: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the journal file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self {
+            file: Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) {
+        let _ = self.file.lock().flush();
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&self, event: ObsEvent) {
+        if let Ok(line) = serde_json::to_string(&event) {
+            let mut f = self.file.lock();
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.file.lock().flush();
+    }
+}
+
+struct SinkSlot {
+    sink: RwLock<Option<Arc<dyn EventSink>>>,
+    // Fast-path flag so emit() costs one relaxed load when no sink is
+    // installed (the default).
+    active: AtomicBool,
+}
+
+fn sink_slot() -> &'static SinkSlot {
+    static SLOT: OnceLock<SinkSlot> = OnceLock::new();
+    SLOT.get_or_init(|| SinkSlot {
+        sink: RwLock::new(None),
+        active: AtomicBool::new(false),
+    })
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since process start (first call).
+pub fn ts_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Install `sink` as the global event sink (None disables journaling).
+/// Returns the previously installed sink, letting tests restore it.
+pub fn install_sink(sink: Option<Arc<dyn EventSink>>) -> Option<Arc<dyn EventSink>> {
+    let slot = sink_slot();
+    let mut guard = slot.sink.write();
+    slot.active.store(sink.is_some(), Ordering::Release);
+    std::mem::replace(&mut *guard, sink)
+}
+
+/// Install a [`JsonlSink`] writing to `path` (convenience for
+/// `--journal`). Returns the sink so callers can flush it.
+pub fn set_journal_path(path: &std::path::Path) -> std::io::Result<Arc<JsonlSink>> {
+    let sink = Arc::new(JsonlSink::create(path)?);
+    install_sink(Some(Arc::clone(&sink) as Arc<dyn EventSink>));
+    Ok(sink)
+}
+
+/// Emit one event to the installed sink. Free (one relaxed load) when
+/// no sink is installed. `kv` pairs are stringified with `Display`.
+pub fn emit(component: &str, name: &str, kv: &[(&str, String)]) {
+    let slot = sink_slot();
+    if !slot.active.load(Ordering::Acquire) {
+        return;
+    }
+    let Some(sink) = slot.sink.read().clone() else {
+        return;
+    };
+    sink.record(ObsEvent {
+        ts_ns: ts_ns(),
+        component: component.to_string(),
+        name: name.to_string(),
+        kv: kv.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Sink installation is process-global; serialize the tests that
+    // touch it.
+    static SINK_TESTS: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn emit_goes_to_installed_sink_and_stops_after_removal() {
+        let _g = SINK_TESTS.lock();
+        let sink = Arc::new(VecSink::new());
+        let prev = install_sink(Some(Arc::clone(&sink) as Arc<dyn EventSink>));
+        emit(
+            "driver",
+            "step",
+            &[("step", 3.to_string()), ("sim_secs", 0.25.to_string())],
+        );
+        install_sink(prev);
+        emit("driver", "step", &[("step", 4.to_string())]);
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].component, "driver");
+        assert_eq!(events[0].name, "step");
+        assert_eq!(events[0].u64("step"), Some(3));
+        assert_eq!(events[0].f64("sim_secs"), Some(0.25));
+        assert_eq!(events[0].get("missing"), None);
+    }
+
+    #[test]
+    fn event_json_roundtrip_preserves_f64_exactly() {
+        let e = ObsEvent {
+            ts_ns: 123,
+            component: "sched".into(),
+            name: "assign".into(),
+            kv: vec![
+                ("seq".into(), "7".into()),
+                ("wait_secs".into(), format!("{}", 0.1 + 0.2)),
+            ],
+        };
+        let line = serde_json::to_string(&e).unwrap();
+        let back: ObsEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.f64("wait_secs"), Some(0.1 + 0.2));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let _g = SINK_TESTS.lock();
+        let path =
+            std::env::temp_dir().join(format!("sitra-obs-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        for i in 0..3u64 {
+            sink.record(ObsEvent {
+                ts_ns: i,
+                component: "net".into(),
+                name: "frame".into(),
+                kv: vec![("bytes".into(), (i * 10).to_string())],
+            });
+        }
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<ObsEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].u64("bytes"), Some(20));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ts_ns_is_monotonic() {
+        let a = ts_ns();
+        let b = ts_ns();
+        assert!(b >= a);
+    }
+}

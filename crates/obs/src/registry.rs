@@ -1,0 +1,413 @@
+//! The metrics registry: named counters, gauges, and histograms with
+//! atomic hot paths and a renderable snapshot.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Number of power-of-two latency buckets a [`Histogram`] keeps: bucket
+/// `i` counts observations in `[2^i, 2^(i+1))` nanoseconds, so 40
+/// buckets span 1 ns to ~18 minutes.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct GaugeInner {
+    value: AtomicI64,
+    high_water: AtomicI64,
+}
+
+/// A point-in-time level (queue depth, resident bytes) that also tracks
+/// its high-water mark.
+#[derive(Clone)]
+pub struct Gauge(Arc<GaugeInner>);
+
+impl Gauge {
+    /// Set the level, updating the high-water mark.
+    pub fn set(&self, v: i64) {
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta`, updating the high-water mark.
+    pub fn add(&self, delta: i64) {
+        let v = self.0.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.0.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever set.
+    pub fn high_water(&self) -> i64 {
+        self.0.high_water.load(Ordering::Relaxed)
+    }
+}
+
+struct HistInner {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// A latency histogram over nanosecond observations: power-of-two
+/// buckets plus count/sum/max, all updated with relaxed atomics.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// Record one observation of `ns` nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        let i = (64 - ns.leading_zeros() as usize)
+            .min(HIST_BUCKETS) // ilog2 + 1, 0 for ns=0
+            .saturating_sub(1);
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.0.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record a duration.
+    pub fn observe(&self, d: std::time::Duration) {
+        self.observe_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.0.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.0.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns() as f64 / n as f64
+        }
+    }
+}
+
+/// A snapshot value of one metric, for assertions and rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge `(current, high_water)`.
+    Gauge(i64, i64),
+    /// Histogram `(count, sum_ns, max_ns)`.
+    Histogram(u64, u64, u64),
+}
+
+/// A consistent-enough snapshot of a registry: metric name to value,
+/// sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Name → value, ordered.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// Counter value by exact name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge `(current, high_water)` by exact name.
+    pub fn gauge(&self, name: &str) -> Option<(i64, i64)> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v, hw)) => Some((*v, *hw)),
+            _ => None,
+        }
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Render as Prometheus-style text: one `name{labels} value` line
+    /// per series (histograms expand to `_count`/`_sum_ns`/`_max_ns`),
+    /// dots replaced by underscores in the metric name.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            let (base, labels) = match name.find('{') {
+                Some(i) => (&name[..i], &name[i..]),
+                None => (name.as_str(), ""),
+            };
+            let base = base.replace('.', "_");
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{base}{labels} {v}\n"));
+                }
+                MetricValue::Gauge(v, hw) => {
+                    out.push_str(&format!("{base}{labels} {v}\n"));
+                    out.push_str(&format!("{base}_high_water{labels} {hw}\n"));
+                }
+                MetricValue::Histogram(count, sum_ns, max_ns) => {
+                    out.push_str(&format!("{base}_count{labels} {count}\n"));
+                    out.push_str(&format!("{base}_sum_ns{labels} {sum_ns}\n"));
+                    out.push_str(&format!("{base}_max_ns{labels} {max_ns}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A registry of named metrics. Lookups lock a map once per handle;
+/// handles are cheap clones updating shared atomics.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve (or create) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut g = self.counters.lock();
+        g.entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Resolve (or create) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut g = self.gauges.lock();
+        g.entry(name.to_string())
+            .or_insert_with(|| {
+                Gauge(Arc::new(GaugeInner {
+                    value: AtomicI64::new(0),
+                    high_water: AtomicI64::new(0),
+                }))
+            })
+            .clone()
+    }
+
+    /// Resolve (or create) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut g = self.histograms.lock();
+        g.entry(name.to_string())
+            .or_insert_with(|| {
+                Histogram(Arc::new(HistInner {
+                    count: AtomicU64::new(0),
+                    sum_ns: AtomicU64::new(0),
+                    max_ns: AtomicU64::new(0),
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                }))
+            })
+            .clone()
+    }
+
+    /// Snapshot every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut metrics = BTreeMap::new();
+        for (name, c) in self.counters.lock().iter() {
+            metrics.insert(name.clone(), MetricValue::Counter(c.get()));
+        }
+        for (name, g) in self.gauges.lock().iter() {
+            metrics.insert(name.clone(), MetricValue::Gauge(g.get(), g.high_water()));
+        }
+        for (name, h) in self.histograms.lock().iter() {
+            metrics.insert(
+                name.clone(),
+                MetricValue::Histogram(h.count(), h.sum_ns(), h.max_ns()),
+            );
+        }
+        Snapshot { metrics }
+    }
+}
+
+fn global_slot() -> &'static RwLock<Arc<Registry>> {
+    static GLOBAL: OnceLock<RwLock<Arc<Registry>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(Arc::new(Registry::new())))
+}
+
+/// The process-global registry all instrumented layers report into.
+/// Handles resolved before an [`isolate`] swap keep writing to the
+/// registry they were resolved from.
+pub fn global() -> Arc<Registry> {
+    Arc::clone(&global_slot().read())
+}
+
+/// Guard returned by [`isolate`]: restores the previous global registry
+/// on drop and releases the test-serialization lock.
+pub struct IsolateGuard {
+    previous: Option<Arc<Registry>>,
+    _lock: parking_lot::MutexGuard<'static, ()>,
+}
+
+impl IsolateGuard {
+    /// The fresh registry installed for this scope.
+    pub fn registry(&self) -> Arc<Registry> {
+        global()
+    }
+}
+
+impl Drop for IsolateGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.previous.take() {
+            *global_slot().write() = prev;
+        }
+    }
+}
+
+/// Swap in a fresh global registry for the lifetime of the returned
+/// guard, serializing against other [`isolate`] holders in the same
+/// process. Tests asserting exact registry contents use this so runs in
+/// sibling tests cannot contaminate the counts.
+pub fn isolate() -> IsolateGuard {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let lock = LOCK.lock();
+    let fresh = Arc::new(Registry::new());
+    let previous = std::mem::replace(&mut *global_slot().write(), fresh);
+    IsolateGuard {
+        previous: Some(previous),
+        _lock: lock,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_basics() {
+        let r = Registry::new();
+        let c = r.counter("a.b.c");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name resolves to the same atomic.
+        assert_eq!(r.counter("a.b.c").get(), 5);
+
+        let g = r.gauge("q.depth");
+        g.set(3);
+        g.add(2);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_water(), 5);
+
+        let h = r.histogram("lat");
+        h.observe_ns(0);
+        h.observe_ns(1);
+        h.observe_ns(1000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 1001);
+        assert_eq!(h.max_ns(), 1000);
+        assert_eq!(h.mean_ns(), 1001.0 / 3.0);
+    }
+
+    #[test]
+    fn snapshot_and_render() {
+        let r = Registry::new();
+        r.counter("net.conn.frames_sent{peer=inproc}").add(7);
+        r.gauge("sched.queue.depth").set(2);
+        r.histogram("space.put_ns{shard=0}").observe_ns(512);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("net.conn.frames_sent{peer=inproc}"), 7);
+        assert_eq!(snap.gauge("sched.queue.depth"), Some((2, 2)));
+        assert_eq!(snap.counter_sum("net.conn.frames_sent"), 7);
+        let text = snap.render_text();
+        assert!(text.contains("net_conn_frames_sent{peer=inproc} 7"));
+        assert!(text.contains("sched_queue_depth 2"));
+        assert!(text.contains("sched_queue_depth_high_water 2"));
+        assert!(text.contains("space_put_ns_count{shard=0} 1"));
+        assert!(text.contains("space_put_ns_sum_ns{shard=0} 512"));
+    }
+
+    #[test]
+    fn histogram_bucket_indexing_covers_extremes() {
+        let r = Registry::new();
+        let h = r.histogram("x");
+        h.observe_ns(u64::MAX);
+        h.observe_ns(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn isolate_swaps_and_restores() {
+        let before = global();
+        before.counter("leak.check").inc();
+        {
+            let guard = isolate();
+            assert_eq!(guard.registry().snapshot().counter("leak.check"), 0);
+            guard.registry().counter("inner.only").inc();
+        }
+        let after = global();
+        assert_eq!(after.snapshot().counter("leak.check"), 1);
+        assert_eq!(after.snapshot().counter("inner.only"), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    let c = r.counter("hot");
+                    let h = r.histogram("hot_ns");
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.observe_ns(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hot").get(), 80_000);
+        assert_eq!(r.histogram("hot_ns").count(), 80_000);
+    }
+}

@@ -1,0 +1,111 @@
+//! A minimal HTTP endpoint serving the global registry as a
+//! Prometheus-style text snapshot — what `sitra-staged
+//! --metrics-listen` exposes so a live run can be watched with `curl`
+//! or scraped by any text-format collector.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Handle to a running metrics endpoint; [`MetricsServer::shutdown`]
+/// stops it.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the acceptor thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // wake the blocking accept
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serve `GET /metrics` (any path, actually) with a text snapshot of
+/// the **global** registry, one short-lived connection per request.
+/// Binding `host:0` picks a free port — read it back from
+/// [`MetricsServer::addr`].
+pub fn serve_metrics(listen: SocketAddr) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(listen)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let acceptor = std::thread::Builder::new()
+        .name("obs-metrics".into())
+        .spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                let Ok((stream, _)) = listener.accept() else {
+                    break;
+                };
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Requests are tiny; answer inline rather than spawning.
+                let _ = answer(stream);
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn answer(mut stream: TcpStream) -> std::io::Result<()> {
+    // Read (and discard) the request head; tolerate clients that send
+    // nothing. A small fixed buffer bounds hostile requests.
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let body = crate::global().snapshot().render_text();
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_global_snapshot_over_http() {
+        // Unique names (not isolate()) so this test tolerates parallel
+        // siblings touching the global registry.
+        crate::counter("net.conn.frames_sent{peer=serve-test}").add(11);
+        crate::gauge("serve_test.queue.depth").set(4);
+        let server = serve_metrics("127.0.0.1:0".parse().unwrap()).unwrap();
+        let resp = http_get(server.addr());
+        assert!(resp.starts_with("HTTP/1.1 200 OK"));
+        assert!(resp.contains("net_conn_frames_sent{peer=serve-test} 11"));
+        assert!(resp.contains("serve_test_queue_depth 4"));
+        // Repeated scrapes see updated values.
+        crate::counter("net.conn.frames_sent{peer=serve-test}").inc();
+        let resp2 = http_get(server.addr());
+        assert!(resp2.contains("net_conn_frames_sent{peer=serve-test} 12"));
+        server.shutdown();
+    }
+}

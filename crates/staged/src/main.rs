@@ -12,9 +12,17 @@
 //! address; workers call `sitra_core::remote::run_bucket_worker`. The
 //! process runs until the scheduler is closed by a client (the driver
 //! does this when its run finishes) or it receives SIGINT.
+//!
+//! Observability: `--metrics-listen host:port` exposes the live
+//! [`sitra_obs`] registry (net/scheduler/space metrics) as a
+//! Prometheus-style text snapshot over HTTP, and `--journal PATH`
+//! appends every span event as one JSON line (replayable with
+//! `obs_report`).
 
 use sitra_dataspaces::SpaceServer;
 use sitra_net::Addr;
+use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::Duration;
 
 struct Opts {
@@ -22,15 +30,22 @@ struct Opts {
     servers: usize,
     /// Print space/scheduler counters every this many seconds (0 = off).
     stats_every: u64,
+    /// Serve a metrics snapshot over HTTP at this address.
+    metrics_listen: Option<SocketAddr>,
+    /// Append span events as JSONL to this path.
+    journal: Option<PathBuf>,
 }
 
 fn usage(program: &str, code: i32) -> ! {
     eprintln!(
         "usage: {program} [--listen ADDR] [--servers N] [--stats-every SECS]\n\
+         \x20                  [--metrics-listen HOST:PORT] [--journal PATH]\n\
          \n\
-         --listen ADDR       tcp://host:port or inproc://name (default tcp://127.0.0.1:7788)\n\
-         --servers N         space server shards (default 4)\n\
-         --stats-every SECS  periodically print counters (default 0 = quiet)"
+         --listen ADDR         tcp://host:port or inproc://name (default tcp://127.0.0.1:7788)\n\
+         --servers N           space server shards (default 4)\n\
+         --stats-every SECS    periodically print counters (default 0 = quiet)\n\
+         --metrics-listen A    serve a Prometheus-style metrics snapshot over HTTP\n\
+         --journal PATH        append span events as JSON lines to PATH"
     );
     std::process::exit(code);
 }
@@ -40,6 +55,8 @@ fn parse_opts() -> Opts {
         listen: "tcp://127.0.0.1:7788".parse().expect("default addr"),
         servers: 4,
         stats_every: 0,
+        metrics_listen: None,
+        journal: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let program = argv.first().map(String::as_str).unwrap_or("sitra-staged");
@@ -73,6 +90,14 @@ fn parse_opts() -> Opts {
                     usage(program, 2);
                 }
             },
+            "--metrics-listen" => match value("--metrics-listen").parse() {
+                Ok(a) => opts.metrics_listen = Some(a),
+                Err(_) => {
+                    eprintln!("{program}: --metrics-listen must be host:port");
+                    usage(program, 2);
+                }
+            },
+            "--journal" => opts.journal = Some(PathBuf::from(value("--journal"))),
             "--help" | "-h" => usage(program, 0),
             other => {
                 eprintln!("{program}: unknown flag {other}");
@@ -85,6 +110,20 @@ fn parse_opts() -> Opts {
 
 fn main() {
     let opts = parse_opts();
+    let journal = opts.journal.as_ref().map(|path| {
+        sitra_obs::set_journal_path(path).unwrap_or_else(|e| {
+            eprintln!("sitra-staged: cannot open journal {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
+    let metrics = opts.metrics_listen.map(|addr| {
+        let srv = sitra_obs::serve_metrics(addr).unwrap_or_else(|e| {
+            eprintln!("sitra-staged: cannot serve metrics on {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!("sitra-staged: metrics on http://{}/metrics", srv.addr());
+        srv
+    });
     let server = match SpaceServer::start(&opts.listen, opts.servers) {
         Ok(s) => s,
         Err(e) => {
@@ -125,4 +164,10 @@ fn main() {
         stats.tasks_assigned, stats.tasks_requeued
     );
     server.shutdown();
+    if let Some(m) = metrics {
+        m.shutdown();
+    }
+    if let Some(j) = journal {
+        j.flush();
+    }
 }

@@ -6,6 +6,12 @@
 //! ```text
 //! cargo run --release --example remote_staging
 //! ```
+//!
+//! Set `SITRA_STAGED_ENDPOINT=tcp://host:port` to skip the in-process
+//! server and stage through an already-running `sitra-staged` instead
+//! (whose `--metrics-listen` endpoint then shows the run's net,
+//! scheduler, and space metrics live). The driver closes the remote
+//! scheduler when it finishes, which also shuts the service down.
 
 use sitra::core::remote::{run_bucket_worker, BucketWorkerOpts};
 use sitra::core::{run_pipeline, AnalysisSpec, HybridViz, PipelineConfig, Placement};
@@ -34,11 +40,29 @@ fn specs() -> Vec<AnalysisSpec> {
 
 fn main() {
     // 1. The staging service — in production this is `sitra-staged
-    //    --listen tcp://…` on dedicated nodes.
-    let bind: Addr = "tcp://127.0.0.1:0".parse().unwrap();
-    let server = SpaceServer::start(&bind, 2).expect("start staging server");
-    let endpoint = server.addr();
-    println!("staging service listening on {endpoint}");
+    //    --listen tcp://…` on dedicated nodes, and pointing
+    //    SITRA_STAGED_ENDPOINT at it uses exactly that deployment.
+    // SITRA_JOURNAL=path journals the driver's span events as JSONL;
+    // replay the per-stage breakdown offline with
+    // `cargo run -p sitra-bench --bin obs_report -- path`.
+    let journal = std::env::var_os("SITRA_JOURNAL")
+        .map(|p| sitra::obs::set_journal_path(std::path::Path::new(&p)).expect("open journal"));
+
+    let external = std::env::var("SITRA_STAGED_ENDPOINT").ok().map(|e| {
+        e.parse::<Addr>()
+            .expect("SITRA_STAGED_ENDPOINT must be a valid address")
+    });
+    let server = if external.is_none() {
+        let bind: Addr = "tcp://127.0.0.1:0".parse().unwrap();
+        Some(SpaceServer::start(&bind, 2).expect("start staging server"))
+    } else {
+        None
+    };
+    let endpoint = match &external {
+        Some(addr) => addr.clone(),
+        None => server.as_ref().unwrap().addr(),
+    };
+    println!("staging service on {endpoint}");
 
     // 2. Bucket workers — in production, separate `run_bucket_worker`
     //    processes pointed at the same endpoint.
@@ -61,11 +85,15 @@ fn main() {
     let result = run_pipeline(&mut sim, &cfg);
 
     let completed: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
-    let stats = server.sched_stats();
-    println!(
-        "{} steps rendered in-transit by {} remote workers ({} tasks assigned, {} requeued)",
-        STEPS, WORKERS, stats.tasks_assigned, stats.tasks_requeued
-    );
+    if let Some(server) = &server {
+        let stats = server.sched_stats();
+        println!(
+            "{} steps rendered in-transit by {} remote workers ({} tasks assigned, {} requeued)",
+            STEPS, WORKERS, stats.tasks_assigned, stats.tasks_requeued
+        );
+    } else {
+        println!("{STEPS} steps rendered in-transit by {WORKERS} remote workers");
+    }
     for step in 1..=STEPS as u64 {
         let img = result
             .output("viz-hybrid", step)
@@ -83,5 +111,10 @@ fn main() {
         );
     }
     println!("workers completed {completed} tasks; shutting down");
-    server.shutdown();
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if let Some(j) = journal {
+        j.flush();
+    }
 }

@@ -18,6 +18,7 @@ pub use sitra_dataspaces as dataspaces;
 pub use sitra_machine as machine;
 pub use sitra_mesh as mesh;
 pub use sitra_net as net;
+pub use sitra_obs as obs;
 pub use sitra_sim as sim;
 pub use sitra_stats as stats;
 pub use sitra_topology as topology;

@@ -82,6 +82,11 @@ fn sorted_encoded_outputs(result: &PipelineResult) -> Vec<(String, u64, Vec<u8>)
 
 #[test]
 fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
+    // Fresh metrics registry for this test (also serializes the two
+    // tests in this binary, which both read global observability
+    // state).
+    let obs = sitra::obs::isolate();
+
     // Reference: the fully in-process pipeline.
     let local = run_pipeline(&mut sim(), &config());
     assert_eq!(local.dropped_tasks, 0);
@@ -161,10 +166,52 @@ fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
     // The driver evicted every step's staging objects on the way out.
     assert_eq!(server.space().stats().resident_bytes, 0);
     server.shutdown();
+
+    // The observability registry saw the same story the scheduler
+    // stats tell: exactly one requeue, no framing desyncs anywhere,
+    // and the queue-depth gauge's high-water mark is the scheduler's
+    // max_queue_depth (both are updated at the same mutation points).
+    let snap = obs.registry().snapshot();
+    assert_eq!(
+        snap.counter("sched.tasks.requeued"),
+        1,
+        "registry must record exactly one requeue"
+    );
+    assert_eq!(
+        snap.counter_sum("net.conn.desyncs"),
+        0,
+        "no connection may report a frame desync"
+    );
+    let (_, high_water) = snap
+        .gauge("sched.queue.depth")
+        .expect("queue depth gauge registered");
+    // Three schedulers wrote the gauge in this process: the local
+    // reference run's, the remote driver's (idle in remote mode), and
+    // the SpaceServer's. The gauge and max_queue_depth are updated at
+    // the same mutation points, so the high-water is exactly the max
+    // of their per-scheduler high-waters.
+    let expected_depth = local
+        .metrics
+        .max_queue_depth
+        .max(remote.metrics.max_queue_depth)
+        .max(stats.max_queue_depth);
+    assert_eq!(
+        high_water as usize, expected_depth,
+        "gauge high-water must equal the max SchedulerStats::max_queue_depth"
+    );
+    // Cross-layer sanity: the TCP run moved real frames and the RPC
+    // layer answered requests.
+    assert!(snap.counter_sum("net.conn.frames_sent") > 0);
+    assert!(snap.counter("space.rpc.requests") > 0);
+    assert_eq!(snap.counter("space.rpc.proto_errors"), 0);
 }
 
 #[test]
 fn inproc_remote_staging_roundtrip() {
+    // Fresh registry; also keeps this test from racing the TCP test's
+    // snapshot assertions on the global observability state.
+    let _obs = sitra::obs::isolate();
+
     // Same deployment over the deterministic in-process transport: a
     // quick guard that the remote path works without OS sockets.
     let addr: Addr = "inproc://remote-staging-test".parse().unwrap();

@@ -7,7 +7,17 @@
 //! binaries stay `harness = false` and tolerate libtest-style arguments
 //! (`--test`, `--bench`, filters), so both `cargo bench` and
 //! `cargo test` can run them quickly.
+//!
+//! Two extensions for CI:
+//!
+//! * `--quick` caps every group at 3 samples — fast enough for a
+//!   per-commit smoke job while still averaging over real iterations.
+//! * `BENCH_JSON=<path>` appends one JSON line per benchmark
+//!   (`{"group":…,"id":…,"mean_ns":…,"iters":…}`) so a regression gate
+//!   can diff runs without scraping human-readable output. Bench
+//!   binaries run sequentially under cargo, so appending is safe.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver (one per bench binary).
@@ -15,13 +25,37 @@ pub struct Criterion {
     /// Fast mode: run each routine a single timed iteration (set when
     /// the binary is invoked with `--test`, as `cargo test` does).
     test_mode: bool,
+    /// Smoke mode (`--quick`): cap samples at 3 per benchmark.
+    quick_mode: bool,
+    /// Append machine-readable results to this path (`BENCH_JSON`).
+    json_path: Option<std::path::PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { test_mode }
+        let quick_mode = std::env::args().any(|a| a == "--quick");
+        let json_path = std::env::var_os("BENCH_JSON").map(std::path::PathBuf::from);
+        Criterion {
+            test_mode,
+            quick_mode,
+            json_path,
+        }
     }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl Criterion {
@@ -57,6 +91,8 @@ impl<'a> BenchmarkGroup<'a> {
     {
         let samples = if self.criterion.test_mode {
             1
+        } else if self.criterion.quick_mode {
+            self.sample_size.min(3)
         } else {
             self.sample_size
         };
@@ -75,6 +111,23 @@ impl<'a> BenchmarkGroup<'a> {
             "{}/{}: {:?}/iter ({} iters)",
             self.name, id, per_iter, b.iters
         );
+        if let Some(path) = &self.criterion.json_path {
+            let line = format!(
+                "{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{},\"iters\":{}}}\n",
+                json_escape(&self.name),
+                json_escape(id),
+                per_iter.as_nanos(),
+                b.iters
+            );
+            let write = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(e) = write {
+                eprintln!("criterion: cannot append to BENCH_JSON {path:?}: {e}");
+            }
+        }
         self
     }
 
@@ -130,7 +183,11 @@ mod tests {
 
     #[test]
     fn bench_function_runs_and_reports() {
-        let mut c = Criterion { test_mode: true };
+        let mut c = Criterion {
+            test_mode: true,
+            quick_mode: false,
+            json_path: None,
+        };
         let mut group = c.benchmark_group("g");
         let mut calls = 0u32;
         group.sample_size(5).bench_function("count", |b| {
@@ -142,5 +199,55 @@ mod tests {
         group.finish();
         // warm-up + 1 timed iteration in test mode
         assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn quick_mode_caps_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            quick_mode: true,
+            json_path: None,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group.sample_size(50).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        // warm-up + 3 timed iterations in quick mode
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_json_appends_one_line_per_bench() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-json-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion {
+            test_mode: true,
+            quick_mode: false,
+            json_path: Some(path.clone()),
+        };
+        let mut group = c.benchmark_group("grp");
+        group.bench_function("a", |b| b.iter(|| 1));
+        group.bench_function("b", |b| b.iter(|| 2));
+        group.finish();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"group\":\"grp\",\"id\":\"a\",\"mean_ns\":"));
+        assert!(lines[1].contains("\"id\":\"b\""));
+        assert!(lines[1].ends_with("\"iters\":1}"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 }

@@ -407,7 +407,7 @@ pub mod prop {
             }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         pub struct VecStrategy<E> {
             elem: E,
             size: SizeRange,
