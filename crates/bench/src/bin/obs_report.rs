@@ -48,6 +48,13 @@ fn main() {
         r.stages.len(),
         r.other_events
     );
+    if r.degraded_stages() > 0 {
+        println!(
+            "{} task(s) on {} step(s) degraded to in-situ fallback (staging path failed)",
+            r.degraded_stages(),
+            r.degraded_steps()
+        );
+    }
 
     if !r.steps.is_empty() {
         let rows: Vec<Vec<String>> = r
@@ -91,6 +98,7 @@ fn main() {
                         .map(|b| b.to_string())
                         .unwrap_or_else(|| "-".into()),
                     format!("{:.6}", s.latency_secs),
+                    if s.degraded { "yes" } else { "-" }.to_string(),
                 ]
             })
             .collect();
@@ -106,6 +114,7 @@ fn main() {
                 "in-transit s",
                 "bucket",
                 "latency s",
+                "degraded",
             ],
             &rows,
         );

@@ -40,6 +40,9 @@ pub struct StageRow {
     pub streamed: bool,
     /// Step completion → output availability.
     pub latency_secs: f64,
+    /// The staging path failed and the driver re-ran the aggregation
+    /// in-situ (`analysis.degraded` event).
+    pub degraded: bool,
 }
 
 /// One timestep row rebuilt from the journal, mirroring
@@ -54,6 +57,9 @@ pub struct StepRow {
     pub ghost_secs: f64,
     /// Wall seconds blocked on synchronous analysis work.
     pub blocked_secs: f64,
+    /// At least one hybrid analysis on this step fell back to in-situ
+    /// aggregation (`step.degraded` event).
+    pub degraded: bool,
 }
 
 /// Everything a journal replay reconstructs.
@@ -94,12 +100,18 @@ pub fn replay(events: &[ObsEvent]) -> Replay {
     let mut out = Replay::default();
     for ev in events {
         match (ev.component.as_str(), ev.name.as_str()) {
-            ("driver", "step") => out.steps.push(StepRow {
-                step: ev.u64("step").unwrap_or(0),
-                sim_secs: ev.f64("sim_secs").unwrap_or(0.0),
-                ghost_secs: ev.f64("ghost_secs").unwrap_or(0.0),
-                blocked_secs: ev.f64("blocked_secs").unwrap_or(0.0),
-            }),
+            ("driver", "step") => {
+                let row = step_row(&mut out.steps, ev.u64("step").unwrap_or(0));
+                row.sim_secs = ev.f64("sim_secs").unwrap_or(0.0);
+                row.ghost_secs = ev.f64("ghost_secs").unwrap_or(0.0);
+                row.blocked_secs = ev.f64("blocked_secs").unwrap_or(0.0);
+            }
+            // Degradation can be journaled before the step event (in
+            // the step's analysis loop) or after every step event (in
+            // the end-of-run drain), hence find-or-create both ways.
+            ("driver", "step.degraded") => {
+                step_row(&mut out.steps, ev.u64("step").unwrap_or(0)).degraded = true;
+            }
             ("driver", "analysis.insitu") => {
                 let row = stage_row(&mut out.stages, ev);
                 row.placement = ev.get("placement").unwrap_or("").to_string();
@@ -120,10 +132,31 @@ pub fn replay(events: &[ObsEvent]) -> Replay {
                     .movement_sim_secs
                     .max(ev.f64("movement_sim_secs").unwrap_or(0.0));
             }
+            ("driver", "analysis.degraded") => {
+                // The staging path failed this task; the driver re-ran
+                // the aggregation in-situ. Mirrors the live driver's
+                // in-place row update.
+                let row = stage_row(&mut out.stages, ev);
+                row.aggregate_secs = ev.f64("aggregate_secs").unwrap_or(0.0);
+                row.latency_secs = ev.f64("latency_secs").unwrap_or(0.0);
+                row.degraded = true;
+            }
             _ => out.other_events += 1,
         }
     }
     out
+}
+
+/// The row for this step, created on first sight.
+fn step_row(steps: &mut Vec<StepRow>, step: u64) -> &mut StepRow {
+    if let Some(i) = steps.iter().position(|r| r.step == step) {
+        return &mut steps[i];
+    }
+    steps.push(StepRow {
+        step,
+        ..StepRow::default()
+    });
+    steps.last_mut().unwrap()
 }
 
 /// The row for this event's `(analysis, step)`, created on first sight.
@@ -164,6 +197,17 @@ impl Replay {
             }
         }
         seen
+    }
+
+    /// Steps on which at least one hybrid analysis degraded to in-situ
+    /// fallback.
+    pub fn degraded_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.degraded).count()
+    }
+
+    /// Stage rows that degraded to in-situ fallback.
+    pub fn degraded_stages(&self) -> usize {
+        self.stages.iter().filter(|s| s.degraded).count()
     }
 
     fn rows<'a>(&'a self, analysis: &'a str) -> impl Iterator<Item = &'a StageRow> {
@@ -276,6 +320,70 @@ mod tests {
         let r = replay(&events);
         assert_eq!(r.stages[0].bucket, None);
         assert!(!r.stages[0].streamed);
+    }
+
+    #[test]
+    fn degradation_events_mark_rows_in_any_order() {
+        // step.degraded lands before its step event (in-step shed) for
+        // step 1, and after all step events (drain) for step 2.
+        let events = vec![
+            ev(
+                "driver",
+                "analysis.degraded",
+                &[
+                    ("analysis", "viz"),
+                    ("step", "1"),
+                    ("reason", "shed"),
+                    ("aggregate_secs", "0.125"),
+                    ("latency_secs", "0.5"),
+                ],
+            ),
+            ev("driver", "step.degraded", &[("step", "1")]),
+            ev(
+                "driver",
+                "step",
+                &[
+                    ("step", "1"),
+                    ("sim_secs", "2.0"),
+                    ("ghost_secs", "0.25"),
+                    ("blocked_secs", "0.375"),
+                ],
+            ),
+            ev(
+                "driver",
+                "step",
+                &[
+                    ("step", "2"),
+                    ("sim_secs", "2.0"),
+                    ("ghost_secs", "0.25"),
+                    ("blocked_secs", "0"),
+                ],
+            ),
+            ev(
+                "driver",
+                "analysis.degraded",
+                &[
+                    ("analysis", "viz"),
+                    ("step", "2"),
+                    ("reason", "deadline"),
+                    ("aggregate_secs", "0.25"),
+                    ("latency_secs", "1.0"),
+                ],
+            ),
+            ev("driver", "step.degraded", &[("step", "2")]),
+        ];
+        let r = replay(&events);
+        assert_eq!(r.steps.len(), 2);
+        assert!(r.steps.iter().all(|s| s.degraded));
+        assert_eq!(r.steps[0].sim_secs, 2.0);
+        assert_eq!(r.steps[0].blocked_secs, 0.375);
+        assert_eq!(r.degraded_steps(), 2);
+        assert_eq!(r.degraded_stages(), 2);
+        let s = &r.stages[0];
+        assert!(s.degraded);
+        assert_eq!(s.aggregate_secs, 0.125);
+        assert_eq!(s.latency_secs, 0.5);
+        assert_eq!(r.other_events, 0);
     }
 
     #[test]

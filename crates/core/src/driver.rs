@@ -20,6 +20,15 @@
 //!    behind, the oldest payloads are withdrawn and the overrun tasks
 //!    are counted as dropped — the same back-pressure signal a real
 //!    staging deployment must watch.
+//! 5. In **remote** staging mode the driver additionally applies flow
+//!    control end to end: at most `staging_max_inflight` tasks ride the
+//!    wire at once (the producer blocks collecting the oldest first),
+//!    the server's admission policy can refuse or shed tasks, and any
+//!    task the staging path fails — deadline missed, admission refused,
+//!    endpoint unreachable — is *degraded*: its aggregation re-runs
+//!    in-situ from the retained intermediates, the step is marked
+//!    degraded in the metrics and the journal, and the run continues
+//!    with zero lost steps.
 
 use crate::analysis::{AnalysisOutput, InSituCtx};
 use crate::metrics::{AnalysisMetrics, PipelineMetrics, StepMetrics};
@@ -29,11 +38,19 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use sitra_dart::{Endpoint, EndpointId, Event, Fabric, NetworkModel, RegionKey};
-use sitra_dataspaces::Scheduler;
+use sitra_dataspaces::remote::{RemoteError, RemoteSpace};
+use sitra_dataspaces::{Admission, Scheduler};
 use sitra_mesh::{exchange_ghosts, Decomposition, ScalarField};
 use sitra_sim::{Simulation, Variable};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Callback invoked after each remotely staged output is collected
+/// (driver side), with the analysis label and step. An observation seam
+/// for streaming consumers — and for tests, which use it to inject
+/// faults at exact pipeline moments.
+pub type StagingOutputHook = Arc<dyn Fn(&str, u64) + Send + Sync>;
 
 /// Configuration of a live pipeline run.
 pub struct PipelineConfig {
@@ -61,6 +78,17 @@ pub struct PipelineConfig {
     /// external bucket workers ([`crate::remote::run_bucket_worker`]).
     /// `None` keeps the in-process staging threads.
     pub staging_endpoint: Option<String>,
+    /// Per-output deadline when awaiting a remotely staged aggregation.
+    /// An output that misses it is re-aggregated in-situ and the step is
+    /// marked degraded.
+    pub staging_deadline: Duration,
+    /// How many hybrid tasks may be in flight at the remote staging
+    /// area before the driver blocks collecting the oldest (producer-
+    /// side backpressure; also bounds the memory retained for in-situ
+    /// fallback).
+    pub staging_max_inflight: usize,
+    /// Called after each remotely staged output is collected.
+    pub staging_output_hook: Option<StagingOutputHook>,
 }
 
 impl PipelineConfig {
@@ -76,12 +104,33 @@ impl PipelineConfig {
             staging_buffer_depth: 16,
             network: NetworkModel::gemini(),
             staging_endpoint: None,
+            staging_deadline: Duration::from_secs(60),
+            staging_max_inflight: 4,
+            staging_output_hook: None,
         }
     }
 
     /// Stage hybrid analyses through a remote space server at `endpoint`.
     pub fn with_staging_endpoint(mut self, endpoint: impl Into<String>) -> Self {
         self.staging_endpoint = Some(endpoint.into());
+        self
+    }
+
+    /// Per-output deadline for remotely staged aggregations.
+    pub fn with_staging_deadline(mut self, deadline: Duration) -> Self {
+        self.staging_deadline = deadline;
+        self
+    }
+
+    /// Bound on remotely staged tasks in flight.
+    pub fn with_staging_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.staging_max_inflight = max_inflight;
+        self
+    }
+
+    /// Observe every remotely collected output.
+    pub fn with_staging_output_hook(mut self, hook: StagingOutputHook) -> Self {
+        self.staging_output_hook = Some(hook);
         self
     }
 }
@@ -95,6 +144,262 @@ struct TaskDesc {
     parts: Vec<(usize, EndpointId, RegionKey)>,
 }
 
+/// Connection manager for the remote staging endpoint. A transport
+/// error triggers one reconnect (bounded backoff) and a retry of the
+/// failed operation; if the reconnect fails too, the endpoint is marked
+/// *lost* and every hybrid analysis degrades to in-situ aggregation for
+/// the rest of the run. Non-transport errors (protocol, server,
+/// deadline) pass through untouched — the link itself is fine.
+struct RemoteStaging {
+    addr: sitra_net::Addr,
+    conn: Option<RemoteSpace>,
+    backoff: sitra_net::Backoff,
+}
+
+impl RemoteStaging {
+    fn connect(endpoint: &str) -> Self {
+        let addr: sitra_net::Addr = endpoint
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid staging endpoint `{endpoint}`: {e}"));
+        let backoff = sitra_net::Backoff::default();
+        let conn = match RemoteSpace::connect_retry(&addr, &backoff) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                sitra_obs::emit(
+                    "driver",
+                    "staging.lost",
+                    &[("endpoint", addr.to_string()), ("error", e.to_string())],
+                );
+                None
+            }
+        };
+        RemoteStaging {
+            addr,
+            conn,
+            backoff,
+        }
+    }
+
+    fn alive(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    fn with<R>(
+        &mut self,
+        mut op: impl FnMut(&RemoteSpace) -> Result<R, RemoteError>,
+    ) -> Result<R, RemoteError> {
+        let Some(conn) = self.conn.as_ref() else {
+            return Err(RemoteError::Net(sitra_net::NetError::Closed));
+        };
+        match op(conn) {
+            Err(RemoteError::Net(e)) if e.is_retryable() => {
+                match RemoteSpace::connect_retry(&self.addr, &self.backoff) {
+                    Ok(fresh) => {
+                        let res = op(&fresh);
+                        if matches!(res, Err(RemoteError::Net(_))) {
+                            self.mark_lost();
+                        } else {
+                            sitra_obs::counter("driver.staging.reconnects").inc();
+                            self.conn = Some(fresh);
+                        }
+                        res
+                    }
+                    Err(e2) => {
+                        self.mark_lost();
+                        Err(e2)
+                    }
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn mark_lost(&mut self) {
+        if self.conn.take().is_some() {
+            sitra_obs::emit(
+                "driver",
+                "staging.lost",
+                &[("endpoint", self.addr.to_string())],
+            );
+        }
+    }
+}
+
+/// A hybrid task shipped to the remote staging area whose output has
+/// not been collected yet. `parts` retains the in-situ intermediates so
+/// the driver can re-run the aggregation locally if the staging path
+/// fails — memory bounded by `staging_max_inflight` retained steps
+/// (`Bytes` clones share the underlying buffers with the staged puts).
+struct PendingRemote {
+    analysis_idx: usize,
+    step: u64,
+    /// Scheduler sequence number of the submitted task; `u64::MAX` when
+    /// the task never made it into the remote queue.
+    seq: u64,
+    issued: Instant,
+    parts: Vec<(usize, Bytes)>,
+}
+
+/// Driver-side state of the remote staging mode: the connection, the
+/// bounded in-flight window, and the degradation bookkeeping.
+struct RemoteCtx<'a> {
+    staging: RemoteStaging,
+    pending: Vec<PendingRemote>,
+    /// Every version (step) that had intermediates put remotely, for
+    /// eviction at drain time.
+    versions: BTreeSet<u64>,
+    degraded_steps: BTreeSet<u64>,
+    degraded_tasks: usize,
+    deadline: Duration,
+    n_ranks: u32,
+    hook: Option<StagingOutputHook>,
+    analyses: &'a [AnalysisSpec],
+    metrics: &'a Mutex<Vec<AnalysisMetrics>>,
+    outputs: &'a Mutex<Vec<(String, u64, AnalysisOutput)>>,
+}
+
+impl RemoteCtx<'_> {
+    /// Re-run a task's aggregation in-situ — the paper's fully-in-situ
+    /// formulation as a degradation path. Updates the task's metrics
+    /// row in place, journals the fallback, and returns the wall
+    /// seconds burned (charged to the current step as blocked time).
+    fn degrade(&mut self, p: PendingRemote, reason: &str) -> f64 {
+        let spec = &self.analyses[p.analysis_idx];
+        let t = Instant::now();
+        let out = spec.analysis.aggregate(p.step, &p.parts);
+        let aggregate_secs = t.elapsed().as_secs_f64();
+        let latency = p.issued.elapsed().as_secs_f64();
+        self.degraded_tasks += 1;
+        sitra_obs::counter("driver.tasks.degraded").inc();
+        sitra_obs::emit(
+            "driver",
+            "analysis.degraded",
+            &[
+                ("analysis", spec.label.clone()),
+                ("step", p.step.to_string()),
+                ("reason", reason.to_string()),
+                ("aggregate_secs", aggregate_secs.to_string()),
+                ("latency_secs", latency.to_string()),
+            ],
+        );
+        if self.degraded_steps.insert(p.step) {
+            sitra_obs::counter("driver.steps.degraded").inc();
+            sitra_obs::emit("driver", "step.degraded", &[("step", p.step.to_string())]);
+        }
+        {
+            let mut m = self.metrics.lock();
+            if let Some(row) = m
+                .iter_mut()
+                .find(|r| r.analysis == spec.label && r.step == p.step)
+            {
+                row.aggregate_secs = aggregate_secs;
+                row.aggregated_in_transit = false;
+                row.degraded = true;
+                row.completion_latency_secs = latency;
+            }
+        }
+        self.outputs.lock().push((spec.label.clone(), p.step, out));
+        aggregate_secs
+    }
+
+    /// Await the oldest in-flight remote output; any failure (deadline
+    /// missed, endpoint lost) degrades that task to in-situ
+    /// aggregation. Returns the wall seconds spent waiting and/or
+    /// aggregating locally.
+    fn collect_oldest(&mut self) -> f64 {
+        let p = self.pending.remove(0);
+        let label = self.analyses[p.analysis_idx].label.clone();
+        let step = p.step;
+        let t0 = Instant::now();
+        let deadline = t0 + self.deadline;
+        let res = self
+            .staging
+            .with(|c| await_output(c, &label, step, deadline));
+        sitra_obs::histogram("driver.staging.backpressure_wait_ns").observe(t0.elapsed());
+        match res {
+            Ok(out) => {
+                sitra_obs::counter("driver.staging.outputs_collected").inc();
+                self.outputs.lock().push((label.clone(), step, out));
+                if let Some(h) = &self.hook {
+                    h(&label, step);
+                }
+                t0.elapsed().as_secs_f64()
+            }
+            Err(e) => {
+                let reason = match &e {
+                    RemoteError::Timeout(_) => "deadline",
+                    RemoteError::Net(_) => "endpoint-lost",
+                    _ => "error",
+                };
+                t0.elapsed().as_secs_f64() + self.degrade(p, reason)
+            }
+        }
+    }
+
+    /// Put this step's intermediates into the staging space and submit
+    /// the task through the admission-aware verb, recording it as
+    /// in-flight. `Err(reason)` means the staging path refused (or
+    /// lost) the task and the caller must degrade it immediately. An
+    /// `AcceptedShed` verdict degrades the evicted older task here; the
+    /// `Ok` value is the wall seconds that local re-aggregation took
+    /// (0.0 when nothing was shed).
+    fn try_ship(
+        &mut self,
+        analysis_idx: usize,
+        step: u64,
+        issued: Instant,
+        parts: &[(usize, Bytes)],
+    ) -> Result<f64, &'static str> {
+        if !self.staging.alive() {
+            return Err("endpoint-lost");
+        }
+        let var = intermediate_var(&self.analyses[analysis_idx].label);
+        self.versions.insert(step);
+        for (r, payload) in parts {
+            let bb = rank_bbox(*r);
+            if self
+                .staging
+                .with(|c| c.put(&var, step, bb, payload.clone()))
+                .is_err()
+            {
+                return Err("endpoint-lost");
+            }
+        }
+        let task = encode_task(&RemoteTask {
+            analysis_idx: analysis_idx as u32,
+            step,
+            n_ranks: self.n_ranks,
+        });
+        let verdict = self.staging.with(|c| c.submit_task_admission(task.clone()));
+        let (seq, shed_seq) = match verdict {
+            Ok(Admission::Accepted { seq }) => (seq, None),
+            Ok(Admission::AcceptedShed { seq, shed_seq }) => (seq, Some(shed_seq)),
+            Ok(Admission::Rejected) => return Err("rejected"),
+            Ok(Admission::TimedOut) => return Err("admission-timeout"),
+            Ok(Admission::Closed) => return Err("sched-closed"),
+            Err(_) => return Err("endpoint-lost"),
+        };
+        self.pending.push(PendingRemote {
+            analysis_idx,
+            step,
+            seq,
+            issued,
+            parts: parts.to_vec(),
+        });
+        // The server evicted an older queued task to admit this one
+        // (ShedOldest policy): that task will never run remotely, so
+        // re-run its aggregation locally right away.
+        let mut shed_secs = 0.0;
+        if let Some(victim_seq) = shed_seq {
+            if let Some(pos) = self.pending.iter().position(|p| p.seq == victim_seq) {
+                let victim = self.pending.remove(pos);
+                shed_secs = self.degrade(victim, "shed");
+            }
+        }
+        Ok(shed_secs)
+    }
+}
+
 /// Result of a pipeline run: metrics plus every analysis output.
 pub struct PipelineResult {
     /// Per-stage measurements.
@@ -104,6 +409,11 @@ pub struct PipelineResult {
     /// Tasks dropped because the staging area fell behind the
     /// back-pressure horizon.
     pub dropped_tasks: usize,
+    /// Remote-staged tasks whose staging path failed (deadline missed,
+    /// admission refused, endpoint lost) and whose aggregation the
+    /// driver re-ran in-situ. Their outputs are still present — a
+    /// degraded task is never a lost task.
+    pub degraded_tasks: usize,
 }
 
 impl PipelineResult {
@@ -180,16 +490,7 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
     let rank_endpoints: Vec<Endpoint> = (0..n_ranks).map(|_| fabric.register()).collect();
     let scheduler: Scheduler<TaskDesc> = Scheduler::new();
 
-    // Remote staging: hybrid work goes through a SpaceServer instead of
-    // the in-process scheduler + DART pulls.
-    let remote = cfg.staging_endpoint.as_ref().map(|ep| {
-        let addr = ep
-            .parse()
-            .unwrap_or_else(|e| panic!("invalid staging endpoint `{ep}`: {e}"));
-        sitra_dataspaces::RemoteSpace::connect_retry(&addr, &sitra_net::Backoff::default())
-            .unwrap_or_else(|e| panic!("cannot reach staging endpoint `{ep}`: {e}"))
-    });
-    let mut remote_pending: Vec<(usize, u64)> = Vec::new();
+    let remote_mode = cfg.staging_endpoint.is_some();
 
     let analyses: Vec<AnalysisSpec> = cfg.analyses.clone();
     {
@@ -210,9 +511,27 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
     // dropped), so the drain below blocks instead of polling.
     let (done_tx, done_rx) = crossbeam::channel::unbounded::<()>();
 
+    // Remote staging: hybrid work goes through a SpaceServer instead of
+    // the in-process scheduler + DART pulls. An unreachable endpoint no
+    // longer aborts the run — the staging starts out "lost" and every
+    // hybrid analysis degrades to in-situ aggregation.
+    let mut rctx: Option<RemoteCtx<'_>> = cfg.staging_endpoint.as_ref().map(|ep| RemoteCtx {
+        staging: RemoteStaging::connect(ep),
+        pending: Vec::new(),
+        versions: BTreeSet::new(),
+        degraded_steps: BTreeSet::new(),
+        degraded_tasks: 0,
+        deadline: cfg.staging_deadline,
+        n_ranks: n_ranks as u32,
+        hook: cfg.staging_output_hook.clone(),
+        analyses: &analyses,
+        metrics: &shared_metrics,
+        outputs: &shared_outputs,
+    });
+
     // Staging-bucket workers (in-process mode only: with a remote
     // endpoint the buckets live behind the space server).
-    let local_buckets = if remote.is_some() {
+    let local_buckets = if remote_mode {
         0
     } else {
         cfg.staging_buckets.max(1)
@@ -327,6 +646,7 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
                         bucket: None,
                         streamed: false,
                         completion_latency_secs: 0.0,
+                        degraded: false,
                     };
                     emit_insitu(&row, "insitu");
                     emit_aggregate(
@@ -342,41 +662,58 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
                     shared_metrics.lock().push(row);
                     shared_outputs.lock().push((spec.label.clone(), step, out));
                 }
-                Placement::Hybrid if remote.is_some() => {
+                Placement::Hybrid if remote_mode => {
                     // Remote staging: intermediates go into the space
                     // (one degenerate region per rank so a whole-step
                     // query returns them in rank order) and the task is
                     // queued in the server's scheduler for external
-                    // bucket workers.
-                    let rs = remote.as_ref().unwrap();
-                    let var = intermediate_var(&spec.label);
-                    for (r, payload, _) in &timed {
-                        rs.put(&var, step, rank_bbox(*r), payload.clone())
-                            .expect("staging put failed");
+                    // bucket workers. Every failure along the path —
+                    // endpoint unreachable, task refused by admission
+                    // control, output past its deadline — degrades the
+                    // task to local aggregation instead of losing it.
+                    let rc = rctx.as_mut().unwrap();
+                    // Producer-side backpressure: bound the in-flight
+                    // window by collecting the oldest output first.
+                    while rc.pending.len() >= cfg.staging_max_inflight.max(1) {
+                        blocked_secs += rc.collect_oldest();
                     }
+                    let parts: Vec<(usize, Bytes)> =
+                        timed.into_iter().map(|(r, b, _)| (r, b)).collect();
                     blocked_secs += insitu_wall;
+                    let issued = Instant::now();
+                    let shipped = rc.try_ship(ai, step, issued, &parts);
+                    let ok = shipped.is_ok();
                     let row = AnalysisMetrics {
                         analysis: spec.label.clone(),
                         step,
                         insitu_secs,
                         insitu_core_secs,
-                        movement_bytes,
-                        movement_sim_secs,
+                        movement_bytes: if ok { movement_bytes } else { 0 },
+                        movement_sim_secs: if ok { movement_sim_secs } else { 0.0 },
                         aggregate_secs: 0.0,
                         aggregated_in_transit: true,
                         bucket: None,
                         streamed: false,
                         completion_latency_secs: 0.0,
+                        degraded: false,
                     };
                     emit_insitu(&row, "hybrid-remote");
                     shared_metrics.lock().push(row);
-                    rs.submit_task(encode_task(&RemoteTask {
-                        analysis_idx: ai as u32,
-                        step,
-                        n_ranks: n_ranks as u32,
-                    }))
-                    .expect("staging submit failed");
-                    remote_pending.push((ai, step));
+                    match shipped {
+                        Ok(shed_secs) => blocked_secs += shed_secs,
+                        Err(reason) => {
+                            blocked_secs += rc.degrade(
+                                PendingRemote {
+                                    analysis_idx: ai,
+                                    step,
+                                    seq: u64::MAX,
+                                    issued,
+                                    parts,
+                                },
+                                reason,
+                            );
+                        }
+                    }
                 }
                 Placement::Hybrid => {
                     // Export payloads and withdraw stale ones.
@@ -403,6 +740,7 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
                         bucket: None,
                         streamed: false,
                         completion_latency_secs: 0.0,
+                        degraded: false,
                     };
                     // Stash the in-situ half of the metrics before the
                     // task becomes visible: the bucket that completes it
@@ -435,28 +773,28 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
             sim_secs,
             ghost_secs,
             blocked_secs,
+            degraded: false,
         });
     }
 
     // Drain: close the queue once all buckets finished outstanding work.
-    if let Some(rs) = &remote {
-        // Remote mode: collect every output from the space, reclaim the
-        // staging memory step by step, then close the remote scheduler
-        // so external bucket workers retire.
-        let deadline = Instant::now() + Duration::from_secs(120);
-        for (ai, step) in &remote_pending {
-            let label = &analyses[*ai].label;
-            let out = await_output(rs, label, *step, deadline)
-                .unwrap_or_else(|e| panic!("remote staging lost {label}@{step}: {e}"));
-            shared_outputs.lock().push((label.clone(), *step, out));
+    let mut degraded_tasks = 0;
+    if let Some(mut rc) = rctx.take() {
+        // Remote mode: collect every in-flight output (anything the
+        // staging path lost is re-aggregated in-situ — zero lost
+        // steps), reclaim the staging memory, then close the remote
+        // scheduler so external bucket workers retire.
+        while !rc.pending.is_empty() {
+            rc.collect_oldest();
         }
-        let mut versions: Vec<u64> = remote_pending.iter().map(|(_, s)| *s).collect();
-        versions.sort_unstable();
-        versions.dedup();
-        for v in versions {
-            let _ = rs.evict_version(v);
+        for v in &rc.versions {
+            let _ = rc.staging.with(|c| c.evict_version(*v));
         }
-        let _ = rs.close_sched();
+        let _ = rc.staging.with(|c| c.close_sched());
+        for sm in steps_metrics.iter_mut() {
+            sm.degraded = rc.degraded_steps.contains(&sm.step);
+        }
+        degraded_tasks = rc.degraded_tasks;
     } else {
         let expected_hybrid: u64 = {
             let m = shared_metrics.lock();
@@ -499,6 +837,7 @@ pub fn run_pipeline(sim: &mut Simulation, cfg: &PipelineConfig) -> PipelineResul
             .map(|m| m.into_inner())
             .unwrap_or_default(),
         dropped_tasks,
+        degraded_tasks,
     }
 }
 

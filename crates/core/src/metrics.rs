@@ -33,6 +33,12 @@ pub struct AnalysisMetrics {
     /// Delay from step completion to output availability (hybrid only;
     /// 0 for in-situ where the output is ready when the step ends).
     pub completion_latency_secs: f64,
+    /// True when this analysis was meant to aggregate in-transit but the
+    /// staging path failed (deadline missed, task refused, endpoint
+    /// unreachable) and the driver re-ran the aggregation in-situ — the
+    /// paper's fully-in-situ formulation as a degradation path.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// Metrics of one simulation step.
@@ -47,6 +53,10 @@ pub struct StepMetrics {
     /// Wall seconds the step spent blocked on synchronous analysis work
     /// (in-situ stages + in-situ aggregations + send initiation).
     pub blocked_secs: f64,
+    /// True when at least one of this step's hybrid analyses fell back
+    /// to in-situ aggregation because the staging path failed.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// Everything measured over a pipeline run.
@@ -109,6 +119,17 @@ impl PipelineMetrics {
     /// and step (the run's data-movement bill, before fabric framing).
     pub fn movement_bytes(&self) -> u64 {
         self.analyses.iter().map(|a| a.movement_bytes).sum()
+    }
+
+    /// Steps on which at least one hybrid analysis fell back to in-situ
+    /// aggregation.
+    pub fn degraded_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.degraded).count()
+    }
+
+    /// `(analysis, step)` rows that degraded to in-situ fallback.
+    pub fn degraded_analyses(&self) -> Vec<&AnalysisMetrics> {
+        self.analyses.iter().filter(|a| a.degraded).collect()
     }
 
     /// Mean bytes moved per analysis step.

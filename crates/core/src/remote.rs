@@ -151,9 +151,11 @@ pub fn run_bucket_worker(
         }
         let poll = match space.request_task(bucket_id, opts.request_timeout) {
             Ok(p) => p,
-            Err(RemoteError::Net(_)) => {
-                // Connection lost (server restart, transient network
-                // failure): reconnect with backoff and retry.
+            Err(e) if e.is_retryable() => {
+                // Transient failure (connection lost to a server restart,
+                // network hiccup, elapsed wait): reconnect with backoff
+                // and retry. Fatal errors (protocol violations,
+                // server-reported failures) still abort the worker.
                 space = RemoteSpace::connect_retry(endpoint, &opts.backoff)?;
                 obs_reconnects.inc();
                 continue;
@@ -203,27 +205,36 @@ pub fn run_bucket_worker(
 }
 
 /// Poll the space until the output of `(label, step)` appears, decode
-/// it, or give up at `deadline`.
+/// it, or give up at `deadline` with [`RemoteError::Timeout`].
+///
+/// The poll interval backs off exponentially (capped) so a long wait
+/// does not hammer the server, and the final sleep is clamped to the
+/// time remaining so the deadline is honoured instead of overslept.
 pub fn await_output(
     space: &RemoteSpace,
     label: &str,
     step: u64,
     deadline: std::time::Instant,
 ) -> Result<AnalysisOutput, RemoteError> {
+    const FIRST_SLEEP: Duration = Duration::from_micros(500);
+    const MAX_SLEEP: Duration = Duration::from_millis(20);
     let var = output_var(label);
     let q = output_bbox();
+    let mut sleep = FIRST_SLEEP;
     loop {
         let pieces = space.get(&var, step, &q)?;
         if let Some((_, data)) = pieces.into_iter().next() {
             return decode_analysis_output(data)
                 .map_err(|e| RemoteError::Proto(format!("bad output for {label}@{step}: {e}")));
         }
-        if std::time::Instant::now() >= deadline {
-            return Err(RemoteError::Proto(format!(
-                "timed out waiting for output {label}@{step}"
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        if left.is_zero() {
+            return Err(RemoteError::Timeout(format!(
+                "waiting for output {label}@{step}"
             )));
         }
-        std::thread::sleep(Duration::from_millis(5));
+        std::thread::sleep(sleep.min(left));
+        sleep = (sleep * 2).min(MAX_SLEEP);
     }
 }
 
@@ -246,6 +257,28 @@ mod tests {
         assert!(decode_task(&Bytes::new()).is_err());
         assert!(decode_task(&Bytes::from(vec![0u8; 15])).is_err());
         assert!(decode_task(&Bytes::from(vec![0u8; 17])).is_err());
+    }
+
+    #[test]
+    fn await_output_deadline_returns_timeout_promptly() {
+        let addr: Addr = "inproc://core-await-timeout".parse().unwrap();
+        let server = SpaceServer::start(&addr, 1).unwrap();
+        let client = RemoteSpace::connect(&server.addr()).unwrap();
+        let t0 = std::time::Instant::now();
+        let deadline = t0 + Duration::from_millis(60);
+        let err = await_output(&client, "never", 1, deadline).unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(matches!(err, RemoteError::Timeout(_)), "got {err:?}");
+        assert!(err.is_retryable());
+        // The deadline is honoured: the final sleep is clamped to the
+        // time remaining, so we return at the deadline, not after an
+        // extra full poll interval.
+        assert!(elapsed >= Duration::from_millis(60));
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "overslept the deadline: {elapsed:?}"
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! up. A crashing or reconnecting consumer therefore never loses a
 //! task — the invariant the remote-staging integration test asserts.
 
-use crate::sched::{SchedStats, Scheduler};
+use crate::sched::{Admission, AdmissionPolicy, SchedStats, Scheduler};
 use crate::space::DataSpaces;
 use bytes::{BufMut, Bytes, BytesMut};
 use sitra_mesh::{BBox3, ScalarField};
@@ -30,16 +30,35 @@ use std::time::Duration;
 pub enum RemoteError {
     /// Transport failure (connection dropped, timeout, ...).
     Net(NetError),
+    /// A client-side deadline elapsed (e.g. an awaited output never
+    /// appeared). Distinct from [`RemoteError::Proto`]: nothing was
+    /// malformed, the data just never came — a retryable condition.
+    Timeout(String),
     /// The peer sent bytes that do not decode as protocol messages.
     Proto(String),
     /// The server executed the request and reported an error.
     Server(String),
 }
 
+impl RemoteError {
+    /// Whether retrying the operation (possibly after reconnecting) can
+    /// succeed. Transport faults and elapsed deadlines are transient;
+    /// protocol violations and server-reported errors are not — the
+    /// same request would fail the same way.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            RemoteError::Net(e) => e.is_retryable(),
+            RemoteError::Timeout(_) => true,
+            RemoteError::Proto(_) | RemoteError::Server(_) => false,
+        }
+    }
+}
+
 impl std::fmt::Display for RemoteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RemoteError::Net(e) => write!(f, "transport: {e}"),
+            RemoteError::Timeout(s) => write!(f, "timed out: {s}"),
             RemoteError::Proto(s) => write!(f, "protocol violation: {s}"),
             RemoteError::Server(s) => write!(f, "server error: {s}"),
         }
@@ -67,6 +86,8 @@ const REQ_ACK_TASK: u8 = 6;
 const REQ_STATS: u8 = 7;
 const REQ_EVICT_VERSION: u8 = 8;
 const REQ_CLOSE_SCHED: u8 = 9;
+const REQ_SUBMIT_TASK_ADM: u8 = 10;
+const REQ_SCHED_POLICY: u8 = 11;
 
 const RESP_OK: u8 = 100;
 const RESP_SEQ: u8 = 101;
@@ -74,7 +95,21 @@ const RESP_PIECES: u8 = 102;
 const RESP_VERSION: u8 = 103;
 const RESP_TASK: u8 = 104;
 const RESP_STATS: u8 = 105;
+const RESP_ADMISSION: u8 = 106;
+const RESP_POLICY: u8 = 107;
 const RESP_ERROR: u8 = 199;
+
+// Admission verdict tags (RESP_ADMISSION payload).
+const ADM_ACCEPTED: u8 = 0;
+const ADM_ACCEPTED_SHED: u8 = 1;
+const ADM_REJECTED: u8 = 2;
+const ADM_TIMED_OUT: u8 = 3;
+const ADM_CLOSED: u8 = 4;
+
+// Admission policy tags (RESP_POLICY payload).
+const POL_BLOCK: u8 = 0;
+const POL_SHED_OLDEST: u8 = 1;
+const POL_REJECT_NEW: u8 = 2;
 
 /// Requests a client can issue.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +144,16 @@ pub enum Request {
         /// Encoded task.
         data: Bytes,
     },
+    /// Data-ready with an explicit admission verdict: like
+    /// [`Request::SubmitTask`] but the response reports *why* a refused
+    /// task was refused (and which task was shed to admit this one), so
+    /// remote producers can apply backpressure or degrade.
+    SubmitTaskAdm {
+        /// Encoded task.
+        data: Bytes,
+    },
+    /// Query the scheduler's queue capacity and admission policy.
+    SchedPolicy,
     /// Bucket-ready: ask for the next task, waiting up to `timeout_ms`.
     RequestTask {
         /// Requesting bucket.
@@ -157,6 +202,11 @@ pub struct RemoteStats {
     pub tasks_assigned: u64,
     /// Tasks requeued after a failed hand-off.
     pub tasks_requeued: u64,
+    /// Queued tasks evicted under [`AdmissionPolicy::ShedOldest`].
+    pub tasks_shed: u64,
+    /// Submissions refused at capacity (rejects and elapsed Block
+    /// deadlines).
+    pub tasks_rejected: u64,
     /// Objects resident in the space.
     pub objects: u64,
     /// Bytes resident in the space.
@@ -178,6 +228,16 @@ pub enum Response {
     Task(TaskPoll),
     /// Server counters.
     Stats(RemoteStats),
+    /// Verdict of an admission-aware task submission.
+    Admission(Admission),
+    /// The scheduler's queue capacity (`None` = unbounded) and
+    /// admission policy.
+    Policy {
+        /// Queue capacity, if bounded.
+        capacity: Option<u64>,
+        /// Policy applied at capacity.
+        policy: AdmissionPolicy,
+    },
     /// The request failed server-side.
     Error(String),
 }
@@ -303,6 +363,11 @@ pub fn encode_request(req: &Request) -> Bytes {
             buf.put_u8(REQ_SUBMIT_TASK);
             put_bytes(&mut buf, data);
         }
+        Request::SubmitTaskAdm { data } => {
+            buf.put_u8(REQ_SUBMIT_TASK_ADM);
+            put_bytes(&mut buf, data);
+        }
+        Request::SchedPolicy => buf.put_u8(REQ_SCHED_POLICY),
         Request::RequestTask {
             bucket_id,
             timeout_ms,
@@ -342,6 +407,8 @@ pub fn decode_request(frame: Bytes) -> Result<Request, RemoteError> {
         },
         REQ_LATEST_VERSION => Request::LatestVersion { var: rd.string()? },
         REQ_SUBMIT_TASK => Request::SubmitTask { data: rd.bytes()? },
+        REQ_SUBMIT_TASK_ADM => Request::SubmitTaskAdm { data: rd.bytes()? },
+        REQ_SCHED_POLICY => Request::SchedPolicy,
         REQ_REQUEST_TASK => Request::RequestTask {
             bucket_id: rd.u32()?,
             timeout_ms: rd.u64()?,
@@ -395,8 +462,46 @@ pub fn encode_response(resp: &Response) -> Bytes {
             buf.put_u64_le(s.tasks_submitted);
             buf.put_u64_le(s.tasks_assigned);
             buf.put_u64_le(s.tasks_requeued);
+            buf.put_u64_le(s.tasks_shed);
+            buf.put_u64_le(s.tasks_rejected);
             buf.put_u64_le(s.objects);
             buf.put_u64_le(s.resident_bytes);
+        }
+        Response::Admission(adm) => {
+            buf.put_u8(RESP_ADMISSION);
+            match adm {
+                Admission::Accepted { seq } => {
+                    buf.put_u8(ADM_ACCEPTED);
+                    buf.put_u64_le(*seq);
+                }
+                Admission::AcceptedShed { seq, shed_seq } => {
+                    buf.put_u8(ADM_ACCEPTED_SHED);
+                    buf.put_u64_le(*seq);
+                    buf.put_u64_le(*shed_seq);
+                }
+                Admission::Rejected => buf.put_u8(ADM_REJECTED),
+                Admission::TimedOut => buf.put_u8(ADM_TIMED_OUT),
+                Admission::Closed => buf.put_u8(ADM_CLOSED),
+            }
+        }
+        Response::Policy { capacity, policy } => {
+            buf.put_u8(RESP_POLICY);
+            buf.put_u8(u8::from(capacity.is_some()));
+            buf.put_u64_le(capacity.unwrap_or(0));
+            match policy {
+                AdmissionPolicy::Block { max_wait } => {
+                    buf.put_u8(POL_BLOCK);
+                    buf.put_u64_le(max_wait.as_millis() as u64);
+                }
+                AdmissionPolicy::ShedOldest => {
+                    buf.put_u8(POL_SHED_OLDEST);
+                    buf.put_u64_le(0);
+                }
+                AdmissionPolicy::RejectNew => {
+                    buf.put_u8(POL_REJECT_NEW);
+                    buf.put_u64_le(0);
+                }
+            }
         }
         Response::Error(msg) => {
             buf.put_u8(RESP_ERROR);
@@ -444,9 +549,40 @@ pub fn decode_response(frame: Bytes) -> Result<Response, RemoteError> {
             tasks_submitted: rd.u64()?,
             tasks_assigned: rd.u64()?,
             tasks_requeued: rd.u64()?,
+            tasks_shed: rd.u64()?,
+            tasks_rejected: rd.u64()?,
             objects: rd.u64()?,
             resident_bytes: rd.u64()?,
         }),
+        RESP_ADMISSION => match rd.u8()? {
+            ADM_ACCEPTED => Response::Admission(Admission::Accepted { seq: rd.u64()? }),
+            ADM_ACCEPTED_SHED => Response::Admission(Admission::AcceptedShed {
+                seq: rd.u64()?,
+                shed_seq: rd.u64()?,
+            }),
+            ADM_REJECTED => Response::Admission(Admission::Rejected),
+            ADM_TIMED_OUT => Response::Admission(Admission::TimedOut),
+            ADM_CLOSED => Response::Admission(Admission::Closed),
+            v => return Err(RemoteError::Proto(format!("unknown admission verdict {v}"))),
+        },
+        RESP_POLICY => {
+            let has_cap = rd.u8()? != 0;
+            let cap = rd.u64()?;
+            let tag = rd.u8()?;
+            let wait_ms = rd.u64()?;
+            let policy = match tag {
+                POL_BLOCK => AdmissionPolicy::Block {
+                    max_wait: Duration::from_millis(wait_ms),
+                },
+                POL_SHED_OLDEST => AdmissionPolicy::ShedOldest,
+                POL_REJECT_NEW => AdmissionPolicy::RejectNew,
+                t => return Err(RemoteError::Proto(format!("unknown policy tag {t}"))),
+            };
+            Response::Policy {
+                capacity: has_cap.then_some(cap),
+                policy,
+            }
+        }
         RESP_ERROR => Response::Error(rd.string()?),
         t => return Err(RemoteError::Proto(format!("unknown response tag {t}"))),
     };
@@ -480,13 +616,30 @@ pub struct SpaceServer {
 }
 
 impl SpaceServer {
-    /// Bind `addr` and start serving with `shards` space shards.
+    /// Bind `addr` and start serving with `shards` space shards and an
+    /// unbounded task queue.
     pub fn start(addr: &Addr, shards: usize) -> Result<SpaceServer, NetError> {
+        Self::start_with(addr, shards, None, AdmissionPolicy::RejectNew)
+    }
+
+    /// Bind `addr` and start serving with `shards` space shards and a
+    /// task queue bounded at `capacity` (when `Some`), applying `policy`
+    /// to submissions that find it full.
+    pub fn start_with(
+        addr: &Addr,
+        shards: usize,
+        capacity: Option<usize>,
+        policy: AdmissionPolicy,
+    ) -> Result<SpaceServer, NetError> {
         let listener = Listener::bind(addr)?;
         let bound = listener.local_addr();
+        let sched = match capacity {
+            Some(cap) => Scheduler::bounded(cap, policy),
+            None => Scheduler::new(),
+        };
         let inner = Arc::new(ServerInner {
             space: DataSpaces::new(shards),
-            sched: Scheduler::new(),
+            sched,
         });
         let conn_inner = Arc::clone(&inner);
         let handle = serve(listener, move |conn| serve_connection(&conn_inner, &conn));
@@ -559,9 +712,19 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
                 Response::Pieces(inner.space.get(&var, version, &bbox))
             }
             Request::LatestVersion { var } => Response::Version(inner.space.latest_version(&var)),
-            Request::SubmitTask { data } => match inner.sched.try_submit(data) {
-                Some(seq) => Response::Seq(seq),
-                None => Response::Error("scheduler closed".into()),
+            Request::SubmitTask { data } => match inner.sched.submit_admission(data) {
+                Admission::Accepted { seq } | Admission::AcceptedShed { seq, .. } => {
+                    Response::Seq(seq)
+                }
+                Admission::Closed => Response::Error("scheduler closed".into()),
+                verdict => Response::Error(format!("task not admitted: {verdict:?}")),
+            },
+            Request::SubmitTaskAdm { data } => {
+                Response::Admission(inner.sched.submit_admission(data))
+            }
+            Request::SchedPolicy => Response::Policy {
+                capacity: inner.sched.capacity().map(|c| c as u64),
+                policy: inner.sched.policy(),
             },
             Request::RequestTask {
                 bucket_id,
@@ -580,6 +743,8 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
                     tasks_submitted: sched.tasks_submitted,
                     tasks_assigned: sched.tasks_assigned,
                     tasks_requeued: sched.tasks_requeued,
+                    tasks_shed: sched.tasks_shed,
+                    tasks_rejected: sched.tasks_rejected,
                     objects: space.objects_per_server.iter().sum(),
                     resident_bytes: space.resident_bytes,
                 })
@@ -829,6 +994,31 @@ impl RemoteSpace {
         }
     }
 
+    /// Data-ready with an explicit [`Admission`] verdict: the server
+    /// applies its admission policy and reports the outcome instead of
+    /// turning a refusal into an opaque error. This is how a remote
+    /// producer learns it should degrade (run the aggregation in-situ)
+    /// or that one of its earlier tasks was shed.
+    pub fn submit_task_admission(&self, data: Bytes) -> Result<Admission, RemoteError> {
+        match self.rpc(&Request::SubmitTaskAdm { data })? {
+            Response::Admission(adm) => Ok(adm),
+            other => Err(RemoteError::Proto(format!(
+                "expected Admission, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server scheduler's queue capacity (`None` = unbounded) and
+    /// admission policy.
+    pub fn sched_policy(&self) -> Result<(Option<u64>, AdmissionPolicy), RemoteError> {
+        match self.rpc(&Request::SchedPolicy)? {
+            Response::Policy { capacity, policy } => Ok((capacity, policy)),
+            other => Err(RemoteError::Proto(format!(
+                "expected Policy, got {other:?}"
+            ))),
+        }
+    }
+
     /// Bucket-ready: request the next task, waiting up to `timeout` on
     /// the server. An assigned task is acknowledged automatically
     /// before this returns.
@@ -932,6 +1122,10 @@ mod tests {
             Request::Stats,
             Request::EvictVersion { version: 3 },
             Request::CloseSched,
+            Request::SubmitTaskAdm {
+                data: Bytes::from_static(b"task-adm"),
+            },
+            Request::SchedPolicy,
         ];
         for r in reqs {
             assert_eq!(decode_request(encode_request(&r)).unwrap(), r);
@@ -959,9 +1153,33 @@ mod tests {
                 tasks_submitted: 1,
                 tasks_assigned: 2,
                 tasks_requeued: 3,
+                tasks_shed: 6,
+                tasks_rejected: 7,
                 objects: 4,
                 resident_bytes: 5,
             }),
+            Response::Admission(Admission::Accepted { seq: 11 }),
+            Response::Admission(Admission::AcceptedShed {
+                seq: 12,
+                shed_seq: 2,
+            }),
+            Response::Admission(Admission::Rejected),
+            Response::Admission(Admission::TimedOut),
+            Response::Admission(Admission::Closed),
+            Response::Policy {
+                capacity: Some(32),
+                policy: AdmissionPolicy::Block {
+                    max_wait: Duration::from_millis(250),
+                },
+            },
+            Response::Policy {
+                capacity: None,
+                policy: AdmissionPolicy::ShedOldest,
+            },
+            Response::Policy {
+                capacity: Some(1),
+                policy: AdmissionPolicy::RejectNew,
+            },
             Response::Error("boom".into()),
         ];
         for r in resps {
@@ -1065,6 +1283,94 @@ mod tests {
         assert_eq!(stats.tasks_submitted, 1);
         assert_eq!(stats.tasks_requeued, 1);
         assert_eq!(stats.tasks_assigned, 2); // once to the doomed, once to the survivor
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_verbs_over_inproc() {
+        let addr: Addr = "inproc://space-admission".parse().unwrap();
+        let server =
+            SpaceServer::start_with(&addr, 1, Some(2), AdmissionPolicy::ShedOldest).unwrap();
+        let producer = RemoteSpace::connect(&server.addr()).unwrap();
+        assert_eq!(
+            producer.sched_policy().unwrap(),
+            (Some(2), AdmissionPolicy::ShedOldest)
+        );
+        assert_eq!(
+            producer
+                .submit_task_admission(Bytes::from_static(b"t0"))
+                .unwrap(),
+            Admission::Accepted { seq: 0 }
+        );
+        assert_eq!(
+            producer
+                .submit_task_admission(Bytes::from_static(b"t1"))
+                .unwrap(),
+            Admission::Accepted { seq: 1 }
+        );
+        // Queue full: the oldest task is shed to admit the new one.
+        assert_eq!(
+            producer
+                .submit_task_admission(Bytes::from_static(b"t2"))
+                .unwrap(),
+            Admission::AcceptedShed {
+                seq: 2,
+                shed_seq: 0
+            }
+        );
+        let stats = producer.stats().unwrap();
+        assert_eq!(stats.tasks_shed, 1);
+        assert_eq!(stats.tasks_rejected, 0);
+        // The survivors drain FCFS; the shed task is gone.
+        let bucket = RemoteSpace::connect(&server.addr()).unwrap();
+        assert_eq!(
+            bucket.request_task(0, Duration::from_secs(2)).unwrap(),
+            TaskPoll::Assigned {
+                seq: 1,
+                data: Bytes::from_static(b"t1")
+            }
+        );
+        assert_eq!(
+            bucket.request_task(0, Duration::from_secs(2)).unwrap(),
+            TaskPoll::Assigned {
+                seq: 2,
+                data: Bytes::from_static(b"t2")
+            }
+        );
+        producer.close_sched().unwrap();
+        assert_eq!(
+            producer
+                .submit_task_admission(Bytes::from_static(b"late"))
+                .unwrap(),
+            Admission::Closed
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn reject_new_over_rpc_reports_rejection() {
+        let addr: Addr = "inproc://space-reject".parse().unwrap();
+        let server =
+            SpaceServer::start_with(&addr, 1, Some(1), AdmissionPolicy::RejectNew).unwrap();
+        let producer = RemoteSpace::connect(&server.addr()).unwrap();
+        assert_eq!(
+            producer
+                .submit_task_admission(Bytes::from_static(b"a"))
+                .unwrap(),
+            Admission::Accepted { seq: 0 }
+        );
+        assert_eq!(
+            producer
+                .submit_task_admission(Bytes::from_static(b"b"))
+                .unwrap(),
+            Admission::Rejected
+        );
+        // The legacy verb surfaces the refusal as a server error.
+        assert!(matches!(
+            producer.submit_task(Bytes::from_static(b"c")),
+            Err(RemoteError::Server(_))
+        ));
+        assert_eq!(producer.stats().unwrap().tasks_rejected, 2);
         server.shutdown();
     }
 

@@ -16,15 +16,76 @@
 //! busy longer while other buckets absorb subsequent timesteps — the
 //! temporal multiplexing that decouples analysis latency from simulation
 //! cadence.
+//!
+//! The queue can be **bounded**: the paper assumes the staging area
+//! keeps up with the simulation, but a production deployment must
+//! decide what happens when it does not. [`Scheduler::bounded`] attaches
+//! a capacity and an [`AdmissionPolicy`] — block the producer (with a
+//! deadline), shed the oldest queued task, or reject the new one — and
+//! [`Scheduler::submit_admission`] reports the verdict so producers can
+//! degrade gracefully instead of growing an unbounded backlog.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Identifies a staging bucket.
 pub type BucketId = u32;
+
+/// What a bounded scheduler does with a submission that finds the queue
+/// at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Apply backpressure: block the submitter until space frees up, at
+    /// most `max_wait`, then report [`Admission::TimedOut`].
+    Block {
+        /// Longest a submission may wait for queue space.
+        max_wait: Duration,
+    },
+    /// Evict the oldest queued task to make room — freshest data wins,
+    /// matching the driver's ring-buffer back-pressure semantics.
+    ShedOldest,
+    /// Refuse the new task and tell the producer, which can then run
+    /// the aggregation in-situ instead.
+    RejectNew,
+}
+
+/// The verdict of [`Scheduler::submit_admission`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued (or handed straight to a parked bucket).
+    Accepted {
+        /// Sequence number of the admitted task.
+        seq: u64,
+    },
+    /// Enqueued after evicting the oldest queued task
+    /// ([`AdmissionPolicy::ShedOldest`]).
+    AcceptedShed {
+        /// Sequence number of the admitted task.
+        seq: u64,
+        /// Sequence number of the task that was shed to make room.
+        shed_seq: u64,
+    },
+    /// Refused: the queue is full ([`AdmissionPolicy::RejectNew`]).
+    Rejected,
+    /// Refused: the queue stayed full past the blocking deadline
+    /// ([`AdmissionPolicy::Block`]).
+    TimedOut,
+    /// Refused: the scheduler is closed.
+    Closed,
+}
+
+impl Admission {
+    /// The admitted task's sequence number, if it was admitted.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Admission::Accepted { seq } | Admission::AcceptedShed { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
+}
 
 /// Scheduler counters and the assignment log.
 #[derive(Debug, Clone, Default)]
@@ -43,6 +104,12 @@ pub struct SchedStats {
     /// grows across timesteps, the staging area is undersized for the
     /// requested analysis frequency).
     pub max_queue_depth: usize,
+    /// Queued tasks evicted to admit newer ones
+    /// ([`AdmissionPolicy::ShedOldest`]).
+    pub tasks_shed: u64,
+    /// Submissions refused at capacity ([`AdmissionPolicy::RejectNew`],
+    /// or [`AdmissionPolicy::Block`] deadlines that elapsed).
+    pub tasks_rejected: u64,
 }
 
 /// Live observability handles, resolved once from the global
@@ -54,8 +121,11 @@ struct SchedObs {
     submitted: sitra_obs::Counter,
     assigned: sitra_obs::Counter,
     requeued: sitra_obs::Counter,
+    shed: sitra_obs::Counter,
+    rejected: sitra_obs::Counter,
     task_wait: sitra_obs::Histogram,
     bucket_idle: sitra_obs::Histogram,
+    backpressure_wait: sitra_obs::Histogram,
 }
 
 impl SchedObs {
@@ -66,8 +136,11 @@ impl SchedObs {
             submitted: reg.counter("sched.tasks.submitted"),
             assigned: reg.counter("sched.tasks.assigned"),
             requeued: reg.counter("sched.tasks.requeued"),
+            shed: reg.counter("sched.tasks.shed"),
+            rejected: reg.counter("sched.tasks.rejected"),
             task_wait: reg.histogram("sched.task.wait_ns"),
             bucket_idle: reg.histogram("sched.bucket.idle_ns"),
+            backpressure_wait: reg.histogram("sched.backpressure.wait_ns"),
         }
     }
 }
@@ -80,18 +153,27 @@ struct Inner<T> {
     stats: SchedStats,
     next_seq: u64,
     closed: bool,
+    capacity: Option<usize>,
+    policy: AdmissionPolicy,
     obs: SchedObs,
+}
+
+struct Shared<T> {
+    mu: Mutex<Inner<T>>,
+    // Signalled whenever queue space frees up (a task popped) or the
+    // scheduler closes, so Block-policy submitters can wake.
+    freed: Condvar,
 }
 
 /// A generic FCFS pull scheduler over task payloads `T`.
 pub struct Scheduler<T> {
-    inner: Arc<Mutex<Inner<T>>>,
+    shared: Arc<Shared<T>>,
 }
 
 impl<T> Clone for Scheduler<T> {
     fn clone(&self) -> Self {
         Self {
-            inner: Arc::clone(&self.inner),
+            shared: Arc::clone(&self.shared),
         }
     }
 }
@@ -103,27 +185,57 @@ impl<T: Send + 'static> Default for Scheduler<T> {
 }
 
 impl<T: Send + 'static> Scheduler<T> {
-    /// An empty scheduler.
+    /// An empty, unbounded scheduler.
     pub fn new() -> Self {
+        Self::with_limit(None, AdmissionPolicy::RejectNew)
+    }
+
+    /// An empty scheduler whose queue holds at most `capacity` tasks;
+    /// `policy` decides what a submission at capacity does.
+    pub fn bounded(capacity: usize, policy: AdmissionPolicy) -> Self {
+        Self::with_limit(Some(capacity.max(1)), policy)
+    }
+
+    fn with_limit(capacity: Option<usize>, policy: AdmissionPolicy) -> Self {
         Self {
-            inner: Arc::new(Mutex::new(Inner {
-                queue: VecDeque::new(),
-                free_buckets: VecDeque::new(),
-                stats: SchedStats::default(),
-                next_seq: 0,
-                closed: false,
-                obs: SchedObs::resolve(),
-            })),
+            shared: Arc::new(Shared {
+                mu: Mutex::new(Inner {
+                    queue: VecDeque::new(),
+                    free_buckets: VecDeque::new(),
+                    stats: SchedStats::default(),
+                    next_seq: 0,
+                    closed: false,
+                    capacity,
+                    policy,
+                    obs: SchedObs::resolve(),
+                }),
+                freed: Condvar::new(),
+            }),
         }
+    }
+
+    /// The queue capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.mu.lock().capacity
+    }
+
+    /// The admission policy applied at capacity.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.shared.mu.lock().policy
     }
 
     /// Data-ready: enqueue a task. Returns its sequence number. If a
     /// bucket is parked, the task is handed over immediately.
     pub fn submit(&self, task: T) -> u64 {
-        self.try_submit(task).expect("scheduler closed")
+        match self.submit_admission(task) {
+            Admission::Accepted { seq } | Admission::AcceptedShed { seq, .. } => seq,
+            Admission::Closed => panic!("scheduler closed"),
+            verdict => panic!("task not admitted: {verdict:?}"),
+        }
     }
 
-    fn drain(g: &mut Inner<T>) {
+    fn drain(shared: &Shared<T>, g: &mut Inner<T>) {
+        let popped = !g.queue.is_empty() && !g.free_buckets.is_empty();
         while !g.queue.is_empty() && !g.free_buckets.is_empty() {
             let (seq, task, enqueued) = g.queue.pop_front().unwrap();
             let (bucket, tx) = g.free_buckets.pop_front().unwrap();
@@ -137,16 +249,67 @@ impl<T: Send + 'static> Scheduler<T> {
             let _ = tx.send((seq, task));
         }
         g.obs.queue_depth.set(g.queue.len() as i64);
+        if popped {
+            shared.freed.notify_all();
+        }
     }
 
     /// Data-ready without the panic: like [`Self::submit`] but returns
-    /// `None` once the scheduler is closed, for callers (the remote
-    /// staging service) where a late submission is an error to report,
-    /// not a bug to crash on.
+    /// `None` when the task is not admitted (scheduler closed, or a
+    /// bounded queue refused it), for callers where a late submission is
+    /// an error to report, not a bug to crash on.
     pub fn try_submit(&self, task: T) -> Option<u64> {
-        let mut g = self.inner.lock();
+        self.submit_admission(task).seq()
+    }
+
+    /// Data-ready with an explicit admission verdict: enqueue the task,
+    /// applying the scheduler's [`AdmissionPolicy`] when the queue is at
+    /// capacity. This is the verb the remote protocol surfaces so
+    /// producers learn *why* a submission was refused (and which task
+    /// was shed) instead of a bare failure.
+    pub fn submit_admission(&self, task: T) -> Admission {
+        let mut g = self.shared.mu.lock();
         if g.closed {
-            return None;
+            return Admission::Closed;
+        }
+        let mut shed_seq = None;
+        if let Some(cap) = g.capacity {
+            if g.queue.len() >= cap {
+                match g.policy {
+                    AdmissionPolicy::RejectNew => {
+                        g.stats.tasks_rejected += 1;
+                        g.obs.rejected.inc();
+                        return Admission::Rejected;
+                    }
+                    AdmissionPolicy::ShedOldest => {
+                        let (seq, _, _) = g.queue.pop_front().unwrap();
+                        g.stats.tasks_shed += 1;
+                        g.obs.shed.inc();
+                        sitra_obs::emit("sched", "task.shed", &[("seq", seq.to_string())]);
+                        shed_seq = Some(seq);
+                    }
+                    AdmissionPolicy::Block { max_wait } => {
+                        let t0 = Instant::now();
+                        let deadline = t0 + max_wait;
+                        while g.queue.len() >= cap && !g.closed {
+                            let left = deadline.saturating_duration_since(Instant::now());
+                            if left.is_zero() {
+                                break;
+                            }
+                            self.shared.freed.wait_for(&mut g, left);
+                        }
+                        g.obs.backpressure_wait.observe(t0.elapsed());
+                        if g.closed {
+                            return Admission::Closed;
+                        }
+                        if g.queue.len() >= cap {
+                            g.stats.tasks_rejected += 1;
+                            g.obs.rejected.inc();
+                            return Admission::TimedOut;
+                        }
+                    }
+                }
+            }
         }
         let seq = g.next_seq;
         g.next_seq += 1;
@@ -156,22 +319,30 @@ impl<T: Send + 'static> Scheduler<T> {
         let depth = g.queue.len();
         g.stats.max_queue_depth = g.stats.max_queue_depth.max(depth);
         g.obs.queue_depth.set(depth as i64);
-        Self::drain(&mut g);
-        Some(seq)
+        Self::drain(&self.shared, &mut g);
+        match shed_seq {
+            Some(shed) => Admission::AcceptedShed {
+                seq,
+                shed_seq: shed,
+            },
+            None => Admission::Accepted { seq },
+        }
     }
 
     /// Whether [`Self::close`] was called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().closed
+        self.shared.mu.lock().closed
     }
 
     /// Put an assigned task back at the *head* of the queue, keeping
     /// its original sequence number: the hand-off to a bucket failed
     /// (its connection died before acknowledging receipt) and the task
     /// must go to the next free bucket instead of being lost. Works
-    /// even after [`Self::close`] so in-flight tasks drain.
+    /// even after [`Self::close`] so in-flight tasks drain, and bypasses
+    /// the admission policy — an in-flight task was already admitted
+    /// once and must never be the one to lose out.
     pub fn requeue_front(&self, seq: u64, task: T) {
-        let mut g = self.inner.lock();
+        let mut g = self.shared.mu.lock();
         g.stats.tasks_requeued += 1;
         g.obs.requeued.inc();
         // The wait clock restarts: the latency being measured is
@@ -180,7 +351,7 @@ impl<T: Send + 'static> Scheduler<T> {
         let depth = g.queue.len();
         g.stats.max_queue_depth = g.stats.max_queue_depth.max(depth);
         g.obs.queue_depth.set(depth as i64);
-        Self::drain(&mut g);
+        Self::drain(&self.shared, &mut g);
     }
 
     /// Register a bucket and get its handle.
@@ -194,20 +365,27 @@ impl<T: Send + 'static> Scheduler<T> {
     /// Close the scheduler: no further submissions; parked and future
     /// bucket requests return `None` once the queue drains.
     pub fn close(&self) {
-        let mut g = self.inner.lock();
+        let mut g = self.shared.mu.lock();
+        // Drain *before* dropping the parked buckets' senders: a task
+        // submitted just before close must reach a bucket that is
+        // already parked rather than strand in the queue while that
+        // bucket wakes empty-handed and gives up.
+        Self::drain(&self.shared, &mut g);
         g.closed = true;
-        // Wake parked buckets with nothing: drop their senders.
+        // Wake remaining parked buckets with nothing: drop their senders.
         g.free_buckets.clear();
+        // And wake Block-policy submitters so they observe the close.
+        self.shared.freed.notify_all();
     }
 
     /// Snapshot of the statistics.
     pub fn stats(&self) -> SchedStats {
-        self.inner.lock().stats.clone()
+        self.shared.mu.lock().stats.clone()
     }
 
     /// Current queue depth.
     pub fn queue_depth(&self) -> usize {
-        self.inner.lock().queue.len()
+        self.shared.mu.lock().queue.len()
     }
 }
 
@@ -229,7 +407,7 @@ impl<T: Send + 'static> BucketHandle<T> {
     pub fn request_task(&self) -> Option<(u64, T)> {
         let t_ready = Instant::now();
         let rx: Receiver<(u64, T)> = {
-            let mut g = self.sched.inner.lock();
+            let mut g = self.sched.shared.mu.lock();
             if let Some((seq, task, enqueued)) = g.queue.pop_front() {
                 g.stats.tasks_assigned += 1;
                 g.stats.assignment_log.push((seq, self.id));
@@ -237,6 +415,7 @@ impl<T: Send + 'static> BucketHandle<T> {
                 g.obs.task_wait.observe(enqueued.elapsed());
                 g.obs.bucket_idle.observe(t_ready.elapsed());
                 g.obs.queue_depth.set(g.queue.len() as i64);
+                self.sched.shared.freed.notify_all();
                 return Some((seq, task));
             }
             if g.closed {
@@ -250,7 +429,8 @@ impl<T: Send + 'static> BucketHandle<T> {
         let got = rx.recv().ok();
         if got.is_some() {
             self.sched
-                .inner
+                .shared
+                .mu
                 .lock()
                 .obs
                 .bucket_idle
@@ -264,7 +444,7 @@ impl<T: Send + 'static> BucketHandle<T> {
     pub fn request_task_timeout(&self, timeout: Duration) -> Option<(u64, T)> {
         let t_ready = Instant::now();
         let rx: Receiver<(u64, T)> = {
-            let mut g = self.sched.inner.lock();
+            let mut g = self.sched.shared.mu.lock();
             if let Some((seq, task, enqueued)) = g.queue.pop_front() {
                 g.stats.tasks_assigned += 1;
                 g.stats.assignment_log.push((seq, self.id));
@@ -272,6 +452,7 @@ impl<T: Send + 'static> BucketHandle<T> {
                 g.obs.task_wait.observe(enqueued.elapsed());
                 g.obs.bucket_idle.observe(t_ready.elapsed());
                 g.obs.queue_depth.set(g.queue.len() as i64);
+                self.sched.shared.freed.notify_all();
                 return Some((seq, task));
             }
             if g.closed {
@@ -284,7 +465,8 @@ impl<T: Send + 'static> BucketHandle<T> {
         match rx.recv_timeout(timeout) {
             Ok(t) => {
                 self.sched
-                    .inner
+                    .shared
+                    .mu
                     .lock()
                     .obs
                     .bucket_idle
@@ -294,7 +476,7 @@ impl<T: Send + 'static> BucketHandle<T> {
             Err(_) => {
                 // Withdraw (if still parked) so a future task is not sent
                 // into the void.
-                let mut g = self.sched.inner.lock();
+                let mut g = self.sched.shared.mu.lock();
                 g.free_buckets.retain(|(id, _)| *id != self.id);
                 // A task may have raced in between timeout and lock: it
                 // would already be in rx.
@@ -577,5 +759,203 @@ mod tests {
         // ...and the failed hand-off's requeue reaches it directly.
         s.requeue_front(seq, task);
         assert_eq!(h.join().unwrap(), Some((0, 1)));
+    }
+
+    #[test]
+    fn reject_new_refuses_at_capacity() {
+        let s: Scheduler<u32> = Scheduler::bounded(2, AdmissionPolicy::RejectNew);
+        assert_eq!(s.submit_admission(0), Admission::Accepted { seq: 0 });
+        assert_eq!(s.submit_admission(1), Admission::Accepted { seq: 1 });
+        assert_eq!(s.submit_admission(2), Admission::Rejected);
+        assert_eq!(s.try_submit(3), None);
+        assert_eq!(s.queue_depth(), 2);
+        let st = s.stats();
+        assert_eq!(st.tasks_submitted, 2);
+        assert_eq!(st.tasks_rejected, 2);
+        // Draining one frees a slot.
+        let b = s.register_bucket(0);
+        assert_eq!(b.request_task(), Some((0, 0)));
+        assert_eq!(s.submit_admission(4), Admission::Accepted { seq: 2 });
+    }
+
+    #[test]
+    fn shed_oldest_evicts_queue_head() {
+        let s: Scheduler<u32> = Scheduler::bounded(2, AdmissionPolicy::ShedOldest);
+        s.submit(10);
+        s.submit(11);
+        assert_eq!(
+            s.submit_admission(12),
+            Admission::AcceptedShed {
+                seq: 2,
+                shed_seq: 0
+            }
+        );
+        assert_eq!(s.queue_depth(), 2);
+        assert_eq!(s.stats().tasks_shed, 1);
+        // The freshest two tasks survive, FCFS among them.
+        let b = s.register_bucket(0);
+        assert_eq!(b.request_task(), Some((1, 11)));
+        assert_eq!(b.request_task(), Some((2, 12)));
+    }
+
+    #[test]
+    fn block_policy_waits_for_space_then_times_out() {
+        let s: Scheduler<u32> = Scheduler::bounded(
+            1,
+            AdmissionPolicy::Block {
+                max_wait: Duration::from_millis(100),
+            },
+        );
+        s.submit(1);
+        // Nothing frees space: the submitter waits out the deadline.
+        let t0 = Instant::now();
+        assert_eq!(s.submit_admission(2), Admission::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+        assert_eq!(s.stats().tasks_rejected, 1);
+
+        // With a consumer popping, the blocked submitter gets through.
+        let s2: Scheduler<u32> = Scheduler::bounded(
+            1,
+            AdmissionPolicy::Block {
+                max_wait: Duration::from_secs(10),
+            },
+        );
+        s2.submit(1);
+        let b = s2.register_bucket(0);
+        let popper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            b.request_task()
+        });
+        assert_eq!(s2.submit_admission(2), Admission::Accepted { seq: 1 });
+        assert_eq!(popper.join().unwrap(), Some((0, 1)));
+    }
+
+    #[test]
+    fn close_wakes_blocked_submitter() {
+        let s: Scheduler<u32> = Scheduler::bounded(
+            1,
+            AdmissionPolicy::Block {
+                max_wait: Duration::from_secs(30),
+            },
+        );
+        s.submit(1);
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || s2.submit_admission(2));
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        s.close();
+        assert_eq!(h.join().unwrap(), Admission::Closed);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn bounded_queue_never_exceeds_capacity_under_load() {
+        // Hammer a capacity-4 queue from many producers while consumers
+        // pop slowly; the depth observed at every admission must stay
+        // within the bound for both non-blocking policies.
+        for policy in [AdmissionPolicy::ShedOldest, AdmissionPolicy::RejectNew] {
+            let s: Scheduler<u64> = Scheduler::bounded(4, policy);
+            let consumer = {
+                let b = s.register_bucket(0);
+                let s = s.clone();
+                std::thread::spawn(move || loop {
+                    match b.request_task_timeout(Duration::from_micros(200)) {
+                        Some(_) => {}
+                        None if s.is_closed() => return,
+                        None => {}
+                    }
+                })
+            };
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let s = s.clone();
+                    std::thread::spawn(move || {
+                        let mut max_seen = 0;
+                        for i in 0..200 {
+                            s.submit_admission(p * 1000 + i);
+                            max_seen = max_seen.max(s.queue_depth());
+                        }
+                        max_seen
+                    })
+                })
+                .collect();
+            let max_seen = producers
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .max()
+                .unwrap();
+            s.close();
+            consumer.join().unwrap();
+            assert!(
+                max_seen <= 4,
+                "{policy:?}: queue depth {max_seen} exceeded capacity 4"
+            );
+            let st = s.stats();
+            assert!(
+                st.max_queue_depth <= 4,
+                "{policy:?}: high-water {} exceeded capacity 4",
+                st.max_queue_depth
+            );
+            // Every submission was either admitted, shed, or rejected.
+            assert_eq!(st.tasks_submitted + st.tasks_rejected, 800);
+        }
+    }
+
+    #[test]
+    fn close_vs_submit_race_strands_no_accepted_task() {
+        // Regression for the close-ordering bug: close() used to drop
+        // the parked buckets' senders *before* draining the queue, so a
+        // task accepted just before close could strand while a parked
+        // bucket woke empty-handed. Hammer the interleaving: every task
+        // whose submission was *accepted* must end up either assigned to
+        // a bucket or still drainable after close — never lost.
+        for _ in 0..20 {
+            let s: Scheduler<u64> = Scheduler::new();
+            let consumer = {
+                let b = s.register_bucket(0);
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match b.request_task() {
+                            Some((_, t)) => got.push(t),
+                            None => {
+                                // Closed: rescue whatever close() handed
+                                // to the queue but not to us.
+                                while let Some((_, t)) = b.request_task_timeout(Duration::ZERO) {
+                                    got.push(t);
+                                }
+                                if s.queue_depth() == 0 {
+                                    return got;
+                                }
+                            }
+                        }
+                    }
+                })
+            };
+            let producer = {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut accepted = Vec::new();
+                    for i in 0..50u64 {
+                        match s.submit_admission(i) {
+                            Admission::Accepted { .. } => accepted.push(i),
+                            _ => break, // closed under us
+                        }
+                        if i == 25 {
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
+                    }
+                    accepted
+                })
+            };
+            // Close at an adversarial moment, mid-submission-burst.
+            std::thread::sleep(Duration::from_micros(300));
+            s.close();
+            let accepted = producer.join().unwrap();
+            let mut got = consumer.join().unwrap();
+            got.sort_unstable();
+            assert_eq!(got, accepted, "an accepted task was stranded by close()");
+        }
     }
 }

@@ -1,9 +1,17 @@
 //! Property-based tests for the staging service: the object space behaves
-//! like a reference map with spatial queries, and the scheduler is a
-//! lossless FCFS queue under arbitrary interleavings.
+//! like a reference map with spatial queries, the scheduler is a
+//! lossless FCFS queue under arbitrary interleavings, and the RPC wire
+//! codecs — including the admission/backpressure control frames — are
+//! total (any bytes decode to Ok or Err, never a panic) and round-trip
+//! every representable frame.
 
+use bytes::Bytes;
 use proptest::prelude::*;
-use sitra_dataspaces::{DataSpaces, Scheduler};
+use sitra_dataspaces::remote::{
+    decode_request, decode_response, encode_request, encode_response, RemoteStats, Request,
+    Response, TaskPoll,
+};
+use sitra_dataspaces::{Admission, AdmissionPolicy, DataSpaces, Scheduler};
 use sitra_mesh::{BBox3, ScalarField};
 use std::time::Duration;
 
@@ -13,6 +21,102 @@ fn arb_box() -> impl Strategy<Value = BBox3> {
         prop::array::uniform3(1usize..6),
     )
         .prop_map(|(lo, ext)| BBox3::new(lo, [lo[0] + ext[0], lo[1] + ext[1], lo[2] + ext[2]]))
+}
+
+fn arb_bytes() -> impl Strategy<Value = Bytes> {
+    prop::collection::vec(any::<u8>(), 0..48).prop_map(Bytes::from)
+}
+
+fn arb_var() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 0..12)
+        .prop_map(|v| v.into_iter().map(|c| (b'a' + c) as char).collect())
+}
+
+fn arb_opt_u64() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v))
+}
+
+// The wire carries Block's max_wait in whole milliseconds, so only
+// ms-granular durations round-trip.
+fn arb_policy() -> impl Strategy<Value = AdmissionPolicy> {
+    prop_oneof![
+        (0u64..100_000).prop_map(|ms| AdmissionPolicy::Block {
+            max_wait: Duration::from_millis(ms)
+        }),
+        Just(AdmissionPolicy::ShedOldest),
+        Just(AdmissionPolicy::RejectNew),
+    ]
+}
+
+fn arb_admission() -> impl Strategy<Value = Admission> {
+    prop_oneof![
+        any::<u64>().prop_map(|seq| Admission::Accepted { seq }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(seq, shed_seq)| Admission::AcceptedShed { seq, shed_seq }),
+        Just(Admission::Rejected),
+        Just(Admission::TimedOut),
+        Just(Admission::Closed),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (arb_var(), any::<u64>(), arb_box(), arb_bytes()).prop_map(|(var, version, bbox, data)| {
+            Request::Put {
+                var,
+                version,
+                bbox,
+                data,
+            }
+        }),
+        (arb_var(), any::<u64>(), arb_box()).prop_map(|(var, version, bbox)| Request::Get {
+            var,
+            version,
+            bbox
+        }),
+        arb_var().prop_map(|var| Request::LatestVersion { var }),
+        arb_bytes().prop_map(|data| Request::SubmitTask { data }),
+        arb_bytes().prop_map(|data| Request::SubmitTaskAdm { data }),
+        Just(Request::SchedPolicy),
+        (any::<u32>(), any::<u64>()).prop_map(|(bucket_id, timeout_ms)| Request::RequestTask {
+            bucket_id,
+            timeout_ms
+        }),
+        any::<u64>().prop_map(|seq| Request::AckTask { seq }),
+        Just(Request::Stats),
+        any::<u64>().prop_map(|version| Request::EvictVersion { version }),
+        Just(Request::CloseSched),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        any::<u64>().prop_map(Response::Seq),
+        prop::collection::vec((arb_box(), arb_bytes()), 0..4).prop_map(Response::Pieces),
+        arb_opt_u64().prop_map(Response::Version),
+        prop_oneof![
+            (any::<u64>(), arb_bytes())
+                .prop_map(|(seq, data)| Response::Task(TaskPoll::Assigned { seq, data })),
+            Just(Response::Task(TaskPoll::Empty)),
+            Just(Response::Task(TaskPoll::Closed)),
+        ],
+        prop::collection::vec(any::<u64>(), 7..8).prop_map(|v| {
+            Response::Stats(RemoteStats {
+                tasks_submitted: v[0],
+                tasks_assigned: v[1],
+                tasks_requeued: v[2],
+                tasks_shed: v[3],
+                tasks_rejected: v[4],
+                objects: v[5],
+                resident_bytes: v[6],
+            })
+        }),
+        arb_admission().prop_map(Response::Admission),
+        (arb_opt_u64(), arb_policy())
+            .prop_map(|(capacity, policy)| Response::Policy { capacity, policy }),
+        arb_var().prop_map(Response::Error),
+    ]
 }
 
 proptest! {
@@ -76,5 +180,53 @@ proptest! {
         let stats = s.stats();
         prop_assert_eq!(stats.tasks_submitted, submitted);
         prop_assert_eq!(stats.tasks_assigned, submitted);
+    }
+
+    #[test]
+    fn request_codec_roundtrips(req in arb_request()) {
+        let enc = encode_request(&req);
+        prop_assert_eq!(decode_request(enc).unwrap(), req);
+    }
+
+    #[test]
+    fn response_codec_roundtrips(resp in arb_response()) {
+        let enc = encode_response(&resp);
+        prop_assert_eq!(decode_response(enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn codecs_total_on_arbitrary_bytes(raw in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Any byte soup — including frames claiming payloads far larger
+        // than the buffer — must decode to Ok or Err, never panic.
+        let _ = decode_request(Bytes::from(raw.clone()));
+        let _ = decode_response(Bytes::from(raw));
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic(resp in arb_response(),
+                                        req in arb_request(),
+                                        cut in any::<usize>()) {
+        // Every strict prefix of a valid frame is an error: the codecs
+        // have no optional trailing fields.
+        let enc = encode_response(&resp);
+        let n = cut % enc.len();
+        prop_assert!(decode_response(enc.slice(..n)).is_err());
+        let enc = encode_request(&req);
+        let n = cut % enc.len();
+        prop_assert!(decode_request(enc.slice(..n)).is_err());
+    }
+
+    #[test]
+    fn oversized_frames_error_not_panic(resp in arb_response(),
+                                        req in arb_request(),
+                                        extra in prop::collection::vec(any::<u8>(), 1..16)) {
+        // Trailing garbage after a complete frame must be rejected
+        // (`finish` trailing-bytes check), not silently absorbed.
+        let mut buf = encode_response(&resp).to_vec();
+        buf.extend_from_slice(&extra);
+        prop_assert!(decode_response(Bytes::from(buf)).is_err());
+        let mut buf = encode_request(&req).to_vec();
+        buf.extend_from_slice(&extra);
+        prop_assert!(decode_request(Bytes::from(buf)).is_err());
     }
 }

@@ -47,6 +47,19 @@ pub enum NetError {
     Io(std::io::Error),
 }
 
+impl NetError {
+    /// Whether the failure is transient: reconnecting (or simply
+    /// retrying) can succeed. A closed or refused connection may come
+    /// back (server restart), and a timeout may clear; a bad address or
+    /// an oversized frame will fail identically every time.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Closed | NetError::Timeout | NetError::Refused(_) | NetError::Io(_) => true,
+            NetError::FrameTooLarge(_) | NetError::BadAddr(_) => false,
+        }
+    }
+}
+
 impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -231,5 +244,15 @@ mod tests {
             },
         );
         assert!(matches!(err, Err(NetError::Refused(_))));
+    }
+
+    #[test]
+    fn error_classification_retryable_vs_fatal() {
+        assert!(NetError::Closed.is_retryable());
+        assert!(NetError::Timeout.is_retryable());
+        assert!(NetError::Refused("tcp://x:1".into()).is_retryable());
+        assert!(NetError::Io(std::io::Error::other("transient")).is_retryable());
+        assert!(!NetError::FrameTooLarge(1 << 40).is_retryable());
+        assert!(!NetError::BadAddr("garbage://".into()).is_retryable());
     }
 }

@@ -19,7 +19,7 @@
 //! appends every span event as one JSON line (replayable with
 //! `obs_report`).
 
-use sitra_dataspaces::SpaceServer;
+use sitra_dataspaces::{AdmissionPolicy, SpaceServer};
 use sitra_net::Addr;
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -34,18 +34,27 @@ struct Opts {
     metrics_listen: Option<SocketAddr>,
     /// Append span events as JSONL to this path.
     journal: Option<PathBuf>,
+    /// Bound on the task queue (None = unbounded).
+    queue_capacity: Option<usize>,
+    /// What to do with a submission arriving at a full queue.
+    admission: AdmissionPolicy,
 }
 
 fn usage(program: &str, code: i32) -> ! {
     eprintln!(
         "usage: {program} [--listen ADDR] [--servers N] [--stats-every SECS]\n\
          \x20                  [--metrics-listen HOST:PORT] [--journal PATH]\n\
+         \x20                  [--queue-capacity N] [--admission POLICY] [--admission-wait-ms T]\n\
          \n\
          --listen ADDR         tcp://host:port or inproc://name (default tcp://127.0.0.1:7788)\n\
          --servers N           space server shards (default 4)\n\
          --stats-every SECS    periodically print counters (default 0 = quiet)\n\
          --metrics-listen A    serve a Prometheus-style metrics snapshot over HTTP\n\
-         --journal PATH        append span events as JSON lines to PATH"
+         --journal PATH        append span events as JSON lines to PATH\n\
+         --queue-capacity N    bound the task queue at N entries (default unbounded)\n\
+         --admission POLICY    full-queue behaviour: block | shed-oldest | reject-new\n\
+         \x20                      (default reject-new; only meaningful with --queue-capacity)\n\
+         --admission-wait-ms T how long `block` admissions may wait (default 1000)"
     );
     std::process::exit(code);
 }
@@ -57,7 +66,10 @@ fn parse_opts() -> Opts {
         stats_every: 0,
         metrics_listen: None,
         journal: None,
+        queue_capacity: None,
+        admission: AdmissionPolicy::RejectNew,
     };
+    let mut admission_wait = Duration::from_millis(1000);
     let argv: Vec<String> = std::env::args().collect();
     let program = argv.first().map(String::as_str).unwrap_or("sitra-staged");
     let mut it = argv.iter().skip(1);
@@ -98,6 +110,38 @@ fn parse_opts() -> Opts {
                 }
             },
             "--journal" => opts.journal = Some(PathBuf::from(value("--journal"))),
+            "--queue-capacity" => match value("--queue-capacity").parse() {
+                Ok(n) if n > 0 => opts.queue_capacity = Some(n),
+                _ => {
+                    eprintln!("{program}: --queue-capacity must be a positive integer");
+                    usage(program, 2);
+                }
+            },
+            "--admission" => match value("--admission").as_str() {
+                "block" => {
+                    opts.admission = AdmissionPolicy::Block {
+                        max_wait: admission_wait,
+                    }
+                }
+                "shed-oldest" => opts.admission = AdmissionPolicy::ShedOldest,
+                "reject-new" => opts.admission = AdmissionPolicy::RejectNew,
+                other => {
+                    eprintln!("{program}: unknown admission policy `{other}`");
+                    usage(program, 2);
+                }
+            },
+            "--admission-wait-ms" => match value("--admission-wait-ms").parse::<u64>() {
+                Ok(ms) => {
+                    admission_wait = Duration::from_millis(ms);
+                    if let AdmissionPolicy::Block { max_wait } = &mut opts.admission {
+                        *max_wait = admission_wait;
+                    }
+                }
+                Err(_) => {
+                    eprintln!("{program}: --admission-wait-ms must be an integer");
+                    usage(program, 2);
+                }
+            },
             "--help" | "-h" => usage(program, 0),
             other => {
                 eprintln!("{program}: unknown flag {other}");
@@ -124,7 +168,12 @@ fn main() {
         println!("sitra-staged: metrics on http://{}/metrics", srv.addr());
         srv
     });
-    let server = match SpaceServer::start(&opts.listen, opts.servers) {
+    let server = match SpaceServer::start_with(
+        &opts.listen,
+        opts.servers,
+        opts.queue_capacity,
+        opts.admission,
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("sitra-staged: cannot listen on {}: {e}", opts.listen);
@@ -136,6 +185,12 @@ fn main() {
         opts.servers,
         server.addr()
     );
+    if let Some(cap) = opts.queue_capacity {
+        println!(
+            "sitra-staged: task queue bounded at {cap}, admission {:?}",
+            opts.admission
+        );
+    }
 
     // Run until the driver closes the scheduler, then give in-flight
     // connections a moment to drain before exiting.
@@ -144,10 +199,12 @@ fn main() {
         if opts.stats_every > 0 {
             let space = server.space().stats();
             println!(
-                "sitra-staged: submitted={} assigned={} requeued={} objects={} bytes={}",
+                "sitra-staged: submitted={} assigned={} requeued={} shed={} rejected={} objects={} bytes={}",
                 stats.tasks_submitted,
                 stats.tasks_assigned,
                 stats.tasks_requeued,
+                stats.tasks_shed,
+                stats.tasks_rejected,
                 space.objects_per_server.iter().sum::<u64>(),
                 space.resident_bytes,
             );
