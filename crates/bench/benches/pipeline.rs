@@ -51,7 +51,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("live_4ranks_5analyses_2steps", |b| {
         b.iter(|| {
             let mut sim = Simulation::new(SimConfig::small(DIMS, 3));
-            let result = run_pipeline(&mut sim, &config(2));
+            let result = run_pipeline(&mut sim, &config(2)).expect("valid config");
             assert_eq!(result.dropped_tasks, 0);
             black_box(result.outputs.len())
         })
@@ -59,7 +59,8 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("sim_only_2steps", |b| {
         b.iter(|| {
             let mut sim = Simulation::new(SimConfig::small(DIMS, 3));
-            let result = run_pipeline(&mut sim, &PipelineConfig::new([2, 2, 1], 1, 2));
+            let result = run_pipeline(&mut sim, &PipelineConfig::new([2, 2, 1], 1, 2))
+                .expect("valid config");
             black_box(result.metrics.total_secs)
         })
     });

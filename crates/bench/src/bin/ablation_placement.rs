@@ -64,7 +64,7 @@ fn run(placement: Placement, pad_iters: u64) -> (f64, f64) {
         1,
     )];
     let mut sim = Simulation::new(SimConfig::small([24, 20, 16], 5));
-    let result = run_pipeline(&mut sim, &cfg);
+    let result = run_pipeline(&mut sim, &cfg).expect("valid config");
     let blocking: f64 = result
         .metrics
         .steps

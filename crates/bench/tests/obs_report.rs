@@ -41,7 +41,7 @@ fn replayed_journal_agrees_with_live_pipeline_metrics() {
     let previous = sitra_obs::install_sink(Some(sink.clone()));
 
     let mut sim = Simulation::new(SimConfig::small(DIMS, 7));
-    let result = run_pipeline(&mut sim, &config());
+    let result = run_pipeline(&mut sim, &config()).expect("valid config");
     let events = sink.take();
     sitra_obs::install_sink(previous);
 

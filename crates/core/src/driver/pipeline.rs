@@ -1,0 +1,226 @@
+//! The step loop: advance the simulation, run in-situ stages, and hand
+//! staged tasks to the configured backends.
+//!
+//! This file knows nothing about *where* aggregation happens — it
+//! builds one [`StagedTask`] per due analysis and routes it either to
+//! the always-present [`InSituBackend`] (for `Placement::InSitu`
+//! analyses) or to the backend selected by
+//! [`StagingMode`](crate::StagingMode) (for `Placement::Hybrid`).
+
+use super::staging::{
+    InSituBackend, LocalBackend, RemoteBackend, RetireCtx, StagedTask, StagingBackend,
+};
+use super::{ConfigError, PipelineConfig, PipelineResult, StagingMode};
+use crate::analysis::InSituCtx;
+use crate::metrics::{PipelineMetrics, StepMetrics};
+use crate::placement::Placement;
+use bytes::Bytes;
+use rayon::prelude::*;
+use sitra_dart::Fabric;
+use sitra_mesh::{exchange_ghosts, Decomposition, ScalarField};
+use sitra_sim::Simulation;
+use std::time::Instant;
+
+/// Run the hybrid pipeline live. See [`super`] module docs for the
+/// flow. Returns [`ConfigError`] for a configuration that cannot run
+/// (duplicate analysis labels, unparseable staging endpoint) instead of
+/// panicking mid-flight.
+pub fn run_pipeline(
+    sim: &mut Simulation,
+    cfg: &PipelineConfig,
+) -> Result<PipelineResult, ConfigError> {
+    let decomp = Decomposition::new(sim.global(), cfg.parts);
+    let n_ranks = decomp.rank_count();
+
+    {
+        let mut labels: Vec<&str> = cfg.analyses.iter().map(|s| s.label.as_str()).collect();
+        labels.sort_unstable();
+        if let Some(w) = labels.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ConfigError::DuplicateLabel(w[0].to_string()));
+        }
+    }
+    let remote_addr = match &cfg.staging {
+        StagingMode::Remote(endpoint) => Some(endpoint.parse::<sitra_net::Addr>().map_err(
+            |e| ConfigError::InvalidEndpoint {
+                endpoint: endpoint.clone(),
+                reason: e.to_string(),
+            },
+        )?),
+        _ => None,
+    };
+
+    let fabric = Fabric::new(cfg.network);
+    let ctx = RetireCtx::new(cfg.analyses.clone());
+
+    // `Placement::InSitu` analyses always aggregate synchronously;
+    // hybrid analyses go to the configured staging backend.
+    let mut insitu = InSituBackend::new(ctx.clone());
+    let mut staging: Box<dyn StagingBackend> = match &cfg.staging {
+        StagingMode::InSitu => Box::new(InSituBackend::new(ctx.clone())),
+        StagingMode::Local => Box::new(LocalBackend::new(
+            ctx.clone(),
+            &fabric,
+            n_ranks,
+            cfg.staging_buckets,
+            cfg.staging_buffer_depth,
+        )),
+        StagingMode::Remote(_) => Box::new(RemoteBackend::new(
+            ctx.clone(),
+            remote_addr.expect("validated above"),
+            cfg.staging_deadline,
+            cfg.staging_max_inflight,
+            n_ranks as u32,
+            cfg.staging_output_hook.clone(),
+        )),
+    };
+
+    let mut steps_metrics = Vec::with_capacity(cfg.steps);
+    let run_start = Instant::now();
+
+    for _ in 0..cfg.steps {
+        let t_step = Instant::now();
+        sim.advance();
+        let step = sim.step();
+
+        // Generate per-rank blocks of the analysis variable, in
+        // parallel across ranks.
+        let blocks: Vec<ScalarField> = (0..n_ranks)
+            .into_par_iter()
+            .map(|r| sim.block_field(cfg.analysis_variable, &decomp.block(r)))
+            .collect();
+        let mut sim_secs = t_step.elapsed().as_secs_f64();
+
+        let t_ghost = Instant::now();
+        let (ghosted, _) = exchange_ghosts(&decomp, &blocks, 1);
+        let ghost_secs = t_ghost.elapsed().as_secs_f64();
+
+        // Per-rank variable lists: the already-materialized block
+        // serves as the analysis variable's entry (moved in, not
+        // re-generated or cloned); extra variables are generated on
+        // demand.
+        let t_extra = Instant::now();
+        let extra: Vec<Vec<(String, ScalarField)>> = blocks
+            .into_iter()
+            .enumerate()
+            .into_par_iter()
+            .map(|(r, block)| {
+                let mut v = vec![(cfg.analysis_variable.name().to_string(), block)];
+                for var in &cfg.extra_variables {
+                    if *var != cfg.analysis_variable {
+                        v.push((
+                            var.name().to_string(),
+                            sim.block_field(*var, &decomp.block(r)),
+                        ));
+                    }
+                }
+                v
+            })
+            .collect();
+        sim_secs += t_extra.elapsed().as_secs_f64();
+
+        // Opportunistically retire staged work that already finished,
+        // then run this step's due analyses.
+        let mut blocked_secs = staging.collect_ready();
+        for (ai, spec) in cfg.analyses.iter().enumerate() {
+            if !spec.due(step) {
+                continue;
+            }
+            // In-situ stage, data-parallel over ranks; wall time of the
+            // stage is the max per-rank time (ranks run concurrently on
+            // the real machine), core time is the sum.
+            let t0 = Instant::now();
+            let timed: Vec<(usize, Bytes, f64)> = (0..n_ranks)
+                .into_par_iter()
+                .map(|r| {
+                    let ctx = InSituCtx {
+                        rank: r,
+                        step,
+                        decomp: &decomp,
+                        ghosted: &ghosted[r],
+                        vars: &extra[r],
+                    };
+                    let t = Instant::now();
+                    let payload = spec.analysis.in_situ(&ctx);
+                    (r, payload, t.elapsed().as_secs_f64())
+                })
+                .collect();
+            let insitu_wall = t0.elapsed().as_secs_f64();
+            let insitu_secs = timed.iter().map(|(_, _, t)| *t).fold(0.0, f64::max);
+            let insitu_core_secs: f64 = timed.iter().map(|(_, _, t)| *t).sum();
+            let movement_bytes: u64 = timed.iter().map(|(_, b, _)| b.len() as u64).sum();
+            let movement_sim_secs: f64 = timed
+                .iter()
+                .map(|(_, b, _)| cfg.network.auto_transfer_time(b.len()))
+                .sum();
+            let parts: Vec<(usize, Bytes)> = timed.into_iter().map(|(r, b, _)| (r, b)).collect();
+
+            let task = StagedTask {
+                analysis_idx: ai,
+                step,
+                issued: Instant::now(),
+                parts,
+                insitu_secs,
+                insitu_core_secs,
+                movement_bytes,
+                movement_sim_secs,
+            };
+            let backend: &mut dyn StagingBackend = match spec.placement {
+                Placement::InSitu => &mut insitu,
+                Placement::Hybrid => staging.as_mut(),
+            };
+            blocked_secs += insitu_wall + backend.submit(task);
+        }
+
+        sitra_obs::emit(
+            "driver",
+            "step",
+            &[
+                ("step", step.to_string()),
+                ("sim_secs", sim_secs.to_string()),
+                ("ghost_secs", ghost_secs.to_string()),
+                ("blocked_secs", blocked_secs.to_string()),
+            ],
+        );
+        steps_metrics.push(StepMetrics {
+            step,
+            sim_secs,
+            ghost_secs,
+            blocked_secs,
+            degraded: false,
+        });
+    }
+
+    // Drain both backends (every submitted task retires — completed,
+    // collected, degraded, or dropped), then close them.
+    insitu.drain();
+    staging.drain();
+    let _ = insitu.close();
+    let staging_stats = staging.close();
+    let total_secs = run_start.elapsed().as_secs_f64();
+
+    let fstats = fabric.stats();
+    fabric.shutdown();
+
+    // Degradations surface per-step only after the drain: a task can
+    // degrade during collection long after its step ended.
+    for sm in steps_metrics.iter_mut() {
+        sm.degraded = ctx.step_degraded(sm.step);
+    }
+
+    let metrics = PipelineMetrics {
+        steps: steps_metrics,
+        analyses: ctx.metrics_snapshot(),
+        total_secs,
+        smsg_messages: fstats.smsg_messages,
+        smsg_bytes: fstats.smsg_bytes,
+        bte_transfers: fstats.bte_transfers,
+        bte_bytes: fstats.bte_bytes,
+        max_queue_depth: staging_stats.max_queue_depth,
+    };
+    Ok(PipelineResult {
+        metrics,
+        outputs: ctx.take_outputs(),
+        dropped_tasks: ctx.dropped_tasks(),
+        degraded_tasks: ctx.degraded_tasks(),
+    })
+}

@@ -1,0 +1,267 @@
+//! The in-process staging backend: DART exports, the DataSpaces
+//! scheduler, and staging-bucket worker threads.
+//!
+//! Submission exports each rank's intermediate as an RDMA-able region
+//! on that rank's DART endpoint and pushes a *data-ready* descriptor
+//! into the scheduler; the simulation moves on immediately — it pays
+//! only the (cheap) send initiation. Bucket threads issue
+//! *bucket-ready* requests, receive descriptors FCFS, pull every rank's
+//! payload directly from the producers' exported memory via `rdma_get`,
+//! aggregate, and retire the task. Successive steps naturally land on
+//! different buckets (temporal multiplexing).
+//!
+//! Back-pressure: producers retain a bounded ring of exported step
+//! payloads ([`crate::PipelineConfig::staging_buffer_depth`]); if the
+//! staging area falls that far behind, the oldest payloads are
+//! withdrawn and the overrun tasks retire as dropped — the same signal
+//! a real staging deployment must watch.
+
+use super::{BackendCaps, BackendStats, RetireCtx, Retired, StagedTask, StagingBackend};
+use bytes::Bytes;
+use sitra_dart::{Endpoint, EndpointId, Event, Fabric, RegionKey};
+use sitra_dataspaces::{BucketHandle, Scheduler};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CAPS: BackendCaps = BackendCaps {
+    name: "local",
+    placement: "hybrid",
+    in_transit: true,
+    ships_data: true,
+};
+
+/// One in-transit task: which analysis, which step, where the payloads
+/// live.
+struct TaskDesc {
+    analysis_idx: usize,
+    step: u64,
+    issued: Instant,
+    parts: Vec<(usize, EndpointId, RegionKey)>,
+}
+
+fn region_key(analysis_idx: usize, step: u64) -> RegionKey {
+    ((analysis_idx as u64 + 1) << 40) | (step & ((1 << 40) - 1))
+}
+
+/// In-process staging buckets fed through the scheduler and the DART
+/// fabric (the default hybrid backend).
+pub struct LocalBackend {
+    ctx: RetireCtx,
+    scheduler: Scheduler<TaskDesc>,
+    rank_endpoints: Vec<Endpoint>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Buckets signal here once per task retired (completed or
+    /// dropped), so [`drain`](StagingBackend::drain) blocks instead of
+    /// polling.
+    done_rx: crossbeam::channel::Receiver<()>,
+    buffer_depth: u64,
+    outstanding: usize,
+    submitted: usize,
+}
+
+impl LocalBackend {
+    /// Spawn `buckets.max(1)` staging-bucket threads against `fabric`
+    /// and register one producer endpoint per rank.
+    pub fn new(
+        ctx: RetireCtx,
+        fabric: &Arc<Fabric>,
+        n_ranks: usize,
+        buckets: usize,
+        buffer_depth: u64,
+    ) -> Self {
+        let scheduler: Scheduler<TaskDesc> = Scheduler::new();
+        let rank_endpoints: Vec<Endpoint> = (0..n_ranks).map(|_| fabric.register()).collect();
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<()>();
+        let workers: Vec<_> = (0..buckets.max(1))
+            .map(|b| {
+                let bucket = scheduler.register_bucket(b as u32);
+                let ep = fabric.register();
+                let ctx = ctx.clone();
+                let done = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("bucket-{b}"))
+                    .spawn(move || bucket_loop(bucket, ep, b as u32, &ctx, &done))
+                    .expect("spawn bucket")
+            })
+            .collect();
+        drop(done_tx);
+        LocalBackend {
+            ctx,
+            scheduler,
+            rank_endpoints,
+            workers,
+            done_rx,
+            buffer_depth,
+            outstanding: 0,
+            submitted: 0,
+        }
+    }
+}
+
+impl StagingBackend for LocalBackend {
+    fn caps(&self) -> BackendCaps {
+        CAPS
+    }
+
+    fn submit(&mut self, task: StagedTask) -> f64 {
+        // Stash the in-situ half of the metrics before the task becomes
+        // visible: the bucket that completes it fills in the rest and
+        // must find the row even when it wins the race with this
+        // thread.
+        self.ctx.record_insitu(&task, &CAPS, true);
+        // Export payloads and withdraw stale ones (the back-pressure
+        // ring).
+        let key = region_key(task.analysis_idx, task.step);
+        let mut parts = Vec::with_capacity(task.parts.len());
+        for (r, payload) in &task.parts {
+            self.rank_endpoints[*r].export(key, payload.clone());
+            if task.step > self.buffer_depth {
+                self.rank_endpoints[*r]
+                    .unexport(region_key(task.analysis_idx, task.step - self.buffer_depth));
+            }
+            parts.push((*r, self.rank_endpoints[*r].id(), key));
+        }
+        self.scheduler.submit(TaskDesc {
+            analysis_idx: task.analysis_idx,
+            step: task.step,
+            issued: task.issued,
+            parts,
+        });
+        self.outstanding += 1;
+        self.submitted += 1;
+        0.0
+    }
+
+    fn collect_ready(&mut self) -> f64 {
+        // Buckets retire tasks themselves; there is nothing for the
+        // submitting side to collect.
+        0.0
+    }
+
+    fn drain(&mut self) -> f64 {
+        let t0 = Instant::now();
+        // Block until every submitted task was either completed or
+        // dropped; each retirement sends exactly one token. A
+        // disconnect means every bucket exited early, in which case
+        // nothing further can arrive.
+        for _ in 0..self.outstanding {
+            if self.done_rx.recv().is_err() {
+                break;
+            }
+        }
+        self.outstanding = 0;
+        t0.elapsed().as_secs_f64()
+    }
+
+    fn close(&mut self) -> BackendStats {
+        self.scheduler.close();
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+        let stats = self.scheduler.stats();
+        BackendStats {
+            submitted: self.submitted,
+            max_queue_depth: stats.max_queue_depth,
+        }
+    }
+}
+
+fn bucket_loop(
+    bucket: BucketHandle<TaskDesc>,
+    ep: Endpoint,
+    bucket_id: u32,
+    ctx: &RetireCtx,
+    done: &crossbeam::channel::Sender<()>,
+) {
+    while let Some((_seq, task)) = bucket.request_task() {
+        let spec = &ctx.analyses()[task.analysis_idx];
+        // Pull every payload from the producers' memory.
+        let mut pending = std::collections::HashMap::new();
+        let mut overrun = false;
+        for (rank, peer, key) in &task.parts {
+            match ep.rdma_get(*peer, *key) {
+                Ok(id) => {
+                    pending.insert(id, *rank);
+                }
+                Err(_) => {
+                    // Producer already withdrew this step (back-pressure).
+                    overrun = true;
+                    break;
+                }
+            }
+        }
+        if overrun {
+            ctx.retire(Retired::Dropped);
+            let _ = done.send(());
+            continue;
+        }
+        // Streaming aggregation when the analysis supports it: payloads
+        // are combined the moment each pull completes, overlapping the
+        // aggregation with the remaining transfers. Otherwise buffer all
+        // parts and aggregate at once.
+        let mut streaming = spec.analysis.streaming_aggregator(task.step);
+        let streamed = streaming.is_some();
+        let mut parts: Vec<(usize, Bytes)> = Vec::with_capacity(pending.len());
+        let mut movement_sim = 0.0;
+        let mut aggregate_secs = 0.0;
+        let mut failed_mid_pull = false;
+        while !pending.is_empty() {
+            match ep.poll_event(Duration::from_secs(30)) {
+                Some(Event::GetComplete {
+                    id, data, sim_time, ..
+                }) => {
+                    if let Some(rank) = pending.remove(&id) {
+                        movement_sim += sim_time;
+                        match &mut streaming {
+                            Some(agg) => {
+                                let t = Instant::now();
+                                agg.feed(rank, data);
+                                aggregate_secs += t.elapsed().as_secs_f64();
+                            }
+                            None => parts.push((rank, data)),
+                        }
+                    }
+                }
+                Some(Event::GetFailed { id, .. }) => {
+                    // A producer withdrew the region mid-pull: the task is
+                    // a staging overrun.
+                    if pending.remove(&id).is_some() {
+                        failed_mid_pull = true;
+                    }
+                    if pending.is_empty() {
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("bucket {bucket_id}: transfer timed out"),
+            }
+        }
+        if failed_mid_pull {
+            ctx.retire(Retired::Dropped);
+            let _ = done.send(());
+            continue;
+        }
+        let t_agg = Instant::now();
+        let output = match streaming {
+            Some(agg) => agg.finish(),
+            None => {
+                parts.sort_by_key(|(r, _)| *r);
+                spec.analysis.aggregate(task.step, &parts)
+            }
+        };
+        aggregate_secs += t_agg.elapsed().as_secs_f64();
+        ctx.retire(Retired::Completed {
+            analysis_idx: task.analysis_idx,
+            step: task.step,
+            output,
+            aggregate_secs,
+            bucket: Some(bucket_id),
+            streamed,
+            latency_secs: task.issued.elapsed().as_secs_f64(),
+            movement_sim_secs: movement_sim,
+            in_transit: true,
+        });
+        let _ = done.send(());
+    }
+    ep.unregister();
+}

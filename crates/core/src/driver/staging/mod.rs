@@ -1,0 +1,129 @@
+//! The staging seam: one trait, three aggregation placements.
+//!
+//! The paper's core claim is that a two-stage analysis decomposition
+//! (data-parallel in-situ stage, then an aggregation over the small
+//! intermediates) runs **unchanged** wherever the aggregation happens.
+//! [`StagingBackend`] is that claim as an interface: the step loop
+//! hands every due analysis to a backend as one [`StagedTask`] and
+//! never looks at placement again.
+//!
+//! * [`InSituBackend`] aggregates synchronously on the caller — the
+//!   fully in-situ formulation. No data leaves the simulation.
+//! * [`LocalBackend`] exports payloads through the DART fabric and lets
+//!   in-process staging-bucket threads pull and aggregate them — the
+//!   paper's in-transit formulation on shared staging cores.
+//! * [`RemoteBackend`] ships intermediates to a remote staging service
+//!   (`sitra-staged`) over the socket transport, with a bounded
+//!   in-flight window, admission handling, and reconnect.
+//!
+//! Every backend retires tasks through the shared [`RetireCtx`] (see
+//! [`super::retire`]): completions, remote collections, degradations,
+//! and drops all flow through one function, which is what keeps the
+//! outputs byte-identical and the replay accounting bit-identical
+//! across placements.
+//!
+//! To add a fourth backend, implement [`StagingBackend`], call
+//! [`RetireCtx::record_insitu`] exactly once per submitted task, and
+//! report every task's fate through [`RetireCtx::retire`] — the metrics
+//! rows, journal events, and degradation counters then come for free.
+
+mod insitu;
+mod local;
+mod remote;
+
+pub use insitu::InSituBackend;
+pub use local::LocalBackend;
+pub use remote::RemoteBackend;
+
+pub use super::retire::{RetireCtx, Retired};
+
+use bytes::Bytes;
+use std::time::Instant;
+
+/// One due analysis at one step, ready for aggregation: the in-situ
+/// intermediates plus the already-measured in-situ stage costs. This is
+/// everything a backend needs — backends never see fields, ranks, or
+/// the simulation.
+pub struct StagedTask {
+    /// Index into the analysis roster ([`RetireCtx::analyses`]).
+    pub analysis_idx: usize,
+    /// Simulation step.
+    pub step: u64,
+    /// Submission time, for completion-latency accounting.
+    pub issued: Instant,
+    /// Per-rank in-situ intermediates, in rank order. `Bytes` clones
+    /// share the underlying buffers, so retaining them for degradation
+    /// fallback is cheap.
+    pub parts: Vec<(usize, Bytes)>,
+    /// In-situ stage wall seconds (max over ranks — ranks run
+    /// concurrently on the real machine).
+    pub insitu_secs: f64,
+    /// In-situ stage core seconds (sum over ranks).
+    pub insitu_core_secs: f64,
+    /// Total intermediate bytes, charged as data movement only by
+    /// backends that actually ship them ([`BackendCaps::ships_data`]).
+    pub movement_bytes: u64,
+    /// Simulated network seconds for moving the intermediates under the
+    /// configured network model.
+    pub movement_sim_secs: f64,
+}
+
+/// What a backend is, for metrics and journal labelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// Short backend name (`"insitu"`, `"local"`, `"remote"`).
+    pub name: &'static str,
+    /// Placement label journaled with `analysis.insitu` events
+    /// (`"insitu"`, `"hybrid"`, `"hybrid-remote"`).
+    pub placement: &'static str,
+    /// Tasks aggregate in transit (metrics rows start with
+    /// `aggregated_in_transit` set; degradation clears it).
+    pub in_transit: bool,
+    /// Submitting moves the intermediates off the caller, so movement
+    /// bytes/time are charged when the ship succeeds.
+    pub ships_data: bool,
+}
+
+/// Lifetime accounting a backend reports when it closes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Tasks submitted to this backend.
+    pub submitted: usize,
+    /// High-water mark of the backend's task queue (0 for backends
+    /// without one).
+    pub max_queue_depth: usize,
+}
+
+/// Where the aggregation stage of staged analyses runs.
+///
+/// The driver calls, per step: [`collect_ready`](Self::collect_ready)
+/// once, then [`submit`](Self::submit) for each due analysis; and at
+/// end of run [`drain`](Self::drain) then [`close`](Self::close). Each
+/// blocking call returns the wall seconds the *simulation* spent
+/// blocked on it, which the driver charges to the step.
+pub trait StagingBackend {
+    /// What this backend is (stable over its lifetime).
+    fn caps(&self) -> BackendCaps;
+
+    /// Accept one task. The backend must record the task's in-situ
+    /// metrics row ([`RetireCtx::record_insitu`]) before the task can
+    /// reach any consumer, and must eventually retire it. Returns
+    /// seconds the caller was blocked beyond the in-situ stage itself
+    /// (synchronous aggregation, back-pressure waits, degradation
+    /// fallbacks).
+    fn submit(&mut self, task: StagedTask) -> f64;
+
+    /// Opportunistically retire tasks whose results are already
+    /// available, without waiting for any that are not. Called once per
+    /// step so a slow consumer's results don't pile up until drain.
+    fn collect_ready(&mut self) -> f64;
+
+    /// Block until every submitted task has retired (completed,
+    /// collected, degraded, or dropped).
+    fn drain(&mut self) -> f64;
+
+    /// Release the backend's resources (join workers, evict remote
+    /// state) and report lifetime stats. Called exactly once, after
+    /// [`drain`](Self::drain).
+    fn close(&mut self) -> BackendStats;
+}

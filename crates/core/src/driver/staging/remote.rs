@@ -1,0 +1,364 @@
+//! The remote staging backend: ship intermediates to a `sitra-staged`
+//! space server; external bucket workers aggregate them.
+//!
+//! Flow control runs end to end: at most
+//! [`crate::PipelineConfig::staging_max_inflight`] tasks ride the wire
+//! at once (submission blocks collecting the oldest first), the
+//! server's admission policy can refuse or shed tasks, and any task the
+//! staging path fails — deadline missed, admission refused, endpoint
+//! unreachable — retires as [`Retired::Degraded`]: its aggregation
+//! re-runs in-situ from the retained intermediates and the run
+//! continues with zero lost steps.
+
+use super::{BackendCaps, BackendStats, RetireCtx, Retired, StagedTask, StagingBackend};
+use crate::driver::StagingOutputHook;
+use crate::remote::{await_output, encode_task, intermediate_var, rank_bbox, RemoteTask};
+use bytes::Bytes;
+use sitra_dataspaces::remote::{RemoteError, RemoteSpace};
+use sitra_dataspaces::Admission;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+const CAPS: BackendCaps = BackendCaps {
+    name: "remote",
+    placement: "hybrid-remote",
+    in_transit: true,
+    ships_data: true,
+};
+
+/// Connection manager for the remote staging endpoint. A transport
+/// error triggers one reconnect (bounded backoff) and a retry of the
+/// failed operation; if the reconnect fails too, the endpoint is marked
+/// *lost* and every hybrid analysis degrades to in-situ aggregation for
+/// the rest of the run. Non-transport errors (protocol, server,
+/// deadline) pass through untouched — the link itself is fine.
+struct RemoteStaging {
+    addr: sitra_net::Addr,
+    conn: Option<RemoteSpace>,
+    backoff: sitra_net::Backoff,
+}
+
+impl RemoteStaging {
+    fn connect(addr: sitra_net::Addr) -> Self {
+        let backoff = sitra_net::Backoff::default();
+        let conn = match RemoteSpace::connect_retry(&addr, &backoff) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                sitra_obs::emit(
+                    "driver",
+                    "staging.lost",
+                    &[("endpoint", addr.to_string()), ("error", e.to_string())],
+                );
+                None
+            }
+        };
+        RemoteStaging {
+            addr,
+            conn,
+            backoff,
+        }
+    }
+
+    fn alive(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    fn with<R>(
+        &mut self,
+        mut op: impl FnMut(&RemoteSpace) -> Result<R, RemoteError>,
+    ) -> Result<R, RemoteError> {
+        let Some(conn) = self.conn.as_ref() else {
+            return Err(RemoteError::Net(sitra_net::NetError::Closed));
+        };
+        match op(conn) {
+            Err(RemoteError::Net(e)) if e.is_retryable() => {
+                match RemoteSpace::connect_retry(&self.addr, &self.backoff) {
+                    Ok(fresh) => {
+                        let res = op(&fresh);
+                        if matches!(res, Err(RemoteError::Net(_))) {
+                            self.mark_lost();
+                        } else {
+                            sitra_obs::counter("driver.staging.reconnects").inc();
+                            self.conn = Some(fresh);
+                        }
+                        res
+                    }
+                    Err(e2) => {
+                        self.mark_lost();
+                        Err(e2)
+                    }
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn mark_lost(&mut self) {
+        if self.conn.take().is_some() {
+            sitra_obs::emit(
+                "driver",
+                "staging.lost",
+                &[("endpoint", self.addr.to_string())],
+            );
+        }
+    }
+}
+
+/// A task shipped to the remote staging area whose output has not been
+/// collected yet. `parts` retains the in-situ intermediates so the
+/// aggregation can re-run locally if the staging path fails — memory
+/// bounded by `staging_max_inflight` retained steps (`Bytes` clones
+/// share the underlying buffers with the staged puts).
+struct PendingRemote {
+    analysis_idx: usize,
+    step: u64,
+    /// Scheduler sequence number of the submitted task; `u64::MAX` when
+    /// the task never made it into the remote queue.
+    seq: u64,
+    issued: Instant,
+    parts: Vec<(usize, Bytes)>,
+}
+
+/// Hybrid aggregation on a remote staging service, with a bounded
+/// in-flight window and graceful degradation.
+pub struct RemoteBackend {
+    ctx: RetireCtx,
+    staging: RemoteStaging,
+    pending: Vec<PendingRemote>,
+    /// Every version (step) that had intermediates put remotely, for
+    /// eviction at close time.
+    versions: BTreeSet<u64>,
+    deadline: Duration,
+    max_inflight: usize,
+    n_ranks: u32,
+    hook: Option<StagingOutputHook>,
+    submitted: usize,
+}
+
+impl RemoteBackend {
+    /// Connect to the space server at `addr`. An unreachable endpoint
+    /// does not fail the run — the staging starts out *lost* and every
+    /// submitted task degrades to in-situ aggregation.
+    pub fn new(
+        ctx: RetireCtx,
+        addr: sitra_net::Addr,
+        deadline: Duration,
+        max_inflight: usize,
+        n_ranks: u32,
+        hook: Option<StagingOutputHook>,
+    ) -> Self {
+        RemoteBackend {
+            ctx,
+            staging: RemoteStaging::connect(addr),
+            pending: Vec::new(),
+            versions: BTreeSet::new(),
+            deadline,
+            max_inflight,
+            n_ranks,
+            hook,
+            submitted: 0,
+        }
+    }
+
+    /// Re-run a task's aggregation in-situ through the shared
+    /// retirement path; returns the wall seconds burned.
+    fn degrade(&self, p: PendingRemote, reason: &'static str) -> f64 {
+        self.ctx.retire(Retired::Degraded {
+            analysis_idx: p.analysis_idx,
+            step: p.step,
+            issued: p.issued,
+            parts: p.parts,
+            reason,
+        })
+    }
+
+    /// Await the oldest in-flight remote output; any failure (deadline
+    /// missed, endpoint lost) degrades that task to in-situ
+    /// aggregation. Returns the wall seconds spent waiting and/or
+    /// aggregating locally.
+    fn collect_oldest(&mut self) -> f64 {
+        let p = self.pending.remove(0);
+        let label = self.ctx.analyses()[p.analysis_idx].label.clone();
+        let step = p.step;
+        let t0 = Instant::now();
+        let deadline = t0 + self.deadline;
+        let res = self
+            .staging
+            .with(|c| await_output(c, &label, step, deadline));
+        sitra_obs::histogram("driver.staging.backpressure_wait_ns").observe(t0.elapsed());
+        match res {
+            Ok(output) => {
+                self.ctx.retire(Retired::Collected {
+                    analysis_idx: p.analysis_idx,
+                    step,
+                    output,
+                });
+                if let Some(h) = &self.hook {
+                    h(&label, step);
+                }
+                t0.elapsed().as_secs_f64()
+            }
+            Err(e) => {
+                let reason = match &e {
+                    RemoteError::Timeout(_) => "deadline",
+                    RemoteError::Net(_) => "endpoint-lost",
+                    _ => "error",
+                };
+                t0.elapsed().as_secs_f64() + self.degrade(p, reason)
+            }
+        }
+    }
+
+    /// Put this step's intermediates into the staging space and submit
+    /// the task through the admission-aware verb, recording it as
+    /// in-flight. `Err(reason)` means the staging path refused (or
+    /// lost) the task and the caller must degrade it immediately. An
+    /// `AcceptedShed` verdict returns the evicted older task — it will
+    /// never run remotely, so the caller re-runs its aggregation
+    /// locally right away.
+    fn try_ship(
+        &mut self,
+        analysis_idx: usize,
+        step: u64,
+        issued: Instant,
+        parts: &[(usize, Bytes)],
+    ) -> Result<Option<PendingRemote>, &'static str> {
+        if !self.staging.alive() {
+            return Err("endpoint-lost");
+        }
+        let var = intermediate_var(&self.ctx.analyses()[analysis_idx].label);
+        self.versions.insert(step);
+        for (r, payload) in parts {
+            let bb = rank_bbox(*r);
+            if self
+                .staging
+                .with(|c| c.put(&var, step, bb, payload.clone()))
+                .is_err()
+            {
+                return Err("endpoint-lost");
+            }
+        }
+        let task = encode_task(&RemoteTask {
+            analysis_idx: analysis_idx as u32,
+            step,
+            n_ranks: self.n_ranks,
+        });
+        let verdict = self.staging.with(|c| c.submit_task_admission(task.clone()));
+        let (seq, shed_seq) = match verdict {
+            Ok(Admission::Accepted { seq }) => (seq, None),
+            Ok(Admission::AcceptedShed { seq, shed_seq }) => (seq, Some(shed_seq)),
+            Ok(Admission::Rejected) => return Err("rejected"),
+            Ok(Admission::TimedOut) => return Err("admission-timeout"),
+            Ok(Admission::Closed) => return Err("sched-closed"),
+            Err(_) => return Err("endpoint-lost"),
+        };
+        self.pending.push(PendingRemote {
+            analysis_idx,
+            step,
+            seq,
+            issued,
+            parts: parts.to_vec(),
+        });
+        // The server evicted an older queued task to admit this one
+        // (ShedOldest policy): hand it back for immediate local
+        // re-aggregation.
+        let victim = shed_seq.and_then(|victim_seq| {
+            self.pending
+                .iter()
+                .position(|p| p.seq == victim_seq)
+                .map(|pos| self.pending.remove(pos))
+        });
+        Ok(victim)
+    }
+}
+
+impl StagingBackend for RemoteBackend {
+    fn caps(&self) -> BackendCaps {
+        CAPS
+    }
+
+    fn submit(&mut self, task: StagedTask) -> f64 {
+        self.submitted += 1;
+        // Producer-side backpressure: bound the in-flight window by
+        // collecting the oldest output first.
+        let mut blocked = 0.0;
+        while self.pending.len() >= self.max_inflight.max(1) {
+            blocked += self.collect_oldest();
+        }
+        let shipped = self.try_ship(task.analysis_idx, task.step, task.issued, &task.parts);
+        self.ctx.record_insitu(&task, &CAPS, shipped.is_ok());
+        match shipped {
+            Ok(None) => {}
+            Ok(Some(victim)) => blocked += self.degrade(victim, "shed"),
+            Err(reason) => {
+                blocked += self.degrade(
+                    PendingRemote {
+                        analysis_idx: task.analysis_idx,
+                        step: task.step,
+                        seq: u64::MAX,
+                        issued: task.issued,
+                        parts: task.parts,
+                    },
+                    reason,
+                );
+            }
+        }
+        blocked
+    }
+
+    fn collect_ready(&mut self) -> f64 {
+        if self.pending.is_empty() {
+            return 0.0;
+        }
+        let t0 = Instant::now();
+        // Oldest-first, zero-deadline probes: collect outputs that are
+        // already in the space, stop at the first that is not. Failures
+        // are left pending — the blocking window/drain paths own
+        // degradation, so a transient hiccup here never degrades a task
+        // that would have made its real deadline.
+        while let Some(p) = self.pending.first() {
+            let (label, step) = (self.ctx.analyses()[p.analysis_idx].label.clone(), p.step);
+            let res = self
+                .staging
+                .with(|c| await_output(c, &label, step, Instant::now()));
+            match res {
+                Ok(output) => {
+                    let p = self.pending.remove(0);
+                    self.ctx.retire(Retired::Collected {
+                        analysis_idx: p.analysis_idx,
+                        step,
+                        output,
+                    });
+                    if let Some(h) = &self.hook {
+                        h(&label, step);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        t0.elapsed().as_secs_f64()
+    }
+
+    fn drain(&mut self) -> f64 {
+        // Collect every in-flight output; anything the staging path
+        // lost is re-aggregated in-situ — zero lost steps.
+        let mut blocked = 0.0;
+        while !self.pending.is_empty() {
+            blocked += self.collect_oldest();
+        }
+        blocked
+    }
+
+    fn close(&mut self) -> BackendStats {
+        // Reclaim the staging memory, then close the remote scheduler
+        // so external bucket workers retire.
+        for v in &self.versions {
+            let _ = self.staging.with(|c| c.evict_version(*v));
+        }
+        let _ = self.staging.with(|c| c.close_sched());
+        BackendStats {
+            submitted: self.submitted,
+            max_queue_depth: 0,
+        }
+    }
+}

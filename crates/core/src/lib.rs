@@ -17,11 +17,12 @@
 //!   actually crosses the transport, so data-movement accounting is
 //!   honest).
 //! * [`driver`] — the live pipeline: a simulation proxy stepping on the
-//!   primary ranks, in-situ stages run data-parallel per rank, payloads
-//!   exported through the DART fabric, *data-ready* tasks queued in the
-//!   scheduler, staging-bucket threads pulling payloads via RDMA and
-//!   running the aggregation, with per-stage metrics collected
-//!   throughout.
+//!   primary ranks, in-situ stages run data-parallel per rank, and every
+//!   due analysis handed to a pluggable
+//!   [`driver::staging::StagingBackend`] (synchronous in-situ, in-process
+//!   staging buckets over the DART fabric, or a remote staging service),
+//!   with per-stage metrics and retirement accounting shared across all
+//!   backends.
 
 pub mod analysis;
 pub mod driver;
@@ -34,7 +35,7 @@ pub use analysis::{
     Aggregator, Analysis, AnalysisOutput, AutoCorrelation, FeatureStats, HybridStats,
     HybridTopology, HybridViz, InSituCtx, InSituViz,
 };
-pub use driver::{run_pipeline, PipelineConfig, PipelineResult};
+pub use driver::{run_pipeline, ConfigError, PipelineConfig, PipelineResult, StagingMode};
 pub use metrics::{AnalysisMetrics, PipelineMetrics, StepMetrics};
 pub use placement::{AnalysisSpec, Placement};
 pub use remote::{run_bucket_worker, BucketWorkerOpts, RemoteTask};

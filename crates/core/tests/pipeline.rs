@@ -4,8 +4,8 @@
 
 use bytes::Bytes;
 use sitra_core::{
-    run_pipeline, Analysis, AnalysisOutput, AnalysisSpec, HybridStats, HybridTopology, HybridViz,
-    InSituCtx, InSituViz, PipelineConfig, Placement,
+    run_pipeline, Analysis, AnalysisOutput, AnalysisSpec, ConfigError, HybridStats, HybridTopology,
+    HybridViz, InSituCtx, InSituViz, PipelineConfig, Placement,
 };
 use sitra_mesh::BBox3;
 use sitra_sim::{SimConfig, Simulation, Variable};
@@ -68,7 +68,7 @@ fn full_pipeline_all_five_variants() {
         AnalysisSpec::new(Arc::new(HybridTopology::default()), Placement::Hybrid, 2),
     ];
     let mut s = sim();
-    let result = run_pipeline(&mut s, &cfg);
+    let result = run_pipeline(&mut s, &cfg).expect("valid config");
 
     assert_eq!(result.dropped_tasks, 0);
     // Every due (analysis, step) produced an output.
@@ -168,7 +168,7 @@ fn streaming_aggregation_marks_rows_and_matches_batch() {
         AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::Hybrid, 1),
     ];
     let mut s = sim();
-    let result = run_pipeline(&mut s, &cfg);
+    let result = run_pipeline(&mut s, &cfg).expect("valid config");
     for name in ["topology", "stats"] {
         for row in result.metrics.for_analysis(name) {
             assert!(row.streamed, "{name} should stream");
@@ -211,7 +211,7 @@ fn temporal_multiplexing_spreads_buckets() {
         1,
     )];
     let mut s = sim();
-    let result = run_pipeline(&mut s, &cfg);
+    let result = run_pipeline(&mut s, &cfg).expect("valid config");
     assert_eq!(result.dropped_tasks, 0);
     let buckets: std::collections::HashSet<u32> = result
         .metrics
@@ -257,7 +257,7 @@ fn staging_overrun_drops_tasks_instead_of_blocking() {
         1,
     )];
     let mut s = sim();
-    let result = run_pipeline(&mut s, &cfg);
+    let result = run_pipeline(&mut s, &cfg).expect("valid config");
     // One bucket at ~120 ms per task against 10 fast steps with a
     // 2-deep producer ring: some tasks must be dropped, and the run must
     // still terminate with the completed ones correct.
@@ -283,7 +283,7 @@ fn autocorrelation_matches_serial_comoments() {
         1,
     )];
     let mut s = sim();
-    let result = run_pipeline(&mut s, &cfg);
+    let result = run_pipeline(&mut s, &cfg).expect("valid config");
 
     // Steps <= lag: no pairs yet, NaN correlation, 0 observations.
     for step in 1..=lag as u64 {
@@ -352,7 +352,7 @@ fn custom_user_analysis_plugs_in() {
     let mut cfg = PipelineConfig::new([2, 2, 1], 2, 2);
     cfg.analyses = vec![AnalysisSpec::new(Arc::new(GlobalMax), Placement::Hybrid, 1)];
     let mut s = sim();
-    let result = run_pipeline(&mut s, &cfg);
+    let result = run_pipeline(&mut s, &cfg).expect("valid config");
     for step in 1..=2u64 {
         let out = result
             .output("global-max", step)
@@ -376,6 +376,29 @@ fn duplicate_labels_rejected() {
         AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::Hybrid, 1),
     ];
     let mut s = sim();
-    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_pipeline(&mut s, &cfg)));
-    assert!(err.is_err(), "duplicate labels must be rejected");
+    let err = run_pipeline(&mut s, &cfg).unwrap_err();
+    assert!(
+        matches!(&err, ConfigError::DuplicateLabel(label) if label == "stats"),
+        "expected DuplicateLabel(\"stats\"), got {err:?}"
+    );
+    // The error displays the offending label for the user.
+    assert!(err.to_string().contains("stats"), "{err}");
+}
+
+#[test]
+fn invalid_staging_endpoint_rejected() {
+    let mut cfg = PipelineConfig::new([2, 1, 1], 1, 1);
+    cfg.analyses = vec![AnalysisSpec::new(
+        Arc::new(HybridStats::default()),
+        Placement::Hybrid,
+        1,
+    )];
+    cfg = cfg.with_staging_endpoint("not-a-transport://nope");
+    let mut s = sim();
+    let err = run_pipeline(&mut s, &cfg).unwrap_err();
+    assert!(
+        matches!(&err, ConfigError::InvalidEndpoint { endpoint, .. }
+            if endpoint == "not-a-transport://nope"),
+        "expected InvalidEndpoint, got {err:?}"
+    );
 }

@@ -8,8 +8,9 @@
 //! sitra-staged --listen tcp://0.0.0.0:7788 --servers 4
 //! ```
 //!
-//! The driver side points `PipelineConfig::staging_endpoint` at the same
-//! address; workers call `sitra_core::remote::run_bucket_worker`. The
+//! The driver side points `PipelineConfig::with_staging_endpoint` at the
+//! same address (selecting the remote staging backend); workers call
+//! `sitra_core::remote::run_bucket_worker`. The
 //! process runs until the scheduler is closed by a client (the driver
 //! does this when its run finishes) or it receives SIGINT.
 //!

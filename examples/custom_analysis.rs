@@ -80,7 +80,7 @@ fn main() {
         Placement::Hybrid,
         1,
     )];
-    let result = run_pipeline(&mut sim, &cfg);
+    let result = run_pipeline(&mut sim, &cfg).expect("valid config");
 
     println!("step | Y_OH p50..p99 span | payload/rank (B)");
     for step in 1..=4u64 {

@@ -51,7 +51,7 @@ fn main() {
         ),
     ];
 
-    let result = run_pipeline(&mut sim, &cfg);
+    let result = run_pipeline(&mut sim, &cfg).expect("valid config");
 
     let dir = std::path::Path::new("target/monitoring");
     std::fs::create_dir_all(dir).unwrap();

@@ -43,7 +43,7 @@ fn main() {
             1,
         ),
     ];
-    let result = run_pipeline(&mut sim, &cfg);
+    let result = run_pipeline(&mut sim, &cfg).expect("valid config");
 
     // Count high-temperature maxima per step from the in-transit trees.
     println!("step | tree nodes | maxima > {KERNEL_THRESHOLD} K");

@@ -21,7 +21,7 @@ fn main() {
         1,
     )];
 
-    let result = run_pipeline(&mut sim, &cfg);
+    let result = run_pipeline(&mut sim, &cfg).expect("valid config");
 
     println!("step | variable |    mean |  stddev |     min |     max");
     println!("-----+----------+---------+---------+---------+--------");

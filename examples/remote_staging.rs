@@ -82,7 +82,7 @@ fn main() {
     let mut cfg =
         PipelineConfig::new([2, 2, 1], 2, STEPS).with_staging_endpoint(endpoint.to_string());
     cfg.analyses = specs();
-    let result = run_pipeline(&mut sim, &cfg);
+    let result = run_pipeline(&mut sim, &cfg).expect("valid config");
 
     let completed: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
     if let Some(server) = &server {

@@ -1,0 +1,282 @@
+//! Backend equivalence: the paper's core claim, asserted end to end.
+//!
+//! One analysis decomposition — an in-situ stage producing small
+//! intermediates, then an aggregation — must run **unchanged** whether
+//! the aggregation happens synchronously on the simulation cores
+//! (`StagingMode::InSitu`), on in-process staging buckets
+//! (`StagingMode::Local`), or on a remote staging service
+//! (`StagingMode::Remote`), and even when the remote path fails and
+//! every task degrades to the in-situ fallback. The same seeded
+//! simulation is run through all four configurations; the outputs must
+//! be byte-identical, and each run's journal replay must reproduce its
+//! live metrics bit-identically — the shared retirement path is what
+//! makes both hold.
+
+use sitra::core::remote::{run_bucket_worker, BucketWorkerOpts};
+use sitra::core::wire::encode_analysis_output;
+use sitra::core::{
+    run_pipeline, AnalysisSpec, FeatureStats, HybridStats, HybridViz, PipelineConfig,
+    PipelineResult, Placement, StagingMode,
+};
+use sitra::dataspaces::SpaceServer;
+use sitra::mesh::BBox3;
+use sitra::net::Addr;
+use sitra::obs::{ObsEvent, VecSink};
+use sitra::sim::{SimConfig, Simulation};
+use sitra::topology::distributed::BoundaryPolicy;
+use sitra::topology::Connectivity;
+use sitra::viz::{TransferFunction, View, ViewAxis};
+use sitra_bench::replay::replay;
+use std::sync::Arc;
+
+const DIMS: [usize; 3] = [16, 12, 8];
+const SEED: u64 = 1234;
+const STEPS: usize = 4;
+
+fn sim() -> Simulation {
+    Simulation::new(SimConfig::small(DIMS, SEED))
+}
+
+/// Two hybrid analyses (one every step, one every other step) plus an
+/// in-situ one that must behave identically in every staging mode.
+fn specs() -> Vec<AnalysisSpec> {
+    vec![
+        AnalysisSpec::new(
+            Arc::new(HybridViz {
+                stride: 2,
+                view: View::full_res(BBox3::from_dims(DIMS), ViewAxis::Z, false),
+                tf: TransferFunction::hot(250.0, 2500.0),
+            }),
+            Placement::Hybrid,
+            1,
+        ),
+        AnalysisSpec::new(
+            Arc::new(FeatureStats {
+                threshold: 1500.0,
+                conn: Connectivity::Six,
+                policy: BoundaryPolicy::BoundaryMaxima,
+            }),
+            Placement::Hybrid,
+            2,
+        ),
+        AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::InSitu, 1),
+    ]
+}
+
+fn config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::new([2, 2, 1], 2, STEPS);
+    cfg.analyses = specs();
+    cfg
+}
+
+fn sorted_encoded_outputs(result: &PipelineResult) -> Vec<(String, u64, Vec<u8>)> {
+    let mut v: Vec<(String, u64, Vec<u8>)> = result
+        .outputs
+        .iter()
+        .map(|(label, step, out)| (label.clone(), *step, encode_analysis_output(out).to_vec()))
+        .collect();
+    v.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    v
+}
+
+/// Run one pipeline configuration with a private journal sink.
+fn run_journaled(cfg: PipelineConfig) -> (PipelineResult, Vec<ObsEvent>) {
+    let sink = Arc::new(VecSink::new());
+    let previous = sitra::obs::install_sink(Some(sink.clone()));
+    let result = run_pipeline(&mut sim(), &cfg).expect("valid config");
+    let events = sink.take();
+    sitra::obs::install_sink(previous);
+    (result, events)
+}
+
+/// The journal replay must reproduce the live run's accounting: same
+/// row set, bit-identical in-situ half, matching degradation flags.
+/// When `driver_aggregates` (the aggregation half was journaled by this
+/// process, not an external worker), the aggregation half must agree
+/// bit-identically too.
+fn assert_replay_agrees(
+    name: &str,
+    result: &PipelineResult,
+    events: &[ObsEvent],
+    hybrid_placement: &str,
+    driver_aggregates: bool,
+) {
+    let r = replay(events);
+    assert_eq!(
+        r.stages.len(),
+        result.metrics.analyses.len(),
+        "{name}: replay row count"
+    );
+    for want in &result.metrics.analyses {
+        let got = r
+            .stages
+            .iter()
+            .find(|s| s.analysis == want.analysis && s.step == want.step)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{name}: no replayed row for {}@{}",
+                    want.analysis, want.step
+                )
+            });
+        let placement = if want.analysis == "stats" {
+            "insitu"
+        } else {
+            hybrid_placement
+        };
+        assert_eq!(
+            got.placement, placement,
+            "{name}: {}@{}",
+            want.analysis, want.step
+        );
+        assert_eq!(got.insitu_secs, want.insitu_secs, "{name}");
+        assert_eq!(got.insitu_core_secs, want.insitu_core_secs, "{name}");
+        assert_eq!(got.movement_bytes, want.movement_bytes, "{name}");
+        assert_eq!(got.degraded, want.degraded, "{name}");
+        if driver_aggregates || want.degraded {
+            assert_eq!(got.aggregate_secs, want.aggregate_secs, "{name}");
+            assert_eq!(got.latency_secs, want.completion_latency_secs, "{name}");
+            assert_eq!(got.bucket, want.bucket, "{name}");
+            assert_eq!(got.streamed, want.streamed, "{name}");
+        }
+    }
+    assert_eq!(r.steps.len(), result.metrics.steps.len(), "{name}");
+    for (got, want) in r.steps.iter().zip(&result.metrics.steps) {
+        assert_eq!(got.step, want.step, "{name}");
+        assert_eq!(got.degraded, want.degraded, "{name}: step {}", want.step);
+    }
+}
+
+#[test]
+fn all_staging_backends_produce_identical_outputs_and_accounting() {
+    let _obs = sitra::obs::isolate();
+
+    // 1. Fully in-situ: hybrid analyses aggregate synchronously.
+    let (insitu, insitu_events) = run_journaled(config().with_staging_mode(StagingMode::InSitu));
+
+    // 2. Local staging buckets (the default).
+    let (local, local_events) = run_journaled(config());
+
+    // 3. Remote staging service with an external bucket worker.
+    let addr: Addr = "inproc://backend-equivalence-test".parse().unwrap();
+    let server = SpaceServer::start(&addr, 1).expect("start staging server");
+    let endpoint = server.addr();
+    let worker = {
+        let ep = endpoint.clone();
+        std::thread::spawn(move || {
+            run_bucket_worker(&ep, &specs(), 0, &BucketWorkerOpts::default())
+                .expect("bucket worker")
+        })
+    };
+    let (remote, remote_events) =
+        run_journaled(config().with_staging_endpoint(endpoint.to_string()));
+    let completed = worker.join().unwrap();
+    server.shutdown();
+
+    // 4. Forced degradation: nothing listens, so every hybrid task must
+    //    fall back to in-situ aggregation through the shared path.
+    let (degraded, degraded_events) =
+        run_journaled(config().with_staging_endpoint("inproc://backend-equivalence-nobody"));
+
+    // Byte-identical outputs across all four placements — the claim.
+    let reference = sorted_encoded_outputs(&insitu);
+    assert_eq!(reference, sorted_encoded_outputs(&local), "local != insitu");
+    assert_eq!(
+        reference,
+        sorted_encoded_outputs(&remote),
+        "remote != insitu"
+    );
+    assert_eq!(
+        reference,
+        sorted_encoded_outputs(&degraded),
+        "degraded != insitu"
+    );
+
+    // Task accounting: 6 hybrid tasks over 4 steps (viz every step,
+    // features on 2 and 4); nothing dropped anywhere, degradation only
+    // in the forced-failure run.
+    let hybrid_tasks = reference.iter().filter(|(l, _, _)| l != "stats").count();
+    assert_eq!(hybrid_tasks, 6);
+    assert_eq!(completed, hybrid_tasks);
+    for (name, result) in [("insitu", &insitu), ("local", &local), ("remote", &remote)] {
+        assert_eq!(result.dropped_tasks, 0, "{name}");
+        assert_eq!(result.degraded_tasks, 0, "{name}");
+        assert_eq!(result.metrics.degraded_steps(), 0, "{name}");
+    }
+    assert_eq!(degraded.dropped_tasks, 0);
+    assert_eq!(degraded.degraded_tasks, hybrid_tasks);
+    assert_eq!(degraded.metrics.degraded_steps(), STEPS);
+
+    // The same (analysis, step) row set in every mode.
+    let row_set = |r: &PipelineResult| {
+        let mut v: Vec<(String, u64)> = r
+            .metrics
+            .analyses
+            .iter()
+            .map(|a| (a.analysis.clone(), a.step))
+            .collect();
+        v.sort();
+        v
+    };
+    let reference_rows = row_set(&insitu);
+    for (name, result) in [
+        ("local", &local),
+        ("remote", &remote),
+        ("degraded", &degraded),
+    ] {
+        assert_eq!(reference_rows, row_set(result), "{name}");
+    }
+
+    // Placement flags per mode: in-situ mode never marks in-transit
+    // rows; local and remote mark exactly the hybrid rows; forced
+    // degradation clears the flag on every row it touches.
+    assert!(insitu
+        .metrics
+        .analyses
+        .iter()
+        .all(|a| !a.aggregated_in_transit));
+    for (name, result) in [("local", &local), ("remote", &remote)] {
+        for a in &result.metrics.analyses {
+            assert_eq!(
+                a.aggregated_in_transit,
+                a.analysis != "stats",
+                "{name}: {}@{}",
+                a.analysis,
+                a.step
+            );
+        }
+    }
+    assert!(degraded
+        .metrics
+        .analyses
+        .iter()
+        .all(|a| !a.aggregated_in_transit));
+    // Movement is charged only when intermediates actually shipped.
+    assert!(insitu
+        .metrics
+        .analyses
+        .iter()
+        .all(|a| a.movement_bytes == 0));
+    assert!(degraded
+        .metrics
+        .analyses
+        .iter()
+        .all(|a| a.movement_bytes == 0));
+    for name in ["viz-hybrid", "feature-stats"] {
+        assert!(local.metrics.mean_movement_bytes(name) > 0.0);
+        assert!(remote.metrics.mean_movement_bytes(name) > 0.0);
+    }
+
+    // Each run's journal replay reproduces its live metrics
+    // bit-identically (the remote run's aggregation half lives in the
+    // worker's journal, so only its driver-owned fields are compared).
+    assert_replay_agrees("insitu", &insitu, &insitu_events, "insitu", true);
+    assert_replay_agrees("local", &local, &local_events, "hybrid", true);
+    assert_replay_agrees("remote", &remote, &remote_events, "hybrid-remote", false);
+    assert_replay_agrees(
+        "degraded",
+        &degraded,
+        &degraded_events,
+        "hybrid-remote",
+        false,
+    );
+}

@@ -85,7 +85,7 @@ fn staging_killed_mid_run_degrades_to_insitu_with_zero_lost_steps() {
 
     // Reference: the fully in-process pipeline, run before the journal
     // sink is installed so its events don't pollute the replay.
-    let local = run_pipeline(&mut sim(), &config());
+    let local = run_pipeline(&mut sim(), &config()).expect("valid config");
     assert_eq!(local.dropped_tasks, 0);
 
     let sink = Arc::new(sitra::obs::VecSink::new());
@@ -127,7 +127,8 @@ fn staging_killed_mid_run_degrades_to_insitu_with_zero_lost_steps() {
             .with_staging_max_inflight(1)
             .with_staging_deadline(Duration::from_secs(10))
             .with_staging_output_hook(hook),
-    );
+    )
+    .expect("valid config");
     // The worker retires when the closed scheduler reports no more
     // tasks (or its link drops with the server); either way it must not
     // hang once the run is over.
@@ -221,11 +222,12 @@ fn unreachable_staging_endpoint_degrades_every_task() {
     // Nothing listens here: the driver must come up with the endpoint
     // marked lost, degrade every hybrid task, and still produce the
     // full output set.
-    let local = run_pipeline(&mut sim(), &config());
+    let local = run_pipeline(&mut sim(), &config()).expect("valid config");
     let remote = run_pipeline(
         &mut sim(),
         &config().with_staging_endpoint("inproc://nobody-listening-here"),
-    );
+    )
+    .expect("valid config");
     assert_eq!(
         sorted_encoded_outputs(&local),
         sorted_encoded_outputs(&remote)

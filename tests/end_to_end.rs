@@ -97,7 +97,7 @@ fn pipeline_smoke_through_facade() {
         AnalysisSpec::new(Arc::new(HybridTopology::default()), Placement::Hybrid, 3),
     ];
     let mut sim = Simulation::new(SimConfig::small(dims, 8));
-    let result = run_pipeline(&mut sim, &cfg);
+    let result = run_pipeline(&mut sim, &cfg).expect("valid config");
     assert_eq!(result.dropped_tasks, 0);
     assert_eq!(
         result

@@ -88,7 +88,7 @@ fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
     let obs = sitra::obs::isolate();
 
     // Reference: the fully in-process pipeline.
-    let local = run_pipeline(&mut sim(), &config());
+    let local = run_pipeline(&mut sim(), &config()).expect("valid config");
     assert_eq!(local.dropped_tasks, 0);
 
     // Remote: a space server on a real TCP socket plus worker threads
@@ -121,7 +121,8 @@ fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
     let remote = run_pipeline(
         &mut sim(),
         &config().with_staging_endpoint(endpoint.to_string()),
-    );
+    )
+    .expect("valid config");
     let completed: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
 
     // Byte-identical outputs: every (analysis, step) of the in-process
@@ -185,11 +186,12 @@ fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
     let (_, high_water) = snap
         .gauge("sched.queue.depth")
         .expect("queue depth gauge registered");
-    // Three schedulers wrote the gauge in this process: the local
-    // reference run's, the remote driver's (idle in remote mode), and
-    // the SpaceServer's. The gauge and max_queue_depth are updated at
-    // the same mutation points, so the high-water is exactly the max
-    // of their per-scheduler high-waters.
+    // Two schedulers wrote the gauge in this process: the local
+    // reference run's and the SpaceServer's (the remote driver submits
+    // to the server's scheduler instead of creating its own). The gauge
+    // and max_queue_depth are updated at the same mutation points, so
+    // the high-water is exactly the max of the per-scheduler
+    // high-waters; the remote run's max_queue_depth is 0.
     let expected_depth = local
         .metrics
         .max_queue_depth
@@ -227,9 +229,10 @@ fn inproc_remote_staging_roundtrip() {
     let remote = run_pipeline(
         &mut sim(),
         &config().with_staging_endpoint(endpoint.to_string()),
-    );
+    )
+    .expect("valid config");
     let completed = worker.join().unwrap();
-    let local = run_pipeline(&mut sim(), &config());
+    let local = run_pipeline(&mut sim(), &config()).expect("valid config");
     assert_eq!(
         sorted_encoded_outputs(&local),
         sorted_encoded_outputs(&remote)
