@@ -122,6 +122,15 @@ pub fn replay(events: &[ObsEvent]) -> Replay {
             }
             ("driver" | "worker", "analysis.aggregate") => {
                 let row = stage_row(&mut out.stages, ev);
+                // A degraded row is driver-owned: the live run retires
+                // every task exactly once, so an aggregate event landing
+                // on a degraded row can only be abandoned worker-side
+                // work (the worker finished after the driver's deadline
+                // expired and its output was never collected). Keep the
+                // driver's authoritative half.
+                if row.degraded {
+                    continue;
+                }
                 row.aggregate_secs = ev.f64("aggregate_secs").unwrap_or(0.0);
                 row.bucket = ev.get("bucket").and_then(|b| b.parse().ok());
                 row.streamed = ev.get("streamed") == Some("true");
@@ -135,10 +144,14 @@ pub fn replay(events: &[ObsEvent]) -> Replay {
             ("driver", "analysis.degraded") => {
                 // The staging path failed this task; the driver re-ran
                 // the aggregation in-situ. Mirrors the live driver's
-                // in-place row update.
+                // in-place row update — including voiding any bucket
+                // assignment a since-abandoned remote aggregation may
+                // have journaled before the degradation.
                 let row = stage_row(&mut out.stages, ev);
                 row.aggregate_secs = ev.f64("aggregate_secs").unwrap_or(0.0);
                 row.latency_secs = ev.f64("latency_secs").unwrap_or(0.0);
+                row.bucket = None;
+                row.streamed = false;
                 row.degraded = true;
             }
             _ => out.other_events += 1,
@@ -384,6 +397,50 @@ mod tests {
         assert_eq!(s.aggregate_secs, 0.125);
         assert_eq!(s.latency_secs, 0.5);
         assert_eq!(r.other_events, 0);
+    }
+
+    #[test]
+    fn abandoned_worker_aggregation_never_clobbers_a_degraded_row() {
+        let degraded = ev(
+            "driver",
+            "analysis.degraded",
+            &[
+                ("analysis", "viz"),
+                ("step", "1"),
+                ("reason", "deadline"),
+                ("aggregate_secs", "0.125"),
+                ("latency_secs", "0.5"),
+            ],
+        );
+        let abandoned = ev(
+            "worker",
+            "analysis.aggregate",
+            &[
+                ("analysis", "viz"),
+                ("step", "1"),
+                ("aggregate_secs", "9.0"),
+                ("bucket", "3"),
+                ("streamed", "true"),
+                ("latency_secs", "9.0"),
+            ],
+        );
+        // Either journal order — worker finished after the driver's
+        // deadline (degraded first), or the degradation raced past an
+        // already-journaled aggregation (aggregate first) — must
+        // reconstruct the same driver-owned row.
+        for events in [
+            vec![degraded.clone(), abandoned.clone()],
+            vec![abandoned.clone(), degraded.clone()],
+        ] {
+            let r = replay(&events);
+            assert_eq!(r.stages.len(), 1);
+            let s = &r.stages[0];
+            assert!(s.degraded);
+            assert_eq!(s.aggregate_secs, 0.125);
+            assert_eq!(s.latency_secs, 0.5);
+            assert_eq!(s.bucket, None);
+            assert!(!s.streamed);
+        }
     }
 
     #[test]

@@ -195,6 +195,12 @@ pub struct PipelineResult {
     pub metrics: PipelineMetrics,
     /// `(analysis name, step, output)` for every completed aggregation.
     pub outputs: Vec<(String, u64, AnalysisOutput)>,
+    /// Tasks submitted to the staging backend selected by
+    /// [`StagingMode`] (in-situ placed tasks are not counted). Every
+    /// one of these retires exactly once — completed, collected,
+    /// degraded, or dropped — which is the conservation law the chaos
+    /// harness checks.
+    pub staged_tasks: usize,
     /// Tasks dropped because the staging area fell behind the
     /// back-pressure horizon.
     pub dropped_tasks: usize,

@@ -220,6 +220,7 @@ pub fn run_pipeline(
     Ok(PipelineResult {
         metrics,
         outputs: ctx.take_outputs(),
+        staged_tasks: staging_stats.submitted,
         dropped_tasks: ctx.dropped_tasks(),
         degraded_tasks: ctx.degraded_tasks(),
     })

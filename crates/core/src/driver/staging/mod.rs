@@ -16,8 +16,8 @@
 //!   (`sitra-staged`) over the socket transport, with a bounded
 //!   in-flight window, admission handling, and reconnect.
 //!
-//! Every backend retires tasks through the shared [`RetireCtx`] (see
-//! [`super::retire`]): completions, remote collections, degradations,
+//! Every backend retires tasks through the shared [`RetireCtx`] (the
+//! private `retire` module): completions, remote collections, degradations,
 //! and drops all flow through one function, which is what keeps the
 //! outputs byte-identical and the replay accounting bit-identical
 //! across placements.

@@ -176,10 +176,22 @@ pub fn run_bucket_worker(
         // byte-identical part list the in-process bucket would.
         let query = BBox3::new([0, 0, 0], [task.n_ranks.max(1) as usize, 1, 1]);
         let pieces = space.get(&intermediate_var(&spec.label), task.step, &query)?;
-        let parts: Vec<(usize, Bytes)> = pieces
+        let mut parts: Vec<(usize, Bytes)> = pieces
             .into_iter()
             .map(|(bbox, data)| (bbox.lo[0], data))
             .collect();
+        // The space stores at most one piece per (var, step, rank), but
+        // aggregation is order-sensitive (the streaming merge tree
+        // panics on a re-declared source), so a same-rank duplicate
+        // must fail here as a protocol error instead. Identical
+        // payloads — a benign re-delivery — are collapsed.
+        parts.dedup();
+        if let Some(w) = parts.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(RemoteError::Proto(format!(
+                "conflicting duplicate parts for rank {} of {}@{}",
+                w[0].0, spec.label, task.step
+            )));
+        }
         let t_agg = std::time::Instant::now();
         let out = spec.analysis.aggregate(task.step, &parts);
         let aggregate_secs = t_agg.elapsed().as_secs_f64();

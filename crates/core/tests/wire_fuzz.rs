@@ -5,10 +5,12 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
+use sitra_core::analysis::AnalysisOutput;
 use sitra_core::wire;
 use sitra_mesh::{downsample, BBox3, ScalarField};
-use sitra_stats::{CoMoments, Moments, MultiModel};
+use sitra_stats::{CoMoments, Derived, Moments, MultiModel};
 use sitra_topology::reduce::{Subtree, SubtreeVertex};
+use sitra_topology::tree::CanonicalTree;
 
 fn moments_strategy() -> impl Strategy<Value = Moments> {
     (any::<u64>(), prop::array::uniform3(-1.0e12..1.0e12f64)).prop_map(|(n, [a, b, c])| Moments {
@@ -64,6 +66,45 @@ fn subtree_strategy() -> impl Strategy<Value = Subtree> {
                 .collect(),
             edges,
         })
+}
+
+fn derived_strategy() -> impl Strategy<Value = Derived> {
+    (any::<u64>(), prop::array::uniform3(-1.0e9..1.0e9f64)).prop_map(|(count, [a, b, c])| Derived {
+        count,
+        min: a.min(b),
+        max: a.max(b),
+        mean: (a + b) / 2.0,
+        variance: c.abs(),
+        std_dev: c.abs().sqrt(),
+        skewness: c,
+        kurtosis_excess: -c,
+    })
+}
+
+fn short_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..128, 0..10).prop_map(|raw| String::from_utf8(raw).unwrap())
+}
+
+fn analysis_output_strategy() -> proptest::BoxedStrategy<AnalysisOutput> {
+    prop_oneof![
+        (1usize..5, 1usize..5, -1.0e3..1.0e3f64).prop_map(|(w, h, fill)| {
+            let mut img = sitra_viz::Image::new(w, h);
+            for (i, p) in img.pixels_mut().iter_mut().enumerate() {
+                *p = [fill, i as f64, -fill, 1.0];
+            }
+            AnalysisOutput::Image(img)
+        }),
+        (
+            prop::collection::vec((any::<u64>(), -1.0e6..1.0e6f64), 0..8),
+            prop::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+        )
+            .prop_map(|(nodes, arcs)| AnalysisOutput::Tree(CanonicalTree { nodes, arcs })),
+        prop::collection::vec((short_name(), derived_strategy()), 0..6)
+            .prop_map(AnalysisOutput::Stats),
+        prop::collection::vec((short_name(), -1.0e9..1.0e9f64), 0..6)
+            .prop_map(AnalysisOutput::Scalars),
+    ]
+    .boxed()
 }
 
 /// Every strict prefix of `enc` must decode to an error without panicking.
@@ -152,6 +193,46 @@ proptest! {
         assert_prefixes_error(&enc, wire::decode_partial_image);
     }
 
+    /// The output codec — what crosses the wire from a remote bucket
+    /// back to the driver — round-trips every variant, encodes
+    /// deterministically, and errors on every strict prefix.
+    #[test]
+    fn analysis_output_roundtrips_and_prefixes_error(out in analysis_output_strategy()) {
+        let enc = wire::encode_analysis_output(&out);
+        prop_assert_eq!(wire::decode_analysis_output(enc.clone()).unwrap(), out);
+        prop_assert_eq!(&wire::encode_analysis_output(
+            &wire::decode_analysis_output(enc.clone()).unwrap()), &enc);
+        assert_prefixes_error(&enc, wire::decode_analysis_output);
+    }
+
+    /// Single-byte corruption of a valid encoding must never panic a
+    /// decoder: it either still decodes (the flipped byte landed in a
+    /// payload value) or returns a structured error — both acceptable,
+    /// a crash is not.
+    #[test]
+    fn corrupted_encodings_never_panic(
+        out in analysis_output_strategy(),
+        sub in subtree_strategy(),
+        at in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        for enc in [
+            wire::encode_analysis_output(&out),
+            wire::encode_subtree(&sub),
+        ] {
+            if enc.is_empty() {
+                continue;
+            }
+            let mut raw = enc.to_vec();
+            let i = (at as usize) % raw.len();
+            raw[i] ^= flip;
+            let b = Bytes::from(raw);
+            let _ = wire::decode_analysis_output(b.clone());
+            let _ = wire::decode_subtree(b.clone());
+            let _ = wire::decode_feature_stats(b);
+        }
+    }
+
     /// Arbitrary byte soup never panics any decoder. Length-prefix
     /// positions are seeded with large values often enough that hostile
     /// allocation sizes are exercised (the decoders cap allocations by
@@ -176,6 +257,7 @@ proptest! {
         let _ = wire::decode_subtree(b.clone());
         let _ = wire::decode_comoments(b.clone());
         let _ = wire::decode_feature_stats(b.clone());
-        let _ = wire::decode_partial_image(b);
+        let _ = wire::decode_partial_image(b.clone());
+        let _ = wire::decode_analysis_output(b);
     }
 }

@@ -98,19 +98,40 @@ impl DataSpaces {
     }
 
     /// Store an object. Returns the shard index it landed on.
+    ///
+    /// Idempotent per `(var, version, bbox)`: a re-put of the same
+    /// region replaces the stored piece instead of appending a
+    /// duplicate. The transport delivers at-least-once (a retried or
+    /// duplicated `Put` frame executes twice on the server), and
+    /// consumers that stream pieces into order-sensitive aggregators
+    /// must never see the same block twice.
     pub fn put(&self, var: &str, version: u64, bbox: BBox3, data: Bytes) -> usize {
         let s = self.shard(var, version, &bbox);
         let len = data.len() as i64;
         let t0 = std::time::Instant::now();
-        self.servers[s]
-            .objects
-            .write()
-            .entry((var.to_string(), version))
-            .or_default()
-            .push(Stored { bbox, data });
+        let replaced = {
+            let mut guard = self.servers[s].objects.write();
+            let objs = guard.entry((var.to_string(), version)).or_default();
+            match objs.iter_mut().find(|o| o.bbox == bbox) {
+                Some(o) => {
+                    let old = o.data.len() as i64;
+                    o.data = data;
+                    Some(old)
+                }
+                None => {
+                    objs.push(Stored { bbox, data });
+                    None
+                }
+            }
+        };
         self.obs.put_ns[s].observe(t0.elapsed());
-        self.obs.resident_bytes.add(len);
-        self.obs.objects.add(1);
+        match replaced {
+            Some(old) => self.obs.resident_bytes.add(len - old),
+            None => {
+                self.obs.resident_bytes.add(len);
+                self.obs.objects.add(1);
+            }
+        }
         s
     }
 
@@ -245,6 +266,23 @@ mod tests {
             let got = ds.get_assembled("T", 7, &q, f64::NAN);
             assert_eq!(got, whole.extract(&q), "query {q:?}");
         }
+    }
+
+    #[test]
+    fn reput_replaces_instead_of_appending() {
+        // At-least-once delivery: a duplicated Put frame executes
+        // twice. The second put must replace the piece, not append a
+        // same-region duplicate that order-sensitive consumers (the
+        // streaming merge-tree aggregation) would panic on.
+        let ds = DataSpaces::new(2);
+        let b = BBox3::from_dims([4, 4, 4]);
+        ds.put_field("T", 1, &ScalarField::new_fill(b, 1.0));
+        ds.put_field("T", 1, &ScalarField::new_fill(b, 2.0));
+        let pieces = ds.get("T", 1, &b);
+        assert_eq!(pieces.len(), 1, "re-put must not duplicate the piece");
+        assert_eq!(ds.get_assembled("T", 1, &b, 0.0).get([0, 0, 0]), 2.0);
+        let stats = ds.stats();
+        assert_eq!(stats.objects_per_server.iter().sum::<u64>(), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The connection handle: length-prefixed frames over either backend,
 //! with per-connection traffic counters.
 
+use crate::fault::{self, FaultAction};
 use crate::NetError;
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
@@ -9,6 +10,10 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Process-unique connection ids, assigned at construction. Fault
+/// injectors key their per-connection decision streams on this.
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Frames larger than this are rejected on both send and receive — a
 /// corrupt or hostile length prefix must not drive an allocation.
@@ -82,6 +87,8 @@ enum Inner {
 
 /// One frame-oriented, bidirectional connection.
 pub struct Connection {
+    id: u64,
+    peer_label: String,
     inner: Inner,
     counters: Counters,
     obs: ObsCounters,
@@ -92,6 +99,8 @@ impl Connection {
         let (a2b_tx, a2b_rx) = crossbeam::channel::unbounded();
         let (b2a_tx, b2a_rx) = crossbeam::channel::unbounded();
         let mk = |tx, rx| Connection {
+            id: NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed),
+            peer_label: "inproc".to_string(),
             inner: Inner::InProc {
                 tx: Mutex::new(Some(tx)),
                 rx: Mutex::new(Some(rx)),
@@ -107,6 +116,8 @@ impl Connection {
         let peer = stream.peer_addr()?;
         let reader = stream.try_clone()?;
         Ok(Connection {
+            id: NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed),
+            peer_label: peer.to_string(),
             inner: Inner::Tcp {
                 reader: Mutex::new(reader),
                 writer: Mutex::new(stream),
@@ -117,11 +128,39 @@ impl Connection {
         })
     }
 
-    /// Send one frame.
+    /// This connection's process-unique id (stable for its lifetime;
+    /// what fault injectors key their decision streams on).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Send one frame. When a [`crate::fault::FaultInjector`] is
+    /// installed it decides this frame's fate first; see the fault
+    /// module docs for each action's semantics.
     pub fn send(&self, payload: Bytes) -> Result<(), NetError> {
         if payload.len() > MAX_FRAME_LEN {
             return Err(NetError::FrameTooLarge(payload.len()));
         }
+        match fault::frame_action(self.id, &self.peer_label, payload.len()) {
+            FaultAction::Deliver => {}
+            FaultAction::Drop => {
+                // Loss on a reliable transport: the frame vanishes and
+                // the link dies with it (see fault module docs). The
+                // sender believes the send succeeded.
+                self.close();
+                return Ok(());
+            }
+            FaultAction::Delay(d) | FaultAction::Reorder(d) => std::thread::sleep(d),
+            FaultAction::Duplicate => self.send_raw(&payload)?,
+            FaultAction::Cut => {
+                self.close();
+                return Err(NetError::Closed);
+            }
+        }
+        self.send_raw(&payload)
+    }
+
+    fn send_raw(&self, payload: &Bytes) -> Result<(), NetError> {
         match &self.inner {
             Inner::InProc { tx, .. } => {
                 let guard = tx.lock();
@@ -132,7 +171,7 @@ impl Connection {
                 let mut w = writer.lock();
                 let header = (payload.len() as u32).to_le_bytes();
                 w.write_all(&header)?;
-                w.write_all(&payload)?;
+                w.write_all(payload)?;
                 w.flush()?;
             }
         }
@@ -294,6 +333,10 @@ fn read_frame(r: &mut TcpStream) -> Result<Bytes, NetError> {
 }
 
 pub(crate) fn tcp_connect(sa: SocketAddr) -> Result<Connection, NetError> {
+    // A fault injector can refuse the dial outright — a partition.
+    if !fault::connect_allowed(&format!("tcp://{sa}")) {
+        return Err(NetError::Refused(sa.to_string()));
+    }
     match TcpStream::connect(sa) {
         Ok(s) => Connection::from_tcp(s),
         Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {

@@ -1,0 +1,241 @@
+//! The fault-injection seam: an optional, process-global hook the
+//! transport consults on every frame and every connection attempt.
+//!
+//! Production runs never install an injector and pay one relaxed atomic
+//! load per frame. Test harnesses (`sitra-testkit`) install a seeded
+//! [`FaultInjector`] to subject the whole staging stack — driver,
+//! space server, bucket workers — to drops, delays, duplicates,
+//! reorders, link cuts, and partitions, deterministically from a seed.
+//!
+//! Semantics are those of a *reliable, connection-oriented* transport
+//! under an adversarial network, chosen so every action preserves
+//! liveness for request/response protocols built on blocking `recv`:
+//!
+//! * [`FaultAction::Drop`] — the frame is discarded **and the
+//!   connection is severed**. On a reliable transport a lost frame is
+//!   indistinguishable from infinite delay, which would hang a blocking
+//!   peer forever; severing the link turns the loss into
+//!   [`NetError::Closed`](crate::NetError::Closed) on the next
+//!   operation, which callers already treat as retryable.
+//! * [`FaultAction::Delay`] / [`FaultAction::Reorder`] — the sender
+//!   sleeps before writing (no lock held), so concurrent senders on the
+//!   same or sibling connections can overtake: adversarial scheduling
+//!   jitter that reorders traffic wherever concurrency exists.
+//! * [`FaultAction::Duplicate`] — the frame is written twice; a framed
+//!   RPC peer sees a stale extra frame and must fail cleanly (protocol
+//!   error → degraded task), never hang or panic.
+//! * [`FaultAction::Cut`] — the connection is severed and the send
+//!   fails immediately with `Closed` (the sender *knows*, unlike
+//!   `Drop`).
+//! * [`FaultInjector::allow_connect`] returning `false` — the dial is
+//!   refused ([`NetError::Refused`](crate::NetError::Refused)), which
+//!   models a network partition; `connect_retry` keeps retrying, so
+//!   partitions heal when the injector says so.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// The fate the injector assigns to one outbound frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver the frame untouched.
+    Deliver,
+    /// Discard the frame and sever the connection (see module docs for
+    /// why loss implies severing on a reliable transport).
+    Drop,
+    /// Sleep this long, then deliver.
+    Delay(Duration),
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Sleep this long before delivering, letting concurrent traffic
+    /// overtake (scheduling-level reorder).
+    Reorder(Duration),
+    /// Sever the connection; the send fails with `Closed`.
+    Cut,
+}
+
+/// A process-global hook deciding the fate of frames and dials.
+///
+/// Implementations must be deterministic functions of their own state
+/// plus the arguments if they want reproducible fault schedules —
+/// `sitra-testkit`'s plan injector derives every decision from
+/// `(seed, connection id, per-connection frame index)` alone.
+pub trait FaultInjector: Send + Sync {
+    /// The fate of one outbound frame. `conn` is the process-unique id
+    /// of the sending [`Connection`](crate::Connection), `peer` its
+    /// peer description, `len` the payload length.
+    fn on_frame(&self, conn: u64, peer: &str, len: usize) -> FaultAction;
+
+    /// Whether a new connection to `addr` may be opened right now.
+    /// `false` refuses the dial — a network partition.
+    fn allow_connect(&self, addr: &str) -> bool {
+        let _ = addr;
+        true
+    }
+}
+
+/// Fast-path flag: `true` iff an injector is installed. Lets the
+/// per-frame check be one relaxed load when fault injection is off.
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+fn slot() -> &'static parking_lot::Mutex<Option<Arc<dyn FaultInjector>>> {
+    static SLOT: OnceLock<parking_lot::Mutex<Option<Arc<dyn FaultInjector>>>> = OnceLock::new();
+    SLOT.get_or_init(|| parking_lot::Mutex::new(None))
+}
+
+/// Install (or with `None`, remove) the process-global fault injector,
+/// returning the previous one so callers can restore it — the same
+/// install/restore discipline as `sitra_obs::install_sink`.
+pub fn install_fault_injector(
+    injector: Option<Arc<dyn FaultInjector>>,
+) -> Option<Arc<dyn FaultInjector>> {
+    let mut guard = slot().lock();
+    INSTALLED.store(injector.is_some(), Ordering::Release);
+    std::mem::replace(&mut *guard, injector)
+}
+
+/// The currently installed injector, if any.
+pub(crate) fn active() -> Option<Arc<dyn FaultInjector>> {
+    if !INSTALLED.load(Ordering::Acquire) {
+        return None;
+    }
+    slot().lock().clone()
+}
+
+/// The fate of one outbound frame under the installed injector
+/// (`Deliver` when none is installed).
+pub(crate) fn frame_action(conn: u64, peer: &str, len: usize) -> FaultAction {
+    match active() {
+        Some(inj) => inj.on_frame(conn, peer, len),
+        None => FaultAction::Deliver,
+    }
+}
+
+/// Whether the installed injector permits dialling `addr` (`true` when
+/// none is installed).
+pub(crate) fn connect_allowed(addr: &str) -> bool {
+    match active() {
+        Some(inj) => inj.allow_connect(addr),
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::Connection;
+    use crate::{connect, Addr, Listener, NetError};
+    use bytes::Bytes;
+
+    /// The injector is process-global; these tests serialize on this.
+    static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    /// Applies a scripted action sequence to exactly one connection id,
+    /// delivering everything else untouched (so concurrently running
+    /// tests in this binary are unaffected).
+    struct Script {
+        conn: u64,
+        actions: parking_lot::Mutex<Vec<FaultAction>>,
+    }
+
+    impl FaultInjector for Script {
+        fn on_frame(&self, conn: u64, _peer: &str, _len: usize) -> FaultAction {
+            if conn != self.conn {
+                return FaultAction::Deliver;
+            }
+            self.actions.lock().pop().unwrap_or(FaultAction::Deliver)
+        }
+    }
+
+    fn with_script(conn: u64, mut actions: Vec<FaultAction>) -> Option<Arc<dyn FaultInjector>> {
+        actions.reverse(); // popped back-to-front
+        install_fault_injector(Some(Arc::new(Script {
+            conn,
+            actions: parking_lot::Mutex::new(actions),
+        })))
+    }
+
+    #[test]
+    fn duplicate_delivers_twice_and_drop_severs() {
+        let _g = LOCK.lock();
+        let (a, b) = Connection::inproc_pair();
+        let prev = with_script(a.id(), vec![FaultAction::Duplicate, FaultAction::Drop]);
+        a.send(Bytes::from_static(b"dup")).unwrap();
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"dup"));
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"dup"));
+        // Drop: the sender believes the send succeeded, the frame is
+        // gone, and the link is dead.
+        a.send(Bytes::from_static(b"lost")).unwrap();
+        assert!(matches!(b.recv(), Err(NetError::Closed)));
+        assert!(matches!(
+            a.send(Bytes::from_static(b"after")),
+            Err(NetError::Closed)
+        ));
+        install_fault_injector(prev);
+    }
+
+    #[test]
+    fn cut_fails_the_send_and_severs() {
+        let _g = LOCK.lock();
+        let (a, b) = Connection::inproc_pair();
+        let prev = with_script(a.id(), vec![FaultAction::Cut]);
+        assert!(matches!(
+            a.send(Bytes::from_static(b"x")),
+            Err(NetError::Closed)
+        ));
+        assert!(matches!(b.recv(), Err(NetError::Closed)));
+        install_fault_injector(prev);
+    }
+
+    #[test]
+    fn delay_still_delivers() {
+        let _g = LOCK.lock();
+        let (a, b) = Connection::inproc_pair();
+        let prev = with_script(
+            a.id(),
+            vec![
+                FaultAction::Delay(Duration::from_millis(5)),
+                FaultAction::Reorder(Duration::from_millis(5)),
+            ],
+        );
+        a.send(Bytes::from_static(b"slow")).unwrap();
+        a.send(Bytes::from_static(b"jitter")).unwrap();
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"slow"));
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"jitter"));
+        install_fault_injector(prev);
+    }
+
+    #[test]
+    fn partition_refuses_dials_until_healed() {
+        let _g = LOCK.lock();
+        struct Deny(String);
+        impl FaultInjector for Deny {
+            fn on_frame(&self, _: u64, _: &str, _: usize) -> FaultAction {
+                FaultAction::Deliver
+            }
+            fn allow_connect(&self, addr: &str) -> bool {
+                addr != self.0
+            }
+        }
+        let addr: Addr = "inproc://fault-partition-test".parse().unwrap();
+        let _l = Listener::bind(&addr).unwrap();
+        let prev = install_fault_injector(Some(Arc::new(Deny(addr.to_string()))));
+        assert!(matches!(connect(&addr), Err(NetError::Refused(_))));
+        // Healing the partition (removing the injector) lets the same
+        // dial through.
+        install_fault_injector(prev);
+        assert!(connect(&addr).is_ok());
+    }
+
+    #[test]
+    fn no_injector_means_zero_interference() {
+        let _g = LOCK.lock();
+        let prev = install_fault_injector(None);
+        let (a, b) = Connection::inproc_pair();
+        a.send(Bytes::from_static(b"clean")).unwrap();
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"clean"));
+        assert_eq!(a.stats().frames_sent, 1);
+        install_fault_injector(prev);
+    }
+}

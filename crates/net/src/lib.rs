@@ -22,9 +22,11 @@
 //! whose hand-off was never acknowledged).
 
 mod conn;
+pub mod fault;
 mod listener;
 
 pub use conn::{ConnStats, Connection, MAX_FRAME_LEN};
+pub use fault::{install_fault_injector, FaultAction, FaultInjector};
 pub use listener::{serve, Listener, ServerHandle};
 
 use std::net::SocketAddr;

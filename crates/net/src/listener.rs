@@ -18,6 +18,10 @@ fn registry() -> &'static Mutex<HashMap<String, Sender<Connection>>> {
 }
 
 pub(crate) fn inproc_connect(name: &str) -> Result<Connection, NetError> {
+    // A fault injector can refuse the dial outright — a partition.
+    if !crate::fault::connect_allowed(&format!("inproc://{name}")) {
+        return Err(NetError::Refused(format!("inproc://{name}")));
+    }
     let guard = registry().lock();
     let tx = guard
         .get(name)
@@ -77,14 +81,24 @@ impl Listener {
         }
     }
 
-    /// Accept the next inbound connection, blocking.
+    /// Accept the next inbound connection, blocking. While a fault
+    /// injector partitions this endpoint, inbound connections are
+    /// closed on arrival instead of being handed out (the accept keeps
+    /// blocking for the next one).
     pub fn accept(&self) -> Result<Connection, NetError> {
-        match &self.inner {
-            ListenerInner::InProc { rx, .. } => rx.recv().map_err(|_| NetError::Closed),
-            ListenerInner::Tcp(l) => {
-                let (stream, _) = l.accept()?;
-                Connection::from_tcp(stream)
+        let local = self.local_addr().to_string();
+        loop {
+            let conn = match &self.inner {
+                ListenerInner::InProc { rx, .. } => rx.recv().map_err(|_| NetError::Closed)?,
+                ListenerInner::Tcp(l) => {
+                    let (stream, _) = l.accept()?;
+                    Connection::from_tcp(stream)?
+                }
+            };
+            if crate::fault::connect_allowed(&local) {
+                return Ok(conn);
             }
+            conn.close();
         }
     }
 }

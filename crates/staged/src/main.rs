@@ -22,8 +22,10 @@
 
 use sitra_dataspaces::{AdmissionPolicy, SpaceServer};
 use sitra_net::Addr;
+use sitra_testkit::{CrashPlan, FaultPlan, PlanInjector};
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Opts {
@@ -39,6 +41,9 @@ struct Opts {
     queue_capacity: Option<usize>,
     /// What to do with a submission arriving at a full queue.
     admission: AdmissionPolicy,
+    /// Deterministic fault injection for chaos testing (see
+    /// `sitra-testkit`).
+    fault_plan: Option<FaultPlan>,
 }
 
 fn usage(program: &str, code: i32) -> ! {
@@ -46,6 +51,7 @@ fn usage(program: &str, code: i32) -> ! {
         "usage: {program} [--listen ADDR] [--servers N] [--stats-every SECS]\n\
          \x20                  [--metrics-listen HOST:PORT] [--journal PATH]\n\
          \x20                  [--queue-capacity N] [--admission POLICY] [--admission-wait-ms T]\n\
+         \x20                  [--fault-plan SPEC]\n\
          \n\
          --listen ADDR         tcp://host:port or inproc://name (default tcp://127.0.0.1:7788)\n\
          --servers N           space server shards (default 4)\n\
@@ -55,7 +61,10 @@ fn usage(program: &str, code: i32) -> ! {
          --queue-capacity N    bound the task queue at N entries (default unbounded)\n\
          --admission POLICY    full-queue behaviour: block | shed-oldest | reject-new\n\
          \x20                      (default reject-new; only meaningful with --queue-capacity)\n\
-         --admission-wait-ms T how long `block` admissions may wait (default 1000)"
+         --admission-wait-ms T how long `block` admissions may wait (default 1000)\n\
+         --fault-plan SPEC     inject deterministic faults on every server-side frame\n\
+         \x20                      (chaos testing; SPEC as printed by the sitra-testkit\n\
+         \x20                      chaos binary, e.g. seed=0x2a,drop=8,crash=at:400)"
     );
     std::process::exit(code);
 }
@@ -69,6 +78,7 @@ fn parse_opts() -> Opts {
         journal: None,
         queue_capacity: None,
         admission: AdmissionPolicy::RejectNew,
+        fault_plan: None,
     };
     let mut admission_wait = Duration::from_millis(1000);
     let argv: Vec<String> = std::env::args().collect();
@@ -143,6 +153,13 @@ fn parse_opts() -> Opts {
                     usage(program, 2);
                 }
             },
+            "--fault-plan" => match FaultPlan::parse(&value("--fault-plan")) {
+                Ok(p) => opts.fault_plan = Some(p),
+                Err(e) => {
+                    eprintln!("{program}: bad --fault-plan: {e}");
+                    usage(program, 2);
+                }
+            },
             "--help" | "-h" => usage(program, 0),
             other => {
                 eprintln!("{program}: unknown flag {other}");
@@ -155,6 +172,33 @@ fn parse_opts() -> Opts {
 
 fn main() {
     let opts = parse_opts();
+    if let Some(plan) = opts.fault_plan.clone() {
+        println!("sitra-staged: FAULT INJECTION ACTIVE: {plan}");
+        let inj = Arc::new(PlanInjector::new(plan.clone()));
+        sitra_net::install_fault_injector(Some(inj.clone()));
+        match plan.crash {
+            Some(CrashPlan::AtTick { tick }) => {
+                // Crash watchdog on the virtual clock: exit abruptly
+                // (no scheduler close, no drain) once `tick` frames
+                // have crossed the service, so clients exercise their
+                // reconnect paths exactly as against a real crash.
+                std::thread::spawn(move || loop {
+                    if inj.tick() >= tick {
+                        eprintln!("sitra-staged: fault-plan crash at tick {tick}");
+                        std::process::exit(42);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                });
+            }
+            Some(CrashPlan::AfterOutputs { .. }) => {
+                eprintln!(
+                    "sitra-staged: crash=after:N counts driver-side outputs and only \
+                     applies to the in-process harness; use crash=at:TICK here — ignoring"
+                );
+            }
+            None => {}
+        }
+    }
     let journal = opts.journal.as_ref().map(|path| {
         sitra_obs::set_journal_path(path).unwrap_or_else(|e| {
             eprintln!("sitra-staged: cannot open journal {}: {e}", path.display());

@@ -1,0 +1,204 @@
+//! chaos — run fault-injection scenarios from the command line.
+//!
+//! ```text
+//! chaos                         # run the pinned seed corpus, all backends
+//! chaos --random 5              # 5 fresh time-derived seeds on top
+//! chaos --seed 0x2a             # one seed, plan derived from it
+//! chaos --seed 0x2a --plan 'seed=0x2a,drop=8' --backend remote
+//! chaos --list                  # print the pinned corpus and exit
+//! ```
+//!
+//! On an oracle failure the harness shrinks the plan to a (locally)
+//! minimal reproduction, prints the report with a paste-ready repro
+//! command, and writes the failing run's journal to
+//! `target/chaos/seed-<seed>-<backend>.jsonl` (override with `--out`).
+//! Exit code 1 if any scenario failed.
+
+use sitra_testkit::{run_scenario, shrink, Backend, FaultPlan, PINNED_SEEDS};
+use std::path::PathBuf;
+
+struct Opts {
+    seeds: Vec<u64>,
+    plan: Option<FaultPlan>,
+    backends: Vec<Backend>,
+    out: PathBuf,
+    shrink_budget: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--seed S]... [--plan SPEC] [--random N] \
+         [--backend insitu|local|remote|all] [--out DIR] [--shrink-budget N] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        seeds: Vec::new(),
+        plan: None,
+        backends: Backend::ALL.to_vec(),
+        out: PathBuf::from("target/chaos"),
+        shrink_budget: 24,
+    };
+    let mut random = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => {
+                let v = value("--seed");
+                opts.seeds.push(parse_u64(&v).unwrap_or_else(|| {
+                    eprintln!("bad seed `{v}`");
+                    usage()
+                }));
+            }
+            "--plan" => {
+                let v = value("--plan");
+                match FaultPlan::parse(&v) {
+                    Ok(p) => opts.plan = Some(p),
+                    Err(e) => {
+                        eprintln!("bad --plan: {e}");
+                        usage()
+                    }
+                }
+            }
+            "--random" => {
+                let v = value("--random");
+                random = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --random `{v}`");
+                    usage()
+                });
+            }
+            "--backend" => {
+                let v = value("--backend");
+                opts.backends = match v.as_str() {
+                    "all" => Backend::ALL.to_vec(),
+                    other => match Backend::parse(other) {
+                        Some(b) => vec![b],
+                        None => {
+                            eprintln!("unknown backend `{other}`");
+                            usage()
+                        }
+                    },
+                };
+            }
+            "--out" => opts.out = PathBuf::from(value("--out")),
+            "--shrink-budget" => {
+                let v = value("--shrink-budget");
+                opts.shrink_budget = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --shrink-budget `{v}`");
+                    usage()
+                });
+            }
+            "--list" => {
+                for seed in PINNED_SEEDS {
+                    println!("{seed:#x}  {}", FaultPlan::from_seed(seed));
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+    if opts.seeds.is_empty() && random == 0 {
+        opts.seeds = PINNED_SEEDS.to_vec();
+    }
+    if random > 0 {
+        // Fresh seeds from the wall clock: printed below, so a failing
+        // one can be pinned.
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        for i in 0..random {
+            let mut x = now ^ ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            opts.seeds.push(x);
+        }
+    }
+    if opts.plan.is_some() && opts.seeds.len() != 1 {
+        eprintln!("--plan requires exactly one --seed");
+        usage();
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut failures = 0usize;
+    let total = opts.seeds.len() * opts.backends.len();
+    let mut ran = 0usize;
+    for &seed in &opts.seeds {
+        let plan = opts
+            .plan
+            .clone()
+            .unwrap_or_else(|| FaultPlan::from_seed(seed));
+        for &backend in &opts.backends {
+            ran += 1;
+            let outcome = run_scenario(seed, &plan, backend);
+            if outcome.passed() {
+                println!(
+                    "[{ran}/{total}] ok   seed={seed:#x} backend={} (staged={} degraded={} faults={})",
+                    backend.name(),
+                    outcome.staged_tasks,
+                    outcome.degraded_tasks,
+                    outcome.schedule.len(),
+                );
+                continue;
+            }
+            failures += 1;
+            println!(
+                "[{ran}/{total}] FAIL seed={seed:#x} backend={}",
+                backend.name()
+            );
+            let minimal = shrink::minimize(
+                &plan,
+                |candidate| !run_scenario(seed, candidate, backend).passed(),
+                opts.shrink_budget,
+            );
+            eprint!("{}", shrink::report(seed, &outcome, &minimal));
+            if let Err(e) = std::fs::create_dir_all(&opts.out) {
+                eprintln!("cannot create {}: {e}", opts.out.display());
+                continue;
+            }
+            let path = opts
+                .out
+                .join(format!("seed-{seed:x}-{}.jsonl", backend.name()));
+            let mut body = String::new();
+            for event in &outcome.events {
+                if let Ok(line) = serde_json::to_string(event) {
+                    body.push_str(&line);
+                    body.push('\n');
+                }
+            }
+            match std::fs::write(&path, body) {
+                Ok(()) => eprintln!("  journal:      {}", path.display()),
+                Err(e) => eprintln!("  journal write failed: {e}"),
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{total} scenarios failed");
+        std::process::exit(1);
+    }
+    println!("all {total} scenarios passed");
+}

@@ -1,0 +1,230 @@
+//! The canonical seeded-simulation fixture shared by the workspace
+//! integration tests and the chaos scenario runner.
+//!
+//! Every staging-path test in `tests/` used to carry its own copy of
+//! this setup (same dims, same analysis roster, same encoders); it now
+//! lives here once, parameterized only by the per-test seed.
+
+use sitra_core::wire::encode_analysis_output;
+use sitra_core::{
+    run_pipeline, AnalysisSpec, FeatureStats, HybridStats, HybridViz, PipelineConfig,
+    PipelineResult, Placement,
+};
+use sitra_mesh::BBox3;
+use sitra_obs::{ObsEvent, VecSink};
+use sitra_sim::{SimConfig, Simulation};
+use sitra_topology::distributed::BoundaryPolicy;
+use sitra_topology::Connectivity;
+use sitra_viz::{TransferFunction, View, ViewAxis};
+use std::sync::Arc;
+
+/// Grid dimensions every staging-path test runs on.
+pub const DIMS: [usize; 3] = [16, 12, 8];
+/// Simulated steps.
+pub const STEPS: usize = 4;
+
+/// A small seeded simulation on the canonical grid.
+pub fn sim(seed: u64) -> Simulation {
+    sim_with(DIMS, seed)
+}
+
+/// A small seeded simulation on an arbitrary grid (for tests that need
+/// their own dims but the same construction).
+pub fn sim_with(dims: [usize; 3], seed: u64) -> Simulation {
+    Simulation::new(SimConfig::small(dims, seed))
+}
+
+/// The canonical analysis roster: two hybrid analyses (one every step,
+/// one every other step) plus an in-situ one that must behave
+/// identically in every staging mode. Both hybrid analyses use
+/// buffered (rank-ordered) aggregation, so local and remote runs see
+/// identical part lists.
+pub fn specs() -> Vec<AnalysisSpec> {
+    vec![
+        AnalysisSpec::new(
+            Arc::new(HybridViz {
+                stride: 2,
+                view: View::full_res(BBox3::from_dims(DIMS), ViewAxis::Z, false),
+                tf: TransferFunction::hot(250.0, 2500.0),
+            }),
+            Placement::Hybrid,
+            1,
+        ),
+        AnalysisSpec::new(
+            Arc::new(FeatureStats {
+                threshold: 1500.0,
+                conn: Connectivity::Six,
+                policy: BoundaryPolicy::BoundaryMaxima,
+            }),
+            Placement::Hybrid,
+            2,
+        ),
+        AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::InSitu, 1),
+    ]
+}
+
+/// The canonical pipeline config over [`specs`]: a 2×2×1 decomposition
+/// with `buckets` staging buckets and [`STEPS`] steps.
+pub fn config(buckets: usize) -> PipelineConfig {
+    let mut cfg = PipelineConfig::new([2, 2, 1], buckets, STEPS);
+    cfg.analyses = specs();
+    cfg
+}
+
+/// Number of hybrid tasks the canonical roster stages over a full run:
+/// each hybrid spec contributes one task per due step.
+pub fn expected_hybrid_tasks() -> usize {
+    specs()
+        .iter()
+        .filter(|s| s.placement == Placement::Hybrid)
+        .map(|s| (1..=STEPS as u64).filter(|&step| s.due(step)).count())
+        .sum()
+}
+
+/// Outputs of a run, encoded and sorted by `(label, step)` — the
+/// byte-identity currency every equivalence assertion trades in.
+pub fn sorted_encoded_outputs(result: &PipelineResult) -> Vec<(String, u64, Vec<u8>)> {
+    let mut v: Vec<(String, u64, Vec<u8>)> = result
+        .outputs
+        .iter()
+        .map(|(label, step, out)| (label.clone(), *step, encode_analysis_output(out).to_vec()))
+        .collect();
+    v.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    v
+}
+
+/// Run one pipeline configuration on a fresh `sim(seed)` with a
+/// private journal sink, returning the result and the captured events.
+pub fn run_journaled(seed: u64, cfg: PipelineConfig) -> (PipelineResult, Vec<ObsEvent>) {
+    let sink = Arc::new(VecSink::new());
+    let previous = sitra_obs::install_sink(Some(sink.clone()));
+    let result = run_pipeline(&mut sim(seed), &cfg).expect("valid config");
+    let events = sink.take();
+    sitra_obs::install_sink(previous);
+    (result, events)
+}
+
+/// Compare a journal replay against the live run's accounting,
+/// returning one message per disagreement (empty = bit-identical).
+///
+/// The replay must contain the same `(analysis, step)` row set; the
+/// in-situ half of every row must agree bit-identically; degradation
+/// flags must match per row and per step. When `driver_aggregates`
+/// (the aggregation half was journaled by this process, not an
+/// external worker), the aggregation half must agree bit-identically
+/// too — and it always must for degraded rows, whose re-aggregation
+/// the driver owns.
+pub fn replay_violations(
+    name: &str,
+    result: &PipelineResult,
+    events: &[ObsEvent],
+    hybrid_placement: &str,
+    driver_aggregates: bool,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let r = sitra_bench::replay::replay(events);
+    if r.stages.len() != result.metrics.analyses.len() {
+        out.push(format!(
+            "{name}: replay has {} stage rows, live run has {}",
+            r.stages.len(),
+            result.metrics.analyses.len()
+        ));
+    }
+    for want in &result.metrics.analyses {
+        let Some(got) = r
+            .stages
+            .iter()
+            .find(|s| s.analysis == want.analysis && s.step == want.step)
+        else {
+            out.push(format!(
+                "{name}: no replayed row for {}@{}",
+                want.analysis, want.step
+            ));
+            continue;
+        };
+        let row = format!("{name}: {}@{}", want.analysis, want.step);
+        let placement = if want.analysis == "stats" {
+            "insitu"
+        } else {
+            hybrid_placement
+        };
+        if got.placement != placement {
+            out.push(format!(
+                "{row}: placement `{}` != `{placement}`",
+                got.placement
+            ));
+        }
+        if got.insitu_secs != want.insitu_secs {
+            out.push(format!("{row}: insitu_secs diverge"));
+        }
+        if got.insitu_core_secs != want.insitu_core_secs {
+            out.push(format!("{row}: insitu_core_secs diverge"));
+        }
+        if got.movement_bytes != want.movement_bytes {
+            out.push(format!(
+                "{row}: movement_bytes {} != {}",
+                got.movement_bytes, want.movement_bytes
+            ));
+        }
+        if got.degraded != want.degraded {
+            out.push(format!(
+                "{row}: degraded {} != {}",
+                got.degraded, want.degraded
+            ));
+        }
+        if driver_aggregates || want.degraded {
+            if got.aggregate_secs != want.aggregate_secs {
+                out.push(format!("{row}: aggregate_secs diverge"));
+            }
+            if got.latency_secs != want.completion_latency_secs {
+                out.push(format!("{row}: latency_secs diverge"));
+            }
+            if got.bucket != want.bucket {
+                out.push(format!(
+                    "{row}: bucket {:?} != {:?}",
+                    got.bucket, want.bucket
+                ));
+            }
+            if got.streamed != want.streamed {
+                out.push(format!("{row}: streamed flag diverges"));
+            }
+        }
+    }
+    if r.steps.len() != result.metrics.steps.len() {
+        out.push(format!(
+            "{name}: replay has {} step rows, live run has {}",
+            r.steps.len(),
+            result.metrics.steps.len()
+        ));
+    }
+    for (got, want) in r.steps.iter().zip(&result.metrics.steps) {
+        if got.step != want.step {
+            out.push(format!("{name}: step id {} != {}", got.step, want.step));
+        }
+        if got.degraded != want.degraded {
+            out.push(format!(
+                "{name}: step {} degraded flag {} != {}",
+                want.step, got.degraded, want.degraded
+            ));
+        }
+    }
+    out
+}
+
+/// Panic unless the journal replay reproduces the live accounting (the
+/// assertion form the integration tests use; the chaos runner collects
+/// [`replay_violations`] instead).
+pub fn assert_replay_agrees(
+    name: &str,
+    result: &PipelineResult,
+    events: &[ObsEvent],
+    hybrid_placement: &str,
+    driver_aggregates: bool,
+) {
+    let violations = replay_violations(name, result, events, hybrid_placement, driver_aggregates);
+    assert!(
+        violations.is_empty(),
+        "journal replay disagrees with the live run:\n  {}",
+        violations.join("\n  ")
+    );
+}

@@ -1,0 +1,358 @@
+//! The scenario runner: one seeded simulation, one staging backend,
+//! one fault plan — and four invariant oracles checked afterwards.
+//!
+//! Every scenario follows the same shape:
+//!
+//! 1. A **golden run** (fully in-situ, fault-free, before any injector
+//!    is installed) establishes the reference output set.
+//! 2. The [`PlanInjector`] and a private journal sink are installed and
+//!    the same seeded simulation is run through the backend under test
+//!    — for `Remote`, against a live [`SpaceServer`] with an external
+//!    bucket-worker thread and (when the plan says so) a scheduled
+//!    server crash, optionally with a restart on the same endpoint.
+//! 3. The oracles:
+//!    * **conservation** — every due hybrid task was submitted exactly
+//!      once and retired exactly once (`submitted == outputs + dropped`,
+//!      no duplicate `(label, step)`, nothing staged off-schedule);
+//!    * **no-loss** — nothing was dropped, and under
+//!      `AdmissionPolicy::Block` nothing was shed either;
+//!    * **golden-output** — when nothing was dropped, the output set is
+//!      byte-identical to the fault-free golden run (degraded tasks are
+//!      re-aggregated in-situ from the retained parts, so faults may
+//!      slow a run down but never change what it computes);
+//!    * **replay-identity** — an `obs_report`-style journal replay
+//!      reproduces the live run's accounting bit-identically.
+
+use crate::fixture;
+use crate::injector::{PlanInjector, ScheduleEntry};
+use crate::plan::{splitmix64, CrashPlan, FaultPlan};
+use sitra_core::{run_bucket_worker, run_pipeline, BucketWorkerOpts, StagingMode};
+use sitra_dataspaces::{AdmissionPolicy, SpaceServer};
+use sitra_net::{Addr, Backoff};
+use sitra_obs::{ObsEvent, VecSink};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which `StagingBackend` a scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Synchronous in-situ aggregation (`StagingMode::InSitu`).
+    InSitu,
+    /// In-process staging buckets (`StagingMode::Local`).
+    Local,
+    /// Remote staging over the socket transport (`StagingMode::Remote`).
+    Remote,
+}
+
+impl Backend {
+    /// All three backends, in the order the chaos suite runs them.
+    pub const ALL: [Backend; 3] = [Backend::InSitu, Backend::Local, Backend::Remote];
+
+    /// Stable name (CLI `--backend` values, artifact file names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::InSitu => "insitu",
+            Backend::Local => "local",
+            Backend::Remote => "remote",
+        }
+    }
+
+    /// Parse a `--backend` value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.name() == s)
+    }
+}
+
+/// Everything a scenario run produced, oracles included.
+pub struct ScenarioOutcome {
+    /// Backend the scenario drove.
+    pub backend: Backend,
+    /// Plan it executed.
+    pub plan: FaultPlan,
+    /// Oracle violations — empty means the scenario passed.
+    pub violations: Vec<String>,
+    /// Tasks submitted to the staging backend.
+    pub staged_tasks: usize,
+    /// Tasks dropped (must stay 0 in this fixture).
+    pub dropped_tasks: usize,
+    /// Tasks that degraded to in-situ re-aggregation.
+    pub degraded_tasks: usize,
+    /// Total outputs produced.
+    pub outputs: usize,
+    /// The fault schedule the injector actually executed.
+    pub schedule: Vec<ScheduleEntry>,
+    /// The run's journal (for artifact upload on failure).
+    pub events: Vec<ObsEvent>,
+}
+
+impl ScenarioOutcome {
+    /// Did every oracle hold?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Process-unique suffix for remote endpoints, so concurrent or
+/// repeated scenarios never collide on an inproc name.
+fn unique_endpoint(seed: u64) -> Addr {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    format!("inproc://chaos-{seed:x}-{n}")
+        .parse()
+        .expect("addr")
+}
+
+/// The admission policy a plan's seed selects for its `SpaceServer`
+/// (kept out of `FaultPlan` itself: admission is server configuration,
+/// not a network fault — but varying it across seeds is free coverage).
+pub fn admission_for(plan: &FaultPlan) -> (Option<usize>, AdmissionPolicy) {
+    match splitmix64(plan.seed ^ 0xAD15_510A) % 3 {
+        0 => (
+            Some(4),
+            AdmissionPolicy::Block {
+                max_wait: Duration::from_millis(500),
+            },
+        ),
+        1 => (Some(3), AdmissionPolicy::RejectNew),
+        _ => (Some(3), AdmissionPolicy::ShedOldest),
+    }
+}
+
+/// Run one scenario: `sim(seed)` through `backend` under `plan`, then
+/// check every oracle. Panics never encode oracle failures — those
+/// come back in [`ScenarioOutcome::violations`].
+pub fn run_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOutcome {
+    let obs = sitra_obs::isolate();
+
+    // Golden run: fault-free, fully in-situ, before the injector or the
+    // journal sink exist.
+    let golden = run_pipeline(
+        &mut fixture::sim(seed),
+        &fixture::config(2).with_staging_mode(StagingMode::InSitu),
+    )
+    .expect("golden run config");
+    let golden_outputs = fixture::sorted_encoded_outputs(&golden);
+
+    // Arm the harness.
+    let sink = Arc::new(VecSink::new());
+    let prev_sink = sitra_obs::install_sink(Some(sink.clone()));
+    let injector = Arc::new(PlanInjector::new(plan.clone()));
+    let prev_injector = sitra_net::install_fault_injector(Some(injector.clone()));
+
+    let mut violations = Vec::new();
+    let result = match backend {
+        Backend::InSitu => run_pipeline(
+            &mut fixture::sim(seed),
+            &fixture::config(2).with_staging_mode(StagingMode::InSitu),
+        )
+        .expect("insitu config"),
+        Backend::Local => {
+            run_pipeline(&mut fixture::sim(seed), &fixture::config(2)).expect("local config")
+        }
+        Backend::Remote => {
+            let addr = unique_endpoint(seed);
+            let (capacity, policy) = admission_for(plan);
+            let server =
+                SpaceServer::start_with(&addr, 1, capacity, policy).expect("start staging server");
+            let endpoint = server.addr();
+            let server_slot = Arc::new(parking_lot::Mutex::new(Some(server)));
+
+            // One resilient external bucket worker: reconnects through
+            // transient faults, retires when the scheduler closes (or
+            // on a protocol error, after which the driver degrades the
+            // remainder).
+            let stop = Arc::new(AtomicBool::new(false));
+            let worker = {
+                let ep = endpoint.clone();
+                let stop = Arc::clone(&stop);
+                let specs = fixture::specs();
+                std::thread::Builder::new()
+                    .name("chaos-bucket".into())
+                    .spawn(move || {
+                        let opts = BucketWorkerOpts {
+                            backoff: Backoff {
+                                initial: Duration::from_millis(5),
+                                max: Duration::from_millis(40),
+                                attempts: 4,
+                            },
+                            request_timeout: Duration::from_millis(100),
+                            drop_connection_after: None,
+                        };
+                        let mut completed = 0usize;
+                        loop {
+                            match run_bucket_worker(&ep, &specs, 0, &opts) {
+                                Ok(n) => {
+                                    completed += n;
+                                    break; // scheduler closed: clean retirement
+                                }
+                                Err(e) if e.is_retryable() && !stop.load(Ordering::SeqCst) => {
+                                    continue; // server crash/partition: redial
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        completed
+                    })
+                    .expect("spawn worker")
+            };
+
+            // Scheduled crash: from inside the driver's collection path
+            // after N collected outputs, kill the server — and when the
+            // plan says restart, bring a fresh one up on the same
+            // endpoint so the driver and worker reconnect to it.
+            let mut cfg = fixture::config(2)
+                .with_staging_endpoint(endpoint.to_string())
+                .with_staging_deadline(Duration::from_millis(700))
+                .with_staging_max_inflight(2);
+            if let Some(CrashPlan::AfterOutputs { outputs, restart }) = plan.crash {
+                let slot = Arc::clone(&server_slot);
+                let collected = Arc::new(AtomicUsize::new(0));
+                let addr = addr.clone();
+                cfg = cfg.with_staging_output_hook(Arc::new(move |_label, _step| {
+                    if collected.fetch_add(1, Ordering::SeqCst) + 1 == outputs {
+                        if let Some(s) = slot.lock().take() {
+                            s.shutdown();
+                        }
+                        if restart {
+                            let (capacity, policy) = (None, AdmissionPolicy::RejectNew);
+                            if let Ok(s) = SpaceServer::start_with(&addr, 1, capacity, policy) {
+                                *slot.lock() = Some(s);
+                            }
+                        }
+                    }
+                }));
+            }
+
+            let result = run_pipeline(&mut fixture::sim(seed), &cfg).expect("remote config");
+
+            // Tear down: close whatever server is still alive (closing
+            // its scheduler retires the worker), then join the worker.
+            stop.store(true, Ordering::SeqCst);
+            if let Some(s) = server_slot.lock().take() {
+                s.shutdown();
+            }
+            match worker.join() {
+                Ok(_) => {}
+                Err(_) => violations.push("remote: bucket worker panicked".into()),
+            }
+            result
+        }
+    };
+
+    // Disarm before judging.
+    sitra_net::install_fault_injector(prev_injector);
+    let events = sink.take();
+    sitra_obs::install_sink(prev_sink);
+
+    // Oracle 1 — conservation. Every due hybrid task is submitted to
+    // the backend exactly once; every submitted task retires exactly
+    // once, and every retirement except Dropped leaves exactly one
+    // output behind.
+    let expected = fixture::expected_hybrid_tasks();
+    if result.staged_tasks != expected {
+        violations.push(format!(
+            "conservation: staged {} tasks, roster is due {expected}",
+            result.staged_tasks
+        ));
+    }
+    let specs = fixture::specs();
+    let mut hybrid_outputs = 0usize;
+    let mut seen: Vec<(String, u64)> = Vec::new();
+    for (label, step, _) in &result.outputs {
+        if seen.contains(&(label.clone(), *step)) {
+            violations.push(format!("conservation: duplicate output for {label}@{step}"));
+        }
+        seen.push((label.clone(), *step));
+        let Some(spec) = specs.iter().find(|s| &s.label == label) else {
+            violations.push(format!("conservation: output for unknown label `{label}`"));
+            continue;
+        };
+        if !spec.due(*step) {
+            violations.push(format!(
+                "conservation: {label}@{step} is off the interval schedule"
+            ));
+        }
+        if spec.placement == sitra_core::Placement::Hybrid {
+            hybrid_outputs += 1;
+        }
+    }
+    if hybrid_outputs + result.dropped_tasks != result.staged_tasks {
+        violations.push(format!(
+            "conservation: {} hybrid outputs + {} dropped != {} staged",
+            hybrid_outputs, result.dropped_tasks, result.staged_tasks
+        ));
+    }
+    if result.degraded_tasks > result.staged_tasks {
+        violations.push(format!(
+            "conservation: {} degraded > {} staged",
+            result.degraded_tasks, result.staged_tasks
+        ));
+    }
+
+    // Oracle 2 — no-loss. This fixture's buffer depth exceeds anything
+    // the run can queue, so nothing may ever be dropped; and when the
+    // server admits under `Block`, nothing may be shed either.
+    if result.dropped_tasks != 0 {
+        violations.push(format!("no-loss: {} tasks dropped", result.dropped_tasks));
+    }
+    if backend == Backend::Remote {
+        if let (_, AdmissionPolicy::Block { .. }) = admission_for(plan) {
+            let shed = obs.registry().snapshot().counter("sched.tasks.shed");
+            if shed != 0 {
+                violations.push(format!(
+                    "no-loss: {shed} tasks shed under AdmissionPolicy::Block"
+                ));
+            }
+        }
+    }
+
+    // Oracle 3 — golden output. When no task was dropped, the output
+    // set must be byte-identical to the fault-free golden run: degraded
+    // tasks re-aggregate in-situ from the retained parts, so the
+    // answer cannot change, only its latency.
+    if result.dropped_tasks == 0 {
+        let got = fixture::sorted_encoded_outputs(&result);
+        if got != golden_outputs {
+            let detail = golden_outputs
+                .iter()
+                .zip(&got)
+                .find(|(g, r)| g != r)
+                .map(|(g, _)| format!("first divergence at {}@{}", g.0, g.1))
+                .unwrap_or_else(|| {
+                    format!(
+                        "output count {} != golden {}",
+                        got.len(),
+                        golden_outputs.len()
+                    )
+                });
+            violations.push(format!("golden-output: outputs diverge ({detail})"));
+        }
+    }
+
+    // Oracle 4 — replay identity.
+    let (placement, driver_aggregates) = match backend {
+        Backend::InSitu => ("insitu", true),
+        Backend::Local => ("hybrid", true),
+        Backend::Remote => ("hybrid-remote", false),
+    };
+    violations.extend(fixture::replay_violations(
+        backend.name(),
+        &result,
+        &events,
+        placement,
+        driver_aggregates,
+    ));
+
+    ScenarioOutcome {
+        backend,
+        plan: plan.clone(),
+        violations,
+        staged_tasks: result.staged_tasks,
+        dropped_tasks: result.dropped_tasks,
+        degraded_tasks: result.degraded_tasks,
+        outputs: result.outputs.len(),
+        schedule: injector.schedule(),
+        events,
+    }
+}

@@ -1,0 +1,189 @@
+//! Greedy plan minimization: given a failing [`FaultPlan`], find a
+//! simpler plan that still fails, so the reproduction in the report is
+//! as small as possible.
+//!
+//! The vendored proptest stand-in has no shrinking of its own, so the
+//! harness does it here: structural simplifications first (drop the
+//! crash, clear the partitions), then zeroing whole fault classes, then
+//! halving the surviving rates — rerunning the failure predicate after
+//! each candidate and keeping it only if the failure persists. The
+//! predicate is typically a full scenario run, so the budget caps how
+//! many reruns a shrink may spend.
+
+use crate::plan::FaultPlan;
+use crate::scenario::ScenarioOutcome;
+
+/// One simplification step strictly smaller than `plan`, or `None` if
+/// the plan is already minimal along every axis this shrinker knows.
+fn candidates(plan: &FaultPlan) -> Vec<FaultPlan> {
+    let mut out = Vec::new();
+    if plan.crash.is_some() {
+        out.push(FaultPlan {
+            crash: None,
+            ..plan.clone()
+        });
+    }
+    if !plan.partitions.is_empty() {
+        out.push(FaultPlan {
+            partitions: Vec::new(),
+            ..plan.clone()
+        });
+    }
+    // Zero one whole fault class at a time...
+    for i in 0..5 {
+        let mut c = plan.clone();
+        let rate = match i {
+            0 => &mut c.drop_per_mille,
+            1 => &mut c.dup_per_mille,
+            2 => &mut c.delay_per_mille,
+            3 => &mut c.reorder_per_mille,
+            _ => &mut c.cut_per_mille,
+        };
+        if *rate != 0 {
+            *rate = 0;
+            out.push(c);
+        }
+    }
+    // ...then halve what refuses to disappear.
+    for i in 0..5 {
+        let mut c = plan.clone();
+        let rate = match i {
+            0 => &mut c.drop_per_mille,
+            1 => &mut c.dup_per_mille,
+            2 => &mut c.delay_per_mille,
+            3 => &mut c.reorder_per_mille,
+            _ => &mut c.cut_per_mille,
+        };
+        if *rate > 1 {
+            *rate /= 2;
+            out.push(c);
+        }
+    }
+    if plan.max_delay_ms > 1 && (plan.delay_per_mille > 0 || plan.reorder_per_mille > 0) {
+        out.push(FaultPlan {
+            max_delay_ms: plan.max_delay_ms / 2,
+            ..plan.clone()
+        });
+    }
+    out
+}
+
+/// Greedily minimize `plan` under `still_fails`, spending at most
+/// `budget` predicate evaluations. The input plan is assumed failing;
+/// the result is a (locally) minimal plan that still fails.
+pub fn minimize<F>(plan: &FaultPlan, mut still_fails: F, budget: usize) -> FaultPlan
+where
+    F: FnMut(&FaultPlan) -> bool,
+{
+    let mut current = plan.clone();
+    let mut evals = 0usize;
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if evals >= budget {
+                break 'outer;
+            }
+            evals += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                continue 'outer; // restart from the simpler plan
+            }
+        }
+        break; // fixpoint: no candidate still fails
+    }
+    current
+}
+
+/// The human-facing failure report: what broke, under which plan, and
+/// the exact command that reproduces it.
+pub fn report(seed: u64, outcome: &ScenarioOutcome, minimal: &FaultPlan) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "chaos scenario FAILED: seed={seed:#x} backend={}\n",
+        outcome.backend.name()
+    ));
+    s.push_str(&format!(
+        "  staged={} dropped={} degraded={} outputs={} faults-injected={}\n",
+        outcome.staged_tasks,
+        outcome.dropped_tasks,
+        outcome.degraded_tasks,
+        outcome.outputs,
+        outcome.schedule.len(),
+    ));
+    s.push_str("  oracle violations:\n");
+    for v in &outcome.violations {
+        s.push_str(&format!("    - {v}\n"));
+    }
+    s.push_str(&format!("  plan:         {}\n", outcome.plan));
+    s.push_str(&format!("  minimal plan: {minimal}\n"));
+    s.push_str(&format!(
+        "  reproduce:    cargo run -p sitra-testkit --bin chaos -- --seed {seed:#x} --plan '{minimal}' --backend {}\n",
+        outcome.backend.name()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CrashPlan, PartitionWindow};
+
+    #[test]
+    fn minimize_converges_to_the_one_guilty_class() {
+        // A busy plan where only `drop` matters: the minimizer must
+        // strip the crash, the partitions, and every other class, and
+        // walk drop down to 1‰.
+        let busy = FaultPlan {
+            seed: 9,
+            drop_per_mille: 16,
+            dup_per_mille: 12,
+            delay_per_mille: 20,
+            max_delay_ms: 10,
+            reorder_per_mille: 14,
+            cut_per_mille: 6,
+            partitions: vec![PartitionWindow {
+                from_tick: 0,
+                until_tick: 50,
+            }],
+            crash: Some(CrashPlan::AfterOutputs {
+                outputs: 1,
+                restart: false,
+            }),
+        };
+        let mut evals = 0;
+        let minimal = minimize(
+            &busy,
+            |p| {
+                evals += 1;
+                p.drop_per_mille > 0
+            },
+            200,
+        );
+        assert!(minimal.drop_per_mille >= 1);
+        assert_eq!(minimal.dup_per_mille, 0);
+        assert_eq!(minimal.delay_per_mille, 0);
+        assert_eq!(minimal.reorder_per_mille, 0);
+        assert_eq!(minimal.cut_per_mille, 0);
+        assert!(minimal.partitions.is_empty());
+        assert!(minimal.crash.is_none());
+        assert_eq!(minimal.drop_per_mille, 1, "halving should reach the floor");
+        assert!(evals <= 200);
+    }
+
+    #[test]
+    fn minimize_respects_the_budget() {
+        let busy = FaultPlan {
+            drop_per_mille: 1000,
+            ..FaultPlan::fault_free(1)
+        };
+        let mut evals = 0usize;
+        let _ = minimize(
+            &busy,
+            |p| {
+                evals += 1;
+                p.drop_per_mille > 0
+            },
+            3,
+        );
+        assert!(evals <= 3);
+    }
+}

@@ -12,138 +12,18 @@
 //! live metrics bit-identically — the shared retirement path is what
 //! makes both hold.
 
+mod common;
+
+use common::{assert_replay_agrees, config, sorted_encoded_outputs, specs, STEPS};
 use sitra::core::remote::{run_bucket_worker, BucketWorkerOpts};
-use sitra::core::wire::encode_analysis_output;
-use sitra::core::{
-    run_pipeline, AnalysisSpec, FeatureStats, HybridStats, HybridViz, PipelineConfig,
-    PipelineResult, Placement, StagingMode,
-};
+use sitra::core::{PipelineConfig, PipelineResult, StagingMode};
 use sitra::dataspaces::SpaceServer;
-use sitra::mesh::BBox3;
 use sitra::net::Addr;
-use sitra::obs::{ObsEvent, VecSink};
-use sitra::sim::{SimConfig, Simulation};
-use sitra::topology::distributed::BoundaryPolicy;
-use sitra::topology::Connectivity;
-use sitra::viz::{TransferFunction, View, ViewAxis};
-use sitra_bench::replay::replay;
-use std::sync::Arc;
 
-const DIMS: [usize; 3] = [16, 12, 8];
 const SEED: u64 = 1234;
-const STEPS: usize = 4;
 
-fn sim() -> Simulation {
-    Simulation::new(SimConfig::small(DIMS, SEED))
-}
-
-/// Two hybrid analyses (one every step, one every other step) plus an
-/// in-situ one that must behave identically in every staging mode.
-fn specs() -> Vec<AnalysisSpec> {
-    vec![
-        AnalysisSpec::new(
-            Arc::new(HybridViz {
-                stride: 2,
-                view: View::full_res(BBox3::from_dims(DIMS), ViewAxis::Z, false),
-                tf: TransferFunction::hot(250.0, 2500.0),
-            }),
-            Placement::Hybrid,
-            1,
-        ),
-        AnalysisSpec::new(
-            Arc::new(FeatureStats {
-                threshold: 1500.0,
-                conn: Connectivity::Six,
-                policy: BoundaryPolicy::BoundaryMaxima,
-            }),
-            Placement::Hybrid,
-            2,
-        ),
-        AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::InSitu, 1),
-    ]
-}
-
-fn config() -> PipelineConfig {
-    let mut cfg = PipelineConfig::new([2, 2, 1], 2, STEPS);
-    cfg.analyses = specs();
-    cfg
-}
-
-fn sorted_encoded_outputs(result: &PipelineResult) -> Vec<(String, u64, Vec<u8>)> {
-    let mut v: Vec<(String, u64, Vec<u8>)> = result
-        .outputs
-        .iter()
-        .map(|(label, step, out)| (label.clone(), *step, encode_analysis_output(out).to_vec()))
-        .collect();
-    v.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
-    v
-}
-
-/// Run one pipeline configuration with a private journal sink.
-fn run_journaled(cfg: PipelineConfig) -> (PipelineResult, Vec<ObsEvent>) {
-    let sink = Arc::new(VecSink::new());
-    let previous = sitra::obs::install_sink(Some(sink.clone()));
-    let result = run_pipeline(&mut sim(), &cfg).expect("valid config");
-    let events = sink.take();
-    sitra::obs::install_sink(previous);
-    (result, events)
-}
-
-/// The journal replay must reproduce the live run's accounting: same
-/// row set, bit-identical in-situ half, matching degradation flags.
-/// When `driver_aggregates` (the aggregation half was journaled by this
-/// process, not an external worker), the aggregation half must agree
-/// bit-identically too.
-fn assert_replay_agrees(
-    name: &str,
-    result: &PipelineResult,
-    events: &[ObsEvent],
-    hybrid_placement: &str,
-    driver_aggregates: bool,
-) {
-    let r = replay(events);
-    assert_eq!(
-        r.stages.len(),
-        result.metrics.analyses.len(),
-        "{name}: replay row count"
-    );
-    for want in &result.metrics.analyses {
-        let got = r
-            .stages
-            .iter()
-            .find(|s| s.analysis == want.analysis && s.step == want.step)
-            .unwrap_or_else(|| {
-                panic!(
-                    "{name}: no replayed row for {}@{}",
-                    want.analysis, want.step
-                )
-            });
-        let placement = if want.analysis == "stats" {
-            "insitu"
-        } else {
-            hybrid_placement
-        };
-        assert_eq!(
-            got.placement, placement,
-            "{name}: {}@{}",
-            want.analysis, want.step
-        );
-        assert_eq!(got.insitu_secs, want.insitu_secs, "{name}");
-        assert_eq!(got.insitu_core_secs, want.insitu_core_secs, "{name}");
-        assert_eq!(got.movement_bytes, want.movement_bytes, "{name}");
-        assert_eq!(got.degraded, want.degraded, "{name}");
-        if driver_aggregates || want.degraded {
-            assert_eq!(got.aggregate_secs, want.aggregate_secs, "{name}");
-            assert_eq!(got.latency_secs, want.completion_latency_secs, "{name}");
-            assert_eq!(got.bucket, want.bucket, "{name}");
-            assert_eq!(got.streamed, want.streamed, "{name}");
-        }
-    }
-    assert_eq!(r.steps.len(), result.metrics.steps.len(), "{name}");
-    for (got, want) in r.steps.iter().zip(&result.metrics.steps) {
-        assert_eq!(got.step, want.step, "{name}");
-        assert_eq!(got.degraded, want.degraded, "{name}: step {}", want.step);
-    }
+fn run(cfg: PipelineConfig) -> (PipelineResult, Vec<sitra::obs::ObsEvent>) {
+    common::run_journaled(SEED, cfg)
 }
 
 #[test]
@@ -151,10 +31,10 @@ fn all_staging_backends_produce_identical_outputs_and_accounting() {
     let _obs = sitra::obs::isolate();
 
     // 1. Fully in-situ: hybrid analyses aggregate synchronously.
-    let (insitu, insitu_events) = run_journaled(config().with_staging_mode(StagingMode::InSitu));
+    let (insitu, insitu_events) = run(config(2).with_staging_mode(StagingMode::InSitu));
 
     // 2. Local staging buckets (the default).
-    let (local, local_events) = run_journaled(config());
+    let (local, local_events) = run(config(2));
 
     // 3. Remote staging service with an external bucket worker.
     let addr: Addr = "inproc://backend-equivalence-test".parse().unwrap();
@@ -167,15 +47,14 @@ fn all_staging_backends_produce_identical_outputs_and_accounting() {
                 .expect("bucket worker")
         })
     };
-    let (remote, remote_events) =
-        run_journaled(config().with_staging_endpoint(endpoint.to_string()));
+    let (remote, remote_events) = run(config(2).with_staging_endpoint(endpoint.to_string()));
     let completed = worker.join().unwrap();
     server.shutdown();
 
     // 4. Forced degradation: nothing listens, so every hybrid task must
     //    fall back to in-situ aggregation through the shared path.
     let (degraded, degraded_events) =
-        run_journaled(config().with_staging_endpoint("inproc://backend-equivalence-nobody"));
+        run(config(2).with_staging_endpoint("inproc://backend-equivalence-nobody"));
 
     // Byte-identical outputs across all four placements — the claim.
     let reference = sorted_encoded_outputs(&insitu);
@@ -195,7 +74,7 @@ fn all_staging_backends_produce_identical_outputs_and_accounting() {
     // features on 2 and 4); nothing dropped anywhere, degradation only
     // in the forced-failure run.
     let hybrid_tasks = reference.iter().filter(|(l, _, _)| l != "stats").count();
-    assert_eq!(hybrid_tasks, 6);
+    assert_eq!(hybrid_tasks, common::expected_hybrid_tasks());
     assert_eq!(completed, hybrid_tasks);
     for (name, result) in [("insitu", &insitu), ("local", &local), ("remote", &remote)] {
         assert_eq!(result.dropped_tasks, 0, "{name}");

@@ -1,0 +1,147 @@
+//! The chaos regression suite: the pinned seed corpus through all
+//! three staging backends, every run checked against the four
+//! invariant oracles (conservation, no-loss, golden-output,
+//! replay-identity).
+//!
+//! A failure here shrinks the plan to a minimal reproduction and
+//! panics with the full report, including a paste-ready command for
+//! the `chaos` binary:
+//!
+//! ```text
+//! cargo run -p sitra-testkit --bin chaos -- --seed 0x... --plan '...' --backend remote
+//! ```
+//!
+//! New failing seeds found by `chaos --random N` sweeps get appended
+//! to [`sitra_testkit::PINNED_SEEDS`] once the bug is fixed.
+
+use proptest::prelude::*;
+use sitra_testkit::{arb_fault_plan, run_scenario, shrink, Backend, FaultPlan, PINNED_SEEDS};
+
+/// Scenario reruns a shrink may spend per failure (each is a full
+/// pipeline run, so keep it modest in CI).
+const SHRINK_BUDGET: usize = 16;
+
+#[test]
+fn pinned_corpus_passes_every_oracle_on_all_backends() {
+    let mut reports = Vec::new();
+    for &seed in &PINNED_SEEDS {
+        let plan = FaultPlan::from_seed(seed);
+        for &backend in &Backend::ALL {
+            let outcome = run_scenario(seed, &plan, backend);
+            if outcome.passed() {
+                continue;
+            }
+            let minimal = shrink::minimize(
+                &plan,
+                |candidate| !run_scenario(seed, candidate, backend).passed(),
+                SHRINK_BUDGET,
+            );
+            reports.push(shrink::report(seed, &outcome, &minimal));
+        }
+    }
+    assert!(
+        reports.is_empty(),
+        "chaos corpus failures:\n{}",
+        reports.join("\n")
+    );
+}
+
+/// The corpus must actually exercise faults: at least one pinned seed
+/// produces a non-empty fault schedule on the remote backend, and at
+/// least one plan carries each of a crash and a partition. A corpus
+/// that silently went fault-free would pass every oracle while
+/// guarding nothing.
+#[test]
+fn pinned_corpus_is_not_toothless() {
+    let plans: Vec<FaultPlan> = PINNED_SEEDS
+        .iter()
+        .map(|&s| FaultPlan::from_seed(s))
+        .collect();
+    assert!(
+        plans.iter().any(|p| !p.is_fault_free()),
+        "every pinned plan is fault-free"
+    );
+    assert!(plans.iter().any(|p| p.crash.is_some()), "no pinned crash");
+    let faulted = run_scenario(4242, &FaultPlan::from_seed(4242), Backend::Remote);
+    assert!(faulted.passed());
+    assert!(
+        !faulted.schedule.is_empty(),
+        "seed 4242 must inject at least one fault on the remote path"
+    );
+}
+
+/// The acceptance contract of the whole harness: the fault schedule is
+/// a pure function of (plan, dense connection, frame index), so an
+/// identical seed + plan reproduces identical decisions for every
+/// frame the traffic trace presents. The wall-clock half of the trace
+/// (worker poll cadence, reconnect counts) may differ between runs —
+/// `PlanInjector`'s unit test pins schedule equality for identical
+/// traces — but every decision either run records must be exactly what
+/// the plan dictates when re-asked, and the outputs must come out
+/// byte-identical.
+#[test]
+fn identical_seed_and_plan_reproduce_identical_schedule() {
+    let seed = 4242;
+    let plan = FaultPlan::from_seed(seed);
+    let first = run_scenario(seed, &plan, Backend::Remote);
+    let second = run_scenario(seed, &plan, Backend::Remote);
+    assert!(first.passed(), "violations: {:?}", first.violations);
+    assert!(second.passed(), "violations: {:?}", second.violations);
+    assert!(
+        !first.schedule.is_empty(),
+        "the schedule under test is empty"
+    );
+    for entry in first.schedule.iter().chain(&second.schedule) {
+        assert_eq!(
+            plan.decide(entry.conn, entry.op),
+            entry.action,
+            "replaying (conn {}, op {}) must reproduce the recorded action",
+            entry.conn,
+            entry.op
+        );
+    }
+    assert_eq!(
+        first.outputs, second.outputs,
+        "outputs must be byte-identical"
+    );
+}
+
+/// A fault-free plan is a clean bill of health on every backend: no
+/// degradation, no faults recorded, all oracles green.
+#[test]
+fn fault_free_plan_runs_clean_everywhere() {
+    for &backend in &Backend::ALL {
+        let outcome = run_scenario(7, &FaultPlan::fault_free(7), backend);
+        assert!(
+            outcome.passed(),
+            "{}: violations: {:?}",
+            backend.name(),
+            outcome.violations
+        );
+        assert_eq!(outcome.degraded_tasks, 0, "{}", backend.name());
+        assert_eq!(outcome.dropped_tasks, 0, "{}", backend.name());
+        assert!(outcome.schedule.is_empty(), "{}", backend.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every plan round-trips through its spec string — the property
+    /// that makes the shrink report's `--plan` flag a faithful
+    /// reproduction of the failing schedule.
+    #[test]
+    fn plan_spec_roundtrips(plan in arb_fault_plan()) {
+        let spec = plan.to_string();
+        let back = FaultPlan::parse(&spec)
+            .unwrap_or_else(|e| panic!("`{spec}` failed to re-parse: {e}"));
+        prop_assert_eq!(back, plan);
+    }
+
+    /// Fault decisions are a pure function of (plan, connection, frame):
+    /// re-asking never changes the answer.
+    #[test]
+    fn plan_decisions_are_pure(plan in arb_fault_plan(), conn in 0u64..8, op in 0u64..512) {
+        prop_assert_eq!(plan.decide(conn, op), plan.decide(conn, op));
+    }
+}

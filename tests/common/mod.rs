@@ -1,0 +1,14 @@
+//! Shared setup for the staging-path integration tests.
+//!
+//! The canonical seeded-simulation fixture (dims, analysis roster,
+//! config, journaled runs, replay assertions) lives in
+//! [`sitra_testkit::fixture`] so the chaos harness drives the exact
+//! same pipeline the integration tests assert on; this module just
+//! re-exports it under the `common::` name each test binary includes.
+
+#![allow(dead_code, unused_imports)] // each test binary uses a different subset
+
+pub use sitra_testkit::fixture::{
+    assert_replay_agrees, config, expected_hybrid_tasks, replay_violations, run_journaled, sim,
+    sim_with, sorted_encoded_outputs, specs, DIMS, STEPS,
+};

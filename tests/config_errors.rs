@@ -1,0 +1,73 @@
+//! Regression tests pinning `run_pipeline`'s config-rejection surface:
+//! invalid configurations must be reported as structured
+//! [`ConfigError`]s — with stable `Display` text, since `sitra-cli`
+//! and operators match on it — before the run starts, never as a panic
+//! mid-flight.
+
+mod common;
+
+use common::{config, sim, specs};
+use sitra::core::{run_pipeline, ConfigError, PipelineConfig};
+
+const SEED: u64 = 11;
+
+#[test]
+fn duplicate_analysis_labels_are_rejected_before_the_run() {
+    let mut cfg = config(2);
+    // Two specs built from the same analysis type default to the same
+    // label.
+    cfg.analyses.push(specs().swap_remove(0));
+    let err = run_pipeline(&mut sim(SEED), &cfg).expect_err("duplicate labels must not run");
+    assert_eq!(err, ConfigError::DuplicateLabel("viz-hybrid".to_string()));
+    assert_eq!(
+        err.to_string(),
+        "duplicate analysis label `viz-hybrid`; use AnalysisSpec::with_label"
+    );
+}
+
+#[test]
+fn unparseable_staging_endpoints_are_rejected_before_the_run() {
+    for endpoint in ["", "not-a-scheme", "udp://127.0.0.1:7788", "tcp://"] {
+        let cfg = config(2).with_staging_endpoint(endpoint);
+        let err = run_pipeline(&mut sim(SEED), &cfg)
+            .expect_err(&format!("endpoint `{endpoint}` must be rejected"));
+        match err {
+            ConfigError::InvalidEndpoint { endpoint: e, .. } => assert_eq!(e, endpoint),
+            other => panic!("endpoint `{endpoint}`: expected InvalidEndpoint, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn endpoint_error_carries_the_offending_string_and_reason() {
+    let err = run_pipeline(
+        &mut sim(SEED),
+        &config(2).with_staging_endpoint("bogus://x"),
+    )
+    .expect_err("bogus scheme must not run");
+    match &err {
+        ConfigError::InvalidEndpoint { endpoint, reason } => {
+            assert_eq!(endpoint, "bogus://x");
+            assert!(!reason.is_empty(), "reason must explain the parse failure");
+        }
+        other => panic!("expected InvalidEndpoint, got {other:?}"),
+    }
+    let display = err.to_string();
+    assert!(
+        display.starts_with("invalid staging endpoint `bogus://x`: "),
+        "pinned Display prefix changed: {display}"
+    );
+}
+
+#[test]
+fn zero_step_config_runs_and_produces_nothing() {
+    let mut cfg: PipelineConfig = config(2);
+    cfg.steps = 0;
+    let result = run_pipeline(&mut sim(SEED), &cfg).expect("zero steps is a valid, empty run");
+    assert!(result.outputs.is_empty());
+    assert_eq!(result.staged_tasks, 0);
+    assert_eq!(result.dropped_tasks, 0);
+    assert_eq!(result.degraded_tasks, 0);
+    assert!(result.metrics.steps.is_empty());
+    assert!(result.metrics.analyses.is_empty());
+}

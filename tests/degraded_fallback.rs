@@ -11,73 +11,21 @@
 //! same story: the live `PipelineMetrics`, the observability counters,
 //! and an `obs_report`-style journal replay.
 
+mod common;
+
+use common::{config, sim, sorted_encoded_outputs, specs, STEPS};
 use sitra::core::remote::{run_bucket_worker, BucketWorkerOpts};
-use sitra::core::wire::encode_analysis_output;
-use sitra::core::{
-    run_pipeline, AnalysisSpec, FeatureStats, HybridStats, HybridViz, PipelineConfig,
-    PipelineResult, Placement,
-};
+use sitra::core::run_pipeline;
 use sitra::dataspaces::SpaceServer;
-use sitra::mesh::BBox3;
 use sitra::net::Addr;
-use sitra::sim::{SimConfig, Simulation};
-use sitra::topology::distributed::BoundaryPolicy;
-use sitra::topology::Connectivity;
-use sitra::viz::{TransferFunction, View, ViewAxis};
 use sitra_bench::replay::replay;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-const DIMS: [usize; 3] = [16, 12, 8];
 const SEED: u64 = 97;
-const STEPS: usize = 4;
 /// Remote outputs collected before the staging service is killed.
 const KILL_AFTER: usize = 2;
-
-fn sim() -> Simulation {
-    Simulation::new(SimConfig::small(DIMS, SEED))
-}
-
-fn specs() -> Vec<AnalysisSpec> {
-    vec![
-        AnalysisSpec::new(
-            Arc::new(HybridViz {
-                stride: 2,
-                view: View::full_res(BBox3::from_dims(DIMS), ViewAxis::Z, false),
-                tf: TransferFunction::hot(250.0, 2500.0),
-            }),
-            Placement::Hybrid,
-            1,
-        ),
-        AnalysisSpec::new(
-            Arc::new(FeatureStats {
-                threshold: 1500.0,
-                conn: Connectivity::Six,
-                policy: BoundaryPolicy::BoundaryMaxima,
-            }),
-            Placement::Hybrid,
-            2,
-        ),
-        AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::InSitu, 1),
-    ]
-}
-
-fn config() -> PipelineConfig {
-    let mut cfg = PipelineConfig::new([2, 2, 1], 2, STEPS);
-    cfg.analyses = specs();
-    cfg
-}
-
-fn sorted_encoded_outputs(result: &PipelineResult) -> Vec<(String, u64, Vec<u8>)> {
-    let mut v: Vec<(String, u64, Vec<u8>)> = result
-        .outputs
-        .iter()
-        .map(|(label, step, out)| (label.clone(), *step, encode_analysis_output(out).to_vec()))
-        .collect();
-    v.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
-    v
-}
 
 #[test]
 fn staging_killed_mid_run_degrades_to_insitu_with_zero_lost_steps() {
@@ -85,7 +33,7 @@ fn staging_killed_mid_run_degrades_to_insitu_with_zero_lost_steps() {
 
     // Reference: the fully in-process pipeline, run before the journal
     // sink is installed so its events don't pollute the replay.
-    let local = run_pipeline(&mut sim(), &config()).expect("valid config");
+    let local = run_pipeline(&mut sim(SEED), &config(2)).expect("valid config");
     assert_eq!(local.dropped_tasks, 0);
 
     let sink = Arc::new(sitra::obs::VecSink::new());
@@ -121,8 +69,8 @@ fn staging_killed_mid_run_degrades_to_insitu_with_zero_lost_steps() {
     // submission first collects the single pending task, so exactly
     // KILL_AFTER tasks complete remotely and the rest degrade.
     let remote = run_pipeline(
-        &mut sim(),
-        &config()
+        &mut sim(SEED),
+        &config(2)
             .with_staging_endpoint(endpoint.to_string())
             .with_staging_max_inflight(1)
             .with_staging_deadline(Duration::from_secs(10))
@@ -151,7 +99,7 @@ fn staging_killed_mid_run_degrades_to_insitu_with_zero_lost_steps() {
         .iter()
         .filter(|(label, _, _)| label != "stats")
         .count();
-    assert_eq!(hybrid_tasks, 6);
+    assert_eq!(hybrid_tasks, common::expected_hybrid_tasks());
     assert_eq!(collected.load(Ordering::SeqCst), KILL_AFTER);
     assert_eq!(remote.degraded_tasks, hybrid_tasks - KILL_AFTER);
     assert_eq!(remote.dropped_tasks, 0);
@@ -222,10 +170,10 @@ fn unreachable_staging_endpoint_degrades_every_task() {
     // Nothing listens here: the driver must come up with the endpoint
     // marked lost, degrade every hybrid task, and still produce the
     // full output set.
-    let local = run_pipeline(&mut sim(), &config()).expect("valid config");
+    let local = run_pipeline(&mut sim(SEED), &config(2)).expect("valid config");
     let remote = run_pipeline(
-        &mut sim(),
-        &config().with_staging_endpoint("inproc://nobody-listening-here"),
+        &mut sim(SEED),
+        &config(2).with_staging_endpoint("inproc://nobody-listening-here"),
     )
     .expect("valid config");
     assert_eq!(

@@ -1,12 +1,15 @@
 //! Workspace-level integration tests through the `sitra` facade: the
 //! public API a downstream user sees, exercised across crates.
 
+mod common;
+
+use common::sim_with;
 use sitra::core::{
     run_pipeline, AnalysisSpec, HybridStats, HybridTopology, HybridViz, InSituViz, PipelineConfig,
     Placement,
 };
 use sitra::mesh::{BBox3, Decomposition, ScalarField};
-use sitra::sim::{SimConfig, Simulation, Variable};
+use sitra::sim::Variable;
 use sitra::topology::distributed::{distributed_merge_tree, serial_merge_tree, BoundaryPolicy};
 use sitra::topology::Connectivity;
 use sitra::viz::{render_serial, TransferFunction, View, ViewAxis};
@@ -33,7 +36,7 @@ fn facade_reexports_compose() {
 #[test]
 fn simulation_feeds_all_analytics_consistently() {
     // One proxy state; every analytic path sees the same data.
-    let mut sim = Simulation::new(SimConfig::small([16, 12, 10], 5));
+    let mut sim = sim_with([16, 12, 10], 5);
     sim.advance();
     let g = sim.global();
     let whole = sim.block_field(Variable::Temperature, &g);
@@ -96,7 +99,7 @@ fn pipeline_smoke_through_facade() {
         AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::Hybrid, 1),
         AnalysisSpec::new(Arc::new(HybridTopology::default()), Placement::Hybrid, 3),
     ];
-    let mut sim = Simulation::new(SimConfig::small(dims, 8));
+    let mut sim = sim_with(dims, 8);
     let result = run_pipeline(&mut sim, &cfg).expect("valid config");
     assert_eq!(result.dropped_tasks, 0);
     assert_eq!(

@@ -10,75 +10,18 @@
 //! task and another worker must finish it: no output may be missing and
 //! the scheduler stats must show exactly one requeue.
 
+mod common;
+
+use common::{config, sim, sorted_encoded_outputs, specs};
 use sitra::core::remote::{run_bucket_worker, BucketWorkerOpts};
-use sitra::core::wire::encode_analysis_output;
-use sitra::core::{
-    run_pipeline, AnalysisSpec, FeatureStats, HybridStats, HybridViz, PipelineConfig,
-    PipelineResult, Placement,
-};
+use sitra::core::run_pipeline;
 use sitra::dataspaces::SpaceServer;
-use sitra::mesh::BBox3;
 use sitra::net::{Addr, Backoff};
-use sitra::sim::{SimConfig, Simulation};
-use sitra::topology::distributed::BoundaryPolicy;
-use sitra::topology::Connectivity;
-use sitra::viz::{TransferFunction, View, ViewAxis};
-use std::sync::Arc;
 use std::time::Duration;
 
-const DIMS: [usize; 3] = [16, 12, 8];
 const SEED: u64 = 4242;
-const STEPS: usize = 4;
+const BUCKETS: usize = 3;
 const WORKERS: usize = 3;
-
-fn sim() -> Simulation {
-    Simulation::new(SimConfig::small(DIMS, SEED))
-}
-
-/// The same analysis roster for the driver and every worker. Both
-/// hybrid analyses use buffered (rank-ordered) aggregation, so local
-/// and remote runs see identical part lists.
-fn specs() -> Vec<AnalysisSpec> {
-    vec![
-        AnalysisSpec::new(
-            Arc::new(HybridViz {
-                stride: 2,
-                view: View::full_res(BBox3::from_dims(DIMS), ViewAxis::Z, false),
-                tf: TransferFunction::hot(250.0, 2500.0),
-            }),
-            Placement::Hybrid,
-            1,
-        ),
-        AnalysisSpec::new(
-            Arc::new(FeatureStats {
-                threshold: 1500.0,
-                conn: Connectivity::Six,
-                policy: BoundaryPolicy::BoundaryMaxima,
-            }),
-            Placement::Hybrid,
-            2,
-        ),
-        // A fully in-situ analysis rides along to prove the remote mode
-        // leaves the synchronous path untouched.
-        AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::InSitu, 1),
-    ]
-}
-
-fn config() -> PipelineConfig {
-    let mut cfg = PipelineConfig::new([2, 2, 1], 3, STEPS);
-    cfg.analyses = specs();
-    cfg
-}
-
-fn sorted_encoded_outputs(result: &PipelineResult) -> Vec<(String, u64, Vec<u8>)> {
-    let mut v: Vec<(String, u64, Vec<u8>)> = result
-        .outputs
-        .iter()
-        .map(|(label, step, out)| (label.clone(), *step, encode_analysis_output(out).to_vec()))
-        .collect();
-    v.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
-    v
-}
 
 #[test]
 fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
@@ -88,7 +31,7 @@ fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
     let obs = sitra::obs::isolate();
 
     // Reference: the fully in-process pipeline.
-    let local = run_pipeline(&mut sim(), &config()).expect("valid config");
+    let local = run_pipeline(&mut sim(SEED), &config(BUCKETS)).expect("valid config");
     assert_eq!(local.dropped_tasks, 0);
 
     // Remote: a space server on a real TCP socket plus worker threads
@@ -119,8 +62,8 @@ fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
         .collect();
 
     let remote = run_pipeline(
-        &mut sim(),
-        &config().with_staging_endpoint(endpoint.to_string()),
+        &mut sim(SEED),
+        &config(BUCKETS).with_staging_endpoint(endpoint.to_string()),
     )
     .expect("valid config");
     let completed: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
@@ -227,12 +170,12 @@ fn inproc_remote_staging_roundtrip() {
         })
     };
     let remote = run_pipeline(
-        &mut sim(),
-        &config().with_staging_endpoint(endpoint.to_string()),
+        &mut sim(SEED),
+        &config(BUCKETS).with_staging_endpoint(endpoint.to_string()),
     )
     .expect("valid config");
     let completed = worker.join().unwrap();
-    let local = run_pipeline(&mut sim(), &config()).expect("valid config");
+    let local = run_pipeline(&mut sim(SEED), &config(BUCKETS)).expect("valid config");
     assert_eq!(
         sorted_encoded_outputs(&local),
         sorted_encoded_outputs(&remote)
