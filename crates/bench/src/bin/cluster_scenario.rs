@@ -1,0 +1,161 @@
+//! Cluster scaling scenario: end-to-end pipeline wall time through a
+//! 1-, 2-, and 3-member staging cluster, plus a 3-member run with one
+//! member killed mid-run — the cost of surviving an instance loss.
+//!
+//! ```text
+//! cargo run --release -p sitra-bench --bin cluster_scenario
+//! ```
+//!
+//! Emits one JSON line per scenario (the same
+//! `{"group","id","mean_ns","iters"}` rows the criterion benches
+//! write) to `BENCH_cluster.json` — override with `BENCH_JSON=path`.
+//! `inproc://` endpoints keep the numbers transport-stable; the
+//! absolute times are host-dependent, the member-count *ratios* are
+//! the result.
+
+use sitra_cluster::{Bootstrap, ClusterNode, ClusterNodeOpts};
+use sitra_core::remote::{run_cluster_bucket_worker, BucketWorkerOpts};
+use sitra_core::{run_pipeline, AnalysisSpec, HybridStats, HybridViz, PipelineConfig, Placement};
+use sitra_mesh::BBox3;
+use sitra_sim::{SimConfig, Simulation};
+use sitra_viz::{TransferFunction, View, ViewAxis};
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const DIMS: [usize; 3] = [32, 24, 20];
+const STEPS: usize = 6;
+const ITERS: u32 = 3;
+
+fn specs() -> Vec<AnalysisSpec> {
+    vec![
+        AnalysisSpec::new(
+            Arc::new(HybridViz {
+                stride: 2,
+                view: View::full_res(BBox3::from_dims(DIMS), ViewAxis::Z, false),
+                tf: TransferFunction::hot(250.0, 2500.0),
+            }),
+            Placement::Hybrid,
+            1,
+        ),
+        AnalysisSpec::new(Arc::new(HybridStats::default()), Placement::Hybrid, 2),
+    ]
+}
+
+fn config(endpoints: &[String]) -> PipelineConfig {
+    let mut cfg = PipelineConfig::new([2, 2, 1], 2, STEPS)
+        .with_staging_cluster(endpoints.iter().cloned())
+        .with_staging_deadline(std::time::Duration::from_millis(1000));
+    cfg.analyses = specs();
+    cfg
+}
+
+/// One full pipeline run through an `n`-member cluster; when `kill_one`
+/// is set, the last member dies after the second collected output.
+/// Returns (elapsed ns, degraded tasks, dropped tasks).
+fn run_once(n: usize, seed: u64, iter: u32, kill_one: bool) -> (u64, usize, usize) {
+    static UNIQ: AtomicUsize = AtomicUsize::new(0);
+    let uniq = UNIQ.fetch_add(1, Ordering::Relaxed);
+    let endpoints: Vec<String> = (0..n)
+        .map(|i| format!("inproc://cluster-bench-{uniq}-{iter}-{i}"))
+        .collect();
+    let nodes: Vec<ClusterNode> = endpoints
+        .iter()
+        .map(|e| {
+            ClusterNode::start(
+                &e.parse().expect("addr"),
+                Bootstrap::Seeds(endpoints.clone()),
+                ClusterNodeOpts::default(),
+            )
+            .expect("start member")
+        })
+        .collect();
+    let worker = {
+        let eps = endpoints.clone();
+        std::thread::spawn(move || {
+            // A short poll quantum: a blocking wait on one member's
+            // empty queue must not sit out a task landing on another.
+            let opts = BucketWorkerOpts {
+                request_timeout: std::time::Duration::from_millis(60),
+                ..BucketWorkerOpts::default()
+            };
+            run_cluster_bucket_worker(&eps, &specs(), 0, &opts).expect("cluster worker")
+        })
+    };
+
+    let mut nodes: Vec<Option<ClusterNode>> = nodes.into_iter().map(Some).collect();
+    let mut cfg = config(&endpoints);
+    let victim = Arc::new(Mutex::new(if kill_one {
+        nodes[n - 1].take()
+    } else {
+        None
+    }));
+    if kill_one {
+        let victim = Arc::clone(&victim);
+        let collected = Arc::new(AtomicUsize::new(0));
+        cfg = cfg.with_staging_output_hook(Arc::new(move |_l, _s| {
+            if collected.fetch_add(1, Ordering::SeqCst) + 1 == 2 {
+                if let Some(node) = victim.lock().unwrap().take() {
+                    node.kill();
+                }
+            }
+        }));
+    }
+
+    let mut sim = Simulation::new(SimConfig::small(DIMS, seed));
+    let t0 = Instant::now();
+    let result = run_pipeline(&mut sim, &cfg).expect("cluster config");
+    let elapsed = t0.elapsed().as_nanos() as u64;
+
+    if let Some(node) = victim.lock().unwrap().take() {
+        node.kill();
+    }
+    for node in nodes.iter_mut().filter_map(Option::take) {
+        node.shutdown();
+    }
+    worker.join().expect("worker thread");
+    (elapsed, result.degraded_tasks, result.dropped_tasks)
+}
+
+fn main() {
+    let json_path = std::env::var_os("BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| "BENCH_cluster.json".into());
+    let mut out = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&json_path)
+        .expect("open BENCH_JSON");
+
+    let scenarios: [(&str, usize, bool); 4] = [
+        ("members_1_e2e", 1, false),
+        ("members_2_e2e", 2, false),
+        ("members_3_e2e", 3, false),
+        ("members_3_kill_e2e", 3, true),
+    ];
+    println!("cluster scenario: {STEPS} steps, 2 hybrid analyses, {ITERS} iters each");
+    for (id, n, kill) in scenarios {
+        let mut total_ns = 0u64;
+        let mut degraded = 0usize;
+        let mut dropped = 0usize;
+        for iter in 0..ITERS {
+            let (ns, deg, drop) = run_once(n, 42, iter, kill);
+            total_ns += ns;
+            degraded += deg;
+            dropped += drop;
+        }
+        let mean_ns = total_ns / ITERS as u64;
+        assert_eq!(dropped, 0, "{id}: a task was lost");
+        println!(
+            "  {id:>20}: {:8.2} ms/run  (degraded {degraded}, dropped {dropped})",
+            mean_ns as f64 / 1e6
+        );
+        writeln!(
+            out,
+            "{{\"group\":\"cluster\",\"id\":\"{id}\",\"mean_ns\":{mean_ns},\"iters\":{ITERS}}}"
+        )
+        .expect("write row");
+    }
+    println!("rows appended to {}", json_path.display());
+}

@@ -1,0 +1,265 @@
+//! Client-side shard routing: one lazy connection per member, puts
+//! routed by the placement ring, gets fanned out to every member.
+//!
+//! The client routes over the **static** endpoint list it was
+//! configured with, not the live membership view. That makes its
+//! correctness independent of view staleness: a piece is found as long
+//! as it lives on *any* configured member, wherever handoff has moved
+//! it, and a falsely-suspected member keeps serving its clients.
+
+use crate::ring::{HashRing, ShardKey};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sitra_dataspaces::{Admission, RemoteError, RemoteSpace, RemoteStats, TaskPoll};
+use sitra_mesh::BBox3;
+use sitra_net::{Addr, Backoff};
+use std::time::Duration;
+
+/// Is this failure worth one reconnect-and-retry? Transport errors are
+/// (the peer may have restarted or the connection gone stale); protocol
+/// and server-side errors are not.
+fn retryable(err: &RemoteError) -> bool {
+    matches!(err, RemoteError::Net(_))
+}
+
+struct Member {
+    addr: Addr,
+    conn: Mutex<Option<RemoteSpace>>,
+}
+
+impl Member {
+    /// Run `op` on this member's connection, dialing lazily and
+    /// reconnecting once when a stale connection fails with a
+    /// transport error.
+    fn with<R>(
+        &self,
+        backoff: &Backoff,
+        op: impl Fn(&RemoteSpace) -> Result<R, RemoteError>,
+    ) -> Result<R, RemoteError> {
+        let mut slot = self.conn.lock();
+        for attempt in 0..2 {
+            if slot.is_none() {
+                *slot = Some(RemoteSpace::connect_retry(&self.addr, backoff)?);
+            }
+            match op(slot.as_ref().expect("connected above")) {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    *slot = None;
+                    if attempt == 1 || !retryable(&e) {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on second attempt")
+    }
+}
+
+/// Per-member counters a fan-out sums into a cluster-wide view.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Members that answered the stats fan-out.
+    pub members_reporting: usize,
+    /// Summed scheduler/space counters across reporting members.
+    pub totals: RemoteStats,
+}
+
+/// A sharded client over a fixed member list.
+pub struct ClusterClient {
+    ring: HashRing,
+    members: Vec<Member>,
+    backoff: Backoff,
+}
+
+impl ClusterClient {
+    /// A client routing over `endpoints` with the given placement
+    /// parameters (which must match the servers'). Endpoints must
+    /// parse as `tcp://` or `inproc://` addresses. Connections are
+    /// dialed lazily, so construction never blocks on an absent member.
+    pub fn new<I, S>(
+        seed: u64,
+        vnodes: u32,
+        endpoints: I,
+        backoff: Backoff,
+    ) -> Result<ClusterClient, RemoteError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let ring = HashRing::new(seed, vnodes, endpoints);
+        if ring.is_empty() {
+            return Err(RemoteError::Proto("empty cluster endpoint list".into()));
+        }
+        let members = ring
+            .members()
+            .iter()
+            .map(|ep| {
+                let addr: Addr = ep
+                    .parse()
+                    .map_err(|_| RemoteError::Proto(format!("unparseable endpoint `{ep}`")))?;
+                Ok(Member {
+                    addr,
+                    conn: Mutex::new(None),
+                })
+            })
+            .collect::<Result<Vec<_>, RemoteError>>()?;
+        Ok(ClusterClient {
+            ring,
+            members,
+            backoff,
+        })
+    }
+
+    /// Number of configured members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The configured member endpoints, in ring (sorted) order.
+    pub fn endpoints(&self) -> &[String] {
+        self.ring.members()
+    }
+
+    /// Store an object on its ring owner.
+    pub fn put(
+        &self,
+        var: &str,
+        version: u64,
+        bbox: BBox3,
+        data: Bytes,
+    ) -> Result<(), RemoteError> {
+        let idx = self
+            .ring
+            .owner_index(&ShardKey::new(var, version, &bbox))
+            .expect("non-empty ring");
+        self.members[idx].with(&self.backoff, |c| c.put(var, version, bbox, data.clone()))
+    }
+
+    /// Spatial query fanned out to **every** member, because handoff may
+    /// have left pieces anywhere. Pieces are merged, deduplicated by
+    /// region (a handoff retry can land the identical piece on two
+    /// members), and sorted by lower corner — the same canonical order
+    /// `DataSpaces::get` returns. Fails only when every member fails
+    /// AND none returned pieces; individual member failures otherwise
+    /// just shrink the answer (the caller's piece-count check catches
+    /// an incomplete assembly).
+    pub fn get(
+        &self,
+        var: &str,
+        version: u64,
+        query: &BBox3,
+    ) -> Result<Vec<(BBox3, Bytes)>, RemoteError> {
+        let mut pieces: Vec<(BBox3, Bytes)> = Vec::new();
+        let mut last_err = None;
+        let mut answered = false;
+        for m in &self.members {
+            match m.with(&self.backoff, |c| c.get(var, version, query)) {
+                Ok(got) => {
+                    answered = true;
+                    pieces.extend(got);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if !answered {
+            return Err(last_err.unwrap_or_else(|| RemoteError::Proto("no members".into())));
+        }
+        pieces.sort_by_key(|(b, _)| b.lo);
+        pieces.dedup_by(|a, b| a.0 == b.0);
+        Ok(pieces)
+    }
+
+    /// Highest stored version of `var` across the cluster, `None` when
+    /// no member holds it.
+    pub fn latest_version(&self, var: &str) -> Result<Option<u64>, RemoteError> {
+        let mut latest = None;
+        let mut last_err = None;
+        let mut answered = false;
+        for m in &self.members {
+            match m.with(&self.backoff, |c| c.latest_version(var)) {
+                Ok(v) => {
+                    answered = true;
+                    latest = latest.max(v);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if !answered {
+            return Err(last_err.unwrap_or_else(|| RemoteError::Proto("no members".into())));
+        }
+        Ok(latest)
+    }
+
+    /// Submit a task to the member owning `(route, step)`, falling over
+    /// to the next members in ring order when the owner is unreachable.
+    /// Returns the serving member's index along with the admission
+    /// verdict.
+    pub fn submit_task_routed(
+        &self,
+        route: &str,
+        step: u64,
+        data: Bytes,
+    ) -> Result<(usize, Admission), RemoteError> {
+        let owner = self
+            .ring
+            .task_owner_index(route, step)
+            .expect("non-empty ring");
+        let n = self.members.len();
+        let mut last_err = None;
+        for k in 0..n {
+            let idx = (owner + k) % n;
+            match self.members[idx].with(&self.backoff, |c| c.submit_task_admission(data.clone())) {
+                Ok(adm) => return Ok((idx, adm)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| RemoteError::Proto("no members".into())))
+    }
+
+    /// Ask one member for a task assignment (bucket-worker side). The
+    /// two-phase receipt acknowledgement happens inside the underlying
+    /// call.
+    pub fn request_task(
+        &self,
+        member_idx: usize,
+        bucket_id: u32,
+        timeout: Duration,
+    ) -> Result<TaskPoll, RemoteError> {
+        self.members[member_idx].with(&self.backoff, |c| c.request_task(bucket_id, timeout))
+    }
+
+    /// Evict everything at `version` everywhere. Per-member transport
+    /// errors are swallowed: eviction is an optimization, and a dead
+    /// member holds nothing worth evicting.
+    pub fn evict_version(&self, version: u64) {
+        for m in &self.members {
+            let _ = m.with(&self.backoff, |c| c.evict_version(version));
+        }
+    }
+
+    /// Close every member's scheduler (end of run). Unreachable
+    /// members are skipped.
+    pub fn close_sched(&self) {
+        for m in &self.members {
+            let _ = m.with(&self.backoff, |c| c.close_sched());
+        }
+    }
+
+    /// Fan out a stats poll and sum the counters.
+    pub fn stats(&self) -> ClusterStats {
+        let mut out = ClusterStats::default();
+        for m in &self.members {
+            if let Ok(s) = m.with(&self.backoff, |c| c.stats()) {
+                out.members_reporting += 1;
+                out.totals.tasks_submitted += s.tasks_submitted;
+                out.totals.tasks_assigned += s.tasks_assigned;
+                out.totals.tasks_requeued += s.tasks_requeued;
+                out.totals.tasks_shed += s.tasks_shed;
+                out.totals.tasks_rejected += s.tasks_rejected;
+                out.totals.objects += s.objects;
+                out.totals.resident_bytes += s.resident_bytes;
+            }
+        }
+        out
+    }
+}

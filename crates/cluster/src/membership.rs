@@ -1,0 +1,148 @@
+//! View manipulation and heartbeat-based suspicion.
+//!
+//! The membership model is deliberately small: a [`ClusterView`] is an
+//! epoch plus a sorted member list, every mutation bumps the epoch, and
+//! the highest epoch wins on merge. That is enough for a staging tier
+//! whose *correctness* never depends on view agreement — clients fan
+//! gets out to their full static member list, so a stale or falsely
+//! suspicious view costs balance, not data.
+
+use crate::proto::{ClusterView, MemberInfo};
+use std::collections::HashMap;
+
+impl ClusterView {
+    /// A fresh epoch-1 view over `members` (sorted, deduplicated).
+    pub fn bootstrap<I, S>(members: I) -> ClusterView
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut members: Vec<MemberInfo> = members
+            .into_iter()
+            .map(|m| MemberInfo { addr: m.into() })
+            .collect();
+        members.sort();
+        members.dedup();
+        ClusterView { epoch: 1, members }
+    }
+
+    /// The member addresses in canonical order.
+    pub fn addrs(&self) -> Vec<String> {
+        self.members.iter().map(|m| m.addr.clone()).collect()
+    }
+
+    /// Whether `addr` is a member.
+    pub fn contains(&self, addr: &str) -> bool {
+        self.members.iter().any(|m| m.addr == addr)
+    }
+
+    /// The view after `member` joins: epoch+1, list re-sorted. Returns
+    /// `None` when the member is already present (no epoch churn on
+    /// duplicate announcements).
+    pub fn with_member(&self, member: MemberInfo) -> Option<ClusterView> {
+        if self.contains(&member.addr) {
+            return None;
+        }
+        let mut members = self.members.clone();
+        members.push(member);
+        members.sort();
+        Some(ClusterView {
+            epoch: self.epoch + 1,
+            members,
+        })
+    }
+
+    /// The view after `addr` leaves: epoch+1. Returns `None` when the
+    /// address was not a member.
+    pub fn without_member(&self, addr: &str) -> Option<ClusterView> {
+        if !self.contains(addr) {
+            return None;
+        }
+        let members = self
+            .members
+            .iter()
+            .filter(|m| m.addr != addr)
+            .cloned()
+            .collect();
+        Some(ClusterView {
+            epoch: self.epoch + 1,
+            members,
+        })
+    }
+}
+
+/// Consecutive-miss suspicion: a peer that fails `threshold` heartbeats
+/// in a row is declared suspect; any success resets its count.
+#[derive(Debug)]
+pub struct Suspicion {
+    threshold: u32,
+    misses: HashMap<String, u32>,
+}
+
+impl Suspicion {
+    /// A tracker declaring peers suspect after `threshold` consecutive
+    /// missed heartbeats.
+    pub fn new(threshold: u32) -> Suspicion {
+        Suspicion {
+            threshold: threshold.max(1),
+            misses: HashMap::new(),
+        }
+    }
+
+    /// A heartbeat to `addr` succeeded.
+    pub fn record_ok(&mut self, addr: &str) {
+        self.misses.remove(addr);
+    }
+
+    /// A heartbeat to `addr` failed. Returns true when the peer just
+    /// crossed the suspicion threshold (exactly once per streak).
+    pub fn record_miss(&mut self, addr: &str) -> bool {
+        let count = self.misses.entry(addr.to_string()).or_insert(0);
+        *count += 1;
+        *count == self.threshold
+    }
+
+    /// Forget a peer entirely (it left or was evicted).
+    pub fn forget(&mut self, addr: &str) {
+        self.misses.remove(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_sorts_and_dedups() {
+        let v = ClusterView::bootstrap(["b", "a", "b"]);
+        assert_eq!(v.epoch, 1);
+        assert_eq!(v.addrs(), ["a", "b"]);
+    }
+
+    #[test]
+    fn join_and_leave_bump_the_epoch_once() {
+        let v = ClusterView::bootstrap(["a", "c"]);
+        let joined = v.with_member(MemberInfo { addr: "b".into() }).unwrap();
+        assert_eq!(joined.epoch, 2);
+        assert_eq!(joined.addrs(), ["a", "b", "c"]);
+        // Duplicate announcements do not churn the epoch.
+        assert_eq!(joined.with_member(MemberInfo { addr: "b".into() }), None);
+        let left = joined.without_member("a").unwrap();
+        assert_eq!(left.epoch, 3);
+        assert_eq!(left.addrs(), ["b", "c"]);
+        assert_eq!(left.without_member("a"), None);
+    }
+
+    #[test]
+    fn suspicion_fires_once_per_streak() {
+        let mut s = Suspicion::new(3);
+        assert!(!s.record_miss("p"));
+        assert!(!s.record_miss("p"));
+        assert!(s.record_miss("p"), "third consecutive miss is suspect");
+        assert!(!s.record_miss("p"), "already fired this streak");
+        s.record_ok("p");
+        assert!(!s.record_miss("p"), "streak reset by success");
+        assert!(!s.record_miss("p"));
+        assert!(s.record_miss("p"));
+    }
+}

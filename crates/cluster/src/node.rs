@@ -1,0 +1,756 @@
+//! One cluster member: a [`SpaceServer`] plus the membership layer —
+//! heartbeats, suspicion, view gossip, and shard handoff.
+//!
+//! # Safety argument (why a wrong view never loses data)
+//!
+//! Clients fan spatial gets out to every member of their *static*
+//! endpoint list and deduplicate by region, so a piece is reachable as
+//! long as it lives on *some* member a client can dial. Handoff drains
+//! a piece locally and immediately re-puts it on the new owner (or back
+//! locally when the push fails), so the only risk window is one RPC
+//! long, and a get that races it sees a short piece list — which the
+//! aggregation workers detect (piece count != rank count) and turn into
+//! a driver-side deadline degrade, never a wrong output. False
+//! suspicion is likewise harmless: an evicted-but-alive member still
+//! answers the static client ring, and its own heartbeats get it
+//! re-added to the view.
+
+use crate::membership::Suspicion;
+use crate::proto::{decode_msg, encode_msg, ClusterMsg, ClusterView, MemberInfo, ProtoError};
+use crate::ring::{HashRing, ShardKey};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use sitra_dataspaces::remote::ControlHandler;
+use sitra_dataspaces::{
+    AdmissionPolicy, DataSpaces, RemoteError, RemoteSpace, SchedStats, Scheduler, SpaceServer,
+};
+use sitra_net::{Addr, Backoff, NetError};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Failure starting or operating a cluster node.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Transport failure.
+    Net(NetError),
+    /// A control RPC failed.
+    Remote(RemoteError),
+    /// The node was misconfigured (bad seed list, malformed reply, ...).
+    Config(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Net(e) => write!(f, "transport: {e}"),
+            ClusterError::Remote(e) => write!(f, "control rpc: {e}"),
+            ClusterError::Config(s) => write!(f, "cluster config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<NetError> for ClusterError {
+    fn from(e: NetError) -> Self {
+        ClusterError::Net(e)
+    }
+}
+
+impl From<RemoteError> for ClusterError {
+    fn from(e: RemoteError) -> Self {
+        ClusterError::Remote(e)
+    }
+}
+
+/// How a node learns its initial membership.
+#[derive(Debug, Clone)]
+pub enum Bootstrap {
+    /// A static seed list every founding member starts with. Must
+    /// contain this node's own advertised address.
+    Seeds(Vec<String>),
+    /// Join an existing cluster by announcing to one of its members.
+    Join(String),
+}
+
+/// Tunables of one cluster member.
+#[derive(Debug, Clone)]
+pub struct ClusterNodeOpts {
+    /// In-process space shards inside this member.
+    pub shards: usize,
+    /// Task-queue capacity (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Admission policy at capacity.
+    pub policy: AdmissionPolicy,
+    /// Placement seed; every member and client must agree.
+    pub seed: u64,
+    /// Virtual nodes per member on the placement ring.
+    pub vnodes: u32,
+    /// Heartbeat period.
+    pub heartbeat_every: Duration,
+    /// Consecutive missed heartbeats before a peer is declared suspect
+    /// and evicted from the view.
+    pub suspect_after: u32,
+}
+
+impl Default for ClusterNodeOpts {
+    fn default() -> Self {
+        ClusterNodeOpts {
+            shards: 1,
+            capacity: None,
+            policy: AdmissionPolicy::RejectNew,
+            seed: crate::ring::DEFAULT_SEED,
+            vnodes: crate::ring::DEFAULT_VNODES,
+            heartbeat_every: Duration::from_millis(50),
+            suspect_after: 3,
+        }
+    }
+}
+
+/// Live observability handles, resolved once per node.
+struct NodeObs {
+    members: sitra_obs::Gauge,
+    epoch: sitra_obs::Gauge,
+    handoff_pieces: sitra_obs::Counter,
+    handoff_bytes: sitra_obs::Counter,
+    tasks_forwarded: sitra_obs::Counter,
+    suspects: sitra_obs::Counter,
+    proto_errors: sitra_obs::Counter,
+}
+
+impl NodeObs {
+    fn resolve(self_addr: &str) -> Self {
+        let reg = sitra_obs::global();
+        NodeObs {
+            members: reg.gauge(&format!("cluster.members{{member={self_addr}}}")),
+            epoch: reg.gauge(&format!("cluster.epoch{{member={self_addr}}}")),
+            handoff_pieces: reg.counter("cluster.handoff.pieces"),
+            handoff_bytes: reg.counter("cluster.handoff.bytes"),
+            tasks_forwarded: reg.counter("cluster.tasks.forwarded"),
+            suspects: reg.counter("cluster.suspects"),
+            proto_errors: reg.counter("cluster.control.proto_errors"),
+        }
+    }
+}
+
+struct NodeState {
+    self_addr: RwLock<String>,
+    seed: u64,
+    vnodes: u32,
+    space: Arc<DataSpaces>,
+    sched: Scheduler<Bytes>,
+    view: Mutex<ClusterView>,
+    suspicion: Mutex<Suspicion>,
+    /// Serializes handoffs so two view changes cannot interleave their
+    /// drain/push cycles.
+    handoff_lock: Mutex<()>,
+    stop: AtomicBool,
+    obs: NodeObs,
+}
+
+impl NodeState {
+    fn self_addr(&self) -> String {
+        self.self_addr.read().clone()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.view.lock().epoch
+    }
+
+    fn publish_view_gauges(&self) {
+        let view = self.view.lock();
+        self.obs.members.set(view.members.len() as i64);
+        self.obs.epoch.set(view.epoch as i64);
+    }
+}
+
+/// One member of a staging cluster.
+pub struct ClusterNode {
+    state: Arc<NodeState>,
+    server: Option<SpaceServer>,
+    hb: Option<JoinHandle<()>>,
+    addr: Addr,
+}
+
+/// Backoff for cluster-internal dials (gossip, handoff pushes): short
+/// and bounded, because the heartbeat loop will retry anything that
+/// matters.
+fn peer_backoff() -> Backoff {
+    Backoff {
+        initial: Duration::from_millis(2),
+        max: Duration::from_millis(10),
+        attempts: 3,
+    }
+}
+
+fn parse_peer(addr: &str) -> Option<Addr> {
+    addr.parse().ok()
+}
+
+impl ClusterNode {
+    /// Bind `listen`, start serving the data plane, and bring up
+    /// membership per `bootstrap`.
+    pub fn start(
+        listen: &Addr,
+        bootstrap: Bootstrap,
+        opts: ClusterNodeOpts,
+    ) -> Result<ClusterNode, ClusterError> {
+        let initial_view = match &bootstrap {
+            Bootstrap::Seeds(seeds) => {
+                if seeds.is_empty() {
+                    return Err(ClusterError::Config("empty cluster seed list".into()));
+                }
+                if !seeds.iter().any(|s| s == &listen.to_string()) {
+                    return Err(ClusterError::Config(format!(
+                        "own address `{listen}` missing from seed list {seeds:?}"
+                    )));
+                }
+                ClusterView::bootstrap(seeds.iter().cloned())
+            }
+            // A joiner starts alone at epoch 0; any seeded view wins.
+            Bootstrap::Join(_) => ClusterView {
+                epoch: 0,
+                members: vec![MemberInfo {
+                    addr: listen.to_string(),
+                }],
+            },
+        };
+        let space = Arc::new(DataSpaces::new(opts.shards.max(1)));
+        let sched = match opts.capacity {
+            Some(cap) => Scheduler::bounded(cap, opts.policy),
+            None => Scheduler::new(),
+        };
+        let state = Arc::new(NodeState {
+            self_addr: RwLock::new(listen.to_string()),
+            seed: opts.seed,
+            vnodes: opts.vnodes,
+            space: Arc::clone(&space),
+            sched: sched.clone(),
+            view: Mutex::new(initial_view),
+            suspicion: Mutex::new(Suspicion::new(opts.suspect_after)),
+            handoff_lock: Mutex::new(()),
+            stop: AtomicBool::new(false),
+            obs: NodeObs::resolve(&listen.to_string()),
+        });
+        let handler_state = Arc::clone(&state);
+        let handler: ControlHandler = Arc::new(move |data| handle_control(&handler_state, data));
+        let server = SpaceServer::start_custom(listen, space, sched, Some(handler))?;
+        let bound = server.addr();
+        // A `tcp://…:0` bind resolves to its OS-assigned port only now;
+        // no peer can have dialed the unknown port yet, so the late
+        // correction races nothing.
+        if bound.to_string() != listen.to_string() {
+            let mut view = state.view.lock();
+            for m in &mut view.members {
+                if m.addr == listen.to_string() {
+                    m.addr = bound.to_string();
+                }
+            }
+            view.members.sort();
+            drop(view);
+            *state.self_addr.write() = bound.to_string();
+        }
+        if let Bootstrap::Join(contact) = &bootstrap {
+            let contact_addr: Addr = contact
+                .parse()
+                .map_err(|_| ClusterError::Config(format!("unparseable contact `{contact}`")))?;
+            let conn = RemoteSpace::connect_retry(&contact_addr, &Backoff::default())?;
+            let reply = conn.control(encode_msg(&ClusterMsg::Join {
+                from: MemberInfo {
+                    addr: state.self_addr(),
+                },
+            }))?;
+            match decode_msg(reply) {
+                Ok(ClusterMsg::View { view }) => adopt_view(&state, view),
+                Ok(other) => {
+                    return Err(ClusterError::Config(format!(
+                        "join answered with {other:?}, expected a view"
+                    )))
+                }
+                Err(e) => return Err(ClusterError::Config(e.to_string())),
+            }
+        }
+        state.publish_view_gauges();
+        let hb_state = Arc::clone(&state);
+        let every = opts.heartbeat_every;
+        let hb = std::thread::spawn(move || heartbeat_loop(&hb_state, every));
+        Ok(ClusterNode {
+            state,
+            server: Some(server),
+            hb: Some(hb),
+            addr: bound,
+        })
+    }
+
+    /// Where this member listens (its identity in the cluster).
+    pub fn addr(&self) -> Addr {
+        self.addr.clone()
+    }
+
+    /// Snapshot of the membership view.
+    pub fn view(&self) -> ClusterView {
+        self.state.view.lock().clone()
+    }
+
+    /// Direct access to the member's space (same-process convenience).
+    pub fn space(&self) -> &DataSpaces {
+        &self.state.space
+    }
+
+    /// Scheduler counters.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.state.sched.stats()
+    }
+
+    /// Has a client closed this member's scheduler? (`sitra-staged`
+    /// exits on this.)
+    pub fn closed(&self) -> bool {
+        self.state.sched.is_closed()
+    }
+
+    fn stop_heartbeats(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.hb.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful departure: forward the queued task backlog to the
+    /// surviving members, hand every local shard to its new ring owner,
+    /// announce the leave, and stop serving.
+    pub fn leave(mut self) {
+        self.stop_heartbeats();
+        let self_addr = self.state.self_addr();
+        let next = {
+            let mut view = self.state.view.lock();
+            if let Some(next) = view.without_member(&self_addr) {
+                *view = next;
+            }
+            view.clone()
+        };
+        let survivors = next.addrs();
+        sitra_obs::emit(
+            "cluster",
+            "member.leave",
+            &[
+                ("member", self_addr.clone()),
+                ("epoch", next.epoch.to_string()),
+            ],
+        );
+        if !survivors.is_empty() {
+            forward_backlog(&self.state, &survivors);
+            rebalance(&self.state);
+            for peer in &survivors {
+                if let Some(addr) = parse_peer(peer) {
+                    if let Ok(conn) = RemoteSpace::connect_retry(&addr, &peer_backoff()) {
+                        let _ = conn.control(encode_msg(&ClusterMsg::Leave {
+                            addr: self_addr.clone(),
+                        }));
+                    }
+                }
+            }
+        }
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+
+    /// Whole-instance crash: the scheduler backlog is *dropped* (the
+    /// tasks die with the instance) and the listener stops. Producers
+    /// observe the loss as failed RPCs and degrade; the chaos oracles
+    /// assert they never silently lose an output.
+    pub fn kill(mut self) {
+        self.stop_heartbeats();
+        let lost = self.state.sched.drain_queued().len();
+        if lost > 0 {
+            sitra_obs::emit(
+                "cluster",
+                "member.crash",
+                &[
+                    ("member", self.state.self_addr()),
+                    ("tasks_lost", lost.to_string()),
+                ],
+            );
+        }
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+
+    /// Plain end-of-run stop: no handoff, no announcements (the whole
+    /// cluster is coming down).
+    pub fn shutdown(mut self) {
+        self.stop_heartbeats();
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for ClusterNode {
+    fn drop(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.hb.take() {
+            let _ = h.join();
+        }
+        // The SpaceServer's own Drop stops the listener.
+    }
+}
+
+/// Serve one control frame (runs on the data-plane connection threads).
+fn handle_control(state: &Arc<NodeState>, data: Bytes) -> Bytes {
+    let msg = match decode_msg(data) {
+        Ok(m) => m,
+        Err(ProtoError(_)) => {
+            state.obs.proto_errors.inc();
+            return encode_msg(&ClusterMsg::Ack {
+                epoch: state.epoch(),
+            });
+        }
+    };
+    let reply = match msg {
+        ClusterMsg::Hello => ClusterMsg::View {
+            view: state.view.lock().clone(),
+        },
+        ClusterMsg::Join { from } => {
+            let adopted = {
+                let mut view = state.view.lock();
+                match view.with_member(from.clone()) {
+                    Some(next) => {
+                        *view = next.clone();
+                        Some(next)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(next) = adopted {
+                sitra_obs::emit(
+                    "cluster",
+                    "member.join",
+                    &[("member", from.addr), ("epoch", next.epoch.to_string())],
+                );
+                state.publish_view_gauges();
+                gossip_view(state, &next);
+                rebalance(state);
+            }
+            ClusterMsg::View {
+                view: state.view.lock().clone(),
+            }
+        }
+        ClusterMsg::Leave { addr } => {
+            let adopted = {
+                let mut view = state.view.lock();
+                match view.without_member(&addr) {
+                    Some(next) => {
+                        *view = next.clone();
+                        Some(next)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(next) = adopted {
+                state.suspicion.lock().forget(&addr);
+                sitra_obs::emit(
+                    "cluster",
+                    "member.leave",
+                    &[("member", addr), ("epoch", next.epoch.to_string())],
+                );
+                state.publish_view_gauges();
+                gossip_view(state, &next);
+                rebalance(state);
+            }
+            ClusterMsg::Ack {
+                epoch: state.epoch(),
+            }
+        }
+        ClusterMsg::Heartbeat { from, epoch } => {
+            state.suspicion.lock().record_ok(&from);
+            // A heartbeat from a member our view evicted proves it
+            // alive: re-add it (healing false suspicion).
+            let readded = {
+                let mut view = state.view.lock();
+                match view.with_member(MemberInfo { addr: from.clone() }) {
+                    Some(next) => {
+                        *view = next.clone();
+                        Some(next)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(next) = readded {
+                sitra_obs::emit(
+                    "cluster",
+                    "member.join",
+                    &[("member", from), ("epoch", next.epoch.to_string())],
+                );
+                state.publish_view_gauges();
+                gossip_view(state, &next);
+                rebalance(state);
+            }
+            let ours = state.epoch();
+            if ours > epoch {
+                ClusterMsg::View {
+                    view: state.view.lock().clone(),
+                }
+            } else {
+                ClusterMsg::Ack { epoch: ours }
+            }
+        }
+        ClusterMsg::View { view } => {
+            adopt_view(state, view);
+            ClusterMsg::Ack {
+                epoch: state.epoch(),
+            }
+        }
+        ClusterMsg::Ack { .. } => ClusterMsg::Ack {
+            epoch: state.epoch(),
+        },
+    };
+    encode_msg(&reply)
+}
+
+/// Adopt `incoming` when its epoch is newer, then rebalance. A view
+/// that evicted *us* gets ourselves re-added (we are demonstrably
+/// alive) so false suspicion heals instead of sticking.
+fn adopt_view(state: &Arc<NodeState>, incoming: ClusterView) {
+    let self_addr = state.self_addr();
+    let adopted = {
+        let mut view = state.view.lock();
+        if incoming.epoch <= view.epoch {
+            None
+        } else {
+            let mut next = incoming;
+            if !next.contains(&self_addr) {
+                next = next
+                    .with_member(MemberInfo {
+                        addr: self_addr.clone(),
+                    })
+                    .expect("absent member re-adds");
+            }
+            *view = next.clone();
+            Some(next)
+        }
+    };
+    if let Some(next) = adopted {
+        sitra_obs::emit(
+            "cluster",
+            "view.adopt",
+            &[
+                ("member", self_addr),
+                ("epoch", next.epoch.to_string()),
+                ("members", next.members.len().to_string()),
+            ],
+        );
+        state.publish_view_gauges();
+        rebalance(state);
+    }
+}
+
+/// Push `view` to every member except ourselves. Best-effort: a peer
+/// we cannot reach right now learns the epoch from heartbeat
+/// anti-entropy instead.
+fn gossip_view(state: &Arc<NodeState>, view: &ClusterView) {
+    let self_addr = state.self_addr();
+    for m in &view.members {
+        if m.addr == self_addr {
+            continue;
+        }
+        let Some(addr) = parse_peer(&m.addr) else {
+            continue;
+        };
+        if let Ok(conn) = RemoteSpace::connect_retry(&addr, &peer_backoff()) {
+            let _ = conn.control(encode_msg(&ClusterMsg::View { view: view.clone() }));
+        }
+    }
+}
+
+/// Shard handoff: drain every local piece the current ring no longer
+/// assigns to us and push each to its new owner. A piece whose push
+/// fails is re-put locally — it must never be in-flight-only.
+fn rebalance(state: &Arc<NodeState>) {
+    let _serial = state.handoff_lock.lock();
+    let view = state.view.lock().clone();
+    let self_addr = state.self_addr();
+    // When we are out of the view (graceful leave) the ring simply owns
+    // us nothing and everything drains.
+    let ring = HashRing::new(state.seed, state.vnodes, view.addrs());
+    if ring.is_empty() {
+        return;
+    }
+    let moved = state.space.drain_matching(|var, version, bbox| {
+        ring.owner(&ShardKey::new(var, version, bbox)) != Some(self_addr.as_str())
+    });
+    if moved.is_empty() {
+        return;
+    }
+    // Group by new owner so each target costs one connection.
+    let mut by_owner: BTreeMap<String, Vec<(String, u64, sitra_mesh::BBox3, Bytes)>> =
+        BTreeMap::new();
+    for piece in moved {
+        let owner = ring
+            .owner(&ShardKey::new(&piece.0, piece.1, &piece.2))
+            .expect("non-empty ring owns every key")
+            .to_string();
+        by_owner.entry(owner).or_default().push(piece);
+    }
+    let mut pushed_pieces = 0u64;
+    let mut pushed_bytes = 0u64;
+    for (owner, pieces) in by_owner {
+        let conn = parse_peer(&owner)
+            .and_then(|addr| RemoteSpace::connect_retry(&addr, &peer_backoff()).ok());
+        for (var, version, bbox, data) in pieces {
+            let len = data.len() as u64;
+            let delivered = conn
+                .as_ref()
+                .is_some_and(|c| c.put(&var, version, bbox, data.clone()).is_ok());
+            if delivered {
+                pushed_pieces += 1;
+                pushed_bytes += len;
+            } else {
+                // Unreachable owner: keep the piece; fan-out gets still
+                // find it here and a later rebalance retries.
+                state.space.put(&var, version, bbox, data);
+            }
+        }
+    }
+    if pushed_pieces > 0 {
+        state.obs.handoff_pieces.add(pushed_pieces);
+        state.obs.handoff_bytes.add(pushed_bytes);
+        sitra_obs::emit(
+            "cluster",
+            "handoff",
+            &[
+                ("member", self_addr),
+                ("pieces", pushed_pieces.to_string()),
+                ("bytes", pushed_bytes.to_string()),
+                ("epoch", view.epoch.to_string()),
+            ],
+        );
+    }
+}
+
+/// Re-submit the queued (never-assigned) task backlog round-robin over
+/// `survivors`. A task no survivor admits is requeued locally so the
+/// two-phase hand-off invariant (admitted tasks are never silently
+/// dropped by *this* layer) holds; it then drains to any bucket still
+/// connected to us.
+fn forward_backlog(state: &Arc<NodeState>, survivors: &[String]) {
+    let backlog = state.sched.drain_queued();
+    if backlog.is_empty() {
+        return;
+    }
+    let conns: Vec<Option<RemoteSpace>> = survivors
+        .iter()
+        .map(|peer| {
+            parse_peer(peer)
+                .and_then(|addr| RemoteSpace::connect_retry(&addr, &peer_backoff()).ok())
+        })
+        .collect();
+    let mut forwarded = 0u64;
+    for (i, (seq, task)) in backlog.into_iter().enumerate() {
+        let mut delivered = false;
+        for k in 0..conns.len() {
+            let conn = &conns[(i + k) % conns.len()];
+            if let Some(c) = conn {
+                if matches!(c.submit_task_admission(task.clone()), Ok(verdict) if verdict.seq().is_some())
+                {
+                    delivered = true;
+                    break;
+                }
+            }
+        }
+        if delivered {
+            forwarded += 1;
+        } else {
+            state.sched.requeue_front(seq, task);
+        }
+    }
+    if forwarded > 0 {
+        state.obs.tasks_forwarded.add(forwarded);
+        sitra_obs::emit(
+            "cluster",
+            "tasks.forwarded",
+            &[
+                ("member", state.self_addr()),
+                ("count", forwarded.to_string()),
+            ],
+        );
+    }
+}
+
+/// The heartbeat loop: probe every peer each period; evict peers that
+/// miss `suspect_after` probes in a row; adopt newer views carried back
+/// by anti-entropy.
+fn heartbeat_loop(state: &Arc<NodeState>, every: Duration) {
+    while !state.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(every);
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let self_addr = state.self_addr();
+        let (peers, epoch) = {
+            let view = state.view.lock();
+            (view.addrs(), view.epoch)
+        };
+        for peer in peers.iter().filter(|p| **p != self_addr) {
+            if state.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let reply = parse_peer(peer)
+                .and_then(|addr| RemoteSpace::connect(&addr).ok())
+                .and_then(|conn| {
+                    conn.control(encode_msg(&ClusterMsg::Heartbeat {
+                        from: self_addr.clone(),
+                        epoch,
+                    }))
+                    .ok()
+                });
+            match reply {
+                Some(frame) => {
+                    state.suspicion.lock().record_ok(peer);
+                    if let Ok(ClusterMsg::View { view }) = decode_msg(frame) {
+                        adopt_view(state, view);
+                    }
+                }
+                None => {
+                    if state.suspicion.lock().record_miss(peer) {
+                        evict_suspect(state, peer);
+                    }
+                }
+            }
+        }
+        state.publish_view_gauges();
+    }
+}
+
+/// Remove a suspect peer from the view and gossip the eviction.
+fn evict_suspect(state: &Arc<NodeState>, peer: &str) {
+    let adopted = {
+        let mut view = state.view.lock();
+        match view.without_member(peer) {
+            Some(next) => {
+                *view = next.clone();
+                Some(next)
+            }
+            None => None,
+        }
+    };
+    if let Some(next) = adopted {
+        state.obs.suspects.inc();
+        sitra_obs::emit(
+            "cluster",
+            "member.suspect",
+            &[
+                ("member", peer.to_string()),
+                ("by", state.self_addr()),
+                ("epoch", next.epoch.to_string()),
+            ],
+        );
+        state.publish_view_gauges();
+        gossip_view(state, &next);
+        rebalance(state);
+    }
+}

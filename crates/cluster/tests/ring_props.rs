@@ -1,0 +1,133 @@
+//! Property tests of the placement ring: determinism, balance, and
+//! minimal movement — the three properties the cluster's correctness
+//! and efficiency arguments rest on.
+
+use proptest::prelude::*;
+use sitra_cluster::{HashRing, ShardKey};
+use sitra_mesh::BBox3;
+
+/// A bag of distinct member endpoint strings.
+fn arb_members(max: usize) -> impl Strategy<Value = Vec<String>> {
+    (1..=max as u32).prop_map(|n| {
+        (0..n)
+            .map(|i| format!("tcp://10.0.0.{}:7788", i + 1))
+            .collect()
+    })
+}
+
+fn keyspace(n: usize) -> Vec<(String, u64, BBox3)> {
+    let vars = ["T", "pressure", "sitra.i/viz", "sitra.o/stats"];
+    (0..n)
+        .map(|i| {
+            let var = vars[i % vars.len()].to_string();
+            let version = (i / 7) as u64;
+            let lo = [i % 13, (i / 13) % 11, (i / 143) % 5];
+            let bbox = BBox3::new(lo, [lo[0] + 1, lo[1] + 1, lo[2] + 1]);
+            (var, version, bbox)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Placement is a pure function of `(seed, vnodes, member set)`:
+    /// announcement order and duplicates never change an owner.
+    #[test]
+    fn placement_is_deterministic_and_order_insensitive(
+        seed in any::<u64>(),
+        members in arb_members(6),
+    ) {
+        let forward = HashRing::new(seed, 64, members.clone());
+        let mut shuffled = members.clone();
+        shuffled.reverse();
+        shuffled.extend(members.iter().cloned()); // duplicates
+        let backward = HashRing::new(seed, 64, shuffled);
+        for (var, version, bbox) in keyspace(200) {
+            let key = ShardKey::new(&var, version, &bbox);
+            prop_assert_eq!(forward.owner(&key), backward.owner(&key));
+        }
+        for step in 0..50u64 {
+            prop_assert_eq!(
+                forward.task_owner_index("viz", step),
+                backward.task_owner_index("viz", step)
+            );
+        }
+    }
+
+    /// With 100+ virtual nodes per member, no member's share of a large
+    /// keyspace strays beyond 2x/0.35x of the fair share.
+    #[test]
+    fn virtual_nodes_keep_the_ring_balanced(
+        seed in any::<u64>(),
+        members in arb_members(5),
+    ) {
+        let ring = HashRing::new(seed, 128, members.clone());
+        let n = ring.len();
+        let keys = keyspace(4000);
+        let mut counts = vec![0usize; n];
+        for (var, version, bbox) in &keys {
+            let idx = ring.owner_index(&ShardKey::new(var, *version, bbox)).unwrap();
+            counts[idx] += 1;
+        }
+        let fair = keys.len() as f64 / n as f64;
+        for (i, c) in counts.iter().enumerate() {
+            let share = *c as f64 / fair;
+            prop_assert!(
+                share > 0.35 && share < 2.0,
+                "member {i} holds {c} of {} keys ({share:.2}x fair share)",
+                keys.len()
+            );
+        }
+    }
+
+    /// Consistent hashing moves only the keys it must: on a join, every
+    /// relocated key lands on the new member and the relocated fraction
+    /// stays near `1/(n+1)`; on a leave, only the departed member's
+    /// keys move.
+    #[test]
+    fn join_and_leave_move_a_minimal_key_fraction(
+        seed in any::<u64>(),
+        members in arb_members(5),
+    ) {
+        let newcomer = "tcp://10.0.9.9:7788".to_string();
+        let before = HashRing::new(seed, 128, members.clone());
+        let mut grown = members.clone();
+        grown.push(newcomer.clone());
+        let after = HashRing::new(seed, 128, grown);
+        let keys = keyspace(2000);
+        let mut moved = 0usize;
+        for (var, version, bbox) in &keys {
+            let key = ShardKey::new(var, *version, bbox);
+            let old = before.owner(&key).unwrap();
+            let new = after.owner(&key).unwrap();
+            if old != new {
+                moved += 1;
+                prop_assert_eq!(
+                    new,
+                    newcomer.as_str(),
+                    "a key moved between two surviving members on join"
+                );
+            }
+        }
+        let fair = keys.len() as f64 / after.len() as f64;
+        prop_assert!(
+            (moved as f64) < 2.0 * fair,
+            "join moved {moved} keys, expected about {fair:.0}"
+        );
+
+        // Leave is the mirror image: removing the newcomer strands only
+        // its own keys.
+        for (var, version, bbox) in &keys {
+            let key = ShardKey::new(var, *version, bbox);
+            let grown_owner = after.owner(&key).unwrap();
+            let shrunk_owner = before.owner(&key).unwrap();
+            if grown_owner != newcomer.as_str() {
+                prop_assert_eq!(
+                    grown_owner, shrunk_owner,
+                    "a key not owned by the leaver moved on leave"
+                );
+            }
+        }
+    }
+}

@@ -70,6 +70,15 @@ pub enum StagingMode {
     /// `sitra-staged` process) and tasks are queued in its scheduler for
     /// external bucket workers ([`crate::remote::run_bucket_worker`]).
     Remote(String),
+    /// A multi-member staging cluster: the listed endpoints are
+    /// `sitra-staged` instances bound by `sitra-cluster` membership.
+    /// Intermediates are routed to their consistent-hash ring owner,
+    /// outputs are collected by fanning gets out to every member, and
+    /// task descriptors are routed with fail-over
+    /// ([`crate::remote::run_cluster_bucket_worker`] is the matching
+    /// worker loop). Placement stays `hybrid-remote`, so golden outputs
+    /// and replay accounting are identical to the single-server path.
+    Cluster(Vec<String>),
 }
 
 /// A rejected [`PipelineConfig`], reported before the run starts instead
@@ -85,6 +94,8 @@ pub enum ConfigError {
         /// Why it failed to parse.
         reason: String,
     },
+    /// [`StagingMode::Cluster`] was selected with an empty member list.
+    EmptyCluster,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -96,6 +107,9 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::InvalidEndpoint { endpoint, reason } => {
                 write!(f, "invalid staging endpoint `{endpoint}`: {reason}")
+            }
+            ConfigError::EmptyCluster => {
+                write!(f, "cluster staging requires at least one member endpoint")
             }
         }
     }
@@ -166,6 +180,16 @@ impl PipelineConfig {
     /// Stage hybrid analyses through a remote space server at `endpoint`.
     pub fn with_staging_endpoint(mut self, endpoint: impl Into<String>) -> Self {
         self.staging = StagingMode::Remote(endpoint.into());
+        self
+    }
+
+    /// Stage hybrid analyses through a multi-member staging cluster.
+    pub fn with_staging_cluster<I, S>(mut self, endpoints: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.staging = StagingMode::Cluster(endpoints.into_iter().map(Into::into).collect());
         self
     }
 

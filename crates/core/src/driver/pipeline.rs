@@ -46,6 +46,20 @@ pub fn run_pipeline(
                 reason: e.to_string(),
             },
         )?),
+        StagingMode::Cluster(endpoints) => {
+            if endpoints.is_empty() {
+                return Err(ConfigError::EmptyCluster);
+            }
+            for endpoint in endpoints {
+                endpoint
+                    .parse::<sitra_net::Addr>()
+                    .map_err(|e| ConfigError::InvalidEndpoint {
+                        endpoint: endpoint.clone(),
+                        reason: e.to_string(),
+                    })?;
+            }
+            None
+        }
         _ => None,
     };
 
@@ -67,6 +81,14 @@ pub fn run_pipeline(
         StagingMode::Remote(_) => Box::new(RemoteBackend::new(
             ctx.clone(),
             remote_addr.expect("validated above"),
+            cfg.staging_deadline,
+            cfg.staging_max_inflight,
+            n_ranks as u32,
+            cfg.staging_output_hook.clone(),
+        )),
+        StagingMode::Cluster(endpoints) => Box::new(RemoteBackend::new_cluster(
+            ctx.clone(),
+            endpoints.clone(),
             cfg.staging_deadline,
             cfg.staging_max_inflight,
             n_ranks as u32,

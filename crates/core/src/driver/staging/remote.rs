@@ -11,16 +11,31 @@
 //! continues with zero lost steps.
 
 use super::{BackendCaps, BackendStats, RetireCtx, Retired, StagedTask, StagingBackend};
+use crate::analysis::AnalysisOutput;
 use crate::driver::StagingOutputHook;
-use crate::remote::{await_output, encode_task, intermediate_var, rank_bbox, RemoteTask};
+use crate::remote::{
+    await_output, await_output_cluster, encode_task, intermediate_var, rank_bbox, RemoteTask,
+};
 use bytes::Bytes;
+use sitra_cluster::ClusterClient;
 use sitra_dataspaces::remote::{RemoteError, RemoteSpace};
 use sitra_dataspaces::Admission;
+use sitra_mesh::BBox3;
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 const CAPS: BackendCaps = BackendCaps {
     name: "remote",
+    placement: "hybrid-remote",
+    in_transit: true,
+    ships_data: true,
+};
+
+/// The cluster link keeps the single-server placement label: the same
+/// decomposition aggregates the same bytes wherever the pieces live, so
+/// golden outputs and replay accounting stay comparable across both.
+const CLUSTER_CAPS: BackendCaps = BackendCaps {
+    name: "cluster",
     placement: "hybrid-remote",
     in_transit: true,
     ships_data: true,
@@ -104,6 +119,81 @@ impl RemoteStaging {
     }
 }
 
+/// The staging area a [`RemoteBackend`] talks to: one space server, or
+/// a member cluster routed through [`ClusterClient`]. The enum keeps
+/// every driver-side code path (backpressure window, degradation,
+/// retirement) shared between the two deployments; only the five wire
+/// operations dispatch.
+enum Link {
+    Single(RemoteStaging),
+    Cluster(ClusterClient),
+}
+
+impl Link {
+    /// Whether submissions have any chance of landing. The cluster link
+    /// is always worth trying: connections are lazy, per-member, and a
+    /// failed member is routed around per operation.
+    fn alive(&self) -> bool {
+        match self {
+            Link::Single(s) => s.alive(),
+            Link::Cluster(_) => true,
+        }
+    }
+
+    fn put(&mut self, var: &str, step: u64, bb: BBox3, data: Bytes) -> Result<(), RemoteError> {
+        match self {
+            Link::Single(s) => s.with(|c| c.put(var, step, bb, data.clone())),
+            Link::Cluster(c) => c.put(var, step, bb, data),
+        }
+    }
+
+    /// Submit a task descriptor; returns the serving member's index
+    /// (always 0 on a single server) with the admission verdict.
+    fn submit_task(
+        &mut self,
+        label: &str,
+        step: u64,
+        data: Bytes,
+    ) -> Result<(usize, Admission), RemoteError> {
+        match self {
+            Link::Single(s) => s
+                .with(|c| c.submit_task_admission(data.clone()))
+                .map(|adm| (0, adm)),
+            Link::Cluster(c) => c.submit_task_routed(label, step, data),
+        }
+    }
+
+    fn await_output(
+        &mut self,
+        label: &str,
+        step: u64,
+        deadline: Instant,
+    ) -> Result<AnalysisOutput, RemoteError> {
+        match self {
+            Link::Single(s) => s.with(|c| await_output(c, label, step, deadline)),
+            Link::Cluster(c) => await_output_cluster(c, label, step, deadline),
+        }
+    }
+
+    fn evict_version(&mut self, version: u64) {
+        match self {
+            Link::Single(s) => {
+                let _ = s.with(|c| c.evict_version(version));
+            }
+            Link::Cluster(c) => c.evict_version(version),
+        }
+    }
+
+    fn close_sched(&mut self) {
+        match self {
+            Link::Single(s) => {
+                let _ = s.with(|c| c.close_sched());
+            }
+            Link::Cluster(c) => c.close_sched(),
+        }
+    }
+}
+
 /// A task shipped to the remote staging area whose output has not been
 /// collected yet. `parts` retains the in-situ intermediates so the
 /// aggregation can re-run locally if the staging path fails — memory
@@ -113,8 +203,12 @@ struct PendingRemote {
     analysis_idx: usize,
     step: u64,
     /// Scheduler sequence number of the submitted task; `u64::MAX` when
-    /// the task never made it into the remote queue.
+    /// the task never made it into the remote queue. Sequence numbers
+    /// are per-member, so shed-victim lookup also matches `member`.
     seq: u64,
+    /// Index of the cluster member whose scheduler admitted the task
+    /// (always 0 on a single server).
+    member: usize,
     issued: Instant,
     parts: Vec<(usize, Bytes)>,
 }
@@ -123,7 +217,8 @@ struct PendingRemote {
 /// in-flight window and graceful degradation.
 pub struct RemoteBackend {
     ctx: RetireCtx,
-    staging: RemoteStaging,
+    link: Link,
+    caps: BackendCaps,
     pending: Vec<PendingRemote>,
     /// Every version (step) that had intermediates put remotely, for
     /// eviction at close time.
@@ -149,7 +244,40 @@ impl RemoteBackend {
     ) -> Self {
         RemoteBackend {
             ctx,
-            staging: RemoteStaging::connect(addr),
+            link: Link::Single(RemoteStaging::connect(addr)),
+            caps: CAPS,
+            pending: Vec::new(),
+            versions: BTreeSet::new(),
+            deadline,
+            max_inflight,
+            n_ranks,
+            hook,
+            submitted: 0,
+        }
+    }
+
+    /// Stage through a member cluster instead of a single server. The
+    /// endpoints must already be validated (non-empty, parseable) —
+    /// [`crate::run_pipeline`] checks them before construction.
+    pub fn new_cluster(
+        ctx: RetireCtx,
+        endpoints: Vec<String>,
+        deadline: Duration,
+        max_inflight: usize,
+        n_ranks: u32,
+        hook: Option<StagingOutputHook>,
+    ) -> Self {
+        let client = ClusterClient::new(
+            sitra_cluster::DEFAULT_SEED,
+            sitra_cluster::DEFAULT_VNODES,
+            endpoints,
+            sitra_net::Backoff::default(),
+        )
+        .expect("endpoints validated by run_pipeline");
+        RemoteBackend {
+            ctx,
+            link: Link::Cluster(client),
+            caps: CLUSTER_CAPS,
             pending: Vec::new(),
             versions: BTreeSet::new(),
             deadline,
@@ -182,9 +310,7 @@ impl RemoteBackend {
         let step = p.step;
         let t0 = Instant::now();
         let deadline = t0 + self.deadline;
-        let res = self
-            .staging
-            .with(|c| await_output(c, &label, step, deadline));
+        let res = self.link.await_output(&label, step, deadline);
         sitra_obs::histogram("driver.staging.backpressure_wait_ns").observe(t0.elapsed());
         match res {
             Ok(output) => {
@@ -223,18 +349,15 @@ impl RemoteBackend {
         issued: Instant,
         parts: &[(usize, Bytes)],
     ) -> Result<Option<PendingRemote>, &'static str> {
-        if !self.staging.alive() {
+        if !self.link.alive() {
             return Err("endpoint-lost");
         }
-        let var = intermediate_var(&self.ctx.analyses()[analysis_idx].label);
+        let label = self.ctx.analyses()[analysis_idx].label.clone();
+        let var = intermediate_var(&label);
         self.versions.insert(step);
         for (r, payload) in parts {
             let bb = rank_bbox(*r);
-            if self
-                .staging
-                .with(|c| c.put(&var, step, bb, payload.clone()))
-                .is_err()
-            {
+            if self.link.put(&var, step, bb, payload.clone()).is_err() {
                 return Err("endpoint-lost");
             }
         }
@@ -243,29 +366,33 @@ impl RemoteBackend {
             step,
             n_ranks: self.n_ranks,
         });
-        let verdict = self.staging.with(|c| c.submit_task_admission(task.clone()));
-        let (seq, shed_seq) = match verdict {
-            Ok(Admission::Accepted { seq }) => (seq, None),
-            Ok(Admission::AcceptedShed { seq, shed_seq }) => (seq, Some(shed_seq)),
-            Ok(Admission::Rejected) => return Err("rejected"),
-            Ok(Admission::TimedOut) => return Err("admission-timeout"),
-            Ok(Admission::Closed) => return Err("sched-closed"),
+        let verdict = self.link.submit_task(&label, step, task);
+        let (member, seq, shed_seq) = match verdict {
+            Ok((member, Admission::Accepted { seq })) => (member, seq, None),
+            Ok((member, Admission::AcceptedShed { seq, shed_seq })) => {
+                (member, seq, Some(shed_seq))
+            }
+            Ok((_, Admission::Rejected)) => return Err("rejected"),
+            Ok((_, Admission::TimedOut)) => return Err("admission-timeout"),
+            Ok((_, Admission::Closed)) => return Err("sched-closed"),
             Err(_) => return Err("endpoint-lost"),
         };
         self.pending.push(PendingRemote {
             analysis_idx,
             step,
             seq,
+            member,
             issued,
             parts: parts.to_vec(),
         });
         // The server evicted an older queued task to admit this one
         // (ShedOldest policy): hand it back for immediate local
-        // re-aggregation.
+        // re-aggregation. Sequence numbers are per member scheduler, so
+        // the victim must have been admitted by the same member.
         let victim = shed_seq.and_then(|victim_seq| {
             self.pending
                 .iter()
-                .position(|p| p.seq == victim_seq)
+                .position(|p| p.seq == victim_seq && p.member == member)
                 .map(|pos| self.pending.remove(pos))
         });
         Ok(victim)
@@ -274,7 +401,7 @@ impl RemoteBackend {
 
 impl StagingBackend for RemoteBackend {
     fn caps(&self) -> BackendCaps {
-        CAPS
+        self.caps
     }
 
     fn submit(&mut self, task: StagedTask) -> f64 {
@@ -286,7 +413,8 @@ impl StagingBackend for RemoteBackend {
             blocked += self.collect_oldest();
         }
         let shipped = self.try_ship(task.analysis_idx, task.step, task.issued, &task.parts);
-        self.ctx.record_insitu(&task, &CAPS, shipped.is_ok());
+        let caps = self.caps;
+        self.ctx.record_insitu(&task, &caps, shipped.is_ok());
         match shipped {
             Ok(None) => {}
             Ok(Some(victim)) => blocked += self.degrade(victim, "shed"),
@@ -296,6 +424,7 @@ impl StagingBackend for RemoteBackend {
                         analysis_idx: task.analysis_idx,
                         step: task.step,
                         seq: u64::MAX,
+                        member: 0,
                         issued: task.issued,
                         parts: task.parts,
                     },
@@ -318,9 +447,7 @@ impl StagingBackend for RemoteBackend {
         // that would have made its real deadline.
         while let Some(p) = self.pending.first() {
             let (label, step) = (self.ctx.analyses()[p.analysis_idx].label.clone(), p.step);
-            let res = self
-                .staging
-                .with(|c| await_output(c, &label, step, Instant::now()));
+            let res = self.link.await_output(&label, step, Instant::now());
             match res {
                 Ok(output) => {
                     let p = self.pending.remove(0);
@@ -352,10 +479,11 @@ impl StagingBackend for RemoteBackend {
     fn close(&mut self) -> BackendStats {
         // Reclaim the staging memory, then close the remote scheduler
         // so external bucket workers retire.
-        for v in &self.versions {
-            let _ = self.staging.with(|c| c.evict_version(*v));
+        let versions: Vec<u64> = self.versions.iter().copied().collect();
+        for v in versions {
+            self.link.evict_version(v);
         }
-        let _ = self.staging.with(|c| c.close_sched());
+        self.link.close_sched();
         BackendStats {
             submitted: self.submitted,
             max_queue_depth: 0,

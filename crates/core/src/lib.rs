@@ -38,4 +38,4 @@ pub use analysis::{
 pub use driver::{run_pipeline, ConfigError, PipelineConfig, PipelineResult, StagingMode};
 pub use metrics::{AnalysisMetrics, PipelineMetrics, StepMetrics};
 pub use placement::{AnalysisSpec, Placement};
-pub use remote::{run_bucket_worker, BucketWorkerOpts, RemoteTask};
+pub use remote::{run_bucket_worker, run_cluster_bucket_worker, BucketWorkerOpts, RemoteTask};

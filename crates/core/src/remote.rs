@@ -26,6 +26,7 @@ use crate::analysis::AnalysisOutput;
 use crate::placement::AnalysisSpec;
 use crate::wire::{decode_analysis_output, encode_analysis_output, WireError};
 use bytes::{BufMut, Bytes, BytesMut};
+use sitra_cluster::ClusterClient;
 use sitra_dataspaces::remote::{RemoteError, RemoteSpace, TaskPoll};
 use sitra_mesh::BBox3;
 use sitra_net::{Addr, Backoff};
@@ -216,25 +217,182 @@ pub fn run_bucket_worker(
     }
 }
 
-/// Poll the space until the output of `(label, step)` appears, decode
-/// it, or give up at `deadline` with [`RemoteError::Timeout`].
+/// Consecutive failed polls of one cluster member before the worker
+/// writes that member off as net-dead. The member's own crash handling
+/// (suspicion, handoff) and the driver's deadline degradation own
+/// correctness; this bound only stops the worker from sleeping on a
+/// corpse while the rest of the cluster has work.
+const MEMBER_DEAD_STRIKES: u32 = 3;
+
+/// How many round-robin visits to a net-dead member the worker skips
+/// between revival probes. A written-off endpoint is not gone forever:
+/// a crashed member may restart, and a joiner may come up on a seeded
+/// endpoint mid-run — the occasional cheap probe picks either back up.
+const MEMBER_REVIVE_EVERY: u32 = 4;
+
+/// Run one staging bucket against a member cluster: poll every member's
+/// scheduler round-robin, fetch each task's rank pieces with a fan-out
+/// get (they may live on any member, or be mid-handoff), aggregate, and
+/// route the output back through the ring. Returns the number of tasks
+/// completed when every member's scheduler has closed or died.
 ///
-/// The poll interval backs off exponentially (capped) so a long wait
-/// does not hammer the server, and the final sleep is clamped to the
-/// time remaining so the deadline is honoured instead of overslept.
-pub fn await_output(
-    space: &RemoteSpace,
+/// A task whose pieces cannot all be found — the get raced a shard
+/// handoff, or a member crashed with pieces aboard — is **skipped**,
+/// never aggregated short: a partial aggregation would put a
+/// wrong-but-present output that poisons the golden-output oracle,
+/// while a missing output merely trips the driver's deadline and
+/// degrades the task to an in-situ re-aggregation.
+pub fn run_cluster_bucket_worker(
+    endpoints: &[String],
+    analyses: &[AnalysisSpec],
+    bucket_id: u32,
+    opts: &BucketWorkerOpts,
+) -> Result<usize, RemoteError> {
+    let client = ClusterClient::new(
+        sitra_cluster::DEFAULT_SEED,
+        sitra_cluster::DEFAULT_VNODES,
+        endpoints.iter().cloned(),
+        opts.backoff,
+    )?;
+    let reg = sitra_obs::global();
+    let obs_completed = reg.counter(&format!("worker.tasks.completed{{bucket={bucket_id}}}"));
+    let obs_skipped = reg.counter(&format!("worker.tasks.skipped{{bucket={bucket_id}}}"));
+    let n = client.member_count();
+    // One task request blocks until the member has work or the timeout
+    // lapses. Round-robin over n members must not multiply that wait —
+    // split the budget so a full idle rotation costs one
+    // `request_timeout`, the same bound as the single-space worker.
+    let poll_timeout = opts.request_timeout / n.max(1) as u32;
+    let mut closed = vec![false; n]; // scheduler said Closed: permanent
+    let mut dead = vec![false; n]; // unreachable: re-probed for revival
+    let mut strikes = vec![0u32; n];
+    let mut visits = vec![0u32; n];
+    let mut completed = 0usize;
+    let mut member = 0usize;
+    while closed.iter().zip(&dead).any(|(c, d)| !c && !d) {
+        member = (member + 1) % n;
+        if closed[member] {
+            continue;
+        }
+        if dead[member] {
+            visits[member] += 1;
+            if visits[member] % MEMBER_REVIVE_EVERY != 0 {
+                continue;
+            }
+        }
+        let poll = match client.request_task(member, bucket_id, poll_timeout) {
+            Ok(p) => {
+                strikes[member] = 0;
+                dead[member] = false;
+                p
+            }
+            Err(e) if e.is_retryable() => {
+                // The member may be mid-restart or partitioned; a few
+                // more chances (the client already reconnected once),
+                // then it is written off until a revival probe answers.
+                if !dead[member] {
+                    strikes[member] += 1;
+                    if strikes[member] >= MEMBER_DEAD_STRIKES {
+                        dead[member] = true;
+                    } else {
+                        std::thread::sleep(opts.backoff.initial);
+                    }
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let task = match poll {
+            TaskPoll::Assigned { data, .. } => decode_task(&data)
+                .map_err(|e| RemoteError::Proto(format!("bad task descriptor: {e}")))?,
+            TaskPoll::Empty => continue,
+            TaskPoll::Closed => {
+                closed[member] = true;
+                continue;
+            }
+        };
+        let spec = analyses.get(task.analysis_idx as usize).ok_or_else(|| {
+            RemoteError::Proto(format!("task for unknown analysis {}", task.analysis_idx))
+        })?;
+        let query = BBox3::new([0, 0, 0], [task.n_ranks.max(1) as usize, 1, 1]);
+        let pieces = match client.get(&intermediate_var(&spec.label), task.step, &query) {
+            Ok(p) => p,
+            Err(_) => {
+                // Every member failed the fan-out; the task's inputs are
+                // unreachable right now. Skip — the driver degrades it.
+                obs_skipped.inc();
+                continue;
+            }
+        };
+        let mut parts: Vec<(usize, Bytes)> = pieces
+            .into_iter()
+            .map(|(bbox, data)| (bbox.lo[0], data))
+            .collect();
+        parts.dedup();
+        if let Some(w) = parts.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(RemoteError::Proto(format!(
+                "conflicting duplicate parts for rank {} of {}@{}",
+                w[0].0, spec.label, task.step
+            )));
+        }
+        if parts.len() != task.n_ranks as usize {
+            // Incomplete assembly (handoff race or lost member): never
+            // aggregate short.
+            obs_skipped.inc();
+            continue;
+        }
+        let t_agg = std::time::Instant::now();
+        let out = spec.analysis.aggregate(task.step, &parts);
+        let aggregate_secs = t_agg.elapsed().as_secs_f64();
+        if client
+            .put(
+                &output_var(&spec.label),
+                task.step,
+                output_bbox(),
+                encode_analysis_output(&out),
+            )
+            .is_err()
+        {
+            // The output's ring owner is unreachable; without the put
+            // the task is as good as skipped and the driver degrades it.
+            obs_skipped.inc();
+            continue;
+        }
+        completed += 1;
+        obs_completed.inc();
+        crate::driver::emit_aggregate(
+            "worker",
+            &spec.label,
+            task.step,
+            aggregate_secs,
+            Some(bucket_id),
+            false,
+            0.0,
+            0.0,
+        );
+    }
+    Ok(completed)
+}
+
+/// The poll loop shared by [`await_output`] and
+/// [`await_output_cluster`]: `get` is however the caller queries its
+/// staging area for output pieces.
+fn await_output_with<G>(
+    get: G,
     label: &str,
     step: u64,
     deadline: std::time::Instant,
-) -> Result<AnalysisOutput, RemoteError> {
+) -> Result<AnalysisOutput, RemoteError>
+where
+    G: Fn(&str, u64, &BBox3) -> Result<Vec<(BBox3, Bytes)>, RemoteError>,
+{
     const FIRST_SLEEP: Duration = Duration::from_micros(500);
     const MAX_SLEEP: Duration = Duration::from_millis(20);
     let var = output_var(label);
     let q = output_bbox();
     let mut sleep = FIRST_SLEEP;
     loop {
-        let pieces = space.get(&var, step, &q)?;
+        let pieces = get(&var, step, &q)?;
         if let Some((_, data)) = pieces.into_iter().next() {
             return decode_analysis_output(data)
                 .map_err(|e| RemoteError::Proto(format!("bad output for {label}@{step}: {e}")));
@@ -248,6 +406,33 @@ pub fn await_output(
         std::thread::sleep(sleep.min(left));
         sleep = (sleep * 2).min(MAX_SLEEP);
     }
+}
+
+/// Poll the space until the output of `(label, step)` appears, decode
+/// it, or give up at `deadline` with [`RemoteError::Timeout`].
+///
+/// The poll interval backs off exponentially (capped) so a long wait
+/// does not hammer the server, and the final sleep is clamped to the
+/// time remaining so the deadline is honoured instead of overslept.
+pub fn await_output(
+    space: &RemoteSpace,
+    label: &str,
+    step: u64,
+    deadline: std::time::Instant,
+) -> Result<AnalysisOutput, RemoteError> {
+    await_output_with(|var, v, q| space.get(var, v, q), label, step, deadline)
+}
+
+/// [`await_output`] against a staging cluster: each poll fans the get
+/// out to every member, so the output is found wherever its worker put
+/// it — including mid-rebalance, when the owning member just changed.
+pub fn await_output_cluster(
+    client: &ClusterClient,
+    label: &str,
+    step: u64,
+    deadline: std::time::Instant,
+) -> Result<AnalysisOutput, RemoteError> {
+    await_output_with(|var, v, q| client.get(var, v, q), label, step, deadline)
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
+use sitra_cluster::{decode_msg, encode_msg, ClusterMsg, ClusterView, MemberInfo};
 use sitra_core::analysis::AnalysisOutput;
 use sitra_core::wire;
 use sitra_mesh::{downsample, BBox3, ScalarField};
@@ -103,6 +104,39 @@ fn analysis_output_strategy() -> proptest::BoxedStrategy<AnalysisOutput> {
             .prop_map(AnalysisOutput::Stats),
         prop::collection::vec((short_name(), -1.0e9..1.0e9f64), 0..6)
             .prop_map(AnalysisOutput::Scalars),
+    ]
+    .boxed()
+}
+
+fn cluster_view_strategy() -> impl Strategy<Value = ClusterView> {
+    (
+        any::<u64>(),
+        prop::collection::vec(prop::collection::vec(0u8..128, 0..24), 0..6),
+    )
+        .prop_map(|(epoch, addrs)| {
+            let mut members: Vec<MemberInfo> = addrs
+                .into_iter()
+                .map(|raw| MemberInfo {
+                    addr: String::from_utf8(raw).unwrap(),
+                })
+                .collect();
+            members.sort();
+            members.dedup();
+            ClusterView { epoch, members }
+        })
+}
+
+fn cluster_msg_strategy() -> proptest::BoxedStrategy<ClusterMsg> {
+    prop_oneof![
+        Just(ClusterMsg::Hello),
+        short_name().prop_map(|addr| ClusterMsg::Join {
+            from: MemberInfo { addr }
+        }),
+        short_name().prop_map(|addr| ClusterMsg::Leave { addr }),
+        (short_name(), any::<u64>())
+            .prop_map(|(from, epoch)| ClusterMsg::Heartbeat { from, epoch }),
+        cluster_view_strategy().prop_map(|view| ClusterMsg::View { view }),
+        any::<u64>().prop_map(|epoch| ClusterMsg::Ack { epoch }),
     ]
     .boxed()
 }
@@ -233,6 +267,35 @@ proptest! {
         }
     }
 
+    /// The membership/handoff control frames (`sitra-cluster`'s inner
+    /// codec, carried opaquely inside dataspaces `Control` frames)
+    /// hold to the same bar as the data-plane codecs: every message
+    /// round-trips, and every strict prefix errors without panicking.
+    #[test]
+    fn cluster_msg_roundtrips_and_prefixes_error(msg in cluster_msg_strategy()) {
+        let enc = encode_msg(&msg);
+        prop_assert_eq!(decode_msg(enc.clone()).unwrap(), msg);
+        assert_prefixes_error(&enc, decode_msg);
+    }
+
+    /// Single-byte corruption of a membership frame must never panic
+    /// the decoder — a corrupted byte either still decodes (it landed
+    /// in a payload value) or returns a structured `ProtoError`, and a
+    /// node treats either as a malformed peer, not a crash.
+    #[test]
+    fn corrupted_cluster_msgs_never_panic(
+        msg in cluster_msg_strategy(),
+        at in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let enc = encode_msg(&msg);
+        prop_assert!(!enc.is_empty(), "every message carries at least a tag byte");
+        let mut raw = enc.to_vec();
+        let i = (at as usize) % raw.len();
+        raw[i] ^= flip;
+        let _ = decode_msg(Bytes::from(raw));
+    }
+
     /// Arbitrary byte soup never panics any decoder. Length-prefix
     /// positions are seeded with large values often enough that hostile
     /// allocation sizes are exercised (the decoders cap allocations by
@@ -258,6 +321,7 @@ proptest! {
         let _ = wire::decode_comoments(b.clone());
         let _ = wire::decode_feature_stats(b.clone());
         let _ = wire::decode_partial_image(b.clone());
-        let _ = wire::decode_analysis_output(b);
+        let _ = wire::decode_analysis_output(b.clone());
+        let _ = decode_msg(b);
     }
 }

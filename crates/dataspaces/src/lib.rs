@@ -28,6 +28,6 @@ pub mod sched;
 pub mod space;
 
 pub use codec::{bytes_to_field, field_to_bytes};
-pub use remote::{RemoteError, RemoteSpace, RemoteStats, SpaceServer, TaskPoll};
+pub use remote::{ControlHandler, RemoteError, RemoteSpace, RemoteStats, SpaceServer, TaskPoll};
 pub use sched::{Admission, AdmissionPolicy, BucketHandle, SchedStats, Scheduler};
 pub use space::{DataSpaces, ObjectMeta, SpaceStats};

@@ -88,6 +88,7 @@ const REQ_EVICT_VERSION: u8 = 8;
 const REQ_CLOSE_SCHED: u8 = 9;
 const REQ_SUBMIT_TASK_ADM: u8 = 10;
 const REQ_SCHED_POLICY: u8 = 11;
+const REQ_CONTROL: u8 = 12;
 
 const RESP_OK: u8 = 100;
 const RESP_SEQ: u8 = 101;
@@ -97,6 +98,7 @@ const RESP_TASK: u8 = 104;
 const RESP_STATS: u8 = 105;
 const RESP_ADMISSION: u8 = 106;
 const RESP_POLICY: u8 = 107;
+const RESP_CONTROL: u8 = 108;
 const RESP_ERROR: u8 = 199;
 
 // Admission verdict tags (RESP_ADMISSION payload).
@@ -175,6 +177,15 @@ pub enum Request {
     },
     /// Close the scheduler: buckets drain and stop.
     CloseSched,
+    /// An opaque control frame for a layered service (e.g. cluster
+    /// membership). The space/scheduler protocol does not interpret the
+    /// payload; a server started without a control handler answers with
+    /// an error.
+    Control {
+        /// Opaque payload, owned by the layer that installed the
+        /// server's control handler.
+        data: Bytes,
+    },
 }
 
 /// The outcome of a bucket-ready request.
@@ -237,6 +248,11 @@ pub enum Response {
         capacity: Option<u64>,
         /// Policy applied at capacity.
         policy: AdmissionPolicy,
+    },
+    /// Reply of the server's control handler to a [`Request::Control`].
+    Control {
+        /// Opaque payload produced by the control handler.
+        data: Bytes,
     },
     /// The request failed server-side.
     Error(String),
@@ -386,6 +402,10 @@ pub fn encode_request(req: &Request) -> Bytes {
             buf.put_u64_le(*version);
         }
         Request::CloseSched => buf.put_u8(REQ_CLOSE_SCHED),
+        Request::Control { data } => {
+            buf.put_u8(REQ_CONTROL);
+            put_bytes(&mut buf, data);
+        }
     }
     buf.freeze()
 }
@@ -417,6 +437,7 @@ pub fn decode_request(frame: Bytes) -> Result<Request, RemoteError> {
         REQ_STATS => Request::Stats,
         REQ_EVICT_VERSION => Request::EvictVersion { version: rd.u64()? },
         REQ_CLOSE_SCHED => Request::CloseSched,
+        REQ_CONTROL => Request::Control { data: rd.bytes()? },
         t => return Err(RemoteError::Proto(format!("unknown request tag {t}"))),
     };
     rd.finish()?;
@@ -503,6 +524,10 @@ pub fn encode_response(resp: &Response) -> Bytes {
                 }
             }
         }
+        Response::Control { data } => {
+            buf.put_u8(RESP_CONTROL);
+            put_bytes(&mut buf, data);
+        }
         Response::Error(msg) => {
             buf.put_u8(RESP_ERROR);
             put_bytes(&mut buf, msg.as_bytes());
@@ -583,6 +608,7 @@ pub fn decode_response(frame: Bytes) -> Result<Response, RemoteError> {
                 policy,
             }
         }
+        RESP_CONTROL => Response::Control { data: rd.bytes()? },
         RESP_ERROR => Response::Error(rd.string()?),
         t => return Err(RemoteError::Proto(format!("unknown response tag {t}"))),
     };
@@ -602,9 +628,15 @@ const ACK_TIMEOUT: Duration = Duration::from_secs(10);
 /// `timeout_ms`.
 const WAIT_SLICE: Duration = Duration::from_millis(50);
 
+/// Handler for opaque [`Request::Control`] frames. Layered services
+/// (cluster membership, handoff) install one at server start; the
+/// space/scheduler protocol never looks inside the payloads.
+pub type ControlHandler = Arc<dyn Fn(Bytes) -> Bytes + Send + Sync>;
+
 struct ServerInner {
-    space: DataSpaces,
+    space: Arc<DataSpaces>,
     sched: Scheduler<Bytes>,
+    control: Option<ControlHandler>,
 }
 
 /// The remote staging service: [`DataSpaces`] + [`Scheduler`] behind a
@@ -631,15 +663,30 @@ impl SpaceServer {
         capacity: Option<usize>,
         policy: AdmissionPolicy,
     ) -> Result<SpaceServer, NetError> {
-        let listener = Listener::bind(addr)?;
-        let bound = listener.local_addr();
         let sched = match capacity {
             Some(cap) => Scheduler::bounded(cap, policy),
             None => Scheduler::new(),
         };
+        Self::start_custom(addr, Arc::new(DataSpaces::new(shards)), sched, None)
+    }
+
+    /// Bind `addr` and serve an externally constructed space and
+    /// scheduler, optionally dispatching [`Request::Control`] frames to
+    /// `control`. This is the seam a layered service (the cluster
+    /// membership node) uses to keep its own handle on the space for
+    /// shard handoff while the RPC surface stays unchanged.
+    pub fn start_custom(
+        addr: &Addr,
+        space: Arc<DataSpaces>,
+        sched: Scheduler<Bytes>,
+        control: Option<ControlHandler>,
+    ) -> Result<SpaceServer, NetError> {
+        let listener = Listener::bind(addr)?;
+        let bound = listener.local_addr();
         let inner = Arc::new(ServerInner {
-            space: DataSpaces::new(shards),
+            space,
             sched,
+            control,
         });
         let conn_inner = Arc::clone(&inner);
         let handle = serve(listener, move |conn| serve_connection(&conn_inner, &conn));
@@ -659,6 +706,12 @@ impl SpaceServer {
     /// Direct access to the served space (same-process convenience).
     pub fn space(&self) -> &DataSpaces {
         &self.inner.space
+    }
+
+    /// A clone of the served scheduler (same-process convenience; the
+    /// cluster node drains it on graceful leave).
+    pub fn scheduler(&self) -> Scheduler<Bytes> {
+        self.inner.sched.clone()
     }
 
     /// Scheduler counters.
@@ -757,6 +810,12 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
                 inner.sched.close();
                 Response::Ok
             }
+            Request::Control { data } => match &inner.control {
+                Some(handler) => Response::Control {
+                    data: handler(data),
+                },
+                None => Response::Error("control frames not supported".into()),
+            },
         };
         if conn.send(encode_response(&resp)).is_err() {
             return;
@@ -1062,6 +1121,18 @@ impl RemoteSpace {
         self.expect_ok(&Request::CloseSched)
     }
 
+    /// Send an opaque control frame and return the handler's reply.
+    /// Errors with [`RemoteError::Server`] when the server was started
+    /// without a control handler.
+    pub fn control(&self, data: Bytes) -> Result<Bytes, RemoteError> {
+        match self.rpc(&Request::Control { data })? {
+            Response::Control { data } => Ok(data),
+            other => Err(RemoteError::Proto(format!(
+                "expected Control, got {other:?}"
+            ))),
+        }
+    }
+
     /// Transport counters of this client's connection.
     pub fn conn_stats(&self) -> ConnStats {
         self.conn.stats()
@@ -1126,6 +1197,9 @@ mod tests {
                 data: Bytes::from_static(b"task-adm"),
             },
             Request::SchedPolicy,
+            Request::Control {
+                data: Bytes::from_static(b"\x00opaque"),
+            },
         ];
         for r in reqs {
             assert_eq!(decode_request(encode_request(&r)).unwrap(), r);
@@ -1179,6 +1253,9 @@ mod tests {
             Response::Policy {
                 capacity: Some(1),
                 policy: AdmissionPolicy::RejectNew,
+            },
+            Response::Control {
+                data: Bytes::from_static(b"reply"),
             },
             Response::Error("boom".into()),
         ];
@@ -1386,6 +1463,43 @@ mod tests {
         // A fresh, well-behaved client is unaffected.
         let good = RemoteSpace::connect(&server.addr()).unwrap();
         assert_eq!(good.latest_version("T").unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn control_frames_reach_the_installed_handler() {
+        let addr: Addr = "inproc://space-control".parse().unwrap();
+        let handler: ControlHandler = Arc::new(|data: Bytes| {
+            let mut out = data.to_vec();
+            out.reverse();
+            Bytes::from(out)
+        });
+        let server = SpaceServer::start_custom(
+            &addr,
+            Arc::new(DataSpaces::new(1)),
+            Scheduler::new(),
+            Some(handler),
+        )
+        .unwrap();
+        let client = RemoteSpace::connect(&server.addr()).unwrap();
+        assert_eq!(
+            client.control(Bytes::from_static(b"abc")).unwrap(),
+            Bytes::from_static(b"cba")
+        );
+        // The data-plane verbs coexist on the same connection.
+        assert_eq!(client.latest_version("T").unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn control_without_handler_is_a_server_error() {
+        let addr: Addr = "inproc://space-nocontrol".parse().unwrap();
+        let server = SpaceServer::start(&addr, 1).unwrap();
+        let client = RemoteSpace::connect(&server.addr()).unwrap();
+        assert!(matches!(
+            client.control(Bytes::from_static(b"x")),
+            Err(RemoteError::Server(_))
+        ));
         server.shutdown();
     }
 

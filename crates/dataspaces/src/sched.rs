@@ -354,6 +354,22 @@ impl<T: Send + 'static> Scheduler<T> {
         Self::drain(&self.shared, &mut g);
     }
 
+    /// Remove and return every queued (not yet assigned) task in FCFS
+    /// order. This is the graceful-leave primitive: a cluster member
+    /// shutting down drains its backlog and re-submits the tasks on the
+    /// surviving members instead of stranding them behind a closed
+    /// scheduler. In-flight (assigned but unacknowledged) tasks are not
+    /// touched — their two-phase hand-off already guarantees requeue or
+    /// completion.
+    pub fn drain_queued(&self) -> Vec<(u64, T)> {
+        let mut g = self.shared.mu.lock();
+        let drained: Vec<(u64, T)> = g.queue.drain(..).map(|(seq, t, _)| (seq, t)).collect();
+        g.obs.queue_depth.set(0);
+        // Queue space freed: wake any Block-policy submitters.
+        self.shared.freed.notify_all();
+        drained
+    }
+
     /// Register a bucket and get its handle.
     pub fn register_bucket(&self, id: BucketId) -> BucketHandle<T> {
         BucketHandle {
@@ -759,6 +775,21 @@ mod tests {
         // ...and the failed hand-off's requeue reaches it directly.
         s.requeue_front(seq, task);
         assert_eq!(h.join().unwrap(), Some((0, 1)));
+    }
+
+    #[test]
+    fn drain_queued_empties_the_backlog_in_fcfs_order() {
+        let s: Scheduler<&'static str> = Scheduler::new();
+        s.submit("a");
+        s.submit("b");
+        s.submit("c");
+        assert_eq!(s.drain_queued(), vec![(0, "a"), (1, "b"), (2, "c")]);
+        assert_eq!(s.queue_depth(), 0);
+        assert!(s.drain_queued().is_empty());
+        // The scheduler stays usable: new submissions flow normally.
+        s.submit("d");
+        let b = s.register_bucket(0);
+        assert_eq!(b.request_task(), Some((3, "d")));
     }
 
     #[test]

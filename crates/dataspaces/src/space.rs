@@ -219,6 +219,40 @@ impl DataSpaces {
         self.obs.objects.add(-freed_objects);
     }
 
+    /// Remove and return every object for which `disown` answers true,
+    /// as `(var, version, bbox, data)` tuples. This is the shard-handoff
+    /// primitive: when cluster membership changes, the losing member
+    /// drains the pieces it no longer owns and re-puts them on the new
+    /// owner. Gauges are adjusted as if each piece had been evicted.
+    pub fn drain_matching<F>(&self, mut disown: F) -> Vec<(String, u64, BBox3, Bytes)>
+    where
+        F: FnMut(&str, u64, &BBox3) -> bool,
+    {
+        let mut out = Vec::new();
+        let mut freed_bytes = 0i64;
+        for server in &self.servers {
+            let mut guard = server.objects.write();
+            for ((var, version), objs) in guard.iter_mut() {
+                let mut i = 0;
+                while i < objs.len() {
+                    if disown(var, *version, &objs[i].bbox) {
+                        let o = objs.swap_remove(i);
+                        freed_bytes += o.data.len() as i64;
+                        out.push((var.clone(), *version, o.bbox, o.data));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            guard.retain(|_, objs| !objs.is_empty());
+        }
+        self.obs.resident_bytes.add(-freed_bytes);
+        self.obs.objects.add(-(out.len() as i64));
+        // Deterministic handoff order regardless of map iteration.
+        out.sort_by(|a, b| (&a.0, a.1, a.2.lo).cmp(&(&b.0, b.1, b.2.lo)));
+        out
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> SpaceStats {
         let mut per = Vec::with_capacity(self.servers.len());
@@ -367,6 +401,35 @@ mod tests {
         assert_eq!(after, before / 2);
         assert!(ds.get("T", 1, &b).is_empty());
         assert!(!ds.get("T", 2, &b).is_empty());
+    }
+
+    #[test]
+    fn drain_matching_extracts_exactly_the_disowned_pieces() {
+        let ds = DataSpaces::new(4);
+        let g = BBox3::from_dims([8, 4, 4]);
+        let d = Decomposition::new(g, [2, 1, 1]);
+        let whole = coord_field(g);
+        for v in 1..=2u64 {
+            for r in 0..d.rank_count() {
+                ds.put_field("T", v, &whole.extract(&d.block(r)));
+            }
+        }
+        let before = ds.stats();
+        // Disown everything of version 1.
+        let drained = ds.drain_matching(|_, version, _| version == 1);
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|(var, v, _, _)| var == "T" && *v == 1));
+        // Deterministic order by (var, version, lo).
+        assert!(drained.windows(2).all(|w| w[0].2.lo <= w[1].2.lo));
+        assert!(ds.get("T", 1, &g).is_empty(), "disowned pieces are gone");
+        assert_eq!(ds.get("T", 2, &g).len(), 2, "kept pieces are untouched");
+        let after = ds.stats();
+        assert_eq!(after.resident_bytes, before.resident_bytes / 2);
+        // Re-putting the drained pieces restores the original contents.
+        for (var, v, bbox, data) in drained {
+            ds.put(&var, v, bbox, data);
+        }
+        assert_eq!(ds.get_assembled("T", 1, &g, f64::NAN), whole);
     }
 
     #[test]

@@ -1,18 +1,33 @@
 //! `sitra-staged` — the standalone staging service.
 //!
-//! Runs a [`SpaceServer`] (sharded shared space + FCFS in-transit task
-//! scheduler) on a socket, so a simulation driver and any number of
-//! bucket-worker processes can stage through it:
+//! Runs one staging instance: a sharded shared space + FCFS in-transit
+//! task scheduler served over a socket, so a simulation driver and any
+//! number of bucket-worker processes can stage through it:
 //!
 //! ```text
 //! sitra-staged --listen tcp://0.0.0.0:7788 --servers 4
 //! ```
 //!
-//! The driver side points `PipelineConfig::with_staging_endpoint` at the
-//! same address (selecting the remote staging backend); workers call
-//! `sitra_core::remote::run_bucket_worker`. The
-//! process runs until the scheduler is closed by a client (the driver
-//! does this when its run finishes) or it receives SIGINT.
+//! `--servers N` controls the **in-process space shards inside this one
+//! instance** (lock striping for put/get parallelism); it does not
+//! create more cluster members. To form a **multi-instance cluster**,
+//! start several `sitra-staged` processes and either seed them with the
+//! same full member list or have late ones join through any live
+//! member:
+//!
+//! ```text
+//! sitra-staged --listen tcp://a:7788 --cluster-seed tcp://a:7788,tcp://b:7788
+//! sitra-staged --listen tcp://b:7788 --cluster-seed tcp://a:7788,tcp://b:7788
+//! sitra-staged --listen tcp://c:7788 --cluster-join tcp://a:7788   # late joiner
+//! ```
+//!
+//! The driver side points `PipelineConfig::with_staging_endpoint` at a
+//! single instance (selecting the remote staging backend) or
+//! `with_staging_cluster` at the full member list (consistent-hash
+//! shard routing); workers call `run_bucket_worker` or
+//! `run_cluster_bucket_worker` respectively. The process runs until the
+//! scheduler is closed by a client (the driver does this when its run
+//! finishes) or it receives SIGINT.
 //!
 //! Observability: `--metrics-listen host:port` exposes the live
 //! [`sitra_obs`] registry (net/scheduler/space metrics) as a
@@ -20,13 +35,26 @@
 //! appends every span event as one JSON line (replayable with
 //! `obs_report`).
 
-use sitra_dataspaces::{AdmissionPolicy, SpaceServer};
+use sitra_cluster::{Bootstrap, ClusterNode, ClusterNodeOpts};
+use sitra_dataspaces::{AdmissionPolicy, DataSpaces, SchedStats, SpaceServer};
 use sitra_net::Addr;
 use sitra_testkit::{CrashPlan, FaultPlan, PlanInjector};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How this instance relates to other `sitra-staged` processes.
+enum ClusterRole {
+    /// Standalone: a single-instance staging service.
+    None,
+    /// Founding member: `--cluster-seed` carries the full member list
+    /// (which must include our own `--listen` address).
+    Seed(Vec<String>),
+    /// Late joiner: `--cluster-join` names any live member to join
+    /// through.
+    Join(String),
+}
 
 struct Opts {
     listen: Addr,
@@ -44,6 +72,8 @@ struct Opts {
     /// Deterministic fault injection for chaos testing (see
     /// `sitra-testkit`).
     fault_plan: Option<FaultPlan>,
+    /// Multi-instance membership role.
+    cluster: ClusterRole,
 }
 
 fn usage(program: &str, code: i32) -> ! {
@@ -51,10 +81,12 @@ fn usage(program: &str, code: i32) -> ! {
         "usage: {program} [--listen ADDR] [--servers N] [--stats-every SECS]\n\
          \x20                  [--metrics-listen HOST:PORT] [--journal PATH]\n\
          \x20                  [--queue-capacity N] [--admission POLICY] [--admission-wait-ms T]\n\
-         \x20                  [--fault-plan SPEC]\n\
+         \x20                  [--cluster-seed LIST | --cluster-join ADDR] [--fault-plan SPEC]\n\
          \n\
          --listen ADDR         tcp://host:port or inproc://name (default tcp://127.0.0.1:7788)\n\
-         --servers N           space server shards (default 4)\n\
+         --servers N           in-process space shards within THIS instance (lock striping;\n\
+         \x20                      default 4). Cluster members are separate processes — see\n\
+         \x20                      --cluster-seed / --cluster-join\n\
          --stats-every SECS    periodically print counters (default 0 = quiet)\n\
          --metrics-listen A    serve a Prometheus-style metrics snapshot over HTTP\n\
          --journal PATH        append span events as JSON lines to PATH\n\
@@ -62,6 +94,10 @@ fn usage(program: &str, code: i32) -> ! {
          --admission POLICY    full-queue behaviour: block | shed-oldest | reject-new\n\
          \x20                      (default reject-new; only meaningful with --queue-capacity)\n\
          --admission-wait-ms T how long `block` admissions may wait (default 1000)\n\
+         --cluster-seed LIST   found a multi-instance cluster; LIST is the comma-separated\n\
+         \x20                      full member list and must include our --listen address\n\
+         --cluster-join ADDR   join a running cluster through the member at ADDR\n\
+         \x20                      (shards rebalance to us via handoff)\n\
          --fault-plan SPEC     inject deterministic faults on every server-side frame\n\
          \x20                      (chaos testing; SPEC as printed by the sitra-testkit\n\
          \x20                      chaos binary, e.g. seed=0x2a,drop=8,crash=at:400)"
@@ -79,6 +115,7 @@ fn parse_opts() -> Opts {
         queue_capacity: None,
         admission: AdmissionPolicy::RejectNew,
         fault_plan: None,
+        cluster: ClusterRole::None,
     };
     let mut admission_wait = Duration::from_millis(1000);
     let argv: Vec<String> = std::env::args().collect();
@@ -153,6 +190,46 @@ fn parse_opts() -> Opts {
                     usage(program, 2);
                 }
             },
+            "--cluster-seed" => {
+                if !matches!(opts.cluster, ClusterRole::None) {
+                    eprintln!(
+                        "{program}: --cluster-seed and --cluster-join are mutually exclusive"
+                    );
+                    usage(program, 2);
+                }
+                let list = value("--cluster-seed");
+                let members: Vec<String> = list
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if members.is_empty() {
+                    eprintln!("{program}: --cluster-seed needs a comma-separated member list");
+                    usage(program, 2);
+                }
+                for m in &members {
+                    if let Err(e) = m.parse::<Addr>() {
+                        eprintln!("{program}: bad --cluster-seed member `{m}`: {e}");
+                        usage(program, 2);
+                    }
+                }
+                opts.cluster = ClusterRole::Seed(members);
+            }
+            "--cluster-join" => {
+                if !matches!(opts.cluster, ClusterRole::None) {
+                    eprintln!(
+                        "{program}: --cluster-seed and --cluster-join are mutually exclusive"
+                    );
+                    usage(program, 2);
+                }
+                match value("--cluster-join").parse::<Addr>() {
+                    Ok(a) => opts.cluster = ClusterRole::Join(a.to_string()),
+                    Err(e) => {
+                        eprintln!("{program}: bad --cluster-join address: {e}");
+                        usage(program, 2);
+                    }
+                }
+            }
             "--fault-plan" => match FaultPlan::parse(&value("--fault-plan")) {
                 Ok(p) => opts.fault_plan = Some(p),
                 Err(e) => {
@@ -168,6 +245,40 @@ fn parse_opts() -> Opts {
         }
     }
     opts
+}
+
+/// The service behind the stats loop: one bare [`SpaceServer`], or a
+/// [`ClusterNode`] wrapping one plus the membership plane.
+enum Service {
+    Single(SpaceServer),
+    Member(ClusterNode),
+}
+
+impl Service {
+    fn sched_stats(&self) -> SchedStats {
+        match self {
+            Service::Single(s) => s.sched_stats(),
+            Service::Member(n) => n.sched_stats(),
+        }
+    }
+    fn space(&self) -> &DataSpaces {
+        match self {
+            Service::Single(s) => s.space(),
+            Service::Member(n) => n.space(),
+        }
+    }
+    fn closed(&self) -> bool {
+        match self {
+            Service::Single(s) => s.closed(),
+            Service::Member(n) => n.closed(),
+        }
+    }
+    fn shutdown(self) {
+        match self {
+            Service::Single(s) => s.shutdown(),
+            Service::Member(n) => n.shutdown(),
+        }
+    }
 }
 
 fn main() {
@@ -213,23 +324,62 @@ fn main() {
         println!("sitra-staged: metrics on http://{}/metrics", srv.addr());
         srv
     });
-    let server = match SpaceServer::start_with(
-        &opts.listen,
-        opts.servers,
-        opts.queue_capacity,
-        opts.admission,
-    ) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("sitra-staged: cannot listen on {}: {e}", opts.listen);
-            std::process::exit(1);
+    let server = match &opts.cluster {
+        ClusterRole::None => {
+            match SpaceServer::start_with(
+                &opts.listen,
+                opts.servers,
+                opts.queue_capacity,
+                opts.admission,
+            ) {
+                Ok(s) => Service::Single(s),
+                Err(e) => {
+                    eprintln!("sitra-staged: cannot listen on {}: {e}", opts.listen);
+                    std::process::exit(1);
+                }
+            }
+        }
+        role => {
+            let bootstrap = match role {
+                ClusterRole::Seed(list) => Bootstrap::Seeds(list.clone()),
+                ClusterRole::Join(via) => Bootstrap::Join(via.clone()),
+                ClusterRole::None => unreachable!(),
+            };
+            let node_opts = ClusterNodeOpts {
+                shards: opts.servers,
+                capacity: opts.queue_capacity,
+                policy: opts.admission,
+                ..ClusterNodeOpts::default()
+            };
+            match ClusterNode::start(&opts.listen, bootstrap, node_opts) {
+                Ok(n) => Service::Member(n),
+                Err(e) => {
+                    eprintln!(
+                        "sitra-staged: cannot start cluster member on {}: {e}",
+                        opts.listen
+                    );
+                    std::process::exit(1);
+                }
+            }
         }
     };
-    println!(
-        "sitra-staged: serving {} space shard(s) on {}",
-        opts.servers,
-        server.addr()
-    );
+    match &server {
+        Service::Single(s) => println!(
+            "sitra-staged: serving {} space shard(s) on {}",
+            opts.servers,
+            s.addr()
+        ),
+        Service::Member(n) => {
+            let view = n.view();
+            println!(
+                "sitra-staged: cluster member {} ({} in-process shard(s)); view epoch {} with {} member(s)",
+                n.addr(),
+                opts.servers,
+                view.epoch,
+                view.members.len()
+            );
+        }
+    }
     if let Some(cap) = opts.queue_capacity {
         println!(
             "sitra-staged: task queue bounded at {cap}, admission {:?}",

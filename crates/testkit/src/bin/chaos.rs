@@ -28,7 +28,7 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed S]... [--plan SPEC] [--random N] \
-         [--backend insitu|local|remote|all] [--out DIR] [--shrink-budget N] [--list]"
+         [--backend insitu|local|remote|cluster|all] [--out DIR] [--shrink-budget N] [--list]"
     );
     std::process::exit(2);
 }

@@ -35,7 +35,7 @@ pub mod scenario;
 pub mod shrink;
 
 pub use injector::{PlanInjector, ScheduleEntry};
-pub use plan::{arb_fault_plan, CrashPlan, FaultPlan, PartitionWindow};
+pub use plan::{arb_fault_plan, CrashPlan, FaultPlan, InstanceLoss, PartitionWindow};
 pub use scenario::{run_scenario, Backend, ScenarioOutcome};
 
 /// The pinned regression corpus: seeds that once exercised interesting

@@ -58,6 +58,19 @@ pub enum CrashPlan {
     },
 }
 
+/// Whole-instance loss in a cluster scenario: the member at `member`
+/// (an index into the sorted cluster endpoint list, wrapped modulo the
+/// member count) is killed outright — no handoff, queued tasks dropped
+/// — once the virtual clock reaches `at_tick`. Single-server backends
+/// have no second instance to lose and ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceLoss {
+    /// Index of the doomed member.
+    pub member: u32,
+    /// Virtual-clock tick of the kill.
+    pub at_tick: u64,
+}
+
 /// A seeded, self-describing fault plan. Rates are per-mille per
 /// frame; the remaining mass delivers the frame untouched.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +93,8 @@ pub struct FaultPlan {
     pub partitions: Vec<PartitionWindow>,
     /// Scheduled server crash, if any.
     pub crash: Option<CrashPlan>,
+    /// Scheduled whole-instance loss (cluster scenarios), if any.
+    pub instance_loss: Option<InstanceLoss>,
 }
 
 impl FaultPlan {
@@ -96,6 +111,7 @@ impl FaultPlan {
             cut_per_mille: 0,
             partitions: Vec::new(),
             crash: None,
+            instance_loss: None,
         }
     }
 
@@ -116,6 +132,10 @@ impl FaultPlan {
             cut_per_mille: (h(6) % 8) as u16,
             partitions: Vec::new(),
             crash: None,
+            // Never set here: the pinned corpus predates instance loss
+            // and must keep deriving the exact same plans. Cluster
+            // plans opt in via `iloss=` specs or `arb_fault_plan`.
+            instance_loss: None,
         };
         if h(7) % 4 == 0 {
             let from = h(8) % 200;
@@ -183,15 +203,16 @@ impl FaultPlan {
             && self.cut_per_mille == 0
             && self.partitions.is_empty()
             && self.crash.is_none()
+            && self.instance_loss.is_none()
     }
 
     /// Parse the spec format produced by `Display`:
-    /// `seed=42,drop=8,dup=5,delay=10,delaymax=12,reorder=6,cut=3,part=10..40,crash=after:2:restart`
+    /// `seed=42,drop=8,dup=5,delay=10,delaymax=12,reorder=6,cut=3,part=10..40,crash=after:2:restart,iloss=1:120`
     ///
     /// Every field is optional except `seed`; `crash` is
-    /// `after:N[:restart]` or `at:TICK`. This is what
-    /// `sitra-staged --fault-plan` and the chaos binary's `--plan`
-    /// accept, so a shrink report pastes straight back in.
+    /// `after:N[:restart]` or `at:TICK`; `iloss` is `MEMBER:TICK`. This
+    /// is what `sitra-staged --fault-plan` and the chaos binary's
+    /// `--plan` accept, so a shrink report pastes straight back in.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut seed = None;
         let mut plan = FaultPlan::fault_free(0);
@@ -252,6 +273,15 @@ impl FaultPlan {
                         _ => return Err(format!("unknown crash spec `{value}`")),
                     }
                 }
+                "iloss" => {
+                    let (member, tick) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("`{value}` is not MEMBER:TICK"))?;
+                    plan.instance_loss = Some(InstanceLoss {
+                        member: uint(member)? as u32,
+                        at_tick: uint(tick)?,
+                    });
+                }
                 other => return Err(format!("unknown field `{other}`")),
             }
         }
@@ -288,6 +318,9 @@ impl fmt::Display for FaultPlan {
             Some(CrashPlan::AtTick { tick }) => write!(f, ",crash=at:{tick}")?,
             None => {}
         }
+        if let Some(loss) = self.instance_loss {
+            write!(f, ",iloss={}:{}", loss.member, loss.at_tick)?;
+        }
         Ok(())
     }
 }
@@ -307,24 +340,40 @@ pub fn arb_fault_plan() -> BoxedStrategy<FaultPlan> {
         (0u64..500).prop_map(|tick| Some(CrashPlan::AtTick { tick })),
     ]
     .boxed();
+    let instance_loss = prop_oneof![
+        Just(None),
+        (0u32..4, 0u64..500).prop_map(|(member, at_tick)| Some(InstanceLoss { member, at_tick })),
+    ]
+    .boxed();
     (
         any::<u64>(),
         (0u16..40, 0u16..40, 0u16..40),
         (0u16..40, 0u16..40, 1u64..30),
         prop::collection::vec(window, 0..3),
         crash,
+        instance_loss,
     )
         .prop_map(
-            |(seed, (drop, dup, delay), (reorder, cut, delaymax), partitions, crash)| FaultPlan {
+            |(
                 seed,
-                drop_per_mille: drop,
-                dup_per_mille: dup,
-                delay_per_mille: delay,
-                max_delay_ms: delaymax,
-                reorder_per_mille: reorder,
-                cut_per_mille: cut,
+                (drop, dup, delay),
+                (reorder, cut, delaymax),
                 partitions,
                 crash,
+                instance_loss,
+            )| {
+                FaultPlan {
+                    seed,
+                    drop_per_mille: drop,
+                    dup_per_mille: dup,
+                    delay_per_mille: delay,
+                    max_delay_ms: delaymax,
+                    reorder_per_mille: reorder,
+                    cut_per_mille: cut,
+                    partitions,
+                    crash,
+                    instance_loss,
+                }
             },
         )
         .boxed()
@@ -358,6 +407,10 @@ mod tests {
                 outputs: 2,
                 restart: true,
             }),
+            instance_loss: Some(InstanceLoss {
+                member: 1,
+                at_tick: 120,
+            }),
         };
         let spec = plan.to_string();
         assert_eq!(FaultPlan::parse(&spec).unwrap(), plan);
@@ -377,6 +430,7 @@ mod tests {
         assert!(FaultPlan::parse("seed=1,wat=2").is_err());
         assert!(FaultPlan::parse("seed=1,part=5").is_err());
         assert!(FaultPlan::parse("seed=1,crash=never").is_err());
+        assert!(FaultPlan::parse("seed=1,iloss=2").is_err());
         assert!(FaultPlan::parse("seed=banana").is_err());
     }
 

@@ -26,7 +26,10 @@
 use crate::fixture;
 use crate::injector::{PlanInjector, ScheduleEntry};
 use crate::plan::{splitmix64, CrashPlan, FaultPlan};
-use sitra_core::{run_bucket_worker, run_pipeline, BucketWorkerOpts, StagingMode};
+use sitra_cluster::{Bootstrap, ClusterNode, ClusterNodeOpts};
+use sitra_core::{
+    run_bucket_worker, run_cluster_bucket_worker, run_pipeline, BucketWorkerOpts, StagingMode,
+};
 use sitra_dataspaces::{AdmissionPolicy, SpaceServer};
 use sitra_net::{Addr, Backoff};
 use sitra_obs::{ObsEvent, VecSink};
@@ -43,10 +46,17 @@ pub enum Backend {
     Local,
     /// Remote staging over the socket transport (`StagingMode::Remote`).
     Remote,
+    /// A three-member `sitra-cluster` of staging instances
+    /// (`StagingMode::Cluster`), with shard routing and handoff.
+    Cluster,
 }
 
 impl Backend {
-    /// All three backends, in the order the chaos suite runs them.
+    /// The three single-space backends, in the order the chaos suite
+    /// runs them. `Cluster` stays out of this list on purpose: the
+    /// pinned chaos corpus predates it, and its seeds must keep mapping
+    /// to the exact same `(backend, plan)` pairs. Cluster scenarios opt
+    /// in explicitly (`--backend cluster`, `tests/cluster.rs`).
     pub const ALL: [Backend; 3] = [Backend::InSitu, Backend::Local, Backend::Remote];
 
     /// Stable name (CLI `--backend` values, artifact file names).
@@ -55,12 +65,19 @@ impl Backend {
             Backend::InSitu => "insitu",
             Backend::Local => "local",
             Backend::Remote => "remote",
+            Backend::Cluster => "cluster",
         }
     }
 
     /// Parse a `--backend` value.
     pub fn parse(s: &str) -> Option<Backend> {
-        Backend::ALL.into_iter().find(|b| b.name() == s)
+        match s {
+            "insitu" => Some(Backend::InSitu),
+            "local" => Some(Backend::Local),
+            "remote" => Some(Backend::Remote),
+            "cluster" => Some(Backend::Cluster),
+            _ => None,
+        }
     }
 }
 
@@ -238,6 +255,146 @@ pub fn run_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOu
             }
             result
         }
+        Backend::Cluster => {
+            // A three-member cluster on unique inproc endpoints, every
+            // member configured with the plan's admission policy. The
+            // seed list is static: clients route over it regardless of
+            // how the live view evolves, so a mid-run kill degrades
+            // tasks but never mis-routes them.
+            let addrs: Vec<Addr> = (0..3).map(|_| unique_endpoint(seed)).collect();
+            let endpoints: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+            let (capacity, policy) = admission_for(plan);
+            let node_opts = move || ClusterNodeOpts {
+                capacity,
+                policy,
+                heartbeat_every: Duration::from_millis(10),
+                suspect_after: 3,
+                ..ClusterNodeOpts::default()
+            };
+            let nodes: Vec<Option<ClusterNode>> = addrs
+                .iter()
+                .map(|a| {
+                    Some(
+                        ClusterNode::start(a, Bootstrap::Seeds(endpoints.clone()), node_opts())
+                            .expect("start cluster member"),
+                    )
+                })
+                .collect();
+            let node_slots = Arc::new(parking_lot::Mutex::new(nodes));
+
+            // One resilient external bucket worker over the whole
+            // cluster: it round-robins task requests across members,
+            // writes a member off after repeated connection failures,
+            // and retires once every surviving scheduler closes.
+            let stop = Arc::new(AtomicBool::new(false));
+            let worker = {
+                let eps = endpoints.clone();
+                let stop = Arc::clone(&stop);
+                let specs = fixture::specs();
+                std::thread::Builder::new()
+                    .name("chaos-cluster-bucket".into())
+                    .spawn(move || {
+                        let opts = BucketWorkerOpts {
+                            backoff: Backoff {
+                                initial: Duration::from_millis(5),
+                                max: Duration::from_millis(40),
+                                attempts: 4,
+                            },
+                            request_timeout: Duration::from_millis(100),
+                            drop_connection_after: None,
+                        };
+                        let mut completed = 0usize;
+                        loop {
+                            match run_cluster_bucket_worker(&eps, &specs, 0, &opts) {
+                                Ok(n) => {
+                                    completed += n;
+                                    break;
+                                }
+                                Err(e) if e.is_retryable() && !stop.load(Ordering::SeqCst) => {
+                                    continue;
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        completed
+                    })
+                    .expect("spawn worker")
+            };
+
+            // Instance loss: a watchdog polls the injector's virtual
+            // clock and kills the planned member at its tick — an
+            // abrupt crash (queued tasks dropped on the floor), not a
+            // graceful leave.
+            let watchdog = plan.instance_loss.map(|loss| {
+                let injector = Arc::clone(&injector);
+                let slots = Arc::clone(&node_slots);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name("chaos-instance-loss".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            if injector.tick() >= loss.at_tick {
+                                if let Some(n) = slots.lock()[loss.member as usize % 3].take() {
+                                    n.kill();
+                                }
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    })
+                    .expect("spawn watchdog")
+            });
+
+            let mut cfg = fixture::config(2)
+                .with_staging_cluster(endpoints.clone())
+                .with_staging_deadline(Duration::from_millis(700))
+                .with_staging_max_inflight(2);
+            // A scheduled crash maps onto member 1; a restart maps onto
+            // a rejoin through member 0, which re-shards the ring and
+            // hands the rejoiner its shards back.
+            if let Some(CrashPlan::AfterOutputs { outputs, restart }) = plan.crash {
+                let slots = Arc::clone(&node_slots);
+                let collected = Arc::new(AtomicUsize::new(0));
+                let victim = addrs[1].clone();
+                let rejoin_via = endpoints[0].clone();
+                cfg = cfg.with_staging_output_hook(Arc::new(move |_label, _step| {
+                    if collected.fetch_add(1, Ordering::SeqCst) + 1 == outputs {
+                        if let Some(n) = slots.lock()[1].take() {
+                            n.kill();
+                        }
+                        if restart {
+                            if let Ok(n) = ClusterNode::start(
+                                &victim,
+                                Bootstrap::Join(rejoin_via.clone()),
+                                node_opts(),
+                            ) {
+                                slots.lock()[1] = Some(n);
+                            }
+                        }
+                    }
+                }));
+            }
+
+            let result = run_pipeline(&mut fixture::sim(seed), &cfg).expect("cluster config");
+
+            // Tear down: stop the watchdog, shut every surviving member
+            // down (closing their schedulers retires the worker), then
+            // join the helper threads.
+            stop.store(true, Ordering::SeqCst);
+            if let Some(w) = watchdog {
+                let _ = w.join();
+            }
+            for slot in node_slots.lock().iter_mut() {
+                if let Some(n) = slot.take() {
+                    n.shutdown();
+                }
+            }
+            match worker.join() {
+                Ok(_) => {}
+                Err(_) => violations.push("cluster: bucket worker panicked".into()),
+            }
+            result
+        }
     };
 
     // Disarm before judging.
@@ -296,7 +453,7 @@ pub fn run_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOu
     if result.dropped_tasks != 0 {
         violations.push(format!("no-loss: {} tasks dropped", result.dropped_tasks));
     }
-    if backend == Backend::Remote {
+    if backend == Backend::Remote || backend == Backend::Cluster {
         if let (_, AdmissionPolicy::Block { .. }) = admission_for(plan) {
             let shed = obs.registry().snapshot().counter("sched.tasks.shed");
             if shed != 0 {
@@ -334,7 +491,7 @@ pub fn run_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOu
     let (placement, driver_aggregates) = match backend {
         Backend::InSitu => ("insitu", true),
         Backend::Local => ("hybrid", true),
-        Backend::Remote => ("hybrid-remote", false),
+        Backend::Remote | Backend::Cluster => ("hybrid-remote", false),
     };
     violations.extend(fixture::replay_violations(
         backend.name(),

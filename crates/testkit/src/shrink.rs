@@ -29,6 +29,12 @@ fn candidates(plan: &FaultPlan) -> Vec<FaultPlan> {
             ..plan.clone()
         });
     }
+    if plan.instance_loss.is_some() {
+        out.push(FaultPlan {
+            instance_loss: None,
+            ..plan.clone()
+        });
+    }
     // Zero one whole fault class at a time...
     for i in 0..5 {
         let mut c = plan.clone();
@@ -148,6 +154,10 @@ mod tests {
                 outputs: 1,
                 restart: false,
             }),
+            instance_loss: Some(crate::plan::InstanceLoss {
+                member: 0,
+                at_tick: 30,
+            }),
         };
         let mut evals = 0;
         let minimal = minimize(
@@ -165,6 +175,7 @@ mod tests {
         assert_eq!(minimal.cut_per_mille, 0);
         assert!(minimal.partitions.is_empty());
         assert!(minimal.crash.is_none());
+        assert!(minimal.instance_loss.is_none());
         assert_eq!(minimal.drop_per_mille, 1, "halving should reach the floor");
         assert!(evals <= 200);
     }

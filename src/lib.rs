@@ -12,6 +12,7 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured results of every table and figure.
 
+pub use sitra_cluster as cluster;
 pub use sitra_core as core;
 pub use sitra_dart as dart;
 pub use sitra_dataspaces as dataspaces;

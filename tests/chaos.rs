@@ -124,6 +124,43 @@ fn fault_free_plan_runs_clean_everywhere() {
     }
 }
 
+/// The pinned cluster corpus: hand-written plans that mix the
+/// `instance-loss` fault (a whole staging member killed mid-run) with
+/// the network fault classes, run against the three-member cluster
+/// backend. These stay out of `PINNED_SEEDS` × `Backend::ALL` so the
+/// original corpus keeps its exact seed→plan mapping; they are the
+/// cluster's own regression floor.
+#[test]
+fn pinned_cluster_plans_pass_every_oracle() {
+    const PLANS: &[(u64, &str)] = &[
+        // A bare member kill, early enough that shards are in flight.
+        (0xC1, "seed=0xc1,iloss=0:60"),
+        // Lossy, laggy network plus a mid-run member kill.
+        (0xC2, "seed=0xc2,drop=6,delay=12,delaymax=8,iloss=1:90"),
+        // A partition window healing right before a different member dies.
+        (0xC3, "seed=0xc3,part=30..70,iloss=2:150"),
+    ];
+    let mut reports = Vec::new();
+    for &(seed, spec) in PLANS {
+        let plan = FaultPlan::parse(spec).expect("pinned cluster spec");
+        let outcome = run_scenario(seed, &plan, Backend::Cluster);
+        if outcome.passed() {
+            continue;
+        }
+        let minimal = shrink::minimize(
+            &plan,
+            |candidate| !run_scenario(seed, candidate, Backend::Cluster).passed(),
+            SHRINK_BUDGET,
+        );
+        reports.push(shrink::report(seed, &outcome, &minimal));
+    }
+    assert!(
+        reports.is_empty(),
+        "cluster chaos failures:\n{}",
+        reports.join("\n")
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

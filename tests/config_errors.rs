@@ -60,6 +60,36 @@ fn endpoint_error_carries_the_offending_string_and_reason() {
 }
 
 #[test]
+fn empty_cluster_endpoint_list_is_rejected_before_the_run() {
+    let cfg = config(2).with_staging_cluster(Vec::<String>::new());
+    let err = run_pipeline(&mut sim(SEED), &cfg).expect_err("empty cluster must not run");
+    assert_eq!(err, ConfigError::EmptyCluster);
+    assert_eq!(
+        err.to_string(),
+        "cluster staging requires at least one member endpoint"
+    );
+}
+
+#[test]
+fn every_cluster_member_endpoint_is_validated_before_the_run() {
+    // One bad member endpoint anywhere in the list rejects the whole
+    // config, and the error names the offender, not the list.
+    for bad in ["", "not-a-scheme", "udp://127.0.0.1:7788"] {
+        let cfg =
+            config(2).with_staging_cluster(["inproc://ok-member", bad, "tcp://127.0.0.1:7788"]);
+        let err = run_pipeline(&mut sim(SEED), &cfg)
+            .expect_err(&format!("member endpoint `{bad}` must be rejected"));
+        match err {
+            ConfigError::InvalidEndpoint { endpoint, reason } => {
+                assert_eq!(endpoint, bad);
+                assert!(!reason.is_empty());
+            }
+            other => panic!("member `{bad}`: expected InvalidEndpoint, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn zero_step_config_runs_and_produces_nothing() {
     let mut cfg: PipelineConfig = config(2);
     cfg.steps = 0;
