@@ -64,8 +64,9 @@ pub enum StagingMode {
     /// In-process staging-bucket threads fed through the scheduler and
     /// the DART fabric (the default).
     Local,
-    /// A remote staging service (`"tcp://host:port"` or
-    /// `"inproc://name"`): intermediates are put into the addressed
+    /// A remote staging service (`"tcp://host:port"`, `"shm://name"`
+    /// for a same-node shared-memory link, or `"inproc://name"`):
+    /// intermediates are put into the addressed
     /// [`SpaceServer`](sitra_dataspaces::SpaceServer) (e.g. a
     /// `sitra-staged` process) and tasks are queued in its scheduler for
     /// external bucket workers ([`crate::remote::run_bucket_worker`]).

@@ -296,6 +296,87 @@ proptest! {
         let _ = decode_msg(Bytes::from(raw));
     }
 
+    /// The transport's frame decoder is total over arbitrary read
+    /// coalescing: however the byte stream is cut into chunks (single
+    /// bytes, whole-batch reads, anything between), the same frames
+    /// come out in the same order with the same bytes. This is the
+    /// invariant that lets the reader task feed whatever `read` hands
+    /// it — batched small frames or a spanning large one — through one
+    /// state machine.
+    #[test]
+    fn frame_decoder_is_chunking_invariant(
+        frames in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..10),
+        cuts in prop::collection::vec(1usize..64, 1..40),
+    ) {
+        use sitra_net::frame::{encode_header, FrameDecoder};
+
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_header(f.len()));
+            stream.extend_from_slice(f);
+        }
+        // Decode the whole stream in one feed...
+        let mut whole = Vec::new();
+        let mut dec = FrameDecoder::new();
+        dec.feed(Bytes::from(stream.clone()), &mut whole).unwrap();
+        // ...and again cut at arbitrary points, cycling `cuts`.
+        let mut split = Vec::new();
+        let mut dec2 = FrameDecoder::new();
+        let mut rest = Bytes::from(stream);
+        let mut i = 0;
+        while !rest.is_empty() {
+            let take = cuts[i % cuts.len()].min(rest.len());
+            i += 1;
+            let chunk = rest.split_to(take);
+            dec2.feed(chunk, &mut split).unwrap();
+        }
+        prop_assert!(dec2.is_at_boundary(), "stream ends on a frame boundary");
+        prop_assert_eq!(whole.len(), frames.len());
+        for ((w, s), f) in whole.iter().zip(&split).zip(&frames) {
+            prop_assert_eq!(w.as_slice(), f.as_slice());
+            prop_assert_eq!(s.as_slice(), f.as_slice());
+        }
+    }
+
+    /// Arbitrary byte soup through the frame decoder, in arbitrary
+    /// chunk splits, never panics and never allocates from a hostile
+    /// length prefix: a frame claiming more than the cap errors out
+    /// (and poisons the decoder) *before* any buffer is reserved.
+    #[test]
+    fn frame_decoder_never_panics_on_soup(
+        raw in prop::collection::vec(any::<u8>(), 0..512),
+        cuts in prop::collection::vec(1usize..32, 1..20),
+        spike in any::<bool>(),
+    ) {
+        use sitra_net::frame::FrameDecoder;
+
+        let mut raw = raw;
+        if spike && raw.len() >= 4 {
+            // A header claiming a ~4 GiB frame at the front.
+            raw[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut rest = Bytes::from(raw);
+        let mut i = 0;
+        let mut poisoned = false;
+        while !rest.is_empty() {
+            let take = cuts[i % cuts.len()].min(rest.len());
+            i += 1;
+            let chunk = rest.split_to(take);
+            match dec.feed(chunk, &mut out) {
+                Ok(()) => {}
+                Err(_) => { poisoned = true; break; }
+            }
+        }
+        if spike && !poisoned {
+            // The spiked header exceeds MAX_FRAME_LEN (1 GiB), so if we
+            // fed at least the full header the decoder must have
+            // rejected it.
+            prop_assert!(i == 0, "hostile length prefix went unrejected");
+        }
+    }
+
     /// Arbitrary byte soup never panics any decoder. Length-prefix
     /// positions are seeded with large values often enough that hostile
     /// allocation sizes are exercised (the decoders cap allocations by

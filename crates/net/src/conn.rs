@@ -1,15 +1,37 @@
-//! The connection handle: length-prefixed frames over either backend,
+//! The connection handle: length-prefixed frames over any backend,
 //! with per-connection traffic counters.
+//!
+//! This is a *blocking facade over asynchronous plumbing*. A TCP
+//! connection's socket lives with a reader task and a writer task on
+//! the shared transport runtime ([`crate::rt`]); `send` enqueues onto
+//! the writer's bounded queue and `recv` dequeues whole frames from
+//! the reader's — both ends of hybrid channels that work from plain
+//! threads and async tasks alike. The in-process backend stays a pair
+//! of channels, and the shared-memory backend a pair of SPSC rings;
+//! all three meet the same contract, so everything above `sitra-net`
+//! is transport-agnostic.
+//!
+//! Fault injection rides the same seam: the injector is consulted
+//! synchronously in `send` (keeping scheduled-fault decision streams
+//! deterministic), but `Delay`/`Reorder` are realized with *runtime
+//! timers*, not sender sleeps — a delayed frame parks in the outbound
+//! queue (or a timer task) while the sender carries on immediately.
 
 use crate::fault::{self, FaultAction};
+use crate::shm;
+use crate::tcp::{self, WriteItem};
 use crate::NetError;
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{
+    Receiver as CbReceiver, RecvTimeoutError as CbRecvTimeoutError, Sender as CbSender,
+};
 use parking_lot::Mutex;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tokio::sync::mpsc;
+use tokio::sync::mpsc::error::RecvTimeoutError as ChanRecvTimeoutError;
 
 /// Process-unique connection ids, assigned at construction. Fault
 /// injectors key their per-connection decision streams on this.
@@ -69,19 +91,65 @@ impl ObsCounters {
     }
 }
 
+/// One unit of work for an in-process outbound sequencer task.
+enum SeqItem {
+    /// Forward now (in queue order).
+    Now(Bytes),
+    /// Hold the queue until the deadline, then forward.
+    Held(Bytes, Instant),
+}
+
+/// Spawn the outbound sequencer for a channel-like backend: a runtime
+/// task that forwards frames in queue order, sleeping through holds.
+/// Exists only while a fault injector wants `Delay`/`Reorder` timing;
+/// fault-free connections never pay for it.
+fn spawn_sequencer<F>(forward: F) -> mpsc::UnboundedSender<SeqItem>
+where
+    F: Fn(Bytes) + Send + 'static,
+{
+    let (tx, mut rx) = mpsc::unbounded_channel();
+    crate::rt::handle().spawn(async move {
+        while let Some(item) = rx.recv().await {
+            match item {
+                SeqItem::Now(b) => forward(b),
+                SeqItem::Held(b, deadline) => {
+                    tokio::time::sleep_until(deadline).await;
+                    forward(b);
+                }
+            }
+        }
+    });
+    tx
+}
+
 enum Inner {
     InProc {
         // `Option` so close() can drop the halves, which is how the
         // peer observes the hangup.
-        tx: Mutex<Option<Sender<Bytes>>>,
-        rx: Mutex<Option<Receiver<Bytes>>>,
+        tx: Mutex<Option<CbSender<Bytes>>>,
+        rx: Mutex<Option<CbReceiver<Bytes>>>,
+        /// Outbound sequencer, created by the first held send; once it
+        /// exists every delivery routes through it so held frames keep
+        /// their place in the order.
+        seq: Mutex<Option<mpsc::UnboundedSender<SeqItem>>>,
     },
     Tcp {
-        // Separate read/write halves (try_clone) so full-duplex use
-        // from two threads does not serialize.
-        reader: Mutex<TcpStream>,
-        writer: Mutex<TcpStream>,
+        outbound: mpsc::Sender<WriteItem>,
+        inbound: Mutex<mpsc::Receiver<Result<Bytes, NetError>>>,
+        /// Direct handle for close() when the writer queue is wedged.
+        stream: Arc<tokio::net::TcpStream>,
+        /// Shared with the writer task: cancels parked holds on close.
+        writer_closed: Arc<AtomicBool>,
         peer: SocketAddr,
+    },
+    Shm {
+        /// Both ring halves; `close()` severs them lock-free, so it
+        /// lands even mid-send/mid-recv.
+        io: Arc<shm::ShmConn>,
+        /// Outbound sequencer for fault `Delay`/`Reorder` timing, same
+        /// lifecycle as the in-process one.
+        seq: Mutex<Option<mpsc::UnboundedSender<SeqItem>>>,
+        peer: String,
     },
 }
 
@@ -92,6 +160,8 @@ pub struct Connection {
     inner: Inner,
     counters: Counters,
     obs: ObsCounters,
+    /// Local close() latch: operations after close fail fast.
+    closed: AtomicBool,
 }
 
 impl Connection {
@@ -104,28 +174,47 @@ impl Connection {
             inner: Inner::InProc {
                 tx: Mutex::new(Some(tx)),
                 rx: Mutex::new(Some(rx)),
+                seq: Mutex::new(None),
             },
             counters: Counters::default(),
             obs: ObsCounters::resolve("inproc"),
+            closed: AtomicBool::new(false),
         };
         (mk(a2b_tx, b2a_rx), mk(b2a_tx, a2b_rx))
     }
 
-    pub(crate) fn from_tcp(stream: TcpStream) -> Result<Connection, NetError> {
-        stream.set_nodelay(true).ok();
+    pub(crate) fn from_tcp(stream: std::net::TcpStream) -> Result<Connection, NetError> {
         let peer = stream.peer_addr()?;
-        let reader = stream.try_clone()?;
+        let parts = tcp::spawn_io(stream)?;
         Ok(Connection {
             id: NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed),
             peer_label: peer.to_string(),
             inner: Inner::Tcp {
-                reader: Mutex::new(reader),
-                writer: Mutex::new(stream),
+                outbound: parts.outbound,
+                inbound: Mutex::new(parts.inbound),
+                stream: parts.stream,
+                writer_closed: parts.closed,
                 peer,
             },
             counters: Counters::default(),
             obs: ObsCounters::resolve(&peer.to_string()),
+            closed: AtomicBool::new(false),
         })
+    }
+
+    pub(crate) fn from_shm(io: shm::ShmConn, peer: String) -> Connection {
+        Connection {
+            id: NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed),
+            peer_label: peer.clone(),
+            obs: ObsCounters::resolve(&peer),
+            inner: Inner::Shm {
+                io: Arc::new(io),
+                seq: Mutex::new(None),
+                peer,
+            },
+            counters: Counters::default(),
+            closed: AtomicBool::new(false),
+        }
     }
 
     /// This connection's process-unique id (stable for its lifetime;
@@ -141,46 +230,142 @@ impl Connection {
         if payload.len() > MAX_FRAME_LEN {
             return Err(NetError::FrameTooLarge(payload.len()));
         }
+        if self.closed.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
         match fault::frame_action(self.id, &self.peer_label, payload.len()) {
-            FaultAction::Deliver => {}
+            FaultAction::Deliver => self.enqueue(payload, None),
             FaultAction::Drop => {
                 // Loss on a reliable transport: the frame vanishes and
                 // the link dies with it (see fault module docs). The
                 // sender believes the send succeeded.
                 self.close();
-                return Ok(());
+                Ok(())
             }
-            FaultAction::Delay(d) | FaultAction::Reorder(d) => std::thread::sleep(d),
-            FaultAction::Duplicate => self.send_raw(&payload)?,
+            FaultAction::Delay(d) => self.enqueue(payload, Some(Instant::now() + d)),
+            FaultAction::Reorder(d) => self.enqueue_reordered(payload, d),
+            FaultAction::Duplicate => {
+                self.enqueue(payload.clone(), None)?;
+                self.enqueue(payload, None)
+            }
             FaultAction::Cut => {
                 self.close();
-                return Err(NetError::Closed);
+                Err(NetError::Closed)
             }
         }
-        self.send_raw(&payload)
     }
 
-    fn send_raw(&self, payload: &Bytes) -> Result<(), NetError> {
+    /// Queue one frame for delivery, optionally held until a deadline
+    /// (fault `Delay`: the queue stalls behind it, the sender does not).
+    fn enqueue(&self, payload: Bytes, hold_until: Option<Instant>) -> Result<(), NetError> {
+        let len = payload.len();
         match &self.inner {
-            Inner::InProc { tx, .. } => {
+            Inner::InProc { tx, seq, .. } => {
                 let guard = tx.lock();
                 let sender = guard.as_ref().ok_or(NetError::Closed)?;
-                sender.send(payload.clone()).map_err(|_| NetError::Closed)?;
+                let mut seq_guard = seq.lock();
+                if hold_until.is_some() && seq_guard.is_none() {
+                    let fwd = sender.clone();
+                    *seq_guard = Some(spawn_sequencer(move |b| {
+                        let _ = fwd.send(b);
+                    }));
+                }
+                match (&*seq_guard, hold_until) {
+                    (Some(s), Some(deadline)) => s
+                        .send(SeqItem::Held(payload, deadline))
+                        .map_err(|_| NetError::Closed)?,
+                    (Some(s), None) => s
+                        .send(SeqItem::Now(payload))
+                        .map_err(|_| NetError::Closed)?,
+                    // Fault-free fast path: straight into the channel.
+                    (None, _) => sender.send(payload).map_err(|_| NetError::Closed)?,
+                }
             }
-            Inner::Tcp { writer, .. } => {
-                let mut w = writer.lock();
-                let header = (payload.len() as u32).to_le_bytes();
-                w.write_all(&header)?;
-                w.write_all(payload)?;
-                w.flush()?;
+            Inner::Tcp { outbound, .. } => {
+                let item = match hold_until {
+                    Some(deadline) => WriteItem::Held(payload, deadline),
+                    None => WriteItem::Frame(payload),
+                };
+                outbound.blocking_send(item).map_err(|_| NetError::Closed)?;
+            }
+            Inner::Shm { io, seq, .. } => {
+                let mut seq_guard = seq.lock();
+                if hold_until.is_some() && seq_guard.is_none() {
+                    let fwd = Arc::clone(io);
+                    *seq_guard = Some(spawn_sequencer(move |b: Bytes| {
+                        let _ = fwd.producer.lock().send(&b);
+                    }));
+                }
+                match (&*seq_guard, hold_until) {
+                    (Some(s), Some(deadline)) => s
+                        .send(SeqItem::Held(payload, deadline))
+                        .map_err(|_| NetError::Closed)?,
+                    (Some(s), None) => s
+                        .send(SeqItem::Now(payload))
+                        .map_err(|_| NetError::Closed)?,
+                    // Fault-free fast path: straight into the ring.
+                    (None, _) => io.producer.lock().send(&payload)?,
+                }
             }
         }
         self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.counters
             .bytes_sent
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            .fetch_add(len as u64, Ordering::Relaxed);
         self.obs.frames_sent.inc();
-        self.obs.bytes_sent.add(payload.len() as u64);
+        self.obs.bytes_sent.add(len as u64);
+        Ok(())
+    }
+
+    /// Fault `Reorder`: park the frame on a runtime timer and return
+    /// immediately; frames sent in the meantime overtake it.
+    fn enqueue_reordered(&self, payload: Bytes, delay: Duration) -> Result<(), NetError> {
+        let len = payload.len();
+        match &self.inner {
+            Inner::InProc { tx, seq, .. } => {
+                let guard = tx.lock();
+                let sender = guard.as_ref().ok_or(NetError::Closed)?;
+                let mut seq_guard = seq.lock();
+                if seq_guard.is_none() {
+                    let fwd = sender.clone();
+                    *seq_guard = Some(spawn_sequencer(move |b| {
+                        let _ = fwd.send(b);
+                    }));
+                }
+                let seq_tx = seq_guard.as_ref().expect("sequencer just created").clone();
+                crate::rt::handle().spawn(async move {
+                    tokio::time::sleep(delay).await;
+                    let _ = seq_tx.send(SeqItem::Now(payload));
+                });
+            }
+            Inner::Tcp { outbound, .. } => {
+                let out = outbound.clone();
+                crate::rt::handle().spawn(async move {
+                    tokio::time::sleep(delay).await;
+                    let _ = out.send(WriteItem::Frame(payload)).await;
+                });
+            }
+            Inner::Shm { io, seq, .. } => {
+                let mut seq_guard = seq.lock();
+                if seq_guard.is_none() {
+                    let fwd = Arc::clone(io);
+                    *seq_guard = Some(spawn_sequencer(move |b: Bytes| {
+                        let _ = fwd.producer.lock().send(&b);
+                    }));
+                }
+                let seq_tx = seq_guard.as_ref().expect("sequencer just created").clone();
+                crate::rt::handle().spawn(async move {
+                    tokio::time::sleep(delay).await;
+                    let _ = seq_tx.send(SeqItem::Now(payload));
+                });
+            }
+        }
+        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_sent
+            .fetch_add(len as u64, Ordering::Relaxed);
+        self.obs.frames_sent.inc();
+        self.obs.bytes_sent.add(len as u64);
         Ok(())
     }
 
@@ -193,10 +378,20 @@ impl Connection {
                 let receiver = guard.as_ref().ok_or(NetError::Closed)?;
                 receiver.recv().map_err(|_| NetError::Closed)?
             }
-            Inner::Tcp { reader, .. } => {
-                let mut r = reader.lock();
-                read_frame(&mut r).inspect_err(|e| self.obs_classify(e))?
+            Inner::Tcp { inbound, .. } => {
+                let mut rx = inbound.lock();
+                match rx.blocking_recv() {
+                    Some(Ok(b)) => b,
+                    Some(Err(e)) => {
+                        self.obs_classify(&e);
+                        return Err(e);
+                    }
+                    None => return Err(NetError::Closed),
+                }
             }
+            Inner::Shm { io, .. } => io.consumer.lock().recv(None).inspect_err(|e| {
+                self.obs_classify(e);
+            })?,
         };
         self.counters.frames_recv.fetch_add(1, Ordering::Relaxed);
         self.counters
@@ -219,8 +414,9 @@ impl Connection {
     }
 
     /// Receive the next frame, giving up after `timeout`. The timeout
-    /// applies to the *start* of a frame; once its header is seen the
-    /// remainder is read to completion.
+    /// applies to the *start* of a frame; the reader task assembles
+    /// partial frames off to the side, so a timeout here never leaves
+    /// the stream desynchronized mid-frame.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, NetError> {
         let payload = self
             .recv_timeout_inner(timeout)
@@ -235,68 +431,62 @@ impl Connection {
     }
 
     fn recv_timeout_inner(&self, timeout: Duration) -> Result<Bytes, NetError> {
-        let payload = match &self.inner {
+        match &self.inner {
             Inner::InProc { rx, .. } => {
                 let guard = rx.lock();
                 let receiver = guard.as_ref().ok_or(NetError::Closed)?;
                 receiver.recv_timeout(timeout).map_err(|e| match e {
-                    RecvTimeoutError::Timeout => NetError::Timeout,
-                    RecvTimeoutError::Disconnected => NetError::Closed,
-                })?
+                    CbRecvTimeoutError::Timeout => NetError::Timeout,
+                    CbRecvTimeoutError::Disconnected => NetError::Closed,
+                })
             }
-            Inner::Tcp { reader, .. } => {
-                let mut r = reader.lock();
-                // Peek until a whole header is buffered so a timeout
-                // never leaves the stream desynchronized mid-frame.
-                let deadline = Instant::now() + timeout;
-                let mut probe = [0u8; 4];
-                loop {
-                    let left = deadline.saturating_duration_since(Instant::now());
-                    if left.is_zero() {
-                        return Err(NetError::Timeout);
-                    }
-                    r.set_read_timeout(Some(left)).ok();
-                    match r.peek(&mut probe) {
-                        Ok(0) => {
-                            r.set_read_timeout(None).ok();
-                            return Err(NetError::Closed);
-                        }
-                        Ok(n) if n >= 4 => break,
-                        // Header partially arrived; let the rest land.
-                        Ok(_) => std::thread::sleep(Duration::from_micros(200)),
-                        Err(e)
-                            if matches!(
-                                e.kind(),
-                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                            ) =>
-                        {
-                            r.set_read_timeout(None).ok();
-                            return Err(NetError::Timeout);
-                        }
-                        Err(e) => {
-                            r.set_read_timeout(None).ok();
-                            return Err(e.into());
-                        }
-                    }
+            Inner::Tcp { inbound, .. } => {
+                let mut rx = inbound.lock();
+                match rx.blocking_recv_timeout(timeout) {
+                    Ok(Ok(b)) => Ok(b),
+                    Ok(Err(e)) => Err(e),
+                    Err(ChanRecvTimeoutError::Timeout) => Err(NetError::Timeout),
+                    Err(ChanRecvTimeoutError::Disconnected) => Err(NetError::Closed),
                 }
-                r.set_read_timeout(None).ok();
-                read_frame(&mut r)?
             }
-        };
-        Ok(payload)
+            Inner::Shm { io, .. } => io.consumer.lock().recv(Some(timeout)),
+        }
     }
 
-    /// Close the connection. The peer's pending and future receives
-    /// fail with [`NetError::Closed`]; local operations do too.
+    /// Close the connection. Frames already queued are flushed first
+    /// (`Close` travels the writer queue behind them); parked holds are
+    /// cancelled. The peer's pending and future receives fail with
+    /// [`NetError::Closed`]; local operations do too.
     pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
         match &self.inner {
-            Inner::InProc { tx, rx } => {
+            Inner::InProc { tx, rx, seq } => {
+                // Dropping the sequencer sender lets its task drain the
+                // queued frames, then release its channel clone — the
+                // same flush-then-close the TCP writer provides.
+                seq.lock().take();
                 tx.lock().take();
                 rx.lock().take();
             }
-            Inner::Tcp { writer, .. } => {
-                let w = writer.lock();
-                w.shutdown(std::net::Shutdown::Both).ok();
+            Inner::Tcp {
+                outbound,
+                stream,
+                writer_closed,
+                ..
+            } => {
+                writer_closed.store(true, Ordering::Release);
+                if outbound.try_send(WriteItem::Close).is_err() {
+                    // Writer queue full (wedged peer) or writer gone:
+                    // close the socket out from under it.
+                    let _ = stream.shutdown_std(std::net::Shutdown::Both);
+                }
+            }
+            Inner::Shm { io, seq, .. } => {
+                // Everything sent is already in the ring, so severing
+                // the channels *is* flush-then-close; parked holds on
+                // the sequencer die with it.
+                seq.lock().take();
+                io.close();
             }
         }
     }
@@ -316,20 +506,22 @@ impl Connection {
         match &self.inner {
             Inner::InProc { .. } => "inproc".to_string(),
             Inner::Tcp { peer, .. } => peer.to_string(),
+            Inner::Shm { peer, .. } => peer.clone(),
         }
     }
 }
 
-fn read_frame(r: &mut TcpStream) -> Result<Bytes, NetError> {
-    let mut header = [0u8; 4];
-    r.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(NetError::FrameTooLarge(len));
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.close();
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Bytes::from(payload))
+}
+
+pub(crate) fn shm_connect(name: &str) -> Result<Connection, NetError> {
+    // The fault-injection partition check happens inside the
+    // rendezvous (it needs the label anyway).
+    let io = shm::shm_connect(name)?;
+    Ok(Connection::from_shm(io, format!("shm://{name}")))
 }
 
 pub(crate) fn tcp_connect(sa: SocketAddr) -> Result<Connection, NetError> {
@@ -337,7 +529,7 @@ pub(crate) fn tcp_connect(sa: SocketAddr) -> Result<Connection, NetError> {
     if !fault::connect_allowed(&format!("tcp://{sa}")) {
         return Err(NetError::Refused(sa.to_string()));
     }
-    match TcpStream::connect(sa) {
+    match std::net::TcpStream::connect(sa) {
         Ok(s) => Connection::from_tcp(s),
         Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
             Err(NetError::Refused(sa.to_string()))
@@ -349,6 +541,7 @@ pub(crate) fn tcp_connect(sa: SocketAddr) -> Result<Connection, NetError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
     use std::sync::Arc as StdArc;
 
     #[test]
@@ -416,7 +609,11 @@ mod tests {
             let c = Connection::from_tcp(s).unwrap();
             let m = c.recv().unwrap();
             c.send(m).unwrap();
-            c.stats()
+            let stats = c.stats();
+            // Flush before the connection drops: wait for the peer to
+            // hang up after reading our echo.
+            let _ = c.recv();
+            stats
         });
         let c = tcp_connect(sa).unwrap();
         // Larger than any socket buffer so the write exercises partial
@@ -424,6 +621,7 @@ mod tests {
         let big = Bytes::from((0..1_000_000u32).map(|i| i as u8).collect::<Vec<_>>());
         c.send(big.clone()).unwrap();
         assert_eq!(c.recv().unwrap(), big);
+        c.close();
         let stats = server.join().unwrap();
         assert_eq!(stats.bytes_recv, 1_000_000);
         assert_eq!(stats.frames_sent, 1);
@@ -474,5 +672,32 @@ mod tests {
             Bytes::from_static(b"delayed")
         );
         server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_send_then_close_still_delivers() {
+        // The close travels the writer queue behind queued frames, so
+        // nothing sent before close() is lost.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let sa = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let c = Connection::from_tcp(s).unwrap();
+            let mut got = Vec::new();
+            while let Ok(m) = c.recv() {
+                got.push(m);
+            }
+            got
+        });
+        let c = tcp_connect(sa).unwrap();
+        for i in 0..64u8 {
+            c.send(Bytes::from(vec![i; 100])).unwrap();
+        }
+        c.close();
+        let got = server.join().unwrap();
+        assert_eq!(got.len(), 64);
+        for (i, m) in got.iter().enumerate() {
+            assert_eq!(m.as_slice(), &vec![i as u8; 100][..]);
+        }
     }
 }

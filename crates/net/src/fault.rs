@@ -17,10 +17,14 @@
 //!   peer forever; severing the link turns the loss into
 //!   [`NetError::Closed`](crate::NetError::Closed) on the next
 //!   operation, which callers already treat as retryable.
-//! * [`FaultAction::Delay`] / [`FaultAction::Reorder`] — the sender
-//!   sleeps before writing (no lock held), so concurrent senders on the
-//!   same or sibling connections can overtake: adversarial scheduling
-//!   jitter that reorders traffic wherever concurrency exists.
+//! * [`FaultAction::Delay`] / [`FaultAction::Reorder`] — realized with
+//!   *runtime timers* at the frame boundary, never a sender sleep: the
+//!   send returns immediately in both cases. `Delay` parks the frame
+//!   in the outbound queue holding the line, so traffic behind it on
+//!   the same connection stalls in order (link latency). `Reorder`
+//!   parks the frame on a timer off to the side, so frames sent after
+//!   it overtake (packet-level reordering). Sibling connections are
+//!   never stalled by either.
 //! * [`FaultAction::Duplicate`] — the frame is written twice; a framed
 //!   RPC peer sees a stale extra frame and must fail cleanly (protocol
 //!   error → degraded task), never hang or panic.
@@ -44,12 +48,14 @@ pub enum FaultAction {
     /// Discard the frame and sever the connection (see module docs for
     /// why loss implies severing on a reliable transport).
     Drop,
-    /// Sleep this long, then deliver.
+    /// Hold the outbound queue this long, then deliver; later frames
+    /// on this connection wait in order behind the hold. The sender
+    /// returns immediately.
     Delay(Duration),
     /// Deliver the frame twice.
     Duplicate,
-    /// Sleep this long before delivering, letting concurrent traffic
-    /// overtake (scheduling-level reorder).
+    /// Park the frame on a timer for this long while later frames
+    /// overtake it. The sender returns immediately.
     Reorder(Duration),
     /// Sever the connection; the send fails with `Closed`.
     Cut,
@@ -203,6 +209,45 @@ mod tests {
         a.send(Bytes::from_static(b"jitter")).unwrap();
         assert_eq!(b.recv().unwrap(), Bytes::from_static(b"slow"));
         assert_eq!(b.recv().unwrap(), Bytes::from_static(b"jitter"));
+        install_fault_injector(prev);
+    }
+
+    #[test]
+    fn delay_is_asynchronous() {
+        let _g = LOCK.lock();
+        let (a, b) = Connection::inproc_pair();
+        let prev = with_script(a.id(), vec![FaultAction::Delay(Duration::from_millis(150))]);
+        // The frame is held by a runtime timer, not a sender sleep:
+        // send() must return long before the 150ms hold elapses.
+        let t0 = std::time::Instant::now();
+        a.send(Bytes::from_static(b"held")).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "send blocked for {:?}; Delay must not stall the sender",
+            t0.elapsed()
+        );
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"held"));
+        assert!(t0.elapsed() >= Duration::from_millis(140));
+        install_fault_injector(prev);
+    }
+
+    #[test]
+    fn reorder_lets_later_frames_overtake() {
+        let _g = LOCK.lock();
+        let (a, b) = Connection::inproc_pair();
+        let prev = with_script(
+            a.id(),
+            vec![
+                FaultAction::Reorder(Duration::from_millis(80)),
+                FaultAction::Deliver,
+            ],
+        );
+        a.send(Bytes::from_static(b"late")).unwrap();
+        a.send(Bytes::from_static(b"first")).unwrap();
+        // The reordered frame parks off to the side; the frame sent
+        // after it arrives first.
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"first"));
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"late"));
         install_fault_injector(prev);
     }
 

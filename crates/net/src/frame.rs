@@ -1,0 +1,252 @@
+//! The wire framing, factored out of the socket loop so it is a pure,
+//! fuzzable state machine: 4-byte little-endian length prefix, then
+//! the payload, with frames arriving in arbitrarily batched or
+//! coalesced reads.
+//!
+//! The decoder is **zero-copy for coalesced frames**: a frame lying
+//! entirely inside one fed chunk is sliced out of it (sharing the
+//! chunk's allocation), never copied. A frame spanning chunks is
+//! assembled into an exact-size buffer — one copy, no reallocation —
+//! and a hostile length prefix is rejected *before* any allocation.
+
+use crate::{NetError, MAX_FRAME_LEN};
+use bytes::Bytes;
+
+/// Length-prefix size in bytes.
+pub const HEADER_LEN: usize = 4;
+
+/// Encode the length prefix for a payload of `len` bytes.
+///
+/// # Panics
+/// Panics when `len` exceeds [`MAX_FRAME_LEN`] — callers validate
+/// before framing.
+pub fn encode_header(len: usize) -> [u8; HEADER_LEN] {
+    assert!(len <= MAX_FRAME_LEN, "frame of {len} bytes exceeds cap");
+    (len as u32).to_le_bytes()
+}
+
+/// A frame mid-assembly: spans chunk boundaries, so it gets its own
+/// exact-size buffer.
+struct Partial {
+    buf: Vec<u8>,
+    /// Total payload length (== final `buf.len()`).
+    want: usize,
+    /// Bytes of `buf`'s allocation known to be initialized; lets
+    /// [`FrameDecoder::pending_space`] zero the tail exactly once.
+    init: usize,
+}
+
+/// Incremental frame decoder. Feed it reads as they arrive; it yields
+/// complete frames in order and fails exactly once on a corrupt
+/// length prefix (after which the stream is desynchronized and the
+/// decoder refuses further input).
+#[derive(Default)]
+pub struct FrameDecoder {
+    /// Partially received header bytes (< 4).
+    header: [u8; HEADER_LEN],
+    header_len: usize,
+    partial: Option<Partial>,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder at a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Feed one read's worth of bytes; complete frames are appended to
+    /// `out`. Frames fully contained in `chunk` share its allocation.
+    pub fn feed(&mut self, chunk: Bytes, out: &mut Vec<Bytes>) -> Result<(), NetError> {
+        if self.poisoned {
+            return Err(NetError::FrameTooLarge(0));
+        }
+        let mut cursor = chunk;
+        while !cursor.is_empty() {
+            // Continue an in-flight spanning frame first.
+            if let Some(partial) = &mut self.partial {
+                let take = (partial.want - partial.buf.len()).min(cursor.len());
+                partial.buf.extend_from_slice(&cursor.as_slice()[..take]);
+                partial.init = partial.init.max(partial.buf.len());
+                cursor.advance_by(take);
+                if partial.buf.len() == partial.want {
+                    let done = self.partial.take().expect("partial present");
+                    out.push(Bytes::from(done.buf));
+                }
+                continue;
+            }
+            // Assemble the 4-byte header (it too can split across reads).
+            if self.header_len < HEADER_LEN {
+                let take = (HEADER_LEN - self.header_len).min(cursor.len());
+                self.header[self.header_len..self.header_len + take]
+                    .copy_from_slice(&cursor.as_slice()[..take]);
+                self.header_len += take;
+                cursor.advance_by(take);
+                if self.header_len < HEADER_LEN {
+                    return Ok(());
+                }
+            }
+            let len = u32::from_le_bytes(self.header) as usize;
+            if len > MAX_FRAME_LEN {
+                // Reject before allocating; the stream is now desynced
+                // for good.
+                self.poisoned = true;
+                return Err(NetError::FrameTooLarge(len));
+            }
+            self.header_len = 0;
+            if cursor.len() >= len {
+                // Whole payload already here: zero-copy slice.
+                out.push(cursor.slice(0..len));
+                cursor.advance_by(len);
+            } else {
+                // Spans reads: exact-size assembly buffer.
+                let mut buf = Vec::with_capacity(len);
+                buf.extend_from_slice(cursor.as_slice());
+                cursor.advance_by(cursor.len());
+                let init = buf.len();
+                self.partial = Some(Partial {
+                    buf,
+                    want: len,
+                    init,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Direct-fill window for a large spanning frame: the unfilled tail
+    /// of the assembly buffer, so a reader can `read(2)` straight into
+    /// it and skip the scratch-buffer copy. `None` when no spanning
+    /// frame is in flight (or it is nearly done).
+    pub fn pending_space(&mut self) -> Option<&mut [u8]> {
+        const DIRECT_MIN: usize = 4096;
+        let partial = self.partial.as_mut()?;
+        let filled = partial.buf.len();
+        if partial.want - filled < DIRECT_MIN {
+            return None;
+        }
+        // Zero the uninitialized tail exactly once so the spare region
+        // can be handed out as `&mut [u8]`.
+        if partial.init < partial.want {
+            partial.buf.resize(partial.want, 0);
+            partial.buf.truncate(filled);
+            partial.init = partial.want;
+        }
+        let spare = partial.buf.spare_capacity_mut();
+        // Safety: every byte of the spare region was initialized above.
+        Some(unsafe { &mut *(spare as *mut [std::mem::MaybeUninit<u8>] as *mut [u8]) })
+    }
+
+    /// Record `n` bytes read directly into [`FrameDecoder::pending_space`];
+    /// pushes the frame once complete.
+    pub fn commit_direct(&mut self, n: usize, out: &mut Vec<Bytes>) {
+        let partial = self.partial.as_mut().expect("no pending frame");
+        let filled = partial.buf.len();
+        assert!(filled + n <= partial.want, "direct fill overruns frame");
+        // Safety: the bytes were just written by the caller (and the
+        // region was zero-initialized by `pending_space`).
+        unsafe { partial.buf.set_len(filled + n) };
+        if partial.buf.len() == partial.want {
+            let done = self.partial.take().expect("partial present");
+            out.push(Bytes::from(done.buf));
+        }
+    }
+
+    /// True at a clean frame boundary (no partial header or payload).
+    pub fn is_at_boundary(&self) -> bool {
+        !self.poisoned && self.header_len == 0 && self.partial.is_none()
+    }
+}
+
+/// Tiny extension: advance a `Bytes` cursor in place.
+trait AdvanceBy {
+    fn advance_by(&mut self, n: usize);
+}
+
+impl AdvanceBy for Bytes {
+    fn advance_by(&mut self, n: usize) {
+        let _ = self.split_to(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut v = encode_header(payload.len()).to_vec();
+        v.extend_from_slice(payload);
+        v
+    }
+
+    #[test]
+    fn coalesced_frames_decode_zero_copy() {
+        let mut wire = frame(b"alpha");
+        wire.extend_from_slice(&frame(b""));
+        wire.extend_from_slice(&frame(b"beta"));
+        let chunk = Bytes::from(wire);
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        dec.feed(chunk.clone(), &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], b"alpha"[..]);
+        assert_eq!(out[1], b""[..]);
+        assert_eq!(out[2], b"beta"[..]);
+        // Zero-copy: the first frame's bytes live inside the fed chunk.
+        assert_eq!(out[0].as_ptr(), chunk.as_slice()[HEADER_LEN..].as_ptr());
+        assert!(dec.is_at_boundary());
+    }
+
+    #[test]
+    fn byte_by_byte_arrival_decodes_identically() {
+        let mut wire = frame(b"drip-fed payload");
+        wire.extend_from_slice(&frame(&[7u8; 300]));
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in wire {
+            dec.feed(Bytes::from(vec![b]), &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], b"drip-fed payload"[..]);
+        assert_eq!(out[1], vec![7u8; 300]);
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected_before_allocating() {
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let err = dec.feed(Bytes::from(u32::MAX.to_le_bytes().to_vec()), &mut out);
+        assert!(matches!(err, Err(NetError::FrameTooLarge(_))));
+        assert!(out.is_empty());
+        // Poisoned: refuses further input rather than resyncing wrong.
+        assert!(dec.feed(Bytes::from_static(b"junk"), &mut out).is_err());
+    }
+
+    #[test]
+    fn direct_fill_path_assembles_large_frames() {
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let wire = frame(&payload);
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        // First read delivers the header + a sliver.
+        dec.feed(Bytes::from(wire[..HEADER_LEN + 100].to_vec()), &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+        let mut offset = HEADER_LEN + 100;
+        while out.is_empty() {
+            let space = dec.pending_space().expect("large frame pending");
+            let n = space.len().min(wire.len() - offset).min(8192);
+            space[..n].copy_from_slice(&wire[offset..offset + n]);
+            offset += n;
+            dec.commit_direct(n, &mut out);
+            if out.is_empty() && wire.len() - offset < 4096 {
+                // Tail smaller than the direct threshold: feed normally.
+                dec.feed(Bytes::from(wire[offset..].to_vec()), &mut out)
+                    .unwrap();
+                break;
+            }
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].as_slice(), payload.as_slice());
+    }
+}

@@ -6,28 +6,41 @@
 //! area can live in a different process (or machine) from the
 //! simulation.
 //!
-//! Two pluggable backends behind one [`Connection`] / [`Listener`] API:
+//! Three pluggable backends behind one [`Connection`] / [`Listener`]
+//! API:
 //!
 //! * **`inproc://name`** — crossbeam channels through a process-global
 //!   registry. Deterministic, zero-syscall; what unit tests use.
-//! * **`tcp://host:port`** — `std::net` sockets with length-prefixed
-//!   frames, one OS thread per accepted connection (no async runtime,
-//!   no external dependencies).
+//! * **`tcp://host:port`** — sockets driven by an async reactor: each
+//!   connection is a reader task plus a writer task on one shared
+//!   runtime, frames are [`bytes::Bytes`] end to end (zero-copy slices
+//!   out of coalesced reads), and bursts of small frames batch into
+//!   single vectored writes. The blocking [`Connection`] API is a thin
+//!   facade over those tasks.
+//! * **`shm://name`** — shared-memory FIFOs through `/dev/shm`, the
+//!   same-node fast path (the stand-in for the paper's DART RDMA
+//!   transport): a descriptor ring plus a block-store arena per
+//!   direction, synchronized with futexes, no sockets at all.
 //!
 //! Every connection carries [`ConnStats`] counters (frames/bytes in
 //! each direction), and [`connect_retry`] layers bounded
-//! exponential-backoff reconnection over either backend — the
+//! exponential-backoff reconnection over any backend — the
 //! mechanism remote staging clients use to survive a dropped
 //! connection without losing tasks (the server side requeues any task
 //! whose hand-off was never acknowledged).
 
 mod conn;
 pub mod fault;
+pub mod frame;
 mod listener;
+pub mod rt;
+mod shm;
+mod tcp;
 
 pub use conn::{ConnStats, Connection, MAX_FRAME_LEN};
 pub use fault::{install_fault_injector, FaultAction, FaultInjector};
 pub use listener::{serve, Listener, ServerHandle};
+pub use tcp::AsyncConnection;
 
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -98,6 +111,8 @@ pub enum Addr {
     InProc(String),
     /// TCP socket address.
     Tcp(SocketAddr),
+    /// Shared-memory endpoint named in `/dev/shm` (same-node only).
+    Shm(String),
 }
 
 impl std::fmt::Display for Addr {
@@ -105,6 +120,7 @@ impl std::fmt::Display for Addr {
         match self {
             Addr::InProc(name) => write!(f, "inproc://{name}"),
             Addr::Tcp(sa) => write!(f, "tcp://{sa}"),
+            Addr::Shm(name) => write!(f, "shm://{name}"),
         }
     }
 }
@@ -124,6 +140,12 @@ impl std::str::FromStr for Addr {
                 .parse::<SocketAddr>()
                 .map(Addr::Tcp)
                 .map_err(|_| NetError::BadAddr(s.to_string()));
+        }
+        if let Some(name) = s.strip_prefix("shm://") {
+            if name.is_empty() {
+                return Err(NetError::BadAddr(s.to_string()));
+            }
+            return Ok(Addr::Shm(name.to_string()));
         }
         Err(NetError::BadAddr(s.to_string()))
     }
@@ -155,6 +177,7 @@ pub fn connect(addr: &Addr) -> Result<Connection, NetError> {
     match addr {
         Addr::InProc(name) => listener::inproc_connect(name),
         Addr::Tcp(sa) => conn::tcp_connect(*sa),
+        Addr::Shm(name) => conn::shm_connect(name),
     }
 }
 
@@ -204,6 +227,10 @@ mod tests {
         assert_eq!(a.to_string(), "inproc://stage-0");
         let t: Addr = "tcp://127.0.0.1:9000".parse().unwrap();
         assert_eq!(t.to_string(), "tcp://127.0.0.1:9000");
+        let s: Addr = "shm://stage-0".parse().unwrap();
+        assert_eq!(s, Addr::Shm("stage-0".into()));
+        assert_eq!(s.to_string(), "shm://stage-0");
+        assert!("shm://".parse::<Addr>().is_err());
         assert!("inproc://".parse::<Addr>().is_err());
         assert!("udp://x".parse::<Addr>().is_err());
         assert!("tcp://nonsense".parse::<Addr>().is_err());

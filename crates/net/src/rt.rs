@@ -1,0 +1,56 @@
+//! The shared transport reactor: one lazily started multi-threaded
+//! runtime that every connection's reader and writer task lives on.
+//!
+//! A process gets exactly one of these regardless of how many
+//! connections, listeners, or servers it opens — connections are
+//! tasks, not threads, which is what lets a single staging server
+//! carry tens of thousands of concurrent links.
+
+use std::future::Future;
+use std::sync::OnceLock;
+use tokio::runtime::{Builder, Handle, Runtime};
+use tokio::task::JoinHandle;
+
+static RT: OnceLock<Runtime> = OnceLock::new();
+
+/// Handle to the shared transport runtime, starting it on first use.
+/// The runtime lives for the rest of the process; its worker threads
+/// are named `sitra-net-rt-*`.
+pub(crate) fn handle() -> Handle {
+    RT.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, 4);
+        Builder::new_multi_thread()
+            .worker_threads(workers)
+            .thread_name("sitra-net-rt")
+            .enable_all()
+            .build()
+            .expect("sitra-net: failed to start transport runtime")
+    })
+    .handle()
+}
+
+/// Deadline combinator re-exported for reactor clients, so driving an
+/// [`AsyncConnection`](crate::AsyncConnection) with timeouts does not
+/// require a direct dependency on the runtime crate.
+pub use tokio::time::{timeout, Elapsed};
+
+/// Run a future to completion on the shared transport runtime. This is
+/// the entry point for binaries (load generators, soak harnesses) that
+/// drive many [`AsyncConnection`](crate::AsyncConnection)s directly
+/// instead of going through the blocking facade: their futures run on
+/// the same reactor the connection I/O tasks live on.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    handle().block_on(future)
+}
+
+/// Spawn a task onto the shared transport runtime.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    handle().spawn(future)
+}

@@ -1,0 +1,192 @@
+//! Pure index arithmetic for the shared-memory SPSC rings — the part
+//! of the FIFO most worth proving, separated from the unsafe mapped
+//! memory it steers so it can be tested exhaustively in isolation
+//! (the loom-style interleaving coverage lives in `mod.rs`'s
+//! two-thread stress tests over a heap-backed segment).
+//!
+//! Both rings use *monotonic* u64 producer/consumer counters: a slot
+//! index is `counter % capacity` (capacity a power of two), occupancy
+//! is `head - tail`, and nothing is ever reset — which removes the
+//! classic full-vs-empty ambiguity and every wraparound special case
+//! except the (theoretical) u64 overflow, handled by wrapping
+//! subtraction.
+
+/// Geometry of a power-of-two slot ring driven by monotonic counters.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Ring {
+    /// Slot count; must be a power of two.
+    pub slots: u64,
+}
+
+impl Ring {
+    pub(crate) fn new(slots: u64) -> Ring {
+        assert!(slots.is_power_of_two(), "ring size must be a power of two");
+        Ring { slots }
+    }
+
+    /// The slot a monotonic sequence number lands in.
+    pub(crate) fn slot(&self, seq: u64) -> usize {
+        (seq & (self.slots - 1)) as usize
+    }
+
+    /// Entries currently in flight.
+    pub(crate) fn occupied(&self, head: u64, tail: u64) -> u64 {
+        head.wrapping_sub(tail)
+    }
+
+    /// Whether a producer at `head` may claim another slot. (The
+    /// production path asks the multi-slot form of this question
+    /// directly: `occupied + descs <= slots`.)
+    #[cfg(test)]
+    pub(crate) fn has_space(&self, head: u64, tail: u64) -> bool {
+        self.occupied(head, tail) < self.slots
+    }
+}
+
+/// Geometry of a power-of-two byte arena carved by a monotonic cursor.
+/// Chunks must be contiguous in the arena; when one would straddle the
+/// wrap point, the producer emits a PAD descriptor covering the tail
+/// and the chunk starts at offset 0.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Arena {
+    /// Capacity in bytes; must be a power of two.
+    pub bytes: u64,
+}
+
+impl Arena {
+    pub(crate) fn new(bytes: u64) -> Arena {
+        assert!(bytes.is_power_of_two(), "arena size must be a power of two");
+        Arena { bytes }
+    }
+
+    /// Byte offset a monotonic cursor maps to.
+    pub(crate) fn offset(&self, cursor: u64) -> usize {
+        (cursor & (self.bytes - 1)) as usize
+    }
+
+    /// Padding the producer must emit before a `len`-byte chunk fits
+    /// contiguously at `cursor` (0 when it already does).
+    pub(crate) fn pad_before(&self, cursor: u64, len: u64) -> u64 {
+        debug_assert!(len <= self.bytes);
+        let off = cursor & (self.bytes - 1);
+        if off + len <= self.bytes {
+            0
+        } else {
+            self.bytes - off
+        }
+    }
+
+    /// Whether `need` more bytes fit given producer cursor `head` and
+    /// consumer cursor `tail`.
+    pub(crate) fn fits(&self, head: u64, tail: u64, need: u64) -> bool {
+        head.wrapping_sub(tail) + need <= self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_slots_wrap_and_occupancy_tracks() {
+        let r = Ring::new(8);
+        assert_eq!(r.slot(0), 0);
+        assert_eq!(r.slot(7), 7);
+        assert_eq!(r.slot(8), 0);
+        assert_eq!(r.slot(8 * 1000 + 3), 3);
+        assert_eq!(r.occupied(0, 0), 0);
+        assert_eq!(r.occupied(13, 6), 7);
+        assert!(r.has_space(13, 6));
+        assert!(!r.has_space(14, 6)); // exactly full
+    }
+
+    #[test]
+    fn ring_survives_u64_counter_overflow() {
+        // Counters never reach u64::MAX in practice; the math must not
+        // care anyway.
+        let r = Ring::new(16);
+        let tail = u64::MAX - 3;
+        let head = tail.wrapping_add(5);
+        assert_eq!(r.occupied(head, tail), 5);
+        assert!(r.has_space(head, tail));
+        assert!(!r.has_space(tail.wrapping_add(16), tail));
+    }
+
+    #[test]
+    fn arena_pad_rules() {
+        let a = Arena::new(1024);
+        // Fits flush against the end: no pad.
+        assert_eq!(a.pad_before(1024 - 100, 100), 0);
+        // One byte over: pad out the whole tail.
+        assert_eq!(a.pad_before(1024 - 100, 101), 100);
+        // At the wrap point exactly: offset 0, no pad.
+        assert_eq!(a.pad_before(2048, 512), 0);
+        // Zero-length chunk never needs a pad.
+        assert_eq!(a.pad_before(1023, 0), 0);
+        // Full-arena chunk at offset 0.
+        assert_eq!(a.pad_before(1024, 1024), 0);
+    }
+
+    #[test]
+    fn arena_space_accounting() {
+        let a = Arena::new(1024);
+        assert!(a.fits(0, 0, 1024));
+        assert!(!a.fits(1, 0, 1024));
+        assert!(a.fits(5000, 5000 - 1000, 24));
+        assert!(!a.fits(5000, 5000 - 1000, 25));
+        // Overflow-adjacent cursors.
+        let tail = u64::MAX - 10;
+        assert!(a.fits(tail.wrapping_add(100), tail, 924));
+        assert!(!a.fits(tail.wrapping_add(100), tail, 925));
+    }
+
+    #[test]
+    fn simulated_producer_consumer_never_overlaps() {
+        // Drive the exact allocation discipline the shm channel uses
+        // over a model arena, asserting a producer chunk never lands on
+        // bytes the consumer has not yet released.
+        let a = Arena::new(256);
+        let r = Ring::new(8);
+        let mut head = 0u64; // producer byte cursor
+        let mut tail = 0u64; // consumer byte cursor
+        let mut desc: std::collections::VecDeque<(u64, bool)> = Default::default();
+        let mut desc_head = 0u64;
+        let mut desc_tail = 0u64;
+        let mut rng = 0x9E3779B97F4A7C15u64;
+        for _ in 0..10_000 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let len = rng % 100;
+            // Produce when there is room, else consume.
+            let pad = a.pad_before(head, len);
+            let need = pad + len;
+            let descs_needed = 1 + u64::from(pad > 0);
+            if a.fits(head, tail, need)
+                && r.occupied(desc_head, desc_tail) + descs_needed <= r.slots
+            {
+                if pad > 0 {
+                    desc.push_back((pad, true));
+                    desc_head += 1;
+                    head += pad;
+                    assert_eq!(a.offset(head), 0, "pad must land on the wrap point");
+                }
+                let off = a.offset(head);
+                assert!(
+                    off as u64 + len <= a.bytes,
+                    "chunk straddles the wrap: off={off} len={len}"
+                );
+                desc.push_back((len, false));
+                desc_head += 1;
+                head += len;
+                assert!(a.fits(head, tail, 0), "producer overran the consumer");
+            } else {
+                // Consume one descriptor.
+                let (len, _is_pad) = desc.pop_front().expect("full ring implies pending descs");
+                tail += len;
+                desc_tail += 1;
+                assert!(tail <= head, "consumer overran the producer");
+            }
+        }
+    }
+}

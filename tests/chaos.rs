@@ -161,6 +161,42 @@ fn pinned_cluster_plans_pass_every_oracle() {
     );
 }
 
+/// Pinned timer-fault plans: `delay`/`reorder` rates well above what
+/// the seeded corpus generates, exercising the transport's async-timer
+/// fault realization (a delayed frame parks in the outbound queue or
+/// on a runtime timer — the sender never sleeps) end to end. Pinned
+/// separately so `PINNED_SEEDS` keeps its exact seed→plan mapping.
+#[test]
+fn pinned_timer_fault_plans_pass_every_oracle() {
+    const PLANS: &[(u64, &str)] = &[
+        // One frame in five held on a timer for up to 10ms.
+        (0xD1, "seed=0xd1,delay=200,delaymax=10"),
+        // Heavy reordering over moderate delay jitter.
+        (0xD2, "seed=0xd2,delay=60,delaymax=6,reorder=150"),
+    ];
+    let mut reports = Vec::new();
+    for &(seed, spec) in PLANS {
+        let plan = FaultPlan::parse(spec).expect("pinned timer spec");
+        for &backend in &Backend::ALL {
+            let outcome = run_scenario(seed, &plan, backend);
+            if outcome.passed() {
+                continue;
+            }
+            let minimal = shrink::minimize(
+                &plan,
+                |candidate| !run_scenario(seed, candidate, backend).passed(),
+                SHRINK_BUDGET,
+            );
+            reports.push(shrink::report(seed, &outcome, &minimal));
+        }
+    }
+    assert!(
+        reports.is_empty(),
+        "timer-fault plan failures:\n{}",
+        reports.join("\n")
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

@@ -1,8 +1,9 @@
 //! Remote staging end-to-end: the pipeline driver stages hybrid
-//! analyses through a [`SpaceServer`] over **real TCP loopback**, with
+//! analyses through a [`SpaceServer`] over **every transport scheme**
+//! (`inproc://`, real TCP loopback, and `shm://` shared memory), with
 //! separate bucket-worker threads pulling tasks exactly as external
 //! `sitra-staged` consumers would — and the outputs must be
-//! byte-identical to the fully in-process pipeline.
+//! byte-identical to the fully in-process pipeline on each.
 //!
 //! One worker is configured to drop its connection mid-request after
 //! its first completed task (a consumer crash at the worst moment: a
@@ -25,18 +26,37 @@ const WORKERS: usize = 3;
 
 #[test]
 fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
-    // Fresh metrics registry for this test (also serializes the two
-    // tests in this binary, which both read global observability
-    // state).
+    staging_matches_in_process_and_survives_a_drop("tcp://127.0.0.1:0");
+}
+
+#[test]
+fn shm_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
+    staging_matches_in_process_and_survives_a_drop(&format!(
+        "shm://remote-staging-{}",
+        std::process::id()
+    ));
+}
+
+#[test]
+fn inproc_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
+    staging_matches_in_process_and_survives_a_drop("inproc://remote-staging-drop-test");
+}
+
+/// The scheme-parameterized body: byte-identity against the in-process
+/// reference, plus the dropped-connection/requeue story, on whichever
+/// transport `bind` names.
+fn staging_matches_in_process_and_survives_a_drop(bind: &str) {
+    // Fresh metrics registry for this test (also serializes the tests
+    // in this binary, which all read global observability state).
     let obs = sitra::obs::isolate();
 
     // Reference: the fully in-process pipeline.
     let local = run_pipeline(&mut sim(SEED), &config(BUCKETS)).expect("valid config");
     assert_eq!(local.dropped_tasks, 0);
 
-    // Remote: a space server on a real TCP socket plus worker threads
-    // connecting through loopback, as separate processes would.
-    let bind: Addr = "tcp://127.0.0.1:0".parse().unwrap();
+    // Remote: a space server bound to the scheme under test plus worker
+    // threads connecting to it, as separate processes would.
+    let bind: Addr = bind.parse().unwrap();
     let server = SpaceServer::start(&bind, 2).expect("start staging server");
     let endpoint = server.addr();
 
@@ -144,7 +164,7 @@ fn tcp_remote_staging_matches_in_process_and_survives_a_dropped_connection() {
         high_water as usize, expected_depth,
         "gauge high-water must equal the max SchedulerStats::max_queue_depth"
     );
-    // Cross-layer sanity: the TCP run moved real frames and the RPC
+    // Cross-layer sanity: the remote run moved real frames and the RPC
     // layer answered requests.
     assert!(snap.counter_sum("net.conn.frames_sent") > 0);
     assert!(snap.counter("space.rpc.requests") > 0);

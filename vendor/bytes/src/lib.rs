@@ -14,8 +14,11 @@ use std::sync::Arc;
 enum Repr {
     /// Borrowed from static storage; never deallocated.
     Static(&'static [u8]),
-    /// Shared heap allocation.
-    Shared(Arc<[u8]>),
+    /// Shared heap allocation. `Arc<Vec<u8>>` rather than `Arc<[u8]>`
+    /// so `Bytes::from(Vec<u8>)` adopts the allocation instead of
+    /// copying it — the conversion the transport's zero-copy receive
+    /// path leans on for every frame.
+    Shared(Arc<Vec<u8>>),
 }
 
 impl Clone for Repr {
@@ -149,7 +152,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            repr: Repr::Shared(Arc::from(v)),
+            repr: Repr::Shared(Arc::new(v)),
             off: 0,
             len,
         }

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `tokio` crate.
+//!
+//! A real — if deliberately small — async runtime implementing the API
+//! subset this workspace uses, with no external dependencies:
+//!
+//! * **Reactor:** one thread multiplexing every registered fd through
+//!   `epoll` (raw syscalls; `std` exposes none of this), with
+//!   level-triggered `EPOLLONESHOT` readiness and a timer queue.
+//! * **Executor:** a multi-thread run queue of spawned tasks
+//!   ([`runtime::Builder`], [`spawn`], [`runtime::Handle`]).
+//! * **Net:** readiness-based [`net::TcpStream`] (`readable().await` +
+//!   `try_read`, vectored writes).
+//! * **Sync:** hybrid sync/async [`sync::mpsc`] channels usable from
+//!   both task and thread context.
+//! * **Time:** [`time::sleep`] / [`time::timeout`] off the reactor's
+//!   timer queue.
+
+mod reactor;
+mod sys;
+
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod time;
+
+pub use runtime::{spawn, spawn_blocking};
+
+/// Task types ([`task::JoinHandle`], [`task::JoinError`]).
+pub mod task {
+    pub use crate::runtime::{spawn_blocking, JoinError, JoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::Builder;
+    use std::io::{Read, Write};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    fn rt() -> crate::runtime::Runtime {
+        Builder::new_multi_thread()
+            .worker_threads(2)
+            .thread_name("tokio-test")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn block_on_plain_value() {
+        let rt = rt();
+        assert_eq!(rt.block_on(async { 40 + 2 }), 42);
+    }
+
+    #[test]
+    fn spawn_and_join_many() {
+        let rt = rt();
+        let hits = Arc::new(AtomicUsize::new(0));
+        rt.block_on(async {
+            let handles: Vec<_> = (0..64)
+                .map(|i| {
+                    let hits = Arc::clone(&hits);
+                    crate::spawn(async move {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        i * 2
+                    })
+                })
+                .collect();
+            let mut sum = 0usize;
+            for h in handles {
+                sum += h.await.unwrap();
+            }
+            assert_eq!(sum, (0..64).map(|i| i * 2).sum());
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn task_panic_surfaces_as_join_error() {
+        let rt = rt();
+        rt.block_on(async {
+            let h = crate::spawn(async { panic!("boom") });
+            assert!(h.await.is_err());
+            // The runtime survives the panic.
+            let h2 = crate::spawn(async { 7 });
+            assert_eq!(h2.await.unwrap(), 7);
+        });
+    }
+
+    #[test]
+    fn sleep_and_timeout() {
+        let rt = rt();
+        rt.block_on(async {
+            let t0 = Instant::now();
+            crate::time::sleep(Duration::from_millis(30)).await;
+            assert!(t0.elapsed() >= Duration::from_millis(25));
+
+            // A timeout that fires...
+            let err = crate::time::timeout(
+                Duration::from_millis(20),
+                crate::time::sleep(Duration::from_secs(10)),
+            )
+            .await;
+            assert!(err.is_err());
+            // ...and one that does not.
+            let ok = crate::time::timeout(Duration::from_millis(500), async { 5 }).await;
+            assert_eq!(ok.unwrap(), 5);
+        });
+    }
+
+    #[test]
+    fn mpsc_bridges_async_and_blocking() {
+        let rt = rt();
+        let (tx, mut rx) = crate::sync::mpsc::channel::<u32>(4);
+        // Async producer on the runtime, blocking consumer on this
+        // thread — the shape the connection facade uses.
+        let producer = rt.spawn(async move {
+            for i in 0..100u32 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        for i in 0..100u32 {
+            assert_eq!(rx.blocking_recv(), Some(i));
+        }
+        assert_eq!(rx.blocking_recv(), None); // sender dropped
+        rt.block_on(producer).unwrap();
+    }
+
+    #[test]
+    fn mpsc_blocking_recv_timeout() {
+        use crate::sync::mpsc::error::RecvTimeoutError;
+        let (tx, mut rx) = crate::sync::mpsc::channel::<u8>(1);
+        assert_eq!(
+            rx.blocking_recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.try_send(9).unwrap();
+        assert_eq!(rx.blocking_recv_timeout(Duration::from_millis(10)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.blocking_recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpsc_bounded_applies_backpressure() {
+        let rt = rt();
+        let (tx, mut rx) = crate::sync::mpsc::channel::<u32>(2);
+        let sender = rt.spawn(async move {
+            for i in 0..50u32 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // Only cap items could be queued while we slept.
+        let mut got = Vec::new();
+        while let Some(v) = rx.blocking_recv() {
+            got.push(v);
+        }
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        rt.block_on(sender).unwrap();
+    }
+
+    #[test]
+    fn tcp_echo_roundtrip_async() {
+        let rt = rt();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Plain blocking echo peer.
+        let peer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+        });
+        rt.block_on(async move {
+            let stream = crate::net::TcpStream::connect(addr).await.unwrap();
+            loop {
+                stream.writable().await.unwrap();
+                match stream.try_write(b"hello") {
+                    Ok(5) => break,
+                    Ok(_) => panic!("short write of 5 bytes"),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            let mut got = Vec::new();
+            while got.len() < 5 {
+                stream.readable().await.unwrap();
+                let mut buf = [0u8; 16];
+                match stream.try_read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => got.extend_from_slice(&buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            assert_eq!(&got, b"hello");
+        });
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn many_concurrent_sleeping_tasks() {
+        let rt = rt();
+        let done = Arc::new(AtomicUsize::new(0));
+        rt.block_on(async {
+            let handles: Vec<_> = (0..500)
+                .map(|i| {
+                    let done = Arc::clone(&done);
+                    crate::spawn(async move {
+                        crate::time::sleep(Duration::from_millis(5 + (i % 7) as u64)).await;
+                        done.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.await.unwrap();
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn runtime_drop_is_clean() {
+        let rt = rt();
+        let _forever = rt.spawn(async {
+            loop {
+                crate::time::sleep(Duration::from_millis(50)).await;
+            }
+        });
+        drop(rt); // must join workers + reactor without hanging
+    }
+}

