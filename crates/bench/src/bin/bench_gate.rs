@@ -6,6 +6,11 @@
 //!            [--threshold-pct 25]
 //! ```
 //!
+//! ```text
+//! bench_gate --current BENCH_tenants.json \
+//!            --floor tenants/fairness_min_share_pct:60
+//! ```
+//!
 //! Both files are the JSON-lines format the vendored criterion appends
 //! under `BENCH_JSON` (one `{"group","id","mean_ns","iters"}` object per
 //! line). The gate compares every benchmark present in both files and
@@ -15,6 +20,13 @@
 //! linger in it until then). Refresh the baseline by committing a new
 //! file — CI's `[bench-reset]` commit tag skips the gate for exactly
 //! that commit.
+//!
+//! `--floor group/id:MIN` (repeatable) asserts an absolute minimum
+//! instead: the gate fails when the current value is below MIN or the
+//! row is absent. Floored rows are higher-is-better quality scores
+//! (e.g. the tenancy bench's fairness percentage riding in `mean_ns`),
+//! so they are excluded from the lower-is-better regression comparison.
+//! With `--floor`, `--baseline` becomes optional.
 
 use serde::Deserialize;
 use std::collections::BTreeMap;
@@ -47,9 +59,14 @@ fn read_bench_json(path: &Path) -> Result<BTreeMap<String, u64>, String> {
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let program = argv.first().map(String::as_str).unwrap_or("bench_gate");
+    let usage = format!(
+        "usage: {program} [--baseline FILE] --current FILE [--threshold-pct N] \
+         [--floor group/id:MIN]..."
+    );
     let mut baseline_path = None;
     let mut current_path = None;
     let mut threshold_pct = 25.0f64;
+    let mut floors: Vec<(String, u64)> = Vec::new();
     let mut it = argv.iter().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
@@ -67,32 +84,83 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--floor" => {
+                let spec = value("--floor");
+                let parsed = spec
+                    .rsplit_once(':')
+                    .and_then(|(name, min)| Some((name.to_string(), min.parse().ok()?)));
+                match parsed {
+                    Some(floor) => floors.push(floor),
+                    None => {
+                        eprintln!("{program}: --floor wants group/id:MIN, got `{spec}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
-                eprintln!(
-                    "usage: {program} --baseline FILE --current FILE [--threshold-pct N]\n\
-                     {program}: unknown flag {other}"
-                );
+                eprintln!("{usage}\n{program}: unknown flag {other}");
                 std::process::exit(2);
             }
         }
     }
-    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
-        eprintln!("usage: {program} --baseline FILE --current FILE [--threshold-pct N]");
+    let Some(current_path) = current_path else {
+        eprintln!("{usage}");
         std::process::exit(2);
     };
-    let baseline = read_bench_json(Path::new(&baseline_path)).unwrap_or_else(|e| {
-        eprintln!("{program}: {e}");
-        std::process::exit(1);
-    });
+    if baseline_path.is_none() && floors.is_empty() {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
+    let baseline = match &baseline_path {
+        Some(path) => read_bench_json(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("{program}: {e}");
+            std::process::exit(1);
+        }),
+        None => BTreeMap::new(),
+    };
     let current = read_bench_json(Path::new(&current_path)).unwrap_or_else(|e| {
         eprintln!("{program}: {e}");
         std::process::exit(1);
     });
 
+    let mut floor_failures = Vec::new();
+    for (name, min) in &floors {
+        match current.get(name) {
+            Some(cur) if cur >= min => println!("  FLOOR ok {name}: {cur} >= {min}"),
+            Some(cur) => {
+                println!("  FLOOR    {name}: {cur} < {min}");
+                floor_failures.push(format!("{name}: {cur} below floor {min}"));
+            }
+            None => {
+                println!("  FLOOR    {name}: missing from this run");
+                floor_failures.push(format!("{name}: missing from this run"));
+            }
+        }
+    }
+    if !floor_failures.is_empty() {
+        eprintln!("\n{program}: {} floor failure(s):", floor_failures.len());
+        for f in &floor_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+
+    let Some(baseline_path) = baseline_path else {
+        println!(
+            "bench gate: {} floor(s) hold, no baseline given",
+            floors.len()
+        );
+        return;
+    };
     let mut regressions = Vec::new();
     let mut compared = 0usize;
     println!("bench gate: threshold +{threshold_pct:.0}% vs {baseline_path}");
     for (name, cur) in &current {
+        if floors.iter().any(|(f, _)| f == name) {
+            // Floored rows are higher-is-better scores; the regression
+            // comparison would fire on improvement.
+            continue;
+        }
         let Some(base) = baseline.get(name) else {
             println!("  NEW      {name}: {cur} ns/iter (not in baseline)");
             continue;
@@ -116,7 +184,7 @@ fn main() {
             println!("  MISSING  {name}: in baseline but not in this run");
         }
     }
-    if compared == 0 {
+    if compared == 0 && floors.is_empty() {
         eprintln!("{program}: no benchmarks in common — wrong files?");
         std::process::exit(1);
     }

@@ -10,6 +10,7 @@
 //! `tests/obs_report.rs` asserts exactly that).
 
 use serde::Serialize;
+use sitra_dataspaces::{TenantSchedStats, TenantSnapshot, DEFAULT_TENANT};
 use sitra_obs::ObsEvent;
 use std::path::Path;
 
@@ -228,6 +229,80 @@ impl Replay {
     }
 }
 
+/// Rebuild the per-tenant scheduler table from the journal's `sched`
+/// event families (`tenant.register`, `tenant.admit`, `tenant.assign`,
+/// `tenant.requeue`, `task.shed`), bit-identical to what the live
+/// `Scheduler::tenant_stats` reported at the same point in the event
+/// stream. `queued` is derived from the conservation identity
+/// (`submitted + requeued == assigned + shed + queued`), which the
+/// scheduler maintains atomically under its lock.
+///
+/// Row order matches the live snapshot: the default tenant is seeded at
+/// index 0 (it exists from construction without journaling anything),
+/// and every other tenant's first scheduler interaction — registration
+/// or first submission — journals an event naming it, so first-seen
+/// order here is first-touch order there.
+pub fn replay_tenants(events: &[ObsEvent]) -> Vec<TenantSnapshot> {
+    let mut rows = vec![TenantSnapshot {
+        name: DEFAULT_TENANT.to_string(),
+        weight: 1,
+        queued: 0,
+        task_quota: None,
+        stats: TenantSchedStats::default(),
+    }];
+    fn row<'a>(rows: &'a mut Vec<TenantSnapshot>, name: &str) -> &'a mut TenantSnapshot {
+        if let Some(i) = rows.iter().position(|r| r.name == name) {
+            return &mut rows[i];
+        }
+        rows.push(TenantSnapshot {
+            name: name.to_string(),
+            weight: 1,
+            queued: 0,
+            task_quota: None,
+            stats: TenantSchedStats::default(),
+        });
+        rows.last_mut().unwrap()
+    }
+    for ev in events {
+        if ev.component != "sched" {
+            continue;
+        }
+        let Some(tenant) = ev.get("tenant").map(str::to_string) else {
+            continue;
+        };
+        match ev.name.as_str() {
+            "tenant.register" => {
+                let r = row(&mut rows, &tenant);
+                r.weight = ev.u64("weight").unwrap_or(1) as u32;
+                r.task_quota = match ev.get("task_quota") {
+                    None | Some("none") => None,
+                    Some(q) => q.parse().ok(),
+                };
+            }
+            "tenant.admit" => {
+                let r = row(&mut rows, &tenant);
+                match ev.get("verdict") {
+                    // "shed" is AcceptedShed: the submission was
+                    // admitted (the victim's eviction is journaled
+                    // separately as `task.shed`).
+                    Some("accepted") | Some("shed") => r.stats.tasks_submitted += 1,
+                    Some("rejected") => r.stats.tasks_rejected += 1,
+                    _ => {}
+                }
+            }
+            "tenant.assign" => row(&mut rows, &tenant).stats.tasks_assigned += 1,
+            "tenant.requeue" => row(&mut rows, &tenant).stats.tasks_requeued += 1,
+            "task.shed" => row(&mut rows, &tenant).stats.tasks_shed += 1,
+            _ => {}
+        }
+    }
+    for r in &mut rows {
+        r.queued = (r.stats.tasks_submitted + r.stats.tasks_requeued)
+            - (r.stats.tasks_assigned + r.stats.tasks_shed);
+    }
+    rows
+}
+
 fn mean(it: impl Iterator<Item = f64>) -> f64 {
     let (mut sum, mut n) = (0.0, 0usize);
     for v in it {
@@ -441,6 +516,67 @@ mod tests {
             assert_eq!(s.bucket, None);
             assert!(!s.streamed);
         }
+    }
+
+    #[test]
+    fn tenant_table_rebuilds_from_sched_events() {
+        let events = vec![
+            ev(
+                "sched",
+                "tenant.register",
+                &[("tenant", "acme"), ("weight", "3"), ("task_quota", "none")],
+            ),
+            ev(
+                "sched",
+                "tenant.register",
+                &[("tenant", "hog"), ("weight", "1"), ("task_quota", "2")],
+            ),
+            ev(
+                "sched",
+                "tenant.admit",
+                &[("tenant", "acme"), ("verdict", "accepted")],
+            ),
+            ev(
+                "sched",
+                "tenant.admit",
+                &[("tenant", "acme"), ("verdict", "shed")],
+            ),
+            ev(
+                "sched",
+                "tenant.admit",
+                &[("tenant", "hog"), ("verdict", "rejected")],
+            ),
+            ev("sched", "task.shed", &[("seq", "0"), ("tenant", "acme")]),
+            ev(
+                "sched",
+                "tenant.assign",
+                &[("tenant", "acme"), ("seq", "1")],
+            ),
+            ev(
+                "sched",
+                "tenant.requeue",
+                &[("tenant", "acme"), ("seq", "1")],
+            ),
+            ev("driver", "step", &[("step", "1")]),
+        ];
+        let rows = replay_tenants(&events);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, DEFAULT_TENANT);
+        assert_eq!(rows[0].stats, TenantSchedStats::default());
+        let acme = &rows[1];
+        assert_eq!(acme.name, "acme");
+        assert_eq!(acme.weight, 3);
+        assert_eq!(acme.task_quota, None);
+        assert_eq!(acme.stats.tasks_submitted, 2);
+        assert_eq!(acme.stats.tasks_assigned, 1);
+        assert_eq!(acme.stats.tasks_requeued, 1);
+        assert_eq!(acme.stats.tasks_shed, 1);
+        // submitted 2 + requeued 1 == assigned 1 + shed 1 + queued 1
+        assert_eq!(acme.queued, 1);
+        let hog = &rows[2];
+        assert_eq!(hog.task_quota, Some(2));
+        assert_eq!(hog.stats.tasks_rejected, 1);
+        assert_eq!(hog.queued, 0);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 use crate::ring::{HashRing, ShardKey};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use sitra_dataspaces::{Admission, RemoteError, RemoteSpace, RemoteStats, TaskPoll};
+use sitra_dataspaces::{
+    Admission, RemoteError, RemoteSpace, RemoteStats, TaskPoll, TenantRow, TenantSpec,
+};
 use sitra_mesh::BBox3;
 use sitra_net::{Addr, Backoff};
 use std::time::Duration;
@@ -30,16 +32,23 @@ struct Member {
 impl Member {
     /// Run `op` on this member's connection, dialing lazily and
     /// reconnecting once when a stale connection fails with a
-    /// transport error.
+    /// transport error. When the client carries a tenant, the binding
+    /// is re-declared on every fresh connection — a reconnect must not
+    /// silently fall back to the default namespace.
     fn with<R>(
         &self,
         backoff: &Backoff,
+        tenant: Option<&TenantSpec>,
         op: impl Fn(&RemoteSpace) -> Result<R, RemoteError>,
     ) -> Result<R, RemoteError> {
         let mut slot = self.conn.lock();
         for attempt in 0..2 {
             if slot.is_none() {
-                *slot = Some(RemoteSpace::connect_retry(&self.addr, backoff)?);
+                let conn = RemoteSpace::connect_retry(&self.addr, backoff)?;
+                if let Some(spec) = tenant {
+                    conn.set_tenant(spec)?;
+                }
+                *slot = Some(conn);
             }
             match op(slot.as_ref().expect("connected above")) {
                 Ok(r) => return Ok(r),
@@ -69,6 +78,7 @@ pub struct ClusterClient {
     ring: HashRing,
     members: Vec<Member>,
     backoff: Backoff,
+    tenant: Option<TenantSpec>,
 }
 
 impl ClusterClient {
@@ -107,7 +117,54 @@ impl ClusterClient {
             ring,
             members,
             backoff,
+            tenant: None,
         })
+    }
+
+    /// Bind every member connection (present and future) to `tenant`:
+    /// the declaration is sent on each fresh dial, so quotas and
+    /// weighted scheduling hold per member even across reconnects and
+    /// fail-overs.
+    pub fn with_tenant(mut self, spec: TenantSpec) -> Self {
+        // Existing connections (dialed before the binding) are dropped
+        // so the next use re-dials with the tenant declared.
+        for m in &self.members {
+            *m.conn.lock() = None;
+        }
+        self.tenant = Some(spec);
+        self
+    }
+
+    /// The tenant this client is bound to, if any.
+    pub fn tenant(&self) -> Option<&TenantSpec> {
+        self.tenant.as_ref()
+    }
+
+    /// Fan out a per-tenant stats poll and merge rows by tenant name
+    /// (counters summed across members).
+    pub fn tenant_stats(&self) -> Vec<TenantRow> {
+        let mut by_name: std::collections::BTreeMap<String, TenantRow> = Default::default();
+        for m in &self.members {
+            if let Ok(rows) = m.with(&self.backoff, self.tenant.as_ref(), |c| c.tenant_stats()) {
+                for r in rows {
+                    let e = by_name.entry(r.name.clone()).or_insert_with(|| TenantRow {
+                        name: r.name.clone(),
+                        weight: r.weight,
+                        task_quota: r.task_quota,
+                        byte_quota: r.byte_quota,
+                        ..TenantRow::default()
+                    });
+                    e.queued += r.queued;
+                    e.tasks_submitted += r.tasks_submitted;
+                    e.tasks_assigned += r.tasks_assigned;
+                    e.tasks_requeued += r.tasks_requeued;
+                    e.tasks_shed += r.tasks_shed;
+                    e.tasks_rejected += r.tasks_rejected;
+                    e.resident_bytes += r.resident_bytes;
+                }
+            }
+        }
+        by_name.into_values().collect()
     }
 
     /// Number of configured members.
@@ -132,7 +189,9 @@ impl ClusterClient {
             .ring
             .owner_index(&ShardKey::new(var, version, &bbox))
             .expect("non-empty ring");
-        self.members[idx].with(&self.backoff, |c| c.put(var, version, bbox, data.clone()))
+        self.members[idx].with(&self.backoff, self.tenant.as_ref(), |c| {
+            c.put(var, version, bbox, data.clone())
+        })
     }
 
     /// Spatial query fanned out to **every** member, because handoff may
@@ -153,7 +212,9 @@ impl ClusterClient {
         let mut last_err = None;
         let mut answered = false;
         for m in &self.members {
-            match m.with(&self.backoff, |c| c.get(var, version, query)) {
+            match m.with(&self.backoff, self.tenant.as_ref(), |c| {
+                c.get(var, version, query)
+            }) {
                 Ok(got) => {
                     answered = true;
                     pieces.extend(got);
@@ -176,7 +237,9 @@ impl ClusterClient {
         let mut last_err = None;
         let mut answered = false;
         for m in &self.members {
-            match m.with(&self.backoff, |c| c.latest_version(var)) {
+            match m.with(&self.backoff, self.tenant.as_ref(), |c| {
+                c.latest_version(var)
+            }) {
                 Ok(v) => {
                     answered = true;
                     latest = latest.max(v);
@@ -208,7 +271,9 @@ impl ClusterClient {
         let mut last_err = None;
         for k in 0..n {
             let idx = (owner + k) % n;
-            match self.members[idx].with(&self.backoff, |c| c.submit_task_admission(data.clone())) {
+            match self.members[idx].with(&self.backoff, self.tenant.as_ref(), |c| {
+                c.submit_task_admission(data.clone())
+            }) {
                 Ok(adm) => return Ok((idx, adm)),
                 Err(e) => last_err = Some(e),
             }
@@ -225,7 +290,9 @@ impl ClusterClient {
         bucket_id: u32,
         timeout: Duration,
     ) -> Result<TaskPoll, RemoteError> {
-        self.members[member_idx].with(&self.backoff, |c| c.request_task(bucket_id, timeout))
+        self.members[member_idx].with(&self.backoff, self.tenant.as_ref(), |c| {
+            c.request_task(bucket_id, timeout)
+        })
     }
 
     /// Evict everything at `version` everywhere. Per-member transport
@@ -233,7 +300,9 @@ impl ClusterClient {
     /// member holds nothing worth evicting.
     pub fn evict_version(&self, version: u64) {
         for m in &self.members {
-            let _ = m.with(&self.backoff, |c| c.evict_version(version));
+            let _ = m.with(&self.backoff, self.tenant.as_ref(), |c| {
+                c.evict_version(version)
+            });
         }
     }
 
@@ -241,7 +310,7 @@ impl ClusterClient {
     /// members are skipped.
     pub fn close_sched(&self) {
         for m in &self.members {
-            let _ = m.with(&self.backoff, |c| c.close_sched());
+            let _ = m.with(&self.backoff, self.tenant.as_ref(), |c| c.close_sched());
         }
     }
 
@@ -249,7 +318,7 @@ impl ClusterClient {
     pub fn stats(&self) -> ClusterStats {
         let mut out = ClusterStats::default();
         for m in &self.members {
-            if let Ok(s) = m.with(&self.backoff, |c| c.stats()) {
+            if let Ok(s) = m.with(&self.backoff, self.tenant.as_ref(), |c| c.stats()) {
                 out.members_reporting += 1;
                 out.totals.tasks_submitted += s.tasks_submitted;
                 out.totals.tasks_assigned += s.tasks_assigned;

@@ -23,6 +23,7 @@ use parking_lot::{Mutex, RwLock};
 use sitra_dataspaces::remote::ControlHandler;
 use sitra_dataspaces::{
     AdmissionPolicy, DataSpaces, RemoteError, RemoteSpace, SchedStats, Scheduler, SpaceServer,
+    TenantSpec,
 };
 use sitra_net::{Addr, Backoff, NetError};
 use std::collections::BTreeMap;
@@ -94,6 +95,10 @@ pub struct ClusterNodeOpts {
     /// Consecutive missed heartbeats before a peer is declared suspect
     /// and evicted from the view.
     pub suspect_after: u32,
+    /// Tenants registered on this member at start (weights, quotas,
+    /// per-tenant admission policy). Every member should carry the same
+    /// list, or fail-over lands tenants on default weight-1 treatment.
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl Default for ClusterNodeOpts {
@@ -106,6 +111,7 @@ impl Default for ClusterNodeOpts {
             vnodes: crate::ring::DEFAULT_VNODES,
             heartbeat_every: Duration::from_millis(50),
             suspect_after: 3,
+            tenants: Vec::new(),
         }
     }
 }
@@ -149,6 +155,10 @@ struct NodeState {
     handoff_lock: Mutex<()>,
     stop: AtomicBool,
     obs: NodeObs,
+    /// Tenant specs this member was configured with, consulted when
+    /// forwarding backlog so the declaration sent to a survivor carries
+    /// the real weight/quota rather than a made-up default.
+    tenants: Vec<TenantSpec>,
 }
 
 impl NodeState {
@@ -223,6 +233,10 @@ impl ClusterNode {
             Some(cap) => Scheduler::bounded(cap, opts.policy),
             None => Scheduler::new(),
         };
+        for spec in &opts.tenants {
+            sched.register_tenant(spec);
+            space.set_tenant_byte_quota(&spec.name, spec.byte_quota);
+        }
         let state = Arc::new(NodeState {
             self_addr: RwLock::new(listen.to_string()),
             seed: opts.seed,
@@ -234,6 +248,7 @@ impl ClusterNode {
             handoff_lock: Mutex::new(()),
             stop: AtomicBool::new(false),
             obs: NodeObs::resolve(&listen.to_string()),
+            tenants: opts.tenants.clone(),
         });
         let handler_state = Arc::clone(&state);
         let handler: ControlHandler = Arc::new(move |data| handle_control(&handler_state, data));
@@ -633,12 +648,16 @@ fn rebalance(state: &Arc<NodeState>) {
 }
 
 /// Re-submit the queued (never-assigned) task backlog round-robin over
-/// `survivors`. A task no survivor admits is requeued locally so the
-/// two-phase hand-off invariant (admitted tasks are never silently
-/// dropped by *this* layer) holds; it then drains to any bucket still
-/// connected to us.
+/// `survivors`, preserving each task's tenant: the forwarding
+/// connection declares the task's tenant before submitting, so the
+/// survivor's weighted scheduler and quotas see the task under its real
+/// owner, not under whoever happened to forward it. A task no survivor
+/// admits is requeued locally (under its own tenant) so the two-phase
+/// hand-off invariant (admitted tasks are never silently dropped by
+/// *this* layer) holds; it then drains to any bucket still connected to
+/// us.
 fn forward_backlog(state: &Arc<NodeState>, survivors: &[String]) {
-    let backlog = state.sched.drain_queued();
+    let backlog = state.sched.drain_queued_labeled();
     if backlog.is_empty() {
         return;
     }
@@ -649,12 +668,28 @@ fn forward_backlog(state: &Arc<NodeState>, survivors: &[String]) {
                 .and_then(|addr| RemoteSpace::connect_retry(&addr, &peer_backoff()).ok())
         })
         .collect();
+    // Which tenant each survivor connection is currently bound to. A
+    // binding is per-connection state, so it only has to be re-sent
+    // when consecutive tasks belong to different tenants.
+    let mut bound: Vec<Option<String>> = vec![None; conns.len()];
     let mut forwarded = 0u64;
-    for (i, (seq, task)) in backlog.into_iter().enumerate() {
+    for (i, (tenant, seq, task)) in backlog.into_iter().enumerate() {
         let mut delivered = false;
         for k in 0..conns.len() {
-            let conn = &conns[(i + k) % conns.len()];
-            if let Some(c) = conn {
+            let j = (i + k) % conns.len();
+            if let Some(c) = &conns[j] {
+                if bound[j].as_deref() != Some(tenant.as_str()) {
+                    let spec = state
+                        .tenants
+                        .iter()
+                        .find(|s| s.name == tenant)
+                        .cloned()
+                        .unwrap_or_else(|| TenantSpec::new(&tenant));
+                    if c.set_tenant(&spec).is_err() {
+                        continue;
+                    }
+                    bound[j] = Some(tenant.clone());
+                }
                 if matches!(c.submit_task_admission(task.clone()), Ok(verdict) if verdict.seq().is_some())
                 {
                     delivered = true;
@@ -665,7 +700,7 @@ fn forward_backlog(state: &Arc<NodeState>, survivors: &[String]) {
         if delivered {
             forwarded += 1;
         } else {
-            state.sched.requeue_front(seq, task);
+            state.sched.requeue_front_as(&tenant, seq, task);
         }
     }
     if forwarded > 0 {

@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use sitra_cluster::{Bootstrap, ClusterClient, ClusterNode, ClusterNodeOpts};
-use sitra_dataspaces::RemoteSpace;
+use sitra_dataspaces::{RemoteSpace, TenantSpec};
 use sitra_mesh::BBox3;
 use sitra_net::{Addr, Backoff};
 use std::time::{Duration, Instant};
@@ -191,6 +191,83 @@ fn graceful_leave_hands_off_shards_and_forwards_backlog() {
         total += duo.get("pressure", version, &all).unwrap().len();
     }
     assert_eq!(total, n_pieces);
+    a.shutdown();
+    c.shutdown();
+}
+
+#[test]
+fn forwarded_backlog_keeps_tenant_attribution() {
+    let _obs = sitra_obs::isolate();
+    let acme = TenantSpec::new("acme").with_weight(3);
+    let beta = TenantSpec::new("beta");
+    let tenant_opts = ClusterNodeOpts {
+        tenants: vec![acme.clone(), beta.clone()],
+        ..opts()
+    };
+    let names = ["tleave-a", "tleave-b", "tleave-c"];
+    let seeds: Vec<String> = names.iter().map(|n| addr(n).to_string()).collect();
+    let a = ClusterNode::start(
+        &addr("tleave-a"),
+        Bootstrap::Seeds(seeds.clone()),
+        tenant_opts.clone(),
+    )
+    .unwrap();
+    let b = ClusterNode::start(
+        &addr("tleave-b"),
+        Bootstrap::Seeds(seeds.clone()),
+        tenant_opts.clone(),
+    )
+    .unwrap();
+    let c = ClusterNode::start(
+        &addr("tleave-c"),
+        Bootstrap::Seeds(seeds.clone()),
+        tenant_opts,
+    )
+    .unwrap();
+    // Park a mixed-tenant backlog on the leaver: two acme tasks, one
+    // beta task, interleaved so forwarding has to re-declare bindings.
+    let direct = RemoteSpace::connect(&addr("tleave-b")).unwrap();
+    direct.set_tenant(&acme).unwrap();
+    direct.submit_task(Bytes::from_static(b"a0")).unwrap();
+    direct.set_tenant(&beta).unwrap();
+    direct.submit_task(Bytes::from_static(b"b0")).unwrap();
+    direct.set_tenant(&acme).unwrap();
+    direct.submit_task(Bytes::from_static(b"a1")).unwrap();
+    drop(direct);
+
+    b.leave();
+    let survivors: Vec<String> = seeds
+        .iter()
+        .filter(|s| **s != addr("tleave-b").to_string())
+        .cloned()
+        .collect();
+    wait_until(
+        "survivors to drop the leaver",
+        Duration::from_secs(5),
+        || a.view().addrs() == survivors && c.view().addrs() == survivors,
+    );
+    assert_eq!(
+        sitra_obs::global()
+            .snapshot()
+            .counter("cluster.tasks.forwarded"),
+        3
+    );
+    // The survivors' per-tenant counters carry the original owners.
+    let duo = client(&survivors);
+    let rows = duo.tenant_stats();
+    let submitted = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.tasks_submitted)
+            .unwrap_or(0)
+    };
+    assert_eq!(submitted("acme"), 2, "rows: {rows:?}");
+    assert_eq!(submitted("beta"), 1, "rows: {rows:?}");
+    assert_eq!(submitted("default"), 0, "rows: {rows:?}");
+    // The survivors also kept acme's configured weight (registered at
+    // start, not invented during forwarding).
+    let acme_row = rows.iter().find(|r| r.name == "acme").unwrap();
+    assert_eq!(acme_row.weight, 3);
     a.shutdown();
     c.shutdown();
 }

@@ -151,6 +151,13 @@ pub struct PipelineConfig {
     pub staging_max_inflight: usize,
     /// Called after each remotely staged output is collected.
     pub staging_output_hook: Option<StagingOutputHook>,
+    /// Tenant this pipeline runs as against a shared staging service
+    /// (remote and cluster modes): every connection declares it before
+    /// any traffic, so the service's weighted-fair scheduler and quotas
+    /// attribute this pipeline's puts and tasks to it. `None` (the
+    /// default) runs under the unscoped default tenant, byte-compatible
+    /// with pre-tenancy deployments.
+    pub staging_tenant: Option<sitra_dataspaces::TenantSpec>,
 }
 
 impl PipelineConfig {
@@ -169,6 +176,7 @@ impl PipelineConfig {
             staging_deadline: Duration::from_secs(60),
             staging_max_inflight: 4,
             staging_output_hook: None,
+            staging_tenant: None,
         }
     }
 
@@ -209,6 +217,14 @@ impl PipelineConfig {
     /// Observe every remotely collected output.
     pub fn with_staging_output_hook(mut self, hook: StagingOutputHook) -> Self {
         self.staging_output_hook = Some(hook);
+        self
+    }
+
+    /// Run this pipeline as `tenant` against the staging service
+    /// (remote and cluster modes; ignored by in-process backends, which
+    /// are single-tenant by construction).
+    pub fn with_tenant(mut self, tenant: sitra_dataspaces::TenantSpec) -> Self {
+        self.staging_tenant = Some(tenant);
         self
     }
 }

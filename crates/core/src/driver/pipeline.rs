@@ -85,6 +85,7 @@ pub fn run_pipeline(
             cfg.staging_max_inflight,
             n_ranks as u32,
             cfg.staging_output_hook.clone(),
+            cfg.staging_tenant.clone(),
         )),
         StagingMode::Cluster(endpoints) => Box::new(RemoteBackend::new_cluster(
             ctx.clone(),
@@ -93,6 +94,7 @@ pub fn run_pipeline(
             cfg.staging_max_inflight,
             n_ranks as u32,
             cfg.staging_output_hook.clone(),
+            cfg.staging_tenant.clone(),
         )),
     };
 

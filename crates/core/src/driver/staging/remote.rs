@@ -19,7 +19,7 @@ use crate::remote::{
 use bytes::Bytes;
 use sitra_cluster::ClusterClient;
 use sitra_dataspaces::remote::{RemoteError, RemoteSpace};
-use sitra_dataspaces::Admission;
+use sitra_dataspaces::{Admission, TenantSpec, DEFAULT_TENANT};
 use sitra_mesh::BBox3;
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -41,6 +41,15 @@ const CLUSTER_CAPS: BackendCaps = BackendCaps {
     ships_data: true,
 };
 
+/// Whether this driver is one tenant among several on a shared staging
+/// service. A driver bound to a non-default tenant must not close the
+/// scheduler at end-of-run — the service outlives any one of its
+/// tenants. No tenant (or explicitly the default one) is the legacy
+/// sole-owner deployment, which keeps close-on-exit.
+fn is_shared_tenant(tenant: Option<&TenantSpec>) -> bool {
+    tenant.is_some_and(|t| t.name != DEFAULT_TENANT)
+}
+
 /// Connection manager for the remote staging endpoint. A transport
 /// error triggers one reconnect (bounded backoff) and a retry of the
 /// failed operation; if the reconnect fails too, the endpoint is marked
@@ -51,12 +60,17 @@ struct RemoteStaging {
     addr: sitra_net::Addr,
     conn: Option<RemoteSpace>,
     backoff: sitra_net::Backoff,
+    /// Tenant declared on every (re)connection. The binding is
+    /// per-connection server state, so a reconnect that skipped the
+    /// re-declaration would silently demote the pipeline to the default
+    /// tenant — wrong quotas, wrong queue, wrong namespace.
+    tenant: Option<TenantSpec>,
 }
 
 impl RemoteStaging {
-    fn connect(addr: sitra_net::Addr) -> Self {
+    fn connect(addr: sitra_net::Addr, tenant: Option<TenantSpec>) -> Self {
         let backoff = sitra_net::Backoff::default();
-        let conn = match RemoteSpace::connect_retry(&addr, &backoff) {
+        let conn = match Self::dial(&addr, &backoff, tenant.as_ref()) {
             Ok(c) => Some(c),
             Err(e) => {
                 sitra_obs::emit(
@@ -71,7 +85,22 @@ impl RemoteStaging {
             addr,
             conn,
             backoff,
+            tenant,
         }
+    }
+
+    /// Dial and immediately declare the tenant (when one is set), so no
+    /// operation ever runs on an unbound connection.
+    fn dial(
+        addr: &sitra_net::Addr,
+        backoff: &sitra_net::Backoff,
+        tenant: Option<&TenantSpec>,
+    ) -> Result<RemoteSpace, RemoteError> {
+        let conn = RemoteSpace::connect_retry(addr, backoff)?;
+        if let Some(spec) = tenant {
+            conn.set_tenant(spec)?;
+        }
+        Ok(conn)
     }
 
     fn alive(&self) -> bool {
@@ -87,7 +116,7 @@ impl RemoteStaging {
         };
         match op(conn) {
             Err(RemoteError::Net(e)) if e.is_retryable() => {
-                match RemoteSpace::connect_retry(&self.addr, &self.backoff) {
+                match Self::dial(&self.addr, &self.backoff, self.tenant.as_ref()) {
                     Ok(fresh) => {
                         let res = op(&fresh);
                         if matches!(res, Err(RemoteError::Net(_))) {
@@ -228,6 +257,12 @@ pub struct RemoteBackend {
     n_ranks: u32,
     hook: Option<StagingOutputHook>,
     submitted: usize,
+    /// The driver is one tenant among several on a shared staging
+    /// service, so closing the scheduler at end-of-run would retire
+    /// every other tenant's workers too. Set when a non-default tenant
+    /// is configured; the legacy sole-owner deployment (no tenant, or
+    /// explicitly the default one) keeps its close-on-exit semantics.
+    shared_tenant: bool,
 }
 
 impl RemoteBackend {
@@ -241,10 +276,12 @@ impl RemoteBackend {
         max_inflight: usize,
         n_ranks: u32,
         hook: Option<StagingOutputHook>,
+        tenant: Option<TenantSpec>,
     ) -> Self {
+        let shared_tenant = is_shared_tenant(tenant.as_ref());
         RemoteBackend {
             ctx,
-            link: Link::Single(RemoteStaging::connect(addr)),
+            link: Link::Single(RemoteStaging::connect(addr, tenant)),
             caps: CAPS,
             pending: Vec::new(),
             versions: BTreeSet::new(),
@@ -253,6 +290,7 @@ impl RemoteBackend {
             n_ranks,
             hook,
             submitted: 0,
+            shared_tenant,
         }
     }
 
@@ -266,14 +304,19 @@ impl RemoteBackend {
         max_inflight: usize,
         n_ranks: u32,
         hook: Option<StagingOutputHook>,
+        tenant: Option<TenantSpec>,
     ) -> Self {
-        let client = ClusterClient::new(
+        let mut client = ClusterClient::new(
             sitra_cluster::DEFAULT_SEED,
             sitra_cluster::DEFAULT_VNODES,
             endpoints,
             sitra_net::Backoff::default(),
         )
         .expect("endpoints validated by run_pipeline");
+        let shared_tenant = is_shared_tenant(tenant.as_ref());
+        if let Some(spec) = tenant {
+            client = client.with_tenant(spec);
+        }
         RemoteBackend {
             ctx,
             link: Link::Cluster(client),
@@ -285,6 +328,7 @@ impl RemoteBackend {
             n_ranks,
             hook,
             submitted: 0,
+            shared_tenant,
         }
     }
 
@@ -477,13 +521,18 @@ impl StagingBackend for RemoteBackend {
     }
 
     fn close(&mut self) -> BackendStats {
-        // Reclaim the staging memory, then close the remote scheduler
-        // so external bucket workers retire.
+        // Reclaim the staging memory (scoped to this tenant's namespace
+        // when one is bound), then close the remote scheduler so
+        // external bucket workers retire — unless the service is shared
+        // with other tenants, in which case its lifetime belongs to the
+        // operator, not to whichever driver finishes first.
         let versions: Vec<u64> = self.versions.iter().copied().collect();
         for v in versions {
             self.link.evict_version(v);
         }
-        self.link.close_sched();
+        if !self.shared_tenant {
+            self.link.close_sched();
+        }
         BackendStats {
             submitted: self.submitted,
             max_queue_depth: 0,

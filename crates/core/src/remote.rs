@@ -28,6 +28,7 @@ use crate::wire::{decode_analysis_output, encode_analysis_output, WireError};
 use bytes::{BufMut, Bytes, BytesMut};
 use sitra_cluster::ClusterClient;
 use sitra_dataspaces::remote::{RemoteError, RemoteSpace, TaskPoll};
+use sitra_dataspaces::scoped_var;
 use sitra_mesh::BBox3;
 use sitra_net::{Addr, Backoff};
 use std::time::Duration;
@@ -163,9 +164,17 @@ pub fn run_bucket_worker(
             }
             Err(e) => return Err(e),
         };
-        let task = match poll {
-            TaskPoll::Assigned { data, .. } => decode_task(&data)
-                .map_err(|e| RemoteError::Proto(format!("bad task descriptor: {e}")))?,
+        // The bucket pool is shared across tenants, so the assignment
+        // itself names the namespace: this worker's connection stays
+        // unbound and every space access is scoped explicitly. For the
+        // default tenant the scoped name is the bare name, so legacy
+        // single-tenant traffic is byte-identical.
+        let (task, tenant) = match poll {
+            TaskPoll::Assigned { data, tenant, .. } => (
+                decode_task(&data)
+                    .map_err(|e| RemoteError::Proto(format!("bad task descriptor: {e}")))?,
+                tenant,
+            ),
             TaskPoll::Empty => continue,
             TaskPoll::Closed => return Ok(completed),
         };
@@ -176,7 +185,11 @@ pub fn run_bucket_worker(
         // by bbox.lo, i.e. in rank order, so the aggregation sees the
         // byte-identical part list the in-process bucket would.
         let query = BBox3::new([0, 0, 0], [task.n_ranks.max(1) as usize, 1, 1]);
-        let pieces = space.get(&intermediate_var(&spec.label), task.step, &query)?;
+        let pieces = space.get(
+            &scoped_var(&tenant, &intermediate_var(&spec.label)),
+            task.step,
+            &query,
+        )?;
         let mut parts: Vec<(usize, Bytes)> = pieces
             .into_iter()
             .map(|(bbox, data)| (bbox.lo[0], data))
@@ -197,7 +210,7 @@ pub fn run_bucket_worker(
         let out = spec.analysis.aggregate(task.step, &parts);
         let aggregate_secs = t_agg.elapsed().as_secs_f64();
         space.put(
-            &output_var(&spec.label),
+            &scoped_var(&tenant, &output_var(&spec.label)),
             task.step,
             output_bbox(),
             encode_analysis_output(&out),
@@ -230,6 +243,107 @@ const MEMBER_DEAD_STRIKES: u32 = 3;
 /// endpoint mid-run — the occasional cheap probe picks either back up.
 const MEMBER_REVIVE_EVERY: u32 = 4;
 
+/// Liveness bookkeeping for the cluster worker's round-robin: which
+/// members are closed (permanent), which are net-dead (re-probed for
+/// revival), and how many consecutive failures each live member has
+/// accumulated.
+///
+/// The transitions are deliberately explicit because the counters used
+/// to be inlined in the poll loop and mis-accounted two edges: strikes
+/// survived a death→revival→death flap (so a member flapping at exactly
+/// [`MEMBER_DEAD_STRIKES`] was re-declared dead on its *first* failure
+/// after revival, double-counting the pre-death strikes), and the poll
+/// budget was split over the original membership instead of the live
+/// one.
+struct MemberHealth {
+    /// Scheduler answered `Closed`: permanent, never polled again.
+    closed: Vec<bool>,
+    /// Net-unreachable after [`MEMBER_DEAD_STRIKES`] consecutive
+    /// failures; skipped except for periodic revival probes.
+    dead: Vec<bool>,
+    /// Consecutive retryable failures while live. Reset on success and
+    /// on *every* dead/alive transition, so each episode starts from a
+    /// clean count.
+    strikes: Vec<u32>,
+    /// Round-robin visits while dead, for spacing revival probes.
+    visits: Vec<u32>,
+}
+
+impl MemberHealth {
+    fn new(n: usize) -> Self {
+        MemberHealth {
+            closed: vec![false; n],
+            dead: vec![false; n],
+            strikes: vec![0; n],
+            visits: vec![0; n],
+        }
+    }
+
+    fn closed(&self, m: usize) -> bool {
+        self.closed[m]
+    }
+
+    /// Members worth polling at all (not closed, not written off).
+    /// The idle-rotation poll budget is split over this count.
+    fn live(&self) -> usize {
+        self.closed
+            .iter()
+            .zip(&self.dead)
+            .filter(|(c, d)| !**c && !**d)
+            .count()
+    }
+
+    /// Keep polling while at least one member is live; once every
+    /// member is closed or written off dead, the worker retires (a
+    /// written-off member's own crash handling and the driver's
+    /// deadline degradation own correctness past this point).
+    fn any_pollable(&self) -> bool {
+        self.live() > 0
+    }
+
+    /// Should this visit actually poll `m`? Live members always poll;
+    /// dead ones only on every [`MEMBER_REVIVE_EVERY`]-th visit.
+    fn should_probe(&mut self, m: usize) -> bool {
+        if !self.dead[m] {
+            return true;
+        }
+        self.visits[m] += 1;
+        self.visits[m].is_multiple_of(MEMBER_REVIVE_EVERY)
+    }
+
+    fn note_ok(&mut self, m: usize) {
+        self.strikes[m] = 0;
+        self.visits[m] = 0;
+        self.dead[m] = false;
+    }
+
+    fn note_closed(&mut self, m: usize) {
+        self.closed[m] = true;
+        self.dead[m] = false;
+    }
+
+    /// Record a retryable failure. Returns whether the caller should
+    /// back off briefly before the next poll (live member, not yet
+    /// written off). A failed revival probe keeps the member dead
+    /// without accumulating strikes — probes are free retries.
+    fn note_err(&mut self, m: usize) -> bool {
+        if self.dead[m] {
+            return false;
+        }
+        self.strikes[m] += 1;
+        if self.strikes[m] >= MEMBER_DEAD_STRIKES {
+            self.dead[m] = true;
+            // A fresh episode: the member must earn a full strike count
+            // again after revival, and probe spacing restarts.
+            self.strikes[m] = 0;
+            self.visits[m] = 0;
+            false
+        } else {
+            true
+        }
+    }
+}
+
 /// Run one staging bucket against a member cluster: poll every member's
 /// scheduler round-robin, fetch each task's rank pieces with a fan-out
 /// get (they may live on any member, or be mid-handoff), aggregate, and
@@ -258,56 +372,54 @@ pub fn run_cluster_bucket_worker(
     let obs_completed = reg.counter(&format!("worker.tasks.completed{{bucket={bucket_id}}}"));
     let obs_skipped = reg.counter(&format!("worker.tasks.skipped{{bucket={bucket_id}}}"));
     let n = client.member_count();
-    // One task request blocks until the member has work or the timeout
-    // lapses. Round-robin over n members must not multiply that wait —
-    // split the budget so a full idle rotation costs one
-    // `request_timeout`, the same bound as the single-space worker.
-    let poll_timeout = opts.request_timeout / n.max(1) as u32;
-    let mut closed = vec![false; n]; // scheduler said Closed: permanent
-    let mut dead = vec![false; n]; // unreachable: re-probed for revival
-    let mut strikes = vec![0u32; n];
-    let mut visits = vec![0u32; n];
+    let mut health = MemberHealth::new(n);
     let mut completed = 0usize;
     let mut member = 0usize;
-    while closed.iter().zip(&dead).any(|(c, d)| !c && !d) {
+    while health.any_pollable() {
         member = (member + 1) % n;
-        if closed[member] {
+        if health.closed(member) {
             continue;
         }
-        if dead[member] {
-            visits[member] += 1;
-            if visits[member] % MEMBER_REVIVE_EVERY != 0 {
-                continue;
-            }
+        if !health.should_probe(member) {
+            continue;
         }
+        // One task request blocks until the member has work or the
+        // timeout lapses. Round-robin must not multiply that wait — the
+        // budget is split so a full idle rotation costs one
+        // `request_timeout`, the same bound as the single-space worker.
+        // Re-derived every poll over the *live* member count: once
+        // members die or close, a stale full-membership split would
+        // shrink the rotation far below the budget and the worker would
+        // hammer the survivors with short polls.
+        let poll_timeout = opts.request_timeout / health.live().max(1) as u32;
         let poll = match client.request_task(member, bucket_id, poll_timeout) {
             Ok(p) => {
-                strikes[member] = 0;
-                dead[member] = false;
+                health.note_ok(member);
                 p
             }
             Err(e) if e.is_retryable() => {
                 // The member may be mid-restart or partitioned; a few
                 // more chances (the client already reconnected once),
                 // then it is written off until a revival probe answers.
-                if !dead[member] {
-                    strikes[member] += 1;
-                    if strikes[member] >= MEMBER_DEAD_STRIKES {
-                        dead[member] = true;
-                    } else {
-                        std::thread::sleep(opts.backoff.initial);
-                    }
+                if health.note_err(member) {
+                    std::thread::sleep(opts.backoff.initial);
                 }
                 continue;
             }
             Err(e) => return Err(e),
         };
-        let task = match poll {
-            TaskPoll::Assigned { data, .. } => decode_task(&data)
-                .map_err(|e| RemoteError::Proto(format!("bad task descriptor: {e}")))?,
+        // As in the single-space worker: tasks from any tenant land on
+        // any bucket, so the namespace rides on the assignment and the
+        // worker scopes each access explicitly.
+        let (task, tenant) = match poll {
+            TaskPoll::Assigned { data, tenant, .. } => (
+                decode_task(&data)
+                    .map_err(|e| RemoteError::Proto(format!("bad task descriptor: {e}")))?,
+                tenant,
+            ),
             TaskPoll::Empty => continue,
             TaskPoll::Closed => {
-                closed[member] = true;
+                health.note_closed(member);
                 continue;
             }
         };
@@ -315,7 +427,11 @@ pub fn run_cluster_bucket_worker(
             RemoteError::Proto(format!("task for unknown analysis {}", task.analysis_idx))
         })?;
         let query = BBox3::new([0, 0, 0], [task.n_ranks.max(1) as usize, 1, 1]);
-        let pieces = match client.get(&intermediate_var(&spec.label), task.step, &query) {
+        let pieces = match client.get(
+            &scoped_var(&tenant, &intermediate_var(&spec.label)),
+            task.step,
+            &query,
+        ) {
             Ok(p) => p,
             Err(_) => {
                 // Every member failed the fan-out; the task's inputs are
@@ -346,7 +462,7 @@ pub fn run_cluster_bucket_worker(
         let aggregate_secs = t_agg.elapsed().as_secs_f64();
         if client
             .put(
-                &output_var(&spec.label),
+                &scoped_var(&tenant, &output_var(&spec.label)),
                 task.step,
                 output_bbox(),
                 encode_analysis_output(&out),
@@ -476,6 +592,64 @@ mod tests {
             "overslept the deadline: {elapsed:?}"
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn member_health_flap_at_threshold_needs_full_strike_count() {
+        // The regression: a member that dies at exactly
+        // MEMBER_DEAD_STRIKES, revives on a probe, then fails again used
+        // to be re-declared dead on that *first* post-revival failure,
+        // because the pre-death strikes survived the flap.
+        let mut h = MemberHealth::new(2);
+        for _ in 0..MEMBER_DEAD_STRIKES {
+            h.note_err(0);
+        }
+        assert!(h.dead[0]);
+        assert_eq!(h.live(), 1, "poll budget follows live membership");
+
+        // Failed revival probes are free: no strikes accumulate while
+        // dead, and the member stays dead.
+        for _ in 0..10 {
+            assert!(!h.note_err(0), "dead-member probe must not back off");
+        }
+        assert!(h.dead[0]);
+
+        // A probe answers: fresh episode.
+        h.note_ok(0);
+        assert!(!h.dead[0]);
+        assert_eq!(h.live(), 2);
+
+        // The member must earn a full strike count again before being
+        // written off — strictly fewer failures keep it live.
+        for _ in 0..MEMBER_DEAD_STRIKES - 1 {
+            assert!(h.note_err(0), "live member under threshold backs off");
+            assert!(!h.dead[0], "flap must not double-count old strikes");
+        }
+        h.note_err(0);
+        assert!(h.dead[0]);
+    }
+
+    #[test]
+    fn member_health_probe_spacing_and_retirement() {
+        let mut h = MemberHealth::new(1);
+        for _ in 0..MEMBER_DEAD_STRIKES {
+            h.note_err(0);
+        }
+        // Every member dead (none closed): the worker retires rather
+        // than spinning on revival probes forever.
+        assert!(!h.any_pollable());
+        // Probes fire on every MEMBER_REVIVE_EVERY-th visit, not every
+        // rotation.
+        let probes = (0..MEMBER_REVIVE_EVERY * 3)
+            .filter(|_| h.should_probe(0))
+            .count();
+        assert_eq!(probes as u32, 3);
+        // Closing is permanent and distinct from death.
+        h.note_ok(0);
+        assert!(h.any_pollable());
+        h.note_closed(0);
+        assert!(h.closed(0));
+        assert!(!h.any_pollable());
     }
 
     #[test]

@@ -26,8 +26,15 @@ pub mod codec;
 pub mod remote;
 pub mod sched;
 pub mod space;
+pub mod tenant;
 
 pub use codec::{bytes_to_field, field_to_bytes};
-pub use remote::{ControlHandler, RemoteError, RemoteSpace, RemoteStats, SpaceServer, TaskPoll};
-pub use sched::{Admission, AdmissionPolicy, BucketHandle, SchedStats, Scheduler};
-pub use space::{DataSpaces, ObjectMeta, SpaceStats};
+pub use remote::{
+    ControlHandler, RemoteError, RemoteSpace, RemoteStats, SpaceServer, TaskPoll, TenantRow,
+};
+pub use sched::{
+    Admission, AdmissionPolicy, BucketHandle, SchedStats, Scheduler, TenantSchedStats,
+    TenantSnapshot,
+};
+pub use space::{DataSpaces, ObjectMeta, QuotaExceeded, SpaceStats};
+pub use tenant::{scoped_var, tenant_of_var, TenantSpec, DEFAULT_TENANT};

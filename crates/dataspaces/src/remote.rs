@@ -19,6 +19,7 @@
 
 use crate::sched::{Admission, AdmissionPolicy, SchedStats, Scheduler};
 use crate::space::DataSpaces;
+use crate::tenant::{scoped_var, TenantSpec, DEFAULT_TENANT};
 use bytes::{BufMut, Bytes, BytesMut};
 use sitra_mesh::{BBox3, ScalarField};
 use sitra_net::{serve, Addr, Backoff, ConnStats, Connection, Listener, NetError, ServerHandle};
@@ -89,6 +90,8 @@ const REQ_CLOSE_SCHED: u8 = 9;
 const REQ_SUBMIT_TASK_ADM: u8 = 10;
 const REQ_SCHED_POLICY: u8 = 11;
 const REQ_CONTROL: u8 = 12;
+const REQ_SET_TENANT: u8 = 13;
+const REQ_TENANT_STATS: u8 = 14;
 
 const RESP_OK: u8 = 100;
 const RESP_SEQ: u8 = 101;
@@ -99,6 +102,7 @@ const RESP_STATS: u8 = 105;
 const RESP_ADMISSION: u8 = 106;
 const RESP_POLICY: u8 = 107;
 const RESP_CONTROL: u8 = 108;
+const RESP_TENANT_STATS: u8 = 109;
 const RESP_ERROR: u8 = 199;
 
 // Admission verdict tags (RESP_ADMISSION payload).
@@ -186,6 +190,46 @@ pub enum Request {
         /// server's control handler.
         data: Bytes,
     },
+    /// Declare this connection's tenant: registers (or updates) the
+    /// tenant's weight/quotas/policy server-side and binds every
+    /// subsequent data-plane request on this connection to the tenant's
+    /// namespace. Clients that never send it stay on the default tenant
+    /// with unscoped variables — the entire pre-tenancy protocol is a
+    /// valid conversation.
+    SetTenant {
+        /// The tenant declaration.
+        spec: TenantSpec,
+    },
+    /// Per-tenant scheduler counters and space residency.
+    TenantStats,
+}
+
+/// One tenant's combined server-side counters, as reported by
+/// [`Request::TenantStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantRow {
+    /// Tenant name.
+    pub name: String,
+    /// DRR weight.
+    pub weight: u32,
+    /// Tasks currently queued.
+    pub queued: u64,
+    /// Task quota (`None` = unlimited).
+    pub task_quota: Option<u64>,
+    /// Tasks admitted.
+    pub tasks_submitted: u64,
+    /// Task assignments.
+    pub tasks_assigned: u64,
+    /// Tasks requeued after failed hand-offs.
+    pub tasks_requeued: u64,
+    /// Queued tasks shed.
+    pub tasks_shed: u64,
+    /// Submissions refused.
+    pub tasks_rejected: u64,
+    /// Bytes resident in the space.
+    pub resident_bytes: u64,
+    /// Byte quota (`None` = unlimited).
+    pub byte_quota: Option<u64>,
 }
 
 /// The outcome of a bucket-ready request.
@@ -197,6 +241,12 @@ pub enum TaskPoll {
         seq: u64,
         /// Encoded task descriptor.
         data: Bytes,
+        /// Tenant that submitted the task. Buckets are shared across
+        /// tenants, so the worker needs this to scope its input gets
+        /// and output puts to the right namespace
+        /// ([`crate::scoped_var`]); [`crate::DEFAULT_TENANT`] scopes to
+        /// the unprefixed legacy namespace.
+        tenant: String,
     },
     /// The wait elapsed with no task available.
     Empty,
@@ -254,6 +304,8 @@ pub enum Response {
         /// Opaque payload produced by the control handler.
         data: Bytes,
     },
+    /// Per-tenant counters, one row per tenant known to the server.
+    TenantRows(Vec<TenantRow>),
     /// The request failed server-side.
     Error(String),
 }
@@ -330,6 +382,25 @@ impl Rd {
         Ok(BBox3::new(lo, hi))
     }
 
+    fn opt_u64(&mut self) -> Result<Option<u64>, RemoteError> {
+        let has = self.u8()? != 0;
+        let v = self.u64()?;
+        Ok(has.then_some(v))
+    }
+
+    fn policy(&mut self) -> Result<AdmissionPolicy, RemoteError> {
+        let tag = self.u8()?;
+        let wait_ms = self.u64()?;
+        match tag {
+            POL_BLOCK => Ok(AdmissionPolicy::Block {
+                max_wait: Duration::from_millis(wait_ms),
+            }),
+            POL_SHED_OLDEST => Ok(AdmissionPolicy::ShedOldest),
+            POL_REJECT_NEW => Ok(AdmissionPolicy::RejectNew),
+            t => Err(RemoteError::Proto(format!("unknown policy tag {t}"))),
+        }
+    }
+
     fn finish(self) -> Result<(), RemoteError> {
         if self.remaining() != 0 {
             return Err(RemoteError::Proto("trailing bytes".into()));
@@ -346,6 +417,28 @@ fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
 fn put_bbox(buf: &mut BytesMut, b: &BBox3) {
     for v in b.lo.iter().chain(b.hi.iter()) {
         buf.put_u64_le(*v as u64);
+    }
+}
+
+fn put_opt_u64(buf: &mut BytesMut, v: Option<u64>) {
+    buf.put_u8(u8::from(v.is_some()));
+    buf.put_u64_le(v.unwrap_or(0));
+}
+
+fn put_policy(buf: &mut BytesMut, policy: &AdmissionPolicy) {
+    match policy {
+        AdmissionPolicy::Block { max_wait } => {
+            buf.put_u8(POL_BLOCK);
+            buf.put_u64_le(max_wait.as_millis() as u64);
+        }
+        AdmissionPolicy::ShedOldest => {
+            buf.put_u8(POL_SHED_OLDEST);
+            buf.put_u64_le(0);
+        }
+        AdmissionPolicy::RejectNew => {
+            buf.put_u8(POL_REJECT_NEW);
+            buf.put_u64_le(0);
+        }
     }
 }
 
@@ -406,6 +499,25 @@ pub fn encode_request(req: &Request) -> Bytes {
             buf.put_u8(REQ_CONTROL);
             put_bytes(&mut buf, data);
         }
+        Request::SetTenant { spec } => {
+            buf.put_u8(REQ_SET_TENANT);
+            put_bytes(&mut buf, spec.name.as_bytes());
+            buf.put_u32_le(spec.weight);
+            put_opt_u64(&mut buf, spec.byte_quota);
+            put_opt_u64(&mut buf, spec.task_quota.map(|t| t as u64));
+            match &spec.policy {
+                Some(p) => {
+                    buf.put_u8(1);
+                    put_policy(&mut buf, p);
+                }
+                None => {
+                    buf.put_u8(0);
+                    buf.put_u8(0);
+                    buf.put_u64_le(0);
+                }
+            }
+        }
+        Request::TenantStats => buf.put_u8(REQ_TENANT_STATS),
     }
     buf.freeze()
 }
@@ -438,6 +550,33 @@ pub fn decode_request(frame: Bytes) -> Result<Request, RemoteError> {
         REQ_EVICT_VERSION => Request::EvictVersion { version: rd.u64()? },
         REQ_CLOSE_SCHED => Request::CloseSched,
         REQ_CONTROL => Request::Control { data: rd.bytes()? },
+        REQ_SET_TENANT => {
+            let name = rd.string()?;
+            if name.is_empty() || name.contains(crate::tenant::TENANT_SEP) {
+                return Err(RemoteError::Proto(format!("bad tenant name `{name}`")));
+            }
+            let weight = rd.u32()?;
+            let byte_quota = rd.opt_u64()?;
+            let task_quota = rd.opt_u64()?.map(|t| t as usize);
+            let has_policy = rd.u8()? != 0;
+            let policy = rd.policy().ok().filter(|_| has_policy);
+            // A policy-less SetTenant still carries the two filler
+            // bytes+u64 (consumed above by the failed/ignored parse); a
+            // malformed policy tag with has_policy set is an error.
+            if has_policy && policy.is_none() {
+                return Err(RemoteError::Proto("bad tenant policy".into()));
+            }
+            Request::SetTenant {
+                spec: TenantSpec {
+                    name,
+                    weight: weight.max(1),
+                    byte_quota,
+                    task_quota,
+                    policy,
+                },
+            }
+        }
+        REQ_TENANT_STATS => Request::TenantStats,
         t => return Err(RemoteError::Proto(format!("unknown request tag {t}"))),
     };
     rd.finish()?;
@@ -469,10 +608,11 @@ pub fn encode_response(resp: &Response) -> Bytes {
         Response::Task(poll) => {
             buf.put_u8(RESP_TASK);
             match poll {
-                TaskPoll::Assigned { seq, data } => {
+                TaskPoll::Assigned { seq, data, tenant } => {
                     buf.put_u8(0);
                     buf.put_u64_le(*seq);
                     put_bytes(&mut buf, data);
+                    put_bytes(&mut buf, tenant.as_bytes());
                 }
                 TaskPoll::Empty => buf.put_u8(1),
                 TaskPoll::Closed => buf.put_u8(2),
@@ -528,6 +668,23 @@ pub fn encode_response(resp: &Response) -> Bytes {
             buf.put_u8(RESP_CONTROL);
             put_bytes(&mut buf, data);
         }
+        Response::TenantRows(rows) => {
+            buf.put_u8(RESP_TENANT_STATS);
+            buf.put_u32_le(rows.len() as u32);
+            for r in rows {
+                put_bytes(&mut buf, r.name.as_bytes());
+                buf.put_u32_le(r.weight);
+                buf.put_u64_le(r.queued);
+                put_opt_u64(&mut buf, r.task_quota);
+                buf.put_u64_le(r.tasks_submitted);
+                buf.put_u64_le(r.tasks_assigned);
+                buf.put_u64_le(r.tasks_requeued);
+                buf.put_u64_le(r.tasks_shed);
+                buf.put_u64_le(r.tasks_rejected);
+                buf.put_u64_le(r.resident_bytes);
+                put_opt_u64(&mut buf, r.byte_quota);
+            }
+        }
         Response::Error(msg) => {
             buf.put_u8(RESP_ERROR);
             put_bytes(&mut buf, msg.as_bytes());
@@ -565,6 +722,7 @@ pub fn decode_response(frame: Bytes) -> Result<Response, RemoteError> {
             0 => Response::Task(TaskPoll::Assigned {
                 seq: rd.u64()?,
                 data: rd.bytes()?,
+                tenant: rd.string()?,
             }),
             1 => Response::Task(TaskPoll::Empty),
             2 => Response::Task(TaskPoll::Closed),
@@ -609,6 +767,31 @@ pub fn decode_response(frame: Bytes) -> Result<Response, RemoteError> {
             }
         }
         RESP_CONTROL => Response::Control { data: rd.bytes()? },
+        RESP_TENANT_STATS => {
+            let n = rd.u32()? as usize;
+            // Each row is at least a name length prefix plus the fixed
+            // numeric fields.
+            if n.checked_mul(78).is_none_or(|total| total > rd.remaining()) {
+                return Err(RemoteError::Proto("tenant row count exceeds frame".into()));
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(TenantRow {
+                    name: rd.string()?,
+                    weight: rd.u32()?,
+                    queued: rd.u64()?,
+                    task_quota: rd.opt_u64()?,
+                    tasks_submitted: rd.u64()?,
+                    tasks_assigned: rd.u64()?,
+                    tasks_requeued: rd.u64()?,
+                    tasks_shed: rd.u64()?,
+                    tasks_rejected: rd.u64()?,
+                    resident_bytes: rd.u64()?,
+                    byte_quota: rd.opt_u64()?,
+                });
+            }
+            Response::TenantRows(rows)
+        }
         RESP_ERROR => Response::Error(rd.string()?),
         t => return Err(RemoteError::Proto(format!("unknown response tag {t}"))),
     };
@@ -737,6 +920,14 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
     let reg = sitra_obs::global();
     let rpc_requests = reg.counter("space.rpc.requests");
     let rpc_proto_errors = reg.counter("space.rpc.proto_errors");
+    // The connection's tenant binding: None until a SetTenant arrives,
+    // which keeps every legacy client on the default tenant with
+    // unscoped variable names and unscoped eviction.
+    let mut tenant: Option<String> = None;
+    let scope = |tenant: &Option<String>, var: &str| match tenant {
+        Some(t) => scoped_var(t, var),
+        None => var.to_string(),
+    };
     loop {
         let frame = match conn.recv() {
             Ok(f) => f,
@@ -758,22 +949,37 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
                 bbox,
                 data,
             } => {
-                inner.space.put(&var, version, bbox, data);
-                Response::Ok
+                // Quota-checked even for unbound connections: a client
+                // may address another tenant's namespace explicitly (the
+                // cluster handoff path does), and the quota follows the
+                // name, not the connection.
+                match inner
+                    .space
+                    .put_quota(&scope(&tenant, &var), version, bbox, data)
+                {
+                    Ok(_) => Response::Ok,
+                    Err(e) => Response::Error(e.to_string()),
+                }
             }
             Request::Get { var, version, bbox } => {
-                Response::Pieces(inner.space.get(&var, version, &bbox))
+                Response::Pieces(inner.space.get(&scope(&tenant, &var), version, &bbox))
             }
-            Request::LatestVersion { var } => Response::Version(inner.space.latest_version(&var)),
-            Request::SubmitTask { data } => match inner.sched.submit_admission(data) {
-                Admission::Accepted { seq } | Admission::AcceptedShed { seq, .. } => {
-                    Response::Seq(seq)
+            Request::LatestVersion { var } => {
+                Response::Version(inner.space.latest_version(&scope(&tenant, &var)))
+            }
+            Request::SubmitTask { data } => {
+                let t = tenant.as_deref().unwrap_or(DEFAULT_TENANT);
+                match inner.sched.submit_admission_as(t, data) {
+                    Admission::Accepted { seq } | Admission::AcceptedShed { seq, .. } => {
+                        Response::Seq(seq)
+                    }
+                    Admission::Closed => Response::Error("scheduler closed".into()),
+                    verdict => Response::Error(format!("task not admitted: {verdict:?}")),
                 }
-                Admission::Closed => Response::Error("scheduler closed".into()),
-                verdict => Response::Error(format!("task not admitted: {verdict:?}")),
-            },
+            }
             Request::SubmitTaskAdm { data } => {
-                Response::Admission(inner.sched.submit_admission(data))
+                let t = tenant.as_deref().unwrap_or(DEFAULT_TENANT);
+                Response::Admission(inner.sched.submit_admission_as(t, data))
             }
             Request::SchedPolicy => Response::Policy {
                 capacity: inner.sched.capacity().map(|c| c as u64),
@@ -803,7 +1009,12 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
                 })
             }
             Request::EvictVersion { version } => {
-                inner.space.evict_version(version);
+                // A tenant-bound connection reclaims only its own
+                // namespace; an unbound one keeps the global semantics.
+                match &tenant {
+                    Some(t) => inner.space.evict_version_scoped(t, version),
+                    None => inner.space.evict_version(version),
+                }
                 Response::Ok
             }
             Request::CloseSched => {
@@ -816,11 +1027,67 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
                 },
                 None => Response::Error("control frames not supported".into()),
             },
+            Request::SetTenant { spec } => {
+                inner.sched.register_tenant(&spec);
+                inner
+                    .space
+                    .set_tenant_byte_quota(&spec.name, spec.byte_quota);
+                tenant = Some(spec.name);
+                Response::Ok
+            }
+            Request::TenantStats => Response::TenantRows(tenant_rows(inner)),
         };
         if conn.send(encode_response(&resp)).is_err() {
             return;
         }
     }
+}
+
+/// Join the scheduler's per-tenant snapshot with the space's residency
+/// ledger into the wire rows.
+fn tenant_rows(inner: &ServerInner) -> Vec<TenantRow> {
+    let usage: std::collections::HashMap<String, (u64, Option<u64>)> = inner
+        .space
+        .tenant_usage()
+        .into_iter()
+        .map(|(name, used, quota)| (name, (used, quota)))
+        .collect();
+    let mut rows: Vec<TenantRow> = inner
+        .sched
+        .tenant_stats()
+        .into_iter()
+        .map(|t| {
+            let (resident_bytes, byte_quota) = usage.get(&t.name).copied().unwrap_or((0, None));
+            TenantRow {
+                name: t.name,
+                weight: t.weight,
+                queued: t.queued,
+                task_quota: t.task_quota,
+                tasks_submitted: t.stats.tasks_submitted,
+                tasks_assigned: t.stats.tasks_assigned,
+                tasks_requeued: t.stats.tasks_requeued,
+                tasks_shed: t.stats.tasks_shed,
+                tasks_rejected: t.stats.tasks_rejected,
+                resident_bytes,
+                byte_quota,
+            }
+        })
+        .collect();
+    // Tenants with resident bytes but no scheduler traffic still get a
+    // row (puts-only tenants exist).
+    for (name, (used, quota)) in usage {
+        if !rows.iter().any(|r| r.name == name) {
+            rows.push(TenantRow {
+                name,
+                weight: 1,
+                resident_bytes: used,
+                byte_quota: quota,
+                ..TenantRow::default()
+            });
+        }
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    rows
 }
 
 /// Serve one bucket-ready request. Returns false when the connection
@@ -863,10 +1130,15 @@ fn handle_request_task(
     };
     // Two-phase hand-off: send, then require an ack on the same
     // connection. Either failure requeues the task at the queue head.
+    let tenant = inner
+        .sched
+        .tenant_of(seq)
+        .unwrap_or_else(|| DEFAULT_TENANT.to_string());
     let sent = conn
         .send(encode_response(&Response::Task(TaskPoll::Assigned {
             seq,
             data: data.clone(),
+            tenant,
         })))
         .is_ok();
     if !sent {
@@ -878,6 +1150,7 @@ fn handle_request_task(
     match conn.recv_timeout(ACK_TIMEOUT) {
         Ok(frame) => match decode_request(frame) {
             Ok(Request::AckTask { seq: acked }) if acked == seq => {
+                inner.sched.ack(seq);
                 sitra_obs::global()
                     .histogram("space.rpc.ack_ns")
                     .observe(t_sent.elapsed());
@@ -1121,6 +1394,25 @@ impl RemoteSpace {
         self.expect_ok(&Request::CloseSched)
     }
 
+    /// Declare this connection's tenant: registers (or updates) the
+    /// tenant server-side and scopes every subsequent request on this
+    /// connection to its namespace. Must be re-sent after a reconnect —
+    /// the binding is per-connection, not per-client.
+    pub fn set_tenant(&self, spec: &TenantSpec) -> Result<(), RemoteError> {
+        self.expect_ok(&Request::SetTenant { spec: spec.clone() })
+    }
+
+    /// Per-tenant scheduler counters and space residency, one row per
+    /// tenant the server has seen, sorted by name.
+    pub fn tenant_stats(&self) -> Result<Vec<TenantRow>, RemoteError> {
+        match self.rpc(&Request::TenantStats)? {
+            Response::TenantRows(rows) => Ok(rows),
+            other => Err(RemoteError::Proto(format!(
+                "expected TenantRows, got {other:?}"
+            ))),
+        }
+    }
+
     /// Send an opaque control frame and return the handler's reply.
     /// Errors with [`RemoteError::Server`] when the server was started
     /// without a control handler.
@@ -1200,6 +1492,19 @@ mod tests {
             Request::Control {
                 data: Bytes::from_static(b"\x00opaque"),
             },
+            Request::SetTenant {
+                spec: TenantSpec::new("viz")
+                    .with_weight(3)
+                    .with_byte_quota(1 << 20)
+                    .with_task_quota(8)
+                    .with_policy(AdmissionPolicy::Block {
+                        max_wait: Duration::from_millis(40),
+                    }),
+            },
+            Request::SetTenant {
+                spec: TenantSpec::new("plain"),
+            },
+            Request::TenantStats,
         ];
         for r in reqs {
             assert_eq!(decode_request(encode_request(&r)).unwrap(), r);
@@ -1220,6 +1525,7 @@ mod tests {
             Response::Task(TaskPoll::Assigned {
                 seq: 5,
                 data: Bytes::from_static(b"t"),
+                tenant: "acme".into(),
             }),
             Response::Task(TaskPoll::Empty),
             Response::Task(TaskPoll::Closed),
@@ -1257,6 +1563,27 @@ mod tests {
             Response::Control {
                 data: Bytes::from_static(b"reply"),
             },
+            Response::TenantRows(vec![
+                TenantRow {
+                    name: "default".into(),
+                    weight: 1,
+                    ..TenantRow::default()
+                },
+                TenantRow {
+                    name: "viz".into(),
+                    weight: 3,
+                    queued: 2,
+                    task_quota: Some(8),
+                    tasks_submitted: 10,
+                    tasks_assigned: 7,
+                    tasks_requeued: 1,
+                    tasks_shed: 1,
+                    tasks_rejected: 2,
+                    resident_bytes: 4096,
+                    byte_quota: Some(1 << 20),
+                },
+            ]),
+            Response::TenantRows(vec![]),
             Response::Error("boom".into()),
         ];
         for r in resps {
@@ -1318,7 +1645,8 @@ mod tests {
             bucket.request_task(0, Duration::from_secs(2)).unwrap(),
             TaskPoll::Assigned {
                 seq: 0,
-                data: Bytes::from_static(b"job-0")
+                data: Bytes::from_static(b"job-0"),
+                tenant: DEFAULT_TENANT.into(),
             }
         );
         producer.close_sched().unwrap();
@@ -1353,7 +1681,8 @@ mod tests {
             polled,
             TaskPoll::Assigned {
                 seq: 0,
-                data: Bytes::from_static(b"precious")
+                data: Bytes::from_static(b"precious"),
+                tenant: DEFAULT_TENANT.into(),
             }
         );
         let stats = producer.stats().unwrap();
@@ -1404,14 +1733,16 @@ mod tests {
             bucket.request_task(0, Duration::from_secs(2)).unwrap(),
             TaskPoll::Assigned {
                 seq: 1,
-                data: Bytes::from_static(b"t1")
+                data: Bytes::from_static(b"t1"),
+                tenant: DEFAULT_TENANT.into(),
             }
         );
         assert_eq!(
             bucket.request_task(0, Duration::from_secs(2)).unwrap(),
             TaskPoll::Assigned {
                 seq: 2,
-                data: Bytes::from_static(b"t2")
+                data: Bytes::from_static(b"t2"),
+                tenant: DEFAULT_TENANT.into(),
             }
         );
         producer.close_sched().unwrap();
@@ -1500,6 +1831,67 @@ mod tests {
             client.control(Bytes::from_static(b"x")),
             Err(RemoteError::Server(_))
         ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn tenant_binding_scopes_the_connection() {
+        let addr: Addr = "inproc://space-tenant".parse().unwrap();
+        let server = SpaceServer::start(&addr, 2).unwrap();
+        let b = mk_bbox([0, 0, 0], [1, 1, 1]);
+        let data = Bytes::from(vec![1u8; 64]);
+
+        // Two tenants and one legacy client all put "T" version 1.
+        let viz = RemoteSpace::connect(&server.addr()).unwrap();
+        viz.set_tenant(&TenantSpec::new("viz").with_weight(2))
+            .unwrap();
+        let stats_client = RemoteSpace::connect(&server.addr()).unwrap();
+        stats_client.set_tenant(&TenantSpec::new("stats")).unwrap();
+        let legacy = RemoteSpace::connect(&server.addr()).unwrap();
+        viz.put("T", 1, b, data.clone()).unwrap();
+        stats_client.put("T", 1, b, data.clone()).unwrap();
+        legacy.put("T", 1, b, data.clone()).unwrap();
+
+        // Each sees exactly its own piece under the same name.
+        assert_eq!(viz.get("T", 1, &b).unwrap().len(), 1);
+        assert_eq!(stats_client.get("T", 1, &b).unwrap().len(), 1);
+        assert_eq!(legacy.get("T", 1, &b).unwrap().len(), 1);
+
+        // Tenant-scoped eviction spares the neighbours.
+        viz.evict_version(1).unwrap();
+        assert!(viz.get("T", 1, &b).unwrap().is_empty());
+        assert_eq!(stats_client.get("T", 1, &b).unwrap().len(), 1);
+        assert_eq!(legacy.get("T", 1, &b).unwrap().len(), 1);
+
+        // Task submissions are attributed per tenant.
+        viz.submit_task(Bytes::from_static(b"v0")).unwrap();
+        stats_client.submit_task(Bytes::from_static(b"s0")).unwrap();
+        legacy.submit_task(Bytes::from_static(b"l0")).unwrap();
+        let rows = viz.tenant_stats().unwrap();
+        let row = |name: &str| rows.iter().find(|r| r.name == name).unwrap().clone();
+        assert_eq!(row("viz").tasks_submitted, 1);
+        assert_eq!(row("viz").weight, 2);
+        assert_eq!(row("stats").tasks_submitted, 1);
+        assert_eq!(row("default").tasks_submitted, 1);
+        assert_eq!(row("stats").resident_bytes, 64);
+        assert_eq!(row("viz").resident_bytes, 0, "evicted");
+        server.shutdown();
+    }
+
+    #[test]
+    fn byte_quota_refusal_is_a_server_error() {
+        let addr: Addr = "inproc://space-bytequota".parse().unwrap();
+        let server = SpaceServer::start(&addr, 1).unwrap();
+        let c = RemoteSpace::connect(&server.addr()).unwrap();
+        c.set_tenant(&TenantSpec::new("small").with_byte_quota(100))
+            .unwrap();
+        let b = mk_bbox([0, 0, 0], [1, 1, 1]);
+        c.put("T", 1, b, Bytes::from(vec![0u8; 80])).unwrap();
+        let err = c.put("T", 2, b, Bytes::from(vec![0u8; 80])).unwrap_err();
+        assert!(matches!(err, RemoteError::Server(_)), "{err}");
+        assert!(!err.is_retryable(), "quota refusal must not be retried");
+        // Redelivery of the SAME piece replaces and stays admitted.
+        c.put("T", 1, b, Bytes::from(vec![1u8; 80])).unwrap();
         server.shutdown();
     }
 

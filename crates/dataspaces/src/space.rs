@@ -1,7 +1,8 @@
 //! The versioned, bbox-indexed shared space, sharded over servers.
 
+use crate::tenant::tenant_of_var;
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use sitra_mesh::{field::assemble, BBox3, ScalarField};
 use std::collections::HashMap;
@@ -39,6 +40,90 @@ pub struct SpaceStats {
     pub resident_bytes: u64,
 }
 
+/// A [`DataSpaces::put_quota`] was refused: admitting the object would
+/// push the tenant past its resident-byte quota.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuotaExceeded {
+    /// The tenant that was refused.
+    pub tenant: String,
+    /// Its byte quota.
+    pub quota: u64,
+    /// Bytes resident when the put arrived.
+    pub used: u64,
+    /// Size of the refused object.
+    pub requested: u64,
+}
+
+impl std::fmt::Display for QuotaExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant `{}` byte quota exceeded: {} resident + {} requested > {} quota",
+            self.tenant, self.used, self.requested, self.quota
+        )
+    }
+}
+
+/// One tenant's resident-byte account.
+struct TenantBytes {
+    quota: Option<u64>,
+    used: i64,
+    gauge: sitra_obs::Gauge,
+}
+
+/// Per-tenant resident-byte ledger, keyed by the tenant prefix of each
+/// stored variable name. Kept in its own lock, taken only briefly and
+/// never while a shard lock is held (and vice versa): reservation is
+/// check-and-add *before* the store, so a racing put may be refused
+/// conservatively but resident bytes can never exceed the quota.
+#[derive(Default)]
+struct TenantLedger {
+    by_name: Mutex<HashMap<String, TenantBytes>>,
+}
+
+impl TenantLedger {
+    fn with<R>(&self, tenant: &str, f: impl FnOnce(&mut TenantBytes) -> R) -> R {
+        let mut g = self.by_name.lock();
+        let e = g.entry(tenant.to_string()).or_insert_with(|| TenantBytes {
+            quota: None,
+            used: 0,
+            gauge: sitra_obs::global()
+                .gauge(&format!("space.tenant.resident_bytes{{tenant={tenant}}}")),
+        });
+        f(e)
+    }
+
+    fn add(&self, tenant: &str, delta: i64) {
+        self.with(tenant, |e| {
+            e.used += delta;
+            e.gauge.set(e.used);
+        });
+    }
+
+    /// Check-and-reserve `delta` net bytes (`requested` is the object
+    /// size, reported on refusal); `Err` carries the refusal detail. A
+    /// non-positive delta (a replace that shrinks) always succeeds.
+    fn reserve(&self, tenant: &str, delta: i64, requested: u64) -> Result<(), QuotaExceeded> {
+        self.with(tenant, |e| {
+            if delta > 0 {
+                if let Some(quota) = e.quota {
+                    if e.used.max(0) + delta > quota as i64 {
+                        return Err(QuotaExceeded {
+                            tenant: tenant.to_string(),
+                            quota,
+                            used: e.used.max(0) as u64,
+                            requested,
+                        });
+                    }
+                }
+            }
+            e.used += delta;
+            e.gauge.set(e.used);
+            Ok(())
+        })
+    }
+}
+
 /// Live observability handles for one space, resolved once at
 /// construction: per-shard put latency (`space.shard.put_ns{shard=i}`),
 /// whole-query get latency (`space.get_ns`), and residency gauges.
@@ -69,6 +154,7 @@ impl SpaceObs {
 pub struct DataSpaces {
     servers: Vec<Server>,
     obs: SpaceObs,
+    tenants: TenantLedger,
 }
 
 impl DataSpaces {
@@ -78,7 +164,27 @@ impl DataSpaces {
         Self {
             servers: (0..servers).map(|_| Server::default()).collect(),
             obs: SpaceObs::resolve(servers),
+            tenants: TenantLedger::default(),
         }
+    }
+
+    /// Bound (or unbound, with `None`) the bytes `tenant` may keep
+    /// resident. Applies to future [`Self::put_quota`] calls; already
+    /// resident bytes are never evicted by a quota change.
+    pub fn set_tenant_byte_quota(&self, tenant: &str, quota: Option<u64>) {
+        self.tenants.with(tenant, |e| e.quota = quota);
+    }
+
+    /// Per-tenant residency snapshot: `(tenant, resident_bytes, quota)`
+    /// in tenant-name order.
+    pub fn tenant_usage(&self) -> Vec<(String, u64, Option<u64>)> {
+        let g = self.tenants.by_name.lock();
+        let mut out: Vec<_> = g
+            .iter()
+            .map(|(name, e)| (name.clone(), e.used.max(0) as u64, e.quota))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Number of server shards.
@@ -106,6 +212,67 @@ impl DataSpaces {
     /// consumers that stream pieces into order-sensitive aggregators
     /// must never see the same block twice.
     pub fn put(&self, var: &str, version: u64, bbox: BBox3, data: Bytes) -> usize {
+        let len = data.len() as i64;
+        let (s, replaced) = self.store(var, version, bbox, data);
+        self.tenants
+            .add(tenant_of_var(var).0, len - replaced.unwrap_or(0));
+        s
+    }
+
+    /// Store an object with the tenant's resident-byte quota enforced:
+    /// the tenant is parsed off the variable-name prefix and the put is
+    /// refused if admitting it would exceed the quota. This is the verb
+    /// the remote server applies to every client put; producers turn the
+    /// refusal into in-situ degradation, same as a shed task.
+    pub fn put_quota(
+        &self,
+        var: &str,
+        version: u64,
+        bbox: BBox3,
+        data: Bytes,
+    ) -> Result<usize, QuotaExceeded> {
+        let tenant = tenant_of_var(var).0.to_string();
+        let len = data.len() as i64;
+        // An at-least-once redelivery replaces the stored piece, so only
+        // the *net* growth counts against the quota — peek the existing
+        // piece's size first, and square up against the actual replaced
+        // size after the store (a racing same-region put may change it).
+        let s = self.shard(var, version, &bbox);
+        let old_peek = {
+            let guard = self.servers[s].objects.read();
+            guard
+                .get(&(var.to_string(), version))
+                .and_then(|objs| objs.iter().find(|o| o.bbox == bbox))
+                .map(|o| o.data.len() as i64)
+        };
+        if let Err(e) = self
+            .tenants
+            .reserve(&tenant, len - old_peek.unwrap_or(0), len as u64)
+        {
+            sitra_obs::emit(
+                "space",
+                "tenant.quota_reject",
+                &[
+                    ("tenant", tenant.clone()),
+                    ("requested", len.to_string()),
+                    ("quota", e.quota.to_string()),
+                ],
+            );
+            return Err(e);
+        }
+        let (s2, replaced) = self.store(var, version, bbox, data);
+        debug_assert_eq!(s, s2);
+        let adjust = old_peek.unwrap_or(0) - replaced.unwrap_or(0);
+        if adjust != 0 {
+            self.tenants.add(&tenant, adjust);
+        }
+        Ok(s2)
+    }
+
+    /// The storage core shared by [`Self::put`] and [`Self::put_quota`]:
+    /// returns the shard and, when the piece replaced an existing one,
+    /// the replaced length. No tenant-ledger accounting happens here.
+    fn store(&self, var: &str, version: u64, bbox: BBox3, data: Bytes) -> (usize, Option<i64>) {
         let s = self.shard(var, version, &bbox);
         let len = data.len() as i64;
         let t0 = std::time::Instant::now();
@@ -132,7 +299,7 @@ impl DataSpaces {
                 self.obs.objects.add(1);
             }
         }
-        s
+        (s, replaced)
     }
 
     /// Store a field (serializing its values).
@@ -200,15 +367,33 @@ impl DataSpaces {
     }
 
     /// Drop every object of a version (staging memory reclamation once a
-    /// timestep's analyses are done).
+    /// timestep's analyses are done). See [`Self::evict_version_scoped`]
+    /// for the tenant-restricted variant.
     pub fn evict_version(&self, version: u64) {
+        self.evict_where(|_, v| v == version);
+    }
+
+    /// Drop every object of `version` belonging to `tenant` only — the
+    /// eviction a tenant-bound connection performs, so one tenant
+    /// finishing a timestep cannot reclaim a neighbour's pieces that
+    /// happen to share the version number.
+    pub fn evict_version_scoped(&self, tenant: &str, version: u64) {
+        self.evict_where(|var, v| v == version && tenant_of_var(var).0 == tenant);
+    }
+
+    fn evict_where(&self, mut pred: impl FnMut(&str, u64) -> bool) {
         let mut freed_bytes = 0i64;
         let mut freed_objects = 0i64;
+        let mut freed_by_tenant: HashMap<String, i64> = HashMap::new();
         for server in &self.servers {
-            server.objects.write().retain(|(_, v), objs| {
-                if *v == version {
+            server.objects.write().retain(|(var, v), objs| {
+                if pred(var, *v) {
+                    let bytes: i64 = objs.iter().map(|o| o.data.len() as i64).sum();
                     freed_objects += objs.len() as i64;
-                    freed_bytes += objs.iter().map(|o| o.data.len() as i64).sum::<i64>();
+                    freed_bytes += bytes;
+                    *freed_by_tenant
+                        .entry(tenant_of_var(var).0.to_string())
+                        .or_default() += bytes;
                     false
                 } else {
                     true
@@ -217,6 +402,9 @@ impl DataSpaces {
         }
         self.obs.resident_bytes.add(-freed_bytes);
         self.obs.objects.add(-freed_objects);
+        for (tenant, bytes) in freed_by_tenant {
+            self.tenants.add(&tenant, -bytes);
+        }
     }
 
     /// Remove and return every object for which `disown` answers true,
@@ -230,6 +418,7 @@ impl DataSpaces {
     {
         let mut out = Vec::new();
         let mut freed_bytes = 0i64;
+        let mut freed_by_tenant: HashMap<String, i64> = HashMap::new();
         for server in &self.servers {
             let mut guard = server.objects.write();
             for ((var, version), objs) in guard.iter_mut() {
@@ -238,6 +427,9 @@ impl DataSpaces {
                     if disown(var, *version, &objs[i].bbox) {
                         let o = objs.swap_remove(i);
                         freed_bytes += o.data.len() as i64;
+                        *freed_by_tenant
+                            .entry(tenant_of_var(var).0.to_string())
+                            .or_default() += o.data.len() as i64;
                         out.push((var.clone(), *version, o.bbox, o.data));
                     } else {
                         i += 1;
@@ -248,6 +440,9 @@ impl DataSpaces {
         }
         self.obs.resident_bytes.add(-freed_bytes);
         self.obs.objects.add(-(out.len() as i64));
+        for (tenant, bytes) in freed_by_tenant {
+            self.tenants.add(&tenant, -bytes);
+        }
         // Deterministic handoff order regardless of map iteration.
         out.sort_by(|a, b| (&a.0, a.1, a.2.lo).cmp(&(&b.0, b.1, b.2.lo)));
         out
@@ -430,6 +625,78 @@ mod tests {
             ds.put(&var, v, bbox, data);
         }
         assert_eq!(ds.get_assembled("T", 1, &g, f64::NAN), whole);
+    }
+
+    #[test]
+    fn byte_quota_refuses_put_and_eviction_refunds() {
+        use crate::tenant::scoped_var;
+        let ds = DataSpaces::new(2);
+        let b = BBox3::from_dims([4, 4, 4]); // 64 points = 512 bytes
+        let var = scoped_var("small", "T");
+        ds.set_tenant_byte_quota("small", Some(600));
+        let f = ScalarField::new_fill(b, 1.0);
+        let data = crate::codec::field_to_bytes(&f);
+        assert!(ds.put_quota(&var, 1, b, data.clone()).is_ok());
+        // A second version would exceed 600 bytes: refused, with detail.
+        let err = ds.put_quota(&var, 2, b, data.clone()).unwrap_err();
+        assert_eq!(err.tenant, "small");
+        assert_eq!(err.quota, 600);
+        assert!(ds.get(&var, 2, &b).is_empty(), "refused put stored nothing");
+        // Another tenant (and the default) are unaffected.
+        assert!(ds
+            .put_quota(&scoped_var("big", "T"), 2, b, data.clone())
+            .is_ok());
+        assert!(ds.put_quota("T", 2, b, data.clone()).is_ok());
+        // Evicting version 1 refunds small's bytes; the put now fits.
+        ds.evict_version_scoped("small", 1);
+        assert!(ds.put_quota(&var, 2, b, data.clone()).is_ok());
+        let usage = ds.tenant_usage();
+        let small = usage.iter().find(|(t, _, _)| t == "small").unwrap();
+        assert_eq!((small.1, small.2), (data.len() as u64, Some(600)));
+    }
+
+    #[test]
+    fn quota_replace_refunds_old_bytes() {
+        use crate::tenant::scoped_var;
+        let ds = DataSpaces::new(2);
+        let b = BBox3::from_dims([4, 4, 4]);
+        let var = scoped_var("t", "T");
+        let f = ScalarField::new_fill(b, 1.0);
+        let data = crate::codec::field_to_bytes(&f);
+        ds.set_tenant_byte_quota("t", Some(data.len() as u64 + 8));
+        assert!(ds.put_quota(&var, 1, b, data.clone()).is_ok());
+        // Re-putting the same region replaces; usage must not double, so
+        // repeated at-least-once deliveries keep fitting in the quota.
+        for _ in 0..3 {
+            assert!(ds.put_quota(&var, 1, b, data.clone()).is_ok());
+        }
+        let usage = ds.tenant_usage();
+        assert_eq!(
+            usage.iter().find(|(t, _, _)| t == "t").unwrap().1,
+            data.len() as u64
+        );
+    }
+
+    #[test]
+    fn scoped_eviction_spares_other_tenants() {
+        use crate::tenant::scoped_var;
+        let ds = DataSpaces::new(2);
+        let b = BBox3::from_dims([2, 2, 2]);
+        let f = ScalarField::new_fill(b, 1.0);
+        ds.put_field(&scoped_var("a", "T"), 1, &f);
+        ds.put_field(&scoped_var("b", "T"), 1, &f);
+        ds.put_field("T", 1, &f);
+        ds.evict_version_scoped("a", 1);
+        assert!(ds.get(&scoped_var("a", "T"), 1, &b).is_empty());
+        assert_eq!(ds.get(&scoped_var("b", "T"), 1, &b).len(), 1);
+        assert_eq!(ds.get("T", 1, &b).len(), 1, "default tenant untouched");
+        // Unscoped eviction still reclaims across tenants.
+        ds.evict_version(1);
+        assert!(ds.get(&scoped_var("b", "T"), 1, &b).is_empty());
+        assert!(ds.get("T", 1, &b).is_empty());
+        for (_, used, _) in ds.tenant_usage() {
+            assert_eq!(used, 0);
+        }
     }
 
     #[test]

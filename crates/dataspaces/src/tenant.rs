@@ -1,0 +1,227 @@
+//! Tenancy: named namespaces sharing one staging service.
+//!
+//! A **tenant** is an independent pipeline (or user) multiplexed onto a
+//! shared staging deployment. The tenant model is deliberately small:
+//!
+//! * **Namespace** — a tenant's objects live under variable names
+//!   prefixed with `"{tenant}\u{1f}"` ([`scoped_var`]), so two tenants
+//!   can both put a variable called `T` without colliding, and every
+//!   layer that already keys on the variable name (space shards, the
+//!   cluster placement ring, shard handoff) carries the tenancy for
+//!   free. The [`DEFAULT_TENANT`] is unprefixed, which keeps every
+//!   pre-tenancy client, on-disk journal, and wire frame meaning exactly
+//!   what it meant before.
+//! * **Quotas** — bytes resident in the space and tasks queued in the
+//!   scheduler, both enforced at admission time ([`TenantSpec`]).
+//! * **Weight** — the tenant's share of the scheduler's deficit-round-
+//!   robin rotation (see [`crate::sched`]): with every tenant
+//!   backlogged, a weight-3 tenant is assigned three tasks for every one
+//!   a weight-1 tenant gets.
+//! * **Policy** — an optional per-tenant [`AdmissionPolicy`] override,
+//!   so one tenant can block at its quota while another sheds.
+
+use crate::sched::AdmissionPolicy;
+use std::time::Duration;
+
+/// The implicit tenant of every un-scoped client. Its variables are
+/// stored un-prefixed and it has no quotas, which makes a pre-tenancy
+/// deployment a single-tenant deployment by construction.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Separator between tenant name and variable name in scoped keys. A
+/// unit separator cannot appear in tenant names ([`TenantSpec::parse`]
+/// rejects it) so the split is unambiguous.
+pub const TENANT_SEP: char = '\u{1f}';
+
+/// Declaration of one tenant: its scheduling weight, quotas, and
+/// optional admission-policy override.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant name (non-empty, no `\u{1f}`).
+    pub name: String,
+    /// Deficit-round-robin weight (clamped to at least 1).
+    pub weight: u32,
+    /// Bytes this tenant may keep resident in the space (`None` =
+    /// unlimited). A put that would exceed it is refused server-side
+    /// and the producer degrades that task in-situ.
+    pub byte_quota: Option<u64>,
+    /// Tasks this tenant may keep queued in the scheduler (`None` =
+    /// unlimited). Enforced through the tenant's admission policy.
+    pub task_quota: Option<usize>,
+    /// Admission policy applied when *this tenant* is over its task
+    /// quota (or the global queue is at capacity). `None` inherits the
+    /// scheduler's global policy.
+    pub policy: Option<AdmissionPolicy>,
+}
+
+impl TenantSpec {
+    /// A weight-1, unlimited tenant.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            byte_quota: None,
+            task_quota: None,
+            policy: None,
+        }
+    }
+
+    /// Set the DRR weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Bound the bytes resident in the space.
+    pub fn with_byte_quota(mut self, bytes: u64) -> Self {
+        self.byte_quota = Some(bytes);
+        self
+    }
+
+    /// Bound the tasks queued in the scheduler.
+    pub fn with_task_quota(mut self, tasks: usize) -> Self {
+        self.task_quota = Some(tasks);
+        self
+    }
+
+    /// Override the admission policy for this tenant.
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Parse the `sitra-staged --tenant` flag syntax:
+    /// `NAME[:WEIGHT[:BYTE_QUOTA[:TASK_QUOTA[:POLICY]]]]` where a `0`
+    /// quota means unlimited and `POLICY` is `block=MS`, `shed`, or
+    /// `reject`. Examples: `viz:3`, `stats:1:16777216:8`,
+    /// `bulk:1:0:4:shed`.
+    pub fn parse(spec: &str) -> Result<TenantSpec, String> {
+        let mut parts = spec.split(':');
+        let name = parts.next().unwrap_or("");
+        if name.is_empty() {
+            return Err(format!("tenant spec `{spec}`: empty name"));
+        }
+        if name.contains(TENANT_SEP) {
+            return Err(format!("tenant spec `{spec}`: name contains \\u{{1f}}"));
+        }
+        let mut out = TenantSpec::new(name);
+        if let Some(w) = parts.next() {
+            let w: u32 = w
+                .parse()
+                .map_err(|_| format!("tenant spec `{spec}`: bad weight `{w}`"))?;
+            out.weight = w.max(1);
+        }
+        if let Some(b) = parts.next() {
+            let b: u64 = b
+                .parse()
+                .map_err(|_| format!("tenant spec `{spec}`: bad byte quota `{b}`"))?;
+            out.byte_quota = (b > 0).then_some(b);
+        }
+        if let Some(t) = parts.next() {
+            let t: usize = t
+                .parse()
+                .map_err(|_| format!("tenant spec `{spec}`: bad task quota `{t}`"))?;
+            out.task_quota = (t > 0).then_some(t);
+        }
+        if let Some(p) = parts.next() {
+            out.policy = Some(parse_policy(p).ok_or_else(|| {
+                format!("tenant spec `{spec}`: bad policy `{p}` (block=MS|shed|reject)")
+            })?);
+        }
+        if let Some(extra) = parts.next() {
+            return Err(format!("tenant spec `{spec}`: trailing `{extra}`"));
+        }
+        Ok(out)
+    }
+}
+
+fn parse_policy(p: &str) -> Option<AdmissionPolicy> {
+    match p {
+        "shed" => Some(AdmissionPolicy::ShedOldest),
+        "reject" => Some(AdmissionPolicy::RejectNew),
+        _ => {
+            let ms: u64 = p.strip_prefix("block=")?.parse().ok()?;
+            Some(AdmissionPolicy::Block {
+                max_wait: Duration::from_millis(ms),
+            })
+        }
+    }
+}
+
+/// The stored variable name for `var` under `tenant`. The default
+/// tenant stays un-prefixed so pre-tenancy keys are untouched.
+pub fn scoped_var(tenant: &str, var: &str) -> String {
+    if tenant == DEFAULT_TENANT {
+        var.to_string()
+    } else {
+        format!("{tenant}{TENANT_SEP}{var}")
+    }
+}
+
+/// Split a stored variable name into `(tenant, bare_var)`. Un-prefixed
+/// names belong to the [`DEFAULT_TENANT`].
+pub fn tenant_of_var(var: &str) -> (&str, &str) {
+    match var.split_once(TENANT_SEP) {
+        Some((tenant, bare)) if !tenant.is_empty() => (tenant, bare),
+        _ => (DEFAULT_TENANT, var),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let t = TenantSpec::parse("viz:3:1048576:8:shed").unwrap();
+        assert_eq!(t.name, "viz");
+        assert_eq!(t.weight, 3);
+        assert_eq!(t.byte_quota, Some(1048576));
+        assert_eq!(t.task_quota, Some(8));
+        assert_eq!(t.policy, Some(AdmissionPolicy::ShedOldest));
+    }
+
+    #[test]
+    fn parse_defaults_and_zero_means_unlimited() {
+        let t = TenantSpec::parse("stats").unwrap();
+        assert_eq!(t.weight, 1);
+        assert_eq!(t.byte_quota, None);
+        assert_eq!(t.task_quota, None);
+        assert_eq!(t.policy, None);
+        let t = TenantSpec::parse("bulk:2:0:0").unwrap();
+        assert_eq!(t.byte_quota, None);
+        assert_eq!(t.task_quota, None);
+        let t = TenantSpec::parse("slow:1:0:4:block=250").unwrap();
+        assert_eq!(
+            t.policy,
+            Some(AdmissionPolicy::Block {
+                max_wait: Duration::from_millis(250)
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(TenantSpec::parse("").is_err());
+        assert!(TenantSpec::parse(":2").is_err());
+        assert!(TenantSpec::parse("a:x").is_err());
+        assert!(TenantSpec::parse("a:1:y").is_err());
+        assert!(TenantSpec::parse("a:1:0:z").is_err());
+        assert!(TenantSpec::parse("a:1:0:0:nope").is_err());
+        assert!(TenantSpec::parse("a:1:0:0:shed:extra").is_err());
+        assert!(TenantSpec::parse("a\u{1f}b").is_err());
+    }
+
+    #[test]
+    fn weight_zero_clamps_to_one() {
+        assert_eq!(TenantSpec::parse("t:0").unwrap().weight, 1);
+    }
+
+    #[test]
+    fn scoping_roundtrip() {
+        assert_eq!(scoped_var(DEFAULT_TENANT, "T"), "T");
+        let s = scoped_var("viz", "T");
+        assert_eq!(tenant_of_var(&s), ("viz", "T"));
+        assert_eq!(tenant_of_var("T"), (DEFAULT_TENANT, "T"));
+    }
+}

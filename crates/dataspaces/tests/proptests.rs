@@ -96,8 +96,9 @@ fn arb_response() -> impl Strategy<Value = Response> {
         prop::collection::vec((arb_box(), arb_bytes()), 0..4).prop_map(Response::Pieces),
         arb_opt_u64().prop_map(Response::Version),
         prop_oneof![
-            (any::<u64>(), arb_bytes())
-                .prop_map(|(seq, data)| Response::Task(TaskPoll::Assigned { seq, data })),
+            (any::<u64>(), arb_bytes(), arb_var()).prop_map(|(seq, data, tenant)| Response::Task(
+                TaskPoll::Assigned { seq, data, tenant }
+            )),
             Just(Response::Task(TaskPoll::Empty)),
             Just(Response::Task(TaskPoll::Closed)),
         ],

@@ -51,6 +51,16 @@ const NDESC: u64 = 1024;
 const ARENA: u64 = 1 << 22;
 /// Max payload bytes per descriptor; larger frames are chunked.
 const CHUNK_MAX: usize = 1 << 20;
+/// Slice size `send` actually streams frames in. This is sender
+/// policy, not wire format (the consumer accepts any chunk pattern up
+/// to [`CHUNK_MAX`]): small enough that the consumer starts copying a
+/// large frame out while the producer is still writing the rest of it
+/// in, large enough that the per-slice descriptor and wake costs stay
+/// negligible. Monolithic 1 MiB chunks serialized the two copies
+/// end-to-end — the consumer sat parked through the producer's entire
+/// memcpy — which is exactly backwards on a low-core host, where the
+/// parked side also has to win the scheduler back afterwards.
+const PIPE_CHUNK: usize = 128 << 10;
 
 /// Descriptor flag: final chunk of a frame.
 const FLAG_LAST: u32 = 1;
@@ -102,6 +112,44 @@ const CTL_SIZE: usize = CTL_SLOTS_OFF + CTL_NSLOTS as usize * CTL_SLOT_SIZE;
 
 /// Spins before parking on a futex; tuned for "peer is mid-memcpy".
 const SPIN: usize = 200;
+/// Additional `yield_now` rounds a waiter spends when the peer is
+/// *known* to be mid-frame (a started frame's remaining chunks, or
+/// arena space mid-drain) before parking. A `spin_loop` hint never
+/// releases the core, so on a one-CPU host the spinning side just
+/// burns its quantum while the side it is waiting for sits runnable;
+/// yielding hands the core over and typically comes back with the next
+/// chunk already published. Parking stays the backstop so an absent
+/// peer still costs no CPU.
+const YIELDS: usize = 256;
+
+/// The tiered wait budget shared by the channel wait loops:
+/// [`SPIN`] pipelined spins, then up to `yields` scheduler yields,
+/// then the caller parks on its futex.
+struct WaitBudget {
+    steps: usize,
+}
+
+impl WaitBudget {
+    fn new() -> WaitBudget {
+        WaitBudget { steps: 0 }
+    }
+
+    /// Burn one step of the budget; returns `false` once exhausted
+    /// (the caller should park).
+    fn step(&mut self, yields: usize) -> bool {
+        if self.steps < SPIN {
+            self.steps += 1;
+            std::hint::spin_loop();
+            true
+        } else if self.steps < SPIN + yields {
+            self.steps += 1;
+            std::thread::yield_now();
+            true
+        } else {
+            false
+        }
+    }
+}
 
 /// A mapped shared-memory region (or, in tests, a heap stand-in that
 /// exercises the identical channel code).
@@ -270,13 +318,14 @@ pub(crate) struct Producer {
 }
 
 impl Producer {
-    /// Write one frame into the ring, blocking (spin, then futex) while
-    /// the consumer catches up. Frames beyond [`CHUNK_MAX`] stream
-    /// through as multiple chunks.
+    /// Write one frame into the ring, blocking (spin, yield, then
+    /// futex) while the consumer catches up. Frames beyond
+    /// [`PIPE_CHUNK`] stream through as multiple chunks, so the
+    /// consumer's copy-out overlaps the rest of the copy-in.
     pub(crate) fn send(&mut self, payload: &[u8]) -> Result<(), NetError> {
         let mut sent = 0;
         loop {
-            let chunk = (payload.len() - sent).min(CHUNK_MAX);
+            let chunk = (payload.len() - sent).min(PIPE_CHUNK);
             let last = sent + chunk == payload.len();
             self.emit_chunk(&payload[sent..sent + chunk], last)?;
             sent += chunk;
@@ -332,7 +381,7 @@ impl Producer {
     }
 
     fn wait_capacity(&self, bytes: u64, descs: u64) -> Result<(), NetError> {
-        let mut spins = 0;
+        let mut budget = WaitBudget::new();
         loop {
             // Futex value FIRST, condition second — the consumer bumps
             // the word after publishing, so a stale read here makes the
@@ -348,9 +397,9 @@ impl Producer {
             if self.ch.closed(&self.map).load(Ordering::Acquire) != 0 {
                 return Err(NetError::Closed);
             }
-            if spins < SPIN {
-                spins += 1;
-                std::hint::spin_loop();
+            // Full ring/arena means the consumer is mid-drain: yield it
+            // the core before parking.
+            if budget.step(YIELDS) {
                 continue;
             }
             sys::futex_wait(
@@ -380,7 +429,11 @@ impl Consumer {
         let deadline = timeout.map(|t| Instant::now() + t);
         let mut out: Option<Vec<u8>> = None;
         loop {
-            self.wait_desc(if out.is_none() { deadline } else { None })?;
+            // Mid-frame (`out` armed), the producer is by protocol
+            // still copying the rest of this frame in: wait with the
+            // yield tier so the next chunk is met awake instead of
+            // through a park/wake cycle per chunk.
+            self.wait_desc(if out.is_none() { deadline } else { None }, out.is_some())?;
             let slot = self.ring.slot(self.desc_tail);
             let (len, flags) = self.ch.read_desc(&self.map, slot);
             let len = len as usize;
@@ -388,6 +441,12 @@ impl Consumer {
                 self.data_tail += len as u64;
                 self.release();
                 continue;
+            }
+            if len > CHUNK_MAX {
+                // No producer emits a chunk past CHUNK_MAX, so this
+                // descriptor is corrupt: poison the link.
+                self.ch.close(&self.map);
+                return Err(NetError::FrameTooLarge(len));
             }
             let buf = out.get_or_insert_with(|| Vec::with_capacity(len));
             if buf.len() + len > crate::MAX_FRAME_LEN {
@@ -412,8 +471,12 @@ impl Consumer {
         }
     }
 
-    fn wait_desc(&self, deadline: Option<Instant>) -> Result<(), NetError> {
-        let mut spins = 0;
+    fn wait_desc(&self, deadline: Option<Instant>, mid_frame: bool) -> Result<(), NetError> {
+        let mut budget = WaitBudget::new();
+        // Waiting for a frame to *start* parks promptly (idle
+        // connections must not burn a core); waiting for the rest of a
+        // started frame yields first — the producer is mid-memcpy.
+        let yields = if mid_frame { YIELDS } else { 0 };
         loop {
             let fval = self.ch.data_futex(&self.map).load(Ordering::Acquire);
             let head = self.ch.desc_head(&self.map).load(Ordering::Acquire);
@@ -434,9 +497,7 @@ impl Consumer {
                 }
                 None => Duration::from_millis(50),
             };
-            if spins < SPIN {
-                spins += 1;
-                std::hint::spin_loop();
+            if budget.step(yields) {
                 continue;
             }
             sys::futex_wait(self.ch.data_futex(&self.map), fval, Some(wait));

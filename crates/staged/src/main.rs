@@ -41,7 +41,7 @@
 //! `obs_report`).
 
 use sitra_cluster::{Bootstrap, ClusterNode, ClusterNodeOpts};
-use sitra_dataspaces::{AdmissionPolicy, DataSpaces, SchedStats, SpaceServer};
+use sitra_dataspaces::{AdmissionPolicy, DataSpaces, SchedStats, SpaceServer, TenantSpec};
 use sitra_net::Addr;
 use sitra_testkit::{CrashPlan, FaultPlan, PlanInjector};
 use std::net::SocketAddr;
@@ -79,6 +79,8 @@ struct Opts {
     fault_plan: Option<FaultPlan>,
     /// Multi-instance membership role.
     cluster: ClusterRole,
+    /// Tenants registered at start (weighted-fair scheduling + quotas).
+    tenants: Vec<TenantSpec>,
 }
 
 fn usage(program: &str, code: i32) -> ! {
@@ -86,7 +88,8 @@ fn usage(program: &str, code: i32) -> ! {
         "usage: {program} [--listen ADDR] [--servers N] [--stats-every SECS]\n\
          \x20                  [--metrics-listen HOST:PORT] [--journal PATH]\n\
          \x20                  [--queue-capacity N] [--admission POLICY] [--admission-wait-ms T]\n\
-         \x20                  [--cluster-seed LIST | --cluster-join ADDR] [--fault-plan SPEC]\n\
+         \x20                  [--tenant SPEC]... [--cluster-seed LIST | --cluster-join ADDR]\n\
+         \x20                  [--fault-plan SPEC]\n\
          \n\
          --listen ADDR         tcp://host:port, shm://name (same-node shared memory), or\n\
          \x20                      inproc://name (default tcp://127.0.0.1:7788)\n\
@@ -100,6 +103,12 @@ fn usage(program: &str, code: i32) -> ! {
          --admission POLICY    full-queue behaviour: block | shed-oldest | reject-new\n\
          \x20                      (default reject-new; only meaningful with --queue-capacity)\n\
          --admission-wait-ms T how long `block` admissions may wait (default 1000)\n\
+         --tenant SPEC         register a tenant for weighted-fair scheduling; repeatable.\n\
+         \x20                      SPEC is NAME[:WEIGHT[:BYTE_QUOTA[:TASK_QUOTA[:POLICY]]]]\n\
+         \x20                      (0 = unlimited quota; POLICY overrides --admission for\n\
+         \x20                      that tenant: block=MS | shed | reject). Clients bind with\n\
+         \x20                      a matching tenant declaration; unknown tenants register\n\
+         \x20                      on first contact with weight 1 and no quotas\n\
          --cluster-seed LIST   found a multi-instance cluster; LIST is the comma-separated\n\
          \x20                      full member list and must include our --listen address\n\
          --cluster-join ADDR   join a running cluster through the member at ADDR\n\
@@ -122,6 +131,7 @@ fn parse_opts() -> Opts {
         admission: AdmissionPolicy::RejectNew,
         fault_plan: None,
         cluster: ClusterRole::None,
+        tenants: Vec::new(),
     };
     let mut admission_wait = Duration::from_millis(1000);
     let argv: Vec<String> = std::env::args().collect();
@@ -193,6 +203,19 @@ fn parse_opts() -> Opts {
                 }
                 Err(_) => {
                     eprintln!("{program}: --admission-wait-ms must be an integer");
+                    usage(program, 2);
+                }
+            },
+            "--tenant" => match TenantSpec::parse(&value("--tenant")) {
+                Ok(spec) => {
+                    if opts.tenants.iter().any(|t| t.name == spec.name) {
+                        eprintln!("{program}: duplicate --tenant `{}`", spec.name);
+                        usage(program, 2);
+                    }
+                    opts.tenants.push(spec);
+                }
+                Err(e) => {
+                    eprintln!("{program}: bad --tenant: {e}");
                     usage(program, 2);
                 }
             },
@@ -338,7 +361,13 @@ fn main() {
                 opts.queue_capacity,
                 opts.admission,
             ) {
-                Ok(s) => Service::Single(s),
+                Ok(s) => {
+                    for spec in &opts.tenants {
+                        s.scheduler().register_tenant(spec);
+                        s.space().set_tenant_byte_quota(&spec.name, spec.byte_quota);
+                    }
+                    Service::Single(s)
+                }
                 Err(e) => {
                     eprintln!("sitra-staged: cannot listen on {}: {e}", opts.listen);
                     std::process::exit(1);
@@ -355,6 +384,7 @@ fn main() {
                 shards: opts.servers,
                 capacity: opts.queue_capacity,
                 policy: opts.admission,
+                tenants: opts.tenants.clone(),
                 ..ClusterNodeOpts::default()
             };
             match ClusterNode::start(&opts.listen, bootstrap, node_opts) {
@@ -390,6 +420,12 @@ fn main() {
         println!(
             "sitra-staged: task queue bounded at {cap}, admission {:?}",
             opts.admission
+        );
+    }
+    for t in &opts.tenants {
+        println!(
+            "sitra-staged: tenant `{}` weight {} byte_quota {:?} task_quota {:?} policy {:?}",
+            t.name, t.weight, t.byte_quota, t.task_quota, t.policy
         );
     }
 

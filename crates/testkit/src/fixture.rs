@@ -93,6 +93,67 @@ pub fn sorted_encoded_outputs(result: &PipelineResult) -> Vec<(String, u64, Vec<
     v
 }
 
+/// Pre-stage a competing tenant's copy of the `specs()[0]` workload:
+/// for each due step, two ranks' in-situ payloads go through `put` and
+/// one task descriptor through `submit` — both of which must act
+/// inside the rival's namespace (i.e. over a tenant-bound connection
+/// or client). The workload deliberately reuses the sim tenant's
+/// labels and steps with a *different* decomposition and field, so any
+/// namespace leak surfaces hard: as a conflicting-duplicate protocol
+/// error in the worker, or as a corrupted output in the golden-output
+/// oracle. Returns the expected encoded output per step.
+pub fn stage_rival_workload(
+    mut put: impl FnMut(&str, u64, BBox3, bytes::Bytes) -> Result<(), String>,
+    mut submit: impl FnMut(bytes::Bytes) -> Result<(), String>,
+) -> Result<Vec<(u64, Vec<u8>)>, String> {
+    use sitra_core::remote::{encode_task, intermediate_var, rank_bbox, RemoteTask};
+    use sitra_core::InSituCtx;
+    use sitra_mesh::{Decomposition, ScalarField};
+
+    let specs = specs();
+    let spec = &specs[0];
+    let grid = BBox3::from_dims(DIMS);
+    let decomp = Decomposition::new(grid, [2, 1, 1]);
+    let mut expected = Vec::new();
+    for step in 1..=STEPS as u64 {
+        if !spec.due(step) {
+            continue;
+        }
+        let whole = ScalarField::from_fn(grid, |p| {
+            (p[0] * 7 + p[1] * 3 + p[2] + step as usize) as f64 * 11.5
+        });
+        let mut parts = Vec::new();
+        for r in 0..2 {
+            let block = whole.extract(&decomp.block(r));
+            let ghosted = block.clone();
+            let vars = vec![("T".to_string(), block)];
+            let ctx = InSituCtx {
+                rank: r,
+                step,
+                decomp: &decomp,
+                ghosted: &ghosted,
+                vars: &vars,
+            };
+            let payload = spec.analysis.in_situ(&ctx);
+            put(
+                &intermediate_var(&spec.label),
+                step,
+                rank_bbox(r),
+                payload.clone(),
+            )?;
+            parts.push((r, payload));
+        }
+        submit(encode_task(&RemoteTask {
+            analysis_idx: 0,
+            step,
+            n_ranks: 2,
+        }))?;
+        let out = spec.analysis.aggregate(step, &parts);
+        expected.push((step, encode_analysis_output(&out).to_vec()));
+    }
+    Ok(expected)
+}
+
 /// Run one pipeline configuration on a fresh `sim(seed)` with a
 /// private journal sink, returning the result and the captured events.
 pub fn run_journaled(seed: u64, cfg: PipelineConfig) -> (PipelineResult, Vec<ObsEvent>) {

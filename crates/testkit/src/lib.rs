@@ -36,7 +36,9 @@ pub mod shrink;
 
 pub use injector::{PlanInjector, ScheduleEntry};
 pub use plan::{arb_fault_plan, CrashPlan, FaultPlan, InstanceLoss, PartitionWindow};
-pub use scenario::{run_scenario, Backend, ScenarioOutcome};
+pub use scenario::{
+    run_scenario, run_tenanted_scenario, Backend, ScenarioOutcome, RIVAL_TENANT, SIM_TENANT,
+};
 
 /// The pinned regression corpus: seeds that once exercised interesting
 /// schedules (every fault class, partitions, crashes with and without

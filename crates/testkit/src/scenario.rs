@@ -26,11 +26,12 @@
 use crate::fixture;
 use crate::injector::{PlanInjector, ScheduleEntry};
 use crate::plan::{splitmix64, CrashPlan, FaultPlan};
-use sitra_cluster::{Bootstrap, ClusterNode, ClusterNodeOpts};
+use sitra_cluster::{Bootstrap, ClusterClient, ClusterNode, ClusterNodeOpts};
 use sitra_core::{
     run_bucket_worker, run_cluster_bucket_worker, run_pipeline, BucketWorkerOpts, StagingMode,
 };
-use sitra_dataspaces::{AdmissionPolicy, SpaceServer};
+use sitra_dataspaces::remote::RemoteSpace;
+use sitra_dataspaces::{AdmissionPolicy, SpaceServer, TenantSpec};
 use sitra_net::{Addr, Backoff};
 use sitra_obs::{ObsEvent, VecSink};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -499,6 +500,408 @@ pub fn run_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOu
         &events,
         placement,
         driver_aggregates,
+    ));
+
+    ScenarioOutcome {
+        backend,
+        plan: plan.clone(),
+        violations,
+        staged_tasks: result.staged_tasks,
+        dropped_tasks: result.dropped_tasks,
+        degraded_tasks: result.degraded_tasks,
+        outputs: result.outputs.len(),
+        schedule: injector.schedule(),
+        events,
+    }
+}
+
+/// The driver pipeline's tenant in a multi-tenant scenario.
+pub const SIM_TENANT: &str = "sim";
+/// The competing producer's tenant in a multi-tenant scenario.
+pub const RIVAL_TENANT: &str = "rival";
+
+/// One tenant's scheduler counters, normalized across the single-space
+/// and cluster stats surfaces for the per-tenant oracle.
+struct TenantCounters {
+    name: String,
+    weight: u32,
+    queued: u64,
+    submitted: u64,
+    assigned: u64,
+    requeued: u64,
+    shed: u64,
+}
+
+/// The per-tenant conservation oracle: every tenant's counters must
+/// satisfy `submitted + requeued - assigned - shed == queued` (the
+/// identity every scheduler transition preserves atomically), the
+/// driver's traffic must all be attributed to [`SIM_TENANT`], the
+/// rival's to [`RIVAL_TENANT`], none to the default tenant, and the
+/// configured DRR weights must survive the run.
+fn tenant_violations(
+    rows: &[TenantCounters],
+    sim_staged: usize,
+    rival_staged: usize,
+    violations: &mut Vec<String>,
+) {
+    for t in rows {
+        let balance = t.submitted + t.requeued;
+        let retired = t.assigned + t.shed + t.queued;
+        if balance != retired {
+            violations.push(format!(
+                "tenant-conservation[{}]: {} submitted + {} requeued != {} assigned + {} shed + {} queued",
+                t.name, t.submitted, t.requeued, t.assigned, t.shed, t.queued
+            ));
+        }
+    }
+    let find = |name: &str| rows.iter().find(|t| t.name == name);
+    match find(SIM_TENANT) {
+        Some(t) => {
+            if t.submitted != sim_staged as u64 {
+                violations.push(format!(
+                    "tenant-attribution[{SIM_TENANT}]: {} submitted != {sim_staged} staged by driver",
+                    t.submitted
+                ));
+            }
+            if t.weight != 3 {
+                violations.push(format!(
+                    "tenant-attribution[{SIM_TENANT}]: weight {} != configured 3",
+                    t.weight
+                ));
+            }
+        }
+        None => violations.push(format!("tenant-attribution: no `{SIM_TENANT}` row")),
+    }
+    match find(RIVAL_TENANT) {
+        Some(t) => {
+            if t.submitted != rival_staged as u64 {
+                violations.push(format!(
+                    "tenant-attribution[{RIVAL_TENANT}]: {} submitted != {rival_staged} staged",
+                    t.submitted
+                ));
+            }
+            if t.weight != 1 {
+                violations.push(format!(
+                    "tenant-attribution[{RIVAL_TENANT}]: weight {} != configured 1",
+                    t.weight
+                ));
+            }
+        }
+        None => violations.push(format!("tenant-attribution: no `{RIVAL_TENANT}` row")),
+    }
+    if let Some(t) = find(sitra_dataspaces::DEFAULT_TENANT) {
+        if t.submitted != 0 || t.queued != 0 {
+            violations.push(format!(
+                "tenant-attribution[default]: {} submitted / {} queued on the default tenant, all traffic is tenant-bound",
+                t.submitted, t.queued
+            ));
+        }
+    }
+}
+
+/// Run one **multi-tenant** scenario: the canonical driver pipeline
+/// bound to [`SIM_TENANT`] (weight 3) shares the staging service with a
+/// [`RIVAL_TENANT`] (weight 1) producer whose workload deliberately
+/// reuses the sim tenant's labels and steps (see
+/// [`fixture::stage_rival_workload`]). On top of the four standard
+/// oracles this checks, per tenant: the conservation identity
+/// `submitted + requeued == assigned + shed + queued`, traffic
+/// attribution (driver → sim, rival → rival, nothing on default), DRR
+/// weight survival, and byte-identity of the rival's outputs — which
+/// doubles as the namespace-isolation proof, since a leak corrupts one
+/// side or the other.
+///
+/// Only the staging backends carry tenants, and the scenario keeps the
+/// scheduler unbounded (admission chaos is the untenanted corpus's
+/// job), so: `backend` must be `Remote` or `Cluster`, and the plan
+/// must not schedule crashes or instance loss (a dead member's
+/// counters would vanish from the attribution ledger).
+pub fn run_tenanted_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOutcome {
+    assert!(
+        matches!(backend, Backend::Remote | Backend::Cluster),
+        "tenancy is a staging-service concern; {backend:?} has no server to bind to"
+    );
+    assert!(
+        plan.crash.is_none() && plan.instance_loss.is_none(),
+        "tenanted scenarios model network faults only"
+    );
+    let obs = sitra_obs::isolate();
+    let _keep = &obs;
+
+    let golden = run_pipeline(
+        &mut fixture::sim(seed),
+        &fixture::config(2).with_staging_mode(StagingMode::InSitu),
+    )
+    .expect("golden run config");
+    let golden_outputs = fixture::sorted_encoded_outputs(&golden);
+
+    let sim_spec = TenantSpec::new(SIM_TENANT).with_weight(3);
+    let rival_spec = TenantSpec::new(RIVAL_TENANT);
+    let mut violations = Vec::new();
+
+    // Bring the staging service up and pre-stage the rival workload on
+    // a clean network (the injector only arms for the run under test;
+    // the rival's *competition* is scheduler-side, not network-side).
+    enum Service {
+        Remote {
+            server: SpaceServer,
+        },
+        Cluster {
+            nodes: Vec<ClusterNode>,
+            endpoints: Vec<String>,
+        },
+    }
+    let service = match backend {
+        Backend::Remote => {
+            let addr = unique_endpoint(seed);
+            let server =
+                SpaceServer::start_with(&addr, 1, None, AdmissionPolicy::RejectNew).expect("start");
+            server.scheduler().register_tenant(&sim_spec);
+            server.scheduler().register_tenant(&rival_spec);
+            Service::Remote { server }
+        }
+        Backend::Cluster => {
+            let addrs: Vec<Addr> = (0..3).map(|_| unique_endpoint(seed)).collect();
+            let endpoints: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+            let nodes = addrs
+                .iter()
+                .map(|a| {
+                    ClusterNode::start(
+                        a,
+                        Bootstrap::Seeds(endpoints.clone()),
+                        ClusterNodeOpts {
+                            heartbeat_every: Duration::from_millis(10),
+                            suspect_after: 3,
+                            tenants: vec![sim_spec.clone(), rival_spec.clone()],
+                            ..ClusterNodeOpts::default()
+                        },
+                    )
+                    .expect("start cluster member")
+                })
+                .collect();
+            Service::Cluster { nodes, endpoints }
+        }
+        _ => unreachable!(),
+    };
+
+    let backoff = Backoff {
+        initial: Duration::from_millis(5),
+        max: Duration::from_millis(40),
+        attempts: 4,
+    };
+    let rival_cluster = match &service {
+        Service::Remote { .. } => None,
+        Service::Cluster { endpoints, .. } => Some(
+            ClusterClient::new(
+                sitra_cluster::DEFAULT_SEED,
+                sitra_cluster::DEFAULT_VNODES,
+                endpoints.iter().cloned(),
+                backoff,
+            )
+            .expect("rival cluster client")
+            .with_tenant(rival_spec.clone()),
+        ),
+    };
+    let rival_expected = match &service {
+        Service::Remote { server } => {
+            let conn = RemoteSpace::connect(&server.addr()).expect("rival dial");
+            conn.set_tenant(&rival_spec).expect("rival bind");
+            fixture::stage_rival_workload(
+                |var, step, bbox, data| conn.put(var, step, bbox, data).map_err(|e| e.to_string()),
+                |data| {
+                    conn.submit_task(data)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                },
+            )
+        }
+        Service::Cluster { .. } => {
+            let client = rival_cluster.as_ref().unwrap();
+            fixture::stage_rival_workload(
+                |var, step, bbox, data| {
+                    client.put(var, step, bbox, data).map_err(|e| e.to_string())
+                },
+                |data| {
+                    client
+                        .submit_task_routed("rival-route", 0, data)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                },
+            )
+        }
+    }
+    .expect("rival staging on a clean network");
+
+    // Arm the harness and run the sim tenant's pipeline, with one
+    // shared external worker serving both tenants' tasks.
+    let sink = Arc::new(VecSink::new());
+    let prev_sink = sitra_obs::install_sink(Some(sink.clone()));
+    let injector = Arc::new(PlanInjector::new(plan.clone()));
+    let prev_injector = sitra_net::install_fault_injector(Some(injector.clone()));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let worker = {
+        let stop = Arc::clone(&stop);
+        let specs = fixture::specs();
+        let eps: Vec<String> = match &service {
+            Service::Remote { server } => vec![server.addr().to_string()],
+            Service::Cluster { endpoints, .. } => endpoints.clone(),
+        };
+        let cluster = matches!(service, Service::Cluster { .. });
+        std::thread::Builder::new()
+            .name("tenant-bucket".into())
+            .spawn(move || {
+                let opts = BucketWorkerOpts {
+                    backoff,
+                    request_timeout: Duration::from_millis(100),
+                    drop_connection_after: None,
+                };
+                loop {
+                    let r = if cluster {
+                        run_cluster_bucket_worker(&eps, &specs, 0, &opts)
+                    } else {
+                        let ep: Addr = eps[0].parse().expect("addr");
+                        run_bucket_worker(&ep, &specs, 0, &opts)
+                    };
+                    match r {
+                        Ok(_) => break,
+                        Err(e) if e.is_retryable() && !stop.load(Ordering::SeqCst) => continue,
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn worker")
+    };
+
+    let cfg = match &service {
+        Service::Remote { server } => {
+            fixture::config(2).with_staging_endpoint(server.addr().to_string())
+        }
+        Service::Cluster { endpoints, .. } => {
+            fixture::config(2).with_staging_cluster(endpoints.clone())
+        }
+    }
+    .with_tenant(sim_spec.clone())
+    .with_staging_deadline(Duration::from_millis(700))
+    .with_staging_max_inflight(2);
+    let result = run_pipeline(&mut fixture::sim(seed), &cfg).expect("tenanted config");
+
+    // Disarm before the rival collects: the competition we're judging
+    // happened during the run; the collection is bookkeeping.
+    sitra_net::install_fault_injector(prev_injector);
+    let events = sink.take();
+    sitra_obs::install_sink(prev_sink);
+
+    // The rival's outputs must appear, byte-identical to its own
+    // golden aggregation, in its own namespace.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let label = fixture::specs()[0].label.clone();
+    for (step, expect) in &rival_expected {
+        let got = match &service {
+            Service::Remote { server } => {
+                // Re-dial per await: a mid-run cut may have severed the
+                // original rival connection.
+                let conn = RemoteSpace::connect_retry(&server.addr(), &backoff)
+                    .and_then(|c| c.set_tenant(&rival_spec).map(|_| c));
+                conn.and_then(|c| sitra_core::remote::await_output(&c, &label, *step, deadline))
+            }
+            Service::Cluster { .. } => sitra_core::remote::await_output_cluster(
+                rival_cluster.as_ref().unwrap(),
+                &label,
+                *step,
+                deadline,
+            ),
+        };
+        match got {
+            Ok(out) => {
+                if sitra_core::wire::encode_analysis_output(&out).as_ref() != expect.as_slice() {
+                    violations.push(format!(
+                        "rival-output: {label}@{step} diverges from the rival's own aggregation"
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("rival-output: {label}@{step} never appeared: {e}")),
+        }
+    }
+
+    // Per-tenant ledger, snapshotted while the service is still up.
+    let rows: Vec<TenantCounters> = match &service {
+        Service::Remote { server } => server
+            .scheduler()
+            .tenant_stats()
+            .into_iter()
+            .map(|t| TenantCounters {
+                name: t.name,
+                weight: t.weight,
+                queued: t.queued,
+                submitted: t.stats.tasks_submitted,
+                assigned: t.stats.tasks_assigned,
+                requeued: t.stats.tasks_requeued,
+                shed: t.stats.tasks_shed,
+            })
+            .collect(),
+        Service::Cluster { .. } => rival_cluster
+            .as_ref()
+            .unwrap()
+            .tenant_stats()
+            .into_iter()
+            .map(|t| TenantCounters {
+                name: t.name,
+                weight: t.weight,
+                queued: t.queued,
+                submitted: t.tasks_submitted,
+                assigned: t.tasks_assigned,
+                requeued: t.tasks_requeued,
+                shed: t.tasks_shed,
+            })
+            .collect(),
+    };
+    tenant_violations(
+        &rows,
+        result.staged_tasks,
+        rival_expected.len(),
+        &mut violations,
+    );
+
+    // Tear down.
+    stop.store(true, Ordering::SeqCst);
+    match service {
+        Service::Remote { server } => server.shutdown(),
+        Service::Cluster { nodes, .. } => {
+            for n in nodes {
+                n.shutdown();
+            }
+        }
+    }
+    match worker.join() {
+        Ok(()) => {}
+        Err(_) => violations.push("tenanted: bucket worker panicked".into()),
+    }
+
+    // The standard oracles on the sim tenant's run: the rival's
+    // presence must not change what the pipeline computes.
+    let expected = fixture::expected_hybrid_tasks();
+    if result.staged_tasks != expected {
+        violations.push(format!(
+            "conservation: staged {} tasks, roster is due {expected}",
+            result.staged_tasks
+        ));
+    }
+    if result.dropped_tasks != 0 {
+        violations.push(format!("no-loss: {} tasks dropped", result.dropped_tasks));
+    }
+    if result.dropped_tasks == 0 {
+        let got = fixture::sorted_encoded_outputs(&result);
+        if got != golden_outputs {
+            violations.push("golden-output: sim outputs diverge under rival load".into());
+        }
+    }
+    violations.extend(fixture::replay_violations(
+        backend.name(),
+        &result,
+        &events,
+        "hybrid-remote",
+        false,
     ));
 
     ScenarioOutcome {

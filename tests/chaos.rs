@@ -15,7 +15,9 @@
 //! to [`sitra_testkit::PINNED_SEEDS`] once the bug is fixed.
 
 use proptest::prelude::*;
-use sitra_testkit::{arb_fault_plan, run_scenario, shrink, Backend, FaultPlan, PINNED_SEEDS};
+use sitra_testkit::{
+    arb_fault_plan, run_scenario, run_tenanted_scenario, shrink, Backend, FaultPlan, PINNED_SEEDS,
+};
 
 /// Scenario reruns a shrink may spend per failure (each is a full
 /// pipeline run, so keep it modest in CI).
@@ -157,6 +159,92 @@ fn pinned_cluster_plans_pass_every_oracle() {
     assert!(
         reports.is_empty(),
         "cluster chaos failures:\n{}",
+        reports.join("\n")
+    );
+}
+
+/// The pinned multi-tenant corpus: the canonical pipeline bound to the
+/// `sim` tenant (weight 3) sharing the staging service with a `rival`
+/// tenant (weight 1) whose workload reuses the sim tenant's labels and
+/// steps — so a namespace leak fails loudly. On top of the standard
+/// four oracles, `run_tenanted_scenario` checks the per-tenant
+/// conservation identity (`submitted + requeued == assigned + shed +
+/// queued`), traffic attribution, DRR weight survival, and the
+/// byte-identity of the rival's own outputs. The cut-heavy plan forces
+/// failed hand-offs, pinning tenant preservation through the requeue
+/// path.
+#[test]
+fn pinned_tenant_plans_pass_every_oracle() {
+    const PLANS: &[(u64, &str, Backend)] = &[
+        // Connection cuts mid-hand-off: assigned tasks requeue and must
+        // keep their tenant attribution through `requeue_front`.
+        (0xE1, "seed=0xe1,cut=5,drop=4", Backend::Remote),
+        // Lossy, reordering network over the three-member cluster: the
+        // rival's routed submissions and the sim tenant's driver
+        // traffic interleave across members.
+        (
+            0xE2,
+            "seed=0xe2,drop=6,delay=15,delaymax=6,reorder=10",
+            Backend::Cluster,
+        ),
+    ];
+    let mut reports = Vec::new();
+    for &(seed, spec, backend) in PLANS {
+        let plan = FaultPlan::parse(spec).expect("pinned tenant spec");
+        let outcome = run_tenanted_scenario(seed, &plan, backend);
+        if outcome.passed() {
+            continue;
+        }
+        let minimal = shrink::minimize(
+            &plan,
+            |candidate| !run_tenanted_scenario(seed, candidate, backend).passed(),
+            SHRINK_BUDGET,
+        );
+        reports.push(shrink::report(seed, &outcome, &minimal));
+    }
+    assert!(
+        reports.is_empty(),
+        "tenant chaos failures:\n{}",
+        reports.join("\n")
+    );
+}
+
+/// Pinned member-flap plan: one member is lost abruptly mid-run
+/// (`iloss`) while another is killed and *rejoined* by the crash plan.
+/// The cluster bucket worker must write the lost member off after
+/// `MEMBER_DEAD_STRIKES` consecutive failures, re-derive its poll
+/// budget over the shrunken live membership, and pick the rejoined
+/// member back up on a revival probe with a clean strike count — the
+/// accounting this pins used to double-count strikes across a
+/// death→revival→death flap and split the budget over the original
+/// membership.
+#[test]
+fn pinned_member_flap_plans_pass_every_oracle() {
+    const PLANS: &[(u64, &str)] = &[
+        // Member 2 lost for good at tick 50; member 1 crashed after two
+        // collected outputs and rejoined through member 0.
+        (0xF1, "seed=0xf1,iloss=2:50,crash=after:2:restart"),
+        // The same flap under a lossy network, so the worker's strikes
+        // interleave with transient per-frame faults.
+        (0xF2, "seed=0xf2,drop=5,cut=3,crash=after:1:restart"),
+    ];
+    let mut reports = Vec::new();
+    for &(seed, spec) in PLANS {
+        let plan = FaultPlan::parse(spec).expect("pinned flap spec");
+        let outcome = run_scenario(seed, &plan, Backend::Cluster);
+        if outcome.passed() {
+            continue;
+        }
+        let minimal = shrink::minimize(
+            &plan,
+            |candidate| !run_scenario(seed, candidate, Backend::Cluster).passed(),
+            SHRINK_BUDGET,
+        );
+        reports.push(shrink::report(seed, &outcome, &minimal));
+    }
+    assert!(
+        reports.is_empty(),
+        "member-flap plan failures:\n{}",
         reports.join("\n")
     );
 }

@@ -172,6 +172,52 @@ fn staging_matches_in_process_and_survives_a_drop(bind: &str) {
 }
 
 #[test]
+fn tenant_bound_driver_leaves_shared_scheduler_open() {
+    // A driver bound to a non-default tenant is one producer among
+    // several on a shared staging service: finishing its run must not
+    // close the scheduler (which would retire every other tenant's
+    // workers), while the legacy untenanted driver keeps close-on-exit.
+    let _obs = sitra::obs::isolate();
+    let addr: Addr = "inproc://remote-staging-tenant-close".parse().unwrap();
+    let server = SpaceServer::start(&addr, 1).expect("start staging server");
+    let endpoint = server.addr();
+    let worker = {
+        let ep = endpoint.clone();
+        std::thread::spawn(move || {
+            run_bucket_worker(&ep, &specs(), 0, &BucketWorkerOpts::default())
+                .expect("bucket worker")
+        })
+    };
+    let remote = run_pipeline(
+        &mut sim(SEED),
+        &config(BUCKETS)
+            .with_staging_endpoint(endpoint.to_string())
+            .with_tenant(sitra::dataspaces::TenantSpec::new("acme").with_weight(3)),
+    )
+    .expect("valid config");
+    assert_eq!(remote.dropped_tasks, 0);
+    assert!(
+        !server.scheduler().is_closed(),
+        "a tenant-bound driver must leave the shared scheduler open"
+    );
+    // The tenanted run evicted only its own namespace — and since it
+    // was the only producer, that is everything it staged.
+    assert_eq!(server.space().stats().resident_bytes, 0);
+    // The service's operator retires the worker, not the driver.
+    server.scheduler().close();
+    worker.join().unwrap();
+
+    // Outputs still byte-identical to the in-process reference: the
+    // tenant namespace changes where pieces live, not what they say.
+    let local = run_pipeline(&mut sim(SEED), &config(BUCKETS)).expect("valid config");
+    assert_eq!(
+        sorted_encoded_outputs(&local),
+        sorted_encoded_outputs(&remote)
+    );
+    server.shutdown();
+}
+
+#[test]
 fn inproc_remote_staging_roundtrip() {
     // Fresh registry; also keeps this test from racing the TCP test's
     // snapshot assertions on the global observability state.
