@@ -1,0 +1,364 @@
+//! Elastic bucket-pool scenario: locality-aware placement versus FCFS
+//! on a three-member ring shape, and the autoscaler recovering tail
+//! latency under a backlog burst.
+//!
+//! ```text
+//! cargo run --release -p sitra-bench --bin buckets_scenario
+//! ```
+//!
+//! Two shapes, one workload each:
+//!
+//! * **locality** — three schedulers (one per ring member), each with
+//!   one bucket worker *at* every member's endpoint, fed a seeded task
+//!   stream whose input shards are owned by the real consistent-hash
+//!   ring. The identical stream runs once under FCFS and once under
+//!   [`LocalityPlacement`]; the moved-byte count is recomputed from
+//!   each run's assignment log (task bytes minus whatever was resident
+//!   at the chosen bucket's location), so FCFS gets credit for its
+//!   accidental co-locations too.
+//! * **autoscale** — a burst of tasks floods a pool pinned at one
+//!   bucket, followed by a steady trickle. With the autoscaler on, the
+//!   pool grows toward `max` and the tail of the steady phase waits
+//!   almost nothing; with the pool fixed at `min`, the backlog eats the
+//!   steady phase alive. The p99 queue-wait of the last quarter of the
+//!   stream is the score.
+//!
+//! Emits the same `{"group","id","mean_ns","iters"}` rows the criterion
+//! benches write to `BENCH_buckets.json` (override with
+//! `BENCH_JSON=path`). Movement/saved rows carry bytes and wait rows
+//! carry microseconds in `mean_ns`; `locality_saved_bytes`,
+//! `autoscale_peak_buckets`, and `slo_recovered` are the CI floor
+//! gates. `BUCKETS_SMOKE=1` shrinks both shapes for the CI smoke job.
+
+use bytes::Bytes;
+use sitra_cluster::{HashRing, ShardKey, DEFAULT_SEED, DEFAULT_VNODES};
+use sitra_dataspaces::{
+    AutoscaleConfig, Autoscaler, Lease, LocalityPlacement, ResidencyHint, ScaleDecision, Scheduler,
+    DEFAULT_TENANT,
+};
+use sitra_mesh::BBox3;
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const MEMBERS: usize = 3;
+/// Every member's scheduler gets one bucket at each member's endpoint,
+/// so placement always has a co-located candidate to find.
+const PARTS_PER_TASK: usize = 4;
+const PART_BYTES: u64 = 256 * 1024;
+
+fn endpoints() -> Vec<String> {
+    (0..MEMBERS).map(|i| format!("tcp://m{i}:7000")).collect()
+}
+
+/// Simulated aggregation time per task — long enough that busy buckets
+/// are observable, short enough that the bench stays fast.
+const WORK: Duration = Duration::from_micros(150);
+
+/// Shared `(task index, queue wait)` log plus the scenario epoch the
+/// waits are measured against.
+type WaitLog = (Arc<Mutex<Vec<(u64, Duration)>>>, Instant);
+
+/// One bucket worker: polls until the scheduler closes or the pool
+/// controller retires its bucket, simulating `WORK` per task.
+fn spawn_bucket(
+    sched: Scheduler<Bytes>,
+    id: u32,
+    location: Option<String>,
+    waits: Option<WaitLog>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let handle = sched.register_bucket_at(id, location.as_deref());
+        loop {
+            match handle.poll_task(Some(Duration::from_millis(20))) {
+                Lease::Assigned { task, .. } => {
+                    if let Some((waits, t0)) = &waits {
+                        // The payload is the task's submit offset in
+                        // microseconds since the scenario started.
+                        let submitted = u64::from_le_bytes(task[..8].try_into().expect("payload"));
+                        let wait = t0
+                            .elapsed()
+                            .saturating_sub(Duration::from_micros(submitted));
+                        let idx = u64::from_le_bytes(task[8..16].try_into().expect("payload"));
+                        waits.lock().expect("waits").push((idx, wait));
+                    }
+                    std::thread::sleep(WORK);
+                }
+                Lease::Empty => continue,
+                Lease::Closed | Lease::Retire => break,
+            }
+        }
+    })
+}
+
+/// One locality run: the seeded task stream through three per-member
+/// schedulers under the given placement. Returns
+/// `(moved_bytes, saved_bytes)`, with `moved` recomputed from the
+/// assignment logs so both policies are scored by what they actually
+/// did, not by what they reported.
+fn run_locality(tasks: usize, locality: bool) -> (u64, u64) {
+    let eps = endpoints();
+    let ring = HashRing::new(DEFAULT_SEED, DEFAULT_VNODES, eps.clone());
+    let scheds: Vec<Scheduler<Bytes>> = (0..MEMBERS)
+        .map(|_| {
+            let s = Scheduler::new();
+            if locality {
+                s.set_placement(Arc::new(LocalityPlacement));
+            }
+            s
+        })
+        .collect();
+    // Bucket id == index of the endpoint the bucket lives at.
+    let workers: Vec<_> = scheds
+        .iter()
+        .flat_map(|s| {
+            eps.iter()
+                .enumerate()
+                .map(|(i, ep)| spawn_bucket(s.clone(), i as u32, Some(ep.clone()), None))
+        })
+        .collect();
+
+    // Seeded stream: each task's input shards are owned by the real
+    // ring, and the task itself is routed the way `submit_task_routed`
+    // routes — by `(route, step)`, which is independent of residency.
+    let mut hints: Vec<HashMap<u64, HashMap<String, u64>>> = vec![HashMap::new(); MEMBERS];
+    for t in 0..tasks {
+        let var = format!("field{}", t % 5);
+        let version = (t / 5) as u64;
+        let mut bytes_at: HashMap<String, u64> = HashMap::new();
+        for part in 0..PARTS_PER_TASK {
+            let base = (t * PARTS_PER_TASK + part) % 64;
+            let bbox = BBox3::new([base, 0, 0], [base + 1, 1, 1]);
+            let owner = ring
+                .owner_index(&ShardKey::new(&var, version, &bbox))
+                .expect("non-empty ring");
+            *bytes_at.entry(eps[owner].clone()).or_insert(0) += PART_BYTES;
+        }
+        let member = ring
+            .task_owner_index(&var, version)
+            .expect("non-empty ring");
+        let hint = ResidencyHint {
+            bytes_at: bytes_at.iter().map(|(l, b)| (l.clone(), *b)).collect(),
+        };
+        let verdict = scheds[member].submit_admission_hinted_as(
+            DEFAULT_TENANT,
+            Bytes::from(vec![0u8; 16]),
+            Some(hint),
+        );
+        let seq = verdict.seq().expect("unbounded scheduler admits");
+        hints[member].insert(seq, bytes_at);
+        // Pace submissions so buckets park between tasks and placement
+        // has a genuine choice more often than not.
+        std::thread::sleep(WORK * 2);
+    }
+
+    // Let the tail drain, then close and score.
+    loop {
+        if scheds.iter().all(|s| s.pool_snapshot().queue_depth == 0) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(WORK * 4);
+    for s in &scheds {
+        s.close();
+    }
+    for w in workers {
+        w.join().expect("bucket worker");
+    }
+
+    let task_bytes = PARTS_PER_TASK as u64 * PART_BYTES;
+    let mut moved = 0u64;
+    let mut saved = 0u64;
+    for (m, s) in scheds.iter().enumerate() {
+        let stats = s.stats();
+        saved += stats.locality_bytes_saved;
+        for (seq, bucket) in &stats.assignment_log {
+            let resident = hints[m]
+                .get(seq)
+                .and_then(|h| h.get(&eps[*bucket as usize]))
+                .copied()
+                .unwrap_or(0);
+            moved += task_bytes - resident;
+        }
+    }
+    (moved, saved)
+}
+
+/// One autoscale run: a burst then a steady trickle through a pool
+/// that starts at one bucket. Returns `(tail_p99_us, peak_buckets)` —
+/// the p99 queue-wait over the last quarter of the stream and the
+/// largest live pool the run reached.
+fn run_autoscale(burst: usize, steady: usize, elastic: bool) -> (u64, usize) {
+    let slo = Duration::from_millis(20);
+    let cfg = AutoscaleConfig::new(1, 8, slo);
+    let sched: Scheduler<Bytes> = Scheduler::new();
+    let waits: Arc<Mutex<Vec<(u64, Duration)>>> = Arc::new(Mutex::new(Vec::new()));
+    let t0 = Instant::now();
+    let workers = Arc::new(Mutex::new(vec![spawn_bucket(
+        sched.clone(),
+        0,
+        None,
+        Some((Arc::clone(&waits), t0)),
+    )]));
+    sched.set_pool_target(Some(cfg.min_buckets));
+
+    // The elastic controller: the same decide→grow/drain loop the
+    // in-process staging backend runs, at a bench-friendly tick.
+    let stop = Arc::new(AtomicBool::new(false));
+    let peak = Arc::new(Mutex::new(1usize));
+    let controller = elastic.then(|| {
+        let sched = sched.clone();
+        let workers = Arc::clone(&workers);
+        let waits = Arc::clone(&waits);
+        let stop = Arc::clone(&stop);
+        let peak = Arc::clone(&peak);
+        std::thread::spawn(move || {
+            let mut scaler = Autoscaler::new(cfg);
+            let mut next_id = 1u32;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+                let snap = sched.pool_snapshot();
+                {
+                    let mut p = peak.lock().expect("peak");
+                    *p = (*p).max(snap.buckets);
+                }
+                match scaler.decide(&snap) {
+                    ScaleDecision::Grow(k) => {
+                        let mut pool = workers.lock().expect("workers");
+                        for _ in 0..k {
+                            pool.push(spawn_bucket(
+                                sched.clone(),
+                                next_id,
+                                None,
+                                Some((Arc::clone(&waits), t0)),
+                            ));
+                            next_id += 1;
+                        }
+                        sched.set_pool_target(Some(snap.buckets + k));
+                    }
+                    ScaleDecision::Shrink(k) => {
+                        let mut drained = 0;
+                        for _ in 0..k {
+                            if sched.drain_one_bucket().is_some() {
+                                drained += 1;
+                            }
+                        }
+                        sched.set_pool_target(Some(snap.buckets.saturating_sub(drained).max(1)));
+                    }
+                    ScaleDecision::Hold => {}
+                }
+            }
+        })
+    });
+
+    let total = burst + steady;
+    let submit = |idx: usize| {
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&(t0.elapsed().as_micros() as u64).to_le_bytes());
+        payload.extend_from_slice(&(idx as u64).to_le_bytes());
+        sched.submit(Bytes::from(payload));
+    };
+    // Burst: far faster than one bucket can serve.
+    for idx in 0..burst {
+        submit(idx);
+        std::thread::sleep(Duration::from_micros(30));
+    }
+    // Steady trickle: within one bucket's rate, but the backlog is not.
+    for idx in burst..total {
+        submit(idx);
+        std::thread::sleep(WORK * 3);
+    }
+
+    // Drain, stop the controller, close, join.
+    while sched.pool_snapshot().queue_depth > 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(WORK * 4);
+    stop.store(true, Ordering::SeqCst);
+    if let Some(c) = controller {
+        c.join().expect("controller");
+    }
+    sched.close();
+    let pool: Vec<_> = workers.lock().expect("workers").drain(..).collect();
+    for w in pool {
+        w.join().expect("bucket worker");
+    }
+
+    // Score: p99 queue-wait over the last quarter of the stream — the
+    // part a recovered pool serves promptly and a fixed pool serves
+    // from under the backlog.
+    let cutoff = (total - total / 4) as u64;
+    let mut tail: Vec<Duration> = waits
+        .lock()
+        .expect("waits")
+        .iter()
+        .filter(|(idx, _)| *idx >= cutoff)
+        .map(|(_, w)| *w)
+        .collect();
+    assert!(!tail.is_empty(), "no tail samples — stream too short");
+    tail.sort();
+    let p99 = tail[(tail.len() - 1) * 99 / 100];
+    let peak_buckets = *peak.lock().expect("peak");
+    (p99.as_micros() as u64, peak_buckets)
+}
+
+fn main() {
+    let smoke = std::env::var_os("BUCKETS_SMOKE").is_some();
+    let (tasks, burst, steady) = if smoke { (90, 80, 40) } else { (240, 160, 80) };
+    let json_path = std::env::var_os("BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| "BENCH_buckets.json".into());
+    let mut out = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&json_path)
+        .expect("open BENCH_JSON");
+    let mut row = |id: &str, value: u64| {
+        writeln!(
+            out,
+            "{{\"group\":\"buckets\",\"id\":\"{id}\",\"mean_ns\":{value},\"iters\":1}}"
+        )
+        .expect("write row");
+    };
+
+    println!("buckets scenario: {tasks} locality tasks, {burst}+{steady} autoscale tasks");
+
+    let (fcfs_moved, fcfs_saved) = run_locality(tasks, false);
+    let (loc_moved, loc_saved) = run_locality(tasks, true);
+    assert_eq!(fcfs_saved, 0, "FCFS must never report locality savings");
+    assert!(loc_saved > 0, "locality placement saved nothing");
+    assert!(
+        loc_moved < fcfs_moved,
+        "locality moved {loc_moved} B, FCFS moved {fcfs_moved} B — no reduction"
+    );
+    println!(
+        "  locality: FCFS moved {:.1} MiB, locality moved {:.1} MiB (saved {:.1} MiB)",
+        fcfs_moved as f64 / (1 << 20) as f64,
+        loc_moved as f64 / (1 << 20) as f64,
+        loc_saved as f64 / (1 << 20) as f64,
+    );
+    row("fcfs_movement_bytes", fcfs_moved);
+    row("locality_movement_bytes", loc_moved);
+    row("locality_saved_bytes", loc_saved);
+
+    let (fixed_p99_us, _) = run_autoscale(burst, steady, false);
+    let (auto_p99_us, peak) = run_autoscale(burst, steady, true);
+    let slo_us = 20_000u64;
+    let recovered = u64::from(auto_p99_us <= slo_us);
+    assert!(peak > 1, "autoscaler never grew the pool");
+    assert_eq!(recovered, 1, "tail p99 {auto_p99_us}us missed the SLO");
+    println!(
+        "  autoscale: fixed tail p99 {:.1} ms, elastic tail p99 {:.1} ms (peak {peak} buckets)",
+        fixed_p99_us as f64 / 1e3,
+        auto_p99_us as f64 / 1e3,
+    );
+    row("fixed_tail_p99_us", fixed_p99_us);
+    row("autoscale_tail_p99_us", auto_p99_us);
+    row("autoscale_peak_buckets", peak as u64);
+    row("slo_recovered", recovered);
+
+    println!("rows appended to {}", json_path.display());
+}

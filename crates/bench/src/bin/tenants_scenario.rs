@@ -190,7 +190,9 @@ fn run_once(opts: &Opts, iter: u32) -> IterOutcome {
                 order.push((tenant, waited));
             }
             TaskPoll::Empty => continue,
-            TaskPoll::Closed => panic!("scheduler closed with tasks outstanding"),
+            TaskPoll::Closed | TaskPoll::Retire => {
+                panic!("scheduler closed with tasks outstanding")
+            }
         }
     }
 

@@ -263,6 +263,45 @@ impl ClusterClient {
         step: u64,
         data: Bytes,
     ) -> Result<(usize, Admission), RemoteError> {
+        self.submit_task_routed_hinted(route, step, data, Vec::new())
+    }
+
+    /// Where a task's input bytes live: fold each part's ring owner
+    /// into an `(endpoint, bytes)` residency map. The same pure ring
+    /// placement that routed the `put`s, so the map reflects where the
+    /// pieces actually landed without asking any server. Feed the
+    /// result to [`ClusterClient::submit_task_routed_hinted`] so a
+    /// locality-aware scheduler can steer the task toward a bucket
+    /// co-located with the heaviest shard.
+    pub fn residency_hint(
+        &self,
+        var: &str,
+        version: u64,
+        parts: &[(BBox3, u64)],
+    ) -> Vec<(String, u64)> {
+        let mut by_member: std::collections::BTreeMap<usize, u64> = Default::default();
+        for (bbox, bytes) in parts {
+            if let Some(idx) = self.ring.owner_index(&ShardKey::new(var, version, bbox)) {
+                *by_member.entry(idx).or_insert(0) += bytes;
+            }
+        }
+        by_member
+            .into_iter()
+            .map(|(idx, bytes)| (self.ring.members()[idx].clone(), bytes))
+            .collect()
+    }
+
+    /// [`ClusterClient::submit_task_routed`] carrying an `(endpoint,
+    /// bytes)` residency hint (see [`ClusterClient::residency_hint`]).
+    /// An empty hint degenerates to the plain submission verb on the
+    /// wire, so FCFS-only servers see byte-identical traffic.
+    pub fn submit_task_routed_hinted(
+        &self,
+        route: &str,
+        step: u64,
+        data: Bytes,
+        hint: Vec<(String, u64)>,
+    ) -> Result<(usize, Admission), RemoteError> {
         let owner = self
             .ring
             .task_owner_index(route, step)
@@ -272,7 +311,11 @@ impl ClusterClient {
         for k in 0..n {
             let idx = (owner + k) % n;
             match self.members[idx].with(&self.backoff, self.tenant.as_ref(), |c| {
-                c.submit_task_admission(data.clone())
+                if hint.is_empty() {
+                    c.submit_task_admission(data.clone())
+                } else {
+                    c.submit_task_hinted(data.clone(), hint.clone())
+                }
             }) {
                 Ok(adm) => return Ok((idx, adm)),
                 Err(e) => last_err = Some(e),
@@ -292,6 +335,22 @@ impl ClusterClient {
     ) -> Result<TaskPoll, RemoteError> {
         self.members[member_idx].with(&self.backoff, self.tenant.as_ref(), |c| {
             c.request_task(bucket_id, timeout)
+        })
+    }
+
+    /// [`ClusterClient::request_task`] declaring the bucket's home
+    /// endpoint, so a locality-aware scheduler on the polled member can
+    /// prefer this bucket for tasks whose input is resident there. An
+    /// empty `location` leaves the bucket unlocated.
+    pub fn request_task_located(
+        &self,
+        member_idx: usize,
+        bucket_id: u32,
+        timeout: Duration,
+        location: &str,
+    ) -> Result<TaskPoll, RemoteError> {
+        self.members[member_idx].with(&self.backoff, self.tenant.as_ref(), |c| {
+            c.request_task_located(bucket_id, timeout, location)
         })
     }
 

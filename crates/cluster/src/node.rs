@@ -320,6 +320,12 @@ impl ClusterNode {
         self.state.sched.stats()
     }
 
+    /// This member's task scheduler, for operator-side configuration
+    /// (placement policy, capacity targets, drain commands).
+    pub fn scheduler(&self) -> &Scheduler<Bytes> {
+        &self.state.sched
+    }
+
     /// Has a client closed this member's scheduler? (`sitra-staged`
     /// exits on this.)
     pub fn closed(&self) -> bool {

@@ -158,6 +158,14 @@ pub struct PipelineConfig {
     /// default) runs under the unscoped default tenant, byte-compatible
     /// with pre-tenancy deployments.
     pub staging_tenant: Option<sitra_dataspaces::TenantSpec>,
+    /// Elastic bucket capacity (local staging mode): when set, the
+    /// backend starts `min_buckets` workers and a controller thread
+    /// grows the pool under sustained backlog / drains it back when the
+    /// queue-wait p99 is comfortably inside the SLO, instead of pinning
+    /// [`PipelineConfig::staging_buckets`] threads for the whole run.
+    /// `None` (the default) keeps the fixed pool — byte-identical
+    /// scheduling to the pre-elastic driver.
+    pub bucket_autoscale: Option<sitra_dataspaces::AutoscaleConfig>,
 }
 
 impl PipelineConfig {
@@ -177,6 +185,7 @@ impl PipelineConfig {
             staging_max_inflight: 4,
             staging_output_hook: None,
             staging_tenant: None,
+            bucket_autoscale: None,
         }
     }
 
@@ -225,6 +234,14 @@ impl PipelineConfig {
     /// are single-tenant by construction).
     pub fn with_tenant(mut self, tenant: sitra_dataspaces::TenantSpec) -> Self {
         self.staging_tenant = Some(tenant);
+        self
+    }
+
+    /// Autoscale the local staging-bucket pool between `min` and `max`
+    /// workers, growing under sustained backlog and draining idle
+    /// buckets once the queue-wait p99 is comfortably inside `slo`.
+    pub fn with_bucket_autoscale(mut self, min: usize, max: usize, slo: Duration) -> Self {
+        self.bucket_autoscale = Some(sitra_dataspaces::AutoscaleConfig::new(min, max, slo));
         self
     }
 }

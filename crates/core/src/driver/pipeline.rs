@@ -77,6 +77,7 @@ pub fn run_pipeline(
             n_ranks,
             cfg.staging_buckets,
             cfg.staging_buffer_depth,
+            cfg.bucket_autoscale,
         )),
         StagingMode::Remote(_) => Box::new(RemoteBackend::new(
             ctx.clone(),

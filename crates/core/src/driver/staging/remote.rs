@@ -176,19 +176,40 @@ impl Link {
         }
     }
 
+    /// Where a task's input bytes will live, for the scheduler's
+    /// locality placement: the ring owner of each rank piece, folded
+    /// into an `(endpoint, bytes)` map. Single-server staging has no
+    /// placement choice to inform — the hint stays empty and the wire
+    /// traffic byte-identical.
+    fn residency_hint(&self, var: &str, step: u64, parts: &[(usize, Bytes)]) -> Vec<(String, u64)> {
+        match self {
+            Link::Single(_) => Vec::new(),
+            Link::Cluster(c) => {
+                let sized: Vec<(BBox3, u64)> = parts
+                    .iter()
+                    .map(|(r, payload)| (rank_bbox(*r), payload.len() as u64))
+                    .collect();
+                c.residency_hint(var, step, &sized)
+            }
+        }
+    }
+
     /// Submit a task descriptor; returns the serving member's index
-    /// (always 0 on a single server) with the admission verdict.
+    /// (always 0 on a single server) with the admission verdict. A
+    /// non-empty `hint` rides along for locality-aware schedulers;
+    /// FCFS servers ignore it.
     fn submit_task(
         &mut self,
         label: &str,
         step: u64,
         data: Bytes,
+        hint: Vec<(String, u64)>,
     ) -> Result<(usize, Admission), RemoteError> {
         match self {
             Link::Single(s) => s
                 .with(|c| c.submit_task_admission(data.clone()))
                 .map(|adm| (0, adm)),
-            Link::Cluster(c) => c.submit_task_routed(label, step, data),
+            Link::Cluster(c) => c.submit_task_routed_hinted(label, step, data, hint),
         }
     }
 
@@ -410,7 +431,8 @@ impl RemoteBackend {
             step,
             n_ranks: self.n_ranks,
         });
-        let verdict = self.link.submit_task(&label, step, task);
+        let hint = self.link.residency_hint(&var, step, parts);
+        let verdict = self.link.submit_task(&label, step, task, hint);
         let (member, seq, shed_seq) = match verdict {
             Ok((member, Admission::Accepted { seq })) => (member, seq, None),
             Ok((member, Admission::AcceptedShed { seq, shed_seq })) => {

@@ -106,6 +106,11 @@ pub struct BucketWorkerOpts {
     /// long enough server-side that a task **will** be assigned to the
     /// dead connection, forcing the requeue path. `None` disables it.
     pub drop_connection_after: Option<usize>,
+    /// Where this bucket's results land (the worker's home endpoint):
+    /// declared with every bucket-ready request so a locality-aware
+    /// scheduler can steer co-resident tasks here. `None` keeps the
+    /// legacy unlocated request verb — byte-identical on the wire.
+    pub location: Option<String>,
 }
 
 impl Default for BucketWorkerOpts {
@@ -114,70 +119,82 @@ impl Default for BucketWorkerOpts {
             backoff: Backoff::default(),
             request_timeout: Duration::from_millis(500),
             drop_connection_after: None,
+            location: None,
         }
     }
 }
 
-/// Run one staging bucket against a remote
-/// [`SpaceServer`](sitra_dataspaces::SpaceServer): request
-/// tasks until the scheduler closes, aggregating each and putting the
-/// encoded output back into the space. Returns the number of tasks
-/// completed.
-///
-/// `analyses` must be the same list (same order) the driver was
-/// configured with — the task descriptor carries an index into it.
-pub fn run_bucket_worker(
-    endpoint: &Addr,
+/// One poll of a [`TaskSource`], transport noise already absorbed.
+enum WorkerPoll {
+    /// An assignment: the encoded [`RemoteTask`] and the tenant it
+    /// belongs to.
+    Task { data: Bytes, tenant: String },
+    /// Nothing this round (timeout, skipped member, transient error
+    /// already retried) — poll again.
+    Idle,
+    /// The worker is finished: every scheduler closed, or this bucket
+    /// was drained and retired by the capacity controller.
+    Done,
+}
+
+/// Where a bucket worker leases tasks from and stages data against —
+/// the one seam between the single-space and cluster workers. The
+/// shared core ([`run_worker_core`]) owns the whole task lifecycle
+/// (lease → decode → fetch → aggregate → store → account); a source
+/// only answers polls and moves bytes.
+trait TaskSource {
+    /// One bucket-ready poll. `completed` is the lifetime task count,
+    /// which fault injection keys off. Transient transport failures are
+    /// handled internally (reconnect, strike-out) and surface as
+    /// [`WorkerPoll::Idle`]; only fatal errors propagate.
+    fn poll(&mut self, completed: usize) -> Result<WorkerPoll, RemoteError>;
+
+    /// Fetch input pieces intersecting `query`.
+    fn get(
+        &self,
+        var: &str,
+        version: u64,
+        query: &BBox3,
+    ) -> Result<Vec<(BBox3, Bytes)>, RemoteError>;
+
+    /// Store an encoded output.
+    fn put(&self, var: &str, version: u64, bbox: BBox3, data: Bytes) -> Result<(), RemoteError>;
+
+    /// Whether a task whose inputs cannot be fully assembled (or whose
+    /// output cannot be stored) is **skipped** instead of failing the
+    /// worker. Cluster staging skips — a fan-out get can race a shard
+    /// handoff, and a partial aggregation would poison the golden
+    /// outputs, while a missing output merely degrades the task at the
+    /// driver's deadline. Single-space staging has no handoff to race,
+    /// so there an unreachable input is a real fault.
+    fn lenient(&self) -> bool;
+}
+
+/// The task lifecycle shared by both staging flavours: lease, decode,
+/// assemble rank pieces, aggregate, store, account. Returns the number
+/// of tasks completed when the source reports [`WorkerPoll::Done`].
+fn run_worker_core<S: TaskSource>(
+    source: &mut S,
     analyses: &[AnalysisSpec],
     bucket_id: u32,
-    opts: &BucketWorkerOpts,
 ) -> Result<usize, RemoteError> {
     let reg = sitra_obs::global();
     let obs_completed = reg.counter(&format!("worker.tasks.completed{{bucket={bucket_id}}}"));
-    let obs_reconnects = reg.counter(&format!("worker.reconnects{{bucket={bucket_id}}}"));
-    let mut space = RemoteSpace::connect_retry(endpoint, &opts.backoff)?;
+    let obs_skipped = reg.counter(&format!("worker.tasks.skipped{{bucket={bucket_id}}}"));
     let mut completed = 0usize;
-    let mut drop_budget = opts.drop_connection_after;
     loop {
-        if drop_budget == Some(completed) {
-            drop_budget = None;
-            // Crash at the worst moment: mid-request, response unread.
-            // The long timeout keeps the server-side bucket parked until
-            // a task is assigned to the now-dead connection; the server
-            // notices the missing ack, requeues, and the task is handed
-            // to a healthy bucket. We reconnect and pick up where we
-            // left off.
-            space.fault_drop_during_request(bucket_id, Duration::from_secs(30));
-            space = RemoteSpace::connect_retry(endpoint, &opts.backoff)?;
-            obs_reconnects.inc();
-        }
-        let poll = match space.request_task(bucket_id, opts.request_timeout) {
-            Ok(p) => p,
-            Err(e) if e.is_retryable() => {
-                // Transient failure (connection lost to a server restart,
-                // network hiccup, elapsed wait): reconnect with backoff
-                // and retry. Fatal errors (protocol violations,
-                // server-reported failures) still abort the worker.
-                space = RemoteSpace::connect_retry(endpoint, &opts.backoff)?;
-                obs_reconnects.inc();
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
         // The bucket pool is shared across tenants, so the assignment
         // itself names the namespace: this worker's connection stays
         // unbound and every space access is scoped explicitly. For the
         // default tenant the scoped name is the bare name, so legacy
         // single-tenant traffic is byte-identical.
-        let (task, tenant) = match poll {
-            TaskPoll::Assigned { data, tenant, .. } => (
-                decode_task(&data)
-                    .map_err(|e| RemoteError::Proto(format!("bad task descriptor: {e}")))?,
-                tenant,
-            ),
-            TaskPoll::Empty => continue,
-            TaskPoll::Closed => return Ok(completed),
+        let (data, tenant) = match source.poll(completed)? {
+            WorkerPoll::Task { data, tenant } => (data, tenant),
+            WorkerPoll::Idle => continue,
+            WorkerPoll::Done => return Ok(completed),
         };
+        let task = decode_task(&data)
+            .map_err(|e| RemoteError::Proto(format!("bad task descriptor: {e}")))?;
         let spec = analyses.get(task.analysis_idx as usize).ok_or_else(|| {
             RemoteError::Proto(format!("task for unknown analysis {}", task.analysis_idx))
         })?;
@@ -185,11 +202,20 @@ pub fn run_bucket_worker(
         // by bbox.lo, i.e. in rank order, so the aggregation sees the
         // byte-identical part list the in-process bucket would.
         let query = BBox3::new([0, 0, 0], [task.n_ranks.max(1) as usize, 1, 1]);
-        let pieces = space.get(
+        let pieces = match source.get(
             &scoped_var(&tenant, &intermediate_var(&spec.label)),
             task.step,
             &query,
-        )?;
+        ) {
+            Ok(p) => p,
+            Err(_) if source.lenient() => {
+                // Every member failed the fan-out; the task's inputs are
+                // unreachable right now. Skip — the driver degrades it.
+                obs_skipped.inc();
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         let mut parts: Vec<(usize, Bytes)> = pieces
             .into_iter()
             .map(|(bbox, data)| (bbox.lo[0], data))
@@ -206,15 +232,30 @@ pub fn run_bucket_worker(
                 w[0].0, spec.label, task.step
             )));
         }
+        if source.lenient() && parts.len() != task.n_ranks as usize {
+            // Incomplete assembly (handoff race or lost member): never
+            // aggregate short.
+            obs_skipped.inc();
+            continue;
+        }
         let t_agg = std::time::Instant::now();
         let out = spec.analysis.aggregate(task.step, &parts);
         let aggregate_secs = t_agg.elapsed().as_secs_f64();
-        space.put(
+        match source.put(
             &scoped_var(&tenant, &output_var(&spec.label)),
             task.step,
             output_bbox(),
             encode_analysis_output(&out),
-        )?;
+        ) {
+            Ok(()) => {}
+            Err(_) if source.lenient() => {
+                // The output's ring owner is unreachable; without the put
+                // the task is as good as skipped and the driver degrades it.
+                obs_skipped.inc();
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
         completed += 1;
         obs_completed.inc();
         crate::driver::emit_aggregate(
@@ -228,6 +269,104 @@ pub fn run_bucket_worker(
             0.0,
         );
     }
+}
+
+/// [`TaskSource`] over one [`SpaceServer`](sitra_dataspaces::SpaceServer)
+/// connection, reconnecting with bounded backoff on transient failures.
+struct SingleSource<'a> {
+    endpoint: &'a Addr,
+    space: RemoteSpace,
+    bucket_id: u32,
+    opts: &'a BucketWorkerOpts,
+    drop_budget: Option<usize>,
+    obs_reconnects: sitra_obs::Counter,
+}
+
+impl TaskSource for SingleSource<'_> {
+    fn poll(&mut self, completed: usize) -> Result<WorkerPoll, RemoteError> {
+        if self.drop_budget == Some(completed) {
+            self.drop_budget = None;
+            // Crash at the worst moment: mid-request, response unread.
+            // The long timeout keeps the server-side bucket parked until
+            // a task is assigned to the now-dead connection; the server
+            // notices the missing ack, requeues, and the task is handed
+            // to a healthy bucket. We reconnect and pick up where we
+            // left off.
+            self.space
+                .fault_drop_during_request(self.bucket_id, Duration::from_secs(30));
+            self.space = RemoteSpace::connect_retry(self.endpoint, &self.opts.backoff)?;
+            self.obs_reconnects.inc();
+        }
+        let poll = match &self.opts.location {
+            Some(loc) => {
+                self.space
+                    .request_task_located(self.bucket_id, self.opts.request_timeout, loc)
+            }
+            None => self
+                .space
+                .request_task(self.bucket_id, self.opts.request_timeout),
+        };
+        match poll {
+            Ok(TaskPoll::Assigned { data, tenant, .. }) => Ok(WorkerPoll::Task { data, tenant }),
+            Ok(TaskPoll::Empty) => Ok(WorkerPoll::Idle),
+            // Closed ends the run; Retire ends this bucket (the capacity
+            // controller drained it) while the scheduler lives on.
+            Ok(TaskPoll::Closed) | Ok(TaskPoll::Retire) => Ok(WorkerPoll::Done),
+            Err(e) if e.is_retryable() => {
+                // Transient failure (connection lost to a server restart,
+                // network hiccup, elapsed wait): reconnect with backoff
+                // and retry. Fatal errors (protocol violations,
+                // server-reported failures) still abort the worker.
+                self.space = RemoteSpace::connect_retry(self.endpoint, &self.opts.backoff)?;
+                self.obs_reconnects.inc();
+                Ok(WorkerPoll::Idle)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn get(
+        &self,
+        var: &str,
+        version: u64,
+        query: &BBox3,
+    ) -> Result<Vec<(BBox3, Bytes)>, RemoteError> {
+        self.space.get(var, version, query)
+    }
+
+    fn put(&self, var: &str, version: u64, bbox: BBox3, data: Bytes) -> Result<(), RemoteError> {
+        self.space.put(var, version, bbox, data)
+    }
+
+    fn lenient(&self) -> bool {
+        false
+    }
+}
+
+/// Run one staging bucket against a remote
+/// [`SpaceServer`](sitra_dataspaces::SpaceServer): request
+/// tasks until the scheduler closes (or retires this bucket),
+/// aggregating each and putting the encoded output back into the
+/// space. Returns the number of tasks completed.
+///
+/// `analyses` must be the same list (same order) the driver was
+/// configured with — the task descriptor carries an index into it.
+pub fn run_bucket_worker(
+    endpoint: &Addr,
+    analyses: &[AnalysisSpec],
+    bucket_id: u32,
+    opts: &BucketWorkerOpts,
+) -> Result<usize, RemoteError> {
+    let mut source = SingleSource {
+        endpoint,
+        space: RemoteSpace::connect_retry(endpoint, &opts.backoff)?,
+        bucket_id,
+        opts,
+        drop_budget: opts.drop_connection_after,
+        obs_reconnects: sitra_obs::global()
+            .counter(&format!("worker.reconnects{{bucket={bucket_id}}}")),
+    };
+    run_worker_core(&mut source, analyses, bucket_id)
 }
 
 /// Consecutive failed polls of one cluster member before the worker
@@ -344,6 +483,102 @@ impl MemberHealth {
     }
 }
 
+/// [`TaskSource`] over a member cluster: polls every member's scheduler
+/// round-robin with [`MemberHealth`] strike-out/revival bookkeeping,
+/// fetches with fan-out gets, routes puts through the ring.
+struct ClusterSource<'a> {
+    client: ClusterClient,
+    health: MemberHealth,
+    member: usize,
+    bucket_id: u32,
+    opts: &'a BucketWorkerOpts,
+}
+
+impl TaskSource for ClusterSource<'_> {
+    fn poll(&mut self, _completed: usize) -> Result<WorkerPoll, RemoteError> {
+        // Once every member is closed or written off dead the worker
+        // retires: a written-off member's own crash handling and the
+        // driver's deadline degradation own correctness past this point.
+        if !self.health.any_pollable() {
+            return Ok(WorkerPoll::Done);
+        }
+        let n = self.client.member_count();
+        self.member = (self.member + 1) % n;
+        let member = self.member;
+        if self.health.closed(member) {
+            return Ok(WorkerPoll::Idle);
+        }
+        if !self.health.should_probe(member) {
+            return Ok(WorkerPoll::Idle);
+        }
+        // One task request blocks until the member has work or the
+        // timeout lapses. Round-robin must not multiply that wait — the
+        // budget is split so a full idle rotation costs one
+        // `request_timeout`, the same bound as the single-space worker.
+        // Re-derived every poll over the *live* member count: once
+        // members die or close, a stale full-membership split would
+        // shrink the rotation far below the budget and the worker would
+        // hammer the survivors with short polls.
+        let poll_timeout = self.opts.request_timeout / self.health.live().max(1) as u32;
+        let poll = match &self.opts.location {
+            Some(loc) => {
+                self.client
+                    .request_task_located(member, self.bucket_id, poll_timeout, loc)
+            }
+            None => self
+                .client
+                .request_task(member, self.bucket_id, poll_timeout),
+        };
+        match poll {
+            Ok(p) => {
+                self.health.note_ok(member);
+                match p {
+                    TaskPoll::Assigned { data, tenant, .. } => {
+                        Ok(WorkerPoll::Task { data, tenant })
+                    }
+                    TaskPoll::Empty => Ok(WorkerPoll::Idle),
+                    TaskPoll::Closed => {
+                        self.health.note_closed(member);
+                        Ok(WorkerPoll::Idle)
+                    }
+                    // One member draining this bucket retires the whole
+                    // worker: the capacity controller targeted it, and a
+                    // half-retired worker that keeps polling the other
+                    // members would never actually shrink the fleet.
+                    TaskPoll::Retire => Ok(WorkerPoll::Done),
+                }
+            }
+            Err(e) if e.is_retryable() => {
+                // The member may be mid-restart or partitioned; a few
+                // more chances (the client already reconnected once),
+                // then it is written off until a revival probe answers.
+                if self.health.note_err(member) {
+                    std::thread::sleep(self.opts.backoff.initial);
+                }
+                Ok(WorkerPoll::Idle)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn get(
+        &self,
+        var: &str,
+        version: u64,
+        query: &BBox3,
+    ) -> Result<Vec<(BBox3, Bytes)>, RemoteError> {
+        self.client.get(var, version, query)
+    }
+
+    fn put(&self, var: &str, version: u64, bbox: BBox3, data: Bytes) -> Result<(), RemoteError> {
+        self.client.put(var, version, bbox, data)
+    }
+
+    fn lenient(&self) -> bool {
+        true
+    }
+}
+
 /// Run one staging bucket against a member cluster: poll every member's
 /// scheduler round-robin, fetch each task's rank pieces with a fan-out
 /// get (they may live on any member, or be mid-handoff), aggregate, and
@@ -368,126 +603,15 @@ pub fn run_cluster_bucket_worker(
         endpoints.iter().cloned(),
         opts.backoff,
     )?;
-    let reg = sitra_obs::global();
-    let obs_completed = reg.counter(&format!("worker.tasks.completed{{bucket={bucket_id}}}"));
-    let obs_skipped = reg.counter(&format!("worker.tasks.skipped{{bucket={bucket_id}}}"));
     let n = client.member_count();
-    let mut health = MemberHealth::new(n);
-    let mut completed = 0usize;
-    let mut member = 0usize;
-    while health.any_pollable() {
-        member = (member + 1) % n;
-        if health.closed(member) {
-            continue;
-        }
-        if !health.should_probe(member) {
-            continue;
-        }
-        // One task request blocks until the member has work or the
-        // timeout lapses. Round-robin must not multiply that wait — the
-        // budget is split so a full idle rotation costs one
-        // `request_timeout`, the same bound as the single-space worker.
-        // Re-derived every poll over the *live* member count: once
-        // members die or close, a stale full-membership split would
-        // shrink the rotation far below the budget and the worker would
-        // hammer the survivors with short polls.
-        let poll_timeout = opts.request_timeout / health.live().max(1) as u32;
-        let poll = match client.request_task(member, bucket_id, poll_timeout) {
-            Ok(p) => {
-                health.note_ok(member);
-                p
-            }
-            Err(e) if e.is_retryable() => {
-                // The member may be mid-restart or partitioned; a few
-                // more chances (the client already reconnected once),
-                // then it is written off until a revival probe answers.
-                if health.note_err(member) {
-                    std::thread::sleep(opts.backoff.initial);
-                }
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
-        // As in the single-space worker: tasks from any tenant land on
-        // any bucket, so the namespace rides on the assignment and the
-        // worker scopes each access explicitly.
-        let (task, tenant) = match poll {
-            TaskPoll::Assigned { data, tenant, .. } => (
-                decode_task(&data)
-                    .map_err(|e| RemoteError::Proto(format!("bad task descriptor: {e}")))?,
-                tenant,
-            ),
-            TaskPoll::Empty => continue,
-            TaskPoll::Closed => {
-                health.note_closed(member);
-                continue;
-            }
-        };
-        let spec = analyses.get(task.analysis_idx as usize).ok_or_else(|| {
-            RemoteError::Proto(format!("task for unknown analysis {}", task.analysis_idx))
-        })?;
-        let query = BBox3::new([0, 0, 0], [task.n_ranks.max(1) as usize, 1, 1]);
-        let pieces = match client.get(
-            &scoped_var(&tenant, &intermediate_var(&spec.label)),
-            task.step,
-            &query,
-        ) {
-            Ok(p) => p,
-            Err(_) => {
-                // Every member failed the fan-out; the task's inputs are
-                // unreachable right now. Skip — the driver degrades it.
-                obs_skipped.inc();
-                continue;
-            }
-        };
-        let mut parts: Vec<(usize, Bytes)> = pieces
-            .into_iter()
-            .map(|(bbox, data)| (bbox.lo[0], data))
-            .collect();
-        parts.dedup();
-        if let Some(w) = parts.windows(2).find(|w| w[0].0 == w[1].0) {
-            return Err(RemoteError::Proto(format!(
-                "conflicting duplicate parts for rank {} of {}@{}",
-                w[0].0, spec.label, task.step
-            )));
-        }
-        if parts.len() != task.n_ranks as usize {
-            // Incomplete assembly (handoff race or lost member): never
-            // aggregate short.
-            obs_skipped.inc();
-            continue;
-        }
-        let t_agg = std::time::Instant::now();
-        let out = spec.analysis.aggregate(task.step, &parts);
-        let aggregate_secs = t_agg.elapsed().as_secs_f64();
-        if client
-            .put(
-                &scoped_var(&tenant, &output_var(&spec.label)),
-                task.step,
-                output_bbox(),
-                encode_analysis_output(&out),
-            )
-            .is_err()
-        {
-            // The output's ring owner is unreachable; without the put
-            // the task is as good as skipped and the driver degrades it.
-            obs_skipped.inc();
-            continue;
-        }
-        completed += 1;
-        obs_completed.inc();
-        crate::driver::emit_aggregate(
-            "worker",
-            &spec.label,
-            task.step,
-            aggregate_secs,
-            Some(bucket_id),
-            false,
-            0.0,
-            0.0,
-        );
-    }
-    Ok(completed)
+    let mut source = ClusterSource {
+        client,
+        health: MemberHealth::new(n),
+        member: 0,
+        bucket_id,
+        opts,
+    };
+    run_worker_core(&mut source, analyses, bucket_id)
 }
 
 /// The poll loop shared by [`await_output`] and

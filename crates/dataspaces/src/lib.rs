@@ -23,17 +23,23 @@
 //!   space or the DART transport.
 
 pub mod codec;
+pub mod pool;
 pub mod remote;
 pub mod sched;
 pub mod space;
 pub mod tenant;
 
 pub use codec::{bytes_to_field, field_to_bytes};
+pub use pool::{
+    AutoscaleConfig, Autoscaler, BucketCandidate, BucketState, FcfsPlacement, LocalityPlacement,
+    Placement, PoolSnapshot, ResidencyHint, ScaleDecision,
+};
 pub use remote::{
-    ControlHandler, RemoteError, RemoteSpace, RemoteStats, SpaceServer, TaskPoll, TenantRow,
+    ControlHandler, PoolStats, RemoteError, RemoteSpace, RemoteStats, SpaceServer, TaskPoll,
+    TenantRow,
 };
 pub use sched::{
-    Admission, AdmissionPolicy, BucketHandle, SchedStats, Scheduler, TenantSchedStats,
+    Admission, AdmissionPolicy, BucketHandle, Lease, SchedStats, Scheduler, TenantSchedStats,
     TenantSnapshot,
 };
 pub use space::{DataSpaces, ObjectMeta, QuotaExceeded, SpaceStats};

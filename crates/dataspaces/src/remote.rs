@@ -17,7 +17,8 @@
 //! up. A crashing or reconnecting consumer therefore never loses a
 //! task — the invariant the remote-staging integration test asserts.
 
-use crate::sched::{Admission, AdmissionPolicy, SchedStats, Scheduler};
+use crate::pool::ResidencyHint;
+use crate::sched::{Admission, AdmissionPolicy, Lease, SchedStats, Scheduler};
 use crate::space::DataSpaces;
 use crate::tenant::{scoped_var, TenantSpec, DEFAULT_TENANT};
 use bytes::{BufMut, Bytes, BytesMut};
@@ -92,6 +93,9 @@ const REQ_SCHED_POLICY: u8 = 11;
 const REQ_CONTROL: u8 = 12;
 const REQ_SET_TENANT: u8 = 13;
 const REQ_TENANT_STATS: u8 = 14;
+const REQ_POOL_STATS: u8 = 15;
+const REQ_SUBMIT_TASK_HINTED: u8 = 16;
+const REQ_REQUEST_TASK_LOCATED: u8 = 17;
 
 const RESP_OK: u8 = 100;
 const RESP_SEQ: u8 = 101;
@@ -103,6 +107,7 @@ const RESP_ADMISSION: u8 = 106;
 const RESP_POLICY: u8 = 107;
 const RESP_CONTROL: u8 = 108;
 const RESP_TENANT_STATS: u8 = 109;
+const RESP_POOL: u8 = 110;
 const RESP_ERROR: u8 = 199;
 
 // Admission verdict tags (RESP_ADMISSION payload).
@@ -202,6 +207,34 @@ pub enum Request {
     },
     /// Per-tenant scheduler counters and space residency.
     TenantStats,
+    /// Bucket-pool state: live/idle bucket counts, desired capacity,
+    /// queue depth, queue-wait p99, and the locality savings counter.
+    PoolStats,
+    /// Data-ready with a residency hint: like [`Request::SubmitTaskAdm`]
+    /// plus `(location, bytes)` rows describing where the task's input
+    /// lives, so a locality-aware server placement can steer the
+    /// assignment. A server with FCFS placement (the default) ignores
+    /// the hint entirely — same verdict, same assignment order.
+    SubmitTaskHinted {
+        /// Encoded task.
+        data: Bytes,
+        /// Resident input bytes per location label.
+        hint: Vec<(String, u64)>,
+    },
+    /// Bucket-ready with a location label: like [`Request::RequestTask`]
+    /// but registers the bucket as co-resident with `location` so
+    /// locality placement can match it against task hints, and the
+    /// server may answer [`TaskPoll::Retire`] when the capacity
+    /// controller drains the bucket.
+    RequestTaskLocated {
+        /// Requesting bucket.
+        bucket_id: u32,
+        /// Server-side wait bound in milliseconds.
+        timeout_ms: u64,
+        /// The bucket's location label (its cluster member endpoint;
+        /// empty = unlocated).
+        location: String,
+    },
 }
 
 /// One tenant's combined server-side counters, as reported by
@@ -252,6 +285,29 @@ pub enum TaskPoll {
     Empty,
     /// The scheduler was closed; no more tasks will ever arrive.
     Closed,
+    /// The capacity controller drained this bucket: deregister and
+    /// exit. Other buckets keep serving; only this one retires.
+    Retire,
+}
+
+/// Bucket-pool state, as reported by [`Request::PoolStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Live (non-retired) buckets.
+    pub buckets: u64,
+    /// Of those, parked idle right now.
+    pub idle: u64,
+    /// The capacity controller's desired bucket count, if one is set.
+    /// External supervisors reconcile their worker fleet toward this.
+    pub desired: Option<u64>,
+    /// Tasks queued (not yet assigned).
+    pub queue_depth: u64,
+    /// p99 of recent task queue-waits, microseconds.
+    pub p99_wait_us: u64,
+    /// Input bytes locality placement has avoided moving.
+    pub locality_bytes_saved: u64,
+    /// Name of the placement policy in force (`fcfs`, `locality`).
+    pub placement: String,
 }
 
 /// Combined server-side counters.
@@ -306,6 +362,8 @@ pub enum Response {
     },
     /// Per-tenant counters, one row per tenant known to the server.
     TenantRows(Vec<TenantRow>),
+    /// Bucket-pool state.
+    Pool(PoolStats),
     /// The request failed server-side.
     Error(String),
 }
@@ -518,6 +576,26 @@ pub fn encode_request(req: &Request) -> Bytes {
             }
         }
         Request::TenantStats => buf.put_u8(REQ_TENANT_STATS),
+        Request::PoolStats => buf.put_u8(REQ_POOL_STATS),
+        Request::SubmitTaskHinted { data, hint } => {
+            buf.put_u8(REQ_SUBMIT_TASK_HINTED);
+            put_bytes(&mut buf, data);
+            buf.put_u32_le(hint.len() as u32);
+            for (location, bytes) in hint {
+                put_bytes(&mut buf, location.as_bytes());
+                buf.put_u64_le(*bytes);
+            }
+        }
+        Request::RequestTaskLocated {
+            bucket_id,
+            timeout_ms,
+            location,
+        } => {
+            buf.put_u8(REQ_REQUEST_TASK_LOCATED);
+            buf.put_u32_le(*bucket_id);
+            buf.put_u64_le(*timeout_ms);
+            put_bytes(&mut buf, location.as_bytes());
+        }
     }
     buf.freeze()
 }
@@ -577,6 +655,25 @@ pub fn decode_request(frame: Bytes) -> Result<Request, RemoteError> {
             }
         }
         REQ_TENANT_STATS => Request::TenantStats,
+        REQ_POOL_STATS => Request::PoolStats,
+        REQ_SUBMIT_TASK_HINTED => {
+            let data = rd.bytes()?;
+            let n = rd.u32()? as usize;
+            // Each row is at least a length prefix plus the byte count.
+            if n.checked_mul(12).is_none_or(|total| total > rd.remaining()) {
+                return Err(RemoteError::Proto("hint row count exceeds frame".into()));
+            }
+            let mut hint = Vec::with_capacity(n);
+            for _ in 0..n {
+                hint.push((rd.string()?, rd.u64()?));
+            }
+            Request::SubmitTaskHinted { data, hint }
+        }
+        REQ_REQUEST_TASK_LOCATED => Request::RequestTaskLocated {
+            bucket_id: rd.u32()?,
+            timeout_ms: rd.u64()?,
+            location: rd.string()?,
+        },
         t => return Err(RemoteError::Proto(format!("unknown request tag {t}"))),
     };
     rd.finish()?;
@@ -616,6 +713,7 @@ pub fn encode_response(resp: &Response) -> Bytes {
                 }
                 TaskPoll::Empty => buf.put_u8(1),
                 TaskPoll::Closed => buf.put_u8(2),
+                TaskPoll::Retire => buf.put_u8(3),
             }
         }
         Response::Stats(s) => {
@@ -685,6 +783,16 @@ pub fn encode_response(resp: &Response) -> Bytes {
                 put_opt_u64(&mut buf, r.byte_quota);
             }
         }
+        Response::Pool(p) => {
+            buf.put_u8(RESP_POOL);
+            buf.put_u64_le(p.buckets);
+            buf.put_u64_le(p.idle);
+            put_opt_u64(&mut buf, p.desired);
+            buf.put_u64_le(p.queue_depth);
+            buf.put_u64_le(p.p99_wait_us);
+            buf.put_u64_le(p.locality_bytes_saved);
+            put_bytes(&mut buf, p.placement.as_bytes());
+        }
         Response::Error(msg) => {
             buf.put_u8(RESP_ERROR);
             put_bytes(&mut buf, msg.as_bytes());
@@ -726,6 +834,7 @@ pub fn decode_response(frame: Bytes) -> Result<Response, RemoteError> {
             }),
             1 => Response::Task(TaskPoll::Empty),
             2 => Response::Task(TaskPoll::Closed),
+            3 => Response::Task(TaskPoll::Retire),
             s => return Err(RemoteError::Proto(format!("unknown task status {s}"))),
         },
         RESP_STATS => Response::Stats(RemoteStats {
@@ -792,6 +901,15 @@ pub fn decode_response(frame: Bytes) -> Result<Response, RemoteError> {
             }
             Response::TenantRows(rows)
         }
+        RESP_POOL => Response::Pool(PoolStats {
+            buckets: rd.u64()?,
+            idle: rd.u64()?,
+            desired: rd.opt_u64()?,
+            queue_depth: rd.u64()?,
+            p99_wait_us: rd.u64()?,
+            locality_bytes_saved: rd.u64()?,
+            placement: rd.string()?,
+        }),
         RESP_ERROR => Response::Error(rd.string()?),
         t => return Err(RemoteError::Proto(format!("unknown response tag {t}"))),
     };
@@ -981,6 +1099,11 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
                 let t = tenant.as_deref().unwrap_or(DEFAULT_TENANT);
                 Response::Admission(inner.sched.submit_admission_as(t, data))
             }
+            Request::SubmitTaskHinted { data, hint } => {
+                let t = tenant.as_deref().unwrap_or(DEFAULT_TENANT);
+                let hint = (!hint.is_empty()).then_some(ResidencyHint { bytes_at: hint });
+                Response::Admission(inner.sched.submit_admission_hinted_as(t, data, hint))
+            }
             Request::SchedPolicy => Response::Policy {
                 capacity: inner.sched.capacity().map(|c| c as u64),
                 policy: inner.sched.policy(),
@@ -989,7 +1112,18 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
                 bucket_id,
                 timeout_ms,
             } => {
-                if !handle_request_task(inner, conn, bucket_id, timeout_ms) {
+                if !handle_request_task(inner, conn, bucket_id, timeout_ms, None) {
+                    return; // hand-off failed; connection is dead
+                }
+                continue; // response already sent
+            }
+            Request::RequestTaskLocated {
+                bucket_id,
+                timeout_ms,
+                location,
+            } => {
+                let loc = (!location.is_empty()).then_some(location.as_str());
+                if !handle_request_task(inner, conn, bucket_id, timeout_ms, loc) {
                     return; // hand-off failed; connection is dead
                 }
                 continue; // response already sent
@@ -1036,6 +1170,18 @@ fn serve_connection(inner: &ServerInner, conn: &Connection) {
                 Response::Ok
             }
             Request::TenantStats => Response::TenantRows(tenant_rows(inner)),
+            Request::PoolStats => {
+                let snap = inner.sched.pool_snapshot();
+                Response::Pool(PoolStats {
+                    buckets: snap.buckets as u64,
+                    idle: snap.idle as u64,
+                    desired: inner.sched.pool_target().map(|t| t as u64),
+                    queue_depth: snap.queue_depth as u64,
+                    p99_wait_us: snap.p99_wait.as_micros() as u64,
+                    locality_bytes_saved: inner.sched.stats().locality_bytes_saved,
+                    placement: inner.sched.placement_name().to_string(),
+                })
+            }
         };
         if conn.send(encode_response(&resp)).is_err() {
             return;
@@ -1098,29 +1244,40 @@ fn handle_request_task(
     conn: &Connection,
     bucket_id: u32,
     timeout_ms: u64,
+    location: Option<&str>,
 ) -> bool {
-    let bucket = inner.sched.register_bucket(bucket_id);
+    let bucket = inner.sched.register_bucket_at(bucket_id, location);
     let deadline = std::time::Instant::now() + Duration::from_millis(timeout_ms);
     let assigned = loop {
         let left = deadline.saturating_duration_since(std::time::Instant::now());
         if left.is_zero() {
             break None;
         }
-        match bucket.request_task_timeout(left.min(WAIT_SLICE)) {
-            Some(t) => break Some(t),
-            None if inner.sched.is_closed() => {
+        match bucket.poll_task(Some(left.min(WAIT_SLICE))) {
+            Lease::Assigned { seq, task } => break Some((seq, task)),
+            Lease::Retire => {
+                return conn
+                    .send(encode_response(&Response::Task(TaskPoll::Retire)))
+                    .is_ok()
+            }
+            Lease::Closed => {
                 // Drain-then-closed: one more non-blocking look so a
                 // task requeued during close is not missed.
-                match bucket.request_task_timeout(Duration::ZERO) {
-                    Some(t) => break Some(t),
-                    None => {
+                match bucket.poll_task(Some(Duration::ZERO)) {
+                    Lease::Assigned { seq, task } => break Some((seq, task)),
+                    Lease::Retire => {
+                        return conn
+                            .send(encode_response(&Response::Task(TaskPoll::Retire)))
+                            .is_ok()
+                    }
+                    _ => {
                         return conn
                             .send(encode_response(&Response::Task(TaskPoll::Closed)))
                             .is_ok()
                     }
                 }
             }
-            None => continue,
+            Lease::Empty => continue,
         }
     };
     let Some((seq, data)) = assigned else {
@@ -1355,13 +1512,42 @@ impl RemoteSpace {
     /// the server. An assigned task is acknowledged automatically
     /// before this returns.
     pub fn request_task(&self, bucket_id: u32, timeout: Duration) -> Result<TaskPoll, RemoteError> {
-        self.conn.send(encode_request(&Request::RequestTask {
+        self.request_task_frame(&Request::RequestTask {
             bucket_id,
             timeout_ms: timeout.as_millis() as u64,
-        }))?;
+        })
+    }
+
+    /// [`Self::request_task`] with a location label: registers the
+    /// bucket as co-resident with `location` so the server's locality
+    /// placement can steer matching tasks here, and may return
+    /// [`TaskPoll::Retire`] when the capacity controller drains this
+    /// bucket.
+    pub fn request_task_located(
+        &self,
+        bucket_id: u32,
+        timeout: Duration,
+        location: &str,
+    ) -> Result<TaskPoll, RemoteError> {
+        self.request_task_frame(&Request::RequestTaskLocated {
+            bucket_id,
+            timeout_ms: timeout.as_millis() as u64,
+            location: location.to_string(),
+        })
+    }
+
+    fn request_task_frame(&self, req: &Request) -> Result<TaskPoll, RemoteError> {
+        let timeout_ms = match req {
+            Request::RequestTask { timeout_ms, .. }
+            | Request::RequestTaskLocated { timeout_ms, .. } => *timeout_ms,
+            _ => 0,
+        };
+        self.conn.send(encode_request(req))?;
         // The server may legitimately take the full timeout; pad the
         // client-side wait generously.
-        let frame = self.conn.recv_timeout(timeout + Duration::from_secs(30))?;
+        let frame = self
+            .conn
+            .recv_timeout(Duration::from_millis(timeout_ms) + Duration::from_secs(30))?;
         match decode_response(frame)? {
             Response::Task(poll) => {
                 if let TaskPoll::Assigned { seq, .. } = &poll {
@@ -1372,6 +1558,32 @@ impl RemoteSpace {
             }
             Response::Error(msg) => Err(RemoteError::Server(msg)),
             other => Err(RemoteError::Proto(format!("expected Task, got {other:?}"))),
+        }
+    }
+
+    /// [`Self::submit_task_admission`] with a residency hint: `hint`
+    /// rows name where the task's input bytes live so a locality-aware
+    /// server placement can steer the assignment. Advisory — an FCFS
+    /// server behaves exactly as for the unhinted verb.
+    pub fn submit_task_hinted(
+        &self,
+        data: Bytes,
+        hint: Vec<(String, u64)>,
+    ) -> Result<Admission, RemoteError> {
+        match self.rpc(&Request::SubmitTaskHinted { data, hint })? {
+            Response::Admission(adm) => Ok(adm),
+            other => Err(RemoteError::Proto(format!(
+                "expected Admission, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Bucket-pool state: live/idle counts, desired capacity, queue
+    /// depth, queue-wait p99, and the locality savings counter.
+    pub fn pool_stats(&self) -> Result<PoolStats, RemoteError> {
+        match self.rpc(&Request::PoolStats)? {
+            Response::Pool(p) => Ok(p),
+            other => Err(RemoteError::Proto(format!("expected Pool, got {other:?}"))),
         }
     }
 
@@ -1505,6 +1717,20 @@ mod tests {
                 spec: TenantSpec::new("plain"),
             },
             Request::TenantStats,
+            Request::PoolStats,
+            Request::SubmitTaskHinted {
+                data: Bytes::from_static(b"task-hinted"),
+                hint: vec![("tcp://m0:7000".into(), 4096), ("tcp://m1:7000".into(), 64)],
+            },
+            Request::SubmitTaskHinted {
+                data: Bytes::from_static(b"no-hint"),
+                hint: vec![],
+            },
+            Request::RequestTaskLocated {
+                bucket_id: 3,
+                timeout_ms: 250,
+                location: "tcp://m1:7000".into(),
+            },
         ];
         for r in reqs {
             assert_eq!(decode_request(encode_request(&r)).unwrap(), r);
@@ -1529,6 +1755,17 @@ mod tests {
             }),
             Response::Task(TaskPoll::Empty),
             Response::Task(TaskPoll::Closed),
+            Response::Task(TaskPoll::Retire),
+            Response::Pool(PoolStats {
+                buckets: 4,
+                idle: 2,
+                desired: Some(6),
+                queue_depth: 9,
+                p99_wait_us: 1500,
+                locality_bytes_saved: 1 << 20,
+                placement: "locality".into(),
+            }),
+            Response::Pool(PoolStats::default()),
             Response::Stats(RemoteStats {
                 tasks_submitted: 1,
                 tasks_assigned: 2,
@@ -1892,6 +2129,64 @@ mod tests {
         assert!(!err.is_retryable(), "quota refusal must not be retried");
         // Redelivery of the SAME piece replaces and stays admitted.
         c.put("T", 1, b, Bytes::from(vec![1u8; 80])).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn pool_verbs_over_inproc() {
+        let addr: Addr = "inproc://space-pool".parse().unwrap();
+        let server = SpaceServer::start(&addr, 1).unwrap();
+        server
+            .scheduler()
+            .set_placement(Arc::new(crate::pool::LocalityPlacement));
+        let producer = RemoteSpace::connect(&server.addr()).unwrap();
+
+        // Empty located poll: bucket registers at its location, times out.
+        let bucket = RemoteSpace::connect(&server.addr()).unwrap();
+        assert_eq!(
+            bucket
+                .request_task_located(0, Duration::from_millis(40), "tcp://m0:1")
+                .unwrap(),
+            TaskPoll::Empty
+        );
+        // A hinted submission lands on the co-located bucket and the
+        // saved bytes show up in pool stats.
+        assert_eq!(
+            producer
+                .submit_task_hinted(
+                    Bytes::from_static(b"near"),
+                    vec![("tcp://m0:1".into(), 2048)],
+                )
+                .unwrap(),
+            Admission::Accepted { seq: 0 }
+        );
+        assert_eq!(
+            bucket
+                .request_task_located(0, Duration::from_secs(2), "tcp://m0:1")
+                .unwrap(),
+            TaskPoll::Assigned {
+                seq: 0,
+                data: Bytes::from_static(b"near"),
+                tenant: DEFAULT_TENANT.into(),
+            }
+        );
+        let pool = producer.pool_stats().unwrap();
+        assert_eq!(pool.placement, "locality");
+        assert_eq!(pool.buckets, 1);
+        assert_eq!(pool.queue_depth, 0);
+        assert_eq!(pool.locality_bytes_saved, 2048);
+        assert_eq!(pool.desired, None);
+
+        // Draining the bucket turns its next poll into Retire; other
+        // verbs keep working on the same connection afterwards.
+        server.scheduler().begin_drain(0);
+        assert_eq!(
+            bucket
+                .request_task_located(0, Duration::from_secs(2), "tcp://m0:1")
+                .unwrap(),
+            TaskPoll::Retire
+        );
+        assert_eq!(producer.pool_stats().unwrap().buckets, 0);
         server.shutdown();
     }
 

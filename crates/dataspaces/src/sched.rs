@@ -40,8 +40,9 @@
 //! ([`TenantSpec`]), making the verdict per-tenant: a tenant over its
 //! quota sheds *its own* oldest task, never a neighbour's.
 
+use crate::pool::{BucketPool, Placement, PoolSnapshot, ResidencyHint};
 use crate::tenant::{TenantSpec, DEFAULT_TENANT};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -130,6 +131,11 @@ pub struct SchedStats {
     /// Submissions refused at capacity ([`AdmissionPolicy::RejectNew`],
     /// or [`AdmissionPolicy::Block`] deadlines that elapsed).
     pub tasks_rejected: u64,
+    /// Input bytes that locality-aware placement avoided moving by
+    /// assigning tasks to buckets co-located with their resident input
+    /// shards. Always 0 under the default FCFS placement. The
+    /// counterpart of the driver's `movement_bytes`.
+    pub locality_bytes_saved: u64,
 }
 
 /// Per-tenant scheduler counters.
@@ -174,6 +180,7 @@ struct SchedObs {
     requeued: sitra_obs::Counter,
     shed: sitra_obs::Counter,
     rejected: sitra_obs::Counter,
+    locality_saved: sitra_obs::Counter,
     task_wait: sitra_obs::Histogram,
     bucket_idle: sitra_obs::Histogram,
     backpressure_wait: sitra_obs::Histogram,
@@ -189,6 +196,7 @@ impl SchedObs {
             requeued: reg.counter("sched.tasks.requeued"),
             shed: reg.counter("sched.tasks.shed"),
             rejected: reg.counter("sched.tasks.rejected"),
+            locality_saved: reg.counter("sched.locality.bytes_saved"),
             task_wait: reg.histogram("sched.task.wait_ns"),
             bucket_idle: reg.histogram("sched.bucket.idle_ns"),
             backpressure_wait: reg.histogram("sched.backpressure.wait_ns"),
@@ -246,7 +254,15 @@ struct Inner<T> {
     /// lands back in the right sub-queue. Entries are pruned on
     /// [`Scheduler::ack`] and on requeue.
     inflight: HashMap<u64, usize>,
-    free_buckets: VecDeque<(BucketId, Sender<(u64, T)>)>,
+    pool: BucketPool<T>,
+    /// Residency hints for queued tasks, keyed by sequence number and
+    /// consumed at first assignment. A requeued task carries no hint
+    /// and falls back to FCFS placement — correctness never depends on
+    /// a hint surviving the two-phase hand-off.
+    hints: HashMap<u64, ResidencyHint>,
+    /// Recent task queue-wait samples (ns), a bounded ring feeding the
+    /// autoscaler's p99 estimate.
+    wait_samples: VecDeque<u64>,
     stats: SchedStats,
     next_seq: u64,
     closed: bool,
@@ -255,7 +271,50 @@ struct Inner<T> {
     obs: SchedObs,
 }
 
+/// How many queue-wait samples the p99 ring keeps.
+const WAIT_SAMPLE_CAP: usize = 512;
+
 impl<T> Inner<T> {
+    /// Record one task's queue-wait at assignment: the latency
+    /// histogram plus the bounded sample ring behind
+    /// [`Scheduler::pool_snapshot`]'s p99.
+    fn note_wait(&mut self, enqueued: Instant) {
+        let waited = enqueued.elapsed();
+        self.obs.task_wait.observe(waited);
+        if self.wait_samples.len() == WAIT_SAMPLE_CAP {
+            self.wait_samples.pop_front();
+        }
+        self.wait_samples.push_back(waited.as_nanos() as u64);
+    }
+
+    /// p99 of the recent queue-wait samples (zero with no samples).
+    fn p99_wait(&self) -> Duration {
+        if self.wait_samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut v: Vec<u64> = self.wait_samples.iter().copied().collect();
+        v.sort_unstable();
+        Duration::from_nanos(v[(v.len() * 99 / 100).min(v.len() - 1)])
+    }
+
+    /// Credit a locality-placement save to stats, metric, and journal.
+    fn note_locality_saved(&mut self, seq: u64, bucket: BucketId, saved: u64) {
+        if saved == 0 {
+            return;
+        }
+        self.stats.locality_bytes_saved += saved;
+        self.obs.locality_saved.add(saved);
+        sitra_obs::emit(
+            "sched",
+            "task.local",
+            &[
+                ("seq", seq.to_string()),
+                ("bucket", bucket.to_string()),
+                ("bytes", saved.to_string()),
+            ],
+        );
+    }
+
     /// Index of `tenant`, registering a weight-1 unlimited tenant on
     /// first sight. Quotas and weights are opt-in via
     /// [`Scheduler::register_tenant`]; an unknown name must not be an
@@ -468,7 +527,9 @@ impl<T: Send + 'static> Scheduler<T> {
                     rr: VecDeque::new(),
                     total_queued: 0,
                     inflight: HashMap::new(),
-                    free_buckets: VecDeque::new(),
+                    pool: BucketPool::new(),
+                    hints: HashMap::new(),
+                    wait_samples: VecDeque::new(),
                     stats: SchedStats::default(),
                     next_seq: 0,
                     closed: false,
@@ -530,13 +591,18 @@ impl<T: Send + 'static> Scheduler<T> {
 
     fn drain(shared: &Shared<T>, g: &mut Inner<T>) {
         let mut popped = false;
-        while g.total_queued > 0 && !g.free_buckets.is_empty() {
+        while g.total_queued > 0 && g.pool.has_parked() {
             let (seq, task, enqueued) = g.pop_next().expect("total_queued > 0");
-            let (bucket, tx) = g.free_buckets.pop_front().unwrap();
+            let hint = g.hints.remove(&seq);
+            let (bucket, tx, saved) = g
+                .pool
+                .take_for(hint.as_ref())
+                .expect("pool has a parked bucket");
+            g.note_locality_saved(seq, bucket, saved);
             g.stats.tasks_assigned += 1;
             g.stats.assignment_log.push((seq, bucket));
             g.obs.assigned.inc();
-            g.obs.task_wait.observe(enqueued.elapsed());
+            g.note_wait(enqueued);
             popped = true;
             // A dropped bucket loses the task; buckets park before
             // dropping only via close(), so this send always succeeds in
@@ -570,6 +636,21 @@ impl<T: Send + 'static> Scheduler<T> {
     /// surfaces so producers learn *why* a submission was refused (and
     /// which task was shed) instead of a bare failure.
     pub fn submit_admission_as(&self, tenant: &str, task: T) -> Admission {
+        self.submit_admission_hinted_as(tenant, task, None)
+    }
+
+    /// [`Self::submit_admission_as`] with a [`ResidencyHint`] describing
+    /// where the task's input bytes live, so a locality-aware
+    /// [`Placement`] can steer the assignment toward a co-located
+    /// bucket. The hint is advisory: under FCFS placement (the default)
+    /// it is ignored and the admission verdict, sequence number, and
+    /// assignment order are identical to the unhinted verb.
+    pub fn submit_admission_hinted_as(
+        &self,
+        tenant: &str,
+        task: T,
+        hint: Option<ResidencyHint>,
+    ) -> Admission {
         let mut g = self.shared.mu.lock();
         if g.closed {
             return Admission::Closed;
@@ -627,6 +708,14 @@ impl<T: Send + 'static> Scheduler<T> {
         g.obs.submitted.inc();
         g.tenants[idx].stats.tasks_submitted += 1;
         g.tenants[idx].obs.submitted.inc();
+        if let Some(shed) = shed_seq {
+            g.hints.remove(&shed);
+        }
+        if let Some(h) = hint {
+            if !h.is_empty() {
+                g.hints.insert(seq, h);
+            }
+        }
         Self::emit_admit(
             &g,
             idx,
@@ -771,6 +860,9 @@ impl<T: Send + 'static> Scheduler<T> {
             tq.obs.queued.set(0);
         }
         drained.sort_by_key(|(_, seq, _)| *seq);
+        for (_, seq, _) in &drained {
+            g.hints.remove(seq);
+        }
         g.rr.clear();
         g.total_queued = 0;
         g.obs.queue_depth.set(0);
@@ -781,10 +873,87 @@ impl<T: Send + 'static> Scheduler<T> {
 
     /// Register a bucket and get its handle.
     pub fn register_bucket(&self, id: BucketId) -> BucketHandle<T> {
+        self.register_bucket_at(id, None)
+    }
+
+    /// Register a bucket with a *location* label (the endpoint or
+    /// cluster member it is co-resident with), so a locality-aware
+    /// [`Placement`] can match it against task residency hints.
+    pub fn register_bucket_at(&self, id: BucketId, location: Option<&str>) -> BucketHandle<T> {
+        {
+            let mut g = self.shared.mu.lock();
+            g.pool.note_busy(id);
+            g.pool.set_location(id, location.map(str::to_string));
+        }
         BucketHandle {
             id,
             sched: self.clone(),
         }
+    }
+
+    /// Install a [`Placement`] policy for subsequent assignments. The
+    /// default is [`crate::pool::FcfsPlacement`].
+    pub fn set_placement(&self, placement: Arc<dyn Placement>) {
+        self.shared.mu.lock().pool.set_placement(placement);
+    }
+
+    /// Name of the placement policy in force.
+    pub fn placement_name(&self) -> &'static str {
+        self.shared.mu.lock().pool.placement_name()
+    }
+
+    /// Mark bucket `id` for drain-then-retire: if parked it wakes at
+    /// once with [`Lease::Retire`]; if busy it finishes its current task
+    /// and retires on its next lease request. Returns false when the
+    /// bucket is unknown or already draining/retired. No task is ever
+    /// assigned to a draining bucket.
+    pub fn begin_drain(&self, id: BucketId) -> bool {
+        let ok = self.shared.mu.lock().pool.begin_drain(id);
+        if ok {
+            sitra_obs::emit("sched", "bucket.drain", &[("bucket", id.to_string())]);
+        }
+        ok
+    }
+
+    /// Pick one bucket to drain-then-retire — the most recently parked
+    /// idle bucket when one exists (the longest-idle keep serving FCFS),
+    /// else a busy one. Returns the chosen id.
+    pub fn drain_one_bucket(&self) -> Option<BucketId> {
+        let id = self.shared.mu.lock().pool.drain_one();
+        if let Some(id) = id {
+            sitra_obs::emit("sched", "bucket.drain", &[("bucket", id.to_string())]);
+        }
+        id
+    }
+
+    /// Snapshot of the bucket pool for the autoscaler: live buckets,
+    /// parked-idle count, queue depth, and the p99 of recent task
+    /// queue-waits.
+    pub fn pool_snapshot(&self) -> PoolSnapshot {
+        let g = self.shared.mu.lock();
+        PoolSnapshot {
+            buckets: g.pool.active_len(),
+            idle: g.pool.parked_len(),
+            queue_depth: g.total_queued,
+            p99_wait: g.p99_wait(),
+        }
+    }
+
+    /// Lifecycle state of bucket `id`, `None` if it never registered.
+    pub fn bucket_state(&self, id: BucketId) -> Option<crate::pool::BucketState> {
+        self.shared.mu.lock().pool.state(id)
+    }
+
+    /// Record the capacity controller's desired bucket count, surfaced
+    /// through pool stats so external supervisors (e.g. `sitra-bench`
+    /// replay or a worker fleet manager) can reconcile toward it.
+    pub fn set_pool_target(&self, target: Option<usize>) {
+        self.shared.mu.lock().pool.set_target(target);
+    }
+
+    /// The desired bucket count, if a controller has set one.
+    pub fn pool_target(&self) -> Option<usize> {
+        self.shared.mu.lock().pool.target()
     }
 
     /// Close the scheduler: no further submissions; parked and future
@@ -798,7 +967,7 @@ impl<T: Send + 'static> Scheduler<T> {
         Self::drain(&self.shared, &mut g);
         g.closed = true;
         // Wake remaining parked buckets with nothing: drop their senders.
-        g.free_buckets.clear();
+        g.pool.clear_parked();
         // And wake Block-policy submitters so they observe the close.
         self.shared.freed.notify_all();
     }
@@ -830,6 +999,26 @@ impl<T: Send + 'static> Scheduler<T> {
     }
 }
 
+/// The verdict of one bucket-ready poll ([`BucketHandle::poll_task`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lease<T> {
+    /// A task was assigned to this bucket.
+    Assigned {
+        /// The task's sequence number.
+        seq: u64,
+        /// The task payload.
+        task: T,
+    },
+    /// Nothing arrived within the timeout; poll again.
+    Empty,
+    /// The scheduler closed with an empty queue: exit.
+    Closed,
+    /// The capacity controller drained this bucket: deregister and
+    /// exit. Fires only *between* tasks, never mid-assignment, so a
+    /// retiring bucket has nothing in hand to lose.
+    Retire,
+}
+
 /// A staging bucket's connection to the scheduler.
 pub struct BucketHandle<T> {
     id: BucketId,
@@ -842,70 +1031,61 @@ impl<T: Send + 'static> BucketHandle<T> {
         self.id
     }
 
-    /// Bucket-ready: request the next task, blocking until one is
-    /// assigned or the scheduler is closed with an empty queue (then
-    /// `None`). FCFS within a tenant, weighted round-robin across
-    /// tenants, FCFS on the bucket list.
-    pub fn request_task(&self) -> Option<(u64, T)> {
+    /// Bucket-ready: one lease poll, the full lifecycle verb. Blocks
+    /// until a task is assigned ([`Lease::Assigned`]), the scheduler
+    /// closes ([`Lease::Closed`]), the bucket is drained
+    /// ([`Lease::Retire`]), or — with a timeout — nothing arrives in
+    /// time ([`Lease::Empty`]; the bucket is withdrawn from the free
+    /// list, rescuing any task that raced in). FCFS within a tenant,
+    /// weighted round-robin across tenants, placement-policy choice on
+    /// the bucket list (FCFS by default).
+    pub fn poll_task(&self, timeout: Option<Duration>) -> Lease<T> {
         let t_ready = Instant::now();
         let rx: Receiver<(u64, T)> = {
             let mut g = self.sched.shared.mu.lock();
+            if g.pool.take_retirement(self.id) {
+                sitra_obs::emit("sched", "bucket.retire", &[("bucket", self.id.to_string())]);
+                return Lease::Retire;
+            }
             if let Some((seq, task, enqueued)) = g.pop_next() {
+                g.pool.note_busy(self.id);
+                let hint = g.hints.remove(&seq);
+                let saved = g.pool.immediate_saved(self.id, hint.as_ref());
+                g.note_locality_saved(seq, self.id, saved);
                 g.stats.tasks_assigned += 1;
                 g.stats.assignment_log.push((seq, self.id));
                 g.obs.assigned.inc();
-                g.obs.task_wait.observe(enqueued.elapsed());
+                g.note_wait(enqueued);
                 g.obs.bucket_idle.observe(t_ready.elapsed());
                 g.obs.queue_depth.set(g.total_queued as i64);
                 self.sched.shared.freed.notify_all();
-                return Some((seq, task));
+                return Lease::Assigned { seq, task };
             }
             if g.closed {
-                return None;
+                return Lease::Closed;
             }
             let (tx, rx) = bounded(1);
-            g.free_buckets.push_back((self.id, tx));
+            g.pool.park(self.id, tx);
             rx
         };
-        // Park until a task (sender dropped => closed).
-        let got = rx.recv().ok();
-        if got.is_some() {
-            self.sched
-                .shared
-                .mu
-                .lock()
-                .obs
-                .bucket_idle
-                .observe(t_ready.elapsed());
-        }
-        got
-    }
-
-    /// Like [`Self::request_task`] but gives up after `timeout`. A timed
-    /// out request withdraws the bucket from the free list.
-    pub fn request_task_timeout(&self, timeout: Duration) -> Option<(u64, T)> {
-        let t_ready = Instant::now();
-        let rx: Receiver<(u64, T)> = {
-            let mut g = self.sched.shared.mu.lock();
-            if let Some((seq, task, enqueued)) = g.pop_next() {
-                g.stats.tasks_assigned += 1;
-                g.stats.assignment_log.push((seq, self.id));
-                g.obs.assigned.inc();
-                g.obs.task_wait.observe(enqueued.elapsed());
-                g.obs.bucket_idle.observe(t_ready.elapsed());
-                g.obs.queue_depth.set(g.total_queued as i64);
-                self.sched.shared.freed.notify_all();
-                return Some((seq, task));
-            }
-            if g.closed {
-                return None;
-            }
-            let (tx, rx) = bounded(1);
-            g.free_buckets.push_back((self.id, tx));
-            rx
+        let got = match timeout {
+            // Park until a task (sender dropped => closed or drained).
+            None => rx.recv().ok(),
+            Some(timeout) => match rx.recv_timeout(timeout) {
+                Ok(t) => Some(t),
+                Err(_) => {
+                    // Withdraw (if still parked) so a future task is not
+                    // sent into the void.
+                    let mut g = self.sched.shared.mu.lock();
+                    g.pool.withdraw(self.id);
+                    // A task may have raced in between timeout and lock:
+                    // it would already be in rx.
+                    rx.try_recv().ok()
+                }
+            },
         };
-        match rx.recv_timeout(timeout) {
-            Ok(t) => {
+        match got {
+            Some((seq, task)) => {
                 self.sched
                     .shared
                     .mu
@@ -913,17 +1093,41 @@ impl<T: Send + 'static> BucketHandle<T> {
                     .obs
                     .bucket_idle
                     .observe(t_ready.elapsed());
-                Some(t)
+                Lease::Assigned { seq, task }
             }
-            Err(_) => {
-                // Withdraw (if still parked) so a future task is not sent
-                // into the void.
+            None => {
+                // Nothing received: a timeout, a close, or a drain that
+                // dropped our parked sender. Classify under the lock.
                 let mut g = self.sched.shared.mu.lock();
-                g.free_buckets.retain(|(id, _)| *id != self.id);
-                // A task may have raced in between timeout and lock: it
-                // would already be in rx.
-                rx.try_recv().ok()
+                if g.pool.take_retirement(self.id) {
+                    sitra_obs::emit("sched", "bucket.retire", &[("bucket", self.id.to_string())]);
+                    Lease::Retire
+                } else if g.closed {
+                    Lease::Closed
+                } else {
+                    Lease::Empty
+                }
             }
+        }
+    }
+
+    /// Bucket-ready: request the next task, blocking until one is
+    /// assigned or the scheduler is closed (or this bucket drained)
+    /// with nothing assigned — then `None`.
+    pub fn request_task(&self) -> Option<(u64, T)> {
+        match self.poll_task(None) {
+            Lease::Assigned { seq, task } => Some((seq, task)),
+            _ => None,
+        }
+    }
+
+    /// Like [`Self::request_task`] but gives up after `timeout`. A timed
+    /// out request withdraws the bucket from the free list. Use
+    /// [`Self::poll_task`] to distinguish a timeout from close/retire.
+    pub fn request_task_timeout(&self, timeout: Duration) -> Option<(u64, T)> {
+        match self.poll_task(Some(timeout)) {
+            Lease::Assigned { seq, task } => Some((seq, task)),
+            _ => None,
         }
     }
 }
@@ -1667,5 +1871,127 @@ mod tests {
             );
             assert_eq!(row.queued, 0);
         }
+    }
+
+    // ---------------- bucket pool ----------------
+
+    #[test]
+    fn hinted_submission_under_fcfs_is_byte_identical() {
+        // A residency hint must be a pure no-op with the default
+        // placement: same verdicts, same sequence numbers, same
+        // assignment order as the unhinted verb, and no bytes credited.
+        let s: Scheduler<u32> = Scheduler::new();
+        let hint = ResidencyHint::single("somewhere", 1 << 20);
+        assert_eq!(
+            s.submit_admission_hinted_as(DEFAULT_TENANT, 10, Some(hint.clone())),
+            Admission::Accepted { seq: 0 }
+        );
+        assert_eq!(
+            s.submit_admission_hinted_as(DEFAULT_TENANT, 11, Some(hint)),
+            Admission::Accepted { seq: 1 }
+        );
+        let b = s.register_bucket_at(4, Some("elsewhere"));
+        assert_eq!(b.request_task(), Some((0, 10)));
+        assert_eq!(b.request_task(), Some((1, 11)));
+        let st = s.stats();
+        assert_eq!(st.locality_bytes_saved, 0);
+        assert_eq!(st.assignment_log, vec![(0, 4), (1, 4)]);
+    }
+
+    #[test]
+    fn locality_placement_steers_to_colocated_bucket() {
+        let s: Scheduler<u32> = Scheduler::new();
+        s.set_placement(Arc::new(crate::pool::LocalityPlacement));
+        assert_eq!(s.placement_name(), "locality");
+        let b1 = s.register_bucket_at(1, Some("m0"));
+        let b2 = s.register_bucket_at(2, Some("m1"));
+        // Park bucket 1 first, bucket 2 second (FCFS order 1 then 2).
+        let h1 = std::thread::spawn(move || b1.request_task());
+        std::thread::sleep(Duration::from_millis(80));
+        let h2 = std::thread::spawn(move || b2.request_task());
+        std::thread::sleep(Duration::from_millis(80));
+        // Hinted at m1: skips the free-list head (bucket 1 at m0) and
+        // lands on the co-located bucket 2, crediting the saved bytes.
+        let hint = ResidencyHint::single("m1", 4096);
+        assert!(s
+            .submit_admission_hinted_as(DEFAULT_TENANT, 7, Some(hint))
+            .seq()
+            .is_some());
+        assert_eq!(h2.join().unwrap(), Some((0, 7)));
+        // An unhinted task falls back to FCFS: bucket 1.
+        s.submit(9);
+        assert_eq!(h1.join().unwrap(), Some((1, 9)));
+        let st = s.stats();
+        assert_eq!(st.assignment_log, vec![(0, 2), (1, 1)]);
+        assert_eq!(st.locality_bytes_saved, 4096);
+    }
+
+    #[test]
+    fn begin_drain_retires_parked_and_busy_buckets() {
+        let s: Scheduler<u32> = Scheduler::new();
+        // Parked bucket: wakes with Retire at once.
+        let b = s.register_bucket(5);
+        let h = std::thread::spawn(move || b.poll_task(None));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(s.begin_drain(5));
+        assert_eq!(h.join().unwrap(), Lease::Retire);
+        // Busy bucket: finishes its task, retires on the next poll even
+        // with work queued — the backlog goes to live buckets only.
+        s.submit(1);
+        let b2 = s.register_bucket(6);
+        assert!(matches!(b2.poll_task(None), Lease::Assigned { .. }));
+        assert!(s.begin_drain(6));
+        s.submit(2);
+        assert_eq!(b2.poll_task(Some(Duration::ZERO)), Lease::Retire);
+        // Draining an already-retired bucket is a no-op.
+        assert!(!s.begin_drain(6));
+        // The queued task reaches a live bucket, not the retired one.
+        let b3 = s.register_bucket(7);
+        assert_eq!(b3.request_task(), Some((1, 2)));
+        let snap = s.pool_snapshot();
+        assert_eq!(snap.buckets, 1); // only bucket 7 remains live
+        assert_eq!(snap.queue_depth, 0);
+    }
+
+    #[test]
+    fn pool_snapshot_tracks_depth_and_idle() {
+        let s: Scheduler<u32> = Scheduler::new();
+        for i in 0..3 {
+            s.submit(i);
+        }
+        let snap = s.pool_snapshot();
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.idle, 0);
+        assert_eq!(snap.buckets, 0);
+        let b = s.register_bucket(0);
+        for _ in 0..3 {
+            b.request_task().unwrap();
+        }
+        let snap = s.pool_snapshot();
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.buckets, 1);
+        // p99 of three near-instant assignments is tiny but recorded.
+        assert!(snap.p99_wait < Duration::from_secs(1));
+        // Target is plumbed through.
+        assert_eq!(s.pool_target(), None);
+        s.set_pool_target(Some(4));
+        assert_eq!(s.pool_target(), Some(4));
+    }
+
+    #[test]
+    fn drain_one_bucket_prefers_idle_and_spares_the_fcfs_head() {
+        let s: Scheduler<u32> = Scheduler::new();
+        let b1 = s.register_bucket(1);
+        let b2 = s.register_bucket(2);
+        let h1 = std::thread::spawn(move || b1.poll_task(None));
+        std::thread::sleep(Duration::from_millis(80));
+        let h2 = std::thread::spawn(move || b2.poll_task(None));
+        std::thread::sleep(Duration::from_millis(80));
+        // The most recently parked bucket (2) is drained; the head of
+        // the FCFS list (1) keeps serving.
+        assert_eq!(s.drain_one_bucket(), Some(2));
+        assert_eq!(h2.join().unwrap(), Lease::Retire);
+        s.submit(42);
+        assert_eq!(h1.join().unwrap(), Lease::Assigned { seq: 0, task: 42 });
     }
 }

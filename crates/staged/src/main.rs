@@ -40,8 +40,12 @@
 //! appends every span event as one JSON line (replayable with
 //! `obs_report`).
 
+use bytes::Bytes;
 use sitra_cluster::{Bootstrap, ClusterNode, ClusterNodeOpts};
-use sitra_dataspaces::{AdmissionPolicy, DataSpaces, SchedStats, SpaceServer, TenantSpec};
+use sitra_dataspaces::{
+    AdmissionPolicy, AutoscaleConfig, Autoscaler, DataSpaces, LocalityPlacement, ScaleDecision,
+    SchedStats, Scheduler, SpaceServer, TenantSpec,
+};
 use sitra_net::Addr;
 use sitra_testkit::{CrashPlan, FaultPlan, PlanInjector};
 use std::net::SocketAddr;
@@ -81,6 +85,15 @@ struct Opts {
     cluster: ClusterRole,
     /// Tenants registered at start (weighted-fair scheduling + quotas).
     tenants: Vec<TenantSpec>,
+    /// Task placement policy: `false` = FCFS (default), `true` =
+    /// locality-aware (prefer the bucket co-located with the shard
+    /// holding the most input bytes).
+    locality_placement: bool,
+    /// Bucket-pool capacity bounds for the autoscale controller
+    /// (min, max); `None` leaves capacity entirely to the workers.
+    buckets: Option<(usize, usize)>,
+    /// p99 queue-wait SLO driving the autoscaler.
+    bucket_slo: Duration,
 }
 
 fn usage(program: &str, code: i32) -> ! {
@@ -89,7 +102,8 @@ fn usage(program: &str, code: i32) -> ! {
          \x20                  [--metrics-listen HOST:PORT] [--journal PATH]\n\
          \x20                  [--queue-capacity N] [--admission POLICY] [--admission-wait-ms T]\n\
          \x20                  [--tenant SPEC]... [--cluster-seed LIST | --cluster-join ADDR]\n\
-         \x20                  [--fault-plan SPEC]\n\
+         \x20                  [--placement POLICY] [--buckets-min N --buckets-max N]\n\
+         \x20                  [--bucket-slo-ms T] [--fault-plan SPEC]\n\
          \n\
          --listen ADDR         tcp://host:port, shm://name (same-node shared memory), or\n\
          \x20                      inproc://name (default tcp://127.0.0.1:7788)\n\
@@ -113,6 +127,17 @@ fn usage(program: &str, code: i32) -> ! {
          \x20                      full member list and must include our --listen address\n\
          --cluster-join ADDR   join a running cluster through the member at ADDR\n\
          \x20                      (shards rebalance to us via handoff)\n\
+         --placement POLICY    task placement: fcfs (default, byte-identical to the\n\
+         \x20                      classic scheduler) | locality (prefer the bucket\n\
+         \x20                      co-located with the most resident input bytes; workers\n\
+         \x20                      declare a location, producers a residency hint)\n\
+         --buckets-min N       autoscale floor: the capacity controller never drains the\n\
+         \x20                      pool below N live buckets (requires --buckets-max)\n\
+         --buckets-max N       autoscale ceiling: desired capacity never exceeds N. The\n\
+         \x20                      controller drains-then-retires excess buckets itself and\n\
+         \x20                      publishes the desired count via pool stats for the worker\n\
+         \x20                      fleet to grow toward\n\
+         --bucket-slo-ms T     p99 queue-wait SLO driving the autoscaler (default 100)\n\
          --fault-plan SPEC     inject deterministic faults on every server-side frame\n\
          \x20                      (chaos testing; SPEC as printed by the sitra-testkit\n\
          \x20                      chaos binary, e.g. seed=0x2a,drop=8,crash=at:400)"
@@ -132,8 +157,13 @@ fn parse_opts() -> Opts {
         fault_plan: None,
         cluster: ClusterRole::None,
         tenants: Vec::new(),
+        locality_placement: false,
+        buckets: None,
+        bucket_slo: Duration::from_millis(100),
     };
     let mut admission_wait = Duration::from_millis(1000);
+    let mut buckets_min: Option<usize> = None;
+    let mut buckets_max: Option<usize> = None;
     let argv: Vec<String> = std::env::args().collect();
     let program = argv.first().map(String::as_str).unwrap_or("sitra-staged");
     let mut it = argv.iter().skip(1);
@@ -259,6 +289,35 @@ fn parse_opts() -> Opts {
                     }
                 }
             }
+            "--placement" => match value("--placement").as_str() {
+                "fcfs" => opts.locality_placement = false,
+                "locality" => opts.locality_placement = true,
+                other => {
+                    eprintln!("{program}: unknown placement policy `{other}`");
+                    usage(program, 2);
+                }
+            },
+            "--buckets-min" => match value("--buckets-min").parse() {
+                Ok(n) if n > 0 => buckets_min = Some(n),
+                _ => {
+                    eprintln!("{program}: --buckets-min must be a positive integer");
+                    usage(program, 2);
+                }
+            },
+            "--buckets-max" => match value("--buckets-max").parse() {
+                Ok(n) if n > 0 => buckets_max = Some(n),
+                _ => {
+                    eprintln!("{program}: --buckets-max must be a positive integer");
+                    usage(program, 2);
+                }
+            },
+            "--bucket-slo-ms" => match value("--bucket-slo-ms").parse::<u64>() {
+                Ok(ms) if ms > 0 => opts.bucket_slo = Duration::from_millis(ms),
+                _ => {
+                    eprintln!("{program}: --bucket-slo-ms must be a positive integer");
+                    usage(program, 2);
+                }
+            },
             "--fault-plan" => match FaultPlan::parse(&value("--fault-plan")) {
                 Ok(p) => opts.fault_plan = Some(p),
                 Err(e) => {
@@ -271,6 +330,18 @@ fn parse_opts() -> Opts {
                 eprintln!("{program}: unknown flag {other}");
                 usage(program, 2);
             }
+        }
+    }
+    match (buckets_min, buckets_max) {
+        (None, None) => {}
+        (Some(min), Some(max)) if min <= max => opts.buckets = Some((min, max)),
+        (Some(_), Some(_)) => {
+            eprintln!("{program}: --buckets-min must not exceed --buckets-max");
+            usage(program, 2);
+        }
+        _ => {
+            eprintln!("{program}: --buckets-min and --buckets-max must be given together");
+            usage(program, 2);
         }
     }
     opts
@@ -300,6 +371,12 @@ impl Service {
         match self {
             Service::Single(s) => s.closed(),
             Service::Member(n) => n.closed(),
+        }
+    }
+    fn scheduler(&self) -> Scheduler<Bytes> {
+        match self {
+            Service::Single(s) => s.scheduler(),
+            Service::Member(n) => n.scheduler().clone(),
         }
     }
     fn shutdown(self) {
@@ -427,6 +504,72 @@ fn main() {
             "sitra-staged: tenant `{}` weight {} byte_quota {:?} task_quota {:?} policy {:?}",
             t.name, t.weight, t.byte_quota, t.task_quota, t.policy
         );
+    }
+    if opts.locality_placement {
+        server
+            .scheduler()
+            .set_placement(Arc::new(LocalityPlacement));
+        println!("sitra-staged: locality-aware task placement active");
+    }
+    if let Some((min, max)) = opts.buckets {
+        // The service cannot spawn worker processes, so the controller
+        // splits the autoscaler's verdict: shrinkage is enacted here
+        // (drain-then-retire the most dispensable bucket; its worker
+        // exits on the retire lease), while growth only raises the
+        // desired capacity published via pool stats — the worker fleet
+        // (or its supervisor) reconciles toward it.
+        let cfg = AutoscaleConfig::new(min, max, opts.bucket_slo);
+        let sched = server.scheduler();
+        println!(
+            "sitra-staged: bucket autoscale {}..{} buckets, p99 SLO {:?}",
+            cfg.min_buckets, cfg.max_buckets, cfg.slo
+        );
+        std::thread::spawn(move || {
+            let mut scaler = Autoscaler::new(cfg);
+            loop {
+                std::thread::sleep(Duration::from_millis(20));
+                let snap = sched.pool_snapshot();
+                match scaler.decide(&snap) {
+                    ScaleDecision::Hold => {}
+                    ScaleDecision::Grow(k) => {
+                        sched.set_pool_target(Some((snap.buckets + k).min(cfg.max_buckets)));
+                        sitra_obs::emit(
+                            "sched",
+                            "pool.scale",
+                            &[
+                                ("action", "grow".to_string()),
+                                ("delta", k.to_string()),
+                                ("buckets", (snap.buckets + k).to_string()),
+                                ("queue_depth", snap.queue_depth.to_string()),
+                                ("p99_us", snap.p99_wait.as_micros().to_string()),
+                            ],
+                        );
+                    }
+                    ScaleDecision::Shrink(k) => {
+                        let mut drained = 0usize;
+                        for _ in 0..k {
+                            if sched.drain_one_bucket().is_some() {
+                                drained += 1;
+                            }
+                        }
+                        if drained > 0 {
+                            sched.set_pool_target(Some(snap.buckets.saturating_sub(drained)));
+                            sitra_obs::emit(
+                                "sched",
+                                "pool.scale",
+                                &[
+                                    ("action", "shrink".to_string()),
+                                    ("delta", drained.to_string()),
+                                    ("buckets", snap.buckets.saturating_sub(drained).to_string()),
+                                    ("queue_depth", snap.queue_depth.to_string()),
+                                    ("p99_us", snap.p99_wait.as_micros().to_string()),
+                                ],
+                            );
+                        }
+                    }
+                }
+            }
+        });
     }
 
     // Run until the driver closes the scheduler, then give in-flight

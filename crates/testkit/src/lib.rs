@@ -35,7 +35,7 @@ pub mod scenario;
 pub mod shrink;
 
 pub use injector::{PlanInjector, ScheduleEntry};
-pub use plan::{arb_fault_plan, CrashPlan, FaultPlan, InstanceLoss, PartitionWindow};
+pub use plan::{arb_fault_plan, CrashPlan, FaultPlan, InstanceLoss, PartitionWindow, ScaleEvent};
 pub use scenario::{
     run_scenario, run_tenanted_scenario, Backend, ScenarioOutcome, RIVAL_TENANT, SIM_TENANT,
 };

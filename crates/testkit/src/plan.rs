@@ -71,6 +71,24 @@ pub struct InstanceLoss {
     pub at_tick: u64,
 }
 
+/// A scheduled elastic resize of the bucket-worker pool: once the
+/// virtual clock reaches `at_tick`, `delta` additional workers are
+/// spawned (positive) or `|delta|` live buckets are drained and
+/// retired (negative). This is an *event*, not a fault — the oracles
+/// must hold across it either way, which is exactly what makes it
+/// worth scheduling next to the faults: a bucket retired mid-drain
+/// while the network is cutting frames must still lose nothing.
+/// In-situ and local backends have no externally scalable pool and
+/// ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// Workers to add (positive) or buckets to drain-then-retire
+    /// (negative). Zero is rejected by `parse`.
+    pub delta: i32,
+    /// Virtual-clock tick at which the resize fires.
+    pub at_tick: u64,
+}
+
 /// A seeded, self-describing fault plan. Rates are per-mille per
 /// frame; the remaining mass delivers the frame untouched.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +113,8 @@ pub struct FaultPlan {
     pub crash: Option<CrashPlan>,
     /// Scheduled whole-instance loss (cluster scenarios), if any.
     pub instance_loss: Option<InstanceLoss>,
+    /// Scheduled bucket-pool resize (staging scenarios), if any.
+    pub scale: Option<ScaleEvent>,
 }
 
 impl FaultPlan {
@@ -112,6 +132,7 @@ impl FaultPlan {
             partitions: Vec::new(),
             crash: None,
             instance_loss: None,
+            scale: None,
         }
     }
 
@@ -136,6 +157,9 @@ impl FaultPlan {
             // and must keep deriving the exact same plans. Cluster
             // plans opt in via `iloss=` specs or `arb_fault_plan`.
             instance_loss: None,
+            // Same deal: pool resizes postdate the corpus and opt in
+            // via `scale=` specs or `arb_fault_plan`.
+            scale: None,
         };
         if h(7) % 4 == 0 {
             let from = h(8) % 200;
@@ -204,13 +228,15 @@ impl FaultPlan {
             && self.partitions.is_empty()
             && self.crash.is_none()
             && self.instance_loss.is_none()
+            && self.scale.is_none()
     }
 
     /// Parse the spec format produced by `Display`:
-    /// `seed=42,drop=8,dup=5,delay=10,delaymax=12,reorder=6,cut=3,part=10..40,crash=after:2:restart,iloss=1:120`
+    /// `seed=42,drop=8,dup=5,delay=10,delaymax=12,reorder=6,cut=3,part=10..40,crash=after:2:restart,iloss=1:120,scale=-1:80`
     ///
     /// Every field is optional except `seed`; `crash` is
-    /// `after:N[:restart]` or `at:TICK`; `iloss` is `MEMBER:TICK`. This
+    /// `after:N[:restart]` or `at:TICK`; `iloss` is `MEMBER:TICK`;
+    /// `scale` is `DELTA:TICK` with a signed, non-zero `DELTA`. This
     /// is what `sitra-staged --fault-plan` and the chaos binary's
     /// `--plan` accept, so a shrink report pastes straight back in.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
@@ -282,6 +308,21 @@ impl FaultPlan {
                         at_tick: uint(tick)?,
                     });
                 }
+                "scale" => {
+                    let (delta, tick) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("`{value}` is not DELTA:TICK"))?;
+                    let delta: i32 = delta
+                        .parse()
+                        .map_err(|_| format!("`{delta}` is not a signed delta (in `{field}`)"))?;
+                    if delta == 0 {
+                        return Err("scale delta must be non-zero".to_string());
+                    }
+                    plan.scale = Some(ScaleEvent {
+                        delta,
+                        at_tick: uint(tick)?,
+                    });
+                }
                 other => return Err(format!("unknown field `{other}`")),
             }
         }
@@ -321,6 +362,9 @@ impl fmt::Display for FaultPlan {
         if let Some(loss) = self.instance_loss {
             write!(f, ",iloss={}:{}", loss.member, loss.at_tick)?;
         }
+        if let Some(scale) = self.scale {
+            write!(f, ",scale={}:{}", scale.delta, scale.at_tick)?;
+        }
         Ok(())
     }
 }
@@ -345,6 +389,16 @@ pub fn arb_fault_plan() -> BoxedStrategy<FaultPlan> {
         (0u32..4, 0u64..500).prop_map(|(member, at_tick)| Some(InstanceLoss { member, at_tick })),
     ]
     .boxed();
+    let scale = prop_oneof![
+        Just(None),
+        (1i32..=2, any::<bool>(), 0u64..300).prop_map(|(mag, grow, at_tick)| {
+            Some(ScaleEvent {
+                delta: if grow { mag } else { -mag },
+                at_tick,
+            })
+        }),
+    ]
+    .boxed();
     (
         any::<u64>(),
         (0u16..40, 0u16..40, 0u16..40),
@@ -352,6 +406,7 @@ pub fn arb_fault_plan() -> BoxedStrategy<FaultPlan> {
         prop::collection::vec(window, 0..3),
         crash,
         instance_loss,
+        scale,
     )
         .prop_map(
             |(
@@ -361,6 +416,7 @@ pub fn arb_fault_plan() -> BoxedStrategy<FaultPlan> {
                 partitions,
                 crash,
                 instance_loss,
+                scale,
             )| {
                 FaultPlan {
                     seed,
@@ -373,6 +429,7 @@ pub fn arb_fault_plan() -> BoxedStrategy<FaultPlan> {
                     partitions,
                     crash,
                     instance_loss,
+                    scale,
                 }
             },
         )
@@ -411,6 +468,10 @@ mod tests {
                 member: 1,
                 at_tick: 120,
             }),
+            scale: Some(ScaleEvent {
+                delta: -2,
+                at_tick: 80,
+            }),
         };
         let spec = plan.to_string();
         assert_eq!(FaultPlan::parse(&spec).unwrap(), plan);
@@ -431,6 +492,8 @@ mod tests {
         assert!(FaultPlan::parse("seed=1,part=5").is_err());
         assert!(FaultPlan::parse("seed=1,crash=never").is_err());
         assert!(FaultPlan::parse("seed=1,iloss=2").is_err());
+        assert!(FaultPlan::parse("seed=1,scale=2").is_err());
+        assert!(FaultPlan::parse("seed=1,scale=0:50").is_err());
         assert!(FaultPlan::parse("seed=banana").is_err());
     }
 

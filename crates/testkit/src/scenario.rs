@@ -121,6 +121,96 @@ fn unique_endpoint(seed: u64) -> Addr {
         .expect("addr")
 }
 
+/// One resilient external bucket worker on `bucket_id` against a
+/// single staging server: reconnects through transient faults while
+/// the scenario is live, exits once the scheduler closes or the
+/// bucket is drained and retired.
+fn spawn_remote_worker(
+    endpoint: &Addr,
+    bucket_id: u32,
+    stop: &Arc<AtomicBool>,
+) -> std::thread::JoinHandle<usize> {
+    let ep = endpoint.clone();
+    let stop = Arc::clone(stop);
+    let specs = fixture::specs();
+    std::thread::Builder::new()
+        .name(format!("chaos-bucket-{bucket_id}"))
+        .spawn(move || {
+            let opts = BucketWorkerOpts {
+                backoff: Backoff {
+                    initial: Duration::from_millis(5),
+                    max: Duration::from_millis(40),
+                    attempts: 4,
+                },
+                request_timeout: Duration::from_millis(100),
+                drop_connection_after: None,
+                location: None,
+            };
+            let mut completed = 0usize;
+            loop {
+                match run_bucket_worker(&ep, &specs, bucket_id, &opts) {
+                    Ok(n) => {
+                        completed += n;
+                        break; // scheduler closed or bucket retired
+                    }
+                    Err(e) if e.is_retryable() && !stop.load(Ordering::SeqCst) => {
+                        continue; // server crash/partition: redial
+                    }
+                    Err(_) => break,
+                }
+            }
+            completed
+        })
+        .expect("spawn worker")
+}
+
+/// The cluster flavour of [`spawn_remote_worker`]: one resilient
+/// worker round-robining over every member, exiting once every
+/// surviving scheduler closes or any member retires the bucket.
+fn spawn_cluster_worker(
+    endpoints: &[String],
+    bucket_id: u32,
+    stop: &Arc<AtomicBool>,
+) -> std::thread::JoinHandle<usize> {
+    let eps = endpoints.to_vec();
+    let stop = Arc::clone(stop);
+    let specs = fixture::specs();
+    std::thread::Builder::new()
+        .name(format!("chaos-cluster-bucket-{bucket_id}"))
+        .spawn(move || {
+            let opts = BucketWorkerOpts {
+                backoff: Backoff {
+                    initial: Duration::from_millis(5),
+                    max: Duration::from_millis(40),
+                    attempts: 4,
+                },
+                request_timeout: Duration::from_millis(100),
+                drop_connection_after: None,
+                location: None,
+            };
+            let mut completed = 0usize;
+            loop {
+                match run_cluster_bucket_worker(&eps, &specs, bucket_id, &opts) {
+                    Ok(n) => {
+                        completed += n;
+                        break;
+                    }
+                    Err(e) if e.is_retryable() && !stop.load(Ordering::SeqCst) => {
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+            completed
+        })
+        .expect("spawn worker")
+}
+
+/// Bucket ids for workers a [`ScaleEvent`](crate::ScaleEvent) spawns
+/// mid-run, offset so they never collide with the scenario's primary
+/// worker (bucket 0).
+const SCALE_BUCKET_BASE: u32 = 100;
+
 /// The admission policy a plan's seed selects for its `SpaceServer`
 /// (kept out of `FaultPlan` itself: admission is server configuration,
 /// not a network fault — but varying it across seeds is free coverage).
@@ -181,39 +271,52 @@ pub fn run_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOu
             // on a protocol error, after which the driver degrades the
             // remainder).
             let stop = Arc::new(AtomicBool::new(false));
-            let worker = {
-                let ep = endpoint.clone();
+            let worker = spawn_remote_worker(&endpoint, 0, &stop);
+
+            // Scheduled pool resize: a watchdog polls the injector's
+            // virtual clock and, at the planned tick, either spawns
+            // extra resilient workers on fresh bucket ids or drains
+            // and retires live buckets through the scheduler — the
+            // same elastic path the autoscaler drives in production,
+            // here exercised under fault injection.
+            let extra_workers: Arc<parking_lot::Mutex<Vec<std::thread::JoinHandle<usize>>>> =
+                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let scale_watchdog = plan.scale.map(|ev| {
+                let injector = Arc::clone(&injector);
+                let slot = Arc::clone(&server_slot);
                 let stop = Arc::clone(&stop);
-                let specs = fixture::specs();
+                let extras = Arc::clone(&extra_workers);
+                let ep = endpoint.clone();
                 std::thread::Builder::new()
-                    .name("chaos-bucket".into())
+                    .name("chaos-scale".into())
                     .spawn(move || {
-                        let opts = BucketWorkerOpts {
-                            backoff: Backoff {
-                                initial: Duration::from_millis(5),
-                                max: Duration::from_millis(40),
-                                attempts: 4,
-                            },
-                            request_timeout: Duration::from_millis(100),
-                            drop_connection_after: None,
-                        };
-                        let mut completed = 0usize;
-                        loop {
-                            match run_bucket_worker(&ep, &specs, 0, &opts) {
-                                Ok(n) => {
-                                    completed += n;
-                                    break; // scheduler closed: clean retirement
+                        while !stop.load(Ordering::SeqCst) {
+                            if injector.tick() >= ev.at_tick {
+                                if ev.delta > 0 {
+                                    let mut handles = extras.lock();
+                                    for i in 0..ev.delta as u32 {
+                                        handles.push(spawn_remote_worker(
+                                            &ep,
+                                            SCALE_BUCKET_BASE + i,
+                                            &stop,
+                                        ));
+                                    }
+                                } else {
+                                    let guard = slot.lock();
+                                    if let Some(s) = guard.as_ref() {
+                                        let sched = s.scheduler();
+                                        for _ in 0..-ev.delta {
+                                            sched.drain_one_bucket();
+                                        }
+                                    }
                                 }
-                                Err(e) if e.is_retryable() && !stop.load(Ordering::SeqCst) => {
-                                    continue; // server crash/partition: redial
-                                }
-                                Err(_) => break,
+                                break;
                             }
+                            std::thread::sleep(Duration::from_millis(1));
                         }
-                        completed
                     })
-                    .expect("spawn worker")
-            };
+                    .expect("spawn scale watchdog")
+            });
 
             // Scheduled crash: from inside the driver's collection path
             // after N collected outputs, kill the server — and when the
@@ -245,14 +348,23 @@ pub fn run_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOu
             let result = run_pipeline(&mut fixture::sim(seed), &cfg).expect("remote config");
 
             // Tear down: close whatever server is still alive (closing
-            // its scheduler retires the worker), then join the worker.
+            // its scheduler retires the workers), then join them.
             stop.store(true, Ordering::SeqCst);
+            if let Some(w) = scale_watchdog {
+                let _ = w.join();
+            }
             if let Some(s) = server_slot.lock().take() {
                 s.shutdown();
             }
             match worker.join() {
                 Ok(_) => {}
                 Err(_) => violations.push("remote: bucket worker panicked".into()),
+            }
+            let extras: Vec<_> = extra_workers.lock().drain(..).collect();
+            for w in extras {
+                if w.join().is_err() {
+                    violations.push("remote: scale-up worker panicked".into());
+                }
             }
             result
         }
@@ -288,39 +400,55 @@ pub fn run_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOu
             // writes a member off after repeated connection failures,
             // and retires once every surviving scheduler closes.
             let stop = Arc::new(AtomicBool::new(false));
-            let worker = {
-                let eps = endpoints.clone();
+            let worker = spawn_cluster_worker(&endpoints, 0, &stop);
+
+            // Scheduled pool resize, cluster flavour: grow spawns
+            // extra cluster-wide workers; shrink drains buckets on the
+            // first surviving member — one member's Retire lease
+            // retires the whole round-robin worker, exactly the
+            // cross-member retirement path worth pinning under faults.
+            let extra_workers: Arc<parking_lot::Mutex<Vec<std::thread::JoinHandle<usize>>>> =
+                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let scale_watchdog = plan.scale.map(|ev| {
+                let injector = Arc::clone(&injector);
+                let slots = Arc::clone(&node_slots);
                 let stop = Arc::clone(&stop);
-                let specs = fixture::specs();
+                let extras = Arc::clone(&extra_workers);
+                let eps = endpoints.clone();
                 std::thread::Builder::new()
-                    .name("chaos-cluster-bucket".into())
+                    .name("chaos-scale".into())
                     .spawn(move || {
-                        let opts = BucketWorkerOpts {
-                            backoff: Backoff {
-                                initial: Duration::from_millis(5),
-                                max: Duration::from_millis(40),
-                                attempts: 4,
-                            },
-                            request_timeout: Duration::from_millis(100),
-                            drop_connection_after: None,
-                        };
-                        let mut completed = 0usize;
-                        loop {
-                            match run_cluster_bucket_worker(&eps, &specs, 0, &opts) {
-                                Ok(n) => {
-                                    completed += n;
-                                    break;
+                        while !stop.load(Ordering::SeqCst) {
+                            if injector.tick() >= ev.at_tick {
+                                if ev.delta > 0 {
+                                    let mut handles = extras.lock();
+                                    for i in 0..ev.delta as u32 {
+                                        handles.push(spawn_cluster_worker(
+                                            &eps,
+                                            SCALE_BUCKET_BASE + i,
+                                            &stop,
+                                        ));
+                                    }
+                                } else {
+                                    let sched = slots
+                                        .lock()
+                                        .iter()
+                                        .flatten()
+                                        .next()
+                                        .map(|n| n.scheduler().clone());
+                                    if let Some(sched) = sched {
+                                        for _ in 0..-ev.delta {
+                                            sched.drain_one_bucket();
+                                        }
+                                    }
                                 }
-                                Err(e) if e.is_retryable() && !stop.load(Ordering::SeqCst) => {
-                                    continue;
-                                }
-                                Err(_) => break,
+                                break;
                             }
+                            std::thread::sleep(Duration::from_millis(1));
                         }
-                        completed
                     })
-                    .expect("spawn worker")
-            };
+                    .expect("spawn scale watchdog")
+            });
 
             // Instance loss: a watchdog polls the injector's virtual
             // clock and kills the planned member at its tick — an
@@ -385,6 +513,9 @@ pub fn run_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOu
             if let Some(w) = watchdog {
                 let _ = w.join();
             }
+            if let Some(w) = scale_watchdog {
+                let _ = w.join();
+            }
             for slot in node_slots.lock().iter_mut() {
                 if let Some(n) = slot.take() {
                     n.shutdown();
@@ -393,6 +524,12 @@ pub fn run_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOu
             match worker.join() {
                 Ok(_) => {}
                 Err(_) => violations.push("cluster: bucket worker panicked".into()),
+            }
+            let extras: Vec<_> = extra_workers.lock().drain(..).collect();
+            for w in extras {
+                if w.join().is_err() {
+                    violations.push("cluster: scale-up worker panicked".into());
+                }
             }
             result
         }
@@ -614,15 +751,15 @@ fn tenant_violations(
 /// Only the staging backends carry tenants, and the scenario keeps the
 /// scheduler unbounded (admission chaos is the untenanted corpus's
 /// job), so: `backend` must be `Remote` or `Cluster`, and the plan
-/// must not schedule crashes or instance loss (a dead member's
-/// counters would vanish from the attribution ledger).
+/// must not schedule crashes, instance loss, or pool resizes (a dead
+/// member's counters would vanish from the attribution ledger).
 pub fn run_tenanted_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> ScenarioOutcome {
     assert!(
         matches!(backend, Backend::Remote | Backend::Cluster),
         "tenancy is a staging-service concern; {backend:?} has no server to bind to"
     );
     assert!(
-        plan.crash.is_none() && plan.instance_loss.is_none(),
+        plan.crash.is_none() && plan.instance_loss.is_none() && plan.scale.is_none(),
         "tenanted scenarios model network faults only"
     );
     let obs = sitra_obs::isolate();
@@ -755,6 +892,7 @@ pub fn run_tenanted_scenario(seed: u64, plan: &FaultPlan, backend: Backend) -> S
                     backoff,
                     request_timeout: Duration::from_millis(100),
                     drop_connection_after: None,
+                    location: None,
                 };
                 loop {
                     let r = if cluster {

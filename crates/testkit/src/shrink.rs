@@ -35,6 +35,12 @@ fn candidates(plan: &FaultPlan) -> Vec<FaultPlan> {
             ..plan.clone()
         });
     }
+    if plan.scale.is_some() {
+        out.push(FaultPlan {
+            scale: None,
+            ..plan.clone()
+        });
+    }
     // Zero one whole fault class at a time...
     for i in 0..5 {
         let mut c = plan.clone();
@@ -158,6 +164,10 @@ mod tests {
                 member: 0,
                 at_tick: 30,
             }),
+            scale: Some(crate::plan::ScaleEvent {
+                delta: 1,
+                at_tick: 40,
+            }),
         };
         let mut evals = 0;
         let minimal = minimize(
@@ -176,6 +186,7 @@ mod tests {
         assert!(minimal.partitions.is_empty());
         assert!(minimal.crash.is_none());
         assert!(minimal.instance_loss.is_none());
+        assert!(minimal.scale.is_none());
         assert_eq!(minimal.drop_per_mille, 1, "halving should reach the floor");
         assert!(evals <= 200);
     }

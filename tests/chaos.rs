@@ -249,6 +249,55 @@ fn pinned_member_flap_plans_pass_every_oracle() {
     );
 }
 
+/// Pinned elastic-pool plans: `scale=DELTA:TICK` events resizing the
+/// bucket-worker pool mid-run, mixed with the network fault classes.
+/// Growth spawns extra workers on fresh bucket ids; shrink drains and
+/// retires live buckets through the scheduler — the same path the
+/// autoscaler drives. The oracles must hold across worker retirement:
+/// in particular, a draining bucket whose link is being cut out from
+/// under it (`0xB4`) must lose nothing — any task it held either
+/// completes or degrades to in-situ re-aggregation, never drops.
+/// Pinned separately so `PINNED_SEEDS` keeps its exact seed→plan
+/// mapping.
+#[test]
+fn pinned_scale_plans_pass_every_oracle() {
+    const PLANS: &[(u64, &str, Backend)] = &[
+        // Grow by one mid-run on a clean network: the extra bucket
+        // joins the FCFS rotation without perturbing outputs.
+        (0xB1, "seed=0xb1,scale=1:10", Backend::Remote),
+        // Drain-and-retire the only bucket early: every task still due
+        // degrades to in-situ re-aggregation, none are lost.
+        (0xB2, "seed=0xb2,scale=-1:10", Backend::Remote),
+        // Grow under a lossy, cutting network.
+        (0xB3, "seed=0xb3,scale=2:5,cut=20,drop=8", Backend::Remote),
+        // Kill a draining bucket: the retire fires while the worker's
+        // connection is being cut, so the drain races a reconnect.
+        (0xB4, "seed=0xb4,scale=-1:8,cut=40", Backend::Remote),
+        // Cross-member retirement: one member drains its bucket, which
+        // retires the whole round-robin cluster worker mid-run.
+        (0xB5, "seed=0xb5,scale=-1:30,drop=5", Backend::Cluster),
+    ];
+    let mut reports = Vec::new();
+    for &(seed, spec, backend) in PLANS {
+        let plan = FaultPlan::parse(spec).expect("pinned scale spec");
+        let outcome = run_scenario(seed, &plan, backend);
+        if outcome.passed() {
+            continue;
+        }
+        let minimal = shrink::minimize(
+            &plan,
+            |candidate| !run_scenario(seed, candidate, backend).passed(),
+            SHRINK_BUDGET,
+        );
+        reports.push(shrink::report(seed, &outcome, &minimal));
+    }
+    assert!(
+        reports.is_empty(),
+        "scale plan failures:\n{}",
+        reports.join("\n")
+    );
+}
+
 /// Pinned timer-fault plans: `delay`/`reorder` rates well above what
 /// the seeded corpus generates, exercising the transport's async-timer
 /// fault realization (a delayed frame parks in the outbound queue or

@@ -112,6 +112,7 @@ fn clean_join_and_leave_rebalance_holds_every_oracle() {
                 },
                 request_timeout: Duration::from_millis(100),
                 drop_connection_after: None,
+                location: None,
             };
             run_cluster_bucket_worker(&eps, &specs, 0, &opts)
         })

@@ -74,6 +74,7 @@ fn staging_matches_in_process_and_survives_a_drop(bind: &str) {
                         // the connection, and the task assigned to that
                         // dead bucket must be requeued.
                         drop_connection_after: (w == 0).then_some(0),
+                        location: None,
                     };
                     run_bucket_worker(&ep, &specs(), w as u32, &opts).expect("bucket worker")
                 })
