@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sitra_core::{
-    run_pipeline, AnalysisSpec, HybridStats, HybridTopology, HybridViz, InSituViz, PipelineConfig,
-    Placement,
+    run_pipeline, AnalysisSpec, HybridStats, HybridTopology, HybridViz, InSituViz,
+    LagrangianFlowMap, PipelineConfig, Placement,
 };
 use sitra_mesh::BBox3;
-use sitra_sim::{SimConfig, Simulation};
+use sitra_sim::{SimConfig, Simulation, Variable};
 use sitra_viz::{TransferFunction, View, ViewAxis};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -52,6 +52,26 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = Simulation::new(SimConfig::small(DIMS, 3));
             let result = run_pipeline(&mut sim, &config(2)).expect("valid config");
+            assert_eq!(result.dropped_tasks, 0);
+            black_box(result.outputs.len())
+        })
+    });
+    // The Lagrangian flow-map workload in isolation: compute-heavy
+    // in-situ advection with tiny in-transit intermediates — the
+    // opposite cost shape from the viz/topology roster above. Gated in
+    // CI with `bench_gate --floor pipeline/flowmap_4ranks_2steps:1` so
+    // the row cannot silently vanish from the report.
+    group.bench_function("flowmap_4ranks_2steps", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(SimConfig::small(DIMS, 3));
+            let mut cfg = PipelineConfig::new([2, 2, 1], 2, 2);
+            cfg.analyses = vec![AnalysisSpec::new(
+                Arc::new(LagrangianFlowMap::default()),
+                Placement::Hybrid,
+                1,
+            )];
+            cfg.extra_variables = vec![Variable::VelU, Variable::VelV, Variable::VelW];
+            let result = run_pipeline(&mut sim, &cfg).expect("valid config");
             assert_eq!(result.dropped_tasks, 0);
             black_box(result.outputs.len())
         })

@@ -10,6 +10,7 @@
 
 use crate::wire;
 use bytes::Bytes;
+use sitra_flowmap::{advect_block, FlowMapOpts, FlowRecord};
 use sitra_mesh::{downsample, Decomposition, ScalarField};
 use sitra_stats::{derive, Derived, MultiModel};
 use sitra_topology::distributed::{rank_subtree, BoundaryPolicy};
@@ -56,6 +57,8 @@ pub enum AnalysisOutput {
     Stats(Vec<(String, Derived)>),
     /// Named scalar results (e.g. correlations, test statistics).
     Scalars(Vec<(String, f64)>),
+    /// Lagrangian flow-map termination records, sorted by seed id.
+    FlowMap(Vec<FlowRecord>),
 }
 
 impl AnalysisOutput {
@@ -87,6 +90,14 @@ impl AnalysisOutput {
     pub fn as_scalars(&self) -> Option<&[(String, f64)]> {
         match self {
             AnalysisOutput::Scalars(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The flow-map records, if this output is them.
+    pub fn as_flow_map(&self) -> Option<&[FlowRecord]> {
+        match self {
+            AnalysisOutput::FlowMap(r) => Some(r),
             _ => None,
         }
     }
@@ -408,6 +419,81 @@ impl Analysis for AutoCorrelation {
             ),
             ("observations".to_string(), merged.n as f64),
         ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lagrangian flow maps (Sane et al., "Scalable In Situ Lagrangian Flow
+// Map Extraction": communication-free particle bases per rank)
+// ---------------------------------------------------------------------
+
+/// Communication-free Lagrangian flow-map extraction.
+///
+/// * **In-situ**: each rank seeds a globally aligned particle lattice
+///   inside its own block and advects every seed by RK4 through the
+///   block's `(U, V, W)` velocity snapshot
+///   ([`sitra_flowmap::advect_block`]), shipping one 61-byte
+///   termination record per seed. Compute-heavy, tiny output — the
+///   opposite cost shape of the down-sample/render analyses.
+/// * **Aggregation**: concatenate every rank's records and sort by the
+///   (globally unique) seed id. Order-independent, hence streamable.
+///
+/// Requires `Variable::VelU/VelV/VelW` in
+/// [`PipelineConfig::extra_variables`](crate::PipelineConfig::extra_variables)
+/// so the velocity components are materialized per block.
+#[derive(Debug, Clone, Default)]
+pub struct LagrangianFlowMap {
+    /// Seeding and integration parameters.
+    pub opts: FlowMapOpts,
+}
+
+impl Analysis for LagrangianFlowMap {
+    fn name(&self) -> &str {
+        "flow-map"
+    }
+
+    fn in_situ(&self, ctx: &InSituCtx<'_>) -> Bytes {
+        let component = |name: &str| {
+            ctx.var(name).unwrap_or_else(|| {
+                panic!("velocity component {name} not materialized; add Variable::Vel{name} to extra_variables")
+            })
+        };
+        let recs = advect_block(
+            component("U"),
+            component("V"),
+            component("W"),
+            &ctx.block(),
+            &ctx.decomp.global(),
+            &self.opts,
+        );
+        wire::encode_flow_records(&recs)
+    }
+
+    fn aggregate(&self, step: u64, parts: &[(usize, Bytes)]) -> AnalysisOutput {
+        let mut agg = self.streaming_aggregator(step).expect("always streams");
+        for (rank, b) in parts {
+            agg.feed(*rank, b.clone());
+        }
+        agg.finish()
+    }
+
+    /// Concatenation commutes and the final sort canonicalizes, so
+    /// records accumulate in whatever order payloads arrive.
+    fn streaming_aggregator(&self, _step: u64) -> Option<Box<dyn Aggregator>> {
+        struct Gather(Vec<FlowRecord>);
+        impl Aggregator for Gather {
+            fn feed(&mut self, _rank: usize, payload: Bytes) {
+                self.0.extend(
+                    wire::decode_flow_records(payload).expect("valid in-process flow records"),
+                );
+            }
+            fn finish(self: Box<Self>) -> AnalysisOutput {
+                let mut recs = self.0;
+                recs.sort_by_key(|r| r.seed);
+                AnalysisOutput::FlowMap(recs)
+            }
+        }
+        Some(Box::new(Gather(Vec::new())))
     }
 }
 
@@ -782,5 +868,67 @@ mod tests {
         assert!(img.as_image().is_some());
         assert!(img.as_tree().is_none());
         assert!(img.as_stats().is_none());
+        assert!(img.as_flow_map().is_none());
+        let fm = AnalysisOutput::FlowMap(vec![]);
+        assert!(fm.as_flow_map().is_some());
+        assert!(fm.as_image().is_none());
+    }
+
+    fn flow_map_parts(
+        d: &Decomposition,
+        ghosted: &[ScalarField],
+        a: &LagrangianFlowMap,
+    ) -> Vec<(usize, Bytes)> {
+        (0..d.rank_count())
+            .map(|r| {
+                let block = d.block(r);
+                let vars = vec![
+                    ("U".to_string(), ScalarField::new_fill(block, 0.9)),
+                    ("V".to_string(), ScalarField::new_fill(block, 0.1)),
+                    ("W".to_string(), ScalarField::new_fill(block, 0.0)),
+                ];
+                let ctx = InSituCtx {
+                    rank: r,
+                    step: 1,
+                    decomp: d,
+                    ghosted: &ghosted[r],
+                    vars: &vars,
+                };
+                (r, a.in_situ(&ctx))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flow_map_covers_global_lattice_once() {
+        let (d, _, fields) = setup([12, 8, 6], [2, 2, 1]);
+        let (ghosted, _) = exchange_ghosts(&d, &fields, 1);
+        let a = LagrangianFlowMap::default();
+        let parts = flow_map_parts(&d, &ghosted, &a);
+        let out = a.aggregate(1, &parts);
+        let recs = out.as_flow_map().unwrap();
+        // Sorted strictly by seed: every global lattice point seeds in
+        // exactly one rank's basis.
+        assert!(recs.windows(2).all(|w| w[0].seed < w[1].seed));
+        let g = d.global();
+        let stride = a.opts.seed_stride;
+        let expected: Vec<u64> = g
+            .iter()
+            .filter(|p| p.iter().all(|c| c % stride == 0))
+            .map(|p| g.local_index(p) as u64)
+            .collect();
+        let got: Vec<u64> = recs.iter().map(|r| r.seed).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn flow_map_aggregation_is_order_independent() {
+        let (d, _, fields) = setup([12, 8, 6], [2, 2, 1]);
+        let (ghosted, _) = exchange_ghosts(&d, &fields, 1);
+        let a = LagrangianFlowMap::default();
+        let parts = flow_map_parts(&d, &ghosted, &a);
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        assert_eq!(a.aggregate(1, &parts), a.aggregate(1, &reversed));
     }
 }

@@ -97,6 +97,14 @@ pub enum ConfigError {
     },
     /// [`StagingMode::Cluster`] was selected with an empty member list.
     EmptyCluster,
+    /// A steering endpoint was configured on a fully in-situ pipeline:
+    /// with [`StagingMode::InSitu`] there is no staging service for
+    /// subscribers to interact with, so the endpoint would silently
+    /// never serve a frame.
+    SteeringWithoutStaging {
+        /// The configured steering endpoint.
+        endpoint: String,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -112,6 +120,11 @@ impl std::fmt::Display for ConfigError {
             ConfigError::EmptyCluster => {
                 write!(f, "cluster staging requires at least one member endpoint")
             }
+            ConfigError::SteeringWithoutStaging { endpoint } => write!(
+                f,
+                "steering endpoint `{endpoint}` requires a staging backend; \
+                 a fully in-situ pipeline has no staging service to steer"
+            ),
         }
     }
 }
@@ -166,6 +179,14 @@ pub struct PipelineConfig {
     /// `None` (the default) keeps the fixed pool — byte-identical
     /// scheduling to the pre-elastic driver.
     pub bucket_autoscale: Option<sitra_dataspaces::AutoscaleConfig>,
+    /// Serve steerable visualization on this endpoint: the driver runs
+    /// a [`sitra_dataspaces::SteerServer`] there and publishes every
+    /// collected [`AnalysisOutput::Image`] as a versioned frame, so
+    /// subscribers can pull reduced frames and steer their downsample
+    /// rate while the pipeline runs. Requires a staging backend
+    /// (rejected with [`ConfigError::SteeringWithoutStaging`] under
+    /// [`StagingMode::InSitu`]). `None` (the default) disables it.
+    pub steering: Option<String>,
 }
 
 impl PipelineConfig {
@@ -186,6 +207,7 @@ impl PipelineConfig {
             staging_output_hook: None,
             staging_tenant: None,
             bucket_autoscale: None,
+            steering: None,
         }
     }
 
@@ -234,6 +256,13 @@ impl PipelineConfig {
     /// are single-tenant by construction).
     pub fn with_tenant(mut self, tenant: sitra_dataspaces::TenantSpec) -> Self {
         self.staging_tenant = Some(tenant);
+        self
+    }
+
+    /// Serve steerable visualization frames to subscribers on
+    /// `endpoint` while the pipeline runs.
+    pub fn with_steering_endpoint(mut self, endpoint: impl Into<String>) -> Self {
+        self.steering = Some(endpoint.into());
         self
     }
 

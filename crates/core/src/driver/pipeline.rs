@@ -63,8 +63,50 @@ pub fn run_pipeline(
         _ => None,
     };
 
+    // Steerable visualization: bind the steering endpoint before any
+    // work runs, and publish every collected image output through the
+    // retirement seam so subscribers see frames as they retire.
+    let steer = match &cfg.steering {
+        Some(endpoint) => {
+            if cfg.staging == StagingMode::InSitu {
+                return Err(ConfigError::SteeringWithoutStaging {
+                    endpoint: endpoint.clone(),
+                });
+            }
+            let addr =
+                endpoint
+                    .parse::<sitra_net::Addr>()
+                    .map_err(|e| ConfigError::InvalidEndpoint {
+                        endpoint: endpoint.clone(),
+                        reason: e.to_string(),
+                    })?;
+            Some(sitra_dataspaces::SteerServer::start(&addr).map_err(|e| {
+                ConfigError::InvalidEndpoint {
+                    endpoint: endpoint.clone(),
+                    reason: e.to_string(),
+                }
+            })?)
+        }
+        None => None,
+    };
+
     let fabric = Fabric::new(cfg.network);
-    let ctx = RetireCtx::new(cfg.analyses.clone());
+    let ctx = match &steer {
+        Some(server) => {
+            let publisher = server.publisher();
+            RetireCtx::with_observer(
+                cfg.analyses.clone(),
+                Some(std::sync::Arc::new(
+                    move |_label: &str, _step, output: &_| {
+                        if let crate::analysis::AnalysisOutput::Image(img) = output {
+                            publisher.publish(img);
+                        }
+                    },
+                )),
+            )
+        }
+        None => RetireCtx::new(cfg.analyses.clone()),
+    };
 
     // `Placement::InSitu` analyses always aggregate synchronously;
     // hybrid analyses go to the configured staging backend.
@@ -225,6 +267,12 @@ pub fn run_pipeline(
 
     let fstats = fabric.stats();
     fabric.shutdown();
+
+    // Every output has retired, so no more frames are coming: drain
+    // blocked subscribers and stop serving.
+    if let Some(server) = steer {
+        server.shutdown();
+    }
 
     // Degradations surface per-step only after the drain: a task can
     // degrade during collection long after its step ended.

@@ -84,6 +84,11 @@ pub enum Retired {
     Dropped,
 }
 
+/// Observes every output as it is recorded, regardless of which
+/// backend or thread retired it (the steering publisher hangs off
+/// this seam).
+pub(crate) type OutputObserver = Arc<dyn Fn(&str, u64, &AnalysisOutput) + Send + Sync>;
+
 /// Shared pipeline state every backend retires into. Cheap to clone
 /// (one `Arc`); worker threads hold their own handle.
 #[derive(Clone)]
@@ -98,10 +103,18 @@ struct Shared {
     dropped: AtomicUsize,
     degraded_tasks: AtomicUsize,
     degraded_steps: Mutex<BTreeSet<u64>>,
+    observer: Option<OutputObserver>,
 }
 
 impl RetireCtx {
     pub(crate) fn new(analyses: Vec<AnalysisSpec>) -> Self {
+        Self::with_observer(analyses, None)
+    }
+
+    pub(crate) fn with_observer(
+        analyses: Vec<AnalysisSpec>,
+        observer: Option<OutputObserver>,
+    ) -> Self {
         RetireCtx {
             inner: Arc::new(Shared {
                 analyses,
@@ -110,6 +123,7 @@ impl RetireCtx {
                 dropped: AtomicUsize::new(0),
                 degraded_tasks: AtomicUsize::new(0),
                 degraded_steps: Mutex::new(BTreeSet::new()),
+                observer,
             }),
         }
     }
@@ -256,6 +270,9 @@ impl RetireCtx {
     }
 
     fn push_output(&self, analysis_idx: usize, step: u64, output: AnalysisOutput) {
+        if let Some(observer) = &self.inner.observer {
+            observer(self.label(analysis_idx), step, &output);
+        }
         self.inner
             .outputs
             .lock()

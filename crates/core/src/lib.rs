@@ -33,7 +33,7 @@ pub mod wire;
 
 pub use analysis::{
     Aggregator, Analysis, AnalysisOutput, AutoCorrelation, FeatureStats, HybridStats,
-    HybridTopology, HybridViz, InSituCtx, InSituViz,
+    HybridTopology, HybridViz, InSituCtx, InSituViz, LagrangianFlowMap,
 };
 pub use driver::{run_pipeline, ConfigError, PipelineConfig, PipelineResult, StagingMode};
 pub use metrics::{AnalysisMetrics, PipelineMetrics, StepMetrics};

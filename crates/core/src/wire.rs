@@ -14,6 +14,7 @@
 
 use crate::analysis::AnalysisOutput;
 use bytes::{BufMut, Bytes, BytesMut};
+use sitra_flowmap::{FlowRecord, Termination};
 use sitra_mesh::{BBox3, SampledBlock};
 use sitra_stats::{CoMoments, Derived, Moments, MultiModel};
 use sitra_topology::reduce::{Subtree, SubtreeVertex};
@@ -419,10 +420,67 @@ pub fn decode_partial_image(b: Bytes) -> Result<(i64, sitra_viz::Image), WireErr
     Ok((key, img))
 }
 
+/// Encoded size of one [`FlowRecord`]: seed id, six position doubles,
+/// step count, termination code.
+const FLOW_RECORD_SIZE: usize = 8 + 48 + 4 + 1;
+
+fn put_flow_records(buf: &mut BytesMut, recs: &[FlowRecord]) {
+    buf.put_u64_le(recs.len() as u64);
+    for r in recs {
+        buf.put_u64_le(r.seed);
+        for c in r.start.iter().chain(r.end.iter()) {
+            buf.put_f64_le(*c);
+        }
+        buf.put_u32_le(r.steps);
+        buf.put_u8(r.reason.code());
+    }
+}
+
+fn read_flow_records(rd: &mut Reader) -> Result<Vec<FlowRecord>, WireError> {
+    let n = rd.count(FLOW_RECORD_SIZE, "flow.len")?;
+    let mut recs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let seed = rd.u64("flow.seed")?;
+        let mut c = [0.0f64; 6];
+        for v in &mut c {
+            *v = rd.f64("flow.pos")?;
+        }
+        let steps = rd.u32("flow.steps")?;
+        let reason = Termination::from_code(rd.u8("flow.reason")?).ok_or(WireError::Malformed {
+            field: "flow.reason",
+        })?;
+        recs.push(FlowRecord {
+            seed,
+            start: [c[0], c[1], c[2]],
+            end: [c[3], c[4], c[5]],
+            steps,
+            reason,
+        });
+    }
+    Ok(recs)
+}
+
+/// Encode a flow-map termination-record list (Lagrangian flow-map
+/// intermediate).
+pub fn encode_flow_records(recs: &[FlowRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + recs.len() * FLOW_RECORD_SIZE);
+    put_flow_records(&mut buf, recs);
+    buf.freeze()
+}
+
+/// Decode a flow-map termination-record list.
+pub fn decode_flow_records(b: Bytes) -> Result<Vec<FlowRecord>, WireError> {
+    let mut rd = Reader::new(b);
+    let recs = read_flow_records(&mut rd)?;
+    rd.finish()?;
+    Ok(recs)
+}
+
 const OUT_IMAGE: u8 = 0;
 const OUT_TREE: u8 = 1;
 const OUT_STATS: u8 = 2;
 const OUT_SCALARS: u8 = 3;
+const OUT_FLOWMAP: u8 = 4;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -492,6 +550,10 @@ pub fn encode_analysis_output(out: &AnalysisOutput) -> Bytes {
                 put_str(&mut buf, name);
                 buf.put_f64_le(*v);
             }
+        }
+        AnalysisOutput::FlowMap(recs) => {
+            buf.put_u8(OUT_FLOWMAP);
+            put_flow_records(&mut buf, recs);
         }
     }
     buf.freeze()
@@ -586,6 +648,7 @@ pub fn decode_analysis_output(b: Bytes) -> Result<AnalysisOutput, WireError> {
             }
             AnalysisOutput::Scalars(rows)
         }
+        OUT_FLOWMAP => AnalysisOutput::FlowMap(read_flow_records(&mut rd)?),
         _ => {
             return Err(WireError::Malformed {
                 field: "output.tag",
@@ -713,7 +776,69 @@ mod tests {
         assert!(decode_subtree(e.clone()).is_err());
         assert!(decode_comoments(e.clone()).is_err());
         assert!(decode_feature_stats(e.clone()).is_err());
+        assert!(decode_flow_records(e.clone()).is_err());
         assert!(decode_partial_image(e).is_err());
+    }
+
+    fn sample_flow_records() -> Vec<FlowRecord> {
+        vec![
+            FlowRecord {
+                seed: 12,
+                start: [0.0, 4.0, 0.0],
+                end: [7.25, 4.5, 0.125],
+                steps: 9,
+                reason: Termination::ExitedBlock,
+            },
+            FlowRecord {
+                seed: 40,
+                start: [8.0, 0.0, 4.0],
+                end: [9.5, 0.25, 4.0],
+                steps: 64,
+                reason: Termination::MaxSteps,
+            },
+        ]
+    }
+
+    #[test]
+    fn flow_records_roundtrip() {
+        let recs = sample_flow_records();
+        let enc = encode_flow_records(&recs);
+        assert_eq!(enc.len(), 8 + recs.len() * FLOW_RECORD_SIZE);
+        assert_eq!(decode_flow_records(enc.clone()).unwrap(), recs);
+        // Determinism: equal lists encode identically.
+        assert_eq!(encode_flow_records(&recs), enc);
+        // Empty lists round-trip too.
+        assert_eq!(
+            decode_flow_records(encode_flow_records(&[])).unwrap(),
+            vec![]
+        );
+        // Every truncation errors.
+        for cut in 0..enc.len() {
+            assert!(decode_flow_records(enc.slice(0..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn flow_records_reject_hostile_count_and_bad_reason() {
+        // A list claiming u64::MAX records in an 8-byte buffer.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(u64::MAX);
+        assert_eq!(
+            decode_flow_records(buf.freeze()),
+            Err(WireError::Truncated { field: "flow.len" })
+        );
+        // An undefined termination code is malformed, not a panic.
+        let mut recs = sample_flow_records();
+        recs.truncate(1);
+        let enc = encode_flow_records(&recs);
+        let mut corrupt = enc.to_vec();
+        *corrupt.last_mut().unwrap() = 9;
+        assert_eq!(
+            decode_flow_records(Bytes::from(corrupt)),
+            Err(WireError::Malformed {
+                field: "flow.reason"
+            })
+        );
     }
 
     #[test]
@@ -766,6 +891,7 @@ mod tests {
                 sitra_stats::derive(&Moments::from_slice(&[1.0, 2.0, 3.0, 4.0])).unwrap(),
             )]),
             AnalysisOutput::Scalars(vec![("corr(T,P)".to_string(), 0.93)]),
+            AnalysisOutput::FlowMap(sample_flow_records()),
         ];
         for o in outs {
             let enc = encode_analysis_output(&o);

@@ -8,6 +8,11 @@ use proptest::prelude::*;
 use sitra_cluster::{decode_msg, encode_msg, ClusterMsg, ClusterView, MemberInfo};
 use sitra_core::analysis::AnalysisOutput;
 use sitra_core::wire;
+use sitra_dataspaces::{
+    decode_steer_msg, decode_steer_reply, encode_steer_msg, encode_steer_reply, SteerMsg,
+    SteerReply,
+};
+use sitra_flowmap::{FlowRecord, Termination};
 use sitra_mesh::{downsample, BBox3, ScalarField};
 use sitra_stats::{CoMoments, Derived, Moments, MultiModel};
 use sitra_topology::reduce::{Subtree, SubtreeVertex};
@@ -86,6 +91,67 @@ fn short_name() -> impl Strategy<Value = String> {
     prop::collection::vec(0u8..128, 0..10).prop_map(|raw| String::from_utf8(raw).unwrap())
 }
 
+fn flow_record_strategy() -> impl Strategy<Value = FlowRecord> {
+    (
+        any::<u64>(),
+        prop::array::uniform3(-1.0e6..1.0e6f64),
+        prop::array::uniform3(-1.0e6..1.0e6f64),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(|(seed, start, end, steps, exited)| FlowRecord {
+            seed,
+            start,
+            end,
+            steps,
+            reason: if exited {
+                Termination::ExitedBlock
+            } else {
+                Termination::MaxSteps
+            },
+        })
+}
+
+fn steer_image_strategy() -> impl Strategy<Value = sitra_viz::Image> {
+    (1usize..5, 1usize..5, -1.0e3..1.0e3f64).prop_map(|(w, h, fill)| {
+        let mut img = sitra_viz::Image::new(w, h);
+        for (i, p) in img.pixels_mut().iter_mut().enumerate() {
+            *p = [fill, i as f64, -fill, 1.0];
+        }
+        img
+    })
+}
+
+fn steer_msg_strategy() -> proptest::BoxedStrategy<SteerMsg> {
+    prop_oneof![
+        (short_name(), 1u32..1000)
+            .prop_map(|(subscriber, rate)| SteerMsg::Subscribe { subscriber, rate }),
+        any::<u64>().prop_map(|after| SteerMsg::NextFrame { after }),
+        (1u32..1000).prop_map(|rate| SteerMsg::Steer { rate }),
+    ]
+    .boxed()
+}
+
+fn steer_reply_strategy() -> proptest::BoxedStrategy<SteerReply> {
+    prop_oneof![
+        (1u32..1000).prop_map(|rate| SteerReply::SubAck { rate }),
+        (any::<u64>(), 1u32..1000, steer_image_strategy()).prop_map(|(version, rate, image)| {
+            SteerReply::Frame {
+                version,
+                rate,
+                image,
+            }
+        }),
+        (1u32..1000, any::<u64>()).prop_map(|(rate, latest_version)| SteerReply::SteerAck {
+            rate,
+            latest_version
+        }),
+        Just(SteerReply::NoFrame),
+        short_name().prop_map(|reason| SteerReply::Error { reason }),
+    ]
+    .boxed()
+}
+
 fn analysis_output_strategy() -> proptest::BoxedStrategy<AnalysisOutput> {
     prop_oneof![
         (1usize..5, 1usize..5, -1.0e3..1.0e3f64).prop_map(|(w, h, fill)| {
@@ -104,6 +170,7 @@ fn analysis_output_strategy() -> proptest::BoxedStrategy<AnalysisOutput> {
             .prop_map(AnalysisOutput::Stats),
         prop::collection::vec((short_name(), -1.0e9..1.0e9f64), 0..6)
             .prop_map(AnalysisOutput::Scalars),
+        prop::collection::vec(flow_record_strategy(), 0..8).prop_map(AnalysisOutput::FlowMap),
     ]
     .boxed()
 }
@@ -267,6 +334,70 @@ proptest! {
         }
     }
 
+    /// The flow-map record list — the Lagrangian workload's in-transit
+    /// intermediate *and* its final output payload — round-trips every
+    /// record bit-exactly and errors on every strict prefix (the count
+    /// prefix is validated against the bytes actually present before
+    /// any allocation).
+    #[test]
+    fn flow_records_roundtrip_and_prefixes_error(
+        recs in prop::collection::vec(flow_record_strategy(), 0..12),
+    ) {
+        let enc = wire::encode_flow_records(&recs);
+        prop_assert_eq!(wire::decode_flow_records(enc.clone()).unwrap(), recs);
+        assert_prefixes_error(&enc, wire::decode_flow_records);
+    }
+
+    /// Steering-feedback request frames (subscribe / next-frame /
+    /// steer) round-trip and error on every strict prefix. Zero
+    /// downsample rates are unrepresentable on the wire: the decoder
+    /// rejects them before the server ever sees one.
+    #[test]
+    fn steer_msg_roundtrips_and_prefixes_error(msg in steer_msg_strategy()) {
+        let enc = encode_steer_msg(&msg);
+        prop_assert_eq!(decode_steer_msg(enc.clone()).unwrap(), msg);
+        assert_prefixes_error(&enc, decode_steer_msg);
+    }
+
+    /// Steering reply frames — including full reduced-image frames —
+    /// round-trip and error on every strict prefix (the pixel payload
+    /// length is validated against the image dims before allocating).
+    #[test]
+    fn steer_reply_roundtrips_and_prefixes_error(reply in steer_reply_strategy()) {
+        let enc = encode_steer_reply(&reply);
+        prop_assert_eq!(decode_steer_reply(enc.clone()).unwrap(), reply);
+        assert_prefixes_error(&enc, decode_steer_reply);
+    }
+
+    /// Single-byte corruption of flow-map and steering frames must
+    /// never panic a decoder — the faulty transport hands exactly this
+    /// to the staging service and the steering client.
+    #[test]
+    fn corrupted_flow_and_steer_frames_never_panic(
+        recs in prop::collection::vec(flow_record_strategy(), 0..8),
+        msg in steer_msg_strategy(),
+        reply in steer_reply_strategy(),
+        at in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        for enc in [
+            wire::encode_flow_records(&recs),
+            encode_steer_msg(&msg),
+            encode_steer_reply(&reply),
+        ] {
+            if enc.is_empty() {
+                continue;
+            }
+            let mut raw = enc.to_vec();
+            let i = (at as usize) % raw.len();
+            raw[i] ^= flip;
+            let b = Bytes::from(raw);
+            let _ = wire::decode_flow_records(b.clone());
+            let _ = decode_steer_msg(b.clone());
+            let _ = decode_steer_reply(b);
+        }
+    }
+
     /// The membership/handoff control frames (`sitra-cluster`'s inner
     /// codec, carried opaquely inside dataspaces `Control` frames)
     /// hold to the same bar as the data-plane codecs: every message
@@ -403,6 +534,9 @@ proptest! {
         let _ = wire::decode_feature_stats(b.clone());
         let _ = wire::decode_partial_image(b.clone());
         let _ = wire::decode_analysis_output(b.clone());
+        let _ = wire::decode_flow_records(b.clone());
+        let _ = decode_steer_msg(b.clone());
+        let _ = decode_steer_reply(b.clone());
         let _ = decode_msg(b);
     }
 }

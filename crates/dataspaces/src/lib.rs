@@ -27,6 +27,7 @@ pub mod pool;
 pub mod remote;
 pub mod sched;
 pub mod space;
+pub mod steer;
 pub mod tenant;
 
 pub use codec::{bytes_to_field, field_to_bytes};
@@ -43,4 +44,9 @@ pub use sched::{
     TenantSnapshot,
 };
 pub use space::{DataSpaces, ObjectMeta, QuotaExceeded, SpaceStats};
+pub use steer::{
+    decode_steer_msg, decode_steer_reply, encode_steer_msg, encode_steer_reply, reduce_image,
+    replay_steer, SteerAccounting, SteerClient, SteerFrame, SteerMsg, SteerPublisher, SteerReply,
+    SteerServer,
+};
 pub use tenant::{scoped_var, tenant_of_var, TenantSpec, DEFAULT_TENANT};

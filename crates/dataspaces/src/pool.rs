@@ -6,7 +6,8 @@
 //! that grows under backlog and shrinks when idle needs to know *which*
 //! buckets exist, what state each is in, and where each one runs:
 //!
-//! * [`BucketPool`] replaces the scheduler's bare free-bucket queue. It
+//! * `BucketPool` (crate-internal) replaces the scheduler's bare
+//!   free-bucket queue. It
 //!   keeps the parked (idle) buckets in arrival order — preserving the
 //!   paper's FCFS bucket semantics — plus a metadata row per bucket:
 //!   lifecycle [`BucketState`] and an optional *location* label (the

@@ -43,10 +43,10 @@
 use bytes::Bytes;
 use sitra_cluster::{Bootstrap, ClusterNode, ClusterNodeOpts};
 use sitra_dataspaces::{
-    AdmissionPolicy, AutoscaleConfig, Autoscaler, DataSpaces, LocalityPlacement, ScaleDecision,
-    SchedStats, Scheduler, SpaceServer, TenantSpec,
+    AdmissionPolicy, AutoscaleConfig, Autoscaler, DataSpaces, LocalityPlacement, RemoteSpace,
+    ScaleDecision, SchedStats, Scheduler, SpaceServer, SteerPublisher, SteerServer, TenantSpec,
 };
-use sitra_net::Addr;
+use sitra_net::{Addr, Backoff};
 use sitra_testkit::{CrashPlan, FaultPlan, PlanInjector};
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -94,6 +94,10 @@ struct Opts {
     buckets: Option<(usize, usize)>,
     /// p99 queue-wait SLO driving the autoscaler.
     bucket_slo: Duration,
+    /// Serve steerable visualization to subscribers on this endpoint.
+    steer_listen: Option<Addr>,
+    /// Analysis label whose stored outputs feed the steering endpoint.
+    steer_source: String,
 }
 
 fn usage(program: &str, code: i32) -> ! {
@@ -138,6 +142,11 @@ fn usage(program: &str, code: i32) -> ! {
          \x20                      publishes the desired count via pool stats for the worker\n\
          \x20                      fleet to grow toward\n\
          --bucket-slo-ms T     p99 queue-wait SLO driving the autoscaler (default 100)\n\
+         --steer-listen ADDR   serve steerable visualization on ADDR (any sitra-net\n\
+         \x20                      scheme): subscribers pull frames reduced by their own\n\
+         \x20                      downsample rate and steer it with feedback messages\n\
+         --steer-source LABEL  analysis label whose stored outputs feed the steering\n\
+         \x20                      endpoint (default viz-hybrid)\n\
          --fault-plan SPEC     inject deterministic faults on every server-side frame\n\
          \x20                      (chaos testing; SPEC as printed by the sitra-testkit\n\
          \x20                      chaos binary, e.g. seed=0x2a,drop=8,crash=at:400)"
@@ -160,6 +169,8 @@ fn parse_opts() -> Opts {
         locality_placement: false,
         buckets: None,
         bucket_slo: Duration::from_millis(100),
+        steer_listen: None,
+        steer_source: "viz-hybrid".to_string(),
     };
     let mut admission_wait = Duration::from_millis(1000);
     let mut buckets_min: Option<usize> = None;
@@ -318,6 +329,14 @@ fn parse_opts() -> Opts {
                     usage(program, 2);
                 }
             },
+            "--steer-listen" => match value("--steer-listen").parse() {
+                Ok(a) => opts.steer_listen = Some(a),
+                Err(e) => {
+                    eprintln!("{program}: bad --steer-listen address: {e}");
+                    usage(program, 2);
+                }
+            },
+            "--steer-source" => opts.steer_source = value("--steer-source"),
             "--fault-plan" => match FaultPlan::parse(&value("--fault-plan")) {
                 Ok(p) => opts.fault_plan = Some(p),
                 Err(e) => {
@@ -384,6 +403,47 @@ impl Service {
             Service::Single(s) => s.shutdown(),
             Service::Member(n) => n.shutdown(),
         }
+    }
+}
+
+/// Bridge this instance's stored analysis outputs to the steering
+/// endpoint: poll the space (through the public client protocol, so
+/// the bridge works unchanged for standalone and cluster members) for
+/// new versions of `label`'s output variable and publish every image
+/// as a steerable frame.
+fn steer_bridge(service: &Addr, publisher: &SteerPublisher, label: &str) {
+    let var = sitra_core::remote::output_var(label);
+    let bbox = sitra_core::remote::output_bbox();
+    let Ok(space) = RemoteSpace::connect_retry(service, &Backoff::default()) else {
+        eprintln!("sitra-staged: steer bridge cannot reach the space — steering disabled");
+        return;
+    };
+    let mut last = 0u64;
+    loop {
+        match space.latest_version(&var) {
+            Ok(Some(latest)) if latest > last => {
+                // Publish in version order; a version whose pieces were
+                // already evicted is skipped, not retried.
+                for version in (last + 1)..=latest {
+                    let Ok(pieces) = space.get(&var, version, &bbox) else {
+                        return;
+                    };
+                    for (_, data) in pieces {
+                        if let Ok(sitra_core::AnalysisOutput::Image(img)) =
+                            sitra_core::wire::decode_analysis_output(data)
+                        {
+                            publisher.publish(&img);
+                        }
+                    }
+                }
+                last = latest;
+            }
+            Ok(_) => {}
+            // The service is gone (shutdown or crash): stop bridging.
+            Err(e) if !e.is_retryable() => return,
+            Err(_) => {}
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
 }
 
@@ -572,6 +632,23 @@ fn main() {
         });
     }
 
+    let steer = opts.steer_listen.as_ref().map(|addr| {
+        let server = SteerServer::start(addr).unwrap_or_else(|e| {
+            eprintln!("sitra-staged: cannot serve steering on {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "sitra-staged: steerable viz on {} (source `{}`)",
+            server.addr(),
+            opts.steer_source
+        );
+        let service = opts.listen.clone();
+        let publisher = server.publisher();
+        let label = opts.steer_source.clone();
+        std::thread::spawn(move || steer_bridge(&service, &publisher, &label));
+        server
+    });
+
     // Run until the driver closes the scheduler, then give in-flight
     // connections a moment to drain before exiting.
     loop {
@@ -600,6 +677,9 @@ fn main() {
         "sitra-staged: scheduler closed; {} task(s) assigned, {} requeued — shutting down",
         stats.tasks_assigned, stats.tasks_requeued
     );
+    if let Some(s) = steer {
+        s.shutdown();
+    }
     server.shutdown();
     if let Some(m) = metrics {
         m.shutdown();

@@ -30,11 +30,16 @@
 
 pub mod fixture;
 pub mod injector;
+pub mod matrix;
 pub mod plan;
 pub mod scenario;
 pub mod shrink;
 
 pub use injector::{PlanInjector, ScheduleEntry};
+pub use matrix::{
+    admission_policies, matrix_config, matrix_specs, pinned_fault_subset, scenario_matrix,
+    MatrixCell, MatrixReport,
+};
 pub use plan::{arb_fault_plan, CrashPlan, FaultPlan, InstanceLoss, PartitionWindow, ScaleEvent};
 pub use scenario::{
     run_scenario, run_tenanted_scenario, Backend, ScenarioOutcome, RIVAL_TENANT, SIM_TENANT,

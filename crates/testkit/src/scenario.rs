@@ -113,7 +113,7 @@ impl ScenarioOutcome {
 
 /// Process-unique suffix for remote endpoints, so concurrent or
 /// repeated scenarios never collide on an inproc name.
-fn unique_endpoint(seed: u64) -> Addr {
+pub(crate) fn unique_endpoint(seed: u64) -> Addr {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     let n = NEXT.fetch_add(1, Ordering::Relaxed);
     format!("inproc://chaos-{seed:x}-{n}")
@@ -130,9 +130,21 @@ fn spawn_remote_worker(
     bucket_id: u32,
     stop: &Arc<AtomicBool>,
 ) -> std::thread::JoinHandle<usize> {
+    spawn_remote_worker_with(endpoint, fixture::specs(), bucket_id, stop)
+}
+
+/// [`spawn_remote_worker`] over an explicit analysis roster (the
+/// scenario matrix runs a larger roster than the frozen chaos
+/// fixture; task descriptors index into the driver's list, so the
+/// worker must hold the same list in the same order).
+pub(crate) fn spawn_remote_worker_with(
+    endpoint: &Addr,
+    specs: Vec<sitra_core::AnalysisSpec>,
+    bucket_id: u32,
+    stop: &Arc<AtomicBool>,
+) -> std::thread::JoinHandle<usize> {
     let ep = endpoint.clone();
     let stop = Arc::clone(stop);
-    let specs = fixture::specs();
     std::thread::Builder::new()
         .name(format!("chaos-bucket-{bucket_id}"))
         .spawn(move || {

@@ -16,6 +16,7 @@ pub use sitra_cluster as cluster;
 pub use sitra_core as core;
 pub use sitra_dart as dart;
 pub use sitra_dataspaces as dataspaces;
+pub use sitra_flowmap as flowmap;
 pub use sitra_machine as machine;
 pub use sitra_mesh as mesh;
 pub use sitra_net as net;

@@ -19,6 +19,7 @@ use sitra::core::remote::{run_bucket_worker, BucketWorkerOpts};
 use sitra::core::{PipelineConfig, PipelineResult, StagingMode};
 use sitra::dataspaces::SpaceServer;
 use sitra::net::Addr;
+use sitra_testkit::matrix::{matrix_config, matrix_specs, FLOWMAP_LABEL, STEER_LABEL};
 
 const SEED: u64 = 1234;
 
@@ -153,6 +154,112 @@ fn all_staging_backends_produce_identical_outputs_and_accounting() {
     assert_replay_agrees("remote", &remote, &remote_events, "hybrid-remote", false);
     assert_replay_agrees(
         "degraded",
+        &degraded,
+        &degraded_events,
+        "hybrid-remote",
+        false,
+    );
+}
+
+/// The two new workloads — the Lagrangian flow map (compute-heavy,
+/// tiny intermediates) and the steerable-viz registration — hold the
+/// same bar as the original roster: byte-identical outputs and
+/// bit-identical journal replay across all three staging backends, on
+/// the full five-analysis matrix roster.
+#[test]
+fn new_workloads_are_byte_identical_across_all_backends() {
+    let _obs = sitra::obs::isolate();
+
+    let (insitu, insitu_events) = common::run_journaled(
+        SEED,
+        matrix_config(2, matrix_specs()).with_staging_mode(StagingMode::InSitu),
+    );
+    let (local, local_events) = common::run_journaled(SEED, matrix_config(2, matrix_specs()));
+
+    let addr: Addr = "inproc://matrix-equivalence-test".parse().unwrap();
+    let server = SpaceServer::start(&addr, 1).expect("start staging server");
+    let endpoint = server.addr();
+    let worker = {
+        let ep = endpoint.clone();
+        std::thread::spawn(move || {
+            run_bucket_worker(&ep, &matrix_specs(), 0, &BucketWorkerOpts::default())
+                .expect("bucket worker")
+        })
+    };
+    let (remote, remote_events) = common::run_journaled(
+        SEED,
+        matrix_config(2, matrix_specs()).with_staging_endpoint(endpoint.to_string()),
+    );
+    let completed = worker.join().unwrap();
+    server.shutdown();
+
+    let reference = sorted_encoded_outputs(&insitu);
+    assert_eq!(reference, sorted_encoded_outputs(&local), "local != insitu");
+    assert_eq!(
+        reference,
+        sorted_encoded_outputs(&remote),
+        "remote != insitu"
+    );
+    // Both new workloads actually produced output on every backend:
+    // flow-map on its every-other-step interval, viz-steer every step.
+    let count = |label: &str| reference.iter().filter(|(l, _, _)| l == label).count();
+    assert_eq!(count(FLOWMAP_LABEL), STEPS / 2);
+    assert_eq!(count(STEER_LABEL), STEPS);
+    let hybrid_tasks = reference.iter().filter(|(l, _, _)| l != "stats").count();
+    assert_eq!(completed, hybrid_tasks, "worker saw every hybrid task");
+
+    assert_replay_agrees("insitu", &insitu, &insitu_events, "insitu", true);
+    assert_replay_agrees("local", &local, &local_events, "hybrid", true);
+    assert_replay_agrees("remote", &remote, &remote_events, "hybrid-remote", false);
+}
+
+/// Degraded-never-lost for the compute-heavy/small-output cost shape:
+/// with nothing listening on the staging endpoint, every flow-map task
+/// must fall back to in-situ re-aggregation and still produce the
+/// byte-identical golden records — degradation may cost time, never
+/// data, regardless of the workload's cost shape.
+#[test]
+fn degraded_flow_map_runs_lose_nothing() {
+    let _obs = sitra::obs::isolate();
+
+    let golden = common::run_journaled(
+        SEED,
+        matrix_config(2, matrix_specs()).with_staging_mode(StagingMode::InSitu),
+    )
+    .0;
+    let (degraded, degraded_events) = common::run_journaled(
+        SEED,
+        matrix_config(2, matrix_specs()).with_staging_endpoint("inproc://matrix-nobody-listens"),
+    );
+
+    assert_eq!(degraded.dropped_tasks, 0, "degradation must never drop");
+    let hybrid_tasks = sorted_encoded_outputs(&golden)
+        .iter()
+        .filter(|(l, _, _)| l != "stats")
+        .count();
+    assert_eq!(degraded.degraded_tasks, hybrid_tasks);
+    assert_eq!(
+        sorted_encoded_outputs(&golden),
+        sorted_encoded_outputs(&degraded),
+        "degraded outputs diverge from golden"
+    );
+    // The flow-map records specifically: present on every due step and
+    // decodable, not just byte-equal.
+    let flow_steps: Vec<u64> = degraded
+        .outputs
+        .iter()
+        .filter(|(l, _, _)| l == FLOWMAP_LABEL)
+        .map(|(_, step, out)| {
+            assert!(
+                out.as_flow_map().is_some_and(|recs| !recs.is_empty()),
+                "flow-map output at step {step} is empty or mistyped"
+            );
+            *step
+        })
+        .collect();
+    assert_eq!(flow_steps, vec![2, 4]);
+    assert_replay_agrees(
+        "degraded-flowmap",
         &degraded,
         &degraded_events,
         "hybrid-remote",

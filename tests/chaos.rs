@@ -334,6 +334,56 @@ fn pinned_timer_fault_plans_pass_every_oracle() {
     );
 }
 
+/// Pinned steering plans: the scenario matrix's steerable subscriber
+/// (which rides along on every staging backend run) under drop, delay,
+/// and partition faults. The fault injector sits under the subscriber's
+/// `sitra-net` connection too, so a dropped or duplicated reply severs
+/// its request lockstep; the client must redial and *re-declare its
+/// current steering rate* on the fresh subscription — mirroring the
+/// `SetTenant` reconnect pattern — or the steer-ack monotonicity
+/// oracle fails on the first post-reconnect frame. Pinned separately
+/// (like the cluster and `scale=` families) so `PINNED_SEEDS` keeps
+/// its exact seed→plan mapping.
+#[test]
+fn pinned_steering_plans_pass_every_oracle() {
+    use sitra_testkit::matrix::{matrix_specs, scenario_matrix};
+
+    const PLANS: &[(&str, &[Backend])] = &[
+        // Lossy, laggy network: dropped frame replies force the
+        // subscriber through the redial + re-subscribe path mid-run.
+        (
+            "seed=0xA1,drop=12,delay=25,delaymax=10",
+            &[Backend::Local, Backend::Remote],
+        ),
+        // A partition window: established connections survive, but any
+        // redial inside the window is refused, so the subscriber's
+        // retry loop must outlive it.
+        ("seed=0xA2,part=10..60,drop=6", &[Backend::Local]),
+        // Duplicated and reordered replies: the desync detector must
+        // sever and resynchronize rather than double-deliver a frame.
+        (
+            "seed=0xA3,dup=15,reorder=12,cut=5",
+            &[Backend::Local, Backend::Remote],
+        ),
+    ];
+    let mut failures = Vec::new();
+    for &(spec, backends) in PLANS {
+        let plan = FaultPlan::parse(spec).expect("pinned steering spec");
+        let report = scenario_matrix(backends, &[plan], matrix_specs);
+        for cell in report.failures() {
+            failures.push(format!(
+                "{}/{}/{} `{}`: {:?}",
+                cell.backend, cell.policy, cell.analysis, cell.plan, cell.violations
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "steering plan failures:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

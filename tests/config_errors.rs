@@ -7,7 +7,7 @@
 mod common;
 
 use common::{config, sim, specs};
-use sitra::core::{run_pipeline, ConfigError, PipelineConfig};
+use sitra::core::{run_pipeline, ConfigError, PipelineConfig, StagingMode};
 
 const SEED: u64 = 11;
 
@@ -87,6 +87,48 @@ fn every_cluster_member_endpoint_is_validated_before_the_run() {
             other => panic!("member `{bad}`: expected InvalidEndpoint, got {other:?}"),
         }
     }
+}
+
+#[test]
+fn steering_on_an_insitu_pipeline_is_rejected_before_the_run() {
+    // A steering endpoint on a fully in-situ pipeline is a
+    // contradiction — there is no staging service for a viewer to
+    // steer — and must be rejected before any simulation step runs.
+    let cfg = config(2)
+        .with_staging_mode(StagingMode::InSitu)
+        .with_steering_endpoint("inproc://steer-insitu");
+    let err =
+        run_pipeline(&mut sim(SEED), &cfg).expect_err("steering without staging must not run");
+    assert_eq!(
+        err,
+        ConfigError::SteeringWithoutStaging {
+            endpoint: "inproc://steer-insitu".to_string(),
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "steering endpoint `inproc://steer-insitu` requires a staging backend; \
+         a fully in-situ pipeline has no staging service to steer"
+    );
+
+    // An unparseable steering endpoint is an endpoint error like any
+    // other, carrying the offending string.
+    let cfg = config(2).with_steering_endpoint("bogus://steer");
+    let err = run_pipeline(&mut sim(SEED), &cfg).expect_err("bogus steer endpoint must not run");
+    match err {
+        ConfigError::InvalidEndpoint { endpoint, reason } => {
+            assert_eq!(endpoint, "bogus://steer");
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected InvalidEndpoint, got {other:?}"),
+    }
+
+    // Positive control: the same endpoint on the default local-staging
+    // config binds and runs clean — the rejection is about the staging
+    // mode, not the steering feature.
+    let cfg = config(2).with_steering_endpoint("inproc://steer-config-ok");
+    let result = run_pipeline(&mut sim(SEED), &cfg).expect("steering over local staging runs");
+    assert_eq!(result.dropped_tasks, 0);
 }
 
 #[test]

@@ -1,0 +1,84 @@
+//! The scenario matrix in CI: every registered analysis × every
+//! staging backend × every admission policy × the pinned fault subset,
+//! judged by all six oracles (conservation, no-loss, golden-output,
+//! replay-identity, flow-map golden endpoints, steer-ack monotonicity).
+//!
+//! Artifacts: when `BENCH_JSON` is set, the full matrix writes its
+//! machine-readable report (bench_gate-style JSON lines, one per cell)
+//! there; the markdown table lands next to it with an `.md` extension
+//! (the table published in EXPERIMENTS.md). The `smoke` test is the
+//! reduced matrix CI's `matrix-smoke` job runs on every push.
+
+use sitra_testkit::matrix::{
+    matrix_specs, pinned_fault_subset, scenario_matrix, FLOWMAP_LABEL, STEER_LABEL,
+};
+use sitra_testkit::{Backend, FaultPlan};
+
+fn publish(report: &sitra_testkit::MatrixReport) {
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        std::fs::write(&path, report.json_lines()).expect("write matrix json");
+        let md = std::path::Path::new(&path).with_extension("md");
+        std::fs::write(&md, report.markdown()).expect("write matrix markdown");
+        println!("[wrote {path} and {}]", md.display());
+    }
+}
+
+/// The acceptance bar: ≥ 5 analyses × 3 backends × 3 admission
+/// policies over the pinned fault subset, zero oracle violations.
+#[test]
+fn full_matrix_holds_every_oracle() {
+    let report = scenario_matrix(&Backend::ALL, &pinned_fault_subset(), matrix_specs);
+
+    // 3 backends × 3 policies × 2 plans.
+    assert_eq!(report.runs, 18);
+    // Five analyses per run.
+    assert_eq!(report.cells.len(), 18 * 5);
+    let analyses: std::collections::BTreeSet<&str> =
+        report.cells.iter().map(|c| c.analysis.as_str()).collect();
+    assert_eq!(analyses.len(), 5, "roster shrank: {analyses:?}");
+    assert!(analyses.contains(FLOWMAP_LABEL));
+    assert!(analyses.contains(STEER_LABEL));
+
+    publish(&report);
+    assert!(
+        report.passed(),
+        "matrix violations:\n{}",
+        report
+            .failures()
+            .iter()
+            .map(|c| format!(
+                "  {}/{}/{} `{}`: {:?}",
+                c.backend, c.policy, c.analysis, c.plan, c.violations
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The reduced matrix for the `matrix-smoke` CI job: just the two new
+/// workloads, all three backends, one seeded transport-fault plan.
+#[test]
+fn smoke_matrix_holds_every_oracle() {
+    let smoke_specs = || {
+        matrix_specs()
+            .into_iter()
+            .filter(|s| s.label == FLOWMAP_LABEL || s.label == STEER_LABEL)
+            .collect::<Vec<_>>()
+    };
+    let report = scenario_matrix(&Backend::ALL, &[FaultPlan::from_seed(42)], smoke_specs);
+    assert_eq!(report.runs, 9); // 3 backends × 3 policies × 1 plan
+    assert_eq!(report.cells.len(), 9 * 2);
+    assert!(
+        report.passed(),
+        "smoke matrix violations:\n{}",
+        report
+            .failures()
+            .iter()
+            .map(|c| format!(
+                "  {}/{}/{} `{}`: {:?}",
+                c.backend, c.policy, c.analysis, c.plan, c.violations
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
